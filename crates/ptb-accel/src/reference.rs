@@ -1,0 +1,273 @@
+//! Bit-exact functional validation of the PTB decomposition.
+//!
+//! Section VII argues PTB is *general* because Step A (synaptic input
+//! integration, Eq. 7) needs no post-synaptic state and can therefore be
+//! batched over time without violating causality, with Step B (membrane
+//! update + firing, Eq. 8) replayed serially afterwards. This module
+//! implements exactly that split on top of the functional
+//! [`systolic_sim::array::SystolicEngine`], so the property tests can
+//! assert the batched result is **bit-identical** to the serial
+//! reference dynamics (Eqs. 1–3, as implemented by
+//! [`snn_core::neuron::NeuronConfig`]).
+
+use snn_core::neuron::NeuronConfig;
+use snn_core::spike::SpikeTensor;
+use systolic_sim::array::{ArrayDims, StreamEntry, SystolicEngine};
+
+use crate::window::WindowPartition;
+
+/// Runs one post-synaptic neuron the PTB way: Step A batched per time
+/// window on a 1-row systolic array (columns = windows of one column
+/// tile), Step B serially across the whole period. Returns the output
+/// spike train.
+///
+/// `weights[j]` is the synaptic weight from pre-synaptic neuron `j`;
+/// `spikes` holds the pre-synaptic activity (`weights.len()` neurons).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree, `tw_size` is outside `1..=64`, or
+/// `cols` is zero.
+#[allow(clippy::needless_range_loop)] // indices address several arrays at once
+pub fn batched_neuron_forward(
+    weights: &[f32],
+    spikes: &SpikeTensor,
+    neuron: NeuronConfig,
+    tw_size: u32,
+    cols: u32,
+) -> Vec<bool> {
+    assert_eq!(
+        weights.len(),
+        spikes.neurons(),
+        "one weight per pre-synaptic neuron"
+    );
+    assert!(cols > 0, "need at least one array column");
+    let t = spikes.timesteps();
+    let part = WindowPartition::new(t, tw_size as usize);
+    let engine = SystolicEngine::new(ArrayDims::new(1, cols), tw_size);
+
+    // Step A: batched synaptic integration, one column tile at a time.
+    let mut psums = vec![0.0f32; t];
+    for (w0, w1) in part.column_tiles(cols as usize) {
+        let nw = w1 - w0;
+        let mut entries = Vec::new();
+        for j in 0..weights.len() {
+            let mut col_spikes = vec![0u64; cols as usize];
+            let mut any = false;
+            for (i, w) in (w0..w1).enumerate() {
+                let (s, e) = part.window_range(w);
+                let word = spikes.spike_word(j, s, e - s);
+                if word != 0 {
+                    any = true;
+                }
+                col_spikes[i] = word;
+            }
+            if !any {
+                continue; // silent-in-span neurons are skipped, as on hardware
+            }
+            entries.push(StreamEntry::single(vec![weights[j]], col_spikes));
+        }
+        let result = engine.run(&entries);
+        for (i, w) in (w0..w1).enumerate() {
+            let (s, e) = part.window_range(w);
+            for (k, tp) in (s..e).enumerate() {
+                psums[tp] = result.psums[0][i][k];
+            }
+        }
+        let _ = nw;
+    }
+
+    // Step B: serial membrane update + conditional firing over the whole
+    // period (Eq. 8), exactly the reference dynamics.
+    neuron.run(&psums)
+}
+
+/// Runs a full *recurrent* spiking layer the PTB way: the feedforward
+/// integration (Step A) is batched per time window exactly as in
+/// [`batched_neuron_forward`], while the recurrent contributions — which
+/// depend on the layer's own output spikes and therefore cannot be
+/// pre-computed — are folded into the serial Step B replay. Validated
+/// bit-exactly against [`snn_core::recurrent::SpikingRecurrentFc`],
+/// which demonstrates the Fig. 12(c) claim that PTB extends to
+/// recurrent layer structures without violating causality.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `tw_size` is outside `1..=64`.
+#[allow(clippy::needless_range_loop)] // indices address several arrays at once
+pub fn batched_recurrent_forward(
+    layer: &snn_core::recurrent::SpikingRecurrentFc,
+    input: &SpikeTensor,
+    tw_size: u32,
+    cols: u32,
+) -> SpikeTensor {
+    assert_eq!(input.neurons(), layer.inputs() as usize);
+    let t = input.timesteps();
+    let n_out = layer.outputs() as usize;
+    let part = WindowPartition::new(t.max(1), tw_size as usize);
+    let engine = SystolicEngine::new(ArrayDims::new(1, cols), tw_size);
+
+    // Step A per output neuron: batched feedforward psums over windows.
+    let mut ff_psums = vec![vec![0.0f32; t]; n_out];
+    for (o, psums) in ff_psums.iter_mut().enumerate() {
+        let weights: Vec<f32> = (0..layer.inputs()).map(|i| layer.ff_weight(o as u32, i)).collect();
+        for (w0, w1) in part.column_tiles(cols as usize) {
+            let mut entries = Vec::new();
+            for j in 0..weights.len() {
+                let mut col_spikes = vec![0u64; cols as usize];
+                let mut any = false;
+                for (i, w) in (w0..w1).enumerate() {
+                    let (s, e) = part.window_range(w);
+                    let word = input.spike_word(j, s, e - s);
+                    any |= word != 0;
+                    col_spikes[i] = word;
+                }
+                if any {
+                    entries.push(StreamEntry::single(vec![weights[j]], col_spikes));
+                }
+            }
+            let result = engine.run(&entries);
+            for (i, w) in (w0..w1).enumerate() {
+                let (s, e) = part.window_range(w);
+                for (k, tp) in (s..e).enumerate() {
+                    psums[tp] = result.psums[0][i][k];
+                }
+            }
+        }
+    }
+
+    // Step B: serial replay with the recurrent term applied causally.
+    let mut out = SpikeTensor::new(n_out, t);
+    let mut membrane = vec![0.0f32; n_out];
+    let mut prev = vec![false; n_out];
+    for tp in 0..t {
+        let mut next = vec![false; n_out];
+        for o in 0..n_out {
+            let mut p = ff_psums[o][tp];
+            for (k, &fired) in prev.iter().enumerate() {
+                if fired {
+                    p += layer.rec_weight(o as u32, k as u32);
+                }
+            }
+            if layer.neuron().step(&mut membrane[o], p) {
+                out.set(o, tp, true);
+                next[o] = true;
+            }
+        }
+        prev = next;
+    }
+    out
+}
+
+/// Serial reference for the same neuron: integrate per time point
+/// (Eq. 1) then step the membrane (Eqs. 2–3).
+pub fn serial_neuron_forward(
+    weights: &[f32],
+    spikes: &SpikeTensor,
+    neuron: NeuronConfig,
+) -> Vec<bool> {
+    assert_eq!(weights.len(), spikes.neurons());
+    let t = spikes.timesteps();
+    let psums: Vec<f32> = (0..t)
+        .map(|tp| {
+            weights
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| spikes.get(j, tp))
+                .map(|(_, &w)| w)
+                .sum()
+        })
+        .collect();
+    neuron.run(&psums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf_spikes(neurons: usize, t: usize, stride: usize) -> SpikeTensor {
+        SpikeTensor::from_fn(neurons, t, |n, tp| (n * 5 + tp * 3) % stride == 0)
+    }
+
+    #[test]
+    fn batched_equals_serial_lif() {
+        let weights: Vec<f32> = (0..24).map(|i| (i as f32 - 12.0) / 10.0).collect();
+        let spikes = rf_spikes(24, 50, 7);
+        let neuron = NeuronConfig::lif(0.9, 0.05);
+        for tws in [1, 2, 4, 8, 16, 64] {
+            let batched = batched_neuron_forward(&weights, &spikes, neuron, tws, 8);
+            let serial = serial_neuron_forward(&weights, &spikes, neuron);
+            assert_eq!(batched, serial, "tws={tws}");
+        }
+    }
+
+    #[test]
+    fn batched_equals_serial_if_across_col_counts() {
+        let weights: Vec<f32> = (0..16).map(|i| 0.07 * i as f32).collect();
+        let spikes = rf_spikes(16, 37, 4); // non-multiple period
+        let neuron = NeuronConfig::if_model(0.6);
+        for cols in [1, 3, 8, 16] {
+            let batched = batched_neuron_forward(&weights, &spikes, neuron, 4, cols);
+            let serial = serial_neuron_forward(&weights, &spikes, neuron);
+            assert_eq!(batched, serial, "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn silent_receptive_field_never_fires() {
+        let weights = vec![1.0; 8];
+        let spikes = SpikeTensor::new(8, 30);
+        let neuron = NeuronConfig::if_model(0.5);
+        let out = batched_neuron_forward(&weights, &spikes, neuron, 8, 8);
+        assert!(out.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn dense_input_fires_when_weights_exceed_threshold() {
+        let weights = vec![0.2; 8]; // 1.6 per time point
+        let spikes = SpikeTensor::full(8, 20);
+        let neuron = NeuronConfig::if_model(1.0);
+        let out = batched_neuron_forward(&weights, &spikes, neuron, 4, 4);
+        assert!(out.iter().all(|&s| s), "1.6 >= 1.0 every step");
+        assert_eq!(out, serial_neuron_forward(&weights, &spikes, neuron));
+    }
+
+    #[test]
+    fn batched_recurrent_equals_functional_layer() {
+        use snn_core::recurrent::SpikingRecurrentFc;
+        let mut layer = SpikingRecurrentFc::zeros(10, 6, NeuronConfig::lif(0.8, 0.03));
+        for o in 0..6 {
+            for i in 0..10 {
+                *layer.ff_weight_mut(o, i) = ((o * 7 + i * 3) % 11) as f32 / 11.0 - 0.3;
+            }
+            for k in 0..6 {
+                *layer.rec_weight_mut(o, k) = if (o + k) % 3 == 0 { -0.2 } else { 0.1 };
+            }
+        }
+        let input = rf_spikes(10, 45, 5);
+        let serial = layer.forward(&input).unwrap();
+        for tws in [1u32, 4, 8, 32] {
+            let batched = batched_recurrent_forward(&layer, &input, tws, 8);
+            assert_eq!(batched, serial, "tws={tws}");
+        }
+    }
+
+    #[test]
+    fn batched_recurrent_self_excitation() {
+        use snn_core::recurrent::SpikingRecurrentFc;
+        let mut layer = SpikingRecurrentFc::zeros(1, 1, NeuronConfig::if_model(1.0));
+        *layer.ff_weight_mut(0, 0) = 1.0;
+        *layer.rec_weight_mut(0, 0) = 1.0;
+        let mut input = SpikeTensor::new(1, 6);
+        input.set(0, 0, true);
+        let out = batched_recurrent_forward(&layer, &input, 4, 2);
+        assert_eq!(out.fire_count(0), 6, "self-excitation sustains firing");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_weights_panic() {
+        let spikes = SpikeTensor::new(4, 10);
+        batched_neuron_forward(&[1.0; 3], &spikes, NeuronConfig::default(), 4, 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulation results: per-layer and per-network reports, and EDP.
+
+use serde::{Deserialize, Serialize};
+use systolic_sim::{AccessCounts, EnergyBreakdown};
+
+use crate::config::Policy;
+
+/// Result of simulating one layer under one policy and TW size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// The schedule that produced this report.
+    pub policy: Policy,
+    /// Time-window size used (1 for the non-PTB policies).
+    pub tw_size: u32,
+    /// Aggregated access trace.
+    pub counts: AccessCounts,
+    /// Energy evaluation of `counts`.
+    pub energy: EnergyBreakdown,
+    /// Total latency in clock cycles.
+    pub cycles: u64,
+    /// Latency in seconds at the configured clock.
+    pub seconds: f64,
+    /// PE-cycles that performed a useful accumulation.
+    pub useful_ops: u64,
+    /// Total PE-cycles over the run (PE count × cycles).
+    pub pe_cycles: u64,
+    /// Streaming entries before StSAP packing (summed over iterations).
+    pub entries_before: u64,
+    /// Streaming slots actually issued (after packing, if enabled).
+    pub entries_after: u64,
+    /// Exact-complement StSAP pairs formed.
+    pub exact_pairs: u64,
+    /// Nearest-complement (disjoint) StSAP pairs formed.
+    pub near_pairs: u64,
+}
+
+impl LayerReport {
+    /// Total energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.total_joules()
+    }
+
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy_joules() * self.seconds
+    }
+
+    /// Array utilization: useful accumulations / total PE-cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.pe_cycles == 0 {
+            0.0
+        } else {
+            self.useful_ops as f64 / self.pe_cycles as f64
+        }
+    }
+
+    /// Fraction of streaming slots StSAP eliminated.
+    pub fn packing_saving(&self) -> f64 {
+        if self.entries_before == 0 {
+            0.0
+        } else {
+            1.0 - self.entries_after as f64 / self.entries_before as f64
+        }
+    }
+}
+
+/// Results for a whole network: one report per layer, with the paper's
+/// EDP aggregation (Section VI-B4: per-layer energy × per-layer latency,
+/// summed across layers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// `(layer name, report)` pairs in execution order.
+    pub layers: Vec<(String, LayerReport)>,
+}
+
+impl NetworkReport {
+    /// Creates a report from named per-layer results.
+    pub fn new(network: impl Into<String>, layers: Vec<(String, LayerReport)>) -> Self {
+        NetworkReport {
+            network: network.into(),
+            layers,
+        }
+    }
+
+    /// Total energy across layers, joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.layers.iter().map(|(_, r)| r.energy_joules()).sum()
+    }
+
+    /// Total latency across layers, seconds (layer-by-layer execution).
+    pub fn total_seconds(&self) -> f64 {
+        self.layers.iter().map(|(_, r)| r.seconds).sum()
+    }
+
+    /// Total cycles across layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|(_, r)| r.cycles).sum()
+    }
+
+    /// The paper's total EDP: `Σ_layers E_l · D_l` (joule-seconds).
+    pub fn total_edp(&self) -> f64 {
+        self.layers.iter().map(|(_, r)| r.edp()).sum()
+    }
+
+    /// Looks up one layer's report by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerReport> {
+        self.layers
+            .iter()
+            .find_map(|(n, r)| (n == name).then_some(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_sim::EnergyModel;
+
+    fn dummy_report(cycles: u64, dram_bits: u64) -> LayerReport {
+        let mut counts = AccessCounts::new();
+        counts.read(
+            systolic_sim::MemLevel::Dram,
+            systolic_sim::DataKind::Weight,
+            dram_bits,
+        );
+        let energy = EnergyModel::cacti_32nm().evaluate(&counts);
+        LayerReport {
+            policy: Policy::ptb(),
+            tw_size: 8,
+            counts,
+            energy,
+            cycles,
+            seconds: cycles as f64 / 1e9,
+            useful_ops: cycles / 2,
+            pe_cycles: cycles * 128,
+            entries_before: 100,
+            entries_after: 80,
+            exact_pairs: 15,
+            near_pairs: 5,
+        }
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let r = dummy_report(1_000_000, 8_000_000);
+        let expect = r.energy_joules() * r.seconds;
+        assert!((r.edp() - expect).abs() < 1e-30);
+        assert!(r.edp() > 0.0);
+    }
+
+    #[test]
+    fn utilization_and_packing() {
+        let r = dummy_report(1000, 8);
+        assert!((r.utilization() - 0.5 / 128.0).abs() < 1e-12);
+        assert!((r.packing_saving() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_totals_sum_layers() {
+        let net = NetworkReport::new(
+            "test",
+            vec![
+                ("A".to_string(), dummy_report(1000, 800)),
+                ("B".to_string(), dummy_report(2000, 1600)),
+            ],
+        );
+        assert_eq!(net.total_cycles(), 3000);
+        let edp_sum: f64 = net.layers.iter().map(|(_, r)| r.edp()).sum();
+        assert!((net.total_edp() - edp_sum).abs() < 1e-30);
+        assert!(net.layer("A").is_some());
+        assert!(net.layer("C").is_none());
+        // Paper's aggregation is per-layer products, not product of totals.
+        assert!(
+            (net.total_edp() - net.total_energy_joules() * net.total_seconds()).abs() > 0.0
+        );
+    }
+
+    #[test]
+    fn zero_pe_cycles_is_zero_utilization() {
+        let mut r = dummy_report(0, 0);
+        r.pe_cycles = 0;
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

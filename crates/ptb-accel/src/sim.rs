@@ -1,0 +1,943 @@
+//! The analytic layer simulator: PTB (± StSAP) and the three baselines.
+//!
+//! ## Mapping (Fig. 6)
+//!
+//! For a CONV layer at output position `(x, y)`, the work is the matrix
+//! product `P[m][w] = Σ_j W[m][j] · S[j][w]` over the receptive field
+//! `j`: array **rows** tile the output channels `m`, array **columns**
+//! tile consecutive time windows `w`. FC layers are the `E = 1` special
+//! case. The loop nest is `row-tile → position → column-tile`, keeping
+//! a row tile's weights resident as long as possible (weights are the
+//! multi-bit bottleneck; binary inputs are cheap to refetch).
+//!
+//! ## Latency
+//!
+//! One array iteration streams `S` entry slots (one beat each: the
+//! neuron's weight column and its packed spike words). Each PE must
+//! apply one accumulate per spike bit of its window, so an iteration is
+//! bound by the streaming beats *or* the busiest column's spike count:
+//! `cycles = max(S, max_w spikes_w) + (rows + cols − 2)`. The paper's
+//! baselines stream densely (`S = |RF|`), so PTB wins latency by
+//! skipping silent-in-span neurons and (with StSAP) sharing slots.
+//! Layer latency is `max(compute cycles, DRAM traffic / bandwidth)`
+//! (stall-free double buffering, Section V-B).
+//!
+//! ## Energy
+//!
+//! Access counts per level/kind follow the working-set rules documented
+//! on each policy function; `systolic_sim::EnergyModel` turns them into
+//! joules. See DESIGN.md §4 for the model's assumptions.
+
+use snn_core::shape::ConvShape;
+use snn_core::spike::SpikeTensor;
+use systolic_sim::{AccessCounts, DataKind, MemLevel};
+
+use crate::config::{Policy, SimInputs};
+use crate::report::LayerReport;
+use crate::stsap::pack_tile;
+use crate::window::WindowPartition;
+
+/// Simulates one layer under `policy`, returning the full report.
+///
+/// `input` holds the layer's pre-synaptic spike activity
+/// (`shape.ifmap_neurons()` neurons over the operational period).
+///
+/// # Panics
+///
+/// Panics if the input tensor does not match the shape, the period is
+/// zero, or `inputs` is invalid.
+pub fn simulate_layer(
+    inputs: &SimInputs,
+    policy: Policy,
+    shape: ConvShape,
+    input: &SpikeTensor,
+) -> LayerReport {
+    inputs.assert_valid();
+    assert_eq!(
+        input.neurons(),
+        shape.ifmap_neurons(),
+        "input tensor must match the layer's ifmap"
+    );
+    assert!(input.timesteps() > 0, "operational period must be nonzero");
+    match policy {
+        Policy::Ptb { stsap } => simulate_ptb(inputs, stsap, shape, input),
+        Policy::BaselineTemporal => simulate_dense_temporal(inputs, shape, input, false),
+        Policy::TimeSerial => simulate_dense_temporal(inputs, shape, input, true),
+        Policy::Ann => simulate_ann(inputs, shape, input),
+        Policy::EventDriven => simulate_event_driven(inputs, shape, input),
+    }
+}
+
+/// Bits per address-event in the event-driven baseline's AER-style input
+/// representation (neuron address + payload).
+const AER_EVENT_BITS: u64 = 16;
+
+/// The event-driven time-serial SNN accelerator (\[15, 34, 35\]): at each
+/// time point, only firing pre-synaptic neurons are fetched and
+/// integrated (AER events of [`AER_EVENT_BITS`] each), but weights are
+/// refetched at *every* time point a neuron fires (no reuse through
+/// time) and time points are processed strictly serially with the
+/// columns used spatially — the lack-of-parallelism critique of
+/// Section I.
+fn simulate_event_driven(
+    inputs: &SimInputs,
+    shape: ConvShape,
+    input: &SpikeTensor,
+) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    // No spatial or temporal parallelism in this baseline: columns idle.
+    let fill = arch.array.fill_cycles();
+    let t = input.timesteps();
+    let m = u64::from(shape.out_channels());
+    let row_tiles = m.div_ceil(rows);
+    let e = shape.ofmap_side();
+    let positions = u64::from(e).pow(2);
+    let pbits = u64::from(arch.potential_bits);
+    let wbits = u64::from(arch.weight_bits);
+
+    // Per-(neuron, time point) spike bits, precomputed once.
+    let n_in = input.neurons();
+    let mut bit_at = vec![0u8; n_in * t];
+    for n in 0..n_in {
+        for tp in 0..t {
+            bit_at[n * t + tp] = u8::from(input.get(n, tp));
+        }
+    }
+
+    let mut tally = Tally::default();
+    // Events are integrated per position; with columns used spatially, a
+    // position tile of up to `cols` positions shares one pass per time
+    // point, streaming the union of their active receptive-field events
+    // (adjacent RFs almost coincide, so we approximate the union by the
+    // per-position count and divide the shared quantities by `cols`).
+    let mut raw_cycles = 0u64;
+    let mut raw_entries = 0u64;
+    let mut raw_weight_bits = 0u64;
+    let mut raw_event_count = 0u64;
+    for x in 0..e {
+        for y in 0..e {
+            let rf = shape.receptive_field_indices(x, y);
+            for tp in 0..t {
+                let mut active = 0u64;
+                for &n in &rf {
+                    active += u64::from(bit_at[n * t + tp]);
+                }
+                if active == 0 {
+                    continue; // silent time points are skipped entirely
+                }
+                raw_cycles += (active + fill) * row_tiles;
+                raw_entries += active * row_tiles;
+                tally.useful_ops += active * m;
+                tally.counts.ac_ops += active * m;
+                // Weights refetched for every event at every time point.
+                raw_weight_bits += active * m * wbits;
+                raw_event_count += active;
+                // Membrane potentials move every active time point, for
+                // every position's own output neurons (not shared).
+                tally
+                    .counts
+                    .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+                tally
+                    .counts
+                    .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+            }
+        }
+    }
+    // No spatial parallelism: neurons are processed "one at a time, and
+    // from time points to time points" (Section I's critique) — every
+    // position pays its own serial pass, and every event's weight column
+    // walks the whole hierarchy from off-chip (no windowed reuse; the
+    // "iterative weight data access" the paper targets).
+    tally.compute_cycles = raw_cycles;
+    tally.entries_before = raw_entries;
+    tally.entries_after = tally.entries_before;
+    let w_bits = raw_weight_bits;
+    tally
+        .counts
+        .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, w_bits);
+    tally
+        .counts
+        .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, w_bits);
+    tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
+    let in_bits = raw_event_count * AER_EVENT_BITS * row_tiles;
+    tally.counts.transfer(
+        MemLevel::GlobalBuffer,
+        MemLevel::L1,
+        DataKind::InputSpike,
+        in_bits,
+    );
+    tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+
+    tally.counts.compare_ops += m * positions * t as u64;
+    // Input events from DRAM once (event streams are compact).
+    let events = input.total_spikes();
+    tally.counts.transfer(
+        MemLevel::Dram,
+        MemLevel::GlobalBuffer,
+        DataKind::InputSpike,
+        events * AER_EVENT_BITS,
+    );
+    let out_bits = m * positions * t as u64;
+    tally
+        .counts
+        .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
+    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+    let ac = tally.counts.ac_ops;
+    tally.counts.read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    tally.counts.write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+
+    let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
+    let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
+    let cycles = tally.compute_cycles.max(dram_cycles);
+    let energy = inputs.energy.evaluate(&tally.counts);
+    LayerReport {
+        policy: Policy::EventDriven,
+        tw_size: 1,
+        energy,
+        cycles,
+        seconds: arch.cycles_to_seconds(cycles),
+        useful_ops: tally.useful_ops,
+        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        entries_before: tally.entries_before,
+        entries_after: tally.entries_after,
+        exact_pairs: 0,
+        near_pairs: 0,
+        counts: tally.counts,
+    }
+}
+
+/// Shared accumulation state while walking a layer's iteration space.
+#[derive(Debug, Default)]
+struct Tally {
+    counts: AccessCounts,
+    compute_cycles: u64,
+    useful_ops: u64,
+    entries_before: u64,
+    entries_after: u64,
+    exact_pairs: u64,
+    near_pairs: u64,
+    /// Σ over (position, column tile) of raw streamed entries — the
+    /// weight-fetch driver, independent of the row tile.
+    sum_entries_raw: u64,
+}
+
+/// Finalizes a tally into a report: applies weight/input/output movement
+/// that is computed at layer granularity, evaluates energy, and applies
+/// the bandwidth bound.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    inputs: &SimInputs,
+    policy: Policy,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    mut tally: Tally,
+    weight_resident: bool,
+    dense_input: bool,
+    tw_size: u32,
+) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    let m = u64::from(shape.out_channels());
+    let row_tiles = m.div_ceil(rows);
+    let rf = shape.receptive_field() as u64;
+    let wbits = u64::from(arch.weight_bits);
+    let pbits = u64::from(arch.potential_bits);
+    let t = input.timesteps() as u64;
+    let e2 = u64::from(shape.ofmap_side()).pow(2);
+
+    // --- Weight movement, per row tile (loop nest keeps a row tile's
+    // weights live across positions and column tiles).
+    for rt in 0..row_tiles {
+        let rows_rt = rows.min(m - rt * rows);
+        // Array-edge streaming: every raw entry delivers one weight per
+        // active row.
+        let edge = tally.sum_entries_raw * rows_rt * wbits;
+        tally.counts.read(MemLevel::L1, DataKind::Weight, edge);
+        let ws = rows_rt * rf * wbits;
+        let gb_to_l1 = if weight_resident && ws <= inputs.l1_weight_capacity_bits() {
+            ws // fetched once, stays resident for the whole row-tile pass
+        } else {
+            edge // streamed through L1 per iteration
+        };
+        tally
+            .counts
+            .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, gb_to_l1);
+        let dram = if ws <= inputs.gb_weight_capacity_bits() {
+            ws // global buffer stages the row tile once
+        } else {
+            gb_to_l1
+        };
+        tally
+            .counts
+            .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, dram);
+    }
+
+    // --- Input spikes from DRAM: silent neurons are never fetched under
+    // PTB (TB-tag-driven), while the dense baselines fetch everything.
+    let fetched_neurons = if dense_input {
+        input.neurons() as u64
+    } else {
+        input.active_neurons() as u64
+    };
+    let in_bits = fetched_neurons * t;
+    let passes = if in_bits <= inputs.gb_input_capacity_bits() {
+        1
+    } else {
+        row_tiles // refetched per row-tile pass
+    };
+    tally.counts.transfer(
+        MemLevel::Dram,
+        MemLevel::GlobalBuffer,
+        DataKind::InputSpike,
+        in_bits * passes,
+    );
+
+    // --- Output spikes: written back through the hierarchy once.
+    let out_bits = m * e2 * t;
+    tally
+        .counts
+        .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
+    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+
+    // --- Partial sums: accumulate in the PE scratchpad (read-modify-
+    // write per AC op) and are drained once per (neuron, window) by
+    // Step B.
+    let ac = tally.counts.ac_ops;
+    tally.counts.read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    tally.counts.write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    let windows = t.div_ceil(u64::from(tw_size));
+    tally
+        .counts
+        .read(MemLevel::Scratchpad, DataKind::Psum, m * e2 * windows * pbits);
+
+    // --- Latency: compute vs. off-chip bandwidth (double buffering
+    // hides the smaller; Section V-B's stall-free assumption).
+    let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
+    let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
+    let cycles = tally.compute_cycles.max(dram_cycles);
+
+    let energy = inputs.energy.evaluate(&tally.counts);
+    LayerReport {
+        policy,
+        tw_size,
+        energy,
+        cycles,
+        seconds: arch.cycles_to_seconds(cycles),
+        useful_ops: tally.useful_ops,
+        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        entries_before: tally.entries_before,
+        entries_after: tally.entries_after,
+        exact_pairs: tally.exact_pairs,
+        near_pairs: tally.near_pairs,
+        counts: tally.counts,
+    }
+}
+
+/// PTB schedule (Section IV-C), optionally with StSAP (IV-D).
+fn simulate_ptb(
+    inputs: &SimInputs,
+    stsap: bool,
+    shape: ConvShape,
+    input: &SpikeTensor,
+) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    let cols = arch.array.cols() as usize;
+    let fill = arch.array.fill_cycles();
+    let tws = inputs.tw_size;
+    let t = input.timesteps();
+    let part = WindowPartition::new(t, tws as usize);
+    let tiles = part.column_tiles(cols);
+    let m = u64::from(shape.out_channels());
+    let row_tiles = m.div_ceil(rows);
+    let e = shape.ofmap_side();
+    let pbits = u64::from(arch.potential_bits);
+
+    let mut tally = Tally::default();
+    let mut tile_tags: Vec<u128> = Vec::new();
+    let mut tile_pops: Vec<u8> = Vec::new(); // per entry × window popcounts
+
+    // Hot-loop table: spikes of each (neuron, window), computed once and
+    // reused across every overlapping receptive field.
+    let n_in = input.neurons();
+    let n_w = part.num_windows();
+    let mut win_pop = vec![0u8; n_in * n_w];
+    for n in 0..n_in {
+        for (w, s, epoch) in part.iter() {
+            win_pop[n * n_w + w] = input.popcount_range(n, s, epoch) as u8;
+        }
+    }
+
+    for x in 0..e {
+        for y in 0..e {
+            let rf = shape.receptive_field_indices(x, y);
+            for &(w0, w1) in &tiles {
+                let nw = w1 - w0;
+                let full_mask = if nw == 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << nw) - 1
+                };
+                tile_tags.clear();
+                tile_pops.clear();
+                let mut spikes_span = 0u64;
+                let mut active_windows = 0u64;
+                for &n in &rf {
+                    let mut mask = 0u128;
+                    let base = n * n_w;
+                    for (i, w) in (w0..w1).enumerate() {
+                        let c = win_pop[base + w];
+                        if c > 0 {
+                            mask |= 1 << i;
+                            spikes_span += u64::from(c);
+                        }
+                    }
+                    if mask != 0 {
+                        active_windows += u64::from(mask.count_ones());
+                        tile_tags.push(mask);
+                        for w in w0..w1 {
+                            tile_pops.push(win_pop[base + w]);
+                        }
+                    }
+                }
+                let raw = tile_tags.len() as u64;
+                if raw == 0 {
+                    continue;
+                }
+                // Lockstep streaming: each slot stalls the wavefront for
+                // the busiest column's accumulate count (the PE serially
+                // walks its psum slots), and can never go faster than the
+                // spike-link needs to deliver the TWS-bit word. An StSAP
+                // pair occupies one slot; its tags are disjoint, so per
+                // column only one member contributes work.
+                let min_beats =
+                    u64::from(tws.div_ceil(arch.spike_link_bits)).max(1);
+                let entry_cost = |i: usize| -> u64 {
+                    let s = &tile_pops[i * nw..(i + 1) * nw];
+                    u64::from(s.iter().copied().max().unwrap_or(0)).max(min_beats)
+                };
+                let mut stream_beats = 0u64;
+                let slots;
+                if stsap {
+                    let packed = pack_tile(&tile_tags, full_mask);
+                    tally.exact_pairs += packed.exact_pairs as u64 * row_tiles;
+                    tally.near_pairs += packed.near_pairs as u64 * row_tiles;
+                    slots = packed.entries_after() as u64;
+                    for slot in &packed.slots {
+                        let cost = match slot.second {
+                            None => entry_cost(slot.first),
+                            Some(second) => {
+                                let a = &tile_pops[slot.first * nw..(slot.first + 1) * nw];
+                                let b = &tile_pops[second * nw..(second + 1) * nw];
+                                u64::from(
+                                    a.iter()
+                                        .zip(b)
+                                        .map(|(&x, &y)| x + y)
+                                        .max()
+                                        .unwrap_or(0),
+                                )
+                                .max(min_beats)
+                            }
+                        };
+                        stream_beats += cost;
+                    }
+                } else {
+                    slots = raw;
+                    for i in 0..raw as usize {
+                        stream_beats += entry_cost(i);
+                    }
+                }
+                let iter_cycles = stream_beats + fill;
+                tally.compute_cycles += iter_cycles * row_tiles;
+                tally.useful_ops += spikes_span * m;
+                tally.counts.ac_ops += spikes_span * m;
+                tally.entries_before += raw * row_tiles;
+                tally.entries_after += slots * row_tiles;
+                tally.sum_entries_raw += raw;
+
+                // Input spikes staged per row-tile pass at TB granularity:
+                // only *tagged* time batches are fetched, TWS bits each —
+                // wider windows therefore pay for the zero bits they pack
+                // (Section VI-A1's input-movement growth).
+                let in_bits = active_windows * u64::from(tws) * row_tiles;
+                tally.counts.transfer(
+                    MemLevel::GlobalBuffer,
+                    MemLevel::L1,
+                    DataKind::InputSpike,
+                    in_bits,
+                );
+                tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+
+                // Membrane potentials cross column tiles once per tile.
+                tally
+                    .counts
+                    .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+                tally
+                    .counts
+                    .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+            }
+        }
+    }
+    tally.counts.compare_ops += m * u64::from(e).pow(2) * t as u64;
+    finalize(inputs, Policy::Ptb { stsap }, shape, input, tally, true, false, tws)
+}
+
+/// Dense temporal baselines: the paper's baseline \[14\]
+/// (`time_serial = false`; columns host `cols` consecutive time points,
+/// weights shared within the group only) and the conventional
+/// time-serial accelerator (`time_serial = true`; one time point at a
+/// time, columns host output positions, weights refetched every time
+/// point — Fig. 7a's alternating access).
+fn simulate_dense_temporal(
+    inputs: &SimInputs,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    time_serial: bool,
+) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    let cols = arch.array.cols() as usize;
+    let fill = arch.array.fill_cycles();
+    let t = input.timesteps();
+    let m = u64::from(shape.out_channels());
+    let row_tiles = m.div_ceil(rows);
+    let e = shape.ofmap_side();
+    let pbits = u64::from(arch.potential_bits);
+
+    let mut tally = Tally::default();
+
+    if time_serial {
+        // Columns tile output positions; every time point is a separate
+        // dense pass over the receptive field.
+        let positions = u64::from(e).pow(2);
+        let pos_tiles = positions.div_ceil(cols as u64);
+        // Each (time point, position tile) iteration streams the
+        // receptive field densely; RF length varies with padding, so sum
+        // it per position. Useful work is still gated by actual spikes.
+        let mut total_spikes_in_rf = 0u64;
+        let mut rf_total = 0u64;
+        for x in 0..e {
+            for y in 0..e {
+                let rf = shape.receptive_field_indices(x, y);
+                rf_total += rf.len() as u64;
+                for &n in &rf {
+                    total_spikes_in_rf += u64::from(input.popcount_range(n, 0, t));
+                }
+            }
+        }
+        let rf_mean = rf_total / positions.max(1);
+        let iterations = t as u64 * pos_tiles * row_tiles;
+        tally.compute_cycles = iterations * (rf_mean + fill);
+        tally.useful_ops = total_spikes_in_rf * m;
+        tally.counts.ac_ops = total_spikes_in_rf * m;
+        tally.entries_before = iterations * rf_mean;
+        tally.entries_after = tally.entries_before;
+        // Weight-fetch driver: a dense RF per (position, time point).
+        tally.sum_entries_raw = rf_total * t as u64;
+        // Input bits: one bit per tap per time point, per row tile.
+        let in_bits = rf_total * t as u64 * row_tiles;
+        tally.counts.transfer(
+            MemLevel::GlobalBuffer,
+            MemLevel::L1,
+            DataKind::InputSpike,
+            in_bits,
+        );
+        tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+        // Membrane read+write per output neuron per time point — the
+        // multi-bit movement bottleneck PTB amortizes per window.
+        let mem = m * positions * t as u64 * pbits;
+        tally.counts.read(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
+        tally.counts.write(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
+        tally.counts.compare_ops = m * positions * t as u64;
+        return finalize(
+            inputs,
+            Policy::TimeSerial,
+            shape,
+            input,
+            tally,
+            false,
+            true,
+            1,
+        );
+    }
+
+    // Baseline [14]: columns tile groups of `cols` consecutive time
+    // points (limited temporal parallelism), dense streaming.
+    let part = WindowPartition::new(t, 1);
+    let tiles = part.column_tiles(cols);
+    // Per-(neuron, time point) spike bits, precomputed once.
+    let n_in = input.neurons();
+    let mut bit_at = vec![0u8; n_in * t];
+    for n in 0..n_in {
+        for tp in 0..t {
+            bit_at[n * t + tp] = u8::from(input.get(n, tp));
+        }
+    }
+    for x in 0..e {
+        for y in 0..e {
+            let rf = shape.receptive_field_indices(x, y);
+            let rf_len = rf.len() as u64;
+            for &(w0, w1) in &tiles {
+                let mut spikes_span = 0u64;
+                let mut busiest = 0u64;
+                for tp in w0..w1 {
+                    let mut col_spikes = 0u64;
+                    for &n in &rf {
+                        col_spikes += u64::from(bit_at[n * t + tp]);
+                    }
+                    busiest = busiest.max(col_spikes);
+                    spikes_span += col_spikes;
+                }
+                let iter_cycles = rf_len.max(busiest) + fill;
+                tally.compute_cycles += iter_cycles * row_tiles;
+                tally.useful_ops += spikes_span * m;
+                tally.counts.ac_ops += spikes_span * m;
+                tally.entries_before += rf_len * row_tiles;
+                tally.entries_after += rf_len * row_tiles;
+                tally.sum_entries_raw += rf_len;
+                let span_len = (w1 - w0) as u64;
+                let in_bits = rf_len * span_len * row_tiles;
+                tally.counts.transfer(
+                    MemLevel::GlobalBuffer,
+                    MemLevel::L1,
+                    DataKind::InputSpike,
+                    in_bits,
+                );
+                tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+                tally
+                    .counts
+                    .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+                tally
+                    .counts
+                    .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+            }
+        }
+    }
+    tally.counts.compare_ops = m * u64::from(e).pow(2) * t as u64;
+    finalize(
+        inputs,
+        Policy::BaselineTemporal,
+        shape,
+        input,
+        tally,
+        false,
+        true,
+        1,
+    )
+}
+
+/// The non-spiking ANN accelerator of the Fig. 12(b) comparison: one
+/// dense pass, 8-bit activations, MAC PEs, good weight reuse
+/// (SCALE-Sim-class output-stationary mapping on the same 128-PE array).
+fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    let cols = u64::from(arch.array.cols());
+    let fill = arch.array.fill_cycles();
+    let m = u64::from(shape.out_channels());
+    let row_tiles = m.div_ceil(rows);
+    let e = shape.ofmap_side();
+    let positions = u64::from(e).pow(2);
+    let pos_tiles = positions.div_ceil(cols);
+    let abits = u64::from(arch.weight_bits); // activations share the 8-bit width
+    let pbits = u64::from(arch.potential_bits);
+
+    let mut rf_total = 0u64;
+    for x in 0..e {
+        for y in 0..e {
+            rf_total += shape.receptive_field_indices(x, y).len() as u64;
+        }
+    }
+    let rf_mean = rf_total / positions.max(1);
+
+    let mut tally = Tally::default();
+    let iterations = pos_tiles * row_tiles;
+    tally.compute_cycles = iterations * (rf_mean + fill);
+    tally.counts.mac_ops = rf_total * m;
+    tally.useful_ops = rf_total * m; // dense: every MAC is useful work
+    tally.entries_before = iterations * rf_mean;
+    tally.entries_after = tally.entries_before;
+    tally.sum_entries_raw = rf_total; // one dense pass over every position
+
+    // Activations: 8-bit, per tap per position, staged per row tile.
+    let in_bits = rf_total * abits * row_tiles;
+    tally.counts.transfer(
+        MemLevel::GlobalBuffer,
+        MemLevel::L1,
+        DataKind::InputSpike,
+        in_bits,
+    );
+    tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+    // Psums held in-PE; outputs written once as 8-bit activations.
+    let out_bits = m * positions * abits;
+    tally
+        .counts
+        .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
+    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+    tally
+        .counts
+        .read(MemLevel::Scratchpad, DataKind::Psum, tally.counts.mac_ops * pbits);
+    tally
+        .counts
+        .write(MemLevel::Scratchpad, DataKind::Psum, tally.counts.mac_ops * pbits);
+    tally.counts.compare_ops = m * positions; // ReLU
+
+    // Weight movement (resident rule), mirroring `finalize` but with the
+    // ANN's dense input already counted above; input DRAM traffic is
+    // 8-bit dense.
+    let rf = shape.receptive_field() as u64;
+    let wbits = u64::from(arch.weight_bits);
+    for rt in 0..row_tiles {
+        let rows_rt = rows.min(m - rt * rows);
+        let edge = tally.sum_entries_raw * rows_rt * wbits;
+        tally.counts.read(MemLevel::L1, DataKind::Weight, edge);
+        let ws = rows_rt * rf * wbits;
+        let gb_to_l1 = if ws <= inputs.l1_weight_capacity_bits() {
+            ws
+        } else {
+            edge
+        };
+        tally
+            .counts
+            .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, gb_to_l1);
+        let dram = if ws <= inputs.gb_weight_capacity_bits() {
+            ws
+        } else {
+            gb_to_l1
+        };
+        tally
+            .counts
+            .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, dram);
+    }
+    let in_dram = input.neurons() as u64 * abits;
+    let passes = if in_dram <= inputs.gb_input_capacity_bits() {
+        1
+    } else {
+        row_tiles
+    };
+    tally.counts.transfer(
+        MemLevel::Dram,
+        MemLevel::GlobalBuffer,
+        DataKind::InputSpike,
+        in_dram * passes,
+    );
+
+    let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
+    let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
+    let cycles = tally.compute_cycles.max(dram_cycles);
+    let energy = inputs.energy.evaluate(&tally.counts);
+    LayerReport {
+        policy: Policy::Ann,
+        tw_size: 1,
+        energy,
+        cycles,
+        seconds: arch.cycles_to_seconds(cycles),
+        useful_ops: tally.useful_ops,
+        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        entries_before: tally.entries_before,
+        entries_after: tally.entries_after,
+        exact_pairs: 0,
+        near_pairs: 0,
+        counts: tally.counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Policy;
+
+    fn small_shape() -> ConvShape {
+        ConvShape::new(6, 3, 4, 8, 1).unwrap()
+    }
+
+    fn sparse_input(shape: ConvShape, t: usize) -> SpikeTensor {
+        SpikeTensor::from_fn(shape.ifmap_neurons(), t, |n, tp| {
+            n % 3 != 2 && (n * 7 + tp * 11) % 17 == 0
+        })
+    }
+
+    #[test]
+    fn ptb_beats_baseline_on_sparse_input() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        let inputs = SimInputs::hpca22(8);
+        let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input);
+        let serial = simulate_layer(&inputs, Policy::TimeSerial, shape, &input);
+        assert!(ptb.energy_joules() < base.energy_joules());
+        assert!(ptb.cycles < base.cycles);
+        assert!(ptb.edp() < base.edp());
+        assert!(base.edp() <= serial.edp(), "limited temporal parallelism beats pure time-serial");
+    }
+
+    #[test]
+    fn stsap_reduces_slots_never_energy_increase_latency() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        let inputs = SimInputs::hpca22(8);
+        let plain = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let packed = simulate_layer(&inputs, Policy::ptb_with_stsap(), shape, &input);
+        assert!(packed.entries_after <= plain.entries_after);
+        assert!(packed.cycles <= plain.cycles);
+        assert_eq!(packed.entries_before, plain.entries_before);
+        assert_eq!(packed.counts.ac_ops, plain.counts.ac_ops, "packing never changes the work");
+    }
+
+    #[test]
+    fn ac_ops_equal_spikes_times_channels() {
+        // With no padding every input neuron appears in a known number of
+        // receptive fields; check against a brute-force count.
+        let shape = ConvShape::new(5, 3, 2, 4, 1).unwrap();
+        let input = SpikeTensor::from_fn(shape.ifmap_neurons(), 16, |n, t| (n + t) % 5 == 0);
+        let inputs = SimInputs::hpca22(4);
+        let r = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let mut expected = 0u64;
+        for x in 0..shape.ofmap_side() {
+            for y in 0..shape.ofmap_side() {
+                for n in shape.receptive_field_indices(x, y) {
+                    expected += u64::from(input.popcount_range(n, 0, 16));
+                }
+            }
+        }
+        expected *= u64::from(shape.out_channels());
+        assert_eq!(r.counts.ac_ops, expected);
+        assert_eq!(r.useful_ops, expected);
+    }
+
+    #[test]
+    fn all_snn_policies_do_identical_useful_work() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 40);
+        let inputs = SimInputs::hpca22(8);
+        let a = simulate_layer(&inputs, Policy::ptb(), shape, &input).useful_ops;
+        let b = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input).useful_ops;
+        let c = simulate_layer(&inputs, Policy::TimeSerial, shape, &input).useful_ops;
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn silent_input_costs_almost_nothing_under_ptb() {
+        let shape = small_shape();
+        let silent = SpikeTensor::new(shape.ifmap_neurons(), 64);
+        let inputs = SimInputs::hpca22(8);
+        let r = simulate_layer(&inputs, Policy::ptb(), shape, &silent);
+        assert_eq!(r.useful_ops, 0);
+        assert_eq!(r.entries_before, 0);
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &silent);
+        assert!(base.cycles > r.cycles, "dense baseline pays for silence");
+    }
+
+    #[test]
+    fn larger_tw_reduces_weight_traffic_but_grows_input_traffic() {
+        // Needs a row-tile weight working set larger than L1 so weights
+        // take the per-iteration refetch path (as every Table V layer does).
+        let shape = ConvShape::new(6, 3, 8, 32, 1).unwrap();
+        let input = sparse_input(shape, 64);
+        let w_traffic = |tw: u32| {
+            let r = simulate_layer(&SimInputs::hpca22(tw), Policy::ptb(), shape, &input);
+            (
+                r.counts.read_bits(MemLevel::GlobalBuffer, DataKind::Weight),
+                r.counts.read_bits(MemLevel::L1, DataKind::InputSpike),
+            )
+        };
+        let (w1, i1) = w_traffic(1);
+        let (w16, i16) = w_traffic(16);
+        assert!(w16 < w1, "weight traffic must shrink with TW ({w16} !< {w1})");
+        assert!(i16 > i1, "input traffic must grow with TW ({i16} !> {i1})");
+    }
+
+    #[test]
+    fn utilization_improves_with_ptb() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        let inputs = SimInputs::hpca22(8);
+        let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input);
+        assert!(ptb.utilization() > base.utilization());
+    }
+
+    #[test]
+    fn ann_runs_one_dense_pass() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        let inputs = SimInputs::hpca22(8);
+        let ann = simulate_layer(&inputs, Policy::Ann, shape, &input);
+        assert_eq!(ann.counts.ac_ops, 0);
+        assert!(ann.counts.mac_ops > 0);
+        let dense_macs: u64 = {
+            let mut rf_total = 0u64;
+            for x in 0..shape.ofmap_side() {
+                for y in 0..shape.ofmap_side() {
+                    rf_total += shape.receptive_field_indices(x, y).len() as u64;
+                }
+            }
+            rf_total * u64::from(shape.out_channels())
+        };
+        assert_eq!(ann.counts.mac_ops, dense_macs);
+    }
+
+    #[test]
+    fn event_driven_skips_silent_timepoints() {
+        let shape = small_shape();
+        let silent = SpikeTensor::new(shape.ifmap_neurons(), 64);
+        let r = simulate_layer(&SimInputs::hpca22(1), Policy::EventDriven, shape, &silent);
+        assert_eq!(r.useful_ops, 0);
+        assert_eq!(r.entries_before, 0);
+        assert_eq!(r.counts.read_bits(MemLevel::L1, DataKind::Weight), 0);
+    }
+
+    #[test]
+    fn ptb_benefit_over_event_driven_grows_with_rate() {
+        // The Fig. 12(b) trend: higher firing rates amortize PTB's
+        // windowed weight fetch better relative to per-event refetching.
+        let shape = ConvShape::new(6, 3, 8, 32, 1).unwrap();
+        let ratio_at = |num: usize, den: usize| {
+            let input = SpikeTensor::from_fn(shape.ifmap_neurons(), 64, |n, t| {
+                (n * 31 + t * 17) % den < num
+            });
+            let ptb = simulate_layer(&SimInputs::hpca22(8), Policy::ptb(), shape, &input);
+            let ev = simulate_layer(&SimInputs::hpca22(1), Policy::EventDriven, shape, &input);
+            ev.counts.read_bits(MemLevel::L1, DataKind::Weight) as f64
+                / ptb.counts.read_bits(MemLevel::L1, DataKind::Weight) as f64
+        };
+        let low = ratio_at(1, 50); // ~2% rate
+        let high = ratio_at(1, 5); // ~20% rate
+        assert!(
+            high > low,
+            "weight amortization must grow with rate: low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn event_driven_latency_suffers_without_parallelism() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        let inputs = SimInputs::hpca22(8);
+        let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let ev = simulate_layer(&SimInputs::hpca22(1), Policy::EventDriven, shape, &input);
+        assert!(ev.cycles > ptb.cycles, "fill overhead per time point dominates");
+        assert_eq!(ev.useful_ops, ptb.useful_ops);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_input_panics() {
+        let shape = small_shape();
+        let input = SpikeTensor::new(3, 8);
+        simulate_layer(&SimInputs::hpca22(8), Policy::ptb(), shape, &input);
+    }
+
+    #[test]
+    fn fc_layer_simulates() {
+        // FC as 1x1-output conv.
+        let shape = ConvShape::new(1, 1, 64, 32, 1).unwrap();
+        let input = SpikeTensor::from_fn(64, 100, |n, t| (n + t) % 9 == 0);
+        let inputs = SimInputs::hpca22(8);
+        let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input);
+        assert!(ptb.edp() < base.edp());
+    }
+}

@@ -1,0 +1,440 @@
+//! Spatiotemporally-non-overlapping Spiking Activity Packing (StSAP) —
+//! the greedy complement-packing algorithm of Section IV-D and Fig. 8.
+//!
+//! Given the *tile tags* (the TB-tag bits of the windows one array
+//! iteration processes) of the neurons about to stream, StSAP pairs
+//! neurons whose tags do not overlap: in every column (time window) at
+//! most one member of the pair has activity, so the pair shares a single
+//! streaming slot and PE idling drops. Per the paper, packing is greedy
+//! — exact 1's complements first, then the nearest (densest) disjoint
+//! tag — and at most two neurons combine.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled streaming slot: a single neuron entry or an StSAP pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Index (into the caller's entry list) of the first neuron.
+    pub first: usize,
+    /// Index of the packed partner, if any.
+    pub second: Option<usize>,
+}
+
+impl Slot {
+    /// Number of neurons in the slot (1 or 2).
+    pub fn len(&self) -> usize {
+        1 + usize::from(self.second.is_some())
+    }
+
+    /// A slot is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Result of packing one column tile's entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackResult {
+    /// Streaming slots after packing (order deterministic).
+    pub slots: Vec<Slot>,
+    /// Number of input entries before packing.
+    pub entries_before: usize,
+    /// Number of exact-complement pairs found.
+    pub exact_pairs: usize,
+    /// Number of merely-disjoint (nearest-complement) pairs found.
+    pub near_pairs: usize,
+}
+
+impl PackResult {
+    /// Streaming slots after packing.
+    pub fn entries_after(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total pairs formed.
+    pub fn pairs(&self) -> usize {
+        self.exact_pairs + self.near_pairs
+    }
+}
+
+/// Packs one column tile.
+///
+/// `tags[i]` is entry `i`'s tile tag: bit `w` set iff the neuron is
+/// active in the tile's `w`-th window. `full_mask` has one bit per
+/// window of the tile. Entries whose tag equals `full_mask` behave as
+/// bursting for this tile and stay unpacked; zero tags are not
+/// schedulable and must be filtered by the caller.
+///
+/// # Panics
+///
+/// Panics if `full_mask` is zero, or any tag is zero or has bits outside
+/// `full_mask`.
+pub fn pack_tile(tags: &[u128], full_mask: u128) -> PackResult {
+    assert!(full_mask != 0, "tile must contain at least one window");
+    let mut slots = Vec::with_capacity(tags.len());
+    // Bucket packable (non-bursting-in-tile) entries by tag value.
+    let mut buckets: HashMap<u128, Vec<usize>> = HashMap::new();
+    for (i, &t) in tags.iter().enumerate() {
+        assert!(t != 0, "silent-in-tile entries must be filtered out");
+        assert!(t & !full_mask == 0, "tag has bits outside the tile");
+        if t == full_mask {
+            slots.push(Slot {
+                first: i,
+                second: None,
+            });
+        } else {
+            buckets.entry(t).or_default().push(i);
+        }
+    }
+
+    let mut exact_pairs = 0usize;
+    // Pass 1: exact 1's complements. Deterministic order: sort masks.
+    let mut masks: Vec<u128> = buckets.keys().copied().collect();
+    masks.sort_unstable();
+    for &m in &masks {
+        let comp = full_mask & !m;
+        if m >= comp {
+            continue; // handle each unordered pair once
+        }
+        // Split borrows: take both vectors out, pair, put leftovers back.
+        let (mut a, mut b) = match (buckets.remove(&m), buckets.remove(&comp)) {
+            (Some(a), Some(b)) => (a, b),
+            (Some(a), None) => {
+                buckets.insert(m, a);
+                continue;
+            }
+            (None, _) => continue,
+        };
+        while !a.is_empty() && !b.is_empty() {
+            let (x, y) = (
+                a.pop().expect("nonempty by loop guard"),
+                b.pop().expect("nonempty by loop guard"),
+            );
+            slots.push(Slot {
+                first: x.min(y),
+                second: Some(x.max(y)),
+            });
+            exact_pairs += 1;
+        }
+        if !a.is_empty() {
+            buckets.insert(m, a);
+        }
+        if !b.is_empty() {
+            buckets.insert(comp, b);
+        }
+    }
+
+    // Pass 2: nearest non-overlapping tags among the leftovers, greedily
+    // from the densest tag down (Fig. 8c). Operates on distinct-mask
+    // classes so the cost is quadratic in distinct masks, not entries.
+    let mut classes: Vec<(u128, Vec<usize>)> = buckets.into_iter().collect();
+    classes.sort_unstable_by_key(|(m, _)| (std::cmp::Reverse(m.count_ones()), *m));
+    let mut near_pairs = 0usize;
+    for i in 0..classes.len() {
+        'outer: while !classes[i].1.is_empty() {
+            // Find the densest later class disjoint with this mask.
+            let mi = classes[i].0;
+            let mut best: Option<usize> = None;
+            for (j, (mj, ids)) in classes.iter().enumerate().skip(i + 1) {
+                if !ids.is_empty() && mi & mj == 0 {
+                    best = Some(j);
+                    break; // classes are popcount-sorted: first hit is densest
+                }
+            }
+            match best {
+                Some(j) => {
+                    let x = classes[i].1.pop().expect("nonempty by loop guard");
+                    let y = classes[j].1.pop().expect("nonempty by selection");
+                    slots.push(Slot {
+                        first: x.min(y),
+                        second: Some(x.max(y)),
+                    });
+                    near_pairs += 1;
+                }
+                None => break 'outer,
+            }
+        }
+    }
+    // Whatever remains streams unpacked.
+    for (_, ids) in classes {
+        for i in ids {
+            slots.push(Slot {
+                first: i,
+                second: None,
+            });
+        }
+    }
+
+    PackResult {
+        slots,
+        entries_before: tags.len(),
+        exact_pairs,
+        near_pairs,
+    }
+}
+
+/// Result of the generalized (group-size > 2) packing ablation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupPackResult {
+    /// Streaming groups after packing; each group's tags are pairwise
+    /// disjoint and the group has at most the configured size.
+    pub groups: Vec<Vec<usize>>,
+    /// Number of input entries before packing.
+    pub entries_before: usize,
+}
+
+impl GroupPackResult {
+    /// Streaming slots after packing.
+    pub fn entries_after(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Generalized StSAP: packs up to `max_group` mutually-disjoint entries
+/// per streaming slot, by greedy first-fit-decreasing on tag density.
+///
+/// The paper limits groups to two "to simplify the packing process";
+/// this generalization quantifies what that simplification costs (see
+/// the `ablation_stsap_limit` experiment). With `max_group == 2` the
+/// slot count matches [`pack_tile`]'s greedy pairing closely but not
+/// necessarily exactly (different greedy order).
+///
+/// # Panics
+///
+/// Panics if `max_group == 0`, `full_mask == 0`, or any tag is zero or
+/// out of the tile.
+pub fn pack_tile_grouped(tags: &[u128], full_mask: u128, max_group: usize) -> GroupPackResult {
+    assert!(max_group >= 1, "groups must hold at least one entry");
+    assert!(full_mask != 0, "tile must contain at least one window");
+    for &t in tags {
+        assert!(t != 0, "silent-in-tile entries must be filtered out");
+        assert!(t & !full_mask == 0, "tag has bits outside the tile");
+    }
+    // First-fit decreasing: densest tags first, each entry goes into the
+    // first open group it fits (disjoint, not full, not already dense).
+    let mut order: Vec<usize> = (0..tags.len()).collect();
+    order.sort_unstable_by_key(|&i| (std::cmp::Reverse(tags[i].count_ones()), tags[i], i));
+    let mut groups: Vec<(u128, Vec<usize>)> = Vec::new();
+    for i in order {
+        let t = tags[i];
+        let mut placed = false;
+        if max_group > 1 && t != full_mask {
+            for (mask, members) in groups.iter_mut() {
+                if members.len() < max_group && *mask & t == 0 && *mask != full_mask {
+                    *mask |= t;
+                    members.push(i);
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if !placed {
+            groups.push((t, vec![i]));
+        }
+    }
+    GroupPackResult {
+        groups: groups.into_iter().map(|(_, m)| m).collect(),
+        entries_before: tags.len(),
+    }
+}
+
+/// Input-density improvement of a packing: the mean fraction of
+/// (slot × window) cells carrying activity, before vs. after (Fig. 6c).
+pub fn density_gain(tags: &[u128], full_mask: u128, result: &PackResult) -> (f64, f64) {
+    let width = full_mask.count_ones() as f64;
+    let active: u32 = tags.iter().map(|t| t.count_ones()).sum();
+    let before = if tags.is_empty() {
+        0.0
+    } else {
+        f64::from(active) / (tags.len() as f64 * width)
+    };
+    let after = if result.slots.is_empty() {
+        0.0
+    } else {
+        f64::from(active) / (result.slots.len() as f64 * width)
+    };
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(r: &PackResult) -> Vec<usize> {
+        let mut v: Vec<usize> = r
+            .slots
+            .iter()
+            .flat_map(|s| [Some(s.first), s.second].into_iter().flatten())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn exact_complements_pair_up() {
+        // full = 0b1111; 0b0101 and 0b1010 are exact complements.
+        let tags = vec![0b0101, 0b1010, 0b0011, 0b1100];
+        let r = pack_tile(&tags, 0b1111);
+        assert_eq!(r.entries_after(), 2);
+        assert_eq!(r.exact_pairs, 2);
+        assert_eq!(r.near_pairs, 0);
+        assert_eq!(ids(&r), vec![0, 1, 2, 3]);
+        for s in &r.slots {
+            let a = tags[s.first];
+            let b = tags[s.second.unwrap()];
+            assert_eq!(a & b, 0);
+            assert_eq!(a | b, 0b1111);
+        }
+    }
+
+    #[test]
+    fn near_pairs_when_no_exact_complement() {
+        // 0b0001 and 0b0110 are disjoint but not complements (bit 3 unused).
+        let tags = vec![0b0001, 0b0110];
+        let r = pack_tile(&tags, 0b1111);
+        assert_eq!(r.entries_after(), 1);
+        assert_eq!(r.exact_pairs, 0);
+        assert_eq!(r.near_pairs, 1);
+    }
+
+    #[test]
+    fn overlapping_tags_stay_single() {
+        let tags = vec![0b0011, 0b0110, 0b1100];
+        // 0b0011 & 0b1100 == 0 -> one near pair; 0b0110 overlaps both.
+        let r = pack_tile(&tags, 0b1111);
+        assert_eq!(r.entries_after(), 2);
+        assert_eq!(r.pairs(), 1);
+        assert_eq!(ids(&r), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bursting_in_tile_is_never_packed() {
+        let tags = vec![0b1111, 0b1111, 0b0101, 0b1010];
+        let r = pack_tile(&tags, 0b1111);
+        assert_eq!(r.entries_after(), 3); // two bursting singles + one pair
+        let burst_slots = r
+            .slots
+            .iter()
+            .filter(|s| tags[s.first] == 0b1111)
+            .collect::<Vec<_>>();
+        assert!(burst_slots.iter().all(|s| s.second.is_none()));
+    }
+
+    #[test]
+    fn greedy_prefers_densest_partner() {
+        // Entry 0 (0b0001) could pair with 0b0110 (2 bits) or 0b0010 (1 bit).
+        // The paper's greedy picks the nearest complement = densest fit.
+        let tags = vec![0b0001, 0b0110, 0b0010];
+        let r = pack_tile(&tags, 0b0111);
+        // Densest tag processed first is 0b0110; it pairs with 0b0001.
+        let pair = r.slots.iter().find(|s| s.second.is_some()).unwrap();
+        let pair_masks = (tags[pair.first], tags[pair.second.unwrap()]);
+        assert!(pair_masks == (0b0001, 0b0110) || pair_masks == (0b0110, 0b0001));
+        assert_eq!(r.entries_after(), 2);
+    }
+
+    #[test]
+    fn every_entry_appears_exactly_once() {
+        let full = (1u128 << 8) - 1;
+        let tags: Vec<u128> = (1..=200u128).map(|i| (i * 37) % 255 + 1).map(|m| m & full).map(|m| if m == 0 { 1 } else { m }).collect();
+        let r = pack_tile(&tags, full);
+        assert_eq!(ids(&r), (0..200).collect::<Vec<_>>());
+        // All pairs are genuinely disjoint.
+        for s in &r.slots {
+            if let Some(second) = s.second {
+                assert_eq!(tags[s.first] & tags[second], 0);
+            }
+        }
+        assert!(r.entries_after() <= 200);
+        assert_eq!(
+            r.entries_after() + r.pairs(),
+            r.entries_before,
+            "each pair saves exactly one slot"
+        );
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let full = (1u128 << 6) - 1;
+        let tags: Vec<u128> = (1..=60u128).map(|i| ((i * 13) % 63) + 1).map(|m| m.min(full)).collect();
+        assert_eq!(pack_tile(&tags, full), pack_tile(&tags, full));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tag_panics() {
+        pack_tile(&[0], 0b1111);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_tile_bits_panic() {
+        pack_tile(&[0b10000], 0b1111);
+    }
+
+    #[test]
+    fn density_gain_reports_improvement() {
+        let tags = vec![0b0101, 0b1010, 0b0011, 0b1100];
+        let r = pack_tile(&tags, 0b1111);
+        let (before, after) = density_gain(&tags, 0b1111, &r);
+        assert!((before - 0.5).abs() < 1e-12);
+        assert!((after - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_packing_respects_limit_and_disjointness() {
+        let full = (1u128 << 8) - 1;
+        let tags: Vec<u128> = (0..100u128).map(|i| ((i * 37) % 255) + 1).map(|m| m & full).map(|m| if m == 0 { 1 } else { m }).collect();
+        for k in [1usize, 2, 3, 4, 8] {
+            let r = pack_tile_grouped(&tags, full, k);
+            let mut seen = vec![false; tags.len()];
+            for g in &r.groups {
+                assert!(!g.is_empty() && g.len() <= k, "group size {} > {k}", g.len());
+                let mut acc = 0u128;
+                for &i in g {
+                    assert!(!std::mem::replace(&mut seen[i], true));
+                    assert_eq!(acc & tags[i], 0, "group members must be disjoint");
+                    acc |= tags[i];
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "every entry packed exactly once");
+        }
+    }
+
+    #[test]
+    fn larger_groups_never_need_more_slots() {
+        let full = (1u128 << 8) - 1;
+        let tags: Vec<u128> = (0..200u128).map(|i| ((i * 53) % 254) + 1).collect();
+        let mut prev = usize::MAX;
+        for k in [1usize, 2, 4, 8] {
+            let slots = pack_tile_grouped(&tags, full, k).entries_after();
+            assert!(slots <= prev, "k={k}: {slots} > {prev}");
+            prev = slots;
+        }
+        // k = 1 is the unpacked case.
+        assert_eq!(pack_tile_grouped(&tags, full, 1).entries_after(), tags.len());
+    }
+
+    #[test]
+    fn grouped_pairs_match_pairwise_packer_closely() {
+        let full = (1u128 << 8) - 1;
+        let tags: Vec<u128> = (0..150u128).map(|i| ((i * 91) % 254) + 1).collect();
+        let pairwise = pack_tile(&tags, full).entries_after();
+        let grouped = pack_tile_grouped(&tags, full, 2).entries_after();
+        let diff = pairwise.abs_diff(grouped);
+        assert!(diff * 10 <= tags.len(), "greedy variants differ too much: {pairwise} vs {grouped}");
+    }
+
+    #[test]
+    fn wide_tile_masks_supported() {
+        // 100-window tile (u128 path).
+        let full = (1u128 << 100) - 1;
+        let a = (1u128 << 50) - 1; // low half
+        let b = full & !a; // high half
+        let r = pack_tile(&[a, b], full);
+        assert_eq!(r.entries_after(), 1);
+        assert_eq!(r.exact_pairs, 1);
+    }
+}

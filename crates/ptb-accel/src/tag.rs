@@ -1,0 +1,226 @@
+//! TB-tags and neuron classification (Section IV-B, Fig. 5c).
+//!
+//! A TB-tag is one bit per time window: set iff the neuron spikes
+//! anywhere inside that window. Tags drive everything sparsity-related:
+//! silent neurons are never fetched, bursting neurons stream plainly,
+//! and non-bursting neurons are candidates for StSAP packing.
+
+use serde::{Deserialize, Serialize};
+use snn_core::spike::SpikeTensor;
+
+use crate::window::WindowPartition;
+
+/// Classification of a pre-synaptic neuron by its TB-tag (Fig. 5c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeuronClass {
+    /// All-zero tag: never fetched, never scheduled.
+    Silent,
+    /// All-ones tag: streams plainly (packing it would gain nothing).
+    Bursting,
+    /// Mixed tag: StSAP packing candidate.
+    NonBursting,
+}
+
+/// A neuron's TB-tag over the full time stride: bit `w` set iff the
+/// neuron fires anywhere in window `w`.
+///
+/// ```
+/// use ptb_accel::tag::{TbTag, NeuronClass};
+/// use ptb_accel::window::WindowPartition;
+/// use snn_core::spike::SpikeTensor;
+///
+/// let mut s = SpikeTensor::new(1, 32);
+/// s.set(0, 9, true);   // window 1 of 4 (TWS = 8)
+/// let tag = TbTag::from_spikes(&s, 0, WindowPartition::new(32, 8));
+/// assert!(tag.window(1));
+/// assert!(!tag.window(0));
+/// assert_eq!(tag.classify(), NeuronClass::NonBursting);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TbTag {
+    num_windows: usize,
+    words: Vec<u64>,
+}
+
+impl TbTag {
+    /// Builds the tag of `neuron` in `spikes` under `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's period exceeds the tensor's, or the
+    /// neuron index is out of range.
+    pub fn from_spikes(spikes: &SpikeTensor, neuron: usize, partition: WindowPartition) -> Self {
+        assert!(partition.timesteps() <= spikes.timesteps());
+        let n = partition.num_windows();
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (w, s, e) in partition.iter() {
+            if spikes.popcount_range(neuron, s, e) > 0 {
+                words[w / 64] |= 1 << (w % 64);
+            }
+        }
+        TbTag {
+            num_windows: n,
+            words,
+        }
+    }
+
+    /// Builds a tag directly from a bit predicate (mainly for tests).
+    pub fn from_fn(num_windows: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut words = vec![0u64; num_windows.div_ceil(64)];
+        for w in 0..num_windows {
+            if f(w) {
+                words[w / 64] |= 1 << (w % 64);
+            }
+        }
+        TbTag { num_windows, words }
+    }
+
+    /// Number of windows the tag covers.
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// Whether window `w`'s bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn window(&self, w: usize) -> bool {
+        assert!(w < self.num_windows);
+        self.words[w / 64] & (1 << (w % 64)) != 0
+    }
+
+    /// Number of active windows (TBs this neuron generates).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Classifies the neuron per Fig. 5(c).
+    pub fn classify(&self) -> NeuronClass {
+        match self.count_ones() as usize {
+            0 => NeuronClass::Silent,
+            n if n == self.num_windows => NeuronClass::Bursting,
+            _ => NeuronClass::NonBursting,
+        }
+    }
+
+    /// True if the two tags have no common active window — the StSAP
+    /// packability condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tags cover different window counts.
+    pub fn disjoint_with(&self, other: &TbTag) -> bool {
+        assert_eq!(self.num_windows, other.num_windows);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// True if `other` is the exact 1's complement of this tag.
+    pub fn is_complement_of(&self, other: &TbTag) -> bool {
+        self.disjoint_with(other)
+            && (self.count_ones() + other.count_ones()) as usize == self.num_windows
+    }
+
+    /// Extracts windows `[w0, w1)` (at most 128) as a little-endian
+    /// mask — the *tile tag* used when scheduling one column tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid or wider than 128 windows.
+    pub fn slice_mask(&self, w0: usize, w1: usize) -> u128 {
+        assert!(w0 <= w1 && w1 <= self.num_windows);
+        assert!(w1 - w0 <= 128, "tile tags are at most 128 windows");
+        let mut out = 0u128;
+        for (i, w) in (w0..w1).enumerate() {
+            if self.words[w / 64] & (1 << (w % 64)) != 0 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the tags of every neuron in `spikes` under `partition`.
+pub fn tags_of_layer(spikes: &SpikeTensor, partition: WindowPartition) -> Vec<TbTag> {
+    (0..spikes.neurons())
+        .map(|n| TbTag::from_spikes(spikes, n, partition))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(bits: &[bool]) -> TbTag {
+        TbTag::from_fn(bits.len(), |w| bits[w])
+    }
+
+    #[test]
+    fn classification_matches_fig5c() {
+        assert_eq!(tag(&[false; 4]).classify(), NeuronClass::Silent);
+        assert_eq!(tag(&[true; 4]).classify(), NeuronClass::Bursting);
+        assert_eq!(
+            tag(&[true, false, true, false]).classify(),
+            NeuronClass::NonBursting
+        );
+    }
+
+    #[test]
+    fn from_spikes_marks_active_windows() {
+        let mut s = SpikeTensor::new(2, 40);
+        s.set(0, 0, true);
+        s.set(0, 39, true); // partial last window (TWS=16 -> windows 0..3)
+        let t = TbTag::from_spikes(&s, 0, WindowPartition::new(40, 16));
+        assert_eq!(t.num_windows(), 3);
+        assert!(t.window(0));
+        assert!(!t.window(1));
+        assert!(t.window(2));
+        let silent = TbTag::from_spikes(&s, 1, WindowPartition::new(40, 16));
+        assert_eq!(silent.classify(), NeuronClass::Silent);
+    }
+
+    #[test]
+    fn disjoint_and_complement() {
+        let a = tag(&[true, false, true, false]);
+        let b = tag(&[false, true, false, true]);
+        let c = tag(&[false, true, false, false]);
+        assert!(a.disjoint_with(&b));
+        assert!(a.is_complement_of(&b));
+        assert!(a.disjoint_with(&c));
+        assert!(!a.is_complement_of(&c));
+        assert!(!b.disjoint_with(&c));
+    }
+
+    #[test]
+    fn slice_mask_extracts_tile() {
+        let t = TbTag::from_fn(100, |w| w % 3 == 0);
+        let m = t.slice_mask(9, 17); // windows 9..17: active at 9, 12, 15
+        assert_eq!(m, 0b0100_1001);
+        assert_eq!(t.slice_mask(1, 1), 0);
+    }
+
+    #[test]
+    fn slice_mask_straddles_words() {
+        let t = TbTag::from_fn(130, |w| w == 63 || w == 64 || w == 129);
+        assert_eq!(t.slice_mask(63, 65), 0b11);
+        assert_eq!(t.slice_mask(120, 130), 1 << 9);
+    }
+
+    #[test]
+    fn tags_of_layer_covers_all_neurons() {
+        let s = SpikeTensor::from_fn(5, 24, |n, t| n == 2 && t < 8);
+        let tags = tags_of_layer(&s, WindowPartition::new(24, 8));
+        assert_eq!(tags.len(), 5);
+        assert_eq!(tags[2].classify(), NeuronClass::NonBursting);
+        assert_eq!(tags[0].classify(), NeuronClass::Silent);
+    }
+
+    #[test]
+    fn count_ones_over_long_tags() {
+        let t = TbTag::from_fn(300, |w| w % 2 == 0);
+        assert_eq!(t.count_ones(), 150);
+    }
+}

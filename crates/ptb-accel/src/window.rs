@@ -1,0 +1,156 @@
+//! Time-window partitioning of the operational period (Fig. 5c).
+//!
+//! The *time stride* (TS) — the full range of `T` time points the SNN
+//! operates over — is split into windows of `TWS` consecutive time
+//! points. The last window may be partial, which is the source of the
+//! end-of-period under-utilization the paper notes in Section VI-B2.
+
+use serde::{Deserialize, Serialize};
+
+/// A partition of `timesteps` time points into windows of size
+/// `tw_size`.
+///
+/// ```
+/// use ptb_accel::window::WindowPartition;
+/// let p = WindowPartition::new(300, 8);
+/// assert_eq!(p.num_windows(), 38);
+/// assert_eq!(p.window_range(37), (296, 300)); // partial tail window
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowPartition {
+    timesteps: usize,
+    tw_size: usize,
+}
+
+impl WindowPartition {
+    /// Creates a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tw_size` is zero or `timesteps` is zero.
+    pub fn new(timesteps: usize, tw_size: usize) -> Self {
+        assert!(tw_size > 0, "time-window size must be nonzero");
+        assert!(timesteps > 0, "operational period must be nonzero");
+        WindowPartition { timesteps, tw_size }
+    }
+
+    /// Total time points `T`.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Window size `TWS`.
+    pub fn tw_size(&self) -> usize {
+        self.tw_size
+    }
+
+    /// Number of windows, `ceil(T / TWS)`.
+    pub fn num_windows(&self) -> usize {
+        self.timesteps.div_ceil(self.tw_size)
+    }
+
+    /// Half-open time range `[start, end)` of window `w`, clamped at the
+    /// period end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn window_range(&self, w: usize) -> (usize, usize) {
+        assert!(w < self.num_windows(), "window {w} out of range");
+        let start = w * self.tw_size;
+        (start, (start + self.tw_size).min(self.timesteps))
+    }
+
+    /// Length of window `w` (equal to `TWS` except possibly the last).
+    pub fn window_len(&self, w: usize) -> usize {
+        let (s, e) = self.window_range(w);
+        e - s
+    }
+
+    /// Iterates over `(window_index, start, end)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.num_windows()).map(move |w| {
+            let (s, e) = self.window_range(w);
+            (w, s, e)
+        })
+    }
+
+    /// Splits the windows into *column tiles* of `cols` windows each —
+    /// the group of TWs one array iteration processes simultaneously.
+    /// Returns `(first_window, last_window_exclusive)` pairs.
+    pub fn column_tiles(&self, cols: usize) -> Vec<(usize, usize)> {
+        assert!(cols > 0, "column tile width must be nonzero");
+        let n = self.num_windows();
+        (0..n.div_ceil(cols))
+            .map(|i| (i * cols, ((i + 1) * cols).min(n)))
+            .collect()
+    }
+
+    /// Half-open time span `[start, end)` covered by the column tile
+    /// `(w0, w1)`.
+    pub fn tile_span(&self, w0: usize, w1: usize) -> (usize, usize) {
+        assert!(w0 < w1 && w1 <= self.num_windows());
+        (self.window_range(w0).0, self.window_range(w1 - 1).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition() {
+        let p = WindowPartition::new(64, 8);
+        assert_eq!(p.num_windows(), 8);
+        assert_eq!(p.window_range(0), (0, 8));
+        assert_eq!(p.window_range(7), (56, 64));
+        assert!(p.iter().all(|(w, s, e)| e - s == 8 && s == w * 8));
+    }
+
+    #[test]
+    fn partial_tail_window() {
+        let p = WindowPartition::new(100, 8);
+        assert_eq!(p.num_windows(), 13);
+        assert_eq!(p.window_range(12), (96, 100));
+        assert_eq!(p.window_len(12), 4);
+        assert_eq!(p.window_len(0), 8);
+    }
+
+    #[test]
+    fn tw_of_one_is_per_timepoint() {
+        let p = WindowPartition::new(10, 1);
+        assert_eq!(p.num_windows(), 10);
+        assert_eq!(p.window_range(3), (3, 4));
+    }
+
+    #[test]
+    fn tw_larger_than_period() {
+        let p = WindowPartition::new(10, 64);
+        assert_eq!(p.num_windows(), 1);
+        assert_eq!(p.window_range(0), (0, 10));
+    }
+
+    #[test]
+    fn column_tiles_cover_all_windows() {
+        let p = WindowPartition::new(300, 8); // 38 windows
+        let tiles = p.column_tiles(8);
+        assert_eq!(tiles.len(), 5);
+        assert_eq!(tiles[0], (0, 8));
+        assert_eq!(tiles[4], (32, 38));
+        let covered: usize = tiles.iter().map(|&(a, b)| b - a).sum();
+        assert_eq!(covered, 38);
+    }
+
+    #[test]
+    fn tile_span_times() {
+        let p = WindowPartition::new(300, 8);
+        assert_eq!(p.tile_span(0, 8), (0, 64));
+        assert_eq!(p.tile_span(32, 38), (256, 300));
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_out_of_range_panics() {
+        WindowPartition::new(16, 8).window_range(2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Spike-storage format comparison — the representational design point
+//! of Table IV (TB-tags + `TWS × 1-bit` words) versus the dense bitmap,
+//! SpinalFlow-style sorted address events \[13\], and run-length coding,
+//! measured on the benchmark networks' activity.
+
+use ptb_bench::RunOptions;
+use snn_core::repr::StorageReport;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    println!("=== Spike storage formats (bits, lower is better) ===\n");
+    for net in spikegen::datasets::all_benchmarks() {
+        let timesteps = opts
+            .max_timesteps
+            .map_or(net.timesteps, |cap| net.timesteps.min(cap));
+        println!("{} (T = {timesteps}):", net.name);
+        println!(
+            "  {:<8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "layer", "density", "dense", "AER [13]", "TB (TWS=8)", "RLE"
+        );
+        for (i, l) in net.layers.iter().enumerate() {
+            let neurons = l.shape.ifmap_neurons().min(20_000);
+            let s = l.input_profile.generate(neurons, timesteps, 42 + i as u64);
+            let r = StorageReport::of(&s, 8);
+            println!(
+                "  {:<8} {:>7.2}% {:>12} {:>12} {:>12} {:>12}",
+                l.name,
+                s.density() * 100.0,
+                r.dense,
+                r.aer,
+                r.tb_format,
+                r.run_length
+            );
+        }
+        println!();
+    }
+    println!("observations: at trained-network sparsity every compact format");
+    println!("beats the dense bitmap; AER wins at extreme sparsity (SpinalFlow's");
+    println!("regime) while the TB format stays within a small factor of it AND");
+    println!("preserves the fixed-width windowed layout the PTB dataflow needs —");
+    println!("the representational trade the two architectures take differently.");
+}

@@ -1,0 +1,54 @@
+//! Table IV — architecture specification of the simulated accelerator.
+//!
+//! Prints the reproduction's defaults next to the paper's values.
+
+use systolic_sim::ArchConfig;
+
+fn main() {
+    let a = ArchConfig::hpca22();
+    println!("Table IV: Architecture specifications");
+    println!("{:<28} {:<20} This reproduction", "Component", "Paper");
+    println!(
+        "{:<28} {:<20} {}",
+        "Number of PEs",
+        "128",
+        a.array.pe_count()
+    );
+    println!(
+        "{:<28} {:<20} {} ({} rows x {} cols)",
+        "Array dimension",
+        "16x8",
+        a.array,
+        a.array.rows(),
+        a.array.cols()
+    );
+    println!(
+        "{:<28} {:<20} {}-bit adder + comparator",
+        "ALU in PEs", "Adder, Comparator 8-bit", a.weight_bits
+    );
+    println!(
+        "{:<28} {:<20} {} KB",
+        "Global buffer size",
+        "54KB",
+        a.global_buffer_bytes / 1024
+    );
+    println!(
+        "{:<28} {:<20} {} KB / {} x 8-bit",
+        "L1 / Scratchpad",
+        "2KB / 96 x 8-bit",
+        a.l1_bytes / 1024,
+        a.psum_slots()
+    );
+    println!(
+        "{:<28} {:<20} {:.0} GB/s",
+        "DRAM bandwidth",
+        "30GB/sec",
+        a.dram_bandwidth_bytes_per_s / 1e9
+    );
+    println!(
+        "{:<28} {:<20} weight/potential {}-bit, spikes TWS x 1-bit",
+        "Bit precisions", "8-bit + TWS x 1-bit", a.potential_bits
+    );
+    a.validate().expect("table IV configuration is valid");
+    println!("\nconfiguration validated OK");
+}

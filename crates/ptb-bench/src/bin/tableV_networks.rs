@@ -1,0 +1,34 @@
+//! Table V — CONV/FC layer shape configurations of the three benchmark
+//! networks, as encoded by `spikegen::datasets`.
+
+fn main() {
+    println!("Table V: layer shapes (H, R, E, C, M) per network\n");
+    for net in spikegen::datasets::all_benchmarks() {
+        println!("{} (timesteps: {})", net.name, net.timesteps);
+        println!(
+            "  {:<8} {:>5} {:>4} {:>4} {:>6} {:>6} {:>12} {:>14}",
+            "Layer", "H", "R", "E", "C", "M", "weights", "dense ops/t"
+        );
+        for l in &net.layers {
+            let s = l.shape;
+            println!(
+                "  {:<8} {:>5} {:>4} {:>4} {:>6} {:>6} {:>12} {:>14}",
+                l.name,
+                s.ifmap_side(),
+                s.filter_side(),
+                s.ofmap_side(),
+                s.in_channels(),
+                s.out_channels(),
+                s.weight_count(),
+                s.ops_per_timestep()
+            );
+        }
+        println!(
+            "  total weights: {} ({:.1} MB at 8-bit)\n",
+            net.total_weights(),
+            net.total_weights() as f64 / 1e6
+        );
+    }
+    println!("note: AlexNet CONV1 uses the 227x227 input convention so E = 55");
+    println!("is exact with stride 4 (see spikegen::datasets module docs).");
+}

@@ -1,0 +1,236 @@
+//! Shared experiment plumbing: generate a benchmark network's activity,
+//! run every layer through the accelerator model, and format results.
+
+use ptb_accel::config::{Policy, SimInputs};
+use ptb_accel::report::NetworkReport;
+use ptb_accel::sim::simulate_layer;
+use spikegen::NetworkSpec;
+
+/// Options controlling an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// RNG seed for the synthetic activity.
+    pub seed: u64,
+    /// If set, spatially crop every CONV layer so its output side is at
+    /// most this value (statistically equivalent positions; results per
+    /// position are unchanged, totals shrink). `None` = full size.
+    pub max_ofmap_side: Option<u32>,
+    /// If set, truncate the operational period to at most this many time
+    /// points (for quick runs; full runs use the spec's `T`).
+    pub max_timesteps: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 42,
+            max_ofmap_side: None,
+            max_timesteps: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Full-fidelity run of the paper's configuration.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A reduced-scale run for smoke tests and Criterion benches:
+    /// cropped feature maps, shortened period.
+    pub fn quick() -> Self {
+        RunOptions {
+            seed: 42,
+            max_ofmap_side: Some(8),
+            max_timesteps: Some(64),
+        }
+    }
+
+    /// Reads `PTB_QUICK=1` from the environment to let every experiment
+    /// binary run in seconds instead of minutes when iterating.
+    pub fn from_env() -> Self {
+        if std::env::var("PTB_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+
+    /// The shape to simulate for `spec` under these options: the spec's
+    /// own shape, spatially cropped (channels, filter, stride, padding
+    /// preserved; ifmap shrunk so the ofmap side fits `max_ofmap_side`).
+    pub fn effective_shape(&self, spec: &spikegen::LayerSpec) -> snn_core::shape::ConvShape {
+        let s = spec.shape;
+        let Some(cap) = self.max_ofmap_side else {
+            return s;
+        };
+        if s.ofmap_side() <= cap {
+            return s;
+        }
+        // Smallest padded ifmap producing `cap` outputs:
+        // H' = (cap-1)·U + R − 2·pad.
+        let h = (cap - 1) * s.stride() + s.filter_side();
+        let h = h.saturating_sub(2 * s.padding()).max(s.filter_side());
+        snn_core::shape::ConvShape::with_padding(
+            h,
+            s.filter_side(),
+            s.in_channels(),
+            s.out_channels(),
+            s.stride(),
+            s.padding(),
+        )
+        .expect("cropped shape remains valid")
+    }
+}
+
+/// Runs every layer of `spec` under `policy` at time-window size `tw`,
+/// with full-fidelity options.
+pub fn run_network(spec: &NetworkSpec, policy: Policy, tw: u32) -> NetworkReport {
+    run_network_with(spec, policy, tw, &RunOptions::full())
+}
+
+/// Runs every layer of `spec` under `policy` at `tw`, honoring `opts`.
+pub fn run_network_with(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tw: u32,
+    opts: &RunOptions,
+) -> NetworkReport {
+    let inputs = SimInputs::hpca22(tw);
+    let timesteps = opts
+        .max_timesteps
+        .map_or(spec.timesteps, |cap| spec.timesteps.min(cap));
+    // Layers are independent: simulate them in parallel.
+    let layers = std::thread::scope(|scope| {
+        let handles: Vec<_> = spec
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                scope.spawn(move || {
+                    let shape = opts.effective_shape(layer);
+                    let activity = layer.input_profile.generate(
+                        shape.ifmap_neurons(),
+                        timesteps,
+                        opts.seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(i as u64),
+                    );
+                    let report = simulate_layer(&inputs, policy, shape, &activity);
+                    (layer.name.clone(), report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("layer simulation must not panic"))
+            .collect()
+    });
+    NetworkReport::new(spec.name.clone(), layers)
+}
+
+/// One row of a TW sweep: per-TW normalized energy, latency, and EDP
+/// relative to a reference (typically the baseline).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Time-window size.
+    pub tw: u32,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Latency in seconds.
+    pub seconds: f64,
+    /// Total EDP (joule-seconds, per-layer products summed).
+    pub edp: f64,
+}
+
+/// Runs a TW sweep of `policy` over `spec` and returns the rows.
+pub fn sweep_summary(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tws: &[u32],
+    opts: &RunOptions,
+) -> Vec<SweepRow> {
+    tws.iter()
+        .map(|&tw| {
+            let r = run_network_with(spec, policy, tw, opts);
+            SweepRow {
+                tw,
+                energy_j: r.total_energy_joules(),
+                seconds: r.total_seconds(),
+                edp: r.total_edp(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_reports_for_every_layer() {
+        let spec = spikegen::dvs_gesture();
+        let r = run_network_with(&spec, Policy::ptb(), 8, &RunOptions::quick());
+        assert_eq!(r.layers.len(), spec.layers.len());
+        assert!(r.total_energy_joules() > 0.0);
+        assert!(r.total_edp() > 0.0);
+    }
+
+    #[test]
+    fn cropping_reduces_cost_but_keeps_fc_layers() {
+        let spec = spikegen::dvs_gesture();
+        let quick = run_network_with(&spec, Policy::ptb(), 8, &RunOptions::quick());
+        // FC2 (1x1) is unaffected by cropping; CONV totals must shrink.
+        let full_shape = spec.layers[4].shape;
+        assert_eq!(full_shape.ofmap_side(), 1);
+        assert!(quick.total_energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn ptb_beats_baseline_at_network_scale_quick() {
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions::quick();
+        let ptb = run_network_with(&spec, Policy::ptb_with_stsap(), 8, &opts);
+        let base = run_network_with(&spec, Policy::BaselineTemporal, 1, &opts);
+        assert!(
+            ptb.total_edp() < base.total_edp() / 5.0,
+            "expected a large EDP win, got {} vs {}",
+            ptb.total_edp(),
+            base.total_edp()
+        );
+    }
+
+    #[test]
+    fn effective_shape_crops_to_cap_preserving_structure() {
+        let spec = spikegen::alexnet();
+        let opts = RunOptions::quick(); // cap 8
+        for l in &spec.layers {
+            let s = opts.effective_shape(l);
+            assert!(s.ofmap_side() <= 8.max(l.shape.ofmap_side().min(8)), "{}", l.name);
+            assert_eq!(s.in_channels(), l.shape.in_channels());
+            assert_eq!(s.out_channels(), l.shape.out_channels());
+            assert_eq!(s.filter_side(), l.shape.filter_side());
+            assert_eq!(s.stride(), l.shape.stride());
+            if l.shape.ofmap_side() > 8 {
+                assert_eq!(s.ofmap_side(), 8, "{} crops exactly to the cap", l.name);
+            } else {
+                assert_eq!(s, l.shape, "{} small layers pass through", l.name);
+            }
+        }
+        // Full fidelity never crops.
+        let full = RunOptions::full();
+        for l in &spec.layers {
+            assert_eq!(full.effective_shape(l), l.shape);
+        }
+    }
+
+    #[test]
+    fn sweep_rows_cover_requested_tws() {
+        let spec = spikegen::dvs_gesture();
+        let rows = sweep_summary(&spec, Policy::ptb(), &[1, 8], &RunOptions::quick());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tw, 1);
+        assert_eq!(rows[1].tw, 8);
+        assert!(rows.iter().all(|r| r.edp > 0.0));
+    }
+}

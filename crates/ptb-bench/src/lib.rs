@@ -1,0 +1,13 @@
+//! # ptb-bench
+//!
+//! Experiment harness for the HPCA'22 PTB reproduction: utilities shared
+//! by the per-figure/table binaries in `src/bin/` (see DESIGN.md §6 for
+//! the experiment index) and by the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod plot;
+
+pub use harness::{run_network, run_network_with, sweep_summary, RunOptions};

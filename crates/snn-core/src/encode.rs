@@ -1,0 +1,166 @@
+//! Spike encoders: converting analog frames into spike trains.
+//!
+//! SNNs consume binary events; real deployments get them from a DVS
+//! camera, while benchmarks built on frame data (e.g. the CIFAR10
+//! comparison in Fig. 12b) first *encode* intensities into spikes.
+//! Two widely used schemes are provided:
+//!
+//! * [`RateEncoder`] — Bernoulli/Poisson rate coding: a value `v ∈ \[0,1\]`
+//!   fires each time point with probability `v`.
+//! * [`LatencyEncoder`] — temporal (time-to-first-spike) coding: larger
+//!   values fire earlier, each neuron at most once (the restrictive
+//!   regime SpinalFlow \[13\] targets, included here so the comparison in
+//!   Table II can be exercised).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Result, SnnError};
+use crate::spike::SpikeTensor;
+
+/// Bernoulli rate encoder: independent per-time-point firing with
+/// probability equal to the (clamped) input intensity.
+///
+/// ```
+/// use snn_core::encode::RateEncoder;
+/// let enc = RateEncoder::new(42);
+/// let spikes = enc.encode(&[0.0, 1.0], 100).unwrap();
+/// assert_eq!(spikes.fire_count(0), 0);
+/// assert_eq!(spikes.fire_count(1), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateEncoder {
+    seed: u64,
+}
+
+impl RateEncoder {
+    /// Creates a rate encoder with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RateEncoder { seed }
+    }
+
+    /// Encodes `values` (clamped to `\[0, 1\]`) into `timesteps` of
+    /// Bernoulli spikes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if any value is non-finite.
+    pub fn encode(&self, values: &[f32], timesteps: usize) -> Result<SpikeTensor> {
+        if let Some(v) = values.iter().find(|v| !v.is_finite()) {
+            return Err(SnnError::invalid_config(format!(
+                "rate encoder input must be finite, got {v}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = SpikeTensor::new(values.len(), timesteps);
+        for (n, &v) in values.iter().enumerate() {
+            let p = v.clamp(0.0, 1.0) as f64;
+            for t in 0..timesteps {
+                if rng.gen_bool(p) {
+                    out.set(n, t, true);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Time-to-first-spike encoder: value `v ∈ \[0, 1\]` produces exactly one
+/// spike at time `round((1 − v) · (T − 1))`; `v == 0` stays silent.
+///
+/// ```
+/// use snn_core::encode::LatencyEncoder;
+/// let spikes = LatencyEncoder.encode(&[1.0, 0.5, 0.0], 11).unwrap();
+/// assert!(spikes.get(0, 0));          // strongest input fires first
+/// assert!(spikes.get(1, 5));          // weaker input fires later
+/// assert_eq!(spikes.fire_count(2), 0); // zero input never fires
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyEncoder;
+
+impl LatencyEncoder {
+    /// Encodes `values` into at-most-one-spike trains over `timesteps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `timesteps == 0` or any
+    /// value is non-finite.
+    pub fn encode(&self, values: &[f32], timesteps: usize) -> Result<SpikeTensor> {
+        if timesteps == 0 {
+            return Err(SnnError::invalid_config(
+                "latency encoding needs at least one time point",
+            ));
+        }
+        if let Some(v) = values.iter().find(|v| !v.is_finite()) {
+            return Err(SnnError::invalid_config(format!(
+                "latency encoder input must be finite, got {v}"
+            )));
+        }
+        let mut out = SpikeTensor::new(values.len(), timesteps);
+        for (n, &v) in values.iter().enumerate() {
+            let v = v.clamp(0.0, 1.0);
+            if v > 0.0 {
+                let t = ((1.0 - v) * (timesteps - 1) as f32).round() as usize;
+                out.set(n, t.min(timesteps - 1), true);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_encoder_is_deterministic_per_seed() {
+        let vals = [0.3f32, 0.7, 0.1];
+        let a = RateEncoder::new(7).encode(&vals, 200).unwrap();
+        let b = RateEncoder::new(7).encode(&vals, 200).unwrap();
+        assert_eq!(a, b);
+        let c = RateEncoder::new(8).encode(&vals, 200).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_encoder_hits_expected_rate() {
+        let spikes = RateEncoder::new(1).encode(&[0.25], 4000).unwrap();
+        let rate = spikes.firing_rate(0);
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn rate_encoder_clamps() {
+        let spikes = RateEncoder::new(1).encode(&[-0.5, 1.5], 50).unwrap();
+        assert_eq!(spikes.fire_count(0), 0);
+        assert_eq!(spikes.fire_count(1), 50);
+    }
+
+    #[test]
+    fn rate_encoder_rejects_nan() {
+        assert!(RateEncoder::new(1).encode(&[f32::NAN], 10).is_err());
+    }
+
+    #[test]
+    fn latency_encoder_at_most_one_spike() {
+        let vals: Vec<f32> = (0..20).map(|i| i as f32 / 19.0).collect();
+        let spikes = LatencyEncoder.encode(&vals, 32).unwrap();
+        for n in 0..vals.len() {
+            assert!(spikes.fire_count(n) <= 1);
+        }
+        // extreme temporal sparsity: density = active / (N*T)
+        assert!(spikes.density() < 1.0 / 20.0);
+    }
+
+    #[test]
+    fn latency_encoder_orders_by_magnitude() {
+        let spikes = LatencyEncoder.encode(&[0.9, 0.2], 100).unwrap();
+        let t_of = |n: usize| (0..100).find(|&t| spikes.get(n, t)).unwrap();
+        assert!(t_of(0) < t_of(1));
+    }
+
+    #[test]
+    fn latency_encoder_rejects_zero_timesteps() {
+        assert!(LatencyEncoder.encode(&[0.5], 0).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types shared across the SNN substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SnnError>;
+
+/// Errors raised while constructing or simulating spiking networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnnError {
+    /// A layer shape parameter is inconsistent (e.g. the filter is larger
+    /// than the input feature map, or the stride does not evenly divide).
+    InvalidShape {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An input tensor's neuron count or timestep count does not match
+    /// what the consumer expects.
+    DimensionMismatch {
+        /// What the consumer expected.
+        expected: usize,
+        /// What was supplied.
+        actual: usize,
+        /// Which dimension mismatched ("neurons", "timesteps", ...).
+        what: &'static str,
+    },
+    /// An index was out of bounds for the addressed structure.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        len: usize,
+        /// Which structure was indexed.
+        what: &'static str,
+    },
+    /// A configuration value is outside its legal range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::InvalidShape { reason } => {
+                write!(f, "invalid layer shape: {reason}")
+            }
+            SnnError::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "dimension mismatch on {what}: expected {expected}, got {actual}"
+            ),
+            SnnError::IndexOutOfBounds { index, len, what } => {
+                write!(f, "index {index} out of bounds for {what} of length {len}")
+            }
+            SnnError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnnError {}
+
+impl SnnError {
+    /// Builds an [`SnnError::InvalidShape`] from anything displayable.
+    pub fn invalid_shape(reason: impl fmt::Display) -> Self {
+        SnnError::InvalidShape {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds an [`SnnError::InvalidConfig`] from anything displayable.
+    pub fn invalid_config(reason: impl fmt::Display) -> Self {
+        SnnError::InvalidConfig {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SnnError::invalid_shape("filter larger than ifmap");
+        assert_eq!(
+            e.to_string(),
+            "invalid layer shape: filter larger than ifmap"
+        );
+        let e = SnnError::DimensionMismatch {
+            expected: 4,
+            actual: 7,
+            what: "neurons",
+        };
+        assert_eq!(e.to_string(), "dimension mismatch on neurons: expected 4, got 7");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SnnError>();
+    }
+
+    #[test]
+    fn index_out_of_bounds_display() {
+        let e = SnnError::IndexOutOfBounds {
+            index: 10,
+            len: 5,
+            what: "spike tensor neurons",
+        };
+        assert!(e.to_string().contains("index 10"));
+        assert!(e.to_string().contains("length 5"));
+    }
+}

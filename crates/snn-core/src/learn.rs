@@ -1,0 +1,210 @@
+//! A minimal spike-based learning rule, demonstrating that the SNN
+//! substrate genuinely learns.
+//!
+//! The paper's Table VI cites accuracies of networks trained with
+//! TSSL-BP \[20\]; full backpropagation training is out of the
+//! accelerator-reproduction scope (see DESIGN.md §5). Instead this module
+//! implements a **spike-count delta rule** — a perceptron-style update on
+//! a readout [`SpikingFc`] layer driven by per-neuron firing rates —
+//! which is sufficient to show above-chance learning on rate-coded tasks
+//! (exercised by `examples/snn_inference.rs` and the integration tests).
+
+use crate::error::{Result, SnnError};
+use crate::layer::SpikingFc;
+use crate::spike::SpikeTensor;
+
+/// One labelled training sample: an input spike tensor and its class.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Input spike activity.
+    pub spikes: SpikeTensor,
+    /// Target class index (an output-neuron index of the readout layer).
+    pub label: usize,
+}
+
+/// Spike-count delta-rule trainer for a readout [`SpikingFc`] layer.
+///
+/// Per sample: run the layer, find the output neuron with the highest
+/// spike count; if it differs from the label, potentiate the label
+/// neuron's weights and depress the wrong winner's weights, each in
+/// proportion to the input firing rates.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaTrainer {
+    /// Learning rate applied to the rate-weighted updates.
+    pub learning_rate: f32,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+}
+
+impl Default for DeltaTrainer {
+    fn default() -> Self {
+        DeltaTrainer {
+            learning_rate: 0.05,
+            epochs: 10,
+        }
+    }
+}
+
+impl DeltaTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the learning rate is not
+    /// finite and positive or `epochs == 0`.
+    pub fn new(learning_rate: f32, epochs: usize) -> Result<Self> {
+        if !learning_rate.is_finite() || learning_rate <= 0.0 {
+            return Err(SnnError::invalid_config(format!(
+                "learning rate must be finite and positive, got {learning_rate}"
+            )));
+        }
+        if epochs == 0 {
+            return Err(SnnError::invalid_config("epochs must be nonzero"));
+        }
+        Ok(DeltaTrainer {
+            learning_rate,
+            epochs,
+        })
+    }
+
+    /// Trains `layer` in place; returns per-epoch training accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if any sample does not match the layer,
+    /// or [`SnnError::IndexOutOfBounds`] if a label exceeds the output
+    /// count.
+    pub fn train(&self, layer: &mut SpikingFc, samples: &[Sample]) -> Result<Vec<f64>> {
+        let outputs = layer.shape().outputs() as usize;
+        for s in samples {
+            if s.label >= outputs {
+                return Err(SnnError::IndexOutOfBounds {
+                    index: s.label,
+                    len: outputs,
+                    what: "class labels",
+                });
+            }
+        }
+        let mut history = Vec::with_capacity(self.epochs);
+        for _ in 0..self.epochs {
+            let mut correct = 0usize;
+            for s in samples {
+                let predicted = predict(layer, &s.spikes)?;
+                if predicted == s.label {
+                    correct += 1;
+                    continue;
+                }
+                // Potentiate the target row, depress the wrong winner,
+                // both scaled by each input neuron's firing rate.
+                let n_in = layer.shape().inputs();
+                for i in 0..n_in {
+                    let rate = s.spikes.firing_rate(i as usize) as f32;
+                    if rate == 0.0 {
+                        continue;
+                    }
+                    *layer.weight_mut(s.label as u32, i) += self.learning_rate * rate;
+                    *layer.weight_mut(predicted as u32, i) -= self.learning_rate * rate;
+                }
+            }
+            history.push(correct as f64 / samples.len().max(1) as f64);
+        }
+        Ok(history)
+    }
+
+    /// Classification accuracy of `layer` over `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn accuracy(&self, layer: &SpikingFc, samples: &[Sample]) -> Result<f64> {
+        let mut correct = 0usize;
+        for s in samples {
+            if predict(layer, &s.spikes)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len().max(1) as f64)
+    }
+}
+
+/// Rate-decoding prediction: the output neuron with the most spikes.
+///
+/// # Errors
+///
+/// Propagates the layer's dimension check.
+pub fn predict(layer: &SpikingFc, input: &SpikeTensor) -> Result<usize> {
+    let out = layer.forward(input)?;
+    Ok((0..out.neurons())
+        .max_by_key(|&n| out.fire_count(n))
+        .unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::NeuronConfig;
+    use crate::shape::FcShape;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two-class task: class k has high firing rate on half k of the
+    /// input neurons and low rate on the other half.
+    fn make_samples(n: usize, inputs: usize, timesteps: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|k| {
+                let label = k % 2;
+                let spikes = SpikeTensor::from_fn(inputs, timesteps, |i, _| {
+                    let hot = (i < inputs / 2) == (label == 0);
+                    rng.gen_bool(if hot { 0.4 } else { 0.05 })
+                });
+                Sample { spikes, label }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_two_class_rate_task() {
+        let samples = make_samples(40, 16, 40, 3);
+        let mut layer = SpikingFc::zeros(FcShape::new(16, 2).unwrap(), NeuronConfig::if_model(1.0));
+        let trainer = DeltaTrainer::new(0.1, 15).unwrap();
+        trainer.train(&mut layer, &samples).unwrap();
+        let test = make_samples(40, 16, 40, 99);
+        let acc = trainer.accuracy(&layer, &test).unwrap();
+        assert!(acc > 0.9, "expected >90% accuracy, got {acc}");
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let samples = vec![Sample {
+            spikes: SpikeTensor::full(4, 5),
+            label: 3,
+        }];
+        let mut layer = SpikingFc::zeros(FcShape::new(4, 2).unwrap(), NeuronConfig::if_model(1.0));
+        assert!(DeltaTrainer::default().train(&mut layer, &samples).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        assert!(DeltaTrainer::new(0.0, 5).is_err());
+        assert!(DeltaTrainer::new(-1.0, 5).is_err());
+        assert!(DeltaTrainer::new(f32::NAN, 5).is_err());
+        assert!(DeltaTrainer::new(0.1, 0).is_err());
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_zero() {
+        let layer = SpikingFc::zeros(FcShape::new(4, 2).unwrap(), NeuronConfig::if_model(1.0));
+        assert_eq!(DeltaTrainer::default().accuracy(&layer, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn training_history_has_epoch_entries() {
+        let samples = make_samples(10, 8, 20, 5);
+        let mut layer = SpikingFc::zeros(FcShape::new(8, 2).unwrap(), NeuronConfig::if_model(1.0));
+        let trainer = DeltaTrainer::new(0.05, 7).unwrap();
+        let hist = trainer.train(&mut layer, &samples).unwrap();
+        assert_eq!(hist.len(), 7);
+        assert!(hist.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+}

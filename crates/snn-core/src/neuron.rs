@@ -1,0 +1,222 @@
+//! Spiking neuron models: leaky integrate-and-fire (LIF) and
+//! integrate-and-fire (IF) dynamics (Eqs. 1–3 of the paper).
+//!
+//! At each time point the neuron:
+//! 1. integrates synaptic input `p[t]` (done by the layer),
+//! 2. updates its membrane potential `v[t] = v[t−1] + p[t] − V_leak`,
+//! 3. fires iff `v[t] ≥ V_th`, resetting `v[t] = 0` on a spike.
+//!
+//! The IF model is the LIF model with `V_leak = 0`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SnnError};
+
+/// Which of the two paper-supported neuron models to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeuronKind {
+    /// Leaky integrate-and-fire: a constant leak is subtracted each step.
+    Lif,
+    /// Integrate-and-fire: no leak.
+    If,
+}
+
+/// Parameters of a spiking neuron population.
+///
+/// ```
+/// use snn_core::neuron::NeuronConfig;
+/// let lif = NeuronConfig::lif(1.0, 0.05);
+/// let mut v = 0.0;
+/// // Sub-threshold input accumulates minus the leak.
+/// assert!(!lif.step(&mut v, 0.5));
+/// assert!((v - 0.45).abs() < 1e-9);
+/// // Crossing the threshold fires and resets.
+/// assert!(lif.step(&mut v, 0.7));
+/// assert_eq!(v, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuronConfig {
+    kind: NeuronKind,
+    v_threshold: f32,
+    v_leak: f32,
+}
+
+impl NeuronConfig {
+    /// Creates a LIF configuration with firing threshold `v_threshold`
+    /// and per-step leak `v_leak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_threshold <= 0` or `v_leak < 0` — thresholds must be
+    /// positive for the all-or-none firing semantics of Eq. 3 to be
+    /// meaningful. Use [`NeuronConfig::try_lif`] for a fallible variant.
+    pub fn lif(v_threshold: f32, v_leak: f32) -> Self {
+        Self::try_lif(v_threshold, v_leak).expect("invalid LIF parameters")
+    }
+
+    /// Fallible variant of [`NeuronConfig::lif`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `v_threshold <= 0`, if
+    /// `v_leak < 0`, or if either parameter is non-finite.
+    pub fn try_lif(v_threshold: f32, v_leak: f32) -> Result<Self> {
+        if !v_threshold.is_finite() || v_threshold <= 0.0 {
+            return Err(SnnError::invalid_config(format!(
+                "threshold must be finite and positive, got {v_threshold}"
+            )));
+        }
+        if !v_leak.is_finite() || v_leak < 0.0 {
+            return Err(SnnError::invalid_config(format!(
+                "leak must be finite and non-negative, got {v_leak}"
+            )));
+        }
+        Ok(NeuronConfig {
+            kind: NeuronKind::Lif,
+            v_threshold,
+            v_leak,
+        })
+    }
+
+    /// Creates an IF configuration (no leak) with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_threshold <= 0` or non-finite.
+    pub fn if_model(v_threshold: f32) -> Self {
+        let mut cfg = Self::lif(v_threshold, 0.0);
+        cfg.kind = NeuronKind::If;
+        cfg
+    }
+
+    /// The neuron model kind.
+    pub fn kind(&self) -> NeuronKind {
+        self.kind
+    }
+
+    /// Firing threshold `V_th`.
+    pub fn threshold(&self) -> f32 {
+        self.v_threshold
+    }
+
+    /// Per-step leak `V_leak` (always `0.0` for [`NeuronKind::If`]).
+    pub fn leak(&self) -> f32 {
+        self.v_leak
+    }
+
+    /// Advances one neuron by one time point.
+    ///
+    /// `membrane` is the neuron's potential `v[t−1]` on entry and `v[t]`
+    /// on exit; `input` is the integrated synaptic input `p[t]` (Step 1).
+    /// Returns `true` iff the neuron fires at this time point, in which
+    /// case the membrane is reset to zero (Eq. 3's hard reset).
+    #[inline]
+    pub fn step(&self, membrane: &mut f32, input: f32) -> bool {
+        let mut v = *membrane + input - self.v_leak;
+        // Membrane potentials are clamped at zero from below: a pure leak
+        // never drives the potential negative without input, matching the
+        // behaviour of the rectified LIF used by TSSL-BP-trained nets.
+        if v < 0.0 {
+            v = 0.0;
+        }
+        if v >= self.v_threshold {
+            *membrane = 0.0;
+            true
+        } else {
+            *membrane = v;
+            false
+        }
+    }
+
+    /// Runs a full spike-response pass over a pre-integrated input
+    /// sequence, returning the output spike train as booleans.
+    ///
+    /// This is the reference "Step 2 + Step 3" serial evaluation used by
+    /// the property tests to validate the batched accelerator math.
+    pub fn run(&self, inputs: &[f32]) -> Vec<bool> {
+        let mut v = 0.0f32;
+        inputs.iter().map(|&p| self.step(&mut v, p)).collect()
+    }
+}
+
+impl Default for NeuronConfig {
+    /// A LIF neuron with unit threshold and 1 % leak, a reasonable
+    /// default for rate-coded networks.
+    fn default() -> Self {
+        NeuronConfig::lif(1.0, 0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn if_never_leaks() {
+        let n = NeuronConfig::if_model(10.0);
+        let mut v = 5.0;
+        assert!(!n.step(&mut v, 0.0));
+        assert_eq!(v, 5.0);
+        assert_eq!(n.kind(), NeuronKind::If);
+        assert_eq!(n.leak(), 0.0);
+    }
+
+    #[test]
+    fn lif_leaks_toward_zero_but_not_below() {
+        let n = NeuronConfig::lif(10.0, 1.0);
+        let mut v = 1.5;
+        n.step(&mut v, 0.0);
+        assert!((v - 0.5).abs() < 1e-6);
+        n.step(&mut v, 0.0);
+        assert_eq!(v, 0.0);
+        n.step(&mut v, 0.0);
+        assert_eq!(v, 0.0, "leak must not drive membrane negative");
+    }
+
+    #[test]
+    fn fires_exactly_at_threshold() {
+        let n = NeuronConfig::if_model(1.0);
+        let mut v = 0.0;
+        assert!(n.step(&mut v, 1.0), "v == V_th must fire (Eq. 3 uses >=)");
+        assert_eq!(v, 0.0, "hard reset after firing");
+    }
+
+    #[test]
+    fn sub_threshold_accumulates() {
+        let n = NeuronConfig::if_model(1.0);
+        let spikes = n.run(&[0.4, 0.4, 0.4]);
+        assert_eq!(spikes, vec![false, false, true]);
+    }
+
+    #[test]
+    fn run_matches_manual_stepping() {
+        let n = NeuronConfig::lif(1.0, 0.1);
+        let inputs = [0.3, 0.0, 0.9, 0.2, 1.5, 0.0];
+        let mut v = 0.0;
+        let manual: Vec<bool> = inputs.iter().map(|&p| n.step(&mut v, p)).collect();
+        assert_eq!(n.run(&inputs), manual);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NeuronConfig::try_lif(0.0, 0.0).is_err());
+        assert!(NeuronConfig::try_lif(-1.0, 0.0).is_err());
+        assert!(NeuronConfig::try_lif(1.0, -0.5).is_err());
+        assert!(NeuronConfig::try_lif(f32::NAN, 0.0).is_err());
+        assert!(NeuronConfig::try_lif(1.0, f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_valid_lif() {
+        let n = NeuronConfig::default();
+        assert_eq!(n.kind(), NeuronKind::Lif);
+        assert!(n.threshold() > 0.0);
+    }
+
+    #[test]
+    fn strong_input_fires_every_step() {
+        let n = NeuronConfig::lif(1.0, 0.05);
+        let spikes = n.run(&[2.0; 8]);
+        assert!(spikes.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,196 @@
+//! Spiking pooling layers.
+//!
+//! Table V's networks shrink spatially between CONV layers (DVS-Gesture
+//! CONV2 emits 32×32 but CONV3 consumes 16×16): S-CNNs interleave
+//! pooling. For binary activations the standard choice is **OR pooling**
+//! (a window emits a spike iff any input in it spikes — "max pooling"
+//! on {0,1}), which this module implements, plus **count pooling** (a
+//! configurable threshold on the number of spiking inputs).
+
+use crate::error::{Result, SnnError};
+use crate::spike::SpikeTensor;
+
+/// A non-overlapping spatial pooling layer over `channels` feature maps
+/// of side `side`, with square windows of `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpikingPool {
+    channels: u32,
+    side: u32,
+    window: u32,
+    /// Minimum number of spiking inputs in the window to emit a spike
+    /// (1 = OR pooling).
+    min_count: u32,
+}
+
+impl SpikingPool {
+    /// Creates an OR-pooling layer (`min_count = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidShape`] if any dimension is zero or
+    /// `window` does not divide `side`.
+    pub fn or_pool(channels: u32, side: u32, window: u32) -> Result<Self> {
+        Self::count_pool(channels, side, window, 1)
+    }
+
+    /// Creates a count-pooling layer: a window spikes iff at least
+    /// `min_count` of its inputs spike.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidShape`] on a zero dimension, a window
+    /// that does not divide the side, or `min_count` exceeding the
+    /// window size.
+    pub fn count_pool(channels: u32, side: u32, window: u32, min_count: u32) -> Result<Self> {
+        if channels == 0 || side == 0 || window == 0 {
+            return Err(SnnError::invalid_shape("pool dimensions must be nonzero"));
+        }
+        if !side.is_multiple_of(window) {
+            return Err(SnnError::invalid_shape(format!(
+                "window {window} must divide side {side}"
+            )));
+        }
+        if min_count == 0 || min_count > window * window {
+            return Err(SnnError::invalid_shape(format!(
+                "min count {min_count} must be in 1..={}",
+                window * window
+            )));
+        }
+        Ok(SpikingPool {
+            channels,
+            side,
+            window,
+            min_count,
+        })
+    }
+
+    /// Output feature-map side.
+    pub fn out_side(&self) -> u32 {
+        self.side / self.window
+    }
+
+    /// Input neuron count (`channels × side²`).
+    pub fn input_neurons(&self) -> usize {
+        self.channels as usize * (self.side as usize).pow(2)
+    }
+
+    /// Output neuron count (`channels × (side/window)²`).
+    pub fn output_neurons(&self) -> usize {
+        self.channels as usize * (self.out_side() as usize).pow(2)
+    }
+
+    /// Applies the pooling per time point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::DimensionMismatch`] on a mismatched input.
+    pub fn forward(&self, input: &SpikeTensor) -> Result<SpikeTensor> {
+        if input.neurons() != self.input_neurons() {
+            return Err(SnnError::DimensionMismatch {
+                expected: self.input_neurons(),
+                actual: input.neurons(),
+                what: "neurons",
+            });
+        }
+        let t_len = input.timesteps();
+        let side = self.side as usize;
+        let out_side = self.out_side() as usize;
+        let win = self.window as usize;
+        let mut out = SpikeTensor::new(self.output_neurons(), t_len);
+        for c in 0..self.channels as usize {
+            for oy in 0..out_side {
+                for ox in 0..out_side {
+                    let out_idx = c * out_side * out_side + oy * out_side + ox;
+                    for t in 0..t_len {
+                        let mut count = 0u32;
+                        'win: for dy in 0..win {
+                            for dx in 0..win {
+                                let iy = oy * win + dy;
+                                let ix = ox * win + dx;
+                                let in_idx = c * side * side + iy * side + ix;
+                                if input.get(in_idx, t) {
+                                    count += 1;
+                                    if count >= self.min_count {
+                                        break 'win;
+                                    }
+                                }
+                            }
+                        }
+                        if count >= self.min_count {
+                            out.set(out_idx, t, true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_pool_halves_the_side() {
+        let p = SpikingPool::or_pool(3, 8, 2).unwrap();
+        assert_eq!(p.out_side(), 4);
+        assert_eq!(p.input_neurons(), 3 * 64);
+        assert_eq!(p.output_neurons(), 3 * 16);
+    }
+
+    #[test]
+    fn single_spike_propagates_through_or_pool() {
+        let p = SpikingPool::or_pool(1, 4, 2).unwrap();
+        let mut input = SpikeTensor::new(16, 5);
+        input.set(4 + 1, 2, true); // (y=1, x=1) -> output window (0,0)
+        let out = p.forward(&input).unwrap();
+        assert!(out.get(0, 2));
+        assert_eq!(out.total_spikes(), 1);
+    }
+
+    #[test]
+    fn count_pool_requires_quorum() {
+        let p = SpikingPool::count_pool(1, 4, 2, 3).unwrap();
+        let mut input = SpikeTensor::new(16, 1);
+        // Two spikes in window (0,0): below the quorum of 3.
+        input.set(0, 0, true);
+        input.set(1, 0, true);
+        assert_eq!(p.forward(&input).unwrap().total_spikes(), 0);
+        input.set(4, 0, true); // third member of the 2x2 window
+        assert_eq!(p.forward(&input).unwrap().total_spikes(), 1);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let p = SpikingPool::or_pool(2, 4, 2).unwrap();
+        let mut input = SpikeTensor::new(32, 1);
+        input.set(16, 0, true); // channel 1, pixel (0,0)
+        let out = p.forward(&input).unwrap();
+        assert!(!out.get(0, 0), "channel 0 silent");
+        assert!(out.get(4, 0), "channel 1 window (0,0) fires");
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        assert!(SpikingPool::or_pool(1, 7, 2).is_err()); // 2 ∤ 7
+        assert!(SpikingPool::or_pool(0, 4, 2).is_err());
+        assert!(SpikingPool::count_pool(1, 4, 2, 0).is_err());
+        assert!(SpikingPool::count_pool(1, 4, 2, 5).is_err()); // > 4
+        let p = SpikingPool::or_pool(1, 4, 2).unwrap();
+        assert!(p.forward(&SpikeTensor::new(15, 3)).is_err());
+    }
+
+    #[test]
+    fn table_v_chain_dimensions_work() {
+        // DVS-Gesture: CONV2 (32x32x128) --pool2--> CONV3 input (16x16x128).
+        let p = SpikingPool::or_pool(128, 32, 2).unwrap();
+        assert_eq!(p.output_neurons(), 128 * 16 * 16);
+        let input = SpikeTensor::from_fn(p.input_neurons(), 4, |n, t| (n + t) % 97 == 0);
+        let out = p.forward(&input).unwrap();
+        assert_eq!(out.neurons(), 128 * 256);
+        // OR pooling can only densify per-cell rates, never lose a window
+        // with activity.
+        assert!(out.total_spikes() > 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! 8-bit fixed-point inference — the precision regime of Table IV.
+//!
+//! The accelerator stores weights and membrane potentials as 8-bit
+//! values. This module implements that arithmetic faithfully —
+//! symmetric per-layer weight quantization, a saturating fixed-point
+//! membrane accumulator — so the functional consequences of the paper's
+//! precision choice can be measured (see the spike-agreement tests:
+//! trained-network-like layers keep well above 90 % spike agreement
+//! with the float reference).
+
+use crate::error::{Result, SnnError};
+use crate::layer::SpikingFc;
+use crate::spike::SpikeTensor;
+
+/// Symmetric linear quantizer: `q = round(x / scale)` clamped to
+/// `[-127, 127]`, with `scale` chosen so the largest magnitude maps to
+/// 127.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    scale: f32,
+}
+
+impl Quantizer {
+    /// Builds a quantizer covering `[-abs_max, abs_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `abs_max` is not positive
+    /// and finite.
+    pub fn with_abs_max(abs_max: f32) -> Result<Self> {
+        if !(abs_max > 0.0 && abs_max.is_finite()) {
+            return Err(SnnError::invalid_config(format!(
+                "quantizer range must be positive and finite, got {abs_max}"
+            )));
+        }
+        Ok(Quantizer {
+            scale: abs_max / 127.0,
+        })
+    }
+
+    /// The step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value to i8.
+    pub fn quantize(&self, x: f32) -> i8 {
+        (x / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes back to f32.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        f32::from(q) * self.scale
+    }
+}
+
+/// An 8-bit quantized fully-connected spiking layer: i8 weights and an
+/// 8-bit membrane register. The quantization step is derived from the
+/// firing threshold — `threshold = 64` steps — so the potential always
+/// fits the register with headroom (saturation at 127 steps), which is
+/// how fixed-threshold neuromorphic datapaths are scaled in practice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedFc {
+    inputs: usize,
+    outputs: usize,
+    quantizer: Quantizer,
+    /// Integer threshold in weight steps.
+    threshold_q: i32,
+    /// Integer leak per step, in weight steps.
+    leak_q: i32,
+    /// Row-major `[outputs][inputs]` quantized weights.
+    weights: Vec<i8>,
+}
+
+impl QuantizedFc {
+    /// Quantizes a float layer on the threshold-anchored scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the layer's threshold is
+    /// not positive and finite (no scale can be derived).
+    pub fn from_float(layer: &SpikingFc) -> Result<Self> {
+        let inputs = layer.shape().inputs() as usize;
+        let outputs = layer.shape().outputs() as usize;
+        let neuron = layer.neuron();
+        // Threshold-anchored scale: V_th = 64 steps, so the membrane
+        // register (8 bits, saturating at 127 steps) always holds the
+        // sub-threshold range with headroom.
+        let quantizer = Quantizer::with_abs_max(neuron.threshold() * 127.0 / 64.0)?;
+        let weights = (0..outputs)
+            .flat_map(|o| (0..inputs).map(move |i| (o, i)))
+            .map(|(o, i)| quantizer.quantize(layer.weight(o as u32, i as u32)))
+            .collect();
+        Ok(QuantizedFc {
+            inputs,
+            outputs,
+            quantizer,
+            threshold_q: 64,
+            leak_q: (neuron.leak() / quantizer.scale()).round() as i32,
+            weights,
+        })
+    }
+
+    /// The quantizer in use.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Integer forward pass with saturating membrane arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::DimensionMismatch`] on a mismatched input.
+    #[allow(clippy::needless_range_loop)] // o indexes weights, membrane, and output
+    pub fn forward(&self, input: &SpikeTensor) -> Result<SpikeTensor> {
+        if input.neurons() != self.inputs {
+            return Err(SnnError::DimensionMismatch {
+                expected: self.inputs,
+                actual: input.neurons(),
+                what: "neurons",
+            });
+        }
+        // The 8-bit membrane register saturates at 127 steps (the
+        // threshold sits at 64, leaving integration headroom).
+        let sat = 127i32;
+        let t = input.timesteps();
+        let mut out = SpikeTensor::new(self.outputs, t);
+        let mut v = vec![0i32; self.outputs];
+        for tp in 0..t {
+            for o in 0..self.outputs {
+                let mut p = 0i32;
+                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                for (i, &w) in row.iter().enumerate() {
+                    if input.get(i, tp) {
+                        p += i32::from(w);
+                    }
+                }
+                let mut m = (v[o] + p - self.leak_q).clamp(0, sat);
+                if m >= self.threshold_q {
+                    out.set(o, tp, true);
+                    m = 0;
+                }
+                v[o] = m;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fraction of (neuron, time) cells where the quantized output
+    /// agrees with `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if the tensors disagree in size.
+    pub fn agreement(a: &SpikeTensor, b: &SpikeTensor) -> Result<f64> {
+        if a.neurons() != b.neurons() || a.timesteps() != b.timesteps() {
+            return Err(SnnError::DimensionMismatch {
+                expected: a.neurons() * a.timesteps(),
+                actual: b.neurons() * b.timesteps(),
+                what: "spike tensor cells",
+            });
+        }
+        let cells = a.neurons() * a.timesteps();
+        if cells == 0 {
+            return Ok(1.0);
+        }
+        let mut same = 0usize;
+        for n in 0..a.neurons() {
+            for t in 0..a.timesteps() {
+                if a.get(n, t) == b.get(n, t) {
+                    same += 1;
+                }
+            }
+        }
+        Ok(same as f64 / cells as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::NeuronConfig;
+    use crate::shape::FcShape;
+
+    fn float_layer() -> SpikingFc {
+        SpikingFc::from_fn(
+            FcShape::new(24, 8).unwrap(),
+            NeuronConfig::lif(1.0, 0.02),
+            |o, i| ((o * 13 + i * 7) % 19) as f32 / 19.0 - 0.4,
+        )
+    }
+
+    #[test]
+    fn quantizer_roundtrip_error_is_within_half_step() {
+        let q = Quantizer::with_abs_max(2.0).unwrap();
+        for k in -20..=20 {
+            let x = k as f32 / 10.0;
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.scale() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+        assert_eq!(q.quantize(10.0), 127, "saturates high");
+        assert_eq!(q.quantize(-10.0), -127, "saturates low");
+    }
+
+    #[test]
+    fn quantizer_rejects_bad_range() {
+        assert!(Quantizer::with_abs_max(0.0).is_err());
+        assert!(Quantizer::with_abs_max(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn quantized_layer_agrees_with_float_reference() {
+        let layer = float_layer();
+        let qlayer = QuantizedFc::from_float(&layer).unwrap();
+        let input = SpikeTensor::from_fn(24, 80, |n, t| (n * 5 + t * 3) % 9 == 0);
+        let float_out = layer.forward(&input).unwrap();
+        let quant_out = qlayer.forward(&input).unwrap();
+        let agreement = QuantizedFc::agreement(&float_out, &quant_out).unwrap();
+        assert!(
+            agreement > 0.9,
+            "8-bit inference diverged: agreement {agreement}"
+        );
+    }
+
+    #[test]
+    fn threshold_sits_at_64_steps_with_headroom() {
+        let layer = float_layer();
+        let qlayer = QuantizedFc::from_float(&layer).unwrap();
+        // V_th / scale = 64 by construction.
+        let neuron = layer.neuron();
+        assert!((neuron.threshold() / qlayer.quantizer().scale() - 64.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn oversized_weights_saturate_but_behaviour_survives() {
+        // A weight of 10x threshold clamps to 127 steps (~2x threshold):
+        // the neuron still fires on every input spike, like the float
+        // reference.
+        let layer = SpikingFc::from_fn(
+            FcShape::new(1, 1).unwrap(),
+            NeuronConfig::if_model(1.0),
+            |_, _| 10.0,
+        );
+        let qlayer = QuantizedFc::from_float(&layer).unwrap();
+        let input = SpikeTensor::full(1, 16);
+        let q = qlayer.forward(&input).unwrap();
+        let f = layer.forward(&input).unwrap();
+        assert_eq!(q, f);
+    }
+
+    #[test]
+    fn agreement_checks_dimensions() {
+        let a = SpikeTensor::new(2, 5);
+        let b = SpikeTensor::new(3, 5);
+        assert!(QuantizedFc::agreement(&a, &b).is_err());
+        let c = SpikeTensor::new(2, 5);
+        assert_eq!(QuantizedFc::agreement(&a, &c).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Recurrent spiking layers — the remaining layer structure of the
+//! paper's generality claim (Fig. 12c: "all layer structures
+//! (fully-connected, convolutional, recurrent, ...)").
+//!
+//! A recurrent spiking layer adds lateral synapses: at time `t` each
+//! neuron integrates the feedforward spikes `x[t]` *and* the layer's own
+//! output spikes from `t − 1`. PTB still applies — the feedforward
+//! integration (Step A) has no dependence on post-synaptic state and can
+//! be batched over time windows, while the recurrent contribution is
+//! folded into the serial Step B replay (see
+//! `ptb_accel::reference::batched_recurrent_forward`).
+
+use crate::error::{Result, SnnError};
+use crate::neuron::NeuronConfig;
+use crate::spike::SpikeTensor;
+
+/// A fully-connected recurrent spiking layer.
+///
+/// ```
+/// use snn_core::recurrent::SpikingRecurrentFc;
+/// use snn_core::neuron::NeuronConfig;
+/// use snn_core::spike::SpikeTensor;
+///
+/// // Self-excitation keeps a neuron firing after a single input spike.
+/// let mut layer = SpikingRecurrentFc::zeros(1, 1, NeuronConfig::if_model(1.0));
+/// *layer.ff_weight_mut(0, 0) = 1.0;
+/// *layer.rec_weight_mut(0, 0) = 1.0;
+/// let mut input = SpikeTensor::new(1, 5);
+/// input.set(0, 0, true);
+/// let out = layer.forward(&input).unwrap();
+/// assert!((0..5).all(|t| out.get(0, t)), "self-excitation sustains firing");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikingRecurrentFc {
+    inputs: u32,
+    outputs: u32,
+    neuron: NeuronConfig,
+    /// Row-major `[outputs][inputs]` feedforward weights.
+    ff: Vec<f32>,
+    /// Row-major `[outputs][outputs]` recurrent weights (from previous
+    /// output spikes to each neuron).
+    rec: Vec<f32>,
+}
+
+impl SpikingRecurrentFc {
+    /// Creates a layer with all-zero weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(inputs: u32, outputs: u32, neuron: NeuronConfig) -> Self {
+        assert!(inputs > 0 && outputs > 0, "dimensions must be nonzero");
+        SpikingRecurrentFc {
+            inputs,
+            outputs,
+            neuron,
+            ff: vec![0.0; inputs as usize * outputs as usize],
+            rec: vec![0.0; outputs as usize * outputs as usize],
+        }
+    }
+
+    /// Number of feedforward inputs.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of neurons (outputs).
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// The neuron dynamics configuration.
+    pub fn neuron(&self) -> NeuronConfig {
+        self.neuron
+    }
+
+    /// Feedforward weight from input `i` to neuron `o`.
+    pub fn ff_weight(&self, o: u32, i: u32) -> f32 {
+        self.ff[o as usize * self.inputs as usize + i as usize]
+    }
+
+    /// Mutable feedforward weight from input `i` to neuron `o`.
+    pub fn ff_weight_mut(&mut self, o: u32, i: u32) -> &mut f32 {
+        &mut self.ff[o as usize * self.inputs as usize + i as usize]
+    }
+
+    /// Recurrent weight from neuron `k`'s previous spike to neuron `o`.
+    pub fn rec_weight(&self, o: u32, k: u32) -> f32 {
+        self.rec[o as usize * self.outputs as usize + k as usize]
+    }
+
+    /// Mutable recurrent weight from neuron `k` to neuron `o`.
+    pub fn rec_weight_mut(&mut self, o: u32, k: u32) -> &mut f32 {
+        &mut self.rec[o as usize * self.outputs as usize + k as usize]
+    }
+
+    /// Runs the recurrent forward pass over the whole period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::DimensionMismatch`] if the input tensor does
+    /// not have `inputs` neurons.
+    pub fn forward(&self, input: &SpikeTensor) -> Result<SpikeTensor> {
+        let n_in = self.inputs as usize;
+        let n_out = self.outputs as usize;
+        if input.neurons() != n_in {
+            return Err(SnnError::DimensionMismatch {
+                expected: n_in,
+                actual: input.neurons(),
+                what: "neurons",
+            });
+        }
+        let t = input.timesteps();
+        let mut out = SpikeTensor::new(n_out, t);
+        let mut membrane = vec![0.0f32; n_out];
+        let mut prev_spikes: Vec<bool> = vec![false; n_out];
+        for tp in 0..t {
+            let mut next = vec![false; n_out];
+            for o in 0..n_out {
+                let mut p = 0.0f32;
+                for i in 0..n_in {
+                    if input.get(i, tp) {
+                        p += self.ff[o * n_in + i];
+                    }
+                }
+                for (k, &fired) in prev_spikes.iter().enumerate() {
+                    if fired {
+                        p += self.rec[o * n_out + k];
+                    }
+                }
+                if self.neuron.step(&mut membrane[o], p) {
+                    out.set(o, tp, true);
+                    next[o] = true;
+                }
+            }
+            prev_spikes = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_recurrence_matches_plain_fc() {
+        use crate::layer::SpikingFc;
+        use crate::shape::FcShape;
+        let neuron = NeuronConfig::lif(0.7, 0.05);
+        let mut rec = SpikingRecurrentFc::zeros(6, 3, neuron);
+        let fc = SpikingFc::from_fn(FcShape::new(6, 3).unwrap(), neuron, |o, i| {
+            (o as f32 - i as f32) * 0.1
+        });
+        for o in 0..3 {
+            for i in 0..6 {
+                *rec.ff_weight_mut(o, i) = (o as f32 - i as f32) * 0.1;
+            }
+        }
+        let input = SpikeTensor::from_fn(6, 30, |n, t| (n + t) % 4 == 0);
+        assert_eq!(rec.forward(&input).unwrap(), fc.forward(&input).unwrap());
+    }
+
+    #[test]
+    fn lateral_inhibition_silences_neighbour() {
+        // Neuron 0 fires from input; its spike inhibits neuron 1 enough
+        // to keep it below threshold on the following step.
+        let mut layer = SpikingRecurrentFc::zeros(1, 2, NeuronConfig::if_model(1.0));
+        *layer.ff_weight_mut(0, 0) = 1.0;
+        *layer.ff_weight_mut(1, 0) = 0.6;
+        *layer.rec_weight_mut(1, 0) = -0.6; // 0 inhibits 1
+        let input = SpikeTensor::full(1, 10);
+        let out = layer.forward(&input).unwrap();
+        assert_eq!(out.fire_count(0), 10);
+        // Without inhibition neuron 1 would fire every other step; with
+        // it the accumulated 0.6 - 0.6 = 0 keeps it silent after t=1.
+        assert!(out.fire_count(1) <= 2, "fired {} times", out.fire_count(1));
+    }
+
+    #[test]
+    fn recurrence_is_delayed_by_one_step() {
+        // Recurrent input must arrive one time point after the spike.
+        let mut layer = SpikingRecurrentFc::zeros(1, 2, NeuronConfig::if_model(1.0));
+        *layer.ff_weight_mut(0, 0) = 1.0;
+        *layer.rec_weight_mut(1, 0) = 1.0;
+        let mut input = SpikeTensor::new(1, 4);
+        input.set(0, 0, true);
+        let out = layer.forward(&input).unwrap();
+        assert!(out.get(0, 0));
+        assert!(!out.get(1, 0), "recurrent spike cannot arrive same step");
+        assert!(out.get(1, 1), "recurrent spike arrives next step");
+    }
+
+    #[test]
+    fn rejects_mismatched_input() {
+        let layer = SpikingRecurrentFc::zeros(4, 2, NeuronConfig::default());
+        assert!(layer.forward(&SpikeTensor::new(3, 5)).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dims_panic() {
+        SpikingRecurrentFc::zeros(0, 2, NeuronConfig::default());
+    }
+}

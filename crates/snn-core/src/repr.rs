@@ -1,0 +1,237 @@
+//! Spike-train storage representations and their costs.
+//!
+//! Section II-A of the paper argues that binary spike data "can be more
+//! compactly stored than multi-bit partial sum data", and its Table IV
+//! stores input/output spikes as `TWS × 1-bit` words gated by TB-tags.
+//! SpinalFlow \[13\] instead uses a "compressed, time-stamped, and sorted"
+//! event representation. This module implements the candidate formats
+//! and exact size accounting, so the representational trade-off the two
+//! papers take different sides of can be measured:
+//!
+//! * [`dense_bits`] — the raw `N × T` bitmap;
+//! * [`aer_events`] / [`from_aer`] — address-event (time-sorted) lists;
+//! * [`tb_format_bits`] — the PTB paper's tag + tagged-window format;
+//! * [`run_length_bits`] — per-neuron run-length coding.
+
+use crate::spike::SpikeTensor;
+
+/// One address event: neuron `address` fired at time `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AerEvent {
+    /// Time point of the spike.
+    pub t: u32,
+    /// Neuron index.
+    pub address: u32,
+}
+
+/// Bits needed to store one value in `0..n` (at least one bit).
+pub fn index_bits(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros().min(usize::BITS - 1)
+}
+
+/// Size of the dense bitmap: `neurons × timesteps` bits.
+pub fn dense_bits(spikes: &SpikeTensor) -> u64 {
+    spikes.neurons() as u64 * spikes.timesteps() as u64
+}
+
+/// Converts a tensor to a time-sorted AER event list (the SpinalFlow
+/// input ordering).
+pub fn aer_events(spikes: &SpikeTensor) -> Vec<AerEvent> {
+    let mut events: Vec<AerEvent> = spikes
+        .iter_spikes()
+        .map(|(n, t)| AerEvent {
+            t: t as u32,
+            address: n as u32,
+        })
+        .collect();
+    events.sort_unstable();
+    events
+}
+
+/// Rebuilds a tensor from an AER list.
+///
+/// # Panics
+///
+/// Panics if any event lies outside the tensor dimensions.
+pub fn from_aer(events: &[AerEvent], neurons: usize, timesteps: usize) -> SpikeTensor {
+    let mut out = SpikeTensor::new(neurons, timesteps);
+    for e in events {
+        out.set(e.address as usize, e.t as usize, true);
+    }
+    out
+}
+
+/// Size of the AER list in bits: each event carries a time stamp
+/// (`ceil(log2 T)` bits) and an address (`ceil(log2 N)` bits).
+pub fn aer_bits(spikes: &SpikeTensor) -> u64 {
+    let per_event =
+        u64::from(index_bits(spikes.timesteps())) + u64::from(index_bits(spikes.neurons()));
+    spikes.total_spikes() * per_event
+}
+
+/// Size of the PTB paper's TB format for a given window size: per
+/// non-silent neuron, one TB-tag (`ceil(T / TWS)` bits) plus `TWS` bits
+/// for every *tagged* window. Silent neurons cost nothing (they are
+/// trimmed; Section IV-D1).
+pub fn tb_format_bits(spikes: &SpikeTensor, tw_size: usize) -> u64 {
+    assert!(tw_size > 0, "window size must be nonzero");
+    let t = spikes.timesteps();
+    let n_windows = t.div_ceil(tw_size) as u64;
+    let mut bits = 0u64;
+    for n in 0..spikes.neurons() {
+        if spikes.is_silent(n) {
+            continue;
+        }
+        bits += n_windows; // the tag
+        for w in 0..n_windows as usize {
+            if spikes.window_active(n, w, tw_size) {
+                bits += tw_size as u64;
+            }
+        }
+    }
+    bits
+}
+
+/// Size of per-neuron run-length coding: alternating run lengths
+/// starting with a zero-run, each stored in `ceil(log2 (T+1))` bits,
+/// plus a run count per neuron.
+pub fn run_length_bits(spikes: &SpikeTensor) -> u64 {
+    let t = spikes.timesteps();
+    let field = u64::from(index_bits(t + 1));
+    let mut bits = 0u64;
+    for n in 0..spikes.neurons() {
+        let mut runs = 0u64;
+        let mut current = false;
+        let mut len = 0usize;
+        for tp in 0..t {
+            let s = spikes.get(n, tp);
+            if s == current {
+                len += 1;
+            } else {
+                runs += 1;
+                current = s;
+                len = 1;
+            }
+        }
+        if len > 0 {
+            runs += 1;
+        }
+        bits += field * (runs + 1); // +1 for the run count
+    }
+    bits
+}
+
+/// A side-by-side storage report for one activity tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Dense bitmap bits.
+    pub dense: u64,
+    /// AER list bits.
+    pub aer: u64,
+    /// PTB TB-format bits at the queried window size.
+    pub tb_format: u64,
+    /// Run-length bits.
+    pub run_length: u64,
+}
+
+impl StorageReport {
+    /// Builds the report.
+    pub fn of(spikes: &SpikeTensor, tw_size: usize) -> Self {
+        StorageReport {
+            dense: dense_bits(spikes),
+            aer: aer_bits(spikes),
+            tb_format: tb_format_bits(spikes, tw_size),
+            run_length: run_length_bits(spikes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_tensor() -> SpikeTensor {
+        SpikeTensor::from_fn(64, 128, |n, t| n % 4 == 0 && (t + n) % 23 == 0)
+    }
+
+    #[test]
+    fn index_bits_basics() {
+        assert_eq!(index_bits(1), 1);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(256), 8);
+        assert_eq!(index_bits(257), 9);
+    }
+
+    #[test]
+    fn aer_roundtrip_is_lossless() {
+        let s = sparse_tensor();
+        let events = aer_events(&s);
+        assert_eq!(events.len() as u64, s.total_spikes());
+        let back = from_aer(&events, 64, 128);
+        assert_eq!(back, s);
+        // Time-sorted, as SpinalFlow requires.
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn aer_beats_dense_only_when_sparse() {
+        let sparse = sparse_tensor();
+        assert!(aer_bits(&sparse) < dense_bits(&sparse));
+        let dense = SpikeTensor::full(64, 128);
+        assert!(aer_bits(&dense) > dense_bits(&dense));
+    }
+
+    #[test]
+    fn tb_format_trims_silent_neurons() {
+        let mut s = SpikeTensor::new(10, 64);
+        s.set(3, 5, true);
+        // Only neuron 3 pays: tag (8 bits at TWS=8) + one window (8 bits).
+        assert_eq!(tb_format_bits(&s, 8), 16);
+        let empty = SpikeTensor::new(10, 64);
+        assert_eq!(tb_format_bits(&empty, 8), 0);
+    }
+
+    #[test]
+    fn tb_format_grows_with_window_size_on_sparse_data() {
+        // The paper's Fig. 9(a) driver: wider windows pack more zeros.
+        let s = sparse_tensor();
+        let small = tb_format_bits(&s, 2);
+        let large = tb_format_bits(&s, 32);
+        assert!(large > small, "{large} !> {small}");
+    }
+
+    #[test]
+    fn run_length_roundtrip_consistency() {
+        // RLE must be cheaper than dense for long silent stretches.
+        let mut s = SpikeTensor::new(4, 1000);
+        for n in 0..4 {
+            s.set(n, 500, true);
+        }
+        assert!(run_length_bits(&s) < dense_bits(&s));
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let s = sparse_tensor();
+        let r = StorageReport::of(&s, 8);
+        assert_eq!(r.dense, 64 * 128);
+        assert_eq!(r.aer, aer_bits(&s));
+        assert_eq!(r.tb_format, tb_format_bits(&s, 8));
+        assert_eq!(r.run_length, run_length_bits(&s));
+        // At trained-network sparsity the compact formats all beat dense.
+        assert!(r.aer < r.dense);
+        assert!(r.tb_format < r.dense);
+    }
+
+    #[test]
+    fn bursting_data_favors_dense_over_aer_but_rle_wins() {
+        let s = SpikeTensor::full(16, 64);
+        let r = StorageReport::of(&s, 8);
+        assert!(r.dense <= r.aer, "per-event stamps are wasteful when dense");
+        // A constant train is one run: RLE collapses it.
+        assert!(r.run_length < r.dense);
+        // TB format degenerates to dense + tags for bursting neurons.
+        assert_eq!(r.tb_format, r.dense + 16 * 8);
+    }
+}

@@ -1,0 +1,492 @@
+//! Layer shape parameters (Table I of the paper).
+//!
+//! The paper describes CONV layers with square input feature maps of side
+//! `H`, square filters of side `R`, `C` input channels, `M` output
+//! channels, stride `U`, and a derived square output feature map of side
+//! `E = (H − R + U) / U`. Fully-connected layers are modeled as the
+//! degenerate CONV case the paper also uses in Table V (`R = H`, `E = 1`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SnnError};
+
+/// Shape of a convolutional spiking layer.
+///
+/// All feature maps and filters are square, exactly as in Table I of the
+/// paper. The output side `E` is derived, not stored, so a `ConvShape`
+/// can never be internally inconsistent.
+///
+/// ```
+/// use snn_core::shape::ConvShape;
+/// let conv2 = ConvShape::new(32, 3, 64, 128, 1).unwrap(); // DVS-Gesture CONV2
+/// assert_eq!(conv2.ofmap_side(), 30);
+/// assert_eq!(conv2.receptive_field(), 3 * 3 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    ifmap_side: u32,
+    filter_side: u32,
+    in_channels: u32,
+    out_channels: u32,
+    stride: u32,
+    /// Symmetric zero padding applied to each ifmap border.
+    padding: u32,
+}
+
+impl ConvShape {
+    /// Creates a CONV shape with no padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidShape`] if any dimension is zero, if the
+    /// filter exceeds the input feature map, or if the stride does not
+    /// tile the input (`(H − R)` must be divisible by `U`).
+    pub fn new(
+        ifmap_side: u32,
+        filter_side: u32,
+        in_channels: u32,
+        out_channels: u32,
+        stride: u32,
+    ) -> Result<Self> {
+        Self::with_padding(ifmap_side, filter_side, in_channels, out_channels, stride, 0)
+    }
+
+    /// Creates a CONV shape with symmetric zero `padding` on the ifmap.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvShape::new`], evaluated on the padded
+    /// input side `H + 2·padding`.
+    pub fn with_padding(
+        ifmap_side: u32,
+        filter_side: u32,
+        in_channels: u32,
+        out_channels: u32,
+        stride: u32,
+        padding: u32,
+    ) -> Result<Self> {
+        if ifmap_side == 0 || filter_side == 0 || in_channels == 0 || out_channels == 0 {
+            return Err(SnnError::invalid_shape("all dimensions must be nonzero"));
+        }
+        if stride == 0 {
+            return Err(SnnError::invalid_shape("stride must be nonzero"));
+        }
+        let padded = ifmap_side + 2 * padding;
+        if filter_side > padded {
+            return Err(SnnError::invalid_shape(format!(
+                "filter side {filter_side} exceeds padded ifmap side {padded}"
+            )));
+        }
+        if !(padded - filter_side).is_multiple_of(stride) {
+            return Err(SnnError::invalid_shape(format!(
+                "stride {stride} does not tile padded ifmap side {padded} with filter {filter_side}"
+            )));
+        }
+        Ok(ConvShape {
+            ifmap_side,
+            filter_side,
+            in_channels,
+            out_channels,
+            stride,
+            padding,
+        })
+    }
+
+    /// Input feature map side length `H`.
+    pub fn ifmap_side(&self) -> u32 {
+        self.ifmap_side
+    }
+
+    /// Filter side length `R`.
+    pub fn filter_side(&self) -> u32 {
+        self.filter_side
+    }
+
+    /// Number of input channels `C`.
+    pub fn in_channels(&self) -> u32 {
+        self.in_channels
+    }
+
+    /// Number of output channels `M`.
+    pub fn out_channels(&self) -> u32 {
+        self.out_channels
+    }
+
+    /// Convolution stride `U`.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Symmetric zero padding on each ifmap border.
+    pub fn padding(&self) -> u32 {
+        self.padding
+    }
+
+    /// Output feature map side `E = (H + 2·pad − R + U) / U`.
+    pub fn ofmap_side(&self) -> u32 {
+        (self.ifmap_side + 2 * self.padding - self.filter_side + self.stride) / self.stride
+    }
+
+    /// Total number of pre-synaptic neurons: `C · H · H`.
+    pub fn ifmap_neurons(&self) -> usize {
+        self.in_channels as usize * (self.ifmap_side as usize).pow(2)
+    }
+
+    /// Total number of post-synaptic neurons: `M · E · E`.
+    pub fn ofmap_neurons(&self) -> usize {
+        let e = self.ofmap_side() as usize;
+        self.out_channels as usize * e * e
+    }
+
+    /// Receptive field size per output neuron: `C · R · R` (the paper's
+    /// `M^RF`).
+    pub fn receptive_field(&self) -> usize {
+        self.in_channels as usize * (self.filter_side as usize).pow(2)
+    }
+
+    /// Number of synaptic weights: `M · C · R · R`.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels as usize * self.receptive_field()
+    }
+
+    /// Accumulate operations per time point for a dense input:
+    /// `E² · M · C · R²` (Step 1, Eq. 4).
+    pub fn ops_per_timestep(&self) -> u64 {
+        let e = self.ofmap_side() as u64;
+        e * e * self.out_channels as u64 * self.receptive_field() as u64
+    }
+
+    /// Flat neuron index for position `(channel, row, col)` in the ifmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    pub fn ifmap_index(&self, channel: u32, row: u32, col: u32) -> usize {
+        debug_assert!(channel < self.in_channels);
+        debug_assert!(row < self.ifmap_side && col < self.ifmap_side);
+        let side = self.ifmap_side as usize;
+        channel as usize * side * side + row as usize * side + col as usize
+    }
+
+    /// Flat neuron index for position `(channel, row, col)` in the ofmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    pub fn ofmap_index(&self, channel: u32, row: u32, col: u32) -> usize {
+        let e = self.ofmap_side();
+        debug_assert!(channel < self.out_channels);
+        debug_assert!(row < e && col < e);
+        let e = e as usize;
+        channel as usize * e * e + row as usize * e + col as usize
+    }
+
+    /// Iterates over the flat ifmap indices in the receptive field of the
+    /// output position `(x, y)` (row `x`, column `y`), skipping padded
+    /// (out-of-map) taps.
+    pub fn receptive_field_indices(&self, x: u32, y: u32) -> Vec<usize> {
+        self.receptive_field_taps(x, y)
+            .into_iter()
+            .map(|t| t.input_index)
+            .collect()
+    }
+
+    /// Like [`ConvShape::receptive_field_indices`] but also reports each
+    /// tap's filter coordinate, needed to look the weight up.
+    pub fn receptive_field_taps(&self, x: u32, y: u32) -> Vec<RfTap> {
+        let mut out = Vec::with_capacity(self.receptive_field());
+        let stride = self.stride as i64;
+        let pad = self.padding as i64;
+        let h = self.ifmap_side as i64;
+        for c in 0..self.in_channels {
+            for i in 0..self.filter_side {
+                for j in 0..self.filter_side {
+                    let r = x as i64 * stride + i as i64 - pad;
+                    let s = y as i64 * stride + j as i64 - pad;
+                    if (0..h).contains(&r) && (0..h).contains(&s) {
+                        out.push(RfTap {
+                            input_index: self.ifmap_index(c, r as u32, s as u32),
+                            channel: c,
+                            kernel_row: i,
+                            kernel_col: j,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One receptive-field tap: which input neuron it reads and which filter
+/// coordinate weights it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RfTap {
+    /// Flat ifmap neuron index.
+    pub input_index: usize,
+    /// Input channel `c` of the filter coordinate.
+    pub channel: u32,
+    /// Filter row `i`.
+    pub kernel_row: u32,
+    /// Filter column `j`.
+    pub kernel_col: u32,
+}
+
+/// Shape of a fully-connected spiking layer.
+///
+/// ```
+/// use snn_core::shape::FcShape;
+/// let fc = FcShape::new(256, 11).unwrap(); // DVS-Gesture FC2
+/// assert_eq!(fc.weight_count(), 256 * 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcShape {
+    inputs: u32,
+    outputs: u32,
+}
+
+impl FcShape {
+    /// Creates an FC shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidShape`] if either dimension is zero.
+    pub fn new(inputs: u32, outputs: u32) -> Result<Self> {
+        if inputs == 0 || outputs == 0 {
+            return Err(SnnError::invalid_shape("fc dimensions must be nonzero"));
+        }
+        Ok(FcShape { inputs, outputs })
+    }
+
+    /// Number of pre-synaptic neurons.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of post-synaptic neurons.
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// Number of synaptic weights.
+    pub fn weight_count(&self) -> usize {
+        self.inputs as usize * self.outputs as usize
+    }
+
+    /// Accumulate operations per time point for dense input.
+    pub fn ops_per_timestep(&self) -> u64 {
+        self.weight_count() as u64
+    }
+}
+
+/// Shape of either supported layer kind.
+///
+/// The accelerator model treats an FC layer as a CONV with `E = 1` and
+/// `R = H` (exactly how Table V lists the FC layers), so this enum mostly
+/// exists to preserve intent and provide uniform accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// A convolutional layer.
+    Conv(ConvShape),
+    /// A fully-connected layer.
+    Fc(FcShape),
+}
+
+impl LayerShape {
+    /// Number of pre-synaptic neurons feeding this layer.
+    pub fn input_neurons(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.ifmap_neurons(),
+            LayerShape::Fc(f) => f.inputs() as usize,
+        }
+    }
+
+    /// Number of post-synaptic neurons this layer produces.
+    pub fn output_neurons(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.ofmap_neurons(),
+            LayerShape::Fc(f) => f.outputs() as usize,
+        }
+    }
+
+    /// Receptive field size of one post-synaptic neuron.
+    pub fn receptive_field(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.receptive_field(),
+            LayerShape::Fc(f) => f.inputs() as usize,
+        }
+    }
+
+    /// Total synaptic weight count.
+    pub fn weight_count(&self) -> usize {
+        match self {
+            LayerShape::Conv(c) => c.weight_count(),
+            LayerShape::Fc(f) => f.weight_count(),
+        }
+    }
+
+    /// Accumulate operations per time point assuming dense input.
+    pub fn ops_per_timestep(&self) -> u64 {
+        match self {
+            LayerShape::Conv(c) => c.ops_per_timestep(),
+            LayerShape::Fc(f) => f.ops_per_timestep(),
+        }
+    }
+
+    /// Views this layer as the equivalent CONV shape the accelerator
+    /// schedules (FC becomes a 1×1-output convolution over the whole
+    /// input, the Table V convention).
+    pub fn as_conv(&self) -> ConvShape {
+        match self {
+            LayerShape::Conv(c) => *c,
+            LayerShape::Fc(f) => {
+                // An FC over N inputs is a CONV with H = R = side, C chosen
+                // so side²·C = N. We fold everything into channels with a
+                // 1×1 spatial extent: H = R = 1, C = inputs, M = outputs.
+                ConvShape::new(1, 1, f.inputs(), f.outputs(), 1)
+                    .expect("1x1 conv from fc dims is always valid")
+            }
+        }
+    }
+
+    /// True when this is a fully-connected layer.
+    pub fn is_fc(&self) -> bool {
+        matches!(self, LayerShape::Fc(_))
+    }
+}
+
+impl From<ConvShape> for LayerShape {
+    fn from(c: ConvShape) -> Self {
+        LayerShape::Conv(c)
+    }
+}
+
+impl From<FcShape> for LayerShape {
+    fn from(f: FcShape) -> Self {
+        LayerShape::Fc(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ofmap_side_follows_table_i_formula() {
+        // E = (H - R + U)/U
+        let s = ConvShape::new(32, 3, 2, 64, 1).unwrap();
+        assert_eq!(s.ofmap_side(), 30);
+        let s = ConvShape::new(224, 11, 3, 96, 3).unwrap();
+        assert_eq!(s.ofmap_side(), 72);
+    }
+
+    #[test]
+    fn padding_preserves_side() {
+        // "same" conv: 32 -> 32 with R=3, pad=1
+        let s = ConvShape::with_padding(32, 3, 2, 64, 1, 1).unwrap();
+        assert_eq!(s.ofmap_side(), 32);
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(ConvShape::new(0, 3, 2, 4, 1).is_err());
+        assert!(ConvShape::new(8, 0, 2, 4, 1).is_err());
+        assert!(ConvShape::new(8, 3, 0, 4, 1).is_err());
+        assert!(ConvShape::new(8, 3, 2, 0, 1).is_err());
+        assert!(ConvShape::new(8, 3, 2, 4, 0).is_err());
+        assert!(FcShape::new(0, 4).is_err());
+        assert!(FcShape::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_filter_larger_than_ifmap() {
+        assert!(ConvShape::new(4, 5, 1, 1, 1).is_err());
+        // but padding can rescue it
+        assert!(ConvShape::with_padding(4, 5, 1, 1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_tiling_stride() {
+        // (8 - 3) = 5 not divisible by 2
+        assert!(ConvShape::new(8, 3, 1, 1, 2).is_err());
+        // (9 - 3) = 6 divisible by 2
+        assert!(ConvShape::new(9, 3, 1, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn neuron_counts() {
+        let s = ConvShape::new(32, 3, 64, 128, 1).unwrap();
+        assert_eq!(s.ifmap_neurons(), 64 * 32 * 32);
+        assert_eq!(s.ofmap_neurons(), 128 * 30 * 30);
+        assert_eq!(s.receptive_field(), 64 * 9);
+        assert_eq!(s.weight_count(), 128 * 64 * 9);
+    }
+
+    #[test]
+    fn flat_indexing_roundtrip() {
+        let s = ConvShape::new(8, 3, 2, 4, 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..2 {
+            for r in 0..8 {
+                for col in 0..8 {
+                    assert!(seen.insert(s.ifmap_index(c, r, col)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.ifmap_neurons());
+        assert_eq!(*seen.iter().max().unwrap(), s.ifmap_neurons() - 1);
+    }
+
+    #[test]
+    fn receptive_field_indices_no_padding_is_full() {
+        let s = ConvShape::new(8, 3, 2, 4, 1).unwrap();
+        let rf = s.receptive_field_indices(0, 0);
+        assert_eq!(rf.len(), s.receptive_field());
+        // top-left window touches rows 0..3, cols 0..3 of both channels
+        assert!(rf.contains(&s.ifmap_index(0, 0, 0)));
+        assert!(rf.contains(&s.ifmap_index(1, 2, 2)));
+        assert!(!rf.contains(&s.ifmap_index(0, 3, 3)));
+    }
+
+    #[test]
+    fn receptive_field_indices_with_padding_skips_border() {
+        let s = ConvShape::with_padding(8, 3, 1, 1, 1, 1).unwrap();
+        // corner output (0,0): only the 2x2 in-map part of the 3x3 window
+        let rf = s.receptive_field_indices(0, 0);
+        assert_eq!(rf.len(), 4);
+        // center output sees the full window
+        let rf = s.receptive_field_indices(4, 4);
+        assert_eq!(rf.len(), 9);
+    }
+
+    #[test]
+    fn fc_as_conv_roundtrip() {
+        let fc = FcShape::new(256, 11).unwrap();
+        let shape: LayerShape = fc.into();
+        let conv = shape.as_conv();
+        assert_eq!(conv.ofmap_neurons(), 11);
+        assert_eq!(conv.ifmap_neurons(), 256);
+        assert_eq!(conv.weight_count(), fc.weight_count());
+        assert_eq!(conv.receptive_field(), 256);
+    }
+
+    #[test]
+    fn ops_per_timestep_counts_macs() {
+        let s = ConvShape::new(32, 3, 2, 64, 1).unwrap();
+        assert_eq!(s.ops_per_timestep(), 30 * 30 * 64 * 2 * 9);
+        let f = FcShape::new(256, 11).unwrap();
+        assert_eq!(f.ops_per_timestep(), 256 * 11);
+    }
+
+    #[test]
+    fn layer_shape_uniform_accessors() {
+        let conv: LayerShape = ConvShape::new(8, 3, 2, 4, 1).unwrap().into();
+        let fc: LayerShape = FcShape::new(128, 10).unwrap().into();
+        assert_eq!(conv.input_neurons(), 2 * 64);
+        assert_eq!(conv.output_neurons(), 4 * 36);
+        assert_eq!(fc.input_neurons(), 128);
+        assert_eq!(fc.output_neurons(), 10);
+        assert!(fc.is_fc());
+        assert!(!conv.is_fc());
+    }
+}

@@ -1,0 +1,452 @@
+//! Bit-packed spatiotemporal spike tensors.
+//!
+//! A [`SpikeTensor`] stores the binary firing activity of `N` neurons
+//! over `T` time points, one bit per (neuron, time point). This is the
+//! representation exchanged between the functional simulator
+//! ([`crate::layer`]), the synthetic activity generators (`spikegen`),
+//! and the accelerator model (`ptb-accel`): the paper's Table IV lists
+//! input/output spikes as `TWS × 1-bit` data, and all sparsity metrics
+//! (Figs. 3, 4, 6c) are functions of this tensor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SnnError};
+
+/// Binary spike activity of a neuron population over time.
+///
+/// Storage is neuron-major: each neuron owns `ceil(T / 64)` contiguous
+/// 64-bit words, with time point `t` at bit `t % 64` of word `t / 64`.
+///
+/// ```
+/// use snn_core::spike::SpikeTensor;
+/// let mut s = SpikeTensor::new(3, 100);
+/// s.set(1, 42, true);
+/// assert!(s.get(1, 42));
+/// assert_eq!(s.fire_count(1), 1);
+/// assert_eq!(s.total_spikes(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeTensor {
+    neurons: usize,
+    timesteps: usize,
+    words_per_neuron: usize,
+    bits: Vec<u64>,
+}
+
+impl SpikeTensor {
+    /// Creates an all-silent tensor for `neurons` neurons over
+    /// `timesteps` time points.
+    pub fn new(neurons: usize, timesteps: usize) -> Self {
+        let words_per_neuron = timesteps.div_ceil(64);
+        SpikeTensor {
+            neurons,
+            timesteps,
+            words_per_neuron,
+            bits: vec![0; neurons * words_per_neuron],
+        }
+    }
+
+    /// Creates a tensor in which every neuron fires at every time point
+    /// (the bursting extreme; useful for dense baselines and tests).
+    pub fn full(neurons: usize, timesteps: usize) -> Self {
+        let mut t = Self::new(neurons, timesteps);
+        for n in 0..neurons {
+            for w in 0..t.words_per_neuron {
+                t.bits[n * t.words_per_neuron + w] = Self::word_mask(timesteps, w);
+            }
+        }
+        t
+    }
+
+    /// Builds a tensor from a predicate over `(neuron, time)`.
+    pub fn from_fn(
+        neurons: usize,
+        timesteps: usize,
+        mut f: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
+        let mut t = Self::new(neurons, timesteps);
+        for n in 0..neurons {
+            for tp in 0..timesteps {
+                if f(n, tp) {
+                    t.set(n, tp, true);
+                }
+            }
+        }
+        t
+    }
+
+    fn word_mask(timesteps: usize, word: usize) -> u64 {
+        let start = word * 64;
+        if start + 64 <= timesteps {
+            u64::MAX
+        } else if start >= timesteps {
+            0
+        } else {
+            (1u64 << (timesteps - start)) - 1
+        }
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Number of time points (the paper's `T`).
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    #[inline]
+    fn index(&self, neuron: usize, time: usize) -> (usize, u64) {
+        debug_assert!(neuron < self.neurons, "neuron {neuron} < {}", self.neurons);
+        debug_assert!(time < self.timesteps, "time {time} < {}", self.timesteps);
+        (
+            neuron * self.words_per_neuron + time / 64,
+            1u64 << (time % 64),
+        )
+    }
+
+    /// Whether `neuron` fires at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` or `time` is out of range.
+    #[inline]
+    pub fn get(&self, neuron: usize, time: usize) -> bool {
+        assert!(neuron < self.neurons && time < self.timesteps);
+        let (w, m) = self.index(neuron, time);
+        self.bits[w] & m != 0
+    }
+
+    /// Sets the spike bit for `(neuron, time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` or `time` is out of range.
+    #[inline]
+    pub fn set(&mut self, neuron: usize, time: usize, value: bool) {
+        assert!(neuron < self.neurons && time < self.timesteps);
+        let (w, m) = self.index(neuron, time);
+        if value {
+            self.bits[w] |= m;
+        } else {
+            self.bits[w] &= !m;
+        }
+    }
+
+    /// Number of spikes emitted by `neuron` over the whole period.
+    pub fn fire_count(&self, neuron: usize) -> u32 {
+        let base = neuron * self.words_per_neuron;
+        self.bits[base..base + self.words_per_neuron]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// Firing rate of `neuron`: spikes / timesteps, in `\[0, 1\]`.
+    pub fn firing_rate(&self, neuron: usize) -> f64 {
+        if self.timesteps == 0 {
+            0.0
+        } else {
+            self.fire_count(neuron) as f64 / self.timesteps as f64
+        }
+    }
+
+    /// Total number of spikes across all neurons.
+    pub fn total_spikes(&self) -> u64 {
+        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Fraction of (neuron, time) cells that carry a spike.
+    pub fn density(&self) -> f64 {
+        let cells = self.neurons as u64 * self.timesteps as u64;
+        if cells == 0 {
+            0.0
+        } else {
+            self.total_spikes() as f64 / cells as f64
+        }
+    }
+
+    /// Number of neurons that fire at least once (the complement of the
+    /// paper's *silent neurons*).
+    pub fn active_neurons(&self) -> usize {
+        (0..self.neurons).filter(|&n| self.fire_count(n) > 0).count()
+    }
+
+    /// True if `neuron` never fires (a *silent neuron*, skipped entirely
+    /// by the PTB schedule).
+    pub fn is_silent(&self, neuron: usize) -> bool {
+        self.fire_count(neuron) == 0
+    }
+
+    /// True if `neuron` fires in every time window of size `tw` (a
+    /// *bursting neuron*; StSAP leaves these unpacked).
+    pub fn is_bursting(&self, neuron: usize, tw: usize) -> bool {
+        assert!(tw > 0, "time window size must be positive");
+        (0..self.timesteps.div_ceil(tw)).all(|w| self.window_active(neuron, w, tw))
+    }
+
+    /// Whether `neuron` spikes anywhere inside window `window` of size
+    /// `tw` (one bit of the paper's TB-tag).
+    pub fn window_active(&self, neuron: usize, window: usize, tw: usize) -> bool {
+        let start = window * tw;
+        let end = (start + tw).min(self.timesteps);
+        (start..end).any(|t| self.get(neuron, t))
+    }
+
+    /// Extracts up to 64 consecutive spike bits of `neuron` starting at
+    /// time `start`, packed little-endian (bit `i` = time `start + i`).
+    /// Bits beyond the end of the period read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `neuron` is out of range.
+    pub fn spike_word(&self, neuron: usize, start: usize, len: usize) -> u64 {
+        assert!(len <= 64, "spike_word reads at most 64 bits");
+        assert!(neuron < self.neurons);
+        let mut out = 0u64;
+        let end = (start + len).min(self.timesteps);
+        for (i, t) in (start..end).enumerate() {
+            if self.get(neuron, t) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Counts spikes of `neuron` in the half-open time range
+    /// `[start, end)`, clamped to the period. Word-wise, so suitable for
+    /// the accelerator model's hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    pub fn popcount_range(&self, neuron: usize, start: usize, end: usize) -> u32 {
+        assert!(neuron < self.neurons);
+        let end = end.min(self.timesteps);
+        if start >= end {
+            return 0;
+        }
+        let base = neuron * self.words_per_neuron;
+        let (w0, b0) = (start / 64, start % 64);
+        let (w1, b1) = ((end - 1) / 64, (end - 1) % 64 + 1);
+        if w0 == w1 {
+            let mask = if b1 == 64 { u64::MAX } else { (1u64 << b1) - 1 } & !((1u64 << b0) - 1);
+            return (self.bits[base + w0] & mask).count_ones();
+        }
+        let mut total = (self.bits[base + w0] & !((1u64 << b0) - 1)).count_ones();
+        for w in w0 + 1..w1 {
+            total += self.bits[base + w].count_ones();
+        }
+        let mask = if b1 == 64 { u64::MAX } else { (1u64 << b1) - 1 };
+        total + (self.bits[base + w1] & mask).count_ones()
+    }
+
+    /// Iterates over `(neuron, time)` pairs of all spikes, in neuron-major
+    /// order.
+    pub fn iter_spikes(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.neurons).flat_map(move |n| {
+            (0..self.timesteps).filter_map(move |t| self.get(n, t).then_some((n, t)))
+        })
+    }
+
+    /// Per-neuron firing-rate histogram with `bins` equal-width buckets
+    /// over `\[0, 1\]`; the basis of Figs. 4 and 12(a).
+    pub fn rate_histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let mut hist = vec![0usize; bins];
+        for n in 0..self.neurons {
+            let r = self.firing_rate(n);
+            let b = ((r * bins as f64) as usize).min(bins - 1);
+            hist[b] += 1;
+        }
+        hist
+    }
+
+    /// Restricts the tensor to the given neuron subset (used to slice a
+    /// receptive field out of a layer's activity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::IndexOutOfBounds`] if any index is out of
+    /// range.
+    pub fn select(&self, neurons: &[usize]) -> Result<SpikeTensor> {
+        let mut out = SpikeTensor::new(neurons.len(), self.timesteps);
+        for (dst, &src) in neurons.iter().enumerate() {
+            if src >= self.neurons {
+                return Err(SnnError::IndexOutOfBounds {
+                    index: src,
+                    len: self.neurons,
+                    what: "spike tensor neurons",
+                });
+            }
+            let s = src * self.words_per_neuron;
+            let d = dst * out.words_per_neuron;
+            out.bits[d..d + self.words_per_neuron]
+                .copy_from_slice(&self.bits[s..s + self.words_per_neuron]);
+        }
+        Ok(out)
+    }
+
+    /// Mean firing rate over all neurons.
+    pub fn mean_rate(&self) -> f64 {
+        self.density()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_silent() {
+        let s = SpikeTensor::new(5, 130);
+        assert_eq!(s.total_spikes(), 0);
+        assert_eq!(s.active_neurons(), 0);
+        assert!((0..5).all(|n| s.is_silent(n)));
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn full_is_all_firing_with_clean_tail() {
+        let s = SpikeTensor::full(3, 70); // 70 straddles a word boundary
+        assert_eq!(s.total_spikes(), 3 * 70);
+        assert_eq!(s.density(), 1.0);
+        assert!((0..3).all(|n| s.is_bursting(n, 8)));
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut s = SpikeTensor::new(2, 128);
+        for &t in &[0, 1, 63, 64, 65, 127] {
+            s.set(1, t, true);
+            assert!(s.get(1, t));
+            assert!(!s.get(0, t));
+        }
+        assert_eq!(s.fire_count(1), 6);
+        s.set(1, 64, false);
+        assert!(!s.get(1, 64));
+        assert_eq!(s.fire_count(1), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_range_panics() {
+        let s = SpikeTensor::new(1, 10);
+        s.get(0, 10);
+    }
+
+    #[test]
+    fn window_active_and_tags() {
+        let mut s = SpikeTensor::new(1, 32);
+        s.set(0, 9, true); // window 1 for tw=8
+        assert!(!s.window_active(0, 0, 8));
+        assert!(s.window_active(0, 1, 8));
+        assert!(!s.window_active(0, 2, 8));
+        assert!(!s.is_bursting(0, 8));
+        assert!(!s.is_silent(0));
+    }
+
+    #[test]
+    fn spike_word_packs_little_endian() {
+        let mut s = SpikeTensor::new(1, 100);
+        s.set(0, 10, true);
+        s.set(0, 13, true);
+        let w = s.spike_word(0, 10, 8);
+        assert_eq!(w, 0b1001);
+        // reading past the end pads with zeros
+        let w = s.spike_word(0, 96, 16);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn spike_word_straddles_storage_words() {
+        let mut s = SpikeTensor::new(1, 128);
+        s.set(0, 62, true);
+        s.set(0, 66, true);
+        assert_eq!(s.spike_word(0, 60, 8), 0b0100_0100);
+    }
+
+    #[test]
+    fn popcount_range_matches_naive() {
+        let s = SpikeTensor::from_fn(3, 200, |n, t| (n * 31 + t * 17) % 6 == 0);
+        for n in 0..3 {
+            for &(a, b) in &[(0, 200), (0, 1), (63, 65), (10, 10), (5, 3), (64, 128), (190, 400)] {
+                let naive = (a..b.min(200)).filter(|&t| a < b && s.get(n, t)).count() as u32;
+                assert_eq!(s.popcount_range(n, a, b), naive, "n={n} range=({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_range_full_tensor() {
+        let s = SpikeTensor::full(2, 130);
+        assert_eq!(s.popcount_range(0, 0, 130), 130);
+        assert_eq!(s.popcount_range(1, 64, 130), 66);
+        assert_eq!(s.popcount_range(1, 129, 130), 1);
+    }
+
+    #[test]
+    fn iter_spikes_matches_counts() {
+        let s = SpikeTensor::from_fn(4, 50, |n, t| (n + t) % 7 == 0);
+        let listed: Vec<_> = s.iter_spikes().collect();
+        assert_eq!(listed.len() as u64, s.total_spikes());
+        assert!(listed.iter().all(|&(n, t)| s.get(n, t)));
+    }
+
+    #[test]
+    fn rate_histogram_buckets() {
+        let mut s = SpikeTensor::new(3, 10);
+        // neuron 0: silent (bin 0), neuron 1: 50% (bin 5), neuron 2: 100% (last bin)
+        for t in 0..5 {
+            s.set(1, t, true);
+        }
+        for t in 0..10 {
+            s.set(2, t, true);
+        }
+        let h = s.rate_histogram(10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[9], 1);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn select_slices_receptive_field() {
+        let s = SpikeTensor::from_fn(8, 20, |n, t| n == 3 && t < 5);
+        let sub = s.select(&[3, 0]).unwrap();
+        assert_eq!(sub.neurons(), 2);
+        assert_eq!(sub.fire_count(0), 5);
+        assert_eq!(sub.fire_count(1), 0);
+        assert!(s.select(&[8]).is_err());
+    }
+
+    #[test]
+    fn bursting_requires_every_window() {
+        let mut s = SpikeTensor::new(1, 24);
+        for w in 0..3 {
+            s.set(0, w * 8 + 2, true);
+        }
+        assert!(s.is_bursting(0, 8));
+        s.set(0, 2, false);
+        assert!(!s.is_bursting(0, 8));
+    }
+
+    #[test]
+    fn bursting_with_partial_last_window() {
+        // 20 timesteps, tw=8 -> windows [0,8), [8,16), [16,20)
+        let mut s = SpikeTensor::new(1, 20);
+        s.set(0, 0, true);
+        s.set(0, 8, true);
+        s.set(0, 19, true);
+        assert!(s.is_bursting(0, 8));
+    }
+
+    #[test]
+    fn zero_timestep_tensor_is_degenerate_but_safe() {
+        let s = SpikeTensor::new(4, 0);
+        assert_eq!(s.total_spikes(), 0);
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.firing_rate(0), 0.0);
+    }
+}

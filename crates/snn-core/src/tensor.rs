@@ -1,0 +1,183 @@
+//! Minimal dense tensors for synaptic weights and membrane state.
+//!
+//! The functional simulator only needs a 4-D weight tensor
+//! `W[m][c][i][j]` (Eq. 4) and flat per-neuron state vectors, so this
+//! module deliberately stays tiny instead of pulling in an ndarray
+//! dependency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SnnError};
+
+/// A dense 4-D `f32` tensor with layout `[d0][d1][d2][d3]`, row-major.
+///
+/// Used for CONV filters as `W[out_channel][in_channel][row][col]` and,
+/// with degenerate dimensions, FC weight matrices.
+///
+/// ```
+/// use snn_core::tensor::Tensor4;
+/// let mut w = Tensor4::zeros([2, 3, 3, 3]);
+/// w[[1, 2, 0, 0]] = 0.5;
+/// assert_eq!(w[[1, 2, 0, 0]], 0.5);
+/// assert_eq!(w.len(), 2 * 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    dims: [usize; 4],
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled tensor with the given dimensions.
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        Tensor4 {
+            dims,
+            data: vec![0.0; dims.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from a generator over `[d0, d1, d2, d3]` indices.
+    pub fn from_fn(dims: [usize; 4], mut f: impl FnMut([usize; 4]) -> f32) -> Self {
+        let mut t = Self::zeros(dims);
+        for a in 0..dims[0] {
+            for b in 0..dims[1] {
+                for c in 0..dims[2] {
+                    for d in 0..dims[3] {
+                        t[[a, b, c, d]] = f([a, b, c, d]);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::DimensionMismatch`] if `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(dims: [usize; 4], data: Vec<f32>) -> Result<Self> {
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(SnnError::DimensionMismatch {
+                expected,
+                actual: data.len(),
+                what: "tensor elements",
+            });
+        }
+        Ok(Tensor4 { dims, data })
+    }
+
+    /// The four dimensions.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, idx: [usize; 4]) -> usize {
+        debug_assert!(
+            idx[0] < self.dims[0]
+                && idx[1] < self.dims[1]
+                && idx[2] < self.dims[2]
+                && idx[3] < self.dims[3],
+            "index {idx:?} out of bounds for dims {:?}",
+            self.dims
+        );
+        ((idx[0] * self.dims[1] + idx[1]) * self.dims[2] + idx[2]) * self.dims[3] + idx[3]
+    }
+
+    /// Immutable view of the flat data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Largest absolute element value (used by weight quantization).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<[usize; 4]> for Tensor4 {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, idx: [usize; 4]) -> &f32 {
+        &self.data[self.offset(idx)]
+    }
+}
+
+impl std::ops::IndexMut<[usize; 4]> for Tensor4 {
+    #[inline]
+    fn index_mut(&mut self, idx: [usize; 4]) -> &mut f32 {
+        let o = self.offset(idx);
+        &mut self.data[o]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor4::zeros([2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        assert!(!t.is_empty());
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor4::from_fn([2, 2, 2, 2], |[a, b, c, d]| {
+            (a * 8 + b * 4 + c * 2 + d) as f32
+        });
+        // last index varies fastest
+        assert_eq!(t.as_slice()[0], 0.0);
+        assert_eq!(t.as_slice()[1], 1.0);
+        assert_eq!(t.as_slice()[2], 2.0);
+        assert_eq!(t[[1, 1, 1, 1]], 15.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor4::from_vec([1, 1, 1, 3], vec![1.0, 2.0, 3.0]).is_ok());
+        assert!(Tensor4::from_vec([1, 1, 1, 3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn index_mut_writes() {
+        let mut t = Tensor4::zeros([1, 2, 3, 4]);
+        t[[0, 1, 2, 3]] = 7.5;
+        assert_eq!(t[[0, 1, 2, 3]], 7.5);
+        assert_eq!(t.abs_max(), 7.5);
+    }
+
+    #[test]
+    fn abs_max_sees_negatives() {
+        let t = Tensor4::from_vec([1, 1, 1, 3], vec![0.5, -2.0, 1.0]).unwrap();
+        assert_eq!(t.abs_max(), 2.0);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = Tensor4::zeros([0, 4, 4, 4]);
+        assert!(t.is_empty());
+        assert_eq!(t.abs_max(), 0.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Synthetic dynamic-vision-sensor (DVS) pipeline.
+//!
+//! The paper evaluates on DVS-Gesture and CIFAR10-DVS: recordings from
+//! an event camera, converted to fixed-time-step binary tensors
+//! ("each sample is converted into a 300-/100-time step binary matrix by
+//! compressing the time resolution", Section V-C). The recordings are
+//! unavailable here, so this module builds the closest synthetic
+//! equivalent end to end:
+//!
+//! 1. [`Scene`] renders parametric moving-stimulus luminance frames
+//!    (translating bars, drifting discs, rotating arms — the stuff of
+//!    gesture recordings);
+//! 2. [`EventCamera`] converts the frame stream into ON/OFF address
+//!    events with the standard log-intensity-change threshold model;
+//! 3. [`events_to_tensor`] bins events into a 2-channel (polarity)
+//!    [`SpikeTensor`], exactly the `C = 2` input format of Table V's
+//!    DVS-Gesture CONV1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use snn_core::spike::SpikeTensor;
+use snn_core::{Result, SnnError};
+
+/// One address event: a pixel saw a log-intensity change at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Pixel row.
+    pub y: u32,
+    /// Pixel column.
+    pub x: u32,
+    /// Frame index the event was produced at.
+    pub t: u32,
+    /// `true` = ON (brightening), `false` = OFF (darkening).
+    pub polarity: bool,
+}
+
+/// A parametric moving stimulus rendered as luminance frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scene {
+    /// A bright bar sweeping across the frame.
+    MovingBar {
+        /// Bar thickness in pixels.
+        thickness: u32,
+        /// Pixels moved per frame along the motion axis.
+        speed: f32,
+        /// Motion direction in radians (0 = left→right).
+        angle: f32,
+    },
+    /// A bright disc drifting along a straight line.
+    DriftingDisc {
+        /// Disc radius in pixels.
+        radius: f32,
+        /// Pixels per frame.
+        speed: f32,
+        /// Motion direction in radians.
+        angle: f32,
+    },
+    /// A bright arm rotating about the frame centre (arm-waving
+    /// gestures look like this to an event camera).
+    RotatingArm {
+        /// Arm length as a fraction of the half-side.
+        length: f32,
+        /// Radians per frame (sign = direction).
+        angular_speed: f32,
+    },
+}
+
+impl Scene {
+    /// Luminance in `\[0, 1\]` of pixel `(x, y)` at frame `t`, on a square
+    /// `side × side` canvas.
+    pub fn luminance(&self, side: u32, x: u32, y: u32, t: u32) -> f32 {
+        let s = side as f32;
+        let (px, py) = (x as f32 + 0.5, y as f32 + 0.5);
+        match *self {
+            Scene::MovingBar {
+                thickness,
+                speed,
+                angle,
+            } => {
+                // Distance from the moving line along the motion axis.
+                let axis = px * angle.cos() + py * angle.sin();
+                let head = (t as f32 * speed) % (s + thickness as f32 * 2.0);
+                let d = (axis - head).abs();
+                if d < thickness as f32 {
+                    1.0 - 0.5 * d / thickness as f32
+                } else {
+                    0.1
+                }
+            }
+            Scene::DriftingDisc {
+                radius,
+                speed,
+                angle,
+            } => {
+                let span = s + 2.0 * radius;
+                let travel = (t as f32 * speed) % span;
+                let cx = angle.cos() * travel + (1.0 - angle.cos().abs()) * s / 2.0 - radius;
+                let cy = angle.sin() * travel + (1.0 - angle.sin().abs()) * s / 2.0 - radius;
+                let d2 = (px - cx - radius).powi(2) + (py - cy - radius).powi(2);
+                if d2 < radius * radius {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+            Scene::RotatingArm {
+                length,
+                angular_speed,
+            } => {
+                let (cx, cy) = (s / 2.0, s / 2.0);
+                let theta = t as f32 * angular_speed;
+                let (dx, dy) = (px - cx, py - cy);
+                let r = (dx * dx + dy * dy).sqrt();
+                if r > length * s / 2.0 || r < 1.0 {
+                    return 0.1;
+                }
+                let phi = dy.atan2(dx);
+                let mut dphi = (phi - theta).rem_euclid(std::f32::consts::TAU);
+                if dphi > std::f32::consts::PI {
+                    dphi = std::f32::consts::TAU - dphi;
+                }
+                if dphi < 0.25 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+
+    /// A small catalogue of gesture-like stimuli, one per class label —
+    /// the synthetic stand-in for DVS-Gesture's 11 hand gestures.
+    pub fn gesture_class(class: usize) -> Scene {
+        match class % 6 {
+            0 => Scene::MovingBar {
+                thickness: 2,
+                speed: 1.0,
+                angle: 0.0,
+            },
+            1 => Scene::MovingBar {
+                thickness: 2,
+                speed: 1.0,
+                angle: std::f32::consts::FRAC_PI_2,
+            },
+            2 => Scene::RotatingArm {
+                length: 0.9,
+                angular_speed: 0.15,
+            },
+            3 => Scene::RotatingArm {
+                length: 0.9,
+                angular_speed: -0.15,
+            },
+            4 => Scene::DriftingDisc {
+                radius: 3.0,
+                speed: 0.8,
+                angle: 0.0,
+            },
+            _ => Scene::DriftingDisc {
+                radius: 3.0,
+                speed: 0.8,
+                angle: std::f32::consts::FRAC_PI_2,
+            },
+        }
+    }
+}
+
+/// The standard event-camera pixel model: each pixel remembers the log
+/// intensity at its last event and fires ON/OFF when the current log
+/// intensity moves by more than `threshold`, with optional shot noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventCamera {
+    /// Log-intensity contrast threshold (typical real sensors: 0.1–0.3).
+    pub threshold: f32,
+    /// Probability per pixel per frame of a spurious noise event.
+    pub noise_rate: f64,
+    /// RNG seed for the noise process.
+    pub seed: u64,
+}
+
+impl EventCamera {
+    /// A quiet, moderately sensitive camera.
+    pub fn ideal() -> Self {
+        EventCamera {
+            threshold: 0.2,
+            noise_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Records `frames` frames of `scene` on a `side × side` sensor and
+    /// returns the event stream, time-ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if the threshold is not
+    /// positive and finite or the noise rate is outside `\[0, 1\]`.
+    pub fn record(&self, scene: &Scene, side: u32, frames: u32) -> Result<Vec<Event>> {
+        if !(self.threshold > 0.0 && self.threshold.is_finite()) {
+            return Err(SnnError::invalid_config(format!(
+                "contrast threshold must be positive and finite, got {}",
+                self.threshold
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.noise_rate) {
+            return Err(SnnError::invalid_config(format!(
+                "noise rate must be in [0,1], got {}",
+                self.noise_rate
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let eps = 1e-3f32;
+        let mut reference: Vec<f32> = (0..side * side)
+            .map(|i| (scene.luminance(side, i % side, i / side, 0) + eps).ln())
+            .collect();
+        let mut events = Vec::new();
+        for t in 1..frames {
+            for y in 0..side {
+                for x in 0..side {
+                    let idx = (y * side + x) as usize;
+                    let log_i = (scene.luminance(side, x, y, t) + eps).ln();
+                    let delta = log_i - reference[idx];
+                    if delta.abs() >= self.threshold {
+                        // One event per threshold crossing; the reference
+                        // moves by whole thresholds (standard DVS model).
+                        let steps = (delta.abs() / self.threshold).floor();
+                        reference[idx] += steps * self.threshold * delta.signum();
+                        events.push(Event {
+                            x,
+                            y,
+                            t,
+                            polarity: delta > 0.0,
+                        });
+                    }
+                    if self.noise_rate > 0.0 && rng.gen_bool(self.noise_rate) {
+                        events.push(Event {
+                            x,
+                            y,
+                            t,
+                            polarity: rng.gen_bool(0.5),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// Bins an event stream into a 2-channel spike tensor: channel 0 = ON,
+/// channel 1 = OFF, neuron layout `channel-major` (matching
+/// [`snn_core::shape::ConvShape::ifmap_index`]), with the frame axis
+/// compressed onto `timesteps` bins — the paper's "compressing the time
+/// resolution".
+///
+/// # Errors
+///
+/// Returns [`SnnError::InvalidConfig`] if `timesteps == 0`, and
+/// [`SnnError::IndexOutOfBounds`] if an event lies outside the sensor.
+pub fn events_to_tensor(
+    events: &[Event],
+    side: u32,
+    frames: u32,
+    timesteps: usize,
+) -> Result<SpikeTensor> {
+    if timesteps == 0 {
+        return Err(SnnError::invalid_config("need at least one time bin"));
+    }
+    let pixels = (side * side) as usize;
+    let mut out = SpikeTensor::new(2 * pixels, timesteps);
+    for e in events {
+        if e.x >= side || e.y >= side {
+            return Err(SnnError::IndexOutOfBounds {
+                index: (e.y * side + e.x) as usize,
+                len: pixels,
+                what: "dvs sensor pixels",
+            });
+        }
+        let channel = usize::from(!e.polarity); // ON=0, OFF=1
+        let neuron = channel * pixels + (e.y * side + e.x) as usize;
+        let bin = (e.t as usize * timesteps) / frames.max(1) as usize;
+        out.set(neuron, bin.min(timesteps - 1), true);
+    }
+    Ok(out)
+}
+
+/// One-call convenience: record a gesture class and bin it, the full
+/// DVS-Gesture-sample substitute.
+///
+/// # Errors
+///
+/// Propagates camera and binning errors.
+pub fn synthesize_gesture(
+    class: usize,
+    side: u32,
+    frames: u32,
+    timesteps: usize,
+    seed: u64,
+) -> Result<SpikeTensor> {
+    let camera = EventCamera {
+        threshold: 0.2,
+        noise_rate: 0.002,
+        seed,
+    };
+    let events = camera.record(&Scene::gesture_class(class), side, frames)?;
+    events_to_tensor(&events, side, frames, timesteps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_scene_produces_no_events() {
+        // A bar with zero speed never changes luminance.
+        let scene = Scene::MovingBar {
+            thickness: 3,
+            speed: 0.0,
+            angle: 0.0,
+        };
+        let events = EventCamera::ideal().record(&scene, 16, 50).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn moving_bar_produces_on_and_off_events() {
+        let scene = Scene::gesture_class(0);
+        let events = EventCamera::ideal().record(&scene, 24, 60).unwrap();
+        assert!(!events.is_empty());
+        let on = events.iter().filter(|e| e.polarity).count();
+        let off = events.len() - on;
+        assert!(on > 0 && off > 0, "moving edge must brighten and darken pixels");
+        // Roughly balanced: every brightening is followed by a darkening.
+        let ratio = on as f64 / off.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "on/off ratio {ratio}");
+    }
+
+    #[test]
+    fn events_are_sparse_like_real_dvs() {
+        let spikes = synthesize_gesture(2, 32, 120, 100, 7).unwrap();
+        let d = spikes.density();
+        assert!(d > 0.001, "density {d} too low — stimulus invisible");
+        assert!(d < 0.15, "density {d} too high for event data");
+        assert_eq!(spikes.neurons(), 2 * 32 * 32);
+    }
+
+    #[test]
+    fn polarity_channels_are_separated() {
+        let scene = Scene::gesture_class(0);
+        let events = EventCamera::ideal().record(&scene, 8, 30).unwrap();
+        let spikes = events_to_tensor(&events, 8, 30, 30).unwrap();
+        let pixels = 64;
+        let on_spikes: u64 = (0..pixels).map(|n| u64::from(spikes.fire_count(n))).sum();
+        let off_spikes: u64 = (pixels..2 * pixels)
+            .map(|n| u64::from(spikes.fire_count(n)))
+            .sum();
+        assert!(on_spikes > 0 && off_spikes > 0);
+        assert_eq!(
+            on_spikes + off_spikes,
+            spikes.total_spikes(),
+        );
+    }
+
+    #[test]
+    fn time_compression_preserves_event_count_bound() {
+        let scene = Scene::gesture_class(4);
+        let events = EventCamera::ideal().record(&scene, 16, 200).unwrap();
+        // Compressing 200 frames into 50 bins can merge events at the
+        // same (pixel, bin) but never invents spikes.
+        let spikes = events_to_tensor(&events, 16, 200, 50).unwrap();
+        assert!(spikes.total_spikes() <= events.len() as u64);
+        assert_eq!(spikes.timesteps(), 50);
+    }
+
+    #[test]
+    fn different_classes_produce_different_signatures() {
+        let a = synthesize_gesture(0, 16, 60, 60, 3).unwrap();
+        let b = synthesize_gesture(1, 16, 60, 60, 3).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn camera_validates_parameters() {
+        let scene = Scene::gesture_class(0);
+        let bad = EventCamera {
+            threshold: 0.0,
+            noise_rate: 0.0,
+            seed: 0,
+        };
+        assert!(bad.record(&scene, 8, 10).is_err());
+        let bad = EventCamera {
+            threshold: 0.2,
+            noise_rate: 1.5,
+            seed: 0,
+        };
+        assert!(bad.record(&scene, 8, 10).is_err());
+    }
+
+    #[test]
+    fn out_of_sensor_events_rejected() {
+        let events = [Event {
+            x: 9,
+            y: 0,
+            t: 0,
+            polarity: true,
+        }];
+        assert!(events_to_tensor(&events, 8, 10, 10).is_err());
+        assert!(events_to_tensor(&[], 8, 10, 0).is_err());
+    }
+
+    #[test]
+    fn noise_adds_events() {
+        let scene = Scene::MovingBar {
+            thickness: 3,
+            speed: 0.0,
+            angle: 0.0,
+        };
+        let noisy = EventCamera {
+            threshold: 0.2,
+            noise_rate: 0.01,
+            seed: 1,
+        };
+        let events = noisy.record(&scene, 16, 50).unwrap();
+        assert!(!events.is_empty(), "noise must produce spurious events");
+    }
+}

@@ -1,0 +1,37 @@
+//! # spikegen
+//!
+//! Synthetic neuromorphic spiking-activity generation for the PTB
+//! accelerator reproduction.
+//!
+//! The paper evaluates on spike activity extracted from S-CNNs trained on
+//! the DVS-Gesture and CIFAR10-DVS recordings (plus a synthetic spiking
+//! AlexNet). Those recordings and trained checkpoints are not available
+//! here, so — per the substitution policy in DESIGN.md §5 — this crate
+//! generates activity with the same *statistics* the paper reports:
+//!
+//! * unstructured spatial sparsity: a sizeable fraction of neurons per
+//!   layer are fully silent (Fig. 3, Fig. 5c);
+//! * heavy-tailed per-neuron firing rates in the 1–15 % range for
+//!   well-trained networks (Fig. 4, Fig. 12a), modelled log-normally;
+//! * configurable temporal structure: independent Bernoulli firing or
+//!   bursty clustered firing (DVS data is strongly event-clustered).
+//!
+//! Modules:
+//!
+//! * [`profile`] — [`profile::FiringProfile`]: the per-layer statistical
+//!   activity description and its deterministic sampler.
+//! * [`datasets`] — Table V: the three benchmark networks with per-layer
+//!   shapes and calibrated activity profiles, plus the CIFAR10 CNN used
+//!   in the Fig. 12(b) ANN comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datasets;
+pub mod dvs;
+pub mod profile;
+
+pub use datasets::{alexnet, cifar10_dvs, dvs_gesture, LayerKind, LayerSpec, NetworkSpec};
+pub use dvs::{synthesize_gesture, Event, EventCamera, Scene};
+pub use profile::{FiringProfile, TemporalStructure};

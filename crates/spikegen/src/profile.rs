@@ -1,0 +1,379 @@
+//! Statistical firing-activity profiles and their deterministic sampler.
+//!
+//! A [`FiringProfile`] describes the activity of one layer's pre-synaptic
+//! population the way the paper characterizes real trained S-CNNs
+//! (Fig. 4): a fraction of fully silent neurons, a heavy-tailed
+//! (log-normal) distribution of per-neuron firing rates among the active
+//! ones, and a choice of temporal structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use snn_core::spike::SpikeTensor;
+use snn_core::{Result, SnnError};
+
+/// How an active neuron's spikes are distributed over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TemporalStructure {
+    /// Independent Bernoulli firing at the neuron's rate each time point.
+    Bernoulli,
+    /// Clustered firing: bursts of `burst_len` consecutive time points
+    /// inside which the neuron fires with probability `within_rate`.
+    /// DVS-derived activity is strongly clustered because scene motion
+    /// arrives in episodes.
+    Bursty {
+        /// Length of a burst in time points.
+        burst_len: u32,
+        /// Firing probability inside a burst (0, 1].
+        within_rate: f32,
+    },
+    /// Evenly spaced firing at the neuron's rate (the most regular,
+    /// easiest-to-pack extreme; useful for ablations).
+    Regular,
+}
+
+/// Per-layer activity statistics plus a deterministic spike sampler.
+///
+/// ```
+/// use spikegen::profile::{FiringProfile, TemporalStructure};
+/// let p = FiringProfile::new(0.3, 0.08, 0.8, TemporalStructure::Bernoulli).unwrap();
+/// let spikes = p.generate(500, 300, 42);
+/// let density = spikes.density();
+/// assert!(density > 0.02 && density < 0.12, "density {density}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiringProfile {
+    /// Fraction of neurons that never fire (spatial sparsity).
+    silent_fraction: f64,
+    /// Mean firing rate of the *active* neurons, in (0, 1].
+    mean_rate: f64,
+    /// Log-normal dispersion (sigma of ln rate); 0 = all active neurons
+    /// share `mean_rate`.
+    dispersion: f64,
+    /// Temporal structure of each active neuron's spike train.
+    temporal: TemporalStructure,
+}
+
+impl FiringProfile {
+    /// Creates a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `silent_fraction` is outside
+    /// `\[0, 1\]`, `mean_rate` is outside `(0, 1]`, `dispersion` is
+    /// negative, or a bursty structure has a zero burst length or an
+    /// out-of-range within-burst rate.
+    pub fn new(
+        silent_fraction: f64,
+        mean_rate: f64,
+        dispersion: f64,
+        temporal: TemporalStructure,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&silent_fraction) {
+            return Err(SnnError::invalid_config(format!(
+                "silent fraction must be in [0,1], got {silent_fraction}"
+            )));
+        }
+        if !(mean_rate > 0.0 && mean_rate <= 1.0) {
+            return Err(SnnError::invalid_config(format!(
+                "mean rate must be in (0,1], got {mean_rate}"
+            )));
+        }
+        if dispersion < 0.0 || !dispersion.is_finite() {
+            return Err(SnnError::invalid_config(format!(
+                "dispersion must be finite and non-negative, got {dispersion}"
+            )));
+        }
+        if let TemporalStructure::Bursty {
+            burst_len,
+            within_rate,
+        } = temporal
+        {
+            if burst_len == 0 {
+                return Err(SnnError::invalid_config("burst length must be nonzero"));
+            }
+            if !(within_rate > 0.0 && within_rate <= 1.0) {
+                return Err(SnnError::invalid_config(format!(
+                    "within-burst rate must be in (0,1], got {within_rate}"
+                )));
+            }
+        }
+        Ok(FiringProfile {
+            silent_fraction,
+            mean_rate,
+            dispersion,
+            temporal,
+        })
+    }
+
+    /// A typical well-trained-network profile (Fig. 12a): ~8 % mean rate,
+    /// moderate dispersion, Bernoulli temporal structure.
+    pub fn typical() -> Self {
+        FiringProfile::new(0.3, 0.08, 0.8, TemporalStructure::Bernoulli)
+            .expect("typical profile parameters are valid")
+    }
+
+    /// Fraction of neurons that never fire.
+    pub fn silent_fraction(&self) -> f64 {
+        self.silent_fraction
+    }
+
+    /// Mean firing rate of active neurons.
+    pub fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+
+    /// Log-normal dispersion of active-neuron rates.
+    pub fn dispersion(&self) -> f64 {
+        self.dispersion
+    }
+
+    /// Temporal structure of active neurons' trains.
+    pub fn temporal(&self) -> TemporalStructure {
+        self.temporal
+    }
+
+    /// Returns a copy with a different mean rate, clamped to (0, 1]
+    /// (used by the Fig. 12(b) sparsity-level sweep).
+    pub fn with_mean_rate(mut self, mean_rate: f64) -> Self {
+        self.mean_rate = mean_rate.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different temporal structure.
+    pub fn with_temporal(mut self, temporal: TemporalStructure) -> Self {
+        self.temporal = temporal;
+        self
+    }
+
+    /// Expected overall spike density: `(1 − silent) · mean_rate`.
+    pub fn expected_density(&self) -> f64 {
+        (1.0 - self.silent_fraction) * self.mean_rate
+    }
+
+    /// Samples per-neuron firing rates: `0` for silent neurons, a
+    /// log-normal draw (mean `mean_rate`, sigma `dispersion`) clamped to
+    /// `[0, 0.95]` for active ones. Deterministic in `seed`.
+    pub fn sample_rates(&self, neurons: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  choose mu so
+        // the mean matches the configured rate.
+        let sigma = self.dispersion;
+        let mu = self.mean_rate.ln() - sigma * sigma / 2.0;
+        (0..neurons)
+            .map(|_| {
+                if rng.gen_bool(self.silent_fraction) {
+                    0.0
+                } else if sigma == 0.0 {
+                    self.mean_rate.min(0.95)
+                } else {
+                    let z = standard_normal(&mut rng);
+                    (mu + sigma * z).exp().min(0.95)
+                }
+            })
+            .collect()
+    }
+
+    /// Generates a full spike tensor for `neurons` over `timesteps`,
+    /// deterministic in `seed`.
+    pub fn generate(&self, neurons: usize, timesteps: usize, seed: u64) -> SpikeTensor {
+        let rates = self.sample_rates(neurons, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED_CAFE));
+        let mut out = SpikeTensor::new(neurons, timesteps);
+        for (n, &rate) in rates.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            match self.temporal {
+                TemporalStructure::Bernoulli => {
+                    for t in 0..timesteps {
+                        if rng.gen_bool(rate) {
+                            out.set(n, t, true);
+                        }
+                    }
+                }
+                TemporalStructure::Bursty {
+                    burst_len,
+                    within_rate,
+                } => {
+                    // A burst of length L firing at `within_rate` delivers
+                    // L * within_rate expected spikes, so start bursts with
+                    // probability rate / (L * within_rate) per step.
+                    let l = burst_len as usize;
+                    let p_start =
+                        (rate / (l as f64 * within_rate as f64)).clamp(0.0, 1.0);
+                    let mut remaining = 0usize;
+                    for t in 0..timesteps {
+                        if remaining == 0 && rng.gen_bool(p_start) {
+                            remaining = l;
+                        }
+                        if remaining > 0 {
+                            remaining -= 1;
+                            if rng.gen_bool(within_rate as f64) {
+                                out.set(n, t, true);
+                            }
+                        }
+                    }
+                }
+                TemporalStructure::Regular => {
+                    let period = (1.0 / rate).round().max(1.0) as usize;
+                    let phase = rng.gen_range(0..period);
+                    let mut t = phase;
+                    while t < timesteps {
+                        out.set(n, t, true);
+                        t += period;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform (avoids adding a
+/// `rand_distr` dependency for a single distribution).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = FiringProfile::typical();
+        assert_eq!(p.generate(100, 100, 7), p.generate(100, 100, 7));
+        assert_ne!(p.generate(100, 100, 7), p.generate(100, 100, 8));
+    }
+
+    #[test]
+    fn silent_fraction_is_respected() {
+        let p = FiringProfile::new(0.5, 0.1, 0.5, TemporalStructure::Bernoulli).unwrap();
+        let s = p.generate(2000, 50, 1);
+        let silent = (0..2000).filter(|&n| s.is_silent(n)).count() as f64 / 2000.0;
+        // Silent-by-draw plus active neurons that happen not to fire in 50 steps.
+        assert!(silent > 0.45, "silent fraction {silent} too low");
+        assert!(silent < 0.65, "silent fraction {silent} too high");
+    }
+
+    #[test]
+    fn mean_rate_matches_target() {
+        let p = FiringProfile::new(0.0, 0.1, 0.6, TemporalStructure::Bernoulli).unwrap();
+        let s = p.generate(3000, 200, 3);
+        let d = s.density();
+        assert!((d - 0.1).abs() < 0.02, "density {d} far from 0.1");
+    }
+
+    #[test]
+    fn dispersion_widens_rate_distribution() {
+        let narrow = FiringProfile::new(0.0, 0.1, 0.0, TemporalStructure::Bernoulli).unwrap();
+        let wide = FiringProfile::new(0.0, 0.1, 1.5, TemporalStructure::Bernoulli).unwrap();
+        let var = |rates: &[f64]| {
+            let m = rates.iter().sum::<f64>() / rates.len() as f64;
+            rates.iter().map(|r| (r - m) * (r - m)).sum::<f64>() / rates.len() as f64
+        };
+        let vn = var(&narrow.sample_rates(5000, 2));
+        let vw = var(&wide.sample_rates(5000, 2));
+        assert!(vn < 1e-12);
+        assert!(vw > 1e-4);
+    }
+
+    #[test]
+    fn bursty_matches_rate_but_clusters() {
+        let rate = 0.08;
+        let bern = FiringProfile::new(0.0, rate, 0.0, TemporalStructure::Bernoulli).unwrap();
+        let burst = FiringProfile::new(
+            0.0,
+            rate,
+            0.0,
+            TemporalStructure::Bursty {
+                burst_len: 8,
+                within_rate: 0.8,
+            },
+        )
+        .unwrap();
+        let sb = bern.generate(1000, 300, 5);
+        let su = burst.generate(1000, 300, 5);
+        assert!((sb.density() - rate).abs() < 0.01);
+        assert!((su.density() - rate).abs() < 0.02);
+        // Clustering: count windows of 8 that contain >= 1 spike. Bursty
+        // trains concentrate spikes into fewer windows.
+        let occupied = |s: &SpikeTensor| -> usize {
+            (0..s.neurons())
+                .map(|n| (0..300 / 8).filter(|&w| s.window_active(n, w, 8)).count())
+                .sum()
+        };
+        assert!(
+            occupied(&su) < occupied(&sb) * 3 / 4,
+            "bursty {} vs bernoulli {}",
+            occupied(&su),
+            occupied(&sb)
+        );
+    }
+
+    #[test]
+    fn regular_spacing_matches_rate() {
+        let p = FiringProfile::new(0.0, 0.125, 0.0, TemporalStructure::Regular).unwrap();
+        let s = p.generate(50, 400, 9);
+        for n in 0..50 {
+            let rate = s.firing_rate(n);
+            assert!((rate - 0.125).abs() < 0.01, "neuron {n} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        use TemporalStructure::*;
+        assert!(FiringProfile::new(-0.1, 0.1, 0.0, Bernoulli).is_err());
+        assert!(FiringProfile::new(1.1, 0.1, 0.0, Bernoulli).is_err());
+        assert!(FiringProfile::new(0.0, 0.0, 0.0, Bernoulli).is_err());
+        assert!(FiringProfile::new(0.0, 1.5, 0.0, Bernoulli).is_err());
+        assert!(FiringProfile::new(0.0, 0.1, -1.0, Bernoulli).is_err());
+        assert!(FiringProfile::new(
+            0.0,
+            0.1,
+            0.0,
+            Bursty {
+                burst_len: 0,
+                within_rate: 0.5
+            }
+        )
+        .is_err());
+        assert!(FiringProfile::new(
+            0.0,
+            0.1,
+            0.0,
+            Bursty {
+                burst_len: 4,
+                within_rate: 0.0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expected_density_formula() {
+        let p = FiringProfile::new(0.25, 0.2, 0.0, TemporalStructure::Bernoulli).unwrap();
+        assert!((p.expected_density() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_mean_rate_clamps() {
+        let p = FiringProfile::typical().with_mean_rate(2.0);
+        assert_eq!(p.mean_rate(), 1.0);
+        let p = FiringProfile::typical().with_mean_rate(0.5);
+        assert_eq!(p.mean_rate(), 0.5);
+    }
+
+    #[test]
+    fn rates_have_heavy_tail_within_clamp() {
+        let p = FiringProfile::new(0.0, 0.08, 1.0, TemporalStructure::Bernoulli).unwrap();
+        let rates = p.sample_rates(10_000, 11);
+        let above = rates.iter().filter(|&&r| r > 0.3).count();
+        assert!(above > 10, "log-normal tail should reach beyond 30%");
+        assert!(rates.iter().all(|&r| r <= 0.95));
+    }
+}

@@ -1,0 +1,200 @@
+//! Beat-accurate pipeline timing: an explicit simulation of the skewed
+//! systolic wavefront that the analytic cycle formulas summarize.
+//!
+//! The analytic model in `ptb-accel` charges one iteration
+//! `Σ slot_costs + rows + cols − 2` cycles, where a slot's cost is the
+//! busiest column's accumulate count (bounded below by the spike-link
+//! beats). This module *plays that schedule out*: entries advance
+//! through the array one hop per beat, each PE processes its slot for
+//! that slot's local work, and neighbours stall in lockstep when a slot
+//! needs more than one beat. The test suite proves the analytic total
+//! equals the played-out total, so the big simulator's latency numbers
+//! rest on an executable definition rather than a hand-waved formula.
+
+use crate::array::ArrayDims;
+
+/// Work description of one streaming slot: how many accumulate beats
+/// each column's PE must spend on it (already `max`-ed with the
+/// spike-link minimum by the caller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotWork {
+    /// Per-column busy beats for this slot (length = array columns).
+    pub col_beats: Vec<u64>,
+}
+
+impl SlotWork {
+    /// Uniform work across all columns.
+    pub fn uniform(cols: usize, beats: u64) -> Self {
+        SlotWork {
+            col_beats: vec![beats; cols],
+        }
+    }
+
+    /// The lockstep stall this slot imposes on the wavefront.
+    pub fn stall(&self) -> u64 {
+        self.col_beats.iter().copied().max().unwrap_or(0).max(1)
+    }
+}
+
+/// Result of playing one iteration out beat by beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineResult {
+    /// Beat at which the last PE finishes its last slot.
+    pub cycles: u64,
+    /// Total PE-beats spent busy (work actually performed).
+    pub busy_pe_beats: u64,
+    /// Total PE-beats in the iteration (PEs × cycles).
+    pub total_pe_beats: u64,
+}
+
+impl TimelineResult {
+    /// Occupancy of the array over the iteration.
+    pub fn occupancy(&self) -> f64 {
+        if self.total_pe_beats == 0 {
+            0.0
+        } else {
+            self.busy_pe_beats as f64 / self.total_pe_beats as f64
+        }
+    }
+}
+
+/// Plays an iteration's slot stream through a `dims` array, beat by
+/// beat, with lockstep stalls: the wavefront advances only when every
+/// PE on it has finished its current slot.
+///
+/// Timing model: slot `k` reaches PE `(r, c)` after `r + c` hops plus
+/// the cumulative stalls of slots `0..k`; the PE then works on it for
+/// the slot's own column-`c` beats, but cannot hand it on before the
+/// *global* stall of the slot elapses (lockstep — the systolic fabric
+/// has no elastic buffering).
+pub fn play_iteration(dims: ArrayDims, slots: &[SlotWork]) -> TimelineResult {
+    let rows = dims.rows() as u64;
+    let cols = dims.cols() as usize;
+    if slots.is_empty() {
+        return TimelineResult {
+            cycles: 0,
+            busy_pe_beats: 0,
+            total_pe_beats: 0,
+        };
+    }
+    // Injection beat of slot k at the array edge: the sum of the global
+    // stalls of everything before it.
+    let mut injection = 0u64;
+    let mut finish = 0u64;
+    let mut busy = 0u64;
+    for slot in slots {
+        assert_eq!(
+            slot.col_beats.len(),
+            cols,
+            "slot work must cover every column"
+        );
+        let stall = slot.stall();
+        // Last PE to see this slot is (rows-1, cols-1): it receives it
+        // `rows-1 + cols-1` hops after injection and holds it `stall`
+        // beats (its own work may be shorter; the fabric is lockstep).
+        let done = injection + (rows - 1) + (cols as u64 - 1) + stall;
+        finish = finish.max(done);
+        injection += stall;
+        busy += rows * slot.col_beats.iter().map(|&b| b.max(1)).sum::<u64>();
+    }
+    TimelineResult {
+        cycles: finish,
+        busy_pe_beats: busy,
+        total_pe_beats: u64::from(dims.pe_count()) * finish,
+    }
+}
+
+/// The analytic iteration formula the big simulator uses:
+/// `Σ stalls + rows + cols − 2`.
+pub fn analytic_iteration_cycles(dims: ArrayDims, slots: &[SlotWork]) -> u64 {
+    if slots.is_empty() {
+        return 0;
+    }
+    slots.iter().map(SlotWork::stall).sum::<u64>() + dims.fill_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_takes_no_time() {
+        let r = play_iteration(ArrayDims::new(4, 4), &[]);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn single_unit_slot_is_pure_fill() {
+        let dims = ArrayDims::new(4, 6);
+        let r = play_iteration(dims, &[SlotWork::uniform(6, 1)]);
+        // 1 stall + (4-1) + (6-1) hops = 9 = fill + 1.
+        assert_eq!(r.cycles, dims.fill_cycles() + 1);
+    }
+
+    #[test]
+    fn analytic_formula_matches_played_out_schedule() {
+        let dims = ArrayDims::new(16, 8);
+        // Mixed slot costs, like a real sparse tile.
+        let slots: Vec<SlotWork> = (0..40)
+            .map(|k| {
+                let beats: Vec<u64> = (0..8).map(|c| 1 + ((k * 3 + c) % 5) as u64).collect();
+                SlotWork { col_beats: beats }
+            })
+            .collect();
+        let played = play_iteration(dims, &slots);
+        let analytic = analytic_iteration_cycles(dims, &slots);
+        assert_eq!(played.cycles, analytic);
+    }
+
+    #[test]
+    fn uniform_ii_reduces_to_classic_formula() {
+        let dims = ArrayDims::new(4, 4);
+        let slots = vec![SlotWork::uniform(4, 8); 10];
+        let played = play_iteration(dims, &slots);
+        assert_eq!(played.cycles, dims.iteration_cycles(10, 8));
+    }
+
+    #[test]
+    fn occupancy_reflects_column_imbalance() {
+        let dims = ArrayDims::new(2, 2);
+        // One busy column, one idle-ish column: occupancy must be low.
+        let slots = vec![
+            SlotWork {
+                col_beats: vec![8, 1],
+            };
+            4
+        ];
+        let r = play_iteration(dims, &slots);
+        let balanced = play_iteration(
+            dims,
+            &vec![
+                SlotWork {
+                    col_beats: vec![8, 8],
+                };
+                4
+            ],
+        );
+        assert!(r.occupancy() < balanced.occupancy());
+        assert!(balanced.occupancy() > 0.8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_column_count_panics() {
+        play_iteration(
+            ArrayDims::new(2, 3),
+            &[SlotWork {
+                col_beats: vec![1, 1],
+            }],
+        );
+    }
+
+    #[test]
+    fn stall_is_at_least_one_beat() {
+        let s = SlotWork {
+            col_beats: vec![0, 0],
+        };
+        assert_eq!(s.stall(), 1, "a slot always occupies the wavefront");
+    }
+}

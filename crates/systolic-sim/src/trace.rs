@@ -1,0 +1,267 @@
+//! Per-level, per-data-type access counters — the "read/write traces"
+//! of the paper's Section V-B, aggregated analytically.
+//!
+//! All data volumes are counted in **bits**, because spike data is
+//! genuinely sub-byte (`TWS × 1-bit` per Table IV) and the paper's whole
+//! premise is that binary activations move more cheaply than multi-bit
+//! weights and partial sums.
+
+use serde::{Deserialize, Serialize};
+
+/// One level of the three-level memory hierarchy (plus the per-PE
+/// scratchpad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Off-chip DRAM.
+    Dram,
+    /// On-chip global buffer (54 KB in Table IV).
+    GlobalBuffer,
+    /// Double-buffered L1 (2 KB in Table IV).
+    L1,
+    /// Per-PE scratchpad (96 × 8-bit in Table IV).
+    Scratchpad,
+}
+
+impl MemLevel {
+    /// All levels, outermost first.
+    pub const ALL: [MemLevel; 4] = [
+        MemLevel::Dram,
+        MemLevel::GlobalBuffer,
+        MemLevel::L1,
+        MemLevel::Scratchpad,
+    ];
+
+    /// Stable index for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            MemLevel::Dram => 0,
+            MemLevel::GlobalBuffer => 1,
+            MemLevel::L1 => 2,
+            MemLevel::Scratchpad => 3,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::Dram => "DRAM",
+            MemLevel::GlobalBuffer => "GlobalBuffer",
+            MemLevel::L1 => "L1",
+            MemLevel::Scratchpad => "Scratchpad",
+        }
+    }
+}
+
+/// The data types the simulator tracks separately (the paper partitions
+/// each memory level per type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Multi-bit synaptic weights (filters).
+    Weight,
+    /// Binary input spikes (IFmap activity).
+    InputSpike,
+    /// Binary output spikes (OFmap activity).
+    OutputSpike,
+    /// Multi-bit partial sums.
+    Psum,
+    /// Multi-bit membrane potentials.
+    Membrane,
+}
+
+impl DataKind {
+    /// All tracked data kinds.
+    pub const ALL: [DataKind; 5] = [
+        DataKind::Weight,
+        DataKind::InputSpike,
+        DataKind::OutputSpike,
+        DataKind::Psum,
+        DataKind::Membrane,
+    ];
+
+    /// Stable index for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            DataKind::Weight => 0,
+            DataKind::InputSpike => 1,
+            DataKind::OutputSpike => 2,
+            DataKind::Psum => 3,
+            DataKind::Membrane => 4,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataKind::Weight => "weight",
+            DataKind::InputSpike => "input-spike",
+            DataKind::OutputSpike => "output-spike",
+            DataKind::Psum => "psum",
+            DataKind::Membrane => "membrane",
+        }
+    }
+}
+
+/// Aggregated access trace: read/write bit counts per (level, kind),
+/// plus arithmetic operation counts.
+///
+/// ```
+/// use systolic_sim::trace::{AccessCounts, DataKind, MemLevel};
+/// let mut c = AccessCounts::new();
+/// c.read(MemLevel::Dram, DataKind::Weight, 8 * 1024);
+/// c.write(MemLevel::L1, DataKind::Weight, 8 * 1024);
+/// assert_eq!(c.read_bits(MemLevel::Dram, DataKind::Weight), 8 * 1024);
+/// assert_eq!(c.level_bits(MemLevel::L1), 8 * 1024);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    reads: [[u64; 5]; 4],
+    writes: [[u64; 5]; 4],
+    /// 8-bit accumulate (AC) operations executed by PEs.
+    pub ac_ops: u64,
+    /// 8-bit multiply-accumulate operations (ANN baseline PEs).
+    pub mac_ops: u64,
+    /// Threshold comparisons / membrane updates (Step B).
+    pub compare_ops: u64,
+}
+
+impl AccessCounts {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bits` read from `level` of data `kind`.
+    pub fn read(&mut self, level: MemLevel, kind: DataKind, bits: u64) {
+        self.reads[level.index()][kind.index()] += bits;
+    }
+
+    /// Records `bits` written to `level` of data `kind`.
+    pub fn write(&mut self, level: MemLevel, kind: DataKind, bits: u64) {
+        self.writes[level.index()][kind.index()] += bits;
+    }
+
+    /// Records a transfer from an outer level into an inner one: a read
+    /// at `from` plus a write at `to`.
+    pub fn transfer(&mut self, from: MemLevel, to: MemLevel, kind: DataKind, bits: u64) {
+        self.read(from, kind, bits);
+        self.write(to, kind, bits);
+    }
+
+    /// Bits read from `(level, kind)`.
+    pub fn read_bits(&self, level: MemLevel, kind: DataKind) -> u64 {
+        self.reads[level.index()][kind.index()]
+    }
+
+    /// Bits written to `(level, kind)`.
+    pub fn write_bits(&self, level: MemLevel, kind: DataKind) -> u64 {
+        self.writes[level.index()][kind.index()]
+    }
+
+    /// Total bits (reads + writes) touching `level`.
+    pub fn level_bits(&self, level: MemLevel) -> u64 {
+        DataKind::ALL
+            .iter()
+            .map(|&k| self.read_bits(level, k) + self.write_bits(level, k))
+            .sum()
+    }
+
+    /// Total bits (reads + writes) of `kind` across all levels.
+    pub fn kind_bits(&self, kind: DataKind) -> u64 {
+        MemLevel::ALL
+            .iter()
+            .map(|&l| self.read_bits(l, kind) + self.write_bits(l, kind))
+            .sum()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &AccessCounts) {
+        for l in 0..4 {
+            for k in 0..5 {
+                self.reads[l][k] += other.reads[l][k];
+                self.writes[l][k] += other.writes[l][k];
+            }
+        }
+        self.ac_ops += other.ac_ops;
+        self.mac_ops += other.mac_ops;
+        self.compare_ops += other.compare_ops;
+    }
+
+    /// Off-chip traffic in bits (DRAM reads + writes); the quantity the
+    /// latency model compares against DRAM bandwidth.
+    pub fn dram_traffic_bits(&self) -> u64 {
+        self.level_bits(MemLevel::Dram)
+    }
+}
+
+impl std::ops::AddAssign<&AccessCounts> for AccessCounts {
+    fn add_assign(&mut self, rhs: &AccessCounts) {
+        self.merge(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in MemLevel::ALL {
+            assert!(seen.insert(l.index()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for k in DataKind::ALL {
+            assert!(seen.insert(k.index()));
+        }
+    }
+
+    #[test]
+    fn read_write_accumulate() {
+        let mut c = AccessCounts::new();
+        c.read(MemLevel::L1, DataKind::Psum, 100);
+        c.read(MemLevel::L1, DataKind::Psum, 50);
+        c.write(MemLevel::L1, DataKind::Psum, 25);
+        assert_eq!(c.read_bits(MemLevel::L1, DataKind::Psum), 150);
+        assert_eq!(c.write_bits(MemLevel::L1, DataKind::Psum), 25);
+        assert_eq!(c.level_bits(MemLevel::L1), 175);
+        assert_eq!(c.kind_bits(DataKind::Psum), 175);
+        assert_eq!(c.level_bits(MemLevel::Dram), 0);
+    }
+
+    #[test]
+    fn transfer_counts_both_sides() {
+        let mut c = AccessCounts::new();
+        c.transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, 64);
+        assert_eq!(c.read_bits(MemLevel::Dram, DataKind::Weight), 64);
+        assert_eq!(c.write_bits(MemLevel::GlobalBuffer, DataKind::Weight), 64);
+        assert_eq!(c.dram_traffic_bits(), 64);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = AccessCounts::new();
+        a.read(MemLevel::Dram, DataKind::Weight, 10);
+        a.ac_ops = 5;
+        let mut b = AccessCounts::new();
+        b.read(MemLevel::Dram, DataKind::Weight, 7);
+        b.write(MemLevel::Scratchpad, DataKind::Membrane, 3);
+        b.ac_ops = 2;
+        b.mac_ops = 9;
+        b.compare_ops = 1;
+        a += &b;
+        assert_eq!(a.read_bits(MemLevel::Dram, DataKind::Weight), 17);
+        assert_eq!(a.write_bits(MemLevel::Scratchpad, DataKind::Membrane), 3);
+        assert_eq!(a.ac_ops, 7);
+        assert_eq!(a.mac_ops, 9);
+        assert_eq!(a.compare_ops, 1);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let c = AccessCounts::new();
+        for l in MemLevel::ALL {
+            assert_eq!(c.level_bits(l), 0);
+        }
+        assert_eq!(c.ac_ops, 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Workspace host crate: re-exports the member crates so examples and
+//! cross-crate integration tests have a single import root.
+//!
+//! The real functionality lives in the member crates:
+//!
+//! * [`snn_core`] — spiking neuron models, layer shapes, functional S-CNN
+//!   simulation.
+//! * [`spikegen`] — synthetic neuromorphic spiking-activity generation.
+//! * [`systolic_sim`] — systolic array + memory hierarchy analytic model.
+//! * [`ptb_accel`] — the paper's contribution: PTB scheduling, StSAP
+//!   packing, and the baseline accelerators.
+
+pub use ptb_accel;
+pub use snn_core;
+pub use spikegen;
+pub use systolic_sim;

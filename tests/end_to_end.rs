@@ -1,0 +1,144 @@
+//! End-to-end integration: functional SNN simulation feeding the
+//! accelerator model, across all crates.
+
+use ptb_snn::ptb_accel::config::{Policy, SimInputs};
+use ptb_snn::ptb_accel::report::NetworkReport;
+use ptb_snn::ptb_accel::sim::simulate_layer;
+use ptb_snn::snn_core::layer::{SpikingConv, SpikingFc};
+use ptb_snn::snn_core::network::Network;
+use ptb_snn::snn_core::neuron::NeuronConfig;
+use ptb_snn::snn_core::shape::{ConvShape, FcShape};
+use ptb_snn::spikegen::{FiringProfile, TemporalStructure};
+
+/// Build a small two-layer spiking network, run real LIF dynamics, and
+/// schedule every layer's *measured* input activity on the accelerator.
+#[test]
+fn functional_activity_drives_accelerator() {
+    let conv_shape = ConvShape::with_padding(10, 3, 2, 4, 1, 1).unwrap();
+    let neuron = NeuronConfig::lif(0.6, 0.02);
+    let conv = SpikingConv::from_fn(conv_shape, neuron, |m, c, i, j| {
+        ((m + c + i + j) % 5) as f32 * 0.08
+    });
+    let fc_in = conv_shape.ofmap_neurons() as u32;
+    let fc = SpikingFc::from_fn(FcShape::new(fc_in, 8).unwrap(), neuron, |o, i| {
+        ((o * 13 + i) % 7) as f32 * 0.03
+    });
+    let mut net = Network::new();
+    net.push(conv);
+    net.push(fc);
+
+    let input = FiringProfile::new(0.3, 0.1, 0.5, TemporalStructure::Bernoulli)
+        .unwrap()
+        .generate(conv_shape.ifmap_neurons(), 80, 7);
+    let trace = net.run(&input).unwrap();
+    assert_eq!(trace.layer_outputs().len(), 2);
+
+    // Schedule each layer with its actual measured input activity.
+    let inputs = SimInputs::hpca22(8);
+    let shapes = [
+        conv_shape,
+        ConvShape::new(1, 1, fc_in, 8, 1).unwrap(), // FC as 1x1 conv
+    ];
+    for (i, shape) in shapes.iter().enumerate() {
+        let activity = trace.layer_input(i);
+        assert_eq!(activity.neurons(), shape.ifmap_neurons());
+        let ptb = simulate_layer(&inputs, Policy::ptb_with_stsap(), *shape, activity);
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, *shape, activity);
+        assert!(ptb.energy_joules() > 0.0);
+        assert!(
+            ptb.edp() <= base.edp(),
+            "layer {i}: PTB must not lose to the dense baseline"
+        );
+        assert!(ptb.utilization() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn network_report_aggregates_match_layers() {
+    let spec = ptb_snn::spikegen::dvs_gesture();
+    let inputs = SimInputs::hpca22(8);
+    // Only the two smallest layers to keep this test quick.
+    let layers: Vec<_> = spec
+        .layers
+        .iter()
+        .filter(|l| l.shape.weight_count() < 200_000)
+        .map(|l| {
+            let activity = l.generate_input(64, 3);
+            (
+                l.name.clone(),
+                simulate_layer(&inputs, Policy::ptb(), l.shape, &activity),
+            )
+        })
+        .collect();
+    assert!(!layers.is_empty());
+    let report = NetworkReport::new("subset", layers.clone());
+    let sum_e: f64 = layers.iter().map(|(_, r)| r.energy_joules()).sum();
+    let sum_edp: f64 = layers.iter().map(|(_, r)| r.edp()).sum();
+    assert!((report.total_energy_joules() - sum_e).abs() < 1e-12);
+    assert!((report.total_edp() - sum_edp).abs() < 1e-24);
+}
+
+#[test]
+fn every_policy_handles_every_small_table_v_layer() {
+    // FC2 layers are small enough to run everywhere quickly.
+    for spec in ptb_snn::spikegen::datasets::all_benchmarks() {
+        let layer = spec.layers.last().unwrap();
+        let activity = layer.generate_input(32, 5);
+        let inputs = SimInputs::hpca22(4);
+        for policy in [
+            Policy::ptb(),
+            Policy::ptb_with_stsap(),
+            Policy::BaselineTemporal,
+            Policy::TimeSerial,
+            Policy::EventDriven,
+            Policy::Ann,
+        ] {
+            let r = simulate_layer(&inputs, policy, layer.shape, &activity);
+            assert!(
+                r.energy_joules() > 0.0,
+                "{} {} under {:?} must cost something",
+                spec.name,
+                layer.name,
+                policy
+            );
+            assert!(r.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn encoded_frames_flow_through_training_and_scheduling() {
+    use ptb_snn::snn_core::encode::RateEncoder;
+    use ptb_snn::snn_core::learn::{DeltaTrainer, Sample};
+
+    let samples: Vec<Sample> = (0..20)
+        .map(|k| {
+            let label = k % 2;
+            let frame: Vec<f32> = (0..16)
+                .map(|i| if (i < 8) == (label == 0) { 0.4 } else { 0.05 })
+                .collect();
+            Sample {
+                spikes: RateEncoder::new(k as u64).encode(&frame, 60).unwrap(),
+                label,
+            }
+        })
+        .collect();
+    let mut readout = SpikingFc::zeros(
+        FcShape::new(16, 2).unwrap(),
+        NeuronConfig::if_model(1.0),
+    );
+    let trainer = DeltaTrainer::new(0.1, 10).unwrap();
+    trainer.train(&mut readout, &samples).unwrap();
+    let acc = trainer.accuracy(&readout, &samples).unwrap();
+    assert!(acc > 0.9, "training accuracy {acc}");
+
+    // The trained task's spike data schedules fine on the accelerator.
+    let shape = ConvShape::new(1, 1, 16, 2, 1).unwrap();
+    let r = simulate_layer(
+        &SimInputs::hpca22(8),
+        Policy::ptb(),
+        shape,
+        &samples[0].spikes,
+    );
+    assert!(r.useful_ops > 0);
+}

@@ -1,0 +1,71 @@
+//! Property-based validation of the paper's central correctness claim:
+//! the PTB Step A / Step B decomposition (Eqs. 7–8) is bit-exact against
+//! the serial reference dynamics (Eqs. 1–3), for arbitrary weights,
+//! spike patterns, neuron models, window sizes, and array widths.
+
+use proptest::prelude::*;
+use ptb_snn::ptb_accel::reference::{batched_neuron_forward, serial_neuron_forward};
+use ptb_snn::snn_core::neuron::NeuronConfig;
+use ptb_snn::snn_core::spike::SpikeTensor;
+
+/// Arbitrary spike tensor: up to 24 neurons × 96 time points.
+fn spikes_strategy() -> impl Strategy<Value = SpikeTensor> {
+    (1usize..24, 1usize..96, any::<u64>()).prop_map(|(n, t, seed)| {
+        // Cheap deterministic hash-based pattern with varied density.
+        SpikeTensor::from_fn(n, t, |i, tp| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((tp as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(seed);
+            (h >> 32) % 100 < (seed % 40) // density 0..39%
+        })
+    })
+}
+
+fn neuron_strategy() -> impl Strategy<Value = NeuronConfig> {
+    prop_oneof![
+        (0.1f32..2.0, 0.0f32..0.2).prop_map(|(th, lk)| NeuronConfig::lif(th, lk)),
+        (0.1f32..2.0).prop_map(NeuronConfig::if_model),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_ptb_equals_serial_reference(
+        spikes in spikes_strategy(),
+        neuron in neuron_strategy(),
+        tw in 1u32..=64,
+        cols in 1u32..=16,
+        wseed in any::<u32>(),
+    ) {
+        let weights: Vec<f32> = (0..spikes.neurons())
+            .map(|j| ((j as u32).wrapping_mul(2654435761).wrapping_add(wseed) % 2000) as f32 / 1000.0 - 1.0)
+            .collect();
+        let batched = batched_neuron_forward(&weights, &spikes, neuron, tw, cols);
+        let serial = serial_neuron_forward(&weights, &spikes, neuron);
+        prop_assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn output_spike_count_never_exceeds_timesteps(
+        spikes in spikes_strategy(),
+        neuron in neuron_strategy(),
+    ) {
+        let weights = vec![0.3f32; spikes.neurons()];
+        let out = serial_neuron_forward(&weights, &spikes, neuron);
+        prop_assert_eq!(out.len(), spikes.timesteps());
+    }
+
+    #[test]
+    fn inhibitory_only_weights_never_fire(
+        spikes in spikes_strategy(),
+        neuron in neuron_strategy(),
+        tw in 1u32..=32,
+    ) {
+        let weights = vec![-0.5f32; spikes.neurons()];
+        let out = batched_neuron_forward(&weights, &spikes, neuron, tw, 8);
+        prop_assert!(out.iter().all(|&s| !s));
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate substrate tests: the DVS pipeline, quantized inference,
+//! representations, and windowing laws, exercised together.
+
+use proptest::prelude::*;
+use ptb_snn::ptb_accel::window::WindowPartition;
+use ptb_snn::snn_core::bptt::{BpttConfig, SpikingMlp};
+use ptb_snn::snn_core::layer::SpikingFc;
+use ptb_snn::snn_core::neuron::NeuronConfig;
+use ptb_snn::snn_core::quant::QuantizedFc;
+use ptb_snn::snn_core::repr;
+use ptb_snn::snn_core::shape::FcShape;
+use ptb_snn::snn_core::spike::SpikeTensor;
+
+#[test]
+fn dvs_events_train_a_classifier_above_chance() {
+    // Two visually distinct gestures, straight from the event camera.
+    let mut samples = Vec::new();
+    for class in 0..2 {
+        for k in 0..5 {
+            let s = ptb_snn::spikegen::synthesize_gesture(class, 12, 60, 40, 100 + k)
+                .expect("synthesis works");
+            samples.push((s, class));
+        }
+    }
+    let cfg = BpttConfig {
+        epochs: 20,
+        learning_rate: 0.08,
+        ..BpttConfig::default()
+    };
+    let mut net = SpikingMlp::new(2 * 144, 24, 2, cfg, 5).expect("valid net");
+    net.train(&samples).expect("training runs");
+    let acc = net.accuracy(&samples).expect("evaluation runs");
+    assert!(acc > 0.7, "training accuracy {acc} (chance 0.5)");
+}
+
+#[test]
+fn quantized_readout_preserves_a_trained_decision() {
+    // Train a float readout, quantize it per Table IV, and check the
+    // decisions survive on the training data.
+    use ptb_snn::snn_core::learn::{DeltaTrainer, Sample};
+    let samples: Vec<Sample> = (0..16)
+        .map(|k| {
+            let label = k % 2;
+            Sample {
+                spikes: SpikeTensor::from_fn(12, 40, move |i, t| {
+                    ((i < 6) == (label == 0)) && (t + i) % 3 == 0
+                }),
+                label,
+            }
+        })
+        .collect();
+    let mut readout = SpikingFc::zeros(FcShape::new(12, 2).unwrap(), NeuronConfig::if_model(1.0));
+    DeltaTrainer::new(0.1, 10)
+        .unwrap()
+        .train(&mut readout, &samples)
+        .unwrap();
+    let q = QuantizedFc::from_float(&readout).expect("quantizable");
+    let mut agree = 0usize;
+    for s in &samples {
+        let f = readout.forward(&s.spikes).unwrap();
+        let qo = q.forward(&s.spikes).unwrap();
+        let winner = |o: &SpikeTensor| (0..2).max_by_key(|&n| o.fire_count(n)).unwrap();
+        if winner(&f) == winner(&qo) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= 14,
+        "8-bit quantization flipped too many decisions: {agree}/16"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_tiles_partition_the_period(t in 1usize..500, tw in 1usize..80, cols in 1usize..20) {
+        let part = WindowPartition::new(t, tw);
+        let tiles = part.column_tiles(cols);
+        // Tiles are contiguous, non-overlapping, and cover all windows.
+        let mut next = 0usize;
+        for &(a, b) in &tiles {
+            prop_assert_eq!(a, next);
+            prop_assert!(b > a);
+            prop_assert!(b - a <= cols);
+            next = b;
+        }
+        prop_assert_eq!(next, part.num_windows());
+        // Window time ranges partition [0, T).
+        let mut covered = 0usize;
+        for (_, s, e) in part.iter() {
+            prop_assert_eq!(s, covered);
+            covered = e;
+        }
+        prop_assert_eq!(covered, t);
+    }
+
+    #[test]
+    fn aer_roundtrip_any_tensor(n in 1usize..40, t in 1usize..120, seed in any::<u64>()) {
+        let s = SpikeTensor::from_fn(n, t, |i, tp| {
+            (i as u64).wrapping_mul(0x9E37).wrapping_add((tp as u64).wrapping_mul(seed | 1)) % 5 == 0
+        });
+        let events = repr::aer_events(&s);
+        let back = repr::from_aer(&events, n, t);
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn tb_format_is_bounded_by_dense_plus_tags(n in 1usize..30, t in 1usize..100, tw in 1usize..40) {
+        let s = SpikeTensor::from_fn(n, t, |i, tp| (i + tp) % 4 == 0);
+        let bits = repr::tb_format_bits(&s, tw);
+        let n_windows = t.div_ceil(tw) as u64;
+        // Upper bound: every neuron non-silent and every window tagged.
+        let upper = n as u64 * (n_windows + n_windows * tw as u64);
+        prop_assert!(bits <= upper);
+        // Lower bound: every spike is inside some fetched window.
+        prop_assert!(bits == 0 || bits >= s.total_spikes());
+    }
+
+    #[test]
+    fn quantizer_is_monotone(a in -3.0f32..3.0, b in -3.0f32..3.0, range in 0.5f32..4.0) {
+        let q = ptb_snn::snn_core::quant::Quantizer::with_abs_max(range).unwrap();
+        if a <= b {
+            prop_assert!(q.quantize(a) <= q.quantize(b));
+        }
+    }
+}
