@@ -1,0 +1,216 @@
+//! Shared per-layer geometry and spike tables for the simulator.
+//!
+//! Every policy in [`crate::sim`] walks the same iteration space: output
+//! positions, their receptive fields, and the input's spike activity
+//! viewed either per time point or per time window. Before this module
+//! existed each policy recomputed `receptive_field_indices` at every
+//! position and built its own popcount tables inline; now the geometry
+//! is computed once per `simulate_layer` call and shared read-only by
+//! every worker of the parallel position scan.
+//!
+//! The popcount tables are deliberately wider than the hardware needs:
+//! a window's spike count is bounded by the window length, and the
+//! simulator accepts partitions far longer than the accelerator's
+//! 64-point packed-word limit (e.g. when studying window geometry in
+//! isolation). `u16` entries keep counts exact up to 65 535 time points
+//! per window, where the previous `u8` table silently truncated beyond
+//! 255.
+
+use snn_core::shape::ConvShape;
+use snn_core::spike::SpikeTensor;
+
+use crate::window::WindowPartition;
+
+/// Precomputed receptive-field geometry of one layer: the input-neuron
+/// indices feeding every output position, in the simulator's canonical
+/// position order (`x` major, `y` minor — position `p = x · E + y`).
+#[derive(Debug, Clone)]
+pub struct LayerGeometry {
+    side: usize,
+    rf: Vec<Vec<usize>>,
+    rf_total: u64,
+}
+
+impl LayerGeometry {
+    /// Builds the geometry for `shape`, visiting positions in the same
+    /// `x`-major order the serial simulator historically used.
+    pub fn new(shape: ConvShape) -> Self {
+        let e = shape.ofmap_side();
+        let side = e as usize;
+        let mut rf = Vec::with_capacity(side * side);
+        let mut rf_total = 0u64;
+        for x in 0..e {
+            for y in 0..e {
+                let indices = shape.receptive_field_indices(x, y);
+                rf_total += indices.len() as u64;
+                rf.push(indices);
+            }
+        }
+        LayerGeometry { side, rf, rf_total }
+    }
+
+    /// Output feature-map side `E`.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of output positions, `E²`.
+    pub fn positions(&self) -> usize {
+        self.rf.len()
+    }
+
+    /// Receptive field of position `p` (`p = x · E + y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn rf(&self, p: usize) -> &[usize] {
+        &self.rf[p]
+    }
+
+    /// Receptive-field length of position `p`. With padding, edge
+    /// positions have shorter fields than interior ones.
+    pub fn rf_len(&self, p: usize) -> u64 {
+        self.rf[p].len() as u64
+    }
+
+    /// Total taps across all positions, `Σ_p |RF(p)|` — the layer's true
+    /// tap count, exact even when padding makes the per-position lengths
+    /// uneven.
+    pub fn rf_total(&self) -> u64 {
+        self.rf_total
+    }
+
+    /// Longest receptive field among positions `p0..p1` (a position
+    /// tile). Zero for an empty range.
+    pub fn max_rf_len(&self, p0: usize, p1: usize) -> u64 {
+        (p0..p1.min(self.rf.len()))
+            .map(|p| self.rf_len(p))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-(neuron, window) spike counts of `input` under `part`, row-major
+/// by neuron: entry `n · W + w` is the number of spikes neuron `n` fires
+/// inside window `w`.
+///
+/// Counts are `u16`, exact for windows up to 65 535 time points; the
+/// previous inline `u8` table truncated any window longer than 255
+/// points (the accelerator itself caps packed words at 64 bits, but the
+/// analysis path does not).
+///
+/// # Panics
+///
+/// Panics if `part` does not cover exactly `input.timesteps()` points,
+/// or if a window is longer than `u16::MAX` time points.
+pub fn window_popcounts(input: &SpikeTensor, part: &WindowPartition) -> Vec<u16> {
+    assert_eq!(
+        part.timesteps(),
+        input.timesteps(),
+        "partition must cover the input's operational period"
+    );
+    let n_w = part.num_windows();
+    let mut pops = vec![0u16; input.neurons() * n_w];
+    for n in 0..input.neurons() {
+        let base = n * n_w;
+        for (w, s, e) in part.iter() {
+            pops[base + w] = u16::try_from(input.popcount_range(n, s, e))
+                .expect("window spike count must fit u16");
+        }
+    }
+    pops
+}
+
+/// Per-(neuron, time point) spike bits of `input`, row-major by neuron:
+/// entry `n · T + t` is 1 iff neuron `n` fires at time `t`. The dense
+/// per-point table the time-point-granularity policies stream from.
+pub fn spike_bits(input: &SpikeTensor) -> Vec<u8> {
+    let t = input.timesteps();
+    let mut bits = vec![0u8; input.neurons() * t];
+    for n in 0..input.neurons() {
+        let base = n * t;
+        for tp in 0..t {
+            bits[base + tp] = u8::from(input.get(n, tp));
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_shape_queries() {
+        let shape = ConvShape::with_padding(6, 3, 2, 4, 1, 1).unwrap();
+        let geo = LayerGeometry::new(shape);
+        let e = shape.ofmap_side();
+        assert_eq!(geo.side(), e as usize);
+        assert_eq!(geo.positions(), (e as usize).pow(2));
+        let mut total = 0u64;
+        for x in 0..e {
+            for y in 0..e {
+                let p = (x * e + y) as usize;
+                let expect = shape.receptive_field_indices(x, y);
+                assert_eq!(geo.rf(p), expect.as_slice(), "position ({x},{y})");
+                total += expect.len() as u64;
+            }
+        }
+        assert_eq!(geo.rf_total(), total);
+    }
+
+    #[test]
+    fn padded_geometry_has_uneven_fields() {
+        let shape = ConvShape::with_padding(6, 3, 2, 4, 1, 1).unwrap();
+        let geo = LayerGeometry::new(shape);
+        // Corner position sees a cropped field, interior sees the full one.
+        assert!(geo.rf_len(0) < shape.receptive_field() as u64);
+        let e = geo.side();
+        let interior = e + 1; // (1, 1)
+        assert_eq!(geo.rf_len(interior), shape.receptive_field() as u64);
+        assert!(geo.max_rf_len(0, geo.positions()) == shape.receptive_field() as u64);
+        // The total is NOT divisible by the position count — the case an
+        // integer mean silently truncates.
+        assert_ne!(geo.rf_total() % geo.positions() as u64, 0);
+    }
+
+    #[test]
+    fn window_popcounts_survive_large_windows() {
+        // Regression: a neuron firing at every one of 300 points in a
+        // single 300-point window must count 300, not 300 mod 256 = 44
+        // (the old `u8` table's silent truncation).
+        let t = 300;
+        let input = SpikeTensor::from_fn(2, t, |n, _| n == 0);
+        let part = WindowPartition::new(t, t);
+        let pops = window_popcounts(&input, &part);
+        assert_eq!(pops, vec![300u16, 0]);
+        assert!(pops[0] > u64::from(u8::MAX) as u16);
+    }
+
+    #[test]
+    fn window_popcounts_match_popcount_range() {
+        let input = SpikeTensor::from_fn(5, 37, |n, t| (n * 7 + t * 3) % 4 == 0);
+        let part = WindowPartition::new(37, 8);
+        let pops = window_popcounts(&input, &part);
+        for n in 0..5 {
+            for (w, s, e) in part.iter() {
+                assert_eq!(
+                    u32::from(pops[n * part.num_windows() + w]),
+                    input.popcount_range(n, s, e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spike_bits_match_tensor() {
+        let input = SpikeTensor::from_fn(4, 11, |n, t| (n + t) % 3 == 0);
+        let bits = spike_bits(&input);
+        for n in 0..4 {
+            for t in 0..11 {
+                assert_eq!(bits[n * 11 + t] == 1, input.get(n, t));
+            }
+        }
+    }
+}

@@ -25,7 +25,11 @@
 //! * [`tag`] — TB-tags and neuron classification.
 //! * [`window`] — time-window partitioning of the operational period.
 //! * [`stsap`] — the greedy complement-packing algorithm (Fig. 8).
-//! * [`config`] — simulator inputs (Table III).
+//! * [`config`] — simulator inputs (Table III), including the
+//!   [`SimInputs::threads`] worker-count knob of the parallel scan.
+//! * [`geom`] — per-layer receptive-field geometry and spike popcount
+//!   tables, computed once per simulation and shared by every policy
+//!   and every scan worker.
 //! * [`sim`] — the analytic layer simulator for PTB and the baselines
 //!   (conventional time-serial, dense temporal tiling \[14\], and the
 //!   non-spiking ANN accelerator of the Fig. 12(b) comparison).
@@ -57,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod geom;
 pub mod optimize;
 pub mod reference;
 pub mod report;

@@ -91,6 +91,7 @@ pub fn search_joint(
                 arch,
                 energy: EnergyModel::cacti_32nm(),
                 tw_size: tw,
+                threads: 1,
             };
             let edp: f64 = layers
                 .iter()
@@ -131,6 +132,7 @@ pub fn per_layer_tw(
                         arch: ArchConfig::hpca22().with_array(shape),
                         energy: EnergyModel::cacti_32nm(),
                         tw_size: tw,
+                        threads: 1,
                     };
                     (tw, simulate_layer(&inputs, policy, s, a))
                 })
@@ -172,10 +174,7 @@ mod tests {
             result.best.shape
         );
         // The winner must actually be the minimum of the evaluated set.
-        assert!(result
-            .evaluated
-            .iter()
-            .all(|c| c.edp >= result.best.edp));
+        assert!(result.evaluated.iter().all(|c| c.edp >= result.best.edp));
     }
 
     #[test]
@@ -200,9 +199,7 @@ mod tests {
         for &tw in &tws {
             let global: f64 = layers
                 .iter()
-                .map(|&(s, a)| {
-                    simulate_layer(&SimInputs::hpca22(tw), Policy::ptb(), s, a).edp()
-                })
+                .map(|&(s, a)| simulate_layer(&SimInputs::hpca22(tw), Policy::ptb(), s, a).edp())
                 .sum();
             assert!(
                 per_layer_edp <= global + 1e-18,

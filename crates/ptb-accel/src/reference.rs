@@ -110,7 +110,9 @@ pub fn batched_recurrent_forward(
     // Step A per output neuron: batched feedforward psums over windows.
     let mut ff_psums = vec![vec![0.0f32; t]; n_out];
     for (o, psums) in ff_psums.iter_mut().enumerate() {
-        let weights: Vec<f32> = (0..layer.inputs()).map(|i| layer.ff_weight(o as u32, i)).collect();
+        let weights: Vec<f32> = (0..layer.inputs())
+            .map(|i| layer.ff_weight(o as u32, i))
+            .collect();
         for (w0, w1) in part.column_tiles(cols as usize) {
             let mut entries = Vec::new();
             for j in 0..weights.len() {

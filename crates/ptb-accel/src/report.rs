@@ -171,9 +171,7 @@ mod tests {
         assert!(net.layer("A").is_some());
         assert!(net.layer("C").is_none());
         // Paper's aggregation is per-layer products, not product of totals.
-        assert!(
-            (net.total_edp() - net.total_energy_joules() * net.total_seconds()).abs() > 0.0
-        );
+        assert!((net.total_edp() - net.total_energy_joules() * net.total_seconds()).abs() > 0.0);
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl PtbExecutor {
         }
         let t = input.timesteps();
         if t == 0 {
-            return Ok((SpikeTensor::new(shape.ofmap_neurons(), 0), ExecStats::default()));
+            return Ok((
+                SpikeTensor::new(shape.ofmap_neurons(), 0),
+                ExecStats::default(),
+            ));
         }
         let part = WindowPartition::new(t, self.tw_size as usize);
         let engine = SystolicEngine::new(self.dims, self.tw_size);
@@ -186,8 +189,7 @@ impl PtbExecutor {
                                         // contributes.
                                         let mut col_spikes = vec![0u64; cols];
                                         for i in 0..nw {
-                                            col_spikes[i] =
-                                                words[slot.first][i] | words[second][i];
+                                            col_spikes[i] = words[slot.first][i] | words[second][i];
                                         }
                                         entries.push(StreamEntry {
                                             row_weights: (0..rows)
@@ -254,9 +256,8 @@ mod tests {
         let layer = SpikingConv::from_fn(shape, NeuronConfig::lif(0.7, leak), |m, c, i, j| {
             ((m * 11 + c * 7 + i * 3 + j) % 13) as f32 / 16.0 - 0.25
         });
-        let input = SpikeTensor::from_fn(shape.ifmap_neurons(), 50, |n, t| {
-            (n * 17 + t * 5) % 9 == 0
-        });
+        let input =
+            SpikeTensor::from_fn(shape.ifmap_neurons(), 50, |n, t| (n * 17 + t * 5) % 9 == 0);
         (layer, input)
     }
 
@@ -275,7 +276,11 @@ mod tests {
         let (layer, input) = test_layer(0.0);
         let reference = layer.forward(&input).unwrap();
         for tw in [1u32, 2, 8] {
-            for dims in [ArrayDims::new(2, 8), ArrayDims::new(8, 2), ArrayDims::new(16, 8)] {
+            for dims in [
+                ArrayDims::new(2, 8),
+                ArrayDims::new(8, 2),
+                ArrayDims::new(16, 8),
+            ] {
                 let exec = PtbExecutor::new(dims, tw, true);
                 assert_eq!(
                     exec.run_conv(&layer, &input).unwrap(),
@@ -297,7 +302,12 @@ mod tests {
             .run_conv_with_stats(&layer, &input)
             .unwrap()
             .1;
-        assert!(packed.slots < plain.slots, "{} !< {}", packed.slots, plain.slots);
+        assert!(
+            packed.slots < plain.slots,
+            "{} !< {}",
+            packed.slots,
+            plain.slots
+        );
         assert_eq!(packed.useful_ops, plain.useful_ops, "same actual work");
         assert_eq!(packed.entries, plain.entries);
     }

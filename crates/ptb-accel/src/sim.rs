@@ -27,12 +27,29 @@
 //! Access counts per level/kind follow the working-set rules documented
 //! on each policy function; `systolic_sim::EnergyModel` turns them into
 //! joules. See DESIGN.md §4 for the model's assumptions.
+//!
+//! ## Parallelism and determinism
+//!
+//! Every policy's position loop only *accumulates* into a [`Tally`],
+//! and every tally field is an integer sum — so accumulation is
+//! associative and commutative, and any partition of the position space
+//! merged in any order produces bit-identical totals. The simulator
+//! exploits this: [`SimInputs::threads`] fans contiguous position
+//! chunks across scoped worker threads and merges the per-chunk tallies
+//! in chunk-index order. `threads = 1` *is* the historical serial walk
+//! (one chunk, same iteration order); any other count yields an
+//! [`assert_eq!`]-identical [`LayerReport`], because the floating-point
+//! energy/latency figures are derived only after the integer totals are
+//! final. The shared read-only inputs of the scan — receptive fields
+//! and spike popcount tables — are hoisted into [`crate::geom`] and
+//! computed once per call.
 
 use snn_core::shape::ConvShape;
 use snn_core::spike::SpikeTensor;
 use systolic_sim::{AccessCounts, DataKind, MemLevel};
 
 use crate::config::{Policy, SimInputs};
+use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
 use crate::report::LayerReport;
 use crate::stsap::pack_tile;
 use crate::window::WindowPartition;
@@ -41,6 +58,9 @@ use crate::window::WindowPartition;
 ///
 /// `input` holds the layer's pre-synaptic spike activity
 /// (`shape.ifmap_neurons()` neurons over the operational period).
+///
+/// The scan over output positions honors [`SimInputs::threads`]; the
+/// report is identical for every thread count (see the module docs).
 ///
 /// # Panics
 ///
@@ -72,6 +92,97 @@ pub fn simulate_layer(
 /// representation (neuron address + payload).
 const AER_EVENT_BITS: u64 = 16;
 
+/// Shared accumulation state while walking a layer's iteration space.
+///
+/// Every field is an integer sum over disjoint slices of the iteration
+/// space, which makes tallies a commutative monoid under [`Tally::merge`]
+/// — the property the parallel position scan relies on for bit-exact
+/// determinism.
+#[derive(Debug, Default)]
+struct Tally {
+    counts: AccessCounts,
+    compute_cycles: u64,
+    useful_ops: u64,
+    entries_before: u64,
+    entries_after: u64,
+    exact_pairs: u64,
+    near_pairs: u64,
+    /// Σ over (position, column tile) of raw streamed entries — the
+    /// weight-fetch driver, independent of the row tile.
+    sum_entries_raw: u64,
+}
+
+impl Tally {
+    /// Folds another tally into `self`. All fields are integer sums, so
+    /// any merge order yields the same totals; the scan still merges in
+    /// chunk-index order for clarity.
+    fn merge(&mut self, other: Tally) {
+        self.counts.merge(&other.counts);
+        self.compute_cycles += other.compute_cycles;
+        self.useful_ops += other.useful_ops;
+        self.entries_before += other.entries_before;
+        self.entries_after += other.entries_after;
+        self.exact_pairs += other.exact_pairs;
+        self.near_pairs += other.near_pairs;
+        self.sum_entries_raw += other.sum_entries_raw;
+    }
+}
+
+/// Fans the index scan `0..items` across up to `threads` scoped workers,
+/// each covering one contiguous chunk, and merges the per-chunk tallies
+/// in chunk-index order.
+///
+/// With `threads = 1` (or one item) the single chunk is the exact
+/// historical serial walk. Chunks never split below one item, so the
+/// worker count is `min(threads, items)`.
+fn scan_chunks<F>(threads: usize, items: usize, scan: F) -> Tally
+where
+    F: Fn(std::ops::Range<usize>) -> Tally + Sync,
+{
+    let workers = threads.max(1).min(items.max(1));
+    if workers <= 1 {
+        return scan(0..items);
+    }
+    let chunk = items.div_ceil(workers);
+    let parts: Vec<Tally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let scan = &scan;
+                s.spawn(move || scan(w * chunk..((w + 1) * chunk).min(items)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker must not panic"))
+            .collect()
+    });
+    let mut total = Tally::default();
+    for part in parts {
+        total.merge(part);
+    }
+    total
+}
+
+/// Streaming cost of one slot, in beats: the busiest column's
+/// accumulate count, floored at the spike-link delivery time. For an
+/// StSAP pair both members' window popcounts are summed per column —
+/// their tags are disjoint so at most one member is nonzero per window,
+/// but the sum is computed in `u32` so that large analysis-scale windows
+/// (popcounts beyond `u8`) can never overflow the addition, which the
+/// old `u8 + u8` did in debug builds.
+fn slot_cost(a: &[u16], b: Option<&[u16]>, min_beats: u64) -> u64 {
+    let busiest = match b {
+        None => a.iter().copied().map(u32::from).max().unwrap_or(0),
+        Some(b) => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| u32::from(x) + u32::from(y))
+            .max()
+            .unwrap_or(0),
+    };
+    u64::from(busiest).max(min_beats)
+}
+
 /// The event-driven time-serial SNN accelerator (\[15, 34, 35\]): at each
 /// time point, only firing pre-synaptic neurons are fetched and
 /// integrated (AER events of [`AER_EVENT_BITS`] each), but weights are
@@ -79,11 +190,7 @@ const AER_EVENT_BITS: u64 = 16;
 /// time) and time points are processed strictly serially with the
 /// columns used spatially — the lack-of-parallelism critique of
 /// Section I.
-fn simulate_event_driven(
-    inputs: &SimInputs,
-    shape: ConvShape,
-    input: &SpikeTensor,
-) -> LayerReport {
+fn simulate_event_driven(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
     // No spatial or temporal parallelism in this baseline: columns idle.
@@ -91,48 +198,65 @@ fn simulate_event_driven(
     let t = input.timesteps();
     let m = u64::from(shape.out_channels());
     let row_tiles = m.div_ceil(rows);
-    let e = shape.ofmap_side();
-    let positions = u64::from(e).pow(2);
+    let positions = u64::from(shape.ofmap_side()).pow(2);
     let pbits = u64::from(arch.potential_bits);
     let wbits = u64::from(arch.weight_bits);
 
-    // Per-(neuron, time point) spike bits, precomputed once.
-    let n_in = input.neurons();
-    let mut bit_at = vec![0u8; n_in * t];
-    for n in 0..n_in {
-        for tp in 0..t {
-            bit_at[n * t + tp] = u8::from(input.get(n, tp));
-        }
-    }
+    let geo = LayerGeometry::new(shape);
+    let bit_at = spike_bits(input);
 
-    let mut tally = Tally::default();
     // Events are integrated per position; with columns used spatially, a
     // position tile of up to `cols` positions shares one pass per time
     // point, streaming the union of their active receptive-field events
     // (adjacent RFs almost coincide, so we approximate the union by the
     // per-position count and divide the shared quantities by `cols`).
-    let mut raw_cycles = 0u64;
-    let mut raw_entries = 0u64;
-    let mut raw_weight_bits = 0u64;
-    let mut raw_event_count = 0u64;
-    for x in 0..e {
-        for y in 0..e {
-            let rf = shape.receptive_field_indices(x, y);
+    //
+    // No spatial parallelism: neurons are processed "one at a time, and
+    // from time points to time points" (Section I's critique) — every
+    // position pays its own serial pass, and every event's weight column
+    // walks the whole hierarchy from off-chip (no windowed reuse; the
+    // "iterative weight data access" the paper targets).
+    let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        for p in range {
+            let rf = geo.rf(p);
             for tp in 0..t {
                 let mut active = 0u64;
-                for &n in &rf {
+                for &n in rf {
                     active += u64::from(bit_at[n * t + tp]);
                 }
                 if active == 0 {
                     continue; // silent time points are skipped entirely
                 }
-                raw_cycles += (active + fill) * row_tiles;
-                raw_entries += active * row_tiles;
+                tally.compute_cycles += (active + fill) * row_tiles;
+                tally.entries_before += active * row_tiles;
                 tally.useful_ops += active * m;
                 tally.counts.ac_ops += active * m;
                 // Weights refetched for every event at every time point.
-                raw_weight_bits += active * m * wbits;
-                raw_event_count += active;
+                let w_bits = active * m * wbits;
+                tally.counts.transfer(
+                    MemLevel::Dram,
+                    MemLevel::GlobalBuffer,
+                    DataKind::Weight,
+                    w_bits,
+                );
+                tally.counts.transfer(
+                    MemLevel::GlobalBuffer,
+                    MemLevel::L1,
+                    DataKind::Weight,
+                    w_bits,
+                );
+                tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
+                let in_bits = active * AER_EVENT_BITS * row_tiles;
+                tally.counts.transfer(
+                    MemLevel::GlobalBuffer,
+                    MemLevel::L1,
+                    DataKind::InputSpike,
+                    in_bits,
+                );
+                tally
+                    .counts
+                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
                 // Membrane potentials move every active time point, for
                 // every position's own output neurons (not shared).
                 tally
@@ -143,31 +267,9 @@ fn simulate_event_driven(
                     .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
             }
         }
-    }
-    // No spatial parallelism: neurons are processed "one at a time, and
-    // from time points to time points" (Section I's critique) — every
-    // position pays its own serial pass, and every event's weight column
-    // walks the whole hierarchy from off-chip (no windowed reuse; the
-    // "iterative weight data access" the paper targets).
-    tally.compute_cycles = raw_cycles;
-    tally.entries_before = raw_entries;
+        tally
+    });
     tally.entries_after = tally.entries_before;
-    let w_bits = raw_weight_bits;
-    tally
-        .counts
-        .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, w_bits);
-    tally
-        .counts
-        .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, w_bits);
-    tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
-    let in_bits = raw_event_count * AER_EVENT_BITS * row_tiles;
-    tally.counts.transfer(
-        MemLevel::GlobalBuffer,
-        MemLevel::L1,
-        DataKind::InputSpike,
-        in_bits,
-    );
-    tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
 
     tally.counts.compare_ops += m * positions * t as u64;
     // Input events from DRAM once (event streams are compact).
@@ -182,10 +284,16 @@ fn simulate_event_driven(
     tally
         .counts
         .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
-    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+    tally
+        .counts
+        .write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
     let ac = tally.counts.ac_ops;
-    tally.counts.read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
-    tally.counts.write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    tally
+        .counts
+        .read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    tally
+        .counts
+        .write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
 
     let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
     let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
@@ -205,21 +313,6 @@ fn simulate_event_driven(
         near_pairs: 0,
         counts: tally.counts,
     }
-}
-
-/// Shared accumulation state while walking a layer's iteration space.
-#[derive(Debug, Default)]
-struct Tally {
-    counts: AccessCounts,
-    compute_cycles: u64,
-    useful_ops: u64,
-    entries_before: u64,
-    entries_after: u64,
-    exact_pairs: u64,
-    near_pairs: u64,
-    /// Σ over (position, column tile) of raw streamed entries — the
-    /// weight-fetch driver, independent of the row tile.
-    sum_entries_raw: u64,
 }
 
 /// Finalizes a tally into a report: applies weight/input/output movement
@@ -260,17 +353,23 @@ fn finalize(
         } else {
             edge // streamed through L1 per iteration
         };
-        tally
-            .counts
-            .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, gb_to_l1);
+        tally.counts.transfer(
+            MemLevel::GlobalBuffer,
+            MemLevel::L1,
+            DataKind::Weight,
+            gb_to_l1,
+        );
         let dram = if ws <= inputs.gb_weight_capacity_bits() {
             ws // global buffer stages the row tile once
         } else {
             gb_to_l1
         };
-        tally
-            .counts
-            .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, dram);
+        tally.counts.transfer(
+            MemLevel::Dram,
+            MemLevel::GlobalBuffer,
+            DataKind::Weight,
+            dram,
+        );
     }
 
     // --- Input spikes from DRAM: silent neurons are never fetched under
@@ -298,18 +397,26 @@ fn finalize(
     tally
         .counts
         .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
-    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+    tally
+        .counts
+        .write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
 
     // --- Partial sums: accumulate in the PE scratchpad (read-modify-
     // write per AC op) and are drained once per (neuron, window) by
     // Step B.
     let ac = tally.counts.ac_ops;
-    tally.counts.read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
-    tally.counts.write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
-    let windows = t.div_ceil(u64::from(tw_size));
     tally
         .counts
-        .read(MemLevel::Scratchpad, DataKind::Psum, m * e2 * windows * pbits);
+        .read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    tally
+        .counts
+        .write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+    let windows = t.div_ceil(u64::from(tw_size));
+    tally.counts.read(
+        MemLevel::Scratchpad,
+        DataKind::Psum,
+        m * e2 * windows * pbits,
+    );
 
     // --- Latency: compute vs. off-chip bandwidth (double buffering
     // hides the smaller; Section V-B's stall-free assumption).
@@ -351,27 +458,22 @@ fn simulate_ptb(
     let tiles = part.column_tiles(cols);
     let m = u64::from(shape.out_channels());
     let row_tiles = m.div_ceil(rows);
-    let e = shape.ofmap_side();
     let pbits = u64::from(arch.potential_bits);
 
-    let mut tally = Tally::default();
-    let mut tile_tags: Vec<u128> = Vec::new();
-    let mut tile_pops: Vec<u8> = Vec::new(); // per entry × window popcounts
-
-    // Hot-loop table: spikes of each (neuron, window), computed once and
-    // reused across every overlapping receptive field.
-    let n_in = input.neurons();
+    // Shared read-only scan inputs, computed once: receptive fields and
+    // the spikes of each (neuron, window), reused across every
+    // overlapping receptive field and every worker.
+    let geo = LayerGeometry::new(shape);
     let n_w = part.num_windows();
-    let mut win_pop = vec![0u8; n_in * n_w];
-    for n in 0..n_in {
-        for (w, s, epoch) in part.iter() {
-            win_pop[n * n_w + w] = input.popcount_range(n, s, epoch) as u8;
-        }
-    }
+    let win_pop = window_popcounts(input, &part);
+    let min_beats = u64::from(tws.div_ceil(arch.spike_link_bits)).max(1);
 
-    for x in 0..e {
-        for y in 0..e {
-            let rf = shape.receptive_field_indices(x, y);
+    let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        let mut tile_tags: Vec<u128> = Vec::new();
+        let mut tile_pops: Vec<u16> = Vec::new(); // per entry × window popcounts
+        for p in range {
+            let rf = geo.rf(p);
             for &(w0, w1) in &tiles {
                 let nw = w1 - w0;
                 let full_mask = if nw == 128 {
@@ -383,7 +485,7 @@ fn simulate_ptb(
                 tile_pops.clear();
                 let mut spikes_span = 0u64;
                 let mut active_windows = 0u64;
-                for &n in &rf {
+                for &n in rf {
                     let mut mask = 0u128;
                     let base = n * n_w;
                     for (i, w) in (w0..w1).enumerate() {
@@ -411,12 +513,7 @@ fn simulate_ptb(
                 // spike-link needs to deliver the TWS-bit word. An StSAP
                 // pair occupies one slot; its tags are disjoint, so per
                 // column only one member contributes work.
-                let min_beats =
-                    u64::from(tws.div_ceil(arch.spike_link_bits)).max(1);
-                let entry_cost = |i: usize| -> u64 {
-                    let s = &tile_pops[i * nw..(i + 1) * nw];
-                    u64::from(s.iter().copied().max().unwrap_or(0)).max(min_beats)
-                };
+                let pops_of = |i: usize| &tile_pops[i * nw..(i + 1) * nw];
                 let mut stream_beats = 0u64;
                 let slots;
                 if stsap {
@@ -425,27 +522,13 @@ fn simulate_ptb(
                     tally.near_pairs += packed.near_pairs as u64 * row_tiles;
                     slots = packed.entries_after() as u64;
                     for slot in &packed.slots {
-                        let cost = match slot.second {
-                            None => entry_cost(slot.first),
-                            Some(second) => {
-                                let a = &tile_pops[slot.first * nw..(slot.first + 1) * nw];
-                                let b = &tile_pops[second * nw..(second + 1) * nw];
-                                u64::from(
-                                    a.iter()
-                                        .zip(b)
-                                        .map(|(&x, &y)| x + y)
-                                        .max()
-                                        .unwrap_or(0),
-                                )
-                                .max(min_beats)
-                            }
-                        };
-                        stream_beats += cost;
+                        let second = slot.second.map(pops_of);
+                        stream_beats += slot_cost(pops_of(slot.first), second, min_beats);
                     }
                 } else {
                     slots = raw;
                     for i in 0..raw as usize {
-                        stream_beats += entry_cost(i);
+                        stream_beats += slot_cost(pops_of(i), None, min_beats);
                     }
                 }
                 let iter_cycles = stream_beats + fill;
@@ -467,7 +550,9 @@ fn simulate_ptb(
                     DataKind::InputSpike,
                     in_bits,
                 );
-                tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+                tally
+                    .counts
+                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
 
                 // Membrane potentials cross column tiles once per tile.
                 tally
@@ -478,9 +563,19 @@ fn simulate_ptb(
                     .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
             }
         }
-    }
-    tally.counts.compare_ops += m * u64::from(e).pow(2) * t as u64;
-    finalize(inputs, Policy::Ptb { stsap }, shape, input, tally, true, false, tws)
+        tally
+    });
+    tally.counts.compare_ops += m * geo.positions() as u64 * t as u64;
+    finalize(
+        inputs,
+        Policy::Ptb { stsap },
+        shape,
+        input,
+        tally,
+        true,
+        false,
+        tws,
+    )
 }
 
 /// Dense temporal baselines: the paper's baseline \[14\]
@@ -502,54 +597,69 @@ fn simulate_dense_temporal(
     let t = input.timesteps();
     let m = u64::from(shape.out_channels());
     let row_tiles = m.div_ceil(rows);
-    let e = shape.ofmap_side();
     let pbits = u64::from(arch.potential_bits);
 
-    let mut tally = Tally::default();
+    let geo = LayerGeometry::new(shape);
 
     if time_serial {
         // Columns tile output positions; every time point is a separate
-        // dense pass over the receptive field.
-        let positions = u64::from(e).pow(2);
-        let pos_tiles = positions.div_ceil(cols as u64);
-        // Each (time point, position tile) iteration streams the
-        // receptive field densely; RF length varies with padding, so sum
-        // it per position. Useful work is still gated by actual spikes.
-        let mut total_spikes_in_rf = 0u64;
-        let mut rf_total = 0u64;
-        for x in 0..e {
-            for y in 0..e {
-                let rf = shape.receptive_field_indices(x, y);
-                rf_total += rf.len() as u64;
-                for &n in &rf {
-                    total_spikes_in_rf += u64::from(input.popcount_range(n, 0, t));
+        // dense pass over the receptive field. RF length varies with
+        // padding, so the accounting is exact per position: every tap of
+        // every position is a streamed entry (the true tap count), and a
+        // position tile's wavefront is bound by its longest receptive
+        // field. Useful work is still gated by actual spikes.
+        //
+        // The scan is chunked at position-*tile* granularity (`cols`
+        // consecutive positions per tile) so a tile's max-RF bound never
+        // straddles two workers.
+        let positions = geo.positions();
+        let pos_tiles = positions.div_ceil(cols);
+        let t_u = t as u64;
+        let mut tally = scan_chunks(inputs.threads, pos_tiles, |range| {
+            let mut tally = Tally::default();
+            for tile in range {
+                let p0 = tile * cols;
+                let p1 = ((tile + 1) * cols).min(positions);
+                let mut rf_sum = 0u64;
+                let mut spikes = 0u64;
+                for p in p0..p1 {
+                    rf_sum += geo.rf_len(p);
+                    for &n in geo.rf(p) {
+                        spikes += u64::from(input.popcount_range(n, 0, t));
+                    }
                 }
+                let rf_max = geo.max_rf_len(p0, p1);
+                tally.compute_cycles += (rf_max + fill) * t_u * row_tiles;
+                tally.useful_ops += spikes * m;
+                tally.counts.ac_ops += spikes * m;
+                tally.entries_before += rf_sum * t_u * row_tiles;
+                // Weight-fetch driver: a dense RF per (position, time point).
+                tally.sum_entries_raw += rf_sum * t_u;
+                // Input bits: one bit per tap per time point, per row tile.
+                let in_bits = rf_sum * t_u * row_tiles;
+                tally.counts.transfer(
+                    MemLevel::GlobalBuffer,
+                    MemLevel::L1,
+                    DataKind::InputSpike,
+                    in_bits,
+                );
+                tally
+                    .counts
+                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
             }
-        }
-        let rf_mean = rf_total / positions.max(1);
-        let iterations = t as u64 * pos_tiles * row_tiles;
-        tally.compute_cycles = iterations * (rf_mean + fill);
-        tally.useful_ops = total_spikes_in_rf * m;
-        tally.counts.ac_ops = total_spikes_in_rf * m;
-        tally.entries_before = iterations * rf_mean;
+            tally
+        });
         tally.entries_after = tally.entries_before;
-        // Weight-fetch driver: a dense RF per (position, time point).
-        tally.sum_entries_raw = rf_total * t as u64;
-        // Input bits: one bit per tap per time point, per row tile.
-        let in_bits = rf_total * t as u64 * row_tiles;
-        tally.counts.transfer(
-            MemLevel::GlobalBuffer,
-            MemLevel::L1,
-            DataKind::InputSpike,
-            in_bits,
-        );
-        tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
         // Membrane read+write per output neuron per time point — the
         // multi-bit movement bottleneck PTB amortizes per window.
-        let mem = m * positions * t as u64 * pbits;
-        tally.counts.read(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
-        tally.counts.write(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
-        tally.counts.compare_ops = m * positions * t as u64;
+        let mem = m * positions as u64 * t_u * pbits;
+        tally
+            .counts
+            .read(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
+        tally
+            .counts
+            .write(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
+        tally.counts.compare_ops = m * positions as u64 * t_u;
         return finalize(
             inputs,
             Policy::TimeSerial,
@@ -566,24 +676,18 @@ fn simulate_dense_temporal(
     // points (limited temporal parallelism), dense streaming.
     let part = WindowPartition::new(t, 1);
     let tiles = part.column_tiles(cols);
-    // Per-(neuron, time point) spike bits, precomputed once.
-    let n_in = input.neurons();
-    let mut bit_at = vec![0u8; n_in * t];
-    for n in 0..n_in {
-        for tp in 0..t {
-            bit_at[n * t + tp] = u8::from(input.get(n, tp));
-        }
-    }
-    for x in 0..e {
-        for y in 0..e {
-            let rf = shape.receptive_field_indices(x, y);
+    let bit_at = spike_bits(input);
+    let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        for p in range {
+            let rf = geo.rf(p);
             let rf_len = rf.len() as u64;
             for &(w0, w1) in &tiles {
                 let mut spikes_span = 0u64;
                 let mut busiest = 0u64;
                 for tp in w0..w1 {
                     let mut col_spikes = 0u64;
-                    for &n in &rf {
+                    for &n in rf {
                         col_spikes += u64::from(bit_at[n * t + tp]);
                     }
                     busiest = busiest.max(col_spikes);
@@ -604,7 +708,9 @@ fn simulate_dense_temporal(
                     DataKind::InputSpike,
                     in_bits,
                 );
-                tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+                tally
+                    .counts
+                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
                 tally
                     .counts
                     .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
@@ -613,8 +719,9 @@ fn simulate_dense_temporal(
                     .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
             }
         }
-    }
-    tally.counts.compare_ops = m * u64::from(e).pow(2) * t as u64;
+        tally
+    });
+    tally.counts.compare_ops = m * geo.positions() as u64 * t as u64;
     finalize(
         inputs,
         Policy::BaselineTemporal,
@@ -633,32 +740,39 @@ fn simulate_dense_temporal(
 fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
-    let cols = u64::from(arch.array.cols());
+    let cols = arch.array.cols() as usize;
     let fill = arch.array.fill_cycles();
     let m = u64::from(shape.out_channels());
     let row_tiles = m.div_ceil(rows);
-    let e = shape.ofmap_side();
-    let positions = u64::from(e).pow(2);
-    let pos_tiles = positions.div_ceil(cols);
     let abits = u64::from(arch.weight_bits); // activations share the 8-bit width
     let pbits = u64::from(arch.potential_bits);
 
-    let mut rf_total = 0u64;
-    for x in 0..e {
-        for y in 0..e {
-            rf_total += shape.receptive_field_indices(x, y).len() as u64;
-        }
-    }
-    let rf_mean = rf_total / positions.max(1);
+    let geo = LayerGeometry::new(shape);
+    let positions = geo.positions();
+    let rf_total = geo.rf_total();
 
-    let mut tally = Tally::default();
-    let iterations = pos_tiles * row_tiles;
-    tally.compute_cycles = iterations * (rf_mean + fill);
+    // Exact per position tile: the wavefront is bound by the tile's
+    // longest receptive field, and every tap of every position is a
+    // streamed entry (no integer-mean truncation at padded edges).
+    let mut pass_cycles = 0u64;
+    let mut tile = 0;
+    while tile * cols < positions {
+        let p0 = tile * cols;
+        let p1 = ((tile + 1) * cols).min(positions);
+        pass_cycles += geo.max_rf_len(p0, p1) + fill;
+        tile += 1;
+    }
+
+    let entries_before = rf_total * row_tiles;
+    let mut tally = Tally {
+        compute_cycles: pass_cycles * row_tiles,
+        useful_ops: rf_total * m, // dense: every MAC is useful work
+        entries_before,
+        entries_after: entries_before,
+        sum_entries_raw: rf_total, // one dense pass over every position
+        ..Tally::default()
+    };
     tally.counts.mac_ops = rf_total * m;
-    tally.useful_ops = rf_total * m; // dense: every MAC is useful work
-    tally.entries_before = iterations * rf_mean;
-    tally.entries_after = tally.entries_before;
-    tally.sum_entries_raw = rf_total; // one dense pass over every position
 
     // Activations: 8-bit, per tap per position, staged per row tile.
     let in_bits = rf_total * abits * row_tiles;
@@ -668,20 +782,28 @@ fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> La
         DataKind::InputSpike,
         in_bits,
     );
-    tally.counts.read(MemLevel::L1, DataKind::InputSpike, in_bits);
+    tally
+        .counts
+        .read(MemLevel::L1, DataKind::InputSpike, in_bits);
     // Psums held in-PE; outputs written once as 8-bit activations.
-    let out_bits = m * positions * abits;
+    let out_bits = m * positions as u64 * abits;
     tally
         .counts
         .write(MemLevel::GlobalBuffer, DataKind::OutputSpike, out_bits);
-    tally.counts.write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
     tally
         .counts
-        .read(MemLevel::Scratchpad, DataKind::Psum, tally.counts.mac_ops * pbits);
-    tally
-        .counts
-        .write(MemLevel::Scratchpad, DataKind::Psum, tally.counts.mac_ops * pbits);
-    tally.counts.compare_ops = m * positions; // ReLU
+        .write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
+    tally.counts.read(
+        MemLevel::Scratchpad,
+        DataKind::Psum,
+        tally.counts.mac_ops * pbits,
+    );
+    tally.counts.write(
+        MemLevel::Scratchpad,
+        DataKind::Psum,
+        tally.counts.mac_ops * pbits,
+    );
+    tally.counts.compare_ops = m * positions as u64; // ReLU
 
     // Weight movement (resident rule), mirroring `finalize` but with the
     // ANN's dense input already counted above; input DRAM traffic is
@@ -698,17 +820,23 @@ fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> La
         } else {
             edge
         };
-        tally
-            .counts
-            .transfer(MemLevel::GlobalBuffer, MemLevel::L1, DataKind::Weight, gb_to_l1);
+        tally.counts.transfer(
+            MemLevel::GlobalBuffer,
+            MemLevel::L1,
+            DataKind::Weight,
+            gb_to_l1,
+        );
         let dram = if ws <= inputs.gb_weight_capacity_bits() {
             ws
         } else {
             gb_to_l1
         };
-        tally
-            .counts
-            .transfer(MemLevel::Dram, MemLevel::GlobalBuffer, DataKind::Weight, dram);
+        tally.counts.transfer(
+            MemLevel::Dram,
+            MemLevel::GlobalBuffer,
+            DataKind::Weight,
+            dram,
+        );
     }
     let in_dram = input.neurons() as u64 * abits;
     let passes = if in_dram <= inputs.gb_input_capacity_bits() {
@@ -769,7 +897,10 @@ mod tests {
         assert!(ptb.energy_joules() < base.energy_joules());
         assert!(ptb.cycles < base.cycles);
         assert!(ptb.edp() < base.edp());
-        assert!(base.edp() <= serial.edp(), "limited temporal parallelism beats pure time-serial");
+        assert!(
+            base.edp() <= serial.edp(),
+            "limited temporal parallelism beats pure time-serial"
+        );
     }
 
     #[test]
@@ -782,7 +913,10 @@ mod tests {
         assert!(packed.entries_after <= plain.entries_after);
         assert!(packed.cycles <= plain.cycles);
         assert_eq!(packed.entries_before, plain.entries_before);
-        assert_eq!(packed.counts.ac_ops, plain.counts.ac_ops, "packing never changes the work");
+        assert_eq!(
+            packed.counts.ac_ops, plain.counts.ac_ops,
+            "packing never changes the work"
+        );
     }
 
     #[test]
@@ -845,7 +979,10 @@ mod tests {
         };
         let (w1, i1) = w_traffic(1);
         let (w16, i16) = w_traffic(16);
-        assert!(w16 < w1, "weight traffic must shrink with TW ({w16} !< {w1})");
+        assert!(
+            w16 < w1,
+            "weight traffic must shrink with TW ({w16} !< {w1})"
+        );
         assert!(i16 > i1, "input traffic must grow with TW ({i16} !> {i1})");
     }
 
@@ -918,7 +1055,10 @@ mod tests {
         let inputs = SimInputs::hpca22(8);
         let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
         let ev = simulate_layer(&SimInputs::hpca22(1), Policy::EventDriven, shape, &input);
-        assert!(ev.cycles > ptb.cycles, "fill overhead per time point dominates");
+        assert!(
+            ev.cycles > ptb.cycles,
+            "fill overhead per time point dominates"
+        );
         assert_eq!(ev.useful_ops, ptb.useful_ops);
     }
 
@@ -939,5 +1079,74 @@ mod tests {
         let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &input);
         let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input);
         assert!(ptb.edp() < base.edp());
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_for_every_policy() {
+        // The determinism guarantee: thread count never changes a report,
+        // including on a padded shape where receptive fields are uneven
+        // and chunk boundaries cut through edge positions.
+        let shape = ConvShape::with_padding(6, 3, 4, 8, 1, 1).unwrap();
+        let input = sparse_input(shape, 40);
+        let serial = SimInputs::hpca22(8);
+        for threads in [2, 3, 7, 64] {
+            let parallel = serial.with_threads(threads);
+            for policy in [
+                Policy::ptb(),
+                Policy::ptb_with_stsap(),
+                Policy::BaselineTemporal,
+                Policy::TimeSerial,
+                Policy::Ann,
+                Policy::EventDriven,
+            ] {
+                let a = simulate_layer(&serial, policy, shape, &input);
+                let b = simulate_layer(&parallel, policy, shape, &input);
+                assert_eq!(a, b, "policy {policy:?} with {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_cost_is_exact_for_large_windows() {
+        // Regression: an StSAP pair of 200-spike windows sums to 400
+        // beats, which overflowed the old `u8 + u8` cost (debug panic,
+        // wraparound in release). The floor also still applies.
+        let a = [200u16, 3];
+        let b = [150u16, 7];
+        assert_eq!(slot_cost(&a, Some(&b), 1), 350);
+        assert_eq!(slot_cost(&a, None, 1), 200);
+        assert_eq!(slot_cost(&[0u16, 0], None, 5), 5);
+        assert_eq!(slot_cost(&[], None, 2), 2);
+    }
+
+    #[test]
+    fn dense_baselines_count_true_taps_under_padding() {
+        // Regression for the truncating integer mean: with padding the
+        // total tap count is not divisible by the position count, and
+        // `rf_total / positions` silently dropped the remainder. The
+        // exact accounting reports the true tap count.
+        let shape = ConvShape::with_padding(6, 3, 2, 4, 1, 1).unwrap();
+        let input = sparse_input(shape, 16);
+        let inputs = SimInputs::hpca22(1);
+        let geo = crate::geom::LayerGeometry::new(shape);
+        let taps = geo.rf_total();
+        assert_ne!(
+            taps % geo.positions() as u64,
+            0,
+            "padding must make the per-position mean fractional"
+        );
+        let rows = u64::from(inputs.arch.array.rows());
+        let row_tiles = u64::from(shape.out_channels()).div_ceil(rows);
+        let t = input.timesteps() as u64;
+        // Time-serial: every tap of every position, at every time point.
+        let serial = simulate_layer(&inputs, Policy::TimeSerial, shape, &input);
+        assert_eq!(serial.entries_before, taps * t * row_tiles);
+        // ANN: every tap of every position, once.
+        let ann = simulate_layer(&inputs, Policy::Ann, shape, &input);
+        assert_eq!(ann.entries_before, taps * row_tiles);
+        // Baseline [14]: every tap, once per column tile of time points.
+        let cols = u64::from(inputs.arch.array.cols());
+        let base = simulate_layer(&inputs, Policy::BaselineTemporal, shape, &input);
+        assert_eq!(base.entries_before, taps * t.div_ceil(cols) * row_tiles);
     }
 }

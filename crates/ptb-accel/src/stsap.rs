@@ -338,7 +338,11 @@ mod tests {
     #[test]
     fn every_entry_appears_exactly_once() {
         let full = (1u128 << 8) - 1;
-        let tags: Vec<u128> = (1..=200u128).map(|i| (i * 37) % 255 + 1).map(|m| m & full).map(|m| if m == 0 { 1 } else { m }).collect();
+        let tags: Vec<u128> = (1..=200u128)
+            .map(|i| (i * 37) % 255 + 1)
+            .map(|m| m & full)
+            .map(|m| if m == 0 { 1 } else { m })
+            .collect();
         let r = pack_tile(&tags, full);
         assert_eq!(ids(&r), (0..200).collect::<Vec<_>>());
         // All pairs are genuinely disjoint.
@@ -358,7 +362,10 @@ mod tests {
     #[test]
     fn packing_is_deterministic() {
         let full = (1u128 << 6) - 1;
-        let tags: Vec<u128> = (1..=60u128).map(|i| ((i * 13) % 63) + 1).map(|m| m.min(full)).collect();
+        let tags: Vec<u128> = (1..=60u128)
+            .map(|i| ((i * 13) % 63) + 1)
+            .map(|m| m.min(full))
+            .collect();
         assert_eq!(pack_tile(&tags, full), pack_tile(&tags, full));
     }
 
@@ -374,6 +381,48 @@ mod tests {
         pack_tile(&[0b10000], 0b1111);
     }
 
+    /// Pinned from `tests/model_invariants.proptest-regressions`: the
+    /// shrunk failure of `pack_tile_partitions_entries` at
+    /// `seed = 0, n = 47, width = 2`, re-generated exactly as the
+    /// property test builds its tags. Every entry must appear exactly
+    /// once, pairs must be disjoint and non-bursting, and slot
+    /// accounting must balance.
+    #[test]
+    fn regression_seed0_n47_width2() {
+        let (seed, n, width) = (0u64, 47usize, 2u32);
+        let full: u128 = (1u128 << width) - 1;
+        let tags: Vec<u128> = (0..n)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) as u128;
+                let m = v & full;
+                if m == 0 {
+                    1
+                } else {
+                    m
+                }
+            })
+            .collect();
+        let r = pack_tile(&tags, full);
+        let mut seen = vec![false; n];
+        for s in &r.slots {
+            assert!(
+                !std::mem::replace(&mut seen[s.first], true),
+                "dup {}",
+                s.first
+            );
+            if let Some(sec) = s.second {
+                assert!(!std::mem::replace(&mut seen[sec], true), "dup {sec}");
+                assert_eq!(tags[s.first] & tags[sec], 0, "pair overlaps");
+                assert!(
+                    tags[s.first] != full && tags[sec] != full,
+                    "bursting packed"
+                );
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "entry lost");
+        assert_eq!(r.entries_after() + r.pairs(), r.entries_before);
+    }
+
     #[test]
     fn density_gain_reports_improvement() {
         let tags = vec![0b0101, 0b1010, 0b0011, 0b1100];
@@ -386,12 +435,20 @@ mod tests {
     #[test]
     fn grouped_packing_respects_limit_and_disjointness() {
         let full = (1u128 << 8) - 1;
-        let tags: Vec<u128> = (0..100u128).map(|i| ((i * 37) % 255) + 1).map(|m| m & full).map(|m| if m == 0 { 1 } else { m }).collect();
+        let tags: Vec<u128> = (0..100u128)
+            .map(|i| ((i * 37) % 255) + 1)
+            .map(|m| m & full)
+            .map(|m| if m == 0 { 1 } else { m })
+            .collect();
         for k in [1usize, 2, 3, 4, 8] {
             let r = pack_tile_grouped(&tags, full, k);
             let mut seen = vec![false; tags.len()];
             for g in &r.groups {
-                assert!(!g.is_empty() && g.len() <= k, "group size {} > {k}", g.len());
+                assert!(
+                    !g.is_empty() && g.len() <= k,
+                    "group size {} > {k}",
+                    g.len()
+                );
                 let mut acc = 0u128;
                 for &i in g {
                     assert!(!std::mem::replace(&mut seen[i], true));
@@ -399,7 +456,10 @@ mod tests {
                     acc |= tags[i];
                 }
             }
-            assert!(seen.into_iter().all(|s| s), "every entry packed exactly once");
+            assert!(
+                seen.into_iter().all(|s| s),
+                "every entry packed exactly once"
+            );
         }
     }
 
@@ -414,7 +474,10 @@ mod tests {
             prev = slots;
         }
         // k = 1 is the unpacked case.
-        assert_eq!(pack_tile_grouped(&tags, full, 1).entries_after(), tags.len());
+        assert_eq!(
+            pack_tile_grouped(&tags, full, 1).entries_after(),
+            tags.len()
+        );
     }
 
     #[test]
@@ -424,7 +487,10 @@ mod tests {
         let pairwise = pack_tile(&tags, full).entries_after();
         let grouped = pack_tile_grouped(&tags, full, 2).entries_after();
         let diff = pairwise.abs_diff(grouped);
-        assert!(diff * 10 <= tags.len(), "greedy variants differ too much: {pairwise} vs {grouped}");
+        assert!(
+            diff * 10 <= tags.len(),
+            "greedy variants differ too much: {pairwise} vs {grouped}"
+        );
     }
 
     #[test]

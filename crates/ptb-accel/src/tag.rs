@@ -112,10 +112,7 @@ impl TbTag {
     /// Panics if the tags cover different window counts.
     pub fn disjoint_with(&self, other: &TbTag) -> bool {
         assert_eq!(self.num_windows, other.num_windows);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// True if `other` is the exact 1's complement of this tag.

@@ -16,7 +16,12 @@ fn main() {
         // One sweep, reused for both aggregations.
         let runs: Vec<_> = tws
             .iter()
-            .map(|&tw| (tw, run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts)))
+            .map(|&tw| {
+                (
+                    tw,
+                    run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts),
+                )
+            })
             .collect();
 
         let (best_tw, best_global) = runs

@@ -27,7 +27,10 @@ fn main() {
         "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "TW", "K=1", "K=2", "K=3", "K=4", "K=8"
     );
-    println!("{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}", "", "(slots)", "", "", "", "");
+    println!(
+        "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "(slots)", "", "", "", ""
+    );
     for tw in [1usize, 4, 8, 16] {
         let part = WindowPartition::new(timesteps, tw);
         let tags = tags_of_layer(&spikes, part);

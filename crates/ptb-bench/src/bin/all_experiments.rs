@@ -50,5 +50,8 @@ fn main() {
         eprintln!("{failures} experiment(s) failed");
         std::process::exit(1);
     }
-    println!("\nall {} experiments regenerated under results/", EXPERIMENTS.len());
+    println!(
+        "\nall {} experiments regenerated under results/",
+        EXPERIMENTS.len()
+    );
 }

@@ -1,0 +1,148 @@
+//! Records serial vs. threaded `simulate_layer` wall time over the
+//! Fig. 10 layer sweep and writes `BENCH_sim_parallel.json`.
+//!
+//! Every layer of every benchmark network is simulated under
+//! PTB+StSAP at each Fig. 10 TW size, once with `threads = 1` (the
+//! historical serial walk) and once with one worker per available
+//! core. The two reports are asserted identical — the determinism
+//! guarantee of `ptb_accel::sim` — before timing is recorded, so the
+//! file doubles as an end-to-end determinism check. On a single-core
+//! host the speedup is honestly ~1×; the `host_cores` field records
+//! that context.
+//!
+//! Honors `PTB_QUICK=1` (cropped layers, shortened period) and
+//! `PTB_THREADS=N` (overrides the worker count) like every other
+//! experiment binary.
+
+use std::time::Instant;
+
+use ptb_accel::config::{Policy, SimInputs};
+use ptb_accel::sim::simulate_layer;
+use ptb_bench::RunOptions;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LayerTiming {
+    network: String,
+    layer: String,
+    tw: u32,
+    serial_ms: f64,
+    threaded_ms: f64,
+    speedup: f64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    description: String,
+    host_cores: usize,
+    threads: usize,
+    quick_mode: bool,
+    tw_sizes: Vec<u64>,
+    layers: Vec<LayerTiming>,
+    total_serial_ms: f64,
+    total_threaded_ms: f64,
+    overall_speedup: f64,
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // Median of three: enough to damp scheduler noise without turning
+    // the full sweep into a long run.
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        f();
+        *s = t0.elapsed().as_secs_f64() * 1e3;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[1]
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let quick = std::env::var("PTB_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if opts.threads > 1 {
+        opts.threads
+    } else {
+        host_cores.max(2)
+    };
+    let tws = [1u32, 2, 4, 8, 16, 32, 64];
+
+    let mut layers = Vec::new();
+    let mut total_serial = 0.0;
+    let mut total_threaded = 0.0;
+    for net in spikegen::datasets::all_benchmarks() {
+        let timesteps = opts
+            .max_timesteps
+            .map_or(net.timesteps, |cap| net.timesteps.min(cap));
+        for (i, layer) in net.layers.iter().enumerate() {
+            let shape = opts.effective_shape(layer);
+            let activity = layer.input_profile.generate(
+                shape.ifmap_neurons(),
+                timesteps,
+                opts.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            );
+            for tw in tws {
+                let serial_in = SimInputs::hpca22(tw);
+                let threaded_in = serial_in.with_threads(threads);
+                let policy = Policy::ptb_with_stsap();
+                let a = simulate_layer(&serial_in, policy, shape, &activity);
+                let b = simulate_layer(&threaded_in, policy, shape, &activity);
+                let identical = a == b;
+                assert!(
+                    identical,
+                    "{}/{} tw={tw}: thread count changed the report",
+                    net.name, layer.name
+                );
+                let serial_ms = time_ms(|| {
+                    simulate_layer(&serial_in, policy, shape, &activity);
+                });
+                let threaded_ms = time_ms(|| {
+                    simulate_layer(&threaded_in, policy, shape, &activity);
+                });
+                total_serial += serial_ms;
+                total_threaded += threaded_ms;
+                layers.push(LayerTiming {
+                    network: net.name.clone(),
+                    layer: layer.name.clone(),
+                    tw,
+                    serial_ms,
+                    threaded_ms,
+                    speedup: serial_ms / threaded_ms.max(1e-9),
+                    reports_identical: identical,
+                });
+            }
+        }
+    }
+
+    let report = BenchReport {
+        description: "simulate_layer wall time, serial (threads=1) vs threaded position \
+                      scan, PTB+StSAP over the Fig. 10 layer sweep; reports asserted \
+                      bit-identical before timing"
+            .to_string(),
+        host_cores,
+        threads,
+        quick_mode: quick,
+        tw_sizes: tws.iter().map(|&t| u64::from(t)).collect(),
+        layers,
+        total_serial_ms: total_serial,
+        total_threaded_ms: total_threaded,
+        overall_speedup: total_serial / total_threaded.max(1e-9),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sim_parallel.json", &json).expect("can write BENCH_sim_parallel.json");
+    println!(
+        "wrote BENCH_sim_parallel.json: {} timings, {} host cores, {} threads, overall speedup {:.2}x",
+        report.layers.len(),
+        host_cores,
+        threads,
+        report.overall_speedup
+    );
+}

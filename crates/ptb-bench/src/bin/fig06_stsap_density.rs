@@ -21,8 +21,14 @@ fn main() {
     let cols = 8usize;
 
     println!("=== Fig. 6(c): StSAP input densification, DVS-Gesture CONV2 ===");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>8}", "TW", "density", "density", "slots", "pairs");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>8}", "", "before", "after", "saved", "");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>8}",
+        "TW", "density", "density", "slots", "pairs"
+    );
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>8}",
+        "", "before", "after", "saved", ""
+    );
     for tw in [1usize, 2, 4, 8, 16] {
         // Sample a receptive-field-sized population.
         let neurons = layer.shape.receptive_field();

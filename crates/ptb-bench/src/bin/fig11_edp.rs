@@ -15,7 +15,11 @@ fn main() {
     let mut improvements = Vec::new();
     for net in spikegen::datasets::all_benchmarks() {
         let base = run_network_with(&net, Policy::BaselineTemporal, 1, &opts);
-        println!("=== Fig. 11: {} (baseline EDP {:.3e} J·s) ===", net.name, base.total_edp());
+        println!(
+            "=== Fig. 11: {} (baseline EDP {:.3e} J·s) ===",
+            net.name,
+            base.total_edp()
+        );
         println!(
             "{:>4} {:>14} {:>14} {:>12}",
             "TW", "EDP (PTB)", "EDP(+StSAP)", "norm(+StSAP)"
@@ -49,7 +53,5 @@ fn main() {
         improvements.push(improvement);
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    println!(
-        "average EDP improvement over baseline [14]: {avg:.1}x (paper: 248x)"
-    );
+    println!("average EDP improvement over baseline [14]: {avg:.1}x (paper: 248x)");
 }

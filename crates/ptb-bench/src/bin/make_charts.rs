@@ -30,19 +30,14 @@ fn main() {
     let timesteps = opts
         .max_timesteps
         .map_or(net.timesteps, |cap| net.timesteps.min(cap));
-    let activity = conv2
-        .input_profile
-        .generate(conv2.shape.ifmap_neurons().min(16 * 16 * 64), timesteps, 42);
+    let activity =
+        conv2
+            .input_profile
+            .generate(conv2.shape.ifmap_neurons().min(16 * 16 * 64), timesteps, 42);
     // Use a cropped shape consistent with the sampled activity.
-    let shape = snn_core::shape::ConvShape::with_padding(
-        16,
-        3,
-        64,
-        conv2.shape.out_channels(),
-        1,
-        1,
-    )
-    .expect("cropped CONV2 is valid");
+    let shape =
+        snn_core::shape::ConvShape::with_padding(16, 3, 64, conv2.shape.out_channels(), 1, 1)
+            .expect("cropped CONV2 is valid");
     let mut weight_pts = Vec::new();
     let mut input_pts = Vec::new();
     let mut total_pts = Vec::new();
@@ -78,14 +73,15 @@ fn main() {
         let pts: Vec<(f64, f64)> = tws
             .iter()
             .map(|&tw| {
-                let edp =
-                    run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts).total_edp();
+                let edp = run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts).total_edp();
                 (f64::from(tw).log2(), edp / base)
             })
             .collect();
         chart = chart.series(net.name.clone(), pts);
     }
-    chart.write_svg("results/fig11.svg").expect("can write fig11.svg");
+    chart
+        .write_svg("results/fig11.svg")
+        .expect("can write fig11.svg");
 
     // ------------------------------------------------ Fig. 12(b)
     let rates = [0.01, 0.03, 0.05, 0.10, 0.15];
@@ -110,7 +106,12 @@ fn main() {
         "mean firing rate (%)",
         "improvement (x)",
     )
-    .x_ticks(rates.iter().map(|&r| (r * 100.0, format!("{:.0}", r * 100.0))).collect())
+    .x_ticks(
+        rates
+            .iter()
+            .map(|&r| (r * 100.0, format!("{:.0}", r * 100.0)))
+            .collect(),
+    )
     .series("energy", energy_pts)
     .series("EDP", edp_pts)
     .write_svg("results/fig12b.svg")

@@ -37,7 +37,12 @@ fn main() {
         (Policy::ptb(), 8, "PTB (ours)"),
         (Policy::ptb_with_stsap(), 8, "PTB+StSAP (ours)"),
     ];
-    let base = simulate_layer(&SimInputs::hpca22(1), Policy::BaselineTemporal, shape, &input);
+    let base = simulate_layer(
+        &SimInputs::hpca22(1),
+        Policy::BaselineTemporal,
+        shape,
+        &input,
+    );
     for (policy, tw, label) in rows {
         let r = simulate_layer(&SimInputs::hpca22(tw), policy, shape, &input);
         println!(

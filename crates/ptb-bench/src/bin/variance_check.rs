@@ -11,7 +11,10 @@ fn main() {
     let base_opts = RunOptions::from_env();
     let seeds: &[u64] = &[1, 7, 42, 1234, 98765];
     println!("=== Variance check: DVS-Gesture EDP improvement across seeds ===");
-    println!("{:>8} {:>16} {:>16} {:>12}", "seed", "baseline EDP", "PTB+StSAP EDP", "improvement");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "seed", "baseline EDP", "PTB+StSAP EDP", "improvement"
+    );
     let net = spikegen::dvs_gesture();
     let mut improvements = Vec::new();
     for &seed in seeds {
@@ -50,6 +53,10 @@ fn main() {
     println!(
         "coefficient of variation {:.1}% — the headline is {}",
         cv * 100.0,
-        if cv < 0.15 { "seed-robust" } else { "seed-SENSITIVE (investigate)" }
+        if cv < 0.15 {
+            "seed-robust"
+        } else {
+            "seed-SENSITIVE (investigate)"
+        }
     );
 }

@@ -45,7 +45,11 @@ pub struct LineChart {
 
 impl LineChart {
     /// Creates an empty chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         LineChart {
             title: title.into(),
             x_label: x_label.into(),
@@ -275,7 +279,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -300,7 +306,10 @@ mod tests {
         assert!(svg.contains(">a</text>"));
         assert!(svg.contains(">b</text>"));
         // Text never wears the series color.
-        assert!(!svg.contains(&format!(r##"<text x="16" y="210.0" fill="{}""##, SERIES_COLORS[0])));
+        assert!(!svg.contains(&format!(
+            r##"<text x="16" y="210.0" fill="{}""##,
+            SERIES_COLORS[0]
+        )));
     }
 
     #[test]
@@ -309,7 +318,10 @@ mod tests {
             .log_y()
             .series("a", vec![(1.0, 1e-6), (2.0, 1e-2)])
             .to_svg();
-        assert!(svg.contains("e-"), "log ticks should show scientific notation");
+        assert!(
+            svg.contains("e-"),
+            "log ticks should show scientific notation"
+        );
     }
 
     #[test]

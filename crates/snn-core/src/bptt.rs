@@ -137,7 +137,13 @@ impl SpikingMlp {
     ///
     /// Returns [`SnnError::InvalidConfig`] if any dimension is zero or
     /// the config is invalid.
-    pub fn new(inputs: usize, hidden: usize, classes: usize, cfg: BpttConfig, seed: u64) -> Result<Self> {
+    pub fn new(
+        inputs: usize,
+        hidden: usize,
+        classes: usize,
+        cfg: BpttConfig,
+        seed: u64,
+    ) -> Result<Self> {
         if inputs == 0 || hidden == 0 || classes == 0 {
             return Err(SnnError::invalid_config("dimensions must be nonzero"));
         }

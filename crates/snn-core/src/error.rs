@@ -99,7 +99,10 @@ mod tests {
             actual: 7,
             what: "neurons",
         };
-        assert_eq!(e.to_string(), "dimension mismatch on neurons: expected 4, got 7");
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch on neurons: expected 4, got 7"
+        );
     }
 
     #[test]

@@ -316,7 +316,8 @@ mod tests {
         let layer = SpikingConv::from_fn(shape, neuron, |m, c, i, j| {
             ((m * 7 + c * 5 + i * 3 + j) % 11) as f32 / 11.0 - 0.3
         });
-        let input = SpikeTensor::from_fn(shape.ifmap_neurons(), 12, |n, t| (n * 13 + t * 7) % 5 == 0);
+        let input =
+            SpikeTensor::from_fn(shape.ifmap_neurons(), 12, |n, t| (n * 13 + t * 7) % 5 == 0);
         let out = layer.forward(&input).unwrap();
         for m in 0..shape.out_channels() {
             for x in 0..shape.ofmap_side() {

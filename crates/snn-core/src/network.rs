@@ -309,7 +309,9 @@ mod tests {
         let mut net = Network::new();
         net.push(fc(4, 8, 0.5));
         // 8 outputs cannot feed a pool expecting 1x4x4 = 16 inputs.
-        assert!(net.try_push(SpikingPool::or_pool(1, 4, 2).unwrap()).is_err());
+        assert!(net
+            .try_push(SpikingPool::or_pool(1, 4, 2).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -48,7 +48,14 @@ impl ConvShape {
         out_channels: u32,
         stride: u32,
     ) -> Result<Self> {
-        Self::with_padding(ifmap_side, filter_side, in_channels, out_channels, stride, 0)
+        Self::with_padding(
+            ifmap_side,
+            filter_side,
+            in_channels,
+            out_channels,
+            stride,
+            0,
+        )
     }
 
     /// Creates a CONV shape with symmetric zero `padding` on the ifmap.

@@ -170,7 +170,9 @@ impl SpikeTensor {
     /// Number of neurons that fire at least once (the complement of the
     /// paper's *silent neurons*).
     pub fn active_neurons(&self) -> usize {
-        (0..self.neurons).filter(|&n| self.fire_count(n) > 0).count()
+        (0..self.neurons)
+            .filter(|&n| self.fire_count(n) > 0)
+            .count()
     }
 
     /// True if `neuron` never fires (a *silent neuron*, skipped entirely
@@ -371,7 +373,15 @@ mod tests {
     fn popcount_range_matches_naive() {
         let s = SpikeTensor::from_fn(3, 200, |n, t| (n * 31 + t * 17) % 6 == 0);
         for n in 0..3 {
-            for &(a, b) in &[(0, 200), (0, 1), (63, 65), (10, 10), (5, 3), (64, 128), (190, 400)] {
+            for &(a, b) in &[
+                (0, 200),
+                (0, 1),
+                (63, 65),
+                (10, 10),
+                (5, 3),
+                (64, 128),
+                (190, 400),
+            ] {
                 let naive = (a..b.min(200)).filter(|&t| a < b && s.get(n, t)).count() as u32;
                 assert_eq!(s.popcount_range(n, a, b), naive, "n={n} range=({a},{b})");
             }

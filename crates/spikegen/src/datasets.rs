@@ -195,11 +195,56 @@ pub fn alexnet() -> NetworkSpec {
         timesteps: 300,
         layers: vec![
             // 227 input convention so E = 55 with stride 4 (see module docs).
-            conv("CONV1", 227, 11, 3, 96, 4, 0, bernoulli_profile(0.40, 0.060)),
-            conv("CONV2", 27, 5, 48, 256, 1, 2, bernoulli_profile(0.40, 0.080)),
-            conv("CONV3", 13, 3, 256, 384, 1, 1, bernoulli_profile(0.45, 0.070)),
-            conv("CONV4", 13, 3, 192, 384, 1, 1, bernoulli_profile(0.45, 0.070)),
-            conv("CONV5", 13, 3, 192, 256, 1, 1, bernoulli_profile(0.45, 0.070)),
+            conv(
+                "CONV1",
+                227,
+                11,
+                3,
+                96,
+                4,
+                0,
+                bernoulli_profile(0.40, 0.060),
+            ),
+            conv(
+                "CONV2",
+                27,
+                5,
+                48,
+                256,
+                1,
+                2,
+                bernoulli_profile(0.40, 0.080),
+            ),
+            conv(
+                "CONV3",
+                13,
+                3,
+                256,
+                384,
+                1,
+                1,
+                bernoulli_profile(0.45, 0.070),
+            ),
+            conv(
+                "CONV4",
+                13,
+                3,
+                192,
+                384,
+                1,
+                1,
+                bernoulli_profile(0.45, 0.070),
+            ),
+            conv(
+                "CONV5",
+                13,
+                3,
+                192,
+                256,
+                1,
+                1,
+                bernoulli_profile(0.45, 0.070),
+            ),
             fc("FC1", 6, 6, 256, 4096, bernoulli_profile(0.40, 0.090)),
             fc("FC2", 1, 1, 4096, 4096, bernoulli_profile(0.35, 0.100)),
             fc("FC3", 1, 1, 4096, 1000, bernoulli_profile(0.35, 0.100)),
@@ -219,10 +264,46 @@ pub fn cifar10_cnn() -> NetworkSpec {
         timesteps: 8,
         layers: vec![
             conv("CONV1", 32, 3, 3, 128, 1, 1, bernoulli_profile(0.30, 0.080)),
-            conv("CONV2", 32, 3, 128, 256, 1, 1, bernoulli_profile(0.35, 0.080)),
-            conv("CONV3", 16, 3, 256, 512, 1, 1, bernoulli_profile(0.40, 0.070)),
-            conv("CONV4", 16, 3, 512, 1024, 1, 1, bernoulli_profile(0.45, 0.060)),
-            conv("CONV5", 8, 3, 1024, 512, 1, 1, bernoulli_profile(0.45, 0.060)),
+            conv(
+                "CONV2",
+                32,
+                3,
+                128,
+                256,
+                1,
+                1,
+                bernoulli_profile(0.35, 0.080),
+            ),
+            conv(
+                "CONV3",
+                16,
+                3,
+                256,
+                512,
+                1,
+                1,
+                bernoulli_profile(0.40, 0.070),
+            ),
+            conv(
+                "CONV4",
+                16,
+                3,
+                512,
+                1024,
+                1,
+                1,
+                bernoulli_profile(0.45, 0.060),
+            ),
+            conv(
+                "CONV5",
+                8,
+                3,
+                1024,
+                512,
+                1,
+                1,
+                bernoulli_profile(0.45, 0.060),
+            ),
             fc("FC1", 8, 8, 512, 1024, bernoulli_profile(0.40, 0.090)),
             fc("FC2", 1, 1, 1024, 10, bernoulli_profile(0.30, 0.100)),
         ],
@@ -303,7 +384,9 @@ mod tests {
         for (i, l) in net.layers.iter().enumerate() {
             // Keep runtime bounded: sample a subset for the big layers.
             let neurons = l.shape.ifmap_neurons().min(4000);
-            let s = l.input_profile.generate(neurons, net.timesteps, 42 + i as u64);
+            let s = l
+                .input_profile
+                .generate(neurons, net.timesteps, 42 + i as u64);
             let d = s.density();
             assert!(
                 d > 0.005 && d < 0.15,

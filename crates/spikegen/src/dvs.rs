@@ -329,7 +329,10 @@ mod tests {
         assert!(!events.is_empty());
         let on = events.iter().filter(|e| e.polarity).count();
         let off = events.len() - on;
-        assert!(on > 0 && off > 0, "moving edge must brighten and darken pixels");
+        assert!(
+            on > 0 && off > 0,
+            "moving edge must brighten and darken pixels"
+        );
         // Roughly balanced: every brightening is followed by a darkening.
         let ratio = on as f64 / off.max(1) as f64;
         assert!((0.5..2.0).contains(&ratio), "on/off ratio {ratio}");
@@ -355,10 +358,7 @@ mod tests {
             .map(|n| u64::from(spikes.fire_count(n)))
             .sum();
         assert!(on_spikes > 0 && off_spikes > 0);
-        assert_eq!(
-            on_spikes + off_spikes,
-            spikes.total_spikes(),
-        );
+        assert_eq!(on_spikes + off_spikes, spikes.total_spikes(),);
     }
 
     #[test]

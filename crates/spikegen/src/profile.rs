@@ -200,8 +200,7 @@ impl FiringProfile {
                     // L * within_rate expected spikes, so start bursts with
                     // probability rate / (L * within_rate) per step.
                     let l = burst_len as usize;
-                    let p_start =
-                        (rate / (l as f64 * within_rate as f64)).clamp(0.0, 1.0);
+                    let p_start = (rate / (l as f64 * within_rate as f64)).clamp(0.0, 1.0);
                     let mut remaining = 0usize;
                     for t in 0..timesteps {
                         if remaining == 0 && rng.gen_bool(p_start) {

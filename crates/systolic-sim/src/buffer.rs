@@ -55,8 +55,7 @@ pub fn play(demands: &[IterationDemand], bytes_per_cycle: f64) -> BufferTimeline
         bytes_per_cycle > 0.0 && bytes_per_cycle.is_finite(),
         "bandwidth must be positive"
     );
-    let fill_cycles =
-        |bytes: u64| -> u64 { (bytes as f64 / bytes_per_cycle).ceil() as u64 };
+    let fill_cycles = |bytes: u64| -> u64 { (bytes as f64 / bytes_per_cycle).ceil() as u64 };
     let mut makespan = 0u64;
     let mut stall = 0u64;
     let mut idle_fill = 0u64;

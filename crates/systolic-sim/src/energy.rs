@@ -152,7 +152,10 @@ mod tests {
         assert!(m.dram_pj_per_byte > m.global_buffer_pj_per_byte);
         assert!(m.global_buffer_pj_per_byte > m.l1_pj_per_byte);
         assert!(m.l1_pj_per_byte > m.scratchpad_pj_per_byte);
-        assert!(m.mac_pj_per_op > m.ac_pj_per_op, "AC must be cheaper than MAC");
+        assert!(
+            m.mac_pj_per_op > m.ac_pj_per_op,
+            "AC must be cheaper than MAC"
+        );
     }
 
     #[test]

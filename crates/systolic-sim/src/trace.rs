@@ -174,6 +174,12 @@ impl AccessCounts {
     }
 
     /// Adds every counter of `other` into `self`.
+    ///
+    /// Counters are plain integer sums, so merging is associative and
+    /// commutative: folding any partition of a trace in any order
+    /// produces identical totals. `ptb_accel::sim` relies on this to
+    /// fan its position scan across worker threads while staying
+    /// bit-identical to the serial walk.
     pub fn merge(&mut self, other: &AccessCounts) {
         for l in 0..4 {
             for k in 0..5 {
@@ -254,6 +260,45 @@ mod tests {
         assert_eq!(a.ac_ops, 7);
         assert_eq!(a.mac_ops, 9);
         assert_eq!(a.compare_ops, 1);
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        // The property the parallel tally reduction depends on: any
+        // merge order of disjoint trace shards yields the same totals.
+        let shard = |seed: u64| {
+            let mut c = AccessCounts::new();
+            c.read(MemLevel::Dram, DataKind::Weight, seed * 3 + 1);
+            c.write(MemLevel::L1, DataKind::InputSpike, seed * 7 + 2);
+            c.transfer(
+                MemLevel::Dram,
+                MemLevel::GlobalBuffer,
+                DataKind::Membrane,
+                seed,
+            );
+            c.ac_ops = seed * 11;
+            c.compare_ops = seed + 5;
+            c
+        };
+        let shards: Vec<AccessCounts> = (0..6).map(shard).collect();
+        let mut fwd = AccessCounts::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = AccessCounts::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev);
+        // Pairwise tree fold agrees with the linear fold too.
+        let mut left = shards[0].clone();
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        let mut right = shards[3].clone();
+        right.merge(&shards[4]);
+        right.merge(&shards[5]);
+        left.merge(&right);
+        assert_eq!(fwd, left);
     }
 
     #[test]

@@ -58,7 +58,10 @@ fn main() {
         SIDE,
         TIMESTEPS
     );
-    println!("mean event density: {:.2}% (sparse, like real DVS data)\n", mean_density * 100.0);
+    println!(
+        "mean event density: {:.2}% (sparse, like real DVS data)\n",
+        mean_density * 100.0
+    );
 
     // --- 3: train with surrogate-gradient BPTT.
     let inputs = 2 * (SIDE * SIDE) as usize;
@@ -97,7 +100,10 @@ fn main() {
     let sim = SimInputs::hpca22(8);
     let l1_shape = ConvShape::new(1, 1, inputs as u32, 64, 1).expect("fc as conv");
     let l2_shape = ConvShape::new(1, 1, 64, CLASSES as u32, 1).expect("fc as conv");
-    println!("\n{:<10} {:>14} {:>12} {:>12}", "layer", "schedule", "energy (nJ)", "cycles");
+    println!(
+        "\n{:<10} {:>14} {:>12} {:>12}",
+        "layer", "schedule", "energy (nJ)", "cycles"
+    );
     for (name, shape, activity) in [
         ("input->h", l1_shape, &test[0].0),
         ("h->out", l2_shape, &hidden),

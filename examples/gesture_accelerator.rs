@@ -20,7 +20,10 @@ fn run(policy: Policy, tw: u32, seed: u64) -> NetworkReport {
         .enumerate()
         .map(|(i, l)| {
             let activity = l.generate_input(spec.timesteps, seed + i as u64);
-            (l.name.clone(), simulate_layer(&inputs, policy, l.shape, &activity))
+            (
+                l.name.clone(),
+                simulate_layer(&inputs, policy, l.shape, &activity),
+            )
         })
         .collect();
     NetworkReport::new(spec.name, layers)

@@ -41,7 +41,10 @@ fn main() {
     let ptb = simulate_layer(&inputs, Policy::ptb(), shape, &activity);
     let stsap = simulate_layer(&inputs, Policy::ptb_with_stsap(), shape, &activity);
 
-    println!("\n{:<14} {:>12} {:>12} {:>14} {:>8}", "schedule", "energy (uJ)", "cycles", "EDP (J*s)", "util");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>14} {:>8}",
+        "schedule", "energy (uJ)", "cycles", "EDP (J*s)", "util"
+    );
     for r in [&baseline, &ptb, &stsap] {
         println!(
             "{:<14} {:>12.1} {:>12} {:>14.3e} {:>7.1}%",

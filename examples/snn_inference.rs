@@ -41,10 +41,28 @@ fn main() {
     // orientation-selective kernels.
     let conv_shape = ConvShape::with_padding(8, 3, 1, 4, 1, 1).expect("valid conv");
     let conv = SpikingConv::from_fn(conv_shape, neuron, |m, _, i, j| match m {
-        0 => if i == 1 { 0.4 } else { -0.1 },  // horizontal edge
-        1 => if j == 1 { 0.4 } else { -0.1 },  // vertical edge
-        2 => if i == j { 0.3 } else { 0.0 },   // diagonal
-        _ => 0.12,                             // blur
+        0 => {
+            if i == 1 {
+                0.4
+            } else {
+                -0.1
+            }
+        } // horizontal edge
+        1 => {
+            if j == 1 {
+                0.4
+            } else {
+                -0.1
+            }
+        } // vertical edge
+        2 => {
+            if i == j {
+                0.3
+            } else {
+                0.0
+            }
+        } // diagonal
+        _ => 0.12, // blur
     });
 
     // Readout: 256 -> 2 spiking FC, trained with the delta rule.
@@ -75,9 +93,15 @@ fn main() {
     let accuracy = trainer.accuracy(&readout, &test).expect("evaluation runs");
     println!(
         "delta-rule training: epoch accuracies {:?}",
-        history.iter().map(|a| (a * 100.0).round()).collect::<Vec<_>>()
+        history
+            .iter()
+            .map(|a| (a * 100.0).round())
+            .collect::<Vec<_>>()
     );
-    println!("held-out accuracy: {:.0}% (chance: 50%)\n", accuracy * 100.0);
+    println!(
+        "held-out accuracy: {:.0}% (chance: 50%)\n",
+        accuracy * 100.0
+    );
     assert!(accuracy > 0.8, "the substrate must genuinely learn");
 
     // Schedule the *measured* CONV activity on the accelerator.
@@ -90,8 +114,18 @@ fn main() {
     );
     let fc_as_conv = ConvShape::new(1, 1, 256, 2, 1).expect("fc as 1x1 conv");
     let inputs = SimInputs::hpca22(8);
-    let ptb = simulate_layer(&inputs, Policy::ptb_with_stsap(), fc_as_conv, &sample.spikes);
-    let base = simulate_layer(&inputs, Policy::BaselineTemporal, fc_as_conv, &sample.spikes);
+    let ptb = simulate_layer(
+        &inputs,
+        Policy::ptb_with_stsap(),
+        fc_as_conv,
+        &sample.spikes,
+    );
+    let base = simulate_layer(
+        &inputs,
+        Policy::BaselineTemporal,
+        fc_as_conv,
+        &sample.spikes,
+    );
     println!(
         "readout layer on the accelerator: PTB+StSAP {:.2} nJ / {} cycles vs baseline {:.2} nJ / {} cycles ({:.1}x EDP)",
         ptb.energy.total_pj() / 1e3,

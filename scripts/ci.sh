@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the tier-1 verify command.
+#
+# Everything runs offline — external dependencies resolve to the
+# API-subset stand-ins under vendor/ (see DESIGN.md §7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== full workspace test suite"
+cargo test --workspace -q
+
+echo "CI gate passed."

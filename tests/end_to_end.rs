@@ -123,10 +123,7 @@ fn encoded_frames_flow_through_training_and_scheduling() {
             }
         })
         .collect();
-    let mut readout = SpikingFc::zeros(
-        FcShape::new(16, 2).unwrap(),
-        NeuronConfig::if_model(1.0),
-    );
+    let mut readout = SpikingFc::zeros(FcShape::new(16, 2).unwrap(), NeuronConfig::if_model(1.0));
     let trainer = DeltaTrainer::new(0.1, 10).unwrap();
     trainer.train(&mut readout, &samples).unwrap();
     let acc = trainer.accuracy(&readout, &samples).unwrap();

@@ -24,7 +24,12 @@ fn bandwidth_starvation_dominates_latency() {
     starved.arch.dram_bandwidth_bytes_per_s = healthy.arch.dram_bandwidth_bytes_per_s / 1000.0;
     let h = simulate_layer(&healthy, Policy::ptb(), shape, &input);
     let s = simulate_layer(&starved, Policy::ptb(), shape, &input);
-    assert!(s.cycles > h.cycles * 10, "{} !> {}", s.cycles, h.cycles * 10);
+    assert!(
+        s.cycles > h.cycles * 10,
+        "{} !> {}",
+        s.cycles,
+        h.cycles * 10
+    );
     // Energy is traffic-driven, not time-driven: unchanged.
     assert!((s.energy_joules() - h.energy_joules()).abs() < 1e-12);
 }
@@ -78,6 +83,7 @@ fn degenerate_single_pe_array_still_simulates() {
         arch: ArchConfig::hpca22().with_array(ArrayDims::new(1, 1)),
         energy: EnergyModel::cacti_32nm(),
         tw_size: 8,
+        threads: 1,
     };
     let one = simulate_layer(&inputs, Policy::ptb(), shape, &input);
     let full = simulate_layer(&SimInputs::hpca22(8), Policy::ptb(), shape, &input);
@@ -109,7 +115,10 @@ fn one_spike_total_is_handled_by_everyone() {
     let ptb = simulate_layer(&SimInputs::hpca22(8), Policy::ptb(), shape, &input);
     // Neuron 0 sits in the RFs of a few output positions only.
     assert!(ptb.useful_ops > 0);
-    assert!(ptb.useful_ops <= 9 * 16, "one spike, <= R*R positions x M channels");
+    assert!(
+        ptb.useful_ops <= 9 * 16,
+        "one spike, <= R*R positions x M channels"
+    );
 }
 
 #[test]
@@ -131,7 +140,9 @@ fn executor_survives_extreme_geometries() {
         ArrayDims::new(3, 5),
     ] {
         for tw in [1u32, 5, 13, 64] {
-            let out = PtbExecutor::new(dims, tw, true).run_conv(&layer, &input).unwrap();
+            let out = PtbExecutor::new(dims, tw, true)
+                .run_conv(&layer, &input)
+                .unwrap();
             assert_eq!(out, reference, "dims={dims} tw={tw}");
         }
     }

@@ -9,8 +9,15 @@ use ptb_snn::snn_core::shape::ConvShape;
 use ptb_snn::snn_core::spike::SpikeTensor;
 
 fn small_layer_strategy() -> impl Strategy<Value = (ConvShape, SpikeTensor)> {
-    (2u32..8, 1u32..3, 1u32..6, 1u32..20, 1usize..48, any::<u64>()).prop_flat_map(
-        |(h, r, c, m, t, seed)| {
+    (
+        2u32..8,
+        1u32..3,
+        1u32..6,
+        1u32..20,
+        1usize..48,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(h, r, c, m, t, seed)| {
             let r = r.min(h);
             let shape = ConvShape::new(h, r, c, m, 1).expect("valid by construction");
             let neurons = shape.ifmap_neurons();
@@ -24,8 +31,7 @@ fn small_layer_strategy() -> impl Strategy<Value = (ConvShape, SpikeTensor)> {
                     x % 7 == 0
                 }),
             ))
-        },
-    )
+        })
 }
 
 proptest! {
@@ -125,6 +131,31 @@ proptest! {
         prop_assert!(long.energy_joules() >= short.energy_joules());
         prop_assert!(long.cycles >= short.cycles);
         prop_assert!(long.counts.ac_ops >= short.counts.ac_ops);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_for_every_policy(
+        (shape, input) in small_layer_strategy(),
+        tw in 1u32..=16,
+        threads in 2usize..=9,
+    ) {
+        // The tentpole determinism guarantee: fanning the position scan
+        // across N workers produces a LayerReport assert_eq!-identical
+        // to the serial walk, for every policy.
+        let serial = SimInputs::hpca22(tw);
+        let parallel = serial.with_threads(threads);
+        for p in [
+            Policy::ptb(),
+            Policy::ptb_with_stsap(),
+            Policy::BaselineTemporal,
+            Policy::TimeSerial,
+            Policy::Ann,
+            Policy::EventDriven,
+        ] {
+            let a = simulate_layer(&serial, p, shape, &input);
+            let b = simulate_layer(&parallel, p, shape, &input);
+            prop_assert_eq!(a, b, "{:?} diverged at {} threads", p, threads);
+        }
     }
 
     #[test]

@@ -30,8 +30,18 @@ fn workload() -> (ConvShape, SpikeTensor) {
 #[test]
 fn headline_ptb_crushes_the_baseline() {
     let (shape, input) = workload();
-    let base = simulate_layer(&SimInputs::hpca22(1), Policy::BaselineTemporal, shape, &input);
-    let ptb = simulate_layer(&SimInputs::hpca22(8), Policy::ptb_with_stsap(), shape, &input);
+    let base = simulate_layer(
+        &SimInputs::hpca22(1),
+        Policy::BaselineTemporal,
+        shape,
+        &input,
+    );
+    let ptb = simulate_layer(
+        &SimInputs::hpca22(8),
+        Policy::ptb_with_stsap(),
+        shape,
+        &input,
+    );
     let ratio = base.edp() / ptb.edp();
     assert!(
         ratio > 20.0,
@@ -52,8 +62,14 @@ fn fig9a_weight_falls_and_input_rises_with_tw() {
     let (w1, i1) = at(1);
     let (w8, i8) = at(8);
     let (w64, i64) = at(64);
-    assert!(w1 > w8 && w8 > w64, "weight energy must fall: {w1} {w8} {w64}");
-    assert!(i1 < i8 && i8 < i64, "input energy must rise: {i1} {i8} {i64}");
+    assert!(
+        w1 > w8 && w8 > w64,
+        "weight energy must fall: {w1} {w8} {w64}"
+    );
+    assert!(
+        i1 < i8 && i8 < i64,
+        "input energy must rise: {i1} {i8} {i64}"
+    );
 }
 
 #[test]
@@ -66,14 +82,21 @@ fn fig9b_balanced_arrays_beat_extreme_shapes() {
             arch: ArchConfig::hpca22().with_array(dims),
             energy: EnergyModel::cacti_32nm(),
             tw_size: 8,
+            threads: 1,
         };
         simulate_layer(&inputs, Policy::ptb(), shape, &input).edp()
     };
     let balanced = edp_of(ArrayDims::new(16, 8)).min(edp_of(ArrayDims::new(8, 16)));
     let skinny = edp_of(ArrayDims::new(128, 1));
     let flat = edp_of(ArrayDims::new(1, 128));
-    assert!(balanced < skinny, "balanced {balanced:.3e} vs 128x1 {skinny:.3e}");
-    assert!(balanced < flat, "balanced {balanced:.3e} vs 1x128 {flat:.3e}");
+    assert!(
+        balanced < skinny,
+        "balanced {balanced:.3e} vs 128x1 {skinny:.3e}"
+    );
+    assert!(
+        balanced < flat,
+        "balanced {balanced:.3e} vs 1x128 {flat:.3e}"
+    );
 }
 
 #[test]
@@ -95,7 +118,12 @@ fn fig10_stsap_helps_most_at_small_tw() {
         .generate(shape.ifmap_neurons(), 128, 11);
     let saving = |tw: u32| {
         let plain = simulate_layer(&SimInputs::hpca22(tw), Policy::ptb(), shape, &input);
-        let packed = simulate_layer(&SimInputs::hpca22(tw), Policy::ptb_with_stsap(), shape, &input);
+        let packed = simulate_layer(
+            &SimInputs::hpca22(tw),
+            Policy::ptb_with_stsap(),
+            shape,
+            &input,
+        );
         1.0 - packed.cycles as f64 / plain.cycles as f64
     };
     let s1 = saving(1);
@@ -104,7 +132,10 @@ fn fig10_stsap_helps_most_at_small_tw() {
         s1 >= s32,
         "StSAP's latency saving should shrink with TW: {s1:.3} vs {s32:.3}"
     );
-    assert!(s1 > 0.05, "StSAP must save meaningfully at TW=1, got {s1:.3}");
+    assert!(
+        s1 > 0.05,
+        "StSAP must save meaningfully at TW=1, got {s1:.3}"
+    );
 }
 
 #[test]
@@ -134,7 +165,12 @@ fn fig12b_snn_beats_ann_at_few_timesteps() {
     let input = FiringProfile::new(0.3, 0.08, 0.5, TemporalStructure::Bernoulli)
         .unwrap()
         .generate(shape.ifmap_neurons(), 8, 5);
-    let snn = simulate_layer(&SimInputs::hpca22(8), Policy::ptb_with_stsap(), shape, &input);
+    let snn = simulate_layer(
+        &SimInputs::hpca22(8),
+        Policy::ptb_with_stsap(),
+        shape,
+        &input,
+    );
     let ann = simulate_layer(&SimInputs::hpca22(8), Policy::Ann, shape, &input);
     assert!(
         snn.energy_joules() < ann.energy_joules(),
@@ -163,7 +199,12 @@ fn dram_bound_layers_respect_bandwidth() {
     let r = simulate_layer(&inputs, Policy::ptb(), shape, &input);
     let dram_bytes = r.counts.dram_traffic_bits() as f64 / 8.0;
     let floor = (dram_bytes / inputs.arch.dram_bytes_per_cycle()).floor() as u64;
-    assert!(r.cycles >= floor, "cycles {} < bandwidth floor {}", r.cycles, floor);
+    assert!(
+        r.cycles >= floor,
+        "cycles {} < bandwidth floor {}",
+        r.cycles,
+        floor
+    );
 }
 
 #[test]

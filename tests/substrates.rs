@@ -98,7 +98,10 @@ proptest! {
     #[test]
     fn aer_roundtrip_any_tensor(n in 1usize..40, t in 1usize..120, seed in any::<u64>()) {
         let s = SpikeTensor::from_fn(n, t, |i, tp| {
-            (i as u64).wrapping_mul(0x9E37).wrapping_add((tp as u64).wrapping_mul(seed | 1)) % 5 == 0
+            (i as u64)
+                .wrapping_mul(0x9E37)
+                .wrapping_add((tp as u64).wrapping_mul(seed | 1))
+                .is_multiple_of(5)
         });
         let events = repr::aer_events(&s);
         let back = repr::from_aer(&events, n, t);

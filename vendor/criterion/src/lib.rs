@@ -1,0 +1,121 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface the workspace's benches use, backed by a simple wall-clock
+//! loop (fixed warmup, then timed batches reporting the median
+//! per-iteration time). No statistics engine, plots, or CLI.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+const SAMPLES: usize = 15;
+
+impl Bencher {
+    fn time_samples(&mut self, mut run_once: impl FnMut()) {
+        // Warmup, then size batches so each sample takes >= ~2 ms.
+        run_once();
+        let probe = Instant::now();
+        run_once();
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).max(1) as usize;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                run_once();
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    /// Times `f` repeatedly.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        self.time_samples(|| {
+            std::hint::black_box(f());
+        });
+    }
+
+    /// Times `f` with un-timed fresh input from `setup` each run.
+    ///
+    /// The stand-in cannot exclude setup from timing without the real
+    /// crate's batching machinery; setup cost is included, which is
+    /// acceptable for the cheap setups the workspace uses.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        self.time_samples(|| {
+            let input = setup();
+            std::hint::black_box(f(input));
+        });
+    }
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median iteration time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        let ns = b.median_ns;
+        if ns >= 1e6 {
+            println!("{name:<40} {:>12.3} ms/iter", ns / 1e6);
+        } else if ns >= 1e3 {
+            println!("{name:<40} {:>12.3} us/iter", ns / 1e3);
+        } else {
+            println!("{name:<40} {ns:>12.1} ns/iter");
+        }
+        self
+    }
+
+    /// Accepts CLI args for compatibility; no-op.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

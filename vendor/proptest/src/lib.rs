@@ -1,0 +1,495 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and `any::<T>()` strategies,
+//! tuple composition, [`Just`], `prop_oneof!`, the `proptest!` test
+//! macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the originally generated
+//!   inputs instead of a minimized counterexample.
+//! - **No persistence.** `.proptest-regressions` files are ignored (the
+//!   seed hashes they store index the real crate's ChaCha streams, which
+//!   this stand-in cannot replay). Regressions worth keeping must be
+//!   pinned as ordinary `#[test]`s — see
+//!   `crates/ptb-accel/src/stsap.rs::regression_seed0_n47_width2`.
+//! - Generation is deterministic per test name (override with the
+//!   `PROPTEST_SEED` environment variable).
+
+use std::fmt::Debug;
+
+/// Deterministic test-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG whose stream is a pure function of `name` (and the
+    /// optional `PROPTEST_SEED` environment override).
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values (no shrink tree).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.gen_value(rng)).gen_value(rng)
+    }
+}
+
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!` backend).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = (self.next_index(rng)) % self.0.len();
+        self.0[i].gen_value(rng)
+    }
+}
+
+impl<T> Union<T> {
+    fn next_index(&self, rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as u128 + draw) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws a uniform value over the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `proptest::prelude::any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Runs one property: `cases` iterations of generate + execute.
+/// Used by the `proptest!` macro expansion; not part of the public API
+/// of the real crate.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    mut body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(name);
+    for case in 0..config.cases {
+        let value = strategy.gen_value(&mut rng);
+        let described = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property `{name}` failed at case {case}/{}: {}\n  inputs: {described}\n  \
+                 (no shrinking in the offline proptest stand-in)",
+                config.cases, e.message
+            ),
+            Err(panic) => {
+                eprintln!(
+                    "property `{name}` panicked at case {case}/{}\n  inputs: {described}",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Declares property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion of [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                ($($strat,)+),
+                |($($pat,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Uniform choice among strategies (stand-in for
+/// `proptest::prop_oneof!`; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let strat = (1u32..5, 0usize..10, 1u32..=3);
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::gen_value(&strat, &mut rng);
+            assert!((1..5).contains(&a));
+            assert!(b < 10);
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_oneof_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let s = (1u32..4)
+            .prop_flat_map(|n| (Just(n), 0u32..n.max(1)))
+            .prop_map(|(n, k)| (n, k));
+        let u = prop_oneof![(0u32..1).prop_map(|_| 7u32), (0u32..1).prop_map(|_| 9u32)];
+        for _ in 0..100 {
+            let (n, k) = s.gen_value(&mut rng);
+            assert!(k < n);
+            let v = u.gen_value(&mut rng);
+            assert!(v == 7 || v == 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 1u64..100, (a, b) in (0u8..10, 0u8..10)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(u32::from(a) + u32::from(b), u32::from(b) + u32::from(a));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the external `serde` dependency is replaced by this minimal local
+//! facade. It provides the two items the repository actually uses —
+//! `#[derive(Serialize, Deserialize)]` and trait bounds for
+//! `serde_json::to_string_pretty` — via a simple JSON value model
+//! instead of serde's full data model.
+//!
+//! The API intentionally mirrors the subset of real serde the workspace
+//! imports (`use serde::{Deserialize, Serialize};`), so swapping the
+//! real crate back in requires only a Cargo.toml change.
+
+/// A JSON value tree: the intermediate representation `Serialize`
+/// produces and `serde_json` renders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (rendered without a decimal point).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned 128-bit integer (tile tags are `u128`).
+    U128(u128),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered object (field order = declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+///
+/// The stand-in for `serde::Serialize`; derived by
+/// `#[derive(Serialize)]` from the local `serde_derive`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Nothing in the workspace deserializes (there is no `from_str` call
+/// site), so the derive only emits this marker impl.
+pub trait Deserialize {}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::U128(*self)
+    }
+}
+impl Deserialize for u128 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Internal namespace used by derive expansions and `serde_json`.
+pub mod ser {
+    pub use crate::{Serialize, Value};
+}
+
+/// Internal namespace mirroring real serde's module layout.
+pub mod de {
+    pub use crate::Deserialize;
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the local `serde` facade's JSON value model, by hand-parsing
+//! the item's token stream (the real crate's `syn`/`quote` dependencies
+//! are unavailable offline).
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields,
+//! - enums with unit, named-field, and tuple variants (externally
+//!   tagged, matching real serde's default representation),
+//! - no generic parameters, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the local facade's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(obj)"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{v_name} => ::serde::Value::Str(\"{v_name}\".to_string()),\n",
+                        v_name = v.name
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v_name} {{ {binds} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{v_name}\".to_string(), ::serde::Value::Object(inner))])\n\
+                             }},\n",
+                            v_name = v.name
+                        ));
+                    }
+                    VariantFields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let bind_list = binds.join(", ");
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v_name}({bind_list}) => \
+                             ::serde::Value::Object(vec![(\"{v_name}\".to_string(), {payload})]),\n",
+                            v_name = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        name = item.name
+    )
+    .parse()
+    .expect("derived Serialize impl must parse")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("derived Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind_kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("generic types are not supported by the offline serde_derive stand-in")
+            }
+            Some(_) => continue,
+            None => panic!("missing item body"),
+        }
+    };
+    let kind = match kind_kw.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        // Consume `: Type` up to the next top-level comma.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                VariantFields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                it.next();
+                VariantFields::Tuple(tuple_arity(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Consume up to the next top-level comma (skips discriminants).
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Counts top-level comma-separated types in a tuple-variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for tt in body {
+        saw_any = true;
+        if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+            arity += 1;
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
