@@ -30,6 +30,10 @@
 //! * [`geom`] — per-layer receptive-field geometry and spike popcount
 //!   tables, computed once per simulation and shared by every policy
 //!   and every scan worker.
+//! * [`prepared`] — [`PreparedLayer`]: memoized derived tables for
+//!   incremental re-simulation across TW/policy sweeps
+//!   ([`simulate_layer_prepared`] is bit-identical to
+//!   [`simulate_layer`]).
 //! * [`sim`] — the analytic layer simulator for PTB and the baselines
 //!   (conventional time-serial, dense temporal tiling \[14\], and the
 //!   non-spiking ANN accelerator of the Fig. 12(b) comparison).
@@ -63,6 +67,7 @@
 pub mod config;
 pub mod geom;
 pub mod optimize;
+pub mod prepared;
 pub mod reference;
 pub mod report;
 pub mod schedule;
@@ -72,7 +77,8 @@ pub mod tag;
 pub mod window;
 
 pub use config::{Policy, SimInputs};
+pub use prepared::PreparedLayer;
 pub use report::{LayerReport, NetworkReport};
-pub use sim::simulate_layer;
+pub use sim::{simulate_layer, simulate_layer_prepared};
 pub use tag::{NeuronClass, TbTag};
 pub use window::WindowPartition;

@@ -1,0 +1,199 @@
+//! Reusable per-layer simulation state for incremental re-simulation.
+//!
+//! A TW or policy sweep re-simulates the same `(shape, activity)` pair
+//! many times, but most of what [`crate::sim::simulate_layer`] derives
+//! from that pair is invariant across the sweep:
+//!
+//! * the receptive-field geometry ([`LayerGeometry`]) depends only on
+//!   the shape — it never changes across TW *or* policy;
+//! * the per-(neuron, time-point) spike bits ([`crate::geom::spike_bits`])
+//!   depend only on the activity;
+//! * the per-(neuron, window) popcount table
+//!   ([`crate::geom::window_popcounts`]) depends on the activity and the
+//!   TW size — invariant across *policies* at a fixed TW.
+//!
+//! A [`PreparedLayer`] owns the activity tensor and memoizes all three,
+//! so a sweep rebuilds only what its changed axis actually invalidates:
+//! changing the policy rebuilds nothing, changing TW rebuilds only the
+//! popcount table for the new window size (the TB tags and schedule are
+//! re-derived inside the simulator as always).
+//!
+//! ## Determinism
+//!
+//! Every memoized table is a *pure function* of the tensor and shape
+//! the `PreparedLayer` was constructed with — the memo only skips
+//! recomputation, never changes a value. Consequently
+//! [`crate::sim::simulate_layer_prepared`] returns a report bit-identical
+//! to [`crate::sim::simulate_layer`] on the same `(shape, input)`, for
+//! every policy, TW size, and thread count; `prepared_matches_fresh`
+//! tests pin this.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use snn_core::shape::ConvShape;
+use snn_core::spike::SpikeTensor;
+
+use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
+use crate::window::WindowPartition;
+
+/// One layer's simulation-ready state: the input activity plus lazily
+/// built, memoized derived tables (geometry, spike bits, per-TW window
+/// popcounts). Cheap to share across threads and sweep points via
+/// [`Arc`]; all interior mutability is memoization only.
+#[derive(Debug)]
+pub struct PreparedLayer {
+    shape: ConvShape,
+    spikes: Arc<SpikeTensor>,
+    geo: OnceLock<Arc<LayerGeometry>>,
+    bits: OnceLock<Arc<Vec<u8>>>,
+    /// Window popcount tables keyed by TW size, most recent last. The
+    /// activity and period are fixed at construction, so TW size alone
+    /// identifies a table. Bounded to [`POPCOUNT_MEMO_CAP`] entries
+    /// (FIFO eviction): a table costs `neurons · ceil(T/TWS) · 2` bytes
+    /// — ~90 MB for AlexNet CONV1 at TWS = 1 — so holding a full
+    /// 7-point TW sweep per layer would dominate memory for no benefit
+    /// (sweeps revisit at most the current and neighboring TW sizes).
+    pops: Mutex<Vec<(usize, Arc<Vec<u16>>)>>,
+}
+
+/// Maximum distinct TW sizes memoized per layer (see
+/// [`PreparedLayer::window_popcounts`]).
+pub const POPCOUNT_MEMO_CAP: usize = 4;
+
+impl PreparedLayer {
+    /// Wraps `spikes` as the activity of a layer shaped `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's neuron count does not match the shape's
+    /// ifmap, or the period is zero — the same preconditions
+    /// [`crate::sim::simulate_layer`] asserts.
+    pub fn new(shape: ConvShape, spikes: Arc<SpikeTensor>) -> Self {
+        assert_eq!(
+            spikes.neurons(),
+            shape.ifmap_neurons(),
+            "activity tensor must match the layer's ifmap"
+        );
+        assert!(spikes.timesteps() > 0, "operational period must be nonzero");
+        PreparedLayer {
+            shape,
+            spikes,
+            geo: OnceLock::new(),
+            bits: OnceLock::new(),
+            pops: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The layer shape this state was prepared for.
+    pub fn shape(&self) -> ConvShape {
+        self.shape
+    }
+
+    /// The input spike activity.
+    pub fn spikes(&self) -> &Arc<SpikeTensor> {
+        &self.spikes
+    }
+
+    /// The receptive-field geometry, built on first use and shared
+    /// thereafter (TW- and policy-invariant).
+    pub fn geometry(&self) -> Arc<LayerGeometry> {
+        self.geo
+            .get_or_init(|| Arc::new(LayerGeometry::new(self.shape)))
+            .clone()
+    }
+
+    /// The dense per-(neuron, time-point) bit table, built on first use
+    /// (activity-invariant; used by the time-point-granularity
+    /// policies).
+    pub fn spike_bits(&self) -> Arc<Vec<u8>> {
+        self.bits
+            .get_or_init(|| Arc::new(spike_bits(&self.spikes)))
+            .clone()
+    }
+
+    /// The per-(neuron, window) popcount table for windows of `tw_size`
+    /// time points, built on first use per TW size (at most
+    /// [`POPCOUNT_MEMO_CAP`] sizes retained, oldest evicted first).
+    /// Changing only the TW therefore costs at most one popcount pass —
+    /// the activity tensor and geometry are reused as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tw_size` is zero (via [`WindowPartition::new`]).
+    pub fn window_popcounts(&self, tw_size: usize) -> Arc<Vec<u16>> {
+        if let Some((_, hit)) = self
+            .pops
+            .lock()
+            .expect("popcount memo lock")
+            .iter()
+            .find(|(tw, _)| *tw == tw_size)
+        {
+            return hit.clone();
+        }
+        // Build outside the lock: popcount passes over big layers are
+        // slow, and concurrent callers ask for *different* TW sizes in
+        // practice (one sweep point at a time). A racing duplicate for
+        // the same TW computes an identical table; first insert wins.
+        let part = WindowPartition::new(self.spikes.timesteps(), tw_size);
+        let built = Arc::new(window_popcounts(&self.spikes, &part));
+        let mut memo = self.pops.lock().expect("popcount memo lock");
+        if let Some((_, hit)) = memo.iter().find(|(tw, _)| *tw == tw_size) {
+            return hit.clone();
+        }
+        if memo.len() == POPCOUNT_MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push((tw_size, built.clone()));
+        built
+    }
+
+    /// Number of distinct TW sizes currently holding a memoized
+    /// popcount table (exposed for cache accounting and tests; never
+    /// exceeds [`POPCOUNT_MEMO_CAP`]).
+    pub fn memoized_tw_sizes(&self) -> usize {
+        self.pops.lock().expect("popcount memo lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prep() -> PreparedLayer {
+        let shape = ConvShape::new(6, 3, 2, 4, 1).unwrap();
+        let spikes = SpikeTensor::from_fn(shape.ifmap_neurons(), 40, |n, t| (n + 3 * t) % 7 == 0);
+        PreparedLayer::new(shape, Arc::new(spikes))
+    }
+
+    #[test]
+    fn memoized_tables_match_fresh_computation() {
+        let p = prep();
+        let geo = LayerGeometry::new(p.shape());
+        assert_eq!(p.geometry().rf_total(), geo.rf_total());
+        assert_eq!(p.geometry().positions(), geo.positions());
+        assert_eq!(*p.spike_bits(), spike_bits(p.spikes()));
+        for tw in [1usize, 4, 8, 64] {
+            let part = WindowPartition::new(40, tw);
+            assert_eq!(*p.window_popcounts(tw), window_popcounts(p.spikes(), &part));
+        }
+        assert_eq!(p.memoized_tw_sizes(), 4);
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_table() {
+        let p = prep();
+        let a = p.window_popcounts(8);
+        let b = p.window_popcounts(8);
+        assert!(Arc::ptr_eq(&a, &b), "same TW must share one table");
+        assert_eq!(p.memoized_tw_sizes(), 1);
+        assert!(Arc::ptr_eq(&p.geometry(), &p.geometry()));
+        assert!(Arc::ptr_eq(&p.spike_bits(), &p.spike_bits()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_tensor_rejected() {
+        let shape = ConvShape::new(6, 3, 2, 4, 1).unwrap();
+        PreparedLayer::new(shape, Arc::new(SpikeTensor::new(3, 8)));
+    }
+}

@@ -30,7 +30,7 @@
 //!
 //! ## Parallelism and determinism
 //!
-//! Every policy's position loop only *accumulates* into a [`Tally`],
+//! Every policy's position loop only *accumulates* into a `Tally`,
 //! and every tally field is an integer sum — so accumulation is
 //! associative and commutative, and any partition of the position space
 //! merged in any order produces bit-identical totals. The simulator
@@ -44,12 +44,15 @@
 //! and spike popcount tables — are hoisted into [`crate::geom`] and
 //! computed once per call.
 
+use std::sync::Arc;
+
 use snn_core::shape::ConvShape;
 use snn_core::spike::SpikeTensor;
 use systolic_sim::{AccessCounts, DataKind, MemLevel};
 
 use crate::config::{Policy, SimInputs};
 use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
+use crate::prepared::PreparedLayer;
 use crate::report::LayerReport;
 use crate::stsap::pack_tile;
 use crate::window::WindowPartition;
@@ -61,6 +64,9 @@ use crate::window::WindowPartition;
 ///
 /// The scan over output positions honors [`SimInputs::threads`]; the
 /// report is identical for every thread count (see the module docs).
+/// Derived tables (geometry, popcounts) are built fresh on every call;
+/// sweeps that re-simulate the same layer should use
+/// [`simulate_layer_prepared`] to reuse them.
 ///
 /// # Panics
 ///
@@ -72,19 +78,84 @@ pub fn simulate_layer(
     shape: ConvShape,
     input: &SpikeTensor,
 ) -> LayerReport {
-    inputs.assert_valid();
     assert_eq!(
         input.neurons(),
         shape.ifmap_neurons(),
         "input tensor must match the layer's ifmap"
     );
     assert!(input.timesteps() > 0, "operational period must be nonzero");
+    dispatch(inputs, policy, shape, input, None)
+}
+
+/// Simulates one layer under `policy` reusing `prep`'s memoized derived
+/// tables — the incremental re-simulation entry point for TW and policy
+/// sweeps.
+///
+/// The report is **bit-identical** to
+/// [`simulate_layer`]`(inputs, policy, prep.shape(), prep.spikes())`
+/// for every policy, TW size, and thread count: the memoized tables are
+/// pure functions of the prepared shape and activity, so reuse skips
+/// recomputation without changing any value (see [`crate::prepared`]).
+///
+/// # Panics
+///
+/// Panics if `inputs` is invalid (the prepared state's own invariants
+/// are asserted at [`PreparedLayer::new`]).
+pub fn simulate_layer_prepared(
+    inputs: &SimInputs,
+    policy: Policy,
+    prep: &PreparedLayer,
+) -> LayerReport {
+    dispatch(inputs, policy, prep.shape(), prep.spikes(), Some(prep))
+}
+
+/// Common dispatch: `prep = None` builds derived tables fresh (the
+/// historical path), `Some` reuses the prepared memos.
+fn dispatch(
+    inputs: &SimInputs,
+    policy: Policy,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    prep: Option<&PreparedLayer>,
+) -> LayerReport {
+    inputs.assert_valid();
     match policy {
-        Policy::Ptb { stsap } => simulate_ptb(inputs, stsap, shape, input),
-        Policy::BaselineTemporal => simulate_dense_temporal(inputs, shape, input, false),
-        Policy::TimeSerial => simulate_dense_temporal(inputs, shape, input, true),
-        Policy::Ann => simulate_ann(inputs, shape, input),
-        Policy::EventDriven => simulate_event_driven(inputs, shape, input),
+        Policy::Ptb { stsap } => simulate_ptb(inputs, stsap, shape, input, prep),
+        Policy::BaselineTemporal => simulate_dense_temporal(inputs, shape, input, false, prep),
+        Policy::TimeSerial => simulate_dense_temporal(inputs, shape, input, true, prep),
+        Policy::Ann => simulate_ann(inputs, shape, input, prep),
+        Policy::EventDriven => simulate_event_driven(inputs, shape, input, prep),
+    }
+}
+
+/// The layer's receptive-field geometry: the prepared memo when
+/// available, otherwise built fresh.
+fn geometry_of(prep: Option<&PreparedLayer>, shape: ConvShape) -> Arc<LayerGeometry> {
+    match prep {
+        Some(p) => p.geometry(),
+        None => Arc::new(LayerGeometry::new(shape)),
+    }
+}
+
+/// The dense per-(neuron, time-point) bit table (memoized when
+/// prepared).
+fn bits_of(prep: Option<&PreparedLayer>, input: &SpikeTensor) -> Arc<Vec<u8>> {
+    match prep {
+        Some(p) => p.spike_bits(),
+        None => Arc::new(spike_bits(input)),
+    }
+}
+
+/// The per-(neuron, window) popcount table for `part` (memoized per TW
+/// size when prepared).
+fn popcounts_of(
+    prep: Option<&PreparedLayer>,
+    input: &SpikeTensor,
+    part: &WindowPartition,
+) -> Arc<Vec<u16>> {
+    match prep {
+        Some(p) => p.window_popcounts(part.tw_size()),
+        None => Arc::new(window_popcounts(input, part)),
     }
 }
 
@@ -190,7 +261,12 @@ fn slot_cost(a: &[u16], b: Option<&[u16]>, min_beats: u64) -> u64 {
 /// time) and time points are processed strictly serially with the
 /// columns used spatially — the lack-of-parallelism critique of
 /// Section I.
-fn simulate_event_driven(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> LayerReport {
+fn simulate_event_driven(
+    inputs: &SimInputs,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    prep: Option<&PreparedLayer>,
+) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
     // No spatial or temporal parallelism in this baseline: columns idle.
@@ -202,8 +278,9 @@ fn simulate_event_driven(inputs: &SimInputs, shape: ConvShape, input: &SpikeTens
     let pbits = u64::from(arch.potential_bits);
     let wbits = u64::from(arch.weight_bits);
 
-    let geo = LayerGeometry::new(shape);
-    let bit_at = spike_bits(input);
+    let geo = geometry_of(prep, shape);
+    let bit_at = bits_of(prep, input);
+    let bit_at: &[u8] = &bit_at;
 
     // Events are integrated per position; with columns used spatially, a
     // position tile of up to `cols` positions shares one pass per time
@@ -447,6 +524,7 @@ fn simulate_ptb(
     stsap: bool,
     shape: ConvShape,
     input: &SpikeTensor,
+    prep: Option<&PreparedLayer>,
 ) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
@@ -460,12 +538,14 @@ fn simulate_ptb(
     let row_tiles = m.div_ceil(rows);
     let pbits = u64::from(arch.potential_bits);
 
-    // Shared read-only scan inputs, computed once: receptive fields and
-    // the spikes of each (neuron, window), reused across every
-    // overlapping receptive field and every worker.
-    let geo = LayerGeometry::new(shape);
+    // Shared read-only scan inputs, computed (or fetched from the
+    // prepared memo) once: receptive fields and the spikes of each
+    // (neuron, window), reused across every overlapping receptive field
+    // and every worker.
+    let geo = geometry_of(prep, shape);
     let n_w = part.num_windows();
-    let win_pop = window_popcounts(input, &part);
+    let win_pop = popcounts_of(prep, input, &part);
+    let win_pop: &[u16] = &win_pop;
     let min_beats = u64::from(tws.div_ceil(arch.spike_link_bits)).max(1);
 
     let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
@@ -589,6 +669,7 @@ fn simulate_dense_temporal(
     shape: ConvShape,
     input: &SpikeTensor,
     time_serial: bool,
+    prep: Option<&PreparedLayer>,
 ) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
@@ -599,7 +680,7 @@ fn simulate_dense_temporal(
     let row_tiles = m.div_ceil(rows);
     let pbits = u64::from(arch.potential_bits);
 
-    let geo = LayerGeometry::new(shape);
+    let geo = geometry_of(prep, shape);
 
     if time_serial {
         // Columns tile output positions; every time point is a separate
@@ -676,7 +757,8 @@ fn simulate_dense_temporal(
     // points (limited temporal parallelism), dense streaming.
     let part = WindowPartition::new(t, 1);
     let tiles = part.column_tiles(cols);
-    let bit_at = spike_bits(input);
+    let bit_at = bits_of(prep, input);
+    let bit_at: &[u8] = &bit_at;
     let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
         let mut tally = Tally::default();
         for p in range {
@@ -737,7 +819,12 @@ fn simulate_dense_temporal(
 /// The non-spiking ANN accelerator of the Fig. 12(b) comparison: one
 /// dense pass, 8-bit activations, MAC PEs, good weight reuse
 /// (SCALE-Sim-class output-stationary mapping on the same 128-PE array).
-fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> LayerReport {
+fn simulate_ann(
+    inputs: &SimInputs,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    prep: Option<&PreparedLayer>,
+) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
     let cols = arch.array.cols() as usize;
@@ -747,7 +834,7 @@ fn simulate_ann(inputs: &SimInputs, shape: ConvShape, input: &SpikeTensor) -> La
     let abits = u64::from(arch.weight_bits); // activations share the 8-bit width
     let pbits = u64::from(arch.potential_bits);
 
-    let geo = LayerGeometry::new(shape);
+    let geo = geometry_of(prep, shape);
     let positions = geo.positions();
     let rf_total = geo.rf_total();
 
@@ -1104,6 +1191,40 @@ mod tests {
                 assert_eq!(a, b, "policy {policy:?} with {threads} threads diverged");
             }
         }
+    }
+
+    #[test]
+    fn prepared_reports_match_fresh_for_every_policy() {
+        // The incremental re-simulation guarantee: reusing a
+        // PreparedLayer's memoized geometry/popcount tables across a TW
+        // and policy sweep yields reports bit-identical to the fresh
+        // path, serial and threaded, on a padded shape with uneven
+        // receptive fields.
+        let shape = ConvShape::with_padding(6, 3, 4, 8, 1, 1).unwrap();
+        let input = sparse_input(shape, 40);
+        let prep = crate::prepared::PreparedLayer::new(shape, std::sync::Arc::new(input.clone()));
+        for tw in [1u32, 8, 32] {
+            for threads in [1usize, 3] {
+                let inputs = SimInputs::hpca22(tw).with_threads(threads);
+                for policy in [
+                    Policy::ptb(),
+                    Policy::ptb_with_stsap(),
+                    Policy::BaselineTemporal,
+                    Policy::TimeSerial,
+                    Policy::Ann,
+                    Policy::EventDriven,
+                ] {
+                    let fresh = simulate_layer(&inputs, policy, shape, &input);
+                    let prepared = simulate_layer_prepared(&inputs, policy, &prep);
+                    assert_eq!(
+                        fresh, prepared,
+                        "{policy:?} tw={tw} threads={threads} diverged under reuse"
+                    );
+                }
+            }
+        }
+        // The sweep memoized one popcount table per TW size, not per run.
+        assert_eq!(prep.memoized_tw_sizes(), 3);
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! choosing each layer's TW independently, per network.
 
 use ptb_accel::config::Policy;
-use ptb_bench::{run_network_with, RunOptions};
+use ptb_bench::{run_network_cached, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_env();
     let tws = [1u32, 2, 4, 8, 16, 32, 64];
+    // Activity is TW-invariant: one cache serves the whole sweep.
+    let cache = opts.new_cache();
     println!("=== Ablation: global vs per-layer TW choice (PTB+StSAP) ===\n");
     for net in spikegen::datasets::all_benchmarks() {
         // One sweep, reused for both aggregations.
@@ -19,7 +21,7 @@ fn main() {
             .map(|&tw| {
                 (
                     tw,
-                    run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts),
+                    run_network_cached(&net, Policy::ptb_with_stsap(), tw, &opts, &cache),
                 )
             })
             .collect();

@@ -19,7 +19,11 @@ fn main() {
         .max_timesteps
         .map_or(net.timesteps, |cap| net.timesteps.min(cap));
     let neurons = layer.shape.receptive_field();
-    let spikes = layer.input_profile.generate(neurons, timesteps, 7);
+    // Same tensor identity as fig06_stsap_density samples — with
+    // PTB_CACHE=disk the two binaries share one generation.
+    let spikes = opts
+        .new_cache()
+        .activity(&layer.input_profile, neurons, timesteps, 7);
     let cols = 8usize;
 
     println!("=== Ablation: StSAP group-size limit (DVS-Gesture CONV2 RF) ===");

@@ -25,6 +25,14 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     std::fs::create_dir_all("results").expect("can create results dir");
+    // Each sub-binary inherits the environment, so PTB_QUICK/PTB_THREADS/
+    // PTB_CACHE apply to every experiment. With PTB_CACHE=disk the
+    // binaries additionally share generated activity through
+    // results/.cache/ instead of each regenerating it.
+    println!(
+        "activity cache: {} (set PTB_CACHE=off|mem|disk to change)",
+        ptb_bench::CacheMode::from_env().label()
+    );
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()

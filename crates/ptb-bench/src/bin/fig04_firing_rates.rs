@@ -11,6 +11,7 @@ use ptb_bench::RunOptions;
 
 fn main() {
     let opts = RunOptions::from_env();
+    let cache = opts.new_cache();
     for net in [spikegen::dvs_gesture(), spikegen::cifar10_dvs()] {
         println!("=== Fig. 4: firing-rate distribution, {} ===", net.name);
         let timesteps = opts
@@ -19,9 +20,7 @@ fn main() {
         for (i, layer) in net.layers.iter().enumerate() {
             // Sample a bounded neuron population per layer for speed.
             let neurons = layer.shape.ifmap_neurons().min(20_000);
-            let s = layer
-                .input_profile
-                .generate(neurons, timesteps, 42 + i as u64);
+            let s = cache.activity(&layer.input_profile, neurons, timesteps, 42 + i as u64);
             let hist = s.rate_histogram(20); // 5% buckets
             let silent = (0..neurons).filter(|&n| s.is_silent(n)).count();
             println!(

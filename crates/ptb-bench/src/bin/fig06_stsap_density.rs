@@ -19,6 +19,9 @@ fn main() {
         .max_timesteps
         .map_or(net.timesteps, |cap| net.timesteps.min(cap));
     let cols = 8usize;
+    // The sampled population is TW-invariant: generate (or fetch) it
+    // once and re-tag per TW instead of regenerating per sweep point.
+    let cache = opts.new_cache();
 
     println!("=== Fig. 6(c): StSAP input densification, DVS-Gesture CONV2 ===");
     println!(
@@ -32,7 +35,7 @@ fn main() {
     for tw in [1usize, 2, 4, 8, 16] {
         // Sample a receptive-field-sized population.
         let neurons = layer.shape.receptive_field();
-        let spikes = layer.input_profile.generate(neurons, timesteps, 7);
+        let spikes = cache.activity(&layer.input_profile, neurons, timesteps, 7);
         let part = WindowPartition::new(timesteps, tw);
         let tags = tags_of_layer(&spikes, part);
         let mut before_sum = 0.0;

@@ -7,14 +7,17 @@
 //! AlexNet.
 
 use ptb_accel::config::Policy;
-use ptb_bench::{run_network_with, RunOptions};
+use ptb_bench::{run_network_cached, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_env();
     let tws = [1u32, 2, 4, 8, 16, 32, 64];
+    // Share generated activity across the baseline run and both PTB
+    // sweeps (bit-identical results; see ptb_bench::cache).
+    let cache = opts.new_cache();
     let mut improvements = Vec::new();
     for net in spikegen::datasets::all_benchmarks() {
-        let base = run_network_with(&net, Policy::BaselineTemporal, 1, &opts);
+        let base = run_network_cached(&net, Policy::BaselineTemporal, 1, &opts, &cache);
         println!(
             "=== Fig. 11: {} (baseline EDP {:.3e} J·s) ===",
             net.name,
@@ -26,8 +29,8 @@ fn main() {
         );
         let mut best: Option<(u32, f64)> = None;
         for &tw in &tws {
-            let ptb = run_network_with(&net, Policy::ptb(), tw, &opts);
-            let st = run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts);
+            let ptb = run_network_cached(&net, Policy::ptb(), tw, &opts, &cache);
+            let st = run_network_cached(&net, Policy::ptb_with_stsap(), tw, &opts, &cache);
             let norm = st.total_edp() / base.total_edp();
             println!(
                 "{:>4} {:>14.3e} {:>14.3e} {:>12.5}",

@@ -9,12 +9,15 @@
 use ptb_accel::config::{Policy, SimInputs};
 use ptb_accel::reference::{batched_neuron_forward, serial_neuron_forward};
 use ptb_accel::sim::simulate_layer;
-use ptb_bench::{run_network_with, RunOptions};
+use ptb_bench::{run_network_cached, RunOptions};
 use snn_core::neuron::NeuronConfig;
 use snn_core::spike::SpikeTensor;
 
 fn main() {
     let opts = RunOptions::from_env();
+    // Each sparsity level rewrites the profiles (fresh cache keys), but
+    // the SNN and event-driven runs at one level share generation.
+    let cache = opts.new_cache();
 
     // ---------------------------------------------------------- (a)
     println!("=== Fig. 12(a): firing rates of well-trained networks ===");
@@ -53,8 +56,8 @@ fn main() {
         for l in &mut net.layers {
             l.input_profile = l.input_profile.with_mean_rate(rate);
         }
-        let snn = run_network_with(&net, Policy::ptb_with_stsap(), 8, &opts);
-        let ev = run_network_with(&net, Policy::EventDriven, 1, &opts);
+        let snn = run_network_cached(&net, Policy::ptb_with_stsap(), 8, &opts, &cache);
+        let ev = run_network_cached(&net, Policy::EventDriven, 1, &opts, &cache);
         println!(
             "{:>9.0}% {:>15.1}x {:>15.1}x {:>15.1}x",
             rate * 100.0,
@@ -70,8 +73,8 @@ fn main() {
     // (few-time-step inference, T = 8).
     println!("\n--- SNN (PTB) vs ANN accelerator, CIFAR10 CNN [47]/[20] ---");
     let cnn = spikegen::datasets::cifar10_cnn();
-    let ann = run_network_with(&cnn, Policy::Ann, 1, &opts);
-    let snn = run_network_with(&cnn, Policy::ptb_with_stsap(), 8, &opts);
+    let ann = run_network_cached(&cnn, Policy::Ann, 1, &opts, &cache);
+    let snn = run_network_cached(&cnn, Policy::ptb_with_stsap(), 8, &opts, &cache);
     println!(
         "ANN: {:.3} mJ, {:.3} ms | SNN+PTB: {:.3} mJ, {:.3} ms",
         ann.total_energy_joules() * 1e3,

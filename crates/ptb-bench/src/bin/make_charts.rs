@@ -8,9 +8,9 @@
 //! `results/*.txt` files written by `all_experiments`.
 
 use ptb_accel::config::{Policy, SimInputs};
-use ptb_accel::sim::simulate_layer;
+use ptb_accel::sim::simulate_layer_prepared;
 use ptb_bench::plot::LineChart;
-use ptb_bench::{run_network_with, RunOptions};
+use ptb_bench::{run_network_cached, RunOptions};
 use systolic_sim::DataKind;
 
 fn tw_ticks(tws: &[u32]) -> Vec<(f64, String)> {
@@ -22,6 +22,9 @@ fn tw_ticks(tws: &[u32]) -> Vec<(f64, String)> {
 fn main() {
     std::fs::create_dir_all("results").expect("can create results dir");
     let opts = RunOptions::from_env();
+    // One cache for all three charts — the fig11 sweep dominates and
+    // shares generated activity across its baseline and PTB runs.
+    let cache = opts.new_cache();
     let tws: Vec<u32> = SimInputs::tw_sweep().to_vec();
 
     // ------------------------------------------------ Fig. 9(a)
@@ -30,19 +33,17 @@ fn main() {
     let timesteps = opts
         .max_timesteps
         .map_or(net.timesteps, |cap| net.timesteps.min(cap));
-    let activity =
-        conv2
-            .input_profile
-            .generate(conv2.shape.ifmap_neurons().min(16 * 16 * 64), timesteps, 42);
-    // Use a cropped shape consistent with the sampled activity.
+    // Use a cropped shape consistent with the sampled activity; the
+    // prepared layer reuses geometry and activity across the TW sweep.
     let shape =
         snn_core::shape::ConvShape::with_padding(16, 3, 64, conv2.shape.out_channels(), 1, 1)
             .expect("cropped CONV2 is valid");
+    let prep = cache.layer(conv2, shape, timesteps, 42);
     let mut weight_pts = Vec::new();
     let mut input_pts = Vec::new();
     let mut total_pts = Vec::new();
     for &tw in &tws {
-        let r = simulate_layer(&SimInputs::hpca22(tw), Policy::ptb(), shape, &activity);
+        let r = simulate_layer_prepared(&SimInputs::hpca22(tw), Policy::ptb(), &prep);
         let x = f64::from(tw).log2();
         weight_pts.push((x, r.energy.kind_pj(DataKind::Weight) / 1e6));
         input_pts.push((x, r.energy.kind_pj(DataKind::InputSpike) / 1e6));
@@ -69,11 +70,12 @@ fn main() {
     .log_y()
     .x_ticks(tw_ticks(&tws));
     for net in spikegen::datasets::all_benchmarks() {
-        let base = run_network_with(&net, Policy::BaselineTemporal, 1, &opts).total_edp();
+        let base = run_network_cached(&net, Policy::BaselineTemporal, 1, &opts, &cache).total_edp();
         let pts: Vec<(f64, f64)> = tws
             .iter()
             .map(|&tw| {
-                let edp = run_network_with(&net, Policy::ptb_with_stsap(), tw, &opts).total_edp();
+                let edp = run_network_cached(&net, Policy::ptb_with_stsap(), tw, &opts, &cache)
+                    .total_edp();
                 (f64::from(tw).log2(), edp / base)
             })
             .collect();
@@ -93,8 +95,8 @@ fn main() {
         for l in &mut net.layers {
             l.input_profile = l.input_profile.with_mean_rate(rate);
         }
-        let snn = run_network_with(&net, Policy::ptb_with_stsap(), 8, &opts);
-        let ev = run_network_with(&net, Policy::EventDriven, 1, &opts);
+        let snn = run_network_cached(&net, Policy::ptb_with_stsap(), 8, &opts, &cache);
+        let ev = run_network_cached(&net, Policy::EventDriven, 1, &opts, &cache);
         energy_pts.push((
             rate * 100.0,
             ev.total_energy_joules() / snn.total_energy_joules(),

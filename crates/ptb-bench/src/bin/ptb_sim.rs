@@ -115,6 +115,7 @@ fn main() {
         RunOptions::full()
     };
     opts.seed = args.seed;
+    opts.cache = ptb_bench::CacheMode::from_env();
 
     // Custom array geometry flows through a bespoke SimInputs; reuse the
     // harness when it is the default 16x8.
@@ -137,8 +138,11 @@ fn main() {
                     .max_timesteps
                     .map_or(spec.timesteps, |cap| spec.timesteps.min(cap));
                 let shape = opts.effective_shape(l);
-                let activity = l.input_profile.generate(
-                    shape.ifmap_neurons(),
+                // Same key the harness uses, so a disk-cache entry
+                // written by a default-array run is reused here.
+                let prep = opts.new_cache().layer(
+                    l,
+                    shape,
                     timesteps,
                     args.seed
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -146,7 +150,7 @@ fn main() {
                 );
                 (
                     l.name.clone(),
-                    ptb_accel::sim::simulate_layer(&inputs, args.policy, shape, &activity),
+                    ptb_accel::sim::simulate_layer_prepared(&inputs, args.policy, &prep),
                 )
             })
             .collect();

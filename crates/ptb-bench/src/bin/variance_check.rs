@@ -5,10 +5,13 @@
 //! reports mean, spread, and the min/max improvement.
 
 use ptb_accel::config::Policy;
-use ptb_bench::{run_network_with, RunOptions};
+use ptb_bench::{run_network_cached, RunOptions};
 
 fn main() {
     let base_opts = RunOptions::from_env();
+    // Seeds key the cache, so cross-seed runs never alias; within one
+    // seed the baseline and PTB runs share generated activity.
+    let cache = base_opts.new_cache();
     let seeds: &[u64] = &[1, 7, 42, 1234, 98765];
     println!("=== Variance check: DVS-Gesture EDP improvement across seeds ===");
     println!(
@@ -19,8 +22,8 @@ fn main() {
     let mut improvements = Vec::new();
     for &seed in seeds {
         let opts = RunOptions { seed, ..base_opts };
-        let base = run_network_with(&net, Policy::BaselineTemporal, 1, &opts);
-        let ptb = run_network_with(&net, Policy::ptb_with_stsap(), 8, &opts);
+        let base = run_network_cached(&net, Policy::BaselineTemporal, 1, &opts, &cache);
+        let ptb = run_network_cached(&net, Policy::ptb_with_stsap(), 8, &opts, &cache);
         let imp = base.total_edp() / ptb.total_edp();
         println!(
             "{:>8} {:>16.3e} {:>16.3e} {:>11.1}x",

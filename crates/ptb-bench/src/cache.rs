@@ -1,0 +1,542 @@
+//! Cross-sweep activity cache: content-addressed memoization of
+//! generated spike tensors and prepared per-layer simulation state.
+//!
+//! A TW or policy sweep re-runs [`spikegen::FiringProfile::generate`]
+//! — the single most expensive step of a full-fidelity run — once per
+//! sweep point, even though the generated tensor depends only on
+//! `(profile, neurons, timesteps, seed)` and not on the TW or policy
+//! under test. [`ActivityCache`] memoizes those tensors (and the
+//! [`PreparedLayer`] wrappers that additionally memoize
+//! geometry/popcount tables, see `ptb_accel::prepared`) keyed by their
+//! *content identity*, so a sweep pays for generation once and each
+//! subsequent point performs only the incremental re-simulation its
+//! changed axis requires.
+//!
+//! ## Keys
+//!
+//! [`ActivityKey`] is the exact value identity of one generated tensor:
+//! the profile's parameter bits ([`spikegen::ProfileKey`], IEEE-754
+//! `to_bits` — exact equality, no epsilon), the neuron count, the
+//! operational period, and the (already layer-derived) seed. Layer
+//! state adds the effective [`ConvShape`]. The TW size and policy are
+//! deliberately **not** part of any key: the cached artifacts are
+//! TW- and policy-invariant by construction, which is what makes reuse
+//! across sweep points sound. See DESIGN.md ("Cache keys and
+//! invalidation") for the full argument.
+//!
+//! ## Modes
+//!
+//! * [`CacheMode::Off`] — every lookup regenerates; the reference
+//!   behavior.
+//! * [`CacheMode::Mem`] — in-memory maps for the process lifetime (the
+//!   default).
+//! * [`CacheMode::Disk`] — additionally persists spike tensors under
+//!   `results/.cache/` so *separate invocations* (e.g. the per-figure
+//!   binaries run back-to-back by `all_experiments`) share generation
+//!   work. Only the raw tensors are persisted: derived tables rebuild
+//!   deterministically and in much less time than they load.
+//!
+//! ## Determinism
+//!
+//! The cache only ever substitutes a value for an identical
+//! recomputation: tensors are keyed by every input of `generate`, and
+//! disk hits are accepted only after the stored key bytes are compared
+//! against the requested key (a digest collision therefore cannot
+//! substitute a wrong tensor — it falls back to regeneration). Reports
+//! produced with the cache on are bit-identical to cache-off runs;
+//! `ptb-bench/tests/cache_equivalence.rs` property-tests this across
+//! policies, TW sweeps, and all three modes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ptb_accel::PreparedLayer;
+use snn_core::shape::ConvShape;
+use snn_core::spike::SpikeTensor;
+use spikegen::{FiringProfile, LayerSpec, ProfileKey};
+
+/// Where [`ActivityCache`] may store and look up artifacts.
+///
+/// Parsed from the `PTB_CACHE` environment variable by
+/// [`CacheMode::from_env`]; defaults to [`CacheMode::Mem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No caching: every lookup regenerates from scratch. This is the
+    /// reference behavior the other modes must match bit-for-bit.
+    Off,
+    /// In-memory memoization for the lifetime of the process.
+    #[default]
+    Mem,
+    /// In-memory memoization plus an on-disk spike-tensor store (under
+    /// `results/.cache/` by default) shared across invocations.
+    Disk,
+}
+
+impl CacheMode {
+    /// Reads `PTB_CACHE=off|mem|disk` (case-insensitive) from the
+    /// environment; unset or unrecognized values fall back to the
+    /// default ([`CacheMode::Mem`]), warning on stderr for the latter.
+    pub fn from_env() -> Self {
+        match std::env::var("PTB_CACHE") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "off" | "0" | "none" => CacheMode::Off,
+                "mem" | "memory" => CacheMode::Mem,
+                "disk" => CacheMode::Disk,
+                other => {
+                    eprintln!("warning: unrecognized PTB_CACHE={other:?}; using default (mem)");
+                    CacheMode::default()
+                }
+            },
+            Err(_) => CacheMode::default(),
+        }
+    }
+
+    /// Stable lowercase name (`off` / `mem` / `disk`) for logs and
+    /// result headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::Mem => "mem",
+            CacheMode::Disk => "disk",
+        }
+    }
+}
+
+/// The exact value identity of one generated spike tensor: every input
+/// of [`FiringProfile::generate`], no more, no less.
+///
+/// Profile parameters enter via [`ProfileKey`] (IEEE-754 bit patterns,
+/// exact equality). The TW size and policy are deliberately excluded —
+/// generated activity does not depend on them, and excluding them is
+/// what lets one tensor serve an entire sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActivityKey {
+    profile: ProfileKey,
+    neurons: usize,
+    timesteps: usize,
+    seed: u64,
+}
+
+impl ActivityKey {
+    /// Builds the key for `profile.generate(neurons, timesteps, seed)`.
+    pub fn new(profile: &FiringProfile, neurons: usize, timesteps: usize, seed: u64) -> Self {
+        ActivityKey {
+            profile: profile.key(),
+            neurons,
+            timesteps,
+            seed,
+        }
+    }
+
+    /// Canonical byte serialization (profile key bytes, then
+    /// little-endian `neurons`, `timesteps`, `seed`). Stable across
+    /// platforms and releases; stored verbatim in disk-cache headers so
+    /// hits can be verified by comparison, not just by digest.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33 + 24);
+        out.extend_from_slice(&self.profile.to_bytes());
+        out.extend_from_slice(&(self.neurons as u64).to_le_bytes());
+        out.extend_from_slice(&(self.timesteps as u64).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+
+    /// FNV-1a 64-bit digest of [`Self::to_bytes`]; used only to *name*
+    /// disk-cache files (collisions are detected by the header key
+    /// comparison and handled by regeneration).
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// FNV-1a over `bytes` — stable across platforms and releases, unlike
+/// `std`'s `Hasher`s, which make no such promise.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Counters describing what an [`ActivityCache`] did so far (snapshot;
+/// see [`ActivityCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory maps.
+    pub mem_hits: u64,
+    /// Lookups answered by loading and verifying a disk entry.
+    pub disk_hits: u64,
+    /// Lookups that regenerated from scratch (including every lookup
+    /// in [`CacheMode::Off`]).
+    pub misses: u64,
+}
+
+/// Content-addressed store of generated spike tensors and
+/// [`PreparedLayer`] state, shared across the sweep points of one run
+/// (and, in [`CacheMode::Disk`], across runs).
+///
+/// Thread-safe: the harness simulates layers on scoped threads that
+/// all consult one cache. Locks are held only around map access, never
+/// during generation, so distinct layers generate concurrently; a race
+/// on the *same* key computes identical values and keeps the first
+/// insert.
+#[derive(Debug)]
+pub struct ActivityCache {
+    mode: CacheMode,
+    dir: PathBuf,
+    tensors: Mutex<HashMap<ActivityKey, Arc<SpikeTensor>>>,
+    layers: Mutex<HashMap<(ActivityKey, ConvShape), Arc<PreparedLayer>>>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ActivityCache {
+    /// A cache in `mode`, with the disk store (if any) under the
+    /// default `results/.cache/` directory.
+    pub fn new(mode: CacheMode) -> Self {
+        Self::with_dir(mode, Path::new("results/.cache"))
+    }
+
+    /// A cache in `mode` whose disk store lives under `dir` (created
+    /// lazily on first write). Mainly for tests.
+    pub fn with_dir(mode: CacheMode, dir: &Path) -> Self {
+        ActivityCache {
+            mode,
+            dir: dir.to_path_buf(),
+            tensors: Mutex::new(HashMap::new()),
+            layers: Mutex::new(HashMap::new()),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache in the mode selected by the `PTB_CACHE` environment
+    /// variable (see [`CacheMode::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(CacheMode::from_env())
+    }
+
+    /// The mode this cache operates in.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `profile.generate(neurons, timesteps, seed)`, memoized.
+    ///
+    /// Bit-identical to calling `generate` directly, in every mode.
+    pub fn activity(
+        &self,
+        profile: &FiringProfile,
+        neurons: usize,
+        timesteps: usize,
+        seed: u64,
+    ) -> Arc<SpikeTensor> {
+        let key = ActivityKey::new(profile, neurons, timesteps, seed);
+        if self.mode != CacheMode::Off {
+            if let Some(hit) = self.tensors.lock().expect("tensor map lock").get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+            if self.mode == CacheMode::Disk {
+                if let Some(loaded) = self.load_disk(&key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let loaded = Arc::new(loaded);
+                    return self
+                        .tensors
+                        .lock()
+                        .expect("tensor map lock")
+                        .entry(key)
+                        .or_insert(loaded)
+                        .clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let made = Arc::new(profile.generate(neurons, timesteps, seed));
+        if self.mode == CacheMode::Off {
+            return made;
+        }
+        if self.mode == CacheMode::Disk {
+            self.store_disk(&key, &made);
+        }
+        self.tensors
+            .lock()
+            .expect("tensor map lock")
+            .entry(key)
+            .or_insert(made)
+            .clone()
+    }
+
+    /// Simulation-ready state for `layer` at the effective `shape`:
+    /// the memoized activity tensor wrapped in a [`PreparedLayer`]
+    /// whose derived tables (geometry, popcounts) are themselves
+    /// memoized and shared across every sweep point that hits this
+    /// entry.
+    ///
+    /// `seed` is the *layer-derived* seed (the harness derives one per
+    /// layer index from the run seed), so two layers of one network
+    /// never collide even when their profiles and shapes agree.
+    pub fn layer(
+        &self,
+        layer: &LayerSpec,
+        shape: ConvShape,
+        timesteps: usize,
+        seed: u64,
+    ) -> Arc<PreparedLayer> {
+        let key = (
+            ActivityKey::new(&layer.input_profile, shape.ifmap_neurons(), timesteps, seed),
+            shape,
+        );
+        if self.mode != CacheMode::Off {
+            if let Some(hit) = self.layers.lock().expect("layer map lock").get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        // The activity lookup below does its own hit/miss accounting
+        // (and disk I/O); a layer-map miss with a tensor hit still
+        // reuses the generated tensor and costs only a wrapper.
+        let spikes = self.activity(&layer.input_profile, shape.ifmap_neurons(), timesteps, seed);
+        let made = Arc::new(PreparedLayer::new(shape, spikes));
+        if self.mode == CacheMode::Off {
+            return made;
+        }
+        self.layers
+            .lock()
+            .expect("layer map lock")
+            .entry(key)
+            .or_insert(made)
+            .clone()
+    }
+
+    fn entry_path(&self, key: &ActivityKey) -> PathBuf {
+        self.dir.join(format!("act-{:016x}.ptb", key.digest()))
+    }
+
+    /// Loads and verifies a disk entry; any mismatch, truncation, or
+    /// I/O error yields `None` (the caller regenerates and rewrites).
+    fn load_disk(&self, key: &ActivityKey) -> Option<SpikeTensor> {
+        let bytes = std::fs::read(self.entry_path(key)).ok()?;
+        decode_entry(&bytes, key)
+    }
+
+    /// Persists `spikes` for `key`, atomically (write temp + rename)
+    /// so a concurrent reader never sees a torn entry. Failures are
+    /// reported on stderr but never fail the run: the disk store is an
+    /// accelerator, not a source of truth.
+    fn store_disk(&self, key: &ActivityKey, spikes: &SpikeTensor) {
+        let path = self.entry_path(key);
+        let write = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, encode_entry(key, spikes))?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = write {
+            eprintln!(
+                "warning: could not persist cache entry {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Magic + format version prefix of a disk entry. Bump the trailing
+/// digit on any format change: stale entries then fail the prefix check
+/// and are regenerated.
+const ENTRY_MAGIC: &[u8; 8] = b"PTBACT1\n";
+
+/// Serializes one disk entry: magic, key length + canonical key bytes,
+/// tensor dims, then the raw little-endian `u64` spike words. The full
+/// key is stored (not just its digest) so [`decode_entry`] can verify
+/// identity by byte comparison.
+fn encode_entry(key: &ActivityKey, spikes: &SpikeTensor) -> Vec<u8> {
+    let key_bytes = key.to_bytes();
+    let words = spikes.words();
+    let mut out = Vec::with_capacity(8 + 4 + key_bytes.len() + 16 + words.len() * 8);
+    out.extend_from_slice(ENTRY_MAGIC);
+    out.extend_from_slice(
+        &u32::try_from(key_bytes.len())
+            .expect("short key")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&key_bytes);
+    out.extend_from_slice(&(spikes.neurons() as u64).to_le_bytes());
+    out.extend_from_slice(&(spikes.timesteps() as u64).to_le_bytes());
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Parses and verifies one disk entry against the `expected` key.
+/// Returns `None` on any structural problem or key mismatch; the
+/// tensor constructor re-validates word count and tail bits.
+fn decode_entry(bytes: &[u8], expected: &ActivityKey) -> Option<SpikeTensor> {
+    let rest = bytes.strip_prefix(ENTRY_MAGIC.as_slice())?;
+    let (len_bytes, rest) = rest.split_at_checked(4)?;
+    let key_len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+    let (key_bytes, rest) = rest.split_at_checked(key_len)?;
+    if key_bytes != expected.to_bytes() {
+        return None; // digest collision or stale format — regenerate
+    }
+    let (dims, rest) = rest.split_at_checked(16)?;
+    let neurons = u64::from_le_bytes(dims[..8].try_into().ok()?) as usize;
+    let timesteps = u64::from_le_bytes(dims[8..].try_into().ok()?) as usize;
+    if rest.len() % 8 != 0 {
+        return None;
+    }
+    let words: Vec<u64> = rest
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    SpikeTensor::from_words(neurons, timesteps, words).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> FiringProfile {
+        FiringProfile::new(0.3, 0.08, 0.5, spikegen::TemporalStructure::Bernoulli).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ptb-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_differ_when_any_generate_input_differs() {
+        let p = profile();
+        let base = ActivityKey::new(&p, 100, 64, 7);
+        assert_eq!(base, ActivityKey::new(&p, 100, 64, 7));
+        assert_ne!(base, ActivityKey::new(&p, 101, 64, 7), "neurons");
+        assert_ne!(base, ActivityKey::new(&p, 100, 65, 7), "timesteps");
+        assert_ne!(base, ActivityKey::new(&p, 100, 64, 8), "seed");
+        let other = FiringProfile::new(
+            0.3,
+            0.08 + 1e-12,
+            0.5,
+            spikegen::TemporalStructure::Bernoulli,
+        )
+        .unwrap();
+        assert_ne!(
+            base,
+            ActivityKey::new(&other, 100, 64, 7),
+            "profile params are exact bit identities"
+        );
+        // Canonical bytes and digests separate exactly when keys do.
+        assert_ne!(base.to_bytes(), ActivityKey::new(&p, 100, 64, 8).to_bytes());
+        assert_eq!(base.digest(), ActivityKey::new(&p, 100, 64, 7).digest());
+    }
+
+    #[test]
+    fn mem_mode_returns_bit_identical_tensor_and_shares_it() {
+        let p = profile();
+        let cache = ActivityCache::new(CacheMode::Mem);
+        let fresh = p.generate(200, 48, 11);
+        let a = cache.activity(&p, 200, 48, 11);
+        let b = cache.activity(&p, 200, 48, 11);
+        assert_eq!(*a, fresh, "cached tensor must equal direct generation");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the entry");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.mem_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn off_mode_never_stores_anything() {
+        let p = profile();
+        let cache = ActivityCache::new(CacheMode::Off);
+        let a = cache.activity(&p, 50, 32, 3);
+        let b = cache.activity(&p, 50, 32, 3);
+        assert_eq!(*a, *b, "regenerated tensors are still deterministic");
+        assert!(!Arc::ptr_eq(&a, &b), "off mode must not memoize");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn disk_roundtrip_is_bit_identical_and_verified() {
+        let p = profile();
+        let dir = tmp_dir("roundtrip");
+        let warm = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let written = warm.activity(&p, 150, 70, 5);
+        assert_eq!(warm.stats().misses, 1);
+
+        // A second cache (fresh memory) must hit disk, not regenerate.
+        let cold = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let loaded = cold.activity(&p, 150, 70, 5);
+        assert_eq!(*loaded, *written, "disk roundtrip must be bit-identical");
+        let s = cold.stats();
+        assert_eq!((s.misses, s.disk_hits), (0, 1));
+
+        // A different key must not hit the stored entry.
+        let other = cold.activity(&p, 150, 70, 6);
+        assert_ne!(*other, *written);
+        assert_eq!(cold.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_disk_entries_fall_back_to_regeneration() {
+        let p = profile();
+        let dir = tmp_dir("corrupt");
+        let cache = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let key = ActivityKey::new(&p, 40, 33, 9);
+        let good = cache.activity(&p, 40, 33, 9);
+
+        for bad in [
+            b"garbage".to_vec(),
+            encode_entry(&ActivityKey::new(&p, 40, 33, 10), &good), // wrong key
+            encode_entry(&key, &good)[..30].to_vec(),               // truncated
+        ] {
+            std::fs::write(cache.entry_path(&key), &bad).unwrap();
+            let fresh = ActivityCache::with_dir(CacheMode::Disk, &dir);
+            let got = fresh.activity(&p, 40, 33, 9);
+            assert_eq!(*got, *good, "fallback must regenerate the true tensor");
+            assert_eq!(
+                fresh.stats().disk_hits,
+                0,
+                "bad entry must not count as a hit"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layer_entries_share_prepared_state_across_lookups() {
+        let spec = spikegen::dvs_gesture();
+        let layer = &spec.layers[0];
+        let cache = ActivityCache::new(CacheMode::Mem);
+        let a = cache.layer(layer, layer.shape, 32, 77);
+        let b = cache.layer(layer, layer.shape, 32, 77);
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one PreparedLayer");
+        // Different shape (e.g. quick-mode crop) is a different entry.
+        let c = cache.layer(layer, layer.shape, 32, 78);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cache_mode_labels_are_stable() {
+        assert_eq!(CacheMode::Off.label(), "off");
+        assert_eq!(CacheMode::Mem.label(), "mem");
+        assert_eq!(CacheMode::Disk.label(), "disk");
+        assert_eq!(CacheMode::default(), CacheMode::Mem);
+    }
+}

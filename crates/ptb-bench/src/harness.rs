@@ -3,8 +3,10 @@
 
 use ptb_accel::config::{Policy, SimInputs};
 use ptb_accel::report::NetworkReport;
-use ptb_accel::sim::simulate_layer;
+use ptb_accel::sim::simulate_layer_prepared;
 use spikegen::NetworkSpec;
+
+use crate::cache::{ActivityCache, CacheMode};
 
 /// Options controlling an experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +23,10 @@ pub struct RunOptions {
     /// Worker threads per layer simulation (`SimInputs::threads`).
     /// Results are bit-identical for every value; only wall time changes.
     pub threads: usize,
+    /// Activity-cache mode for sweeps ([`crate::cache`]). Results are
+    /// bit-identical for every mode; only wall time (and, for
+    /// [`CacheMode::Disk`], the `results/.cache/` directory) changes.
+    pub cache: CacheMode,
 }
 
 impl Default for RunOptions {
@@ -30,6 +36,7 @@ impl Default for RunOptions {
             max_ofmap_side: None,
             max_timesteps: None,
             threads: 1,
+            cache: CacheMode::Mem,
         }
     }
 }
@@ -48,13 +55,16 @@ impl RunOptions {
             max_ofmap_side: Some(8),
             max_timesteps: Some(64),
             threads: 1,
+            cache: CacheMode::Mem,
         }
     }
 
     /// Reads `PTB_QUICK=1` from the environment to let every experiment
-    /// binary run in seconds instead of minutes when iterating, and
+    /// binary run in seconds instead of minutes when iterating,
     /// `PTB_THREADS=N` to fan each layer's position scan across `N`
-    /// workers (results are identical; see `ptb_accel::sim`).
+    /// workers (results are identical; see `ptb_accel::sim`), and
+    /// `PTB_CACHE=off|mem|disk` to select the activity-cache mode
+    /// (results are identical; see [`crate::cache`]).
     pub fn from_env() -> Self {
         let mut opts = if std::env::var("PTB_QUICK")
             .map(|v| v == "1")
@@ -70,7 +80,15 @@ impl RunOptions {
         {
             opts.threads = n.max(1);
         }
+        opts.cache = CacheMode::from_env();
         opts
+    }
+
+    /// An [`ActivityCache`] in this run's [`RunOptions::cache`] mode,
+    /// for callers that sweep many configurations and want to share
+    /// generated activity across [`run_network_cached`] calls.
+    pub fn new_cache(&self) -> ActivityCache {
+        ActivityCache::new(self.cache)
     }
 
     /// The shape to simulate for `spec` under these options: the spec's
@@ -107,17 +125,44 @@ pub fn run_network(spec: &NetworkSpec, policy: Policy, tw: u32) -> NetworkReport
 }
 
 /// Runs every layer of `spec` under `policy` at `tw`, honoring `opts`.
+///
+/// Convenience wrapper over [`run_network_cached`] with a private,
+/// call-local cache: a single run sees no cross-run reuse, but layers
+/// sharing one `(profile, shape, seed)` identity within the run still
+/// share one generated tensor. Sweep callers should hold an
+/// [`ActivityCache`] (see [`RunOptions::new_cache`]) and call
+/// [`run_network_cached`] so generation is shared across sweep points.
 pub fn run_network_with(
     spec: &NetworkSpec,
     policy: Policy,
     tw: u32,
     opts: &RunOptions,
 ) -> NetworkReport {
+    run_network_cached(spec, policy, tw, opts, &opts.new_cache())
+}
+
+/// Runs every layer of `spec` under `policy` at `tw`, honoring `opts`
+/// and sharing generated activity through `cache`.
+///
+/// The report is bit-identical to [`run_network_with`] (and to the
+/// pre-cache harness) for every cache mode: the per-layer seed
+/// derivation below is part of the cache key, and everything the cache
+/// memoizes is a pure function of that key
+/// (`ptb-bench/tests/cache_equivalence.rs` pins this).
+pub fn run_network_cached(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tw: u32,
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> NetworkReport {
     let inputs = SimInputs::hpca22(tw).with_threads(opts.threads);
     let timesteps = opts
         .max_timesteps
         .map_or(spec.timesteps, |cap| spec.timesteps.min(cap));
-    // Layers are independent: simulate them in parallel.
+    // Layers are independent: simulate them in parallel. Distinct
+    // layers have distinct cache keys, so the cache never serializes
+    // them — its locks only guard map access, not generation.
     let layers = std::thread::scope(|scope| {
         let handles: Vec<_> = spec
             .layers
@@ -126,14 +171,15 @@ pub fn run_network_with(
             .map(|(i, layer)| {
                 scope.spawn(move || {
                     let shape = opts.effective_shape(layer);
-                    let activity = layer.input_profile.generate(
-                        shape.ifmap_neurons(),
+                    let prep = cache.layer(
+                        layer,
+                        shape,
                         timesteps,
                         opts.seed
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             .wrapping_add(i as u64),
                     );
-                    let report = simulate_layer(&inputs, policy, shape, &activity);
+                    let report = simulate_layer_prepared(&inputs, policy, &prep);
                     (layer.name.clone(), report)
                 })
             })
@@ -161,15 +207,34 @@ pub struct SweepRow {
 }
 
 /// Runs a TW sweep of `policy` over `spec` and returns the rows.
+///
+/// All sweep points share one [`ActivityCache`] in the mode selected by
+/// [`RunOptions::cache`], so activity is generated once per layer and
+/// each subsequent TW point re-simulates incrementally (rebuilding only
+/// the TW-dependent popcount table, TB tags, and schedule). Use
+/// [`sweep_summary_cached`] to share the cache across *several* sweeps
+/// (e.g. one per policy).
 pub fn sweep_summary(
     spec: &NetworkSpec,
     policy: Policy,
     tws: &[u32],
     opts: &RunOptions,
 ) -> Vec<SweepRow> {
+    sweep_summary_cached(spec, policy, tws, opts, &opts.new_cache())
+}
+
+/// [`sweep_summary`] with a caller-held cache, so several sweeps (e.g.
+/// PTB and PTB+StSAP over the same network) share generated activity.
+pub fn sweep_summary_cached(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tws: &[u32],
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> Vec<SweepRow> {
     tws.iter()
         .map(|&tw| {
-            let r = run_network_with(spec, policy, tw, opts);
+            let r = run_network_cached(spec, policy, tw, opts, cache);
             SweepRow {
                 tw,
                 energy_j: r.total_energy_joules(),

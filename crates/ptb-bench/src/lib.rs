@@ -7,7 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod harness;
 pub mod plot;
 
-pub use harness::{run_network, run_network_with, sweep_summary, RunOptions};
+pub use cache::{ActivityCache, ActivityKey, CacheMode, CacheStats};
+pub use harness::{
+    run_network, run_network_cached, run_network_with, sweep_summary, sweep_summary_cached,
+    RunOptions,
+};

@@ -1,0 +1,157 @@
+//! The cache's one non-negotiable invariant, property-tested: reports
+//! produced with `PTB_CACHE=mem` or `disk` are **bit-identical** to the
+//! uncached (`off`) path — across policies, seeds, and a TW sweep whose
+//! points share one cache (the incremental-re-simulation path).
+//!
+//! `NetworkReport` derives `PartialEq` over every field, including the
+//! integer tally substrate the floating-point outputs are derived from,
+//! so `assert_eq!` on reports *is* the bit-identity check (see
+//! DESIGN.md on determinism).
+
+use proptest::prelude::*;
+use ptb_accel::config::Policy;
+use ptb_bench::{run_network_cached, sweep_summary, ActivityCache, CacheMode, RunOptions};
+use std::path::PathBuf;
+
+/// All six scheduling policies the simulator exposes.
+const POLICIES: [Policy; 6] = [
+    Policy::Ptb { stsap: false },
+    Policy::Ptb { stsap: true },
+    Policy::BaselineTemporal,
+    Policy::TimeSerial,
+    Policy::EventDriven,
+    Policy::Ann,
+];
+
+/// A quick-scale run with the given seed; threads > 1 so the layer
+/// threads genuinely race on the shared cache.
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        seed,
+        threads: 2,
+        ..RunOptions::quick()
+    }
+}
+
+/// A throwaway on-disk store, unique per test invocation site.
+fn disk_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ptb-cache-eq-{tag}-{}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For every policy: a TW sweep sharing one mem cache and one disk
+    /// cache (cold *and* warm) reports bit-identically to fresh
+    /// uncached runs.
+    #[test]
+    fn cached_reports_are_bit_identical_to_uncached(
+        seed in 0u64..1_000_000,
+        policy_ix in 0usize..POLICIES.len(),
+    ) {
+        let policy = POLICIES[policy_ix];
+        let spec = spikegen::dvs_gesture();
+        let opts = opts(seed);
+        let off = ActivityCache::new(CacheMode::Off);
+        let mem = ActivityCache::new(CacheMode::Mem);
+        let dir = disk_dir(&format!("prop-{seed}-{policy_ix}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk_cold = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let disk_warm = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        for tw in [1u32, 4, 16] {
+            let reference = run_network_cached(&spec, policy, tw, &opts, &off);
+            let from_mem = run_network_cached(&spec, policy, tw, &opts, &mem);
+            prop_assert_eq!(&reference, &from_mem, "mem != off at tw={}", tw);
+            // Cold disk populates the store; the warm cache then reads
+            // entries it never generated itself.
+            let from_cold = run_network_cached(&spec, policy, tw, &opts, &disk_cold);
+            let from_warm = run_network_cached(&spec, policy, tw, &opts, &disk_warm);
+            prop_assert_eq!(&reference, &from_cold, "disk(cold) != off at tw={}", tw);
+            prop_assert_eq!(&reference, &from_warm, "disk(warm) != off at tw={}", tw);
+        }
+        prop_assert_eq!(disk_warm.stats().misses, 0, "warm disk cache must not regenerate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The public sweep entry point honors `RunOptions::cache` and returns
+/// identical rows in every mode (the cache-off rows being the pre-cache
+/// harness behavior).
+#[test]
+fn sweep_summary_rows_identical_across_modes() {
+    let spec = spikegen::dvs_gesture();
+    let tws = [1u32, 2, 8, 32];
+    let dir = disk_dir("sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = opts(42);
+    let off = sweep_summary(&spec, Policy::ptb_with_stsap(), &tws, &base);
+    for mode in [CacheMode::Mem, CacheMode::Disk] {
+        let rows = if mode == CacheMode::Disk {
+            // Route the disk store to a temp dir via the cached variant.
+            let cache = ActivityCache::with_dir(mode, &dir);
+            ptb_bench::sweep_summary_cached(&spec, Policy::ptb_with_stsap(), &tws, &base, &cache)
+        } else {
+            sweep_summary(
+                &spec,
+                Policy::ptb_with_stsap(),
+                &tws,
+                &RunOptions {
+                    cache: mode,
+                    ..base
+                },
+            )
+        };
+        for (a, b) in off.iter().zip(&rows) {
+            assert_eq!(a.tw, b.tw);
+            assert_eq!(
+                a.energy_j.to_bits(),
+                b.energy_j.to_bits(),
+                "{mode:?} energy"
+            );
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{mode:?} seconds");
+            assert_eq!(a.edp.to_bits(), b.edp.to_bits(), "{mode:?} edp");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Changing only the TW against a warm cache regenerates nothing: after
+/// the first run, every layer lookup is a memory hit.
+#[test]
+fn tw_change_reuses_cached_activity() {
+    let spec = spikegen::dvs_gesture();
+    let base = opts(7);
+    let cache = ActivityCache::new(CacheMode::Mem);
+    let n_layers = spec.layers.len() as u64;
+    let _ = run_network_cached(&spec, Policy::ptb(), 1, &base, &cache);
+    let cold = cache.stats();
+    assert_eq!(cold.misses, n_layers, "first run generates each layer once");
+    for tw in [2u32, 8, 64] {
+        let _ = run_network_cached(&spec, Policy::ptb(), tw, &base, &cache);
+    }
+    let warm = cache.stats();
+    assert_eq!(warm.misses, cold.misses, "TW changes must not regenerate");
+    assert_eq!(warm.mem_hits, cold.mem_hits + 3 * n_layers);
+}
+
+/// Different run seeds must not alias in the cache (the per-layer seed
+/// derivation is part of the key).
+#[test]
+fn different_seeds_do_not_alias() {
+    let spec = spikegen::dvs_gesture();
+    let cache = ActivityCache::new(CacheMode::Mem);
+    let a = run_network_cached(&spec, Policy::ptb(), 8, &opts(1), &cache);
+    let b = run_network_cached(&spec, Policy::ptb(), 8, &opts(2), &cache);
+    assert_ne!(a, b, "distinct seeds must produce distinct reports");
+    assert_eq!(
+        b,
+        run_network_cached(
+            &spec,
+            Policy::ptb(),
+            8,
+            &opts(2),
+            &ActivityCache::new(CacheMode::Off)
+        ),
+        "seed-2 report must match its own uncached run, not seed-1 state"
+    );
+}

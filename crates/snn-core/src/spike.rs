@@ -294,6 +294,55 @@ impl SpikeTensor {
     pub fn mean_rate(&self) -> f64 {
         self.density()
     }
+
+    /// The raw bit-packed storage, neuron-major: neuron `n` owns words
+    /// `n · ceil(T/64) .. (n+1) · ceil(T/64)`, time point `t` at bit
+    /// `t % 64` of word `t / 64`. This is the tensor's canonical byte
+    /// representation — two tensors are equal iff their dimensions and
+    /// words are equal — so it is what on-disk caches persist.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a tensor from its dimensions and raw storage words (the
+    /// inverse of [`SpikeTensor::words`]). Round-tripping through
+    /// `words()` reproduces a bit-identical tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `words` has the wrong
+    /// length for the dimensions, or if any bit beyond `timesteps` is
+    /// set (every constructor keeps the tail bits of the last word
+    /// clear, so a nonzero tail means corrupted data).
+    pub fn from_words(neurons: usize, timesteps: usize, words: Vec<u64>) -> Result<SpikeTensor> {
+        let words_per_neuron = timesteps.div_ceil(64);
+        if words.len() != neurons * words_per_neuron {
+            return Err(SnnError::invalid_config(format!(
+                "spike tensor storage must hold {} words for {neurons} neurons x \
+                 {timesteps} time points, got {}",
+                neurons * words_per_neuron,
+                words.len()
+            )));
+        }
+        if words_per_neuron > 0 {
+            let tail = Self::word_mask(timesteps, words_per_neuron - 1);
+            for n in 0..neurons {
+                let last = words[n * words_per_neuron + words_per_neuron - 1];
+                if last & !tail != 0 {
+                    return Err(SnnError::invalid_config(format!(
+                        "spike tensor word data for neuron {n} has bits set past \
+                         time point {timesteps}"
+                    )));
+                }
+            }
+        }
+        Ok(SpikeTensor {
+            neurons,
+            timesteps,
+            words_per_neuron,
+            bits: words,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +499,27 @@ mod tests {
         s.set(0, 8, true);
         s.set(0, 19, true);
         assert!(s.is_bursting(0, 8));
+    }
+
+    #[test]
+    fn words_roundtrip_is_bit_identical() {
+        let s = SpikeTensor::from_fn(5, 130, |n, t| (n * 13 + t * 7) % 11 == 0);
+        let rebuilt = SpikeTensor::from_words(5, 130, s.words().to_vec()).unwrap();
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    fn from_words_rejects_bad_lengths_and_dirty_tails() {
+        // 130 timesteps -> 3 words per neuron.
+        assert!(SpikeTensor::from_words(2, 130, vec![0; 5]).is_err());
+        // Bit 2 of the last word is time point 130 — out of range.
+        let mut words = vec![0u64; 6];
+        words[5] = 1 << 2;
+        assert!(SpikeTensor::from_words(2, 130, words.clone()).is_err());
+        // The same bit pattern is fine as time point 129.
+        words[5] = 1 << 1;
+        let s = SpikeTensor::from_words(2, 130, words).unwrap();
+        assert!(s.get(1, 129));
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod profile;
 
 pub use datasets::{alexnet, cifar10_dvs, dvs_gesture, LayerKind, LayerSpec, NetworkSpec};
 pub use dvs::{synthesize_gesture, Event, EventCamera, Scene};
-pub use profile::{FiringProfile, TemporalStructure};
+pub use profile::{FiringProfile, ProfileKey, TemporalStructure};

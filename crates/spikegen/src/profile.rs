@@ -229,6 +229,63 @@ impl FiringProfile {
     }
 }
 
+/// The canonical, hashable identity of a [`FiringProfile`].
+///
+/// Two profiles have equal keys **iff** every parameter is bitwise
+/// equal, and `generate` is a pure function of `(profile, neurons,
+/// timesteps, seed)` — so a `ProfileKey` (together with those other
+/// inputs) fully determines the generated [`SpikeTensor`]. Activity
+/// caches use it as their map key and as the stable content hashed into
+/// on-disk cache file names (see `ptb-bench`'s `ActivityCache`).
+///
+/// Floating-point parameters are keyed by their IEEE-754 bit patterns
+/// (`f64::to_bits`), which is exact: profiles that would sample
+/// differently can never collide, and `-0.0 != 0.0` conservatively
+/// counts as a different profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    silent_bits: u64,
+    rate_bits: u64,
+    dispersion_bits: u64,
+    /// Discriminant + parameters of the temporal structure
+    /// (`burst_len`, `within_rate` bits; zero for the others).
+    temporal: (u8, u32, u32),
+}
+
+impl ProfileKey {
+    /// A fixed-width canonical byte encoding (little-endian fields in
+    /// declaration order), suitable for feeding a stable content hash.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        out[0..8].copy_from_slice(&self.silent_bits.to_le_bytes());
+        out[8..16].copy_from_slice(&self.rate_bits.to_le_bytes());
+        out[16..24].copy_from_slice(&self.dispersion_bits.to_le_bytes());
+        out[24] = self.temporal.0;
+        out[25..29].copy_from_slice(&self.temporal.1.to_le_bytes());
+        out[29..33].copy_from_slice(&self.temporal.2.to_le_bytes());
+        out
+    }
+}
+
+impl FiringProfile {
+    /// This profile's canonical cache key (see [`ProfileKey`]).
+    pub fn key(&self) -> ProfileKey {
+        ProfileKey {
+            silent_bits: self.silent_fraction.to_bits(),
+            rate_bits: self.mean_rate.to_bits(),
+            dispersion_bits: self.dispersion.to_bits(),
+            temporal: match self.temporal {
+                TemporalStructure::Bernoulli => (0, 0, 0),
+                TemporalStructure::Bursty {
+                    burst_len,
+                    within_rate,
+                } => (1, burst_len, within_rate.to_bits()),
+                TemporalStructure::Regular => (2, 0, 0),
+            },
+        }
+    }
+}
+
 /// One standard-normal draw via the Box–Muller transform (avoids adding a
 /// `rand_distr` dependency for a single distribution).
 fn standard_normal(rng: &mut StdRng) -> f64 {
@@ -365,6 +422,39 @@ mod tests {
         assert_eq!(p.mean_rate(), 1.0);
         let p = FiringProfile::typical().with_mean_rate(0.5);
         assert_eq!(p.mean_rate(), 0.5);
+    }
+
+    #[test]
+    fn profile_keys_are_exact_identities() {
+        let a = FiringProfile::typical();
+        assert_eq!(a.key(), FiringProfile::typical().key());
+        // Any parameter change produces a different key.
+        assert_ne!(a.key(), a.with_mean_rate(0.081).key());
+        assert_ne!(
+            a.key(),
+            FiringProfile::new(0.31, 0.08, 0.8, TemporalStructure::Bernoulli)
+                .unwrap()
+                .key()
+        );
+        assert_ne!(a.key(), a.with_temporal(TemporalStructure::Regular).key());
+        assert_ne!(
+            a.with_temporal(TemporalStructure::Bursty {
+                burst_len: 4,
+                within_rate: 0.5
+            })
+            .key(),
+            a.with_temporal(TemporalStructure::Bursty {
+                burst_len: 5,
+                within_rate: 0.5
+            })
+            .key()
+        );
+        // Byte encodings track key equality.
+        assert_eq!(
+            a.key().to_bytes(),
+            FiringProfile::typical().key().to_bytes()
+        );
+        assert_ne!(a.key().to_bytes(), a.with_mean_rate(0.081).key().to_bytes());
     }
 
     #[test]

@@ -12,6 +12,9 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (workspace, no deps, rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
