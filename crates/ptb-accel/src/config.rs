@@ -55,6 +55,29 @@ impl Policy {
             Policy::EventDriven => "event-driven",
         }
     }
+
+    /// Every policy, in the canonical comparison order used by the
+    /// experiment binaries and the service.
+    pub fn all() -> [Policy; 6] {
+        [
+            Policy::ptb(),
+            Policy::ptb_with_stsap(),
+            Policy::BaselineTemporal,
+            Policy::TimeSerial,
+            Policy::Ann,
+            Policy::EventDriven,
+        ]
+    }
+
+    /// Parses a [`Policy::label`] string back into a policy
+    /// (case-insensitive). `None` for unrecognized labels, so callers
+    /// taking labels from the outside (CLI flags, service requests) can
+    /// reject them with a proper error instead of a panic.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.label().eq_ignore_ascii_case(label))
+    }
 }
 
 /// The user-specified simulator inputs of Table III: architecture

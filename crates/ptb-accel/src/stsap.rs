@@ -128,19 +128,42 @@ pub fn pack_tile(tags: &[u128], full_mask: u128) -> PackResult {
 
     // Pass 2: nearest non-overlapping tags among the leftovers, greedily
     // from the densest tag down (Fig. 8c). Operates on distinct-mask
-    // classes so the cost is quadratic in distinct masks, not entries.
+    // classes, and partner search runs over a bucket-by-popcount
+    // candidate index instead of a linear rescan of every class: a
+    // partner disjoint with a `p`-bit mask has at most `width - p` bits,
+    // so whole popcount buckets are skipped without inspection, and
+    // exhausted classes are dropped from their bucket the next time it
+    // is scanned. The pairing order is identical to the naive
+    // popcount-sorted linear scan (`reference::pack_tile_linear`
+    // pins this property-test-exactly); only the search cost changes.
     let mut classes: Vec<(u128, Vec<usize>)> = buckets.into_iter().collect();
     classes.sort_unstable_by_key(|(m, _)| (std::cmp::Reverse(m.count_ones()), *m));
+    let width = full_mask.count_ones() as usize;
+    // index[p] = classes whose mask has p bits, in ascending class
+    // order (the global sort makes each bucket's list ascending).
+    let mut index: Vec<Vec<usize>> = vec![Vec::new(); width + 1];
+    for (c, (m, _)) in classes.iter().enumerate() {
+        index[m.count_ones() as usize].push(c);
+    }
     let mut near_pairs = 0usize;
     for i in 0..classes.len() {
-        'outer: while !classes[i].1.is_empty() {
-            // Find the densest later class disjoint with this mask.
-            let mi = classes[i].0;
+        let mi = classes[i].0;
+        // A disjoint partner fits in the free bits; it also has no more
+        // bits than `mi` (denser classes were handled as earlier `i`s).
+        let partner_pc_cap = (mi.count_ones() as usize).min(width - mi.count_ones() as usize);
+        while !classes[i].1.is_empty() {
+            // Densest-first traversal: popcount buckets descending,
+            // ascending class order within a bucket — the exact visit
+            // order of the linear scan over the sorted classes.
             let mut best: Option<usize> = None;
-            for (j, (mj, ids)) in classes.iter().enumerate().skip(i + 1) {
-                if !ids.is_empty() && mi & mj == 0 {
-                    best = Some(j);
-                    break; // classes are popcount-sorted: first hit is densest
+            'search: for pc in (1..=partner_pc_cap).rev() {
+                let bucket = &mut index[pc];
+                bucket.retain(|&c| !classes[c].1.is_empty());
+                for &c in bucket.iter() {
+                    if c > i && mi & classes[c].0 == 0 {
+                        best = Some(c);
+                        break 'search;
+                    }
                 }
             }
             match best {
@@ -153,7 +176,7 @@ pub fn pack_tile(tags: &[u128], full_mask: u128) -> PackResult {
                     });
                     near_pairs += 1;
                 }
-                None => break 'outer,
+                None => break,
             }
         }
     }
@@ -258,9 +281,119 @@ pub fn density_gain(tags: &[u128], full_mask: u128, result: &PackResult) -> (f64
     (before, after)
 }
 
+/// The pre-index packer, kept verbatim as the behavioral reference for
+/// the bucket-by-popcount rewrite: `pack_tile` must produce identical
+/// output (same slots, same order, same pair counts) on every input.
+/// Test-only — the shipping path is [`pack_tile`].
+#[cfg(test)]
+mod reference {
+    use super::{PackResult, Slot};
+    use std::collections::HashMap;
+
+    /// The original `pack_tile`: identical pass 1, and a pass 2 that
+    /// rescans every class linearly for each pair formed (O(n²) per
+    /// tile in the worst case — the ROADMAP item the index fixed).
+    pub fn pack_tile_linear(tags: &[u128], full_mask: u128) -> PackResult {
+        assert!(full_mask != 0, "tile must contain at least one window");
+        let mut slots = Vec::with_capacity(tags.len());
+        let mut buckets: HashMap<u128, Vec<usize>> = HashMap::new();
+        for (i, &t) in tags.iter().enumerate() {
+            assert!(t != 0, "silent-in-tile entries must be filtered out");
+            assert!(t & !full_mask == 0, "tag has bits outside the tile");
+            if t == full_mask {
+                slots.push(Slot {
+                    first: i,
+                    second: None,
+                });
+            } else {
+                buckets.entry(t).or_default().push(i);
+            }
+        }
+
+        let mut exact_pairs = 0usize;
+        let mut masks: Vec<u128> = buckets.keys().copied().collect();
+        masks.sort_unstable();
+        for &m in &masks {
+            let comp = full_mask & !m;
+            if m >= comp {
+                continue;
+            }
+            let (mut a, mut b) = match (buckets.remove(&m), buckets.remove(&comp)) {
+                (Some(a), Some(b)) => (a, b),
+                (Some(a), None) => {
+                    buckets.insert(m, a);
+                    continue;
+                }
+                (None, _) => continue,
+            };
+            while !a.is_empty() && !b.is_empty() {
+                let (x, y) = (
+                    a.pop().expect("nonempty by loop guard"),
+                    b.pop().expect("nonempty by loop guard"),
+                );
+                slots.push(Slot {
+                    first: x.min(y),
+                    second: Some(x.max(y)),
+                });
+                exact_pairs += 1;
+            }
+            if !a.is_empty() {
+                buckets.insert(m, a);
+            }
+            if !b.is_empty() {
+                buckets.insert(comp, b);
+            }
+        }
+
+        let mut classes: Vec<(u128, Vec<usize>)> = buckets.into_iter().collect();
+        classes.sort_unstable_by_key(|(m, _)| (std::cmp::Reverse(m.count_ones()), *m));
+        let mut near_pairs = 0usize;
+        for i in 0..classes.len() {
+            'outer: while !classes[i].1.is_empty() {
+                let mi = classes[i].0;
+                let mut best: Option<usize> = None;
+                for (j, (mj, ids)) in classes.iter().enumerate().skip(i + 1) {
+                    if !ids.is_empty() && mi & mj == 0 {
+                        best = Some(j);
+                        break;
+                    }
+                }
+                match best {
+                    Some(j) => {
+                        let x = classes[i].1.pop().expect("nonempty by loop guard");
+                        let y = classes[j].1.pop().expect("nonempty by selection");
+                        slots.push(Slot {
+                            first: x.min(y),
+                            second: Some(x.max(y)),
+                        });
+                        near_pairs += 1;
+                    }
+                    None => break 'outer,
+                }
+            }
+        }
+        for (_, ids) in classes {
+            for i in ids {
+                slots.push(Slot {
+                    first: i,
+                    second: None,
+                });
+            }
+        }
+
+        PackResult {
+            slots,
+            entries_before: tags.len(),
+            exact_pairs,
+            near_pairs,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn ids(r: &PackResult) -> Vec<usize> {
         let mut v: Vec<usize> = r
@@ -502,5 +635,68 @@ mod tests {
         let r = pack_tile(&[a, b], full);
         assert_eq!(r.entries_after(), 1);
         assert_eq!(r.exact_pairs, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The bucket-by-popcount candidate index is a pure search
+        /// acceleration: for arbitrary tag populations and tile widths,
+        /// the packing output (slot list *in order*, pair counts) is
+        /// identical to the original linear-rescan packer, so every
+        /// policy's reports are unchanged (the simulator consumes the
+        /// slot list verbatim).
+        #[test]
+        fn indexed_packer_matches_linear_reference(
+            seed in proptest::any::<u64>(),
+            n in 0usize..400,
+            width in 1u32..=24,
+        ) {
+            let full: u128 = (1u128 << width) - 1;
+            let mut state = seed;
+            let tags: Vec<u128> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                        .wrapping_add(0x1405_7B7E_F767_814F);
+                    let m = u128::from(state) & full;
+                    if m == 0 { 1 } else { m }
+                })
+                .collect();
+            prop_assert_eq!(
+                pack_tile(&tags, full),
+                reference::pack_tile_linear(&tags, full)
+            );
+        }
+
+        /// Same equivalence on wide (u128) tiles, where the popcount
+        /// index is sparse.
+        #[test]
+        fn indexed_packer_matches_linear_reference_wide(
+            seed in proptest::any::<u64>(),
+            n in 0usize..120,
+            width in 65u32..=127,
+        ) {
+            let full: u128 = (1u128 << width) - 1;
+            let mut state = seed ^ 0xDEAD_BEEF;
+            let tags: Vec<u128> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                        .wrapping_add(0x1405_7B7E_F767_814F);
+                    // Two multiplies give 128 bits of material.
+                    let hi = u128::from(state);
+                    state = state
+                        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                        .wrapping_add(0x1405_7B7E_F767_814F);
+                    let m = ((hi << 64) | u128::from(state)) & full;
+                    if m == 0 { 1 } else { m }
+                })
+                .collect();
+            prop_assert_eq!(
+                pack_tile(&tags, full),
+                reference::pack_tile_linear(&tags, full)
+            );
+        }
     }
 }

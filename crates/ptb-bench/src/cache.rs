@@ -47,10 +47,10 @@
 //! `ptb-bench/tests/cache_equivalence.rs` property-tests this across
 //! policies, TW sweeps, and all three modes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use ptb_accel::PreparedLayer;
 use snn_core::shape::ConvShape;
@@ -173,6 +173,11 @@ pub struct CacheStats {
     /// Lookups that regenerated from scratch (including every lookup
     /// in [`CacheMode::Off`]).
     pub misses: u64,
+    /// Lookups that arrived while an identical generation was already
+    /// in flight and waited for it instead of regenerating (request
+    /// coalescing; each also counts as a `mem_hits` once the in-flight
+    /// generation lands).
+    pub coalesced: u64,
 }
 
 /// Content-addressed store of generated spike tensors and
@@ -180,19 +185,49 @@ pub struct CacheStats {
 /// (and, in [`CacheMode::Disk`], across runs).
 ///
 /// Thread-safe: the harness simulates layers on scoped threads that
-/// all consult one cache. Locks are held only around map access, never
-/// during generation, so distinct layers generate concurrently; a race
-/// on the *same* key computes identical values and keeps the first
-/// insert.
+/// all consult one cache, and `ptb-serve` shares one cache across every
+/// worker thread. Locks are held only around map access, never during
+/// generation, so distinct keys generate concurrently. Lookups for a
+/// key whose generation is already *in flight* coalesce: they wait for
+/// the running generation and share its tensor instead of regenerating
+/// (single-flight; counted by [`CacheStats::coalesced`]), so a burst of
+/// identical service requests pays for generation exactly once.
 #[derive(Debug)]
 pub struct ActivityCache {
     mode: CacheMode,
     dir: PathBuf,
-    tensors: Mutex<HashMap<ActivityKey, Arc<SpikeTensor>>>,
+    tensors: Mutex<TensorStore>,
+    /// Signals waiters when an in-flight generation lands (or aborts).
+    tensors_cv: Condvar,
     layers: Mutex<HashMap<(ActivityKey, ConvShape), Arc<PreparedLayer>>>,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// The tensor map plus the set of keys some thread is currently
+/// generating; one lock covers both so claim-or-wait is atomic.
+#[derive(Debug, Default)]
+struct TensorStore {
+    map: HashMap<ActivityKey, Arc<SpikeTensor>>,
+    inflight: HashSet<ActivityKey>,
+}
+
+/// Removes an in-flight claim on drop, so a panicking generation can
+/// never strand its waiters: they wake, find no entry, and take over.
+struct InflightClaim<'a> {
+    cache: &'a ActivityCache,
+    key: ActivityKey,
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        let mut store = self.cache.tensors.lock().expect("tensor map lock");
+        store.inflight.remove(&self.key);
+        drop(store);
+        self.cache.tensors_cv.notify_all();
+    }
 }
 
 impl ActivityCache {
@@ -208,11 +243,13 @@ impl ActivityCache {
         ActivityCache {
             mode,
             dir: dir.to_path_buf(),
-            tensors: Mutex::new(HashMap::new()),
+            tensors: Mutex::new(TensorStore::default()),
+            tensors_cv: Condvar::new(),
             layers: Mutex::new(HashMap::new()),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -233,12 +270,20 @@ impl ActivityCache {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
     /// `profile.generate(neurons, timesteps, seed)`, memoized.
     ///
     /// Bit-identical to calling `generate` directly, in every mode.
+    ///
+    /// Concurrent lookups of the same key are single-flight: the first
+    /// claims the key, later arrivals block on the cache's condvar and
+    /// wake to a memory hit once the claimed generation (or disk load)
+    /// lands, never duplicating the work. If the generating thread
+    /// panics, a drop guard releases its claim and one waiter takes
+    /// over.
     pub fn activity(
         &self,
         profile: &FiringProfile,
@@ -247,39 +292,60 @@ impl ActivityCache {
         seed: u64,
     ) -> Arc<SpikeTensor> {
         let key = ActivityKey::new(profile, neurons, timesteps, seed);
-        if self.mode != CacheMode::Off {
-            if let Some(hit) = self.tensors.lock().expect("tensor map lock").get(&key) {
-                self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
-            }
-            if self.mode == CacheMode::Disk {
-                if let Some(loaded) = self.load_disk(&key) {
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                    let loaded = Arc::new(loaded);
-                    return self
-                        .tensors
-                        .lock()
-                        .expect("tensor map lock")
-                        .entry(key)
-                        .or_insert(loaded)
-                        .clone();
-                }
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let made = Arc::new(profile.generate(neurons, timesteps, seed));
         if self.mode == CacheMode::Off {
-            return made;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(profile.generate(neurons, timesteps, seed));
         }
-        if self.mode == CacheMode::Disk {
-            self.store_disk(&key, &made);
+
+        // Claim-or-wait: leave this loop either returning a hit or
+        // holding the (released-on-drop) in-flight claim for `key`.
+        let claim = {
+            let mut store = self.tensors.lock().expect("tensor map lock");
+            let mut waited = false;
+            loop {
+                if let Some(hit) = store.map.get(&key) {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return hit.clone();
+                }
+                if store.inflight.insert(key) {
+                    break;
+                }
+                if !waited {
+                    // Counted once per lookup, not once per wakeup.
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    waited = true;
+                }
+                store = self.tensors_cv.wait(store).expect("tensor map lock (wait)");
+            }
+            InflightClaim { cache: self, key }
+        };
+
+        let (made, from_disk) = match self.mode {
+            CacheMode::Disk => match self.load_disk(&key) {
+                Some(loaded) => (Arc::new(loaded), true),
+                None => (Arc::new(profile.generate(neurons, timesteps, seed)), false),
+            },
+            _ => (Arc::new(profile.generate(neurons, timesteps, seed)), false),
+        };
+        if from_disk {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if self.mode == CacheMode::Disk {
+                self.store_disk(&key, &made);
+            }
         }
-        self.tensors
+
+        let out = self
+            .tensors
             .lock()
             .expect("tensor map lock")
+            .map
             .entry(key)
             .or_insert(made)
-            .clone()
+            .clone();
+        drop(claim); // releases the in-flight mark and wakes waiters
+        out
     }
 
     /// Simulation-ready state for `layer` at the effective `shape`:
@@ -530,6 +596,60 @@ mod tests {
         // Different shape (e.g. quick-mode crop) is a different entry.
         let c = cache.layer(layer, layer.shape, 32, 78);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn racing_lookups_of_one_key_coalesce_to_a_single_generation() {
+        let p = profile();
+        let cache = ActivityCache::new(CacheMode::Mem);
+        const RACERS: usize = 4;
+        let barrier = std::sync::Barrier::new(RACERS);
+        let results: Vec<Arc<SpikeTensor>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.activity(&p, 300, 64, 21)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "all racers must share one tensor"
+            );
+        }
+        assert_eq!(*results[0], p.generate(300, 64, 21));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "exactly one racer generates");
+        assert_eq!(
+            s.mem_hits,
+            (RACERS - 1) as u64,
+            "every other racer returns via a memory hit"
+        );
+        assert!(
+            s.coalesced <= s.mem_hits,
+            "coalesced counts the subset of hits that had to wait"
+        );
+    }
+
+    #[test]
+    fn off_mode_never_coalesces() {
+        let p = profile();
+        let cache = ActivityCache::new(CacheMode::Off);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    barrier.wait();
+                    cache.activity(&p, 60, 32, 5)
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!((s.misses, s.coalesced), (2, 0));
     }
 
     #[test]

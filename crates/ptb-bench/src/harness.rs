@@ -194,7 +194,12 @@ pub fn run_network_cached(
 
 /// One row of a TW sweep: per-TW normalized energy, latency, and EDP
 /// relative to a reference (typically the baseline).
-#[derive(Debug, Clone)]
+///
+/// Serializable (and comparable with exact float equality) so sharded
+/// sweeps — e.g. `ptb-serve` fanning TW points across workers — can
+/// ship rows over the wire and assert bit-identity with an in-process
+/// [`sweep_summary_cached`] run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SweepRow {
     /// Time-window size.
     pub tw: u32,
@@ -232,17 +237,43 @@ pub fn sweep_summary_cached(
     opts: &RunOptions,
     cache: &ActivityCache,
 ) -> Vec<SweepRow> {
-    tws.iter()
-        .map(|&tw| {
-            let r = run_network_cached(spec, policy, tw, opts, cache);
-            SweepRow {
-                tw,
-                energy_j: r.total_energy_joules(),
-                seconds: r.total_seconds(),
-                edp: r.total_edp(),
-            }
-        })
-        .collect()
+    let shards = tws
+        .iter()
+        .enumerate()
+        .map(|(i, &tw)| (i, sweep_point(spec, policy, tw, opts, cache)))
+        .collect();
+    merge_shards(shards)
+}
+
+/// One sweep point: [`run_network_cached`] at `tw`, reduced to a
+/// [`SweepRow`]. This is the unit of work a sharded sweep distributes;
+/// [`sweep_summary_cached`] is exactly `tws` points merged in order, so
+/// any scheduling of the points over any number of workers reproduces
+/// it bit-for-bit.
+pub fn sweep_point(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tw: u32,
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> SweepRow {
+    let r = run_network_cached(spec, policy, tw, opts, cache);
+    SweepRow {
+        tw,
+        energy_j: r.total_energy_joules(),
+        seconds: r.total_seconds(),
+        edp: r.total_edp(),
+    }
+}
+
+/// Reassembles sharded sweep rows into the order of the original `tws`
+/// slice, given each row's original index. The merge is deterministic
+/// regardless of completion order, so a sharded sweep matches
+/// [`sweep_summary_cached`] exactly (each row is a pure function of its
+/// TW; only ordering is at stake).
+pub fn merge_shards(mut shards: Vec<(usize, SweepRow)>) -> Vec<SweepRow> {
+    shards.sort_by_key(|&(i, _)| i);
+    shards.into_iter().map(|(_, row)| row).collect()
 }
 
 #[cfg(test)]
@@ -330,5 +361,21 @@ mod tests {
         assert_eq!(rows[0].tw, 1);
         assert_eq!(rows[1].tw, 8);
         assert!(rows.iter().all(|r| r.edp > 0.0));
+    }
+
+    #[test]
+    fn sharded_points_merge_to_the_sequential_sweep() {
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions::quick();
+        let tws = [1, 4, 8, 16];
+        let cache = opts.new_cache();
+        let sequential = sweep_summary_cached(&spec, Policy::ptb(), &tws, &opts, &cache);
+        // Compute the points out of order (as a worker pool might) and
+        // merge: the result must be bit-identical.
+        let shards: Vec<(usize, SweepRow)> = [2usize, 0, 3, 1]
+            .into_iter()
+            .map(|i| (i, sweep_point(&spec, Policy::ptb(), tws[i], &opts, &cache)))
+            .collect();
+        assert_eq!(merge_shards(shards), sequential);
     }
 }

@@ -13,6 +13,6 @@ pub mod plot;
 
 pub use cache::{ActivityCache, ActivityKey, CacheMode, CacheStats};
 pub use harness::{
-    run_network, run_network_cached, run_network_with, sweep_summary, sweep_summary_cached,
-    RunOptions,
+    merge_shards, run_network, run_network_cached, run_network_with, sweep_point, sweep_summary,
+    sweep_summary_cached, RunOptions, SweepRow,
 };

@@ -1,0 +1,280 @@
+//! Request/response types of the JSON API, plus their validation.
+//!
+//! All inputs from the wire are validated *before* touching simulator
+//! constructors that panic on bad arguments (`SimInputs::hpca22`
+//! asserts its TW bounds; `FiringProfile` and `ConvShape` enforce their
+//! invariants only through `new`, which serde derives bypass). A
+//! validated request can be handed to the harness without further
+//! checks.
+
+use ptb_accel::config::Policy;
+use serde::de;
+use serde::{Deserialize, Value};
+use spikegen::NetworkSpec;
+
+/// Upper bound on a request's operational period: bounds the memory one
+/// inline spec can demand (activity tensors scale with `T`). The
+/// longest built-in network runs 300 steps.
+pub const MAX_TIMESTEPS: usize = 4096;
+
+/// Upper bound on layers per inline spec (the built-ins have ≤ 8).
+pub const MAX_LAYERS: usize = 64;
+
+/// The network a request targets: a built-in referenced by name, or a
+/// full inline [`NetworkSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkRef {
+    /// A built-in benchmark, looked up via [`spikegen::network_by_name`].
+    Name(String),
+    /// A caller-supplied spec (validated by [`resolve_network`]).
+    Inline(NetworkSpec),
+}
+
+impl Deserialize for NetworkRef {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Str(s) => Ok(NetworkRef::Name(s.clone())),
+            Value::Object(_) => Ok(NetworkRef::Inline(NetworkSpec::from_value(v)?)),
+            other => Err(de::Error::expected("network name or spec object", other)),
+        }
+    }
+}
+
+/// A policy reference: the serde form of [`Policy`] (e.g.
+/// `{"Ptb": {"stsap": true}}` or `"Ann"`) or a display label (e.g.
+/// `"PTB+StSAP"`, case-insensitive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyRef(pub Policy);
+
+impl Deserialize for PolicyRef {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if let Ok(p) = Policy::from_value(v) {
+            return Ok(PolicyRef(p));
+        }
+        if let Value::Str(s) = v {
+            if let Some(p) = Policy::from_label(s) {
+                return Ok(PolicyRef(p));
+            }
+        }
+        Err(de::Error::expected(
+            "a policy variant or label (PTB, PTB+StSAP, baseline[14], time-serial, ANN, event-driven)",
+            v,
+        ))
+    }
+}
+
+/// Body of `POST /simulate`: one network under one policy at one TW.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct SimulateRequest {
+    /// Target network (name or inline spec).
+    pub network: NetworkRef,
+    /// Scheduling policy.
+    pub policy: PolicyRef,
+    /// Time-window size.
+    pub tw: u32,
+    /// Run at reduced fidelity (cropped feature maps, shortened
+    /// period — `RunOptions::quick`). Defaults to `false`.
+    pub quick: Option<bool>,
+    /// RNG seed for the synthetic activity. Defaults to 42 (the
+    /// harness default).
+    pub seed: Option<u64>,
+}
+
+/// Body of `POST /sweep`: one network and policy over a range of TWs,
+/// sharded across the worker pool.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct SweepRequest {
+    /// Target network (name or inline spec).
+    pub network: NetworkRef,
+    /// Scheduling policy.
+    pub policy: PolicyRef,
+    /// Time-window sizes to sweep, in the order rows should appear.
+    pub tws: Vec<u32>,
+    /// Reduced-fidelity flag, as in [`SimulateRequest::quick`].
+    pub quick: Option<bool>,
+    /// RNG seed, as in [`SimulateRequest::seed`].
+    pub seed: Option<u64>,
+    /// Run asynchronously: respond immediately with a job id to poll at
+    /// `GET /jobs/{id}` instead of blocking until the sweep completes.
+    /// Defaults to `false`.
+    pub background: Option<bool>,
+}
+
+/// A validation failure; maps to `422 Unprocessable Content`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The TW bounds `SimInputs::hpca22` asserts: the paper's architecture
+/// runs TW in `1..=64` and never beyond its 96 p-sum slots. Checked
+/// here so the service answers 422 instead of panicking a worker.
+pub fn validate_tw(tw: u32) -> Result<(), ValidationError> {
+    let slots = systolic_sim::ArchConfig::hpca22().psum_slots();
+    if !(1..=64).contains(&tw) || u64::from(tw) > slots {
+        return Err(ValidationError(format!(
+            "tw must be in 1..=64 and at most the {slots} p-sum slots, got {tw}"
+        )));
+    }
+    Ok(())
+}
+
+/// Resolves a [`NetworkRef`] into a validated spec.
+///
+/// Named networks are trusted (they come from `spikegen`'s
+/// constructors). Inline specs are re-validated invariant by invariant:
+/// serde derives bypass `FiringProfile::new` / `ConvShape::with_padding`,
+/// so every layer is round-tripped through those constructors and must
+/// reproduce itself exactly.
+pub fn resolve_network(net: &NetworkRef) -> Result<NetworkSpec, ValidationError> {
+    match net {
+        NetworkRef::Name(name) => spikegen::network_by_name(name).ok_or_else(|| {
+            ValidationError(format!(
+                "unknown network {name:?}; built-ins: DVS-Gesture, CIFAR10-DVS, AlexNet, CIFAR10"
+            ))
+        }),
+        NetworkRef::Inline(spec) => {
+            if spec.layers.is_empty() || spec.layers.len() > MAX_LAYERS {
+                return Err(ValidationError(format!(
+                    "inline spec must have 1..={MAX_LAYERS} layers, got {}",
+                    spec.layers.len()
+                )));
+            }
+            if spec.timesteps == 0 || spec.timesteps > MAX_TIMESTEPS {
+                return Err(ValidationError(format!(
+                    "timesteps must be in 1..={MAX_TIMESTEPS}, got {}",
+                    spec.timesteps
+                )));
+            }
+            for layer in &spec.layers {
+                let p = &layer.input_profile;
+                let rebuilt = spikegen::FiringProfile::new(
+                    p.silent_fraction(),
+                    p.mean_rate(),
+                    p.dispersion(),
+                    p.temporal(),
+                )
+                .map_err(|e| {
+                    ValidationError(format!("layer {:?}: invalid profile: {e}", layer.name))
+                })?;
+                if rebuilt != *p {
+                    return Err(ValidationError(format!(
+                        "layer {:?}: profile does not round-trip its constructor",
+                        layer.name
+                    )));
+                }
+                let s = layer.shape;
+                let rebuilt = snn_core::shape::ConvShape::with_padding(
+                    s.ifmap_side(),
+                    s.filter_side(),
+                    s.in_channels(),
+                    s.out_channels(),
+                    s.stride(),
+                    s.padding(),
+                )
+                .map_err(|e| {
+                    ValidationError(format!("layer {:?}: invalid shape: {e}", layer.name))
+                })?;
+                if rebuilt != s {
+                    return Err(ValidationError(format!(
+                        "layer {:?}: shape does not round-trip its constructor",
+                        layer.name
+                    )));
+                }
+            }
+            Ok(spec.clone())
+        }
+    }
+}
+
+/// Validates a sweep's TW list: non-empty, bounded, each TW valid.
+pub fn validate_tws(tws: &[u32]) -> Result<(), ValidationError> {
+    if tws.is_empty() {
+        return Err(ValidationError("tws must be non-empty".into()));
+    }
+    if tws.len() > 64 {
+        return Err(ValidationError(format!(
+            "tws must have at most 64 entries, got {}",
+            tws.len()
+        )));
+    }
+    for &tw in tws {
+        validate_tw(tw)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_request_parses_names_labels_and_options() {
+        let r: SimulateRequest = serde_json::from_str(
+            r#"{"network": "DVS-Gesture", "policy": "PTB+StSAP", "tw": 8, "quick": true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.network, NetworkRef::Name("DVS-Gesture".into()));
+        assert_eq!(r.policy.0, Policy::ptb_with_stsap());
+        assert_eq!((r.tw, r.quick, r.seed), (8, Some(true), None));
+
+        // Serde-form policies parse too.
+        let r: SimulateRequest = serde_json::from_str(
+            r#"{"network": "AlexNet", "policy": {"Ptb": {"stsap": false}}, "tw": 4}"#,
+        )
+        .unwrap();
+        assert_eq!(r.policy.0, Policy::ptb());
+
+        assert!(serde_json::from_str::<SimulateRequest>(
+            r#"{"network": "AlexNet", "policy": "warp-speed", "tw": 4}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inline_specs_parse_and_validate() {
+        let spec = spikegen::dvs_gesture();
+        let json = format!(
+            r#"{{"network": {}, "policy": "ANN", "tw": 1}}"#,
+            serde_json::to_string(&spec).unwrap()
+        );
+        let r: SimulateRequest = serde_json::from_str(&json).unwrap();
+        let resolved = resolve_network(&r.network).unwrap();
+        assert_eq!(resolved, spec);
+    }
+
+    #[test]
+    fn invalid_inline_specs_are_rejected() {
+        let mut spec = spikegen::dvs_gesture();
+        spec.timesteps = 0;
+        assert!(resolve_network(&NetworkRef::Inline(spec)).is_err());
+
+        let mut spec = spikegen::dvs_gesture();
+        spec.layers.clear();
+        assert!(resolve_network(&NetworkRef::Inline(spec)).is_err());
+
+        // A profile smuggling an invalid rate past the constructor.
+        let spec = spikegen::dvs_gesture();
+        let json = serde_json::to_string(&spec)
+            .unwrap()
+            .replace("\"mean_rate\":0.04", "\"mean_rate\":-3.0");
+        let smuggled: NetworkSpec = serde_json::from_str(&json).unwrap();
+        assert_ne!(smuggled, spec, "the rate edit must have landed");
+        assert!(resolve_network(&NetworkRef::Inline(smuggled)).is_err());
+    }
+
+    #[test]
+    fn unknown_names_and_bad_tws_are_rejected() {
+        assert!(resolve_network(&NetworkRef::Name("NoSuchNet".into())).is_err());
+        assert!(resolve_network(&NetworkRef::Name("dvs-gesture".into())).is_ok());
+        assert!(validate_tw(0).is_err());
+        assert!(validate_tw(65).is_err());
+        assert!(validate_tw(64).is_ok());
+        assert!(validate_tws(&[]).is_err());
+        assert!(validate_tws(&[1, 8, 64]).is_ok());
+    }
+}

@@ -1,0 +1,259 @@
+//! `ptb-load`: a closed-loop load generator and smoke checker for the
+//! `ptb-serve` daemon.
+//!
+//! ```text
+//! ptb-load --addr HOST:PORT --smoke
+//! ptb-load --addr HOST:PORT --shutdown
+//! ptb-load --addr HOST:PORT [--requests N] [--concurrency C]
+//!          [--network NAME] [--policy LABEL] [--tw N]
+//!          [--seed-mode unique|fixed] [--full] [--label TEXT]
+//! ```
+//!
+//! Smoke mode drives `/healthz`, one quick `/simulate`, and `/metrics`,
+//! checking each response; it exits nonzero on any failure (the CI
+//! smoke stage runs this). `--shutdown` POSTs the `/shutdown` admin
+//! route and exits zero iff the daemon acknowledged it. Load mode runs
+//! `C` closed-loop workers
+//! (each issues a request, waits for the full response, repeats) until
+//! `N` total requests have completed, then prints a JSON summary with
+//! throughput and latency percentiles to stdout.
+//!
+//! `--seed-mode unique` gives every request a distinct seed so each
+//! one misses the server's activity cache ("cold"); `fixed` reuses one
+//! seed so all but the first hit it ("warm"). Comparing the two
+//! isolates what the shared cache buys under load; `BENCH_serve.json`
+//! records exactly that comparison.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ptb_serve::client;
+
+struct LoadConfig {
+    addr: SocketAddr,
+    smoke: bool,
+    shutdown: bool,
+    requests: usize,
+    concurrency: usize,
+    network: String,
+    policy: String,
+    tw: u32,
+    quick: bool,
+    seed_unique: bool,
+    label: String,
+}
+
+fn main() {
+    let cfg = parse_args();
+    if cfg.shutdown {
+        match client::request_json(cfg.addr, "POST", "/shutdown", "") {
+            Ok((200, _)) => return,
+            Ok((status, body)) => {
+                eprintln!("shutdown answered {status}: {body}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if cfg.smoke {
+        if let Err(msg) = run_smoke(&cfg) {
+            eprintln!("smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("smoke OK");
+        return;
+    }
+    run_load(&cfg);
+}
+
+fn parse_args() -> LoadConfig {
+    let mut cfg = LoadConfig {
+        addr: "127.0.0.1:7878"
+            .parse()
+            .expect("default address must parse"),
+        smoke: false,
+        shutdown: false,
+        requests: 16,
+        concurrency: 4,
+        network: "DVS-Gesture".into(),
+        policy: "PTB+StSAP".into(),
+        tw: 8,
+        quick: true,
+        seed_unique: false,
+        label: String::new(),
+    };
+    if let Ok(addr) = std::env::var("PTB_ADDR") {
+        cfg.addr = resolve_or_die(&addr);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = resolve_or_die(&value("--addr")),
+            "--smoke" => cfg.smoke = true,
+            "--shutdown" => cfg.shutdown = true,
+            "--requests" => cfg.requests = parse_or_die(&value("--requests"), "--requests").max(1),
+            "--concurrency" => {
+                cfg.concurrency = parse_or_die(&value("--concurrency"), "--concurrency").max(1);
+            }
+            "--network" => cfg.network = value("--network"),
+            "--policy" => cfg.policy = value("--policy"),
+            "--tw" => cfg.tw = parse_or_die(&value("--tw"), "--tw") as u32,
+            "--full" => cfg.quick = false,
+            "--seed-mode" => match value("--seed-mode").as_str() {
+                "unique" => cfg.seed_unique = true,
+                "fixed" => cfg.seed_unique = false,
+                other => {
+                    eprintln!("error: --seed-mode wants unique|fixed, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--label" => cfg.label = value("--label"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptb-load [--addr HOST:PORT] (--smoke | --shutdown | \
+                     [--requests N] [--concurrency C] [--network NAME] [--policy LABEL] \
+                     [--tw N] [--seed-mode unique|fixed] [--full] [--label TEXT])"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+fn resolve_or_die(addr: &str) -> SocketAddr {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| {
+            eprintln!("error: cannot resolve address {addr:?}");
+            std::process::exit(2);
+        })
+}
+
+fn parse_or_die(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} wants an integer, got {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn simulate_body(cfg: &LoadConfig, seed: u64) -> String {
+    format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tw\": {}, \"quick\": {}, \"seed\": {seed}}}",
+        cfg.network, cfg.policy, cfg.tw, cfg.quick
+    )
+}
+
+/// Drives the core routes once each, verifying every response.
+fn run_smoke(cfg: &LoadConfig) -> Result<(), String> {
+    let (status, body) = client::request_json(cfg.addr, "GET", "/healthz", "")
+        .map_err(|e| format!("/healthz: {e}"))?;
+    if status != 200 || !body.contains("ok") {
+        return Err(format!("/healthz answered {status}: {body}"));
+    }
+
+    let (status, body) =
+        client::request_json(cfg.addr, "POST", "/simulate", &simulate_body(cfg, 42))
+            .map_err(|e| format!("/simulate: {e}"))?;
+    if status != 200 || !body.contains("\"layers\"") {
+        return Err(format!("/simulate answered {status}: {body}"));
+    }
+
+    let sweep = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": [1, {}], \"quick\": true}}",
+        cfg.network, cfg.policy, cfg.tw
+    );
+    let (status, body) = client::request_json(cfg.addr, "POST", "/sweep", &sweep)
+        .map_err(|e| format!("/sweep: {e}"))?;
+    if status != 200 || !body.contains("\"edp\"") {
+        return Err(format!("/sweep answered {status}: {body}"));
+    }
+
+    let (status, body) = client::request_json(cfg.addr, "GET", "/metrics", "")
+        .map_err(|e| format!("/metrics: {e}"))?;
+    if status != 200 || !body.contains("\"endpoints\"") {
+        return Err(format!("/metrics answered {status}: {body}"));
+    }
+    // The counters must reflect the traffic this smoke run just sent.
+    if !body.contains("\"requests\": ") || body.contains("\"accepted\": 0,") {
+        return Err(format!("/metrics counters look dead: {body}"));
+    }
+    Ok(())
+}
+
+/// Closed-loop load: `concurrency` workers issue requests until
+/// `requests` total complete; prints a JSON summary.
+fn run_load(cfg: &LoadConfig) {
+    let issued = AtomicUsize::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies_us: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(cfg.requests));
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.concurrency {
+            s.spawn(|| loop {
+                let i = issued.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.requests {
+                    return;
+                }
+                let seed = if cfg.seed_unique { 1000 + i as u64 } else { 42 };
+                let body = simulate_body(cfg, seed);
+                let t0 = Instant::now();
+                let ok = matches!(
+                    client::request_json(cfg.addr, "POST", "/simulate", &body),
+                    Ok((200, _))
+                );
+                let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                if ok {
+                    latencies_us.lock().expect("latency lock").push(us);
+                } else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let wall = started.elapsed().as_secs_f64();
+    let mut lat = latencies_us.into_inner().expect("latency lock");
+    lat.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    };
+    let ok = lat.len();
+    println!(
+        "{{\"label\": \"{}\", \"requests\": {}, \"ok\": {ok}, \"errors\": {}, \
+         \"concurrency\": {}, \"seed_mode\": \"{}\", \"wall_s\": {wall:.3}, \
+         \"throughput_rps\": {:.3}, \"p50_us\": {}, \"p99_us\": {}}}",
+        cfg.label,
+        cfg.requests,
+        errors.load(Ordering::Relaxed),
+        cfg.concurrency,
+        if cfg.seed_unique { "unique" } else { "fixed" },
+        ok as f64 / wall.max(1e-9),
+        pct(0.50),
+        pct(0.99),
+    );
+    if ok == 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,79 @@
+//! The `ptb-serve` daemon entry point.
+//!
+//! ```text
+//! ptb-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]
+//! ```
+//!
+//! Flags override the `PTB_ADDR` / `PTB_WORKERS` / `PTB_QUEUE_CAP`
+//! environment knobs. `--port-file` writes the bound port (one decimal
+//! line) after the listener is up — bind port 0 and read the file to
+//! get an ephemeral port race-free, which is how the CI smoke stage
+//! runs. The process exits when a client POSTs `/shutdown`.
+
+use ptb_serve::{Server, ServerConfig};
+
+fn main() {
+    let mut cfg = ServerConfig::from_env();
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => {
+                cfg.workers = parse_or_die(&value("--workers"), "--workers").max(1);
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = parse_or_die(&value("--queue-cap"), "--queue-cap").max(1);
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptb-serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-cap N] [--port-file PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::start(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "ptb-serve listening on {} ({} workers, queue cap {}, cache {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache.label(),
+    );
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", server.addr().port())) {
+            eprintln!("error: could not write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    server.join();
+    eprintln!("ptb-serve stopped");
+}
+
+fn parse_or_die(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} wants an integer, got {s:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,86 @@
+//! A minimal blocking HTTP/1.1 client for the service's own API:
+//! enough for the `ptb-load` generator, the CI smoke stage, and the
+//! integration tests. One request per connection, matching the
+//! server's `Connection: close` behavior.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long a request may take end to end before the client errors.
+/// Full-fidelity sweeps on one core can take minutes; be generous.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Sends one request and returns `(status, body)`.
+///
+/// The body is sent verbatim with a `Content-Length`; the response is
+/// read to EOF (the server closes after each response) and its head is
+/// parsed just enough to split status from body.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into status code and body.
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never ended"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head is not UTF-8"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+/// `request` with a JSON string body, returning the body as a string.
+pub fn request_json(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let (status, bytes) = request(addr, method, path, body.as_bytes())?;
+    String::from_utf8(bytes).map(|s| (status, s)).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response body is not UTF-8",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!((status, body.as_slice()), (200, &b"{}"[..]));
+        assert!(parse_response(b"junk with no head end").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal HTTP/1.1 framing over blocking `std::net` streams.
+//!
+//! The service speaks just enough HTTP for its JSON API: one request
+//! per connection (`Connection: close` on every response), no chunked
+//! transfer encoding, no keep-alive, no TLS. This keeps the daemon
+//! dependency-free (the build environment is offline; see the
+//! workspace `Cargo.toml` header) while remaining compatible with
+//! `curl`, browsers, and the bundled `ptb-load` client.
+//!
+//! Robustness is the contract here, not coverage of the RFC: arbitrary,
+//! truncated, oversized, or malicious bytes must produce a 4xx response
+//! (or a clean close), never a panic and never unbounded memory growth.
+//! `ptb-serve/tests/http_robustness.rs` property-tests this.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Maximum size of the request head (request line + headers) in bytes.
+/// Heads beyond this produce `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum accepted request body size in bytes. Larger declared or
+/// actual bodies produce `413 Content Too Large`. The service's biggest
+/// legitimate request (a sweep over every TW) is well under 1 KiB.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// How long a connection may dribble its request before being dropped.
+/// Prevents idle or stalled clients from pinning a worker forever.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, percent-decoded-free target path (query
+/// strings are not used by this API and are left attached), and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client per HTTP (`GET`,
+    /// `POST`, ...). Not validated against a method whitelist here;
+    /// routing rejects what it does not know.
+    pub method: String,
+    /// The request target as sent (e.g. `/simulate`, `/jobs/3`).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each maps to one 4xx status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Malformed request line, header syntax, or framing; or the
+    /// connection closed mid-request. -> `400 Bad Request`.
+    Malformed(String),
+    /// Head exceeded [`MAX_HEAD_BYTES`]. -> `431`.
+    HeadTooLarge,
+    /// Declared or delivered body exceeded [`MAX_BODY_BYTES`]. -> `413`.
+    BodyTooLarge,
+}
+
+impl RequestError {
+    /// The HTTP status code this error reports as.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Malformed(_) => 400,
+            RequestError::HeadTooLarge => 431,
+            RequestError::BodyTooLarge => 413,
+        }
+    }
+
+    /// Human-readable detail for the error response body.
+    pub fn detail(&self) -> String {
+        match self {
+            RequestError::Malformed(m) => m.clone(),
+            RequestError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            RequestError::BodyTooLarge => {
+                format!("request body exceeds {MAX_BODY_BYTES} bytes")
+            }
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// I/O errors (including read timeouts) are folded into
+/// [`RequestError::Malformed`]: from the worker's perspective a stalled
+/// or broken client and a malformed one get the same treatment — a 4xx
+/// attempt and a close.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut head = Vec::with_capacity(512);
+    let mut spill = Vec::new(); // body bytes read past the head
+    let mut buf = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| RequestError::Malformed(format!("read: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Malformed(
+                "connection closed before end of request head".into(),
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    // Anything past the blank line already read belongs to the body.
+    spill.extend_from_slice(&head[head_end..]);
+    head.truncate(head_end);
+
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("malformed header line {line:?}")))?;
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed(format!("bad Content-Length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(RequestError::Malformed(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge);
+    }
+    if spill.len() > content_length {
+        return Err(RequestError::Malformed(
+            "more body bytes than Content-Length declared".into(),
+        ));
+    }
+
+    let mut body = spill;
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(buf.len());
+        let n = stream
+            .read(&mut buf[..want])
+            .map_err(|e| RequestError::Malformed(format!("read body: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Malformed(
+                "connection closed before end of request body".into(),
+            ));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Index just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+}
+
+/// An outgoing response; always `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Media type of `body` (e.g. `application/json`).
+    pub content_type: &'static str,
+    /// Response payload.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": detail}` body.
+    pub fn error(status: u16, detail: &str) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!(
+                "{{\"error\": {}}}",
+                serde_json::to_string(&detail).expect("string serialization"),
+            )
+            .into_bytes(),
+        }
+    }
+
+    /// Serializes the response to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response to `stream`; errors are ignored (the client
+    /// may have hung up, which is its prerogative).
+    pub fn write_to(&self, stream: &mut impl Write) {
+        let _ = stream.write_all(&self.to_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut std::io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/healthz"));
+        assert!(r.body.is_empty());
+
+        let r = parse(b"POST /simulate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn body_may_arrive_with_the_head_or_after_it() {
+        // Cursor delivers everything at once: spill path.
+        let r = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn malformed_requests_are_4xx_not_panics() {
+        for (bytes, status) in [
+            (&b""[..], 400),
+            (b"\r\n\r\n", 400),
+            (b"GET\r\n\r\n", 400),
+            (b"GET /x\r\n\r\n", 400),
+            (b"GET /x SPDY/9\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nno-colon\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                400,
+            ),
+            (b"GET /x HTTP/1.1\r\nHost: x\r\n", 400), // truncated head
+            (b"\xff\xfe GET", 400),
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert_eq!(err.status(), status, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_limited() {
+        let mut big_head = b"GET /x HTTP/1.1\r\n".to_vec();
+        big_head.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert_eq!(parse(&big_head).unwrap_err(), RequestError::HeadTooLarge);
+
+        let declared = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(declared.as_bytes()).unwrap_err(),
+            RequestError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn responses_have_correct_framing() {
+        let bytes = Response::json("{}".into()).to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let err = Response::error(404, "no such route");
+        assert!(String::from_utf8(err.to_bytes())
+            .unwrap()
+            .contains("no such route"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sharded sweep jobs and the registry behind `GET /jobs/{id}`.
+//!
+//! A [`SweepJob`] splits a TW sweep into one shard per TW point.
+//! Shards are *claimed* with an atomic counter, not pre-assigned, so
+//! any number of workers — including the request's own handler thread —
+//! can pull the next unclaimed shard and run it. That makes the
+//! synchronous `/sweep` path deadlock-free by construction: even if
+//! every pool worker is busy, the handler claims and runs every shard
+//! itself, and extra workers only make it faster. Results are merged by
+//! original index ([`ptb_bench::merge_shards`]), so row order matches
+//! [`ptb_bench::sweep_summary_cached`] regardless of which worker ran
+//! what in which order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ptb_accel::config::Policy;
+use ptb_bench::{merge_shards, sweep_point, ActivityCache, RunOptions, SweepRow};
+use spikegen::NetworkSpec;
+
+/// One sweep request, sharded by TW point.
+#[derive(Debug)]
+pub struct SweepJob {
+    /// Target network.
+    pub spec: NetworkSpec,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// TW points, in requested (output) order.
+    pub tws: Vec<u32>,
+    /// Fidelity/seed options for every shard.
+    pub opts: RunOptions,
+    /// Next unclaimed shard index.
+    next: AtomicUsize,
+    /// Completed shard results, original index attached.
+    done: Mutex<Vec<(usize, SweepRow)>>,
+    /// Signals completion of the final shard.
+    cv: Condvar,
+}
+
+impl SweepJob {
+    /// Creates the job. No work happens until shards are claimed.
+    pub fn new(spec: NetworkSpec, policy: Policy, tws: Vec<u32>, opts: RunOptions) -> Self {
+        SweepJob {
+            spec,
+            policy,
+            tws,
+            opts,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs unclaimed shards until none remain. Returns the
+    /// number of shards this call ran. Safe to call from any number of
+    /// threads; each shard runs exactly once.
+    pub fn run_shards(&self, cache: &ActivityCache) -> usize {
+        let mut ran = 0;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tws.len() {
+                return ran;
+            }
+            let row = sweep_point(&self.spec, self.policy, self.tws[i], &self.opts, cache);
+            let mut done = self.done.lock().expect("sweep results lock");
+            done.push((i, row));
+            let complete = done.len() == self.tws.len();
+            drop(done);
+            if complete {
+                self.cv.notify_all();
+            }
+            ran += 1;
+        }
+    }
+
+    /// Number of completed shards.
+    pub fn completed(&self) -> usize {
+        self.done.lock().expect("sweep results lock").len()
+    }
+
+    /// Whether every shard has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed() == self.tws.len()
+    }
+
+    /// Blocks until every shard has completed.
+    pub fn wait(&self) {
+        let mut done = self.done.lock().expect("sweep results lock");
+        while done.len() < self.tws.len() {
+            done = self.cv.wait(done).expect("sweep results lock (wait)");
+        }
+    }
+
+    /// The merged rows, in requested TW order. `None` until complete.
+    pub fn rows(&self) -> Option<Vec<SweepRow>> {
+        let done = self.done.lock().expect("sweep results lock");
+        if done.len() < self.tws.len() {
+            return None;
+        }
+        Some(merge_shards(done.clone()))
+    }
+}
+
+/// Registry of background sweep jobs, polled via `GET /jobs/{id}`.
+///
+/// Completed jobs stay until the registry is dropped — the daemon
+/// serves a bounded experiment session, not the open internet, and a
+/// completed job's footprint is a few rows. [`MAX_JOBS`] bounds the
+/// registry against runaway clients.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    jobs: Mutex<HashMap<u64, Arc<SweepJob>>>,
+    next_id: AtomicUsize,
+}
+
+/// Upper bound on registered background jobs.
+pub const MAX_JOBS: usize = 1024;
+
+impl JobRegistry {
+    /// Registers `job` and returns its id, or `None` when the registry
+    /// is full.
+    pub fn register(&self, job: Arc<SweepJob>) -> Option<u64> {
+        let mut jobs = self.jobs.lock().expect("job registry lock");
+        if jobs.len() >= MAX_JOBS {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u64;
+        jobs.insert(id, job);
+        Some(id)
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<SweepJob>> {
+        self.jobs
+            .lock()
+            .expect("job registry lock")
+            .get(&id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptb_bench::sweep_summary_cached;
+
+    fn quick_job(tws: &[u32]) -> SweepJob {
+        SweepJob::new(
+            spikegen::dvs_gesture(),
+            Policy::ptb(),
+            tws.to_vec(),
+            RunOptions::quick(),
+        )
+    }
+
+    #[test]
+    fn single_thread_run_matches_sequential_sweep() {
+        let opts = RunOptions::quick();
+        let cache = opts.new_cache();
+        let job = quick_job(&[1, 4, 8]);
+        assert!(!job.is_complete());
+        assert_eq!(job.run_shards(&cache), 3);
+        assert!(job.is_complete());
+        let expected =
+            sweep_summary_cached(&job.spec, job.policy, &job.tws, &opts, &opts.new_cache());
+        assert_eq!(job.rows().unwrap(), expected);
+    }
+
+    #[test]
+    fn concurrent_claimers_run_each_shard_exactly_once() {
+        let opts = RunOptions::quick();
+        let job = quick_job(&[1, 2, 4, 8, 16]);
+        let total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        let cache = opts.new_cache();
+                        job.run_shards(&cache)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 5, "each shard ran on exactly one thread");
+        let expected =
+            sweep_summary_cached(&job.spec, job.policy, &job.tws, &opts, &opts.new_cache());
+        assert_eq!(job.rows().unwrap(), expected);
+        job.wait(); // returns immediately once complete
+    }
+
+    #[test]
+    fn registry_hands_out_distinct_ids() {
+        let reg = JobRegistry::default();
+        let a = reg.register(Arc::new(quick_job(&[1]))).unwrap();
+        let b = reg.register(Arc::new(quick_job(&[2]))).unwrap();
+        assert_ne!(a, b);
+        assert!(reg.get(a).is_some());
+        assert!(reg.get(999).is_none());
+    }
+}

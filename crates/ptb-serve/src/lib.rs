@@ -1,0 +1,46 @@
+//! # ptb-serve
+//!
+//! A long-running simulation service for the PTB reproduction: an
+//! HTTP/1.1 daemon (plain `std::net`, no external dependencies) that
+//! keeps one [`ptb_bench::ActivityCache`] warm across requests and
+//! shares it over a fixed worker pool, so interactive exploration of
+//! the design space — one policy/TW point per request, or a sharded TW
+//! sweep — pays for activity generation once instead of once per
+//! invocation.
+//!
+//! ## API
+//!
+//! | Route | Body | Response |
+//! |---|---|---|
+//! | `POST /simulate` | `{"network", "policy", "tw", "quick"?, "seed"?}` | `NetworkReport` JSON |
+//! | `POST /sweep` | `{"network", "policy", "tws", "quick"?, "seed"?, "background"?}` | `[SweepRow]`, or `202 {"job": id}` |
+//! | `GET /jobs/{id}` | — | job status + rows when done |
+//! | `GET /metrics` | — | counters, latency percentiles, cache stats |
+//! | `GET /healthz` | — | `{"status": "ok"}` |
+//! | `POST /shutdown` | — | responds, then stops the daemon |
+//!
+//! `network` is a built-in name (`DVS-Gesture`, `CIFAR10-DVS`,
+//! `AlexNet`, `CIFAR10`) or a full inline `NetworkSpec`; `policy` is a
+//! label (`PTB+StSAP`) or serde form (`{"Ptb": {"stsap": true}}`).
+//! Responses are bit-identical to the in-process harness:
+//! `/simulate` to `ptb_bench::run_network_cached`, `/sweep` to
+//! `ptb_bench::sweep_summary_cached` (pinned by
+//! `tests/service_roundtrip.rs`).
+//!
+//! See `docs/ARCHITECTURE.md` ("The simulation service") for the
+//! request lifecycle and the deadlock-free sweep sharding design, and
+//! `EXPERIMENTS.md` for the `PTB_ADDR` / `PTB_WORKERS` /
+//! `PTB_QUEUE_CAP` knobs and the `ptb-load` load generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use api::{SimulateRequest, SweepRequest};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,172 @@
+//! Service metrics: lock-free request counters and log₂-bucketed
+//! latency histograms, snapshotted by `GET /metrics`.
+//!
+//! Histograms use power-of-two microsecond buckets (bucket *i* covers
+//! latencies in `[2^i, 2^(i+1))` µs, bucket 0 also absorbing sub-µs
+//! values), which spans 1 µs to over an hour in [`BUCKETS`] counters
+//! and makes recording a single `fetch_add`. Quantiles are read back by
+//! walking the cumulative counts and reporting the upper edge of the
+//! bucket containing the rank — an upper bound with ≤ 2× resolution
+//! error, which is plenty for "did the p99 regress 10×" monitoring and
+//! costs no locks on the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: covers up to `2^32` µs ≈ 71 minutes, beyond
+/// which everything lands in the last bucket.
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bucket latency histogram, safe for concurrent recording.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket index = floor(log2(us)), clamped; 0 and 1 µs share
+        // bucket 0.
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper edge (µs) of the bucket holding quantile `q` in `0..=1`,
+    /// or `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the quantile observation, 1-based, clamped to total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(upper_edge_us(i));
+            }
+        }
+        Some(upper_edge_us(BUCKETS - 1))
+    }
+
+    /// Snapshot of the raw bucket counts.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Upper edge of bucket `i` in microseconds (`2^(i+1) - 1`).
+fn upper_edge_us(i: usize) -> u64 {
+    (1u64 << (i + 1)) - 1
+}
+
+/// One endpoint's counters: requests served, errors among them, and the
+/// latency histogram (measured from dequeue to response written).
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests routed to this endpoint.
+    pub requests: AtomicU64,
+    /// The subset that answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Handling latency.
+    pub latency: Histogram,
+}
+
+impl EndpointMetrics {
+    /// Records one handled request.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// JSON object fragment for `/metrics`.
+    pub fn to_json(&self) -> String {
+        let p50 = self.latency.quantile_us(0.50);
+        let p99 = self.latency.quantile_us(0.99);
+        format!(
+            "{{\"requests\": {}, \"errors\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            p50.map_or("null".to_string(), |v| v.to_string()),
+            p99.map_or("null".to_string(), |v| v.to_string()),
+        )
+    }
+}
+
+/// All service-level metrics, shared across workers behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted (whether or not a request parsed).
+    pub accepted: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests that failed to parse (4xx before routing).
+    pub bad_requests: AtomicU64,
+    /// Per-endpoint counters, keyed by route.
+    pub simulate: EndpointMetrics,
+    /// `/sweep` counters.
+    pub sweep: EndpointMetrics,
+    /// `/jobs/{id}` counters.
+    pub jobs: EndpointMetrics,
+    /// `/metrics`, `/healthz`, and `/shutdown` counters (cheap
+    /// admin/introspection routes share one bucket).
+    pub admin: EndpointMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_latency_range() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_secs(7200)); // beyond range: last bucket
+        assert_eq!(h.count(), 5);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2, "0 and 1 us share bucket 0");
+        assert_eq!(snap[1], 1, "3 us lands in [2, 4)");
+        assert_eq!(snap[BUCKETS - 1], 1, "outliers clamp to the last bucket");
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_in_rank_order() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None, "empty histogram");
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!(p50 >= 160, "p50 upper bound covers the median, got {p50}");
+        assert!(p99 >= 100_000, "p99 covers the tail, got {p99}");
+        assert!(p50 <= p99);
+        // Upper bound is within 2x of the true value's bucket.
+        assert!(p50 < 160 * 4, "resolution bound, got {p50}");
+    }
+
+    #[test]
+    fn endpoint_metrics_count_errors_and_render_json() {
+        let m = EndpointMetrics::default();
+        m.record(200, Duration::from_micros(50));
+        m.record(422, Duration::from_micros(70));
+        let json = m.to_json();
+        assert!(json.contains("\"requests\": 2"), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(!json.contains("null"), "{json}");
+    }
+}

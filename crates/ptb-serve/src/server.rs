@@ -1,0 +1,491 @@
+//! The daemon: a bounded job queue, a fixed worker pool, and the HTTP
+//! route handlers.
+//!
+//! ## Request lifecycle
+//!
+//! The acceptor thread owns the listening socket. Each accepted
+//! connection becomes a `Work::Conn` item on the bounded queue (or is
+//! answered `503` on the spot when the queue is full — backpressure is
+//! explicit, never an unbounded buffer). A pool worker dequeues the
+//! connection, reads and routes the request, runs the simulation on its
+//! own thread, and writes the response. One request per connection.
+//!
+//! ## Sharded sweeps without deadlock
+//!
+//! `POST /sweep` fans its TW points out as `Work::Shard` items that
+//! *other* workers can pick up, but the handling worker always claims
+//! and runs shards itself too ([`SweepJob::run_shards`]). Shards are
+//! claimed atomically, so the split adapts to whoever is free: on a
+//! fully busy pool the handler simply runs the whole sweep alone, which
+//! means a synchronous sweep can never deadlock waiting for workers
+//! that are themselves waiting. Results merge by original index,
+//! matching `ptb_bench::sweep_summary_cached` exactly.
+//!
+//! ## Shared cache
+//!
+//! All workers share one [`ActivityCache`]: concurrent requests for the
+//! same `(profile, neurons, timesteps, seed)` layer activity coalesce
+//! into a single in-flight generation (see `ptb_bench::cache`), so a
+//! burst of identical jobs pays the expensive step once.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use ptb_bench::{run_network_cached, ActivityCache, CacheMode, RunOptions};
+
+use crate::api;
+use crate::http::{read_request, Request, RequestError, Response, READ_TIMEOUT};
+use crate::jobs::{JobRegistry, SweepJob};
+use crate::metrics::Metrics;
+
+/// Server configuration; see [`ServerConfig::from_env`] for the
+/// environment knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`; port 0 binds an ephemeral
+    /// port (read it back from [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests and sweep shards.
+    pub workers: usize,
+    /// Maximum queued work items before new connections get `503`.
+    pub queue_cap: usize,
+    /// Cache mode for the shared [`ActivityCache`].
+    pub cache: CacheMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+            queue_cap: 64,
+            cache: CacheMode::Mem,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads `PTB_ADDR` (bind address, default `127.0.0.1:7878`),
+    /// `PTB_WORKERS` (pool size, default `max(2, cores)`),
+    /// `PTB_QUEUE_CAP` (queue bound, default 64), and `PTB_CACHE`
+    /// (shared cache mode, default `mem`).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(addr) = std::env::var("PTB_ADDR") {
+            cfg.addr = addr;
+        }
+        if let Some(n) = std::env::var("PTB_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.workers = n.max(1);
+        }
+        if let Some(n) = std::env::var("PTB_QUEUE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.queue_cap = n.max(1);
+        }
+        cfg.cache = CacheMode::from_env();
+        cfg
+    }
+}
+
+/// A unit of work for the pool.
+enum Work {
+    /// An accepted connection with a request to read.
+    Conn(TcpStream),
+    /// A sweep with unclaimed shards; the worker claims until dry.
+    Shard(Arc<SweepJob>),
+}
+
+/// The bounded MPMC work queue.
+struct Queue {
+    items: Mutex<(VecDeque<Work>, bool)>, // (queue, closed)
+    cv: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Queue {
+            items: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues unless full or closed; on rejection the item is handed
+    /// back so the caller can respond to (or drop) it.
+    fn push(&self, work: Work) -> Result<(), Work> {
+        let mut guard = self.items.lock().expect("work queue lock");
+        if guard.1 || guard.0.len() >= self.cap {
+            return Err(work);
+        }
+        guard.0.push_back(work);
+        drop(guard);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking. `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<Work> {
+        let mut guard = self.items.lock().expect("work queue lock");
+        loop {
+            if let Some(work) = guard.0.pop_front() {
+                return Some(work);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.cv.wait(guard).expect("work queue lock (wait)");
+        }
+    }
+
+    /// Closes the queue: queued work still drains, new pushes fail, and
+    /// idle workers wake to exit.
+    fn close(&self) {
+        self.items.lock().expect("work queue lock").1 = true;
+        self.cv.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.items.lock().expect("work queue lock").0.len()
+    }
+}
+
+/// State shared by the acceptor, every worker, and the handlers.
+struct Shared {
+    cache: ActivityCache,
+    metrics: Metrics,
+    jobs: JobRegistry,
+    queue: Queue,
+    workers: usize,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it does *not* stop the threads — call
+/// [`Server::join`] after a shutdown request, or send `POST /shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the acceptor and worker threads.
+    pub fn start(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ActivityCache::new(cfg.cache),
+            metrics: Metrics::default(),
+            jobs: JobRegistry::default(),
+            queue: Queue::new(cfg.queue_cap),
+            workers: cfg.workers,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ptb-accept".into())
+                .spawn(move || accept_loop(listener, &accept_shared))
+                .expect("spawn acceptor"),
+        );
+        for i in 0..cfg.workers {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ptb-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown from within the process (equivalent to
+    /// `POST /shutdown`).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for every thread to exit (after a shutdown request).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Flags shutdown and unblocks the acceptor with a wake-up connection.
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // The acceptor blocks in accept(); a throwaway connection wakes it
+    // so it can observe the flag. Errors don't matter: if the connect
+    // fails the listener is already gone.
+    let _ = TcpStream::connect(addr);
+    shared.queue.close();
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+        if let Err(Work::Conn(mut rejected)) = shared.queue.push(Work::Conn(stream)) {
+            shared
+                .metrics
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(503, "work queue is full, try again later").write_to(&mut rejected);
+        }
+    }
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(work) = shared.queue.pop() {
+        match work {
+            Work::Conn(mut stream) => handle_conn(shared, &mut stream),
+            Work::Shard(job) => {
+                job.run_shards(&shared.cache);
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            respond_request_error(stream, &e);
+            return;
+        }
+    };
+    let started = Instant::now();
+    let (endpoint, response) = route(shared, &request);
+    let metrics = match endpoint {
+        Endpoint::Simulate => &shared.metrics.simulate,
+        Endpoint::Sweep => &shared.metrics.sweep,
+        Endpoint::Jobs => &shared.metrics.jobs,
+        Endpoint::Admin => &shared.metrics.admin,
+    };
+    metrics.record(response.status, started.elapsed());
+    response.write_to(stream);
+    // /shutdown responds first, then stops the world.
+    if endpoint == Endpoint::Admin && request.path == "/shutdown" && response.status == 200 {
+        if let Ok(addr) = stream.local_addr() {
+            trigger_shutdown(shared, addr);
+        }
+    }
+}
+
+fn respond_request_error(stream: &mut TcpStream, e: &RequestError) {
+    Response::error(e.status(), &e.detail()).write_to(stream);
+}
+
+/// Which metrics bucket a request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Simulate,
+    Sweep,
+    Jobs,
+    Admin,
+}
+
+fn route(shared: &Shared, req: &Request) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/simulate") => (Endpoint::Simulate, handle_simulate(shared, &req.body)),
+        ("POST", "/sweep") => (Endpoint::Sweep, handle_sweep(shared, &req.body)),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            (Endpoint::Jobs, handle_job_poll(shared, path))
+        }
+        ("GET", "/healthz") => (
+            Endpoint::Admin,
+            Response::json("{\"status\": \"ok\"}".into()),
+        ),
+        ("GET", "/metrics") => (Endpoint::Admin, handle_metrics(shared)),
+        ("POST", "/shutdown") => (
+            Endpoint::Admin,
+            Response::json("{\"status\": \"shutting down\"}".into()),
+        ),
+        (_, "/simulate" | "/sweep" | "/healthz" | "/metrics" | "/shutdown") => (
+            Endpoint::Admin,
+            Response::error(405, &format!("method {} not allowed here", req.method)),
+        ),
+        _ => (
+            Endpoint::Admin,
+            Response::error(404, &format!("no route {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+/// Builds the per-request run options: quick or full fidelity, caller's
+/// seed, serial position scan (parallelism comes from the pool, not
+/// from within a layer).
+fn run_options(quick: Option<bool>, seed: Option<u64>) -> RunOptions {
+    let mut opts = if quick.unwrap_or(false) {
+        RunOptions::quick()
+    } else {
+        RunOptions::full()
+    };
+    if let Some(seed) = seed {
+        opts.seed = seed;
+    }
+    opts
+}
+
+fn handle_simulate(shared: &Shared, body: &[u8]) -> Response {
+    let req: api::SimulateRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let spec = match api::resolve_network(&req.network) {
+        Ok(s) => s,
+        Err(e) => return Response::error(422, &e.0),
+    };
+    if let Err(e) = api::validate_tw(req.tw) {
+        return Response::error(422, &e.0);
+    }
+    let opts = run_options(req.quick, req.seed);
+    let report = run_network_cached(&spec, req.policy.0, req.tw, &opts, &shared.cache);
+    match serde_json::to_string(&report) {
+        Ok(json) => Response::json(json),
+        Err(_) => Response::error(500, "report serialization failed"),
+    }
+}
+
+fn handle_sweep(shared: &Shared, body: &[u8]) -> Response {
+    let req: api::SweepRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let spec = match api::resolve_network(&req.network) {
+        Ok(s) => s,
+        Err(e) => return Response::error(422, &e.0),
+    };
+    if let Err(e) = api::validate_tws(&req.tws) {
+        return Response::error(422, &e.0);
+    }
+    let opts = run_options(req.quick, req.seed);
+    let job = Arc::new(SweepJob::new(spec, req.policy.0, req.tws.clone(), opts));
+
+    // Offer shards to idle workers: one queue item per extra worker
+    // that could plausibly help. Items that don't fit (queue full) are
+    // simply not offered — claiming keeps correctness independent of
+    // who shows up.
+    let helpers = shared.workers.saturating_sub(1).min(job.tws.len());
+    let mut offered = 0;
+    for _ in 0..helpers {
+        if shared.queue.push(Work::Shard(Arc::clone(&job))).is_err() {
+            break;
+        }
+        offered += 1;
+    }
+
+    if req.background.unwrap_or(false) {
+        let Some(id) = shared.jobs.register(Arc::clone(&job)) else {
+            return Response::error(503, "job registry is full");
+        };
+        // Guarantee progress even if no shard item could be offered
+        // (full queue, or a single-worker pool): run the shards here
+        // before answering, trading response latency for liveness.
+        if offered == 0 {
+            job.run_shards(&shared.cache);
+        }
+        let mut resp = Response::json(format!("{{\"job\": {id}, \"total\": {}}}", job.tws.len()));
+        resp.status = 202;
+        return resp;
+    }
+
+    // Synchronous: this handler claims shards alongside the pool, then
+    // waits out any shard still running on another worker.
+    job.run_shards(&shared.cache);
+    job.wait();
+    let rows = job.rows().expect("job complete after wait");
+    match serde_json::to_string(&rows) {
+        Ok(json) => Response::json(json),
+        Err(_) => Response::error(500, "sweep serialization failed"),
+    }
+}
+
+fn handle_job_poll(shared: &Shared, path: &str) -> Response {
+    let id_str = &path["/jobs/".len()..];
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Response::error(400, &format!("malformed job id {id_str:?}"));
+    };
+    let Some(job) = shared.jobs.get(id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    let completed = job.completed();
+    let total = job.tws.len();
+    match job.rows() {
+        Some(rows) => match serde_json::to_string(&rows) {
+            Ok(json) => Response::json(format!(
+                "{{\"id\": {id}, \"done\": true, \"completed\": {completed}, \
+                 \"total\": {total}, \"rows\": {json}}}"
+            )),
+            Err(_) => Response::error(500, "row serialization failed"),
+        },
+        None => Response::json(format!(
+            "{{\"id\": {id}, \"done\": false, \"completed\": {completed}, \"total\": {total}}}"
+        )),
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let m = &shared.metrics;
+    let cache = shared.cache.stats();
+    Response::json(format!(
+        "{{\"accepted\": {}, \"rejected_queue_full\": {}, \"bad_requests\": {}, \
+         \"queue_depth\": {}, \"workers\": {}, \
+         \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
+         \"endpoints\": {{\"simulate\": {}, \"sweep\": {}, \"jobs\": {}, \"admin\": {}}}}}",
+        m.accepted.load(Ordering::Relaxed),
+        m.rejected_queue_full.load(Ordering::Relaxed),
+        m.bad_requests.load(Ordering::Relaxed),
+        shared.queue.len(),
+        shared.workers,
+        cache.mem_hits,
+        cache.disk_hits,
+        cache.misses,
+        cache.coalesced,
+        m.simulate.to_json(),
+        m.sweep.to_json(),
+        m.jobs.to_json(),
+        m.admin.to_json(),
+    ))
+}
+
+/// Parses a JSON request body, mapping failures to 400 with detail.
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request body: {e}")))
+}

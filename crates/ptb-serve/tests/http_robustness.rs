@@ -1,0 +1,145 @@
+//! Robustness of the HTTP layer against hostile input: arbitrary,
+//! truncated, and oversized request bytes must never panic the parser
+//! or a live server, and must answer with a 4xx (or a clean close) —
+//! never a hang and never a 2xx.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ptb_serve::http::{read_request, RequestError, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use ptb_serve::{Server, ServerConfig};
+
+fn test_server() -> Server {
+    Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 16,
+        cache: ptb_bench::CacheMode::Mem,
+    })
+    .expect("bind test server")
+}
+
+/// Deterministic byte soup (SplitMix-style) for the fuzz cases.
+fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever the bytes.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes((len, seed) in (0usize..2048, any::<u64>())) {
+        let _ = read_request(&mut std::io::Cursor::new(random_bytes(len, seed)));
+    }
+
+    /// Splicing random bytes into a valid request must never panic
+    /// either (it may parse if the splice lands in the body).
+    #[test]
+    fn parser_never_panics_on_corrupted_requests((at, len, seed) in (0usize..76, 1usize..32, any::<u64>())) {
+        let mut bytes =
+            b"POST /simulate HTTP/1.1\r\nContent-Length: 24\r\n\r\n{\"network\":\"DVS-Gesture\"".to_vec();
+        let at = at.min(bytes.len());
+        let end = (at + len).min(bytes.len());
+        let noise = random_bytes(end - at, seed);
+        bytes[at..end].copy_from_slice(&noise);
+        let _ = read_request(&mut std::io::Cursor::new(bytes));
+    }
+
+    /// Truncating a valid request anywhere before its end must produce
+    /// an error, never a parsed request and never a hang.
+    #[test]
+    fn truncated_requests_error_cleanly(cut in 0usize..76) {
+        let full = b"POST /simulate HTTP/1.1\r\nContent-Length: 24\r\n\r\n{\"network\":\"DVS-Gesture\"";
+        let cut = cut.min(full.len() - 1);
+        let err = read_request(&mut std::io::Cursor::new(full[..cut].to_vec()));
+        prop_assert!(err.is_err(), "cut at {cut} parsed: {err:?}");
+    }
+}
+
+#[test]
+fn size_limits_are_enforced() {
+    let mut head = b"GET / HTTP/1.1\r\nX-Filler: ".to_vec();
+    head.resize(MAX_HEAD_BYTES + 64, b'a');
+    assert_eq!(
+        read_request(&mut std::io::Cursor::new(head)).unwrap_err(),
+        RequestError::HeadTooLarge
+    );
+
+    let big = format!(
+        "POST /simulate HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert_eq!(
+        read_request(&mut std::io::Cursor::new(big.into_bytes())).unwrap_err(),
+        RequestError::BodyTooLarge
+    );
+}
+
+/// Sends raw bytes to a live server, returns the status line (if any).
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Option<String> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    // The peer may reset mid-write on garbage; that's a clean close
+    // from our perspective.
+    let _ = s.write_all(bytes);
+    let _ = s.flush();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out);
+    text.lines().next().map(|l| l.to_string())
+}
+
+#[test]
+fn live_server_answers_garbage_with_4xx_and_stays_healthy() {
+    let server = test_server();
+    let addr = server.addr();
+
+    let attacks: Vec<Vec<u8>> = vec![
+        b"\x00\x01\x02\x03\xff\xfe".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"POST /simulate HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+        b"POST /simulate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        format!(
+            "POST /simulate HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .into_bytes(),
+        b"POST /simulate HTTP/1.1\r\nContent-Length: 7\r\n\r\nnot json".to_vec(),
+        b"POST /simulate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+        b"GET /no/such/route HTTP/1.1\r\n\r\n".to_vec(),
+        b"DELETE /simulate HTTP/1.1\r\n\r\n".to_vec(),
+    ];
+    for attack in &attacks {
+        if let Some(status_line) = send_raw(addr, attack) {
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable status line {status_line:?}"));
+            assert!(
+                (400..500).contains(&status),
+                "attack {:?} got {status_line:?}",
+                String::from_utf8_lossy(attack)
+            );
+        }
+        // else: clean close without a response — acceptable.
+    }
+
+    // The server must still serve real traffic afterwards.
+    let (status, body) = ptb_serve::client::request_json(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!((status, body.contains("ok")), (200, true));
+
+    server.shutdown();
+    server.join();
+}

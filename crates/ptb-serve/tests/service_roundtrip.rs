@@ -1,0 +1,267 @@
+//! End-to-end bit-identity of the service against the in-process
+//! harness: whatever arrives over the wire must deserialize to exactly
+//! what `run_network_cached` / `sweep_summary_cached` produce — same
+//! floats, same order — with N clients hammering one shared cache.
+
+use ptb_accel::config::Policy;
+use ptb_accel::report::NetworkReport;
+use ptb_bench::{run_network_cached, sweep_summary_cached, RunOptions, SweepRow};
+use ptb_serve::client;
+use ptb_serve::{Server, ServerConfig};
+
+fn test_server(workers: usize) -> Server {
+    Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap: 32,
+        cache: ptb_bench::CacheMode::Mem,
+    })
+    .expect("bind test server")
+}
+
+fn simulate_body(network: &str, policy: &str, tw: u32, seed: u64) -> String {
+    format!(
+        "{{\"network\": \"{network}\", \"policy\": \"{policy}\", \"tw\": {tw}, \
+         \"quick\": true, \"seed\": {seed}}}"
+    )
+}
+
+#[test]
+fn parallel_simulates_match_in_process_runs_bit_identically() {
+    let server = test_server(3);
+    let addr = server.addr();
+
+    // Mixed workload: same request repeated (exercises coalescing on
+    // the shared cache) plus distinct policies and TWs.
+    let cases: Vec<(&str, Policy, u32, u64)> = vec![
+        ("DVS-Gesture", Policy::ptb_with_stsap(), 8, 42),
+        ("DVS-Gesture", Policy::ptb_with_stsap(), 8, 42),
+        ("DVS-Gesture", Policy::ptb_with_stsap(), 8, 42),
+        ("DVS-Gesture", Policy::ptb(), 16, 42),
+        ("DVS-Gesture", Policy::BaselineTemporal, 1, 42),
+        ("DVS-Gesture", Policy::ptb_with_stsap(), 8, 7),
+    ];
+
+    let reports: Vec<NetworkReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|(net, policy, tw, seed)| {
+                s.spawn(move || {
+                    let body = simulate_body(net, policy.label(), *tw, *seed);
+                    let (status, text) = client::request_json(addr, "POST", "/simulate", &body)
+                        .expect("request must succeed");
+                    assert_eq!(status, 200, "{text}");
+                    serde_json::from_str(&text).expect("response must parse")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Sequential reference, one private cache — must be bit-identical.
+    let ref_cache = RunOptions::quick().new_cache();
+    for ((net, policy, tw, seed), report) in cases.iter().zip(&reports) {
+        let opts = RunOptions {
+            seed: *seed,
+            ..RunOptions::quick()
+        };
+        let spec = spikegen::network_by_name(net).unwrap();
+        let expected = run_network_cached(&spec, *policy, *tw, &opts, &ref_cache);
+        assert_eq!(
+            *report,
+            expected,
+            "{net} {} tw={tw} seed={seed} must round-trip bit-identically",
+            policy.label()
+        );
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sharded_sweep_matches_sweep_summary_cached_exactly() {
+    let server = test_server(3);
+    let addr = server.addr();
+    let tws = [1u32, 2, 4, 8, 16, 32];
+
+    let body = format!(
+        "{{\"network\": \"CIFAR10\", \"policy\": \"PTB\", \"tws\": {:?}, \
+         \"quick\": true, \"seed\": 42}}",
+        tws
+    );
+    let (status, text) = client::request_json(addr, "POST", "/sweep", &body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let rows: Vec<SweepRow> = serde_json::from_str(&text).unwrap();
+
+    let opts = RunOptions::quick();
+    let spec = spikegen::network_by_name("CIFAR10").unwrap();
+    let expected = sweep_summary_cached(&spec, Policy::ptb(), &tws, &opts, &opts.new_cache());
+    assert_eq!(
+        rows, expected,
+        "sharded sweep must match the sequential harness"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn background_sweeps_poll_to_the_same_rows() {
+    let server = test_server(2);
+    let addr = server.addr();
+    let tws = [1u32, 4, 8];
+
+    let body = format!(
+        "{{\"network\": \"DVS-Gesture\", \"policy\": \"PTB+StSAP\", \"tws\": {:?}, \
+         \"quick\": true, \"background\": true}}",
+        tws
+    );
+    let (status, text) = client::request_json(addr, "POST", "/sweep", &body).unwrap();
+    assert_eq!(status, 202, "{text}");
+    let ack: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let id = ack.get("job").and_then(|v| v.as_u64()).expect("job id");
+
+    // Poll until done (the job may already be complete).
+    let rows: Vec<SweepRow> = loop {
+        let (status, text) = client::request_json(addr, "GET", &format!("/jobs/{id}"), "").unwrap();
+        assert_eq!(status, 200, "{text}");
+        let poll: serde_json::Value = serde_json::from_str(&text).unwrap();
+        if poll.get("done").and_then(|v| v.as_bool()) == Some(true) {
+            let rows = poll.get("rows").expect("rows present when done");
+            break serde_json::from_value::<Vec<SweepRow>>(rows).expect("rows parse");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+
+    let opts = RunOptions::quick();
+    let spec = spikegen::network_by_name("DVS-Gesture").unwrap();
+    let expected = sweep_summary_cached(
+        &spec,
+        Policy::ptb_with_stsap(),
+        &tws,
+        &opts,
+        &opts.new_cache(),
+    );
+    assert_eq!(rows, expected);
+
+    // Unknown and malformed job ids are clean errors.
+    let (status, _) = client::request_json(addr, "GET", "/jobs/99999", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::request_json(addr, "GET", "/jobs/banana", "").unwrap();
+    assert_eq!(status, 400);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_reflect_traffic_and_validation_rejects_cleanly() {
+    let server = test_server(2);
+    let addr = server.addr();
+
+    // Two good requests, two validation failures, one parse failure.
+    let ok_body = simulate_body("DVS-Gesture", "PTB", 8, 42);
+    for _ in 0..2 {
+        let (status, _) = client::request_json(addr, "POST", "/simulate", &ok_body).unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, text) = client::request_json(
+        addr,
+        "POST",
+        "/simulate",
+        &simulate_body("NoSuchNet", "PTB", 8, 1),
+    )
+    .unwrap();
+    assert_eq!(status, 422, "{text}");
+    let (status, text) = client::request_json(
+        addr,
+        "POST",
+        "/simulate",
+        &simulate_body("AlexNet", "PTB", 0, 1),
+    )
+    .unwrap();
+    assert_eq!(status, 422, "{text}");
+    let (status, _) = client::request_json(addr, "POST", "/simulate", "{not json").unwrap();
+    assert_eq!(status, 400);
+
+    let (status, text) = client::request_json(addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    let m: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let simulate = m
+        .get("endpoints")
+        .and_then(|e| e.get("simulate"))
+        .expect("simulate endpoint metrics");
+    // 2 OK + 2 validation failures + 1 body-parse failure, all routed
+    // to /simulate (a JSON parse error happens after routing).
+    assert_eq!(simulate.get("requests").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(simulate.get("errors").and_then(|v| v.as_u64()), Some(3));
+    assert!(
+        m.get("bad_requests").and_then(|v| v.as_u64()).is_some(),
+        "{text}"
+    );
+    let cache = m.get("cache").expect("cache stats");
+    // Two identical good requests: the second must hit, not regenerate.
+    assert!(
+        cache.get("mem_hits").and_then(|v| v.as_u64()) >= Some(1),
+        "{text}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_route_stops_the_daemon() {
+    let server = test_server(2);
+    let addr = server.addr();
+    let (status, text) = client::request_json(addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(status, 200, "{text}");
+    server.join(); // must return: every thread exits
+
+    // The listener is gone (give the OS a moment to tear down).
+    let refused = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::net::TcpStream::connect(addr).is_err()
+    });
+    assert!(refused, "listener still accepting after shutdown");
+}
+
+/// `Arc<ActivityCache>` sharing means a cold request after warm ones is
+/// answered from memory; pin that the coalescing counter is wired up.
+#[test]
+fn identical_concurrent_requests_coalesce_on_the_shared_cache() {
+    let server = test_server(4);
+    let addr = server.addr();
+    let body = simulate_body("DVS-Gesture", "PTB", 8, 1234);
+
+    let reports: Vec<NetworkReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let (status, text) =
+                        client::request_json(addr, "POST", "/simulate", &body).unwrap();
+                    assert_eq!(status, 200);
+                    serde_json::from_str(&text).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &reports[1..] {
+        assert_eq!(*r, reports[0], "all responses identical");
+    }
+
+    let (_, text) = client::request_json(addr, "GET", "/metrics", "").unwrap();
+    let m: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let cache = m.get("cache").expect("cache stats");
+    let misses = cache.get("misses").and_then(|v| v.as_u64()).unwrap();
+    let spec = spikegen::network_by_name("DVS-Gesture").unwrap();
+    assert!(
+        misses <= spec.layers.len() as u64,
+        "at most one generation per distinct layer key, got {misses} misses: {text}"
+    );
+
+    server.shutdown();
+    server.join();
+}

@@ -315,6 +315,18 @@ pub fn all_benchmarks() -> Vec<NetworkSpec> {
     vec![dvs_gesture(), cifar10_dvs(), alexnet()]
 }
 
+/// Looks up a built-in network by its [`NetworkSpec::name`]
+/// (case-insensitive): the three Table V benchmarks plus the Fig. 12(b)
+/// CIFAR10 CNN. `None` for unknown names, so callers taking names from
+/// the outside (CLI flags, service requests) can reject them with a
+/// proper error instead of a panic.
+pub fn network_by_name(name: &str) -> Option<NetworkSpec> {
+    all_benchmarks()
+        .into_iter()
+        .chain(std::iter::once(cifar10_cnn()))
+        .find(|n| n.name.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,8 @@ pub mod datasets;
 pub mod dvs;
 pub mod profile;
 
-pub use datasets::{alexnet, cifar10_dvs, dvs_gesture, LayerKind, LayerSpec, NetworkSpec};
+pub use datasets::{
+    alexnet, cifar10_dvs, dvs_gesture, network_by_name, LayerKind, LayerSpec, NetworkSpec,
+};
 pub use dvs::{synthesize_gesture, Event, EventCamera, Scene};
 pub use profile::{FiringProfile, ProfileKey, TemporalStructure};

@@ -22,4 +22,19 @@ cargo test -q
 echo "== full workspace test suite"
 cargo test --workspace -q
 
+echo "== ptb-serve smoke (ephemeral port, ptb-load --smoke, clean shutdown)"
+PORT_FILE="$(mktemp)"
+trap 'rm -f "$PORT_FILE"' EXIT
+./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ptb-serve never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --smoke
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
+wait "$SERVE_PID"
+
 echo "CI gate passed."

@@ -1,0 +1,73 @@
+//! JSON round-trip tests for the report types the `ptb-serve` service
+//! ships over the wire: serializing with the vendored `serde_json`
+//! stand-in and parsing back must reproduce every value bit-for-bit
+//! (floats included — shortest-roundtrip rendering plus a
+//! correctly-rounded parse).
+
+use ptb_accel::config::Policy;
+use ptb_accel::report::NetworkReport;
+use ptb_accel::sim::simulate_layer;
+use ptb_accel::SimInputs;
+
+fn small_report(policy: Policy, tw: u32) -> NetworkReport {
+    let spec = spikegen::dvs_gesture();
+    let layer = &spec.layers[4]; // FC2: 1x1, cheap at any fidelity
+    let spikes = layer.generate_input(32, 7);
+    let inputs = SimInputs::hpca22(tw);
+    let report = simulate_layer(&inputs, policy, layer.shape, &spikes);
+    NetworkReport::new("roundtrip", vec![(layer.name.clone(), report)])
+}
+
+#[test]
+fn network_report_round_trips_bit_identically() {
+    for (policy, tw) in [
+        (Policy::ptb(), 8),
+        (Policy::ptb_with_stsap(), 16),
+        (Policy::BaselineTemporal, 1),
+        (Policy::TimeSerial, 1),
+        (Policy::Ann, 1),
+        (Policy::EventDriven, 1),
+    ] {
+        let report = small_report(policy, tw);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: NetworkReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report, "{} tw={tw}", policy.label());
+        // Pretty output carries the same data.
+        let pretty = serde_json::to_string_pretty(&report).unwrap();
+        let back: NetworkReport = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(back, report);
+    }
+}
+
+#[test]
+fn enum_variants_round_trip() {
+    for policy in [
+        Policy::ptb(),
+        Policy::ptb_with_stsap(),
+        Policy::BaselineTemporal,
+        Policy::TimeSerial,
+        Policy::Ann,
+        Policy::EventDriven,
+    ] {
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: Policy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, policy);
+    }
+}
+
+#[test]
+fn mismatched_report_json_is_rejected_not_panicked() {
+    for bad in [
+        "",
+        "{}",
+        r#"{"network": 3, "layers": []}"#,
+        r#"{"network": "x"}"#,
+        r#"{"network": "x", "layers": [["only-name"]]}"#,
+        "[1,2,3]",
+    ] {
+        assert!(
+            serde_json::from_str::<NetworkReport>(bad).is_err(),
+            "accepted {bad:?}"
+        );
+    }
+}

@@ -2,17 +2,17 @@
 //!
 //! This workspace builds in environments with no access to crates.io, so
 //! the external `serde` dependency is replaced by this minimal local
-//! facade. It provides the two items the repository actually uses —
-//! `#[derive(Serialize, Deserialize)]` and trait bounds for
-//! `serde_json::to_string_pretty` — via a simple JSON value model
-//! instead of serde's full data model.
+//! facade. It provides the items the repository actually uses —
+//! `#[derive(Serialize, Deserialize)]` and the trait bounds behind
+//! `serde_json::{to_string, to_string_pretty, from_str}` — via a simple
+//! JSON value model instead of serde's full data model.
 //!
 //! The API intentionally mirrors the subset of real serde the workspace
 //! imports (`use serde::{Deserialize, Serialize};`), so swapping the
 //! real crate back in requires only a Cargo.toml change.
 
 /// A JSON value tree: the intermediate representation `Serialize`
-/// produces and `serde_json` renders.
+/// produces, `Deserialize` consumes, and `serde_json` renders/parses.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// JSON `null`.
@@ -35,6 +35,87 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Object field lookup by key. Mirrors real `serde_json`'s
+    /// duplicate-key behavior (last occurrence wins). `None` for
+    /// non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer that fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::U128(n) => u64::try_from(n).ok(),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::U128(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any JSON number. Integers convert
+    /// with `as`-cast semantics (nearest representable value).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::U128(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can render themselves into a [`Value`].
 ///
 /// The stand-in for `serde::Serialize`; derived by
@@ -44,11 +125,30 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker stand-in for `serde::Deserialize`.
+/// Types that can reconstruct themselves from a [`Value`].
 ///
-/// Nothing in the workspace deserializes (there is no `from_str` call
-/// site), so the derive only emits this marker impl.
-pub trait Deserialize {}
+/// The stand-in for `serde::Deserialize`; derived by
+/// `#[derive(Deserialize)]` from the local `serde_derive`. Unlike real
+/// serde's visitor-driven trait, this facade deserializes from the
+/// parsed value tree directly — sufficient for the request/report
+/// round-trips this workspace performs, and bit-exact for them (see
+/// `serde_json`'s tests).
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
 
 macro_rules! impl_ser_unsigned {
     ($($t:ty),*) => {$(
@@ -57,7 +157,19 @@ macro_rules! impl_ser_unsigned {
                 Value::U64(u64::from(*self))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {n} out of range for `{}`",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 impl_ser_unsigned!(u8, u16, u32, u64);
@@ -69,7 +181,19 @@ macro_rules! impl_ser_signed {
                 Value::I64(i64::from(*self))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {n} out of range for `{}`",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 impl_ser_signed!(i8, i16, i32, i64);
@@ -79,49 +203,90 @@ impl Serialize for usize {
         Value::U64(*self as u64)
     }
 }
-impl Deserialize for usize {}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let n = v.as_u64().ok_or_else(|| de::Error::expected("usize", v))?;
+        usize::try_from(n).map_err(|_| de::Error::custom(format!("integer {n} overflows `usize`")))
+    }
+}
 
 impl Serialize for isize {
     fn to_value(&self) -> Value {
         Value::I64(*self as i64)
     }
 }
-impl Deserialize for isize {}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let n = v.as_i64().ok_or_else(|| de::Error::expected("isize", v))?;
+        isize::try_from(n).map_err(|_| de::Error::custom(format!("integer {n} overflows `isize`")))
+    }
+}
 
 impl Serialize for u128 {
     fn to_value(&self) -> Value {
         Value::U128(*self)
     }
 }
-impl Deserialize for u128 {}
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            Value::U128(n) => Ok(n),
+            Value::U64(n) => Ok(u128::from(n)),
+            Value::I64(n) if n >= 0 => Ok(n as u128),
+            _ => Err(de::Error::expected("u128", v)),
+        }
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool().ok_or_else(|| de::Error::expected("bool", v))
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(f64::from(*self))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        // Widening f32 -> f64 at serialization is exact, so truncating
+        // back is a bit-exact round-trip for values that were f32.
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| de::Error::expected("f32", v))
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64().ok_or_else(|| de::Error::expected("f64", v))
+    }
+}
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::expected("string", v))
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -134,7 +299,18 @@ impl Serialize for char {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(format!(
+                "expected single-character string for `char`, got {s:?}"
+            ))),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -150,14 +326,30 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_array()
+            .ok_or_else(|| de::Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -170,30 +362,62 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| de::Error::expected("array", v))?;
+        if items.len() != N {
+            return Err(de::Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| de::Error::custom("array length changed during deserialization"))
+    }
+}
 
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
 }
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
 
 macro_rules! impl_ser_tuple {
-    ($(($($name:ident : $idx:tt),+))*) => {$(
+    ($(($($name:ident : $idx:tt),+; $arity:expr))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let items = v.as_array().ok_or_else(|| de::Error::expected("array", v))?;
+                if items.len() != $arity {
+                    return Err(de::Error::custom(format!(
+                        "expected {}-element array for tuple, got {}",
+                        $arity,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
     )*};
 }
 impl_ser_tuple! {
-    (A: 0)
-    (A: 0, B: 1)
-    (A: 0, B: 1, C: 2)
-    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
 }
 
 #[cfg(feature = "derive")]
@@ -204,7 +428,149 @@ pub mod ser {
     pub use crate::{Serialize, Value};
 }
 
-/// Internal namespace mirroring real serde's module layout.
+/// Deserialization support: the error type and the field-lookup helper
+/// the `#[derive(Deserialize)]` expansion calls. Mirrors real serde's
+/// module layout (`serde::de::Error`).
 pub mod de {
     pub use crate::Deserialize;
+    use crate::Value;
+
+    /// Deserialization failure: a human-readable description of the
+    /// first mismatch between the value tree and the target type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// An error with the given message (mirrors serde's
+        /// `de::Error::custom`).
+        pub fn custom(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+
+        /// A type-mismatch error: `expected`, but found `got`.
+        pub fn expected(expected: &str, got: &Value) -> Self {
+            Error::custom(format!("expected {expected}, got {}", kind_name(got)))
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Short description of a value's JSON kind, for error messages.
+    fn kind_name(v: &Value) -> &'static str {
+        match v {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) | Value::U128(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// Looks up `name` in an object's fields (last occurrence wins,
+    /// matching real serde_json) and deserializes it; `ty` names the
+    /// containing type for error messages. Called by derive expansions.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let v = fields
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` in `{ty}`")))?;
+        T::from_value(v).map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}")))
+    }
+
+    /// Like [`field`], for optional fields: a missing key yields the
+    /// type's default (e.g. `None` for `Option<_>`) instead of an
+    /// error. The derive macro routes `Option<...>`-typed fields here,
+    /// matching real serde's missing-equals-null default behavior.
+    pub fn field_opt<T: Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match fields.iter().rev().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i16::from_value(&(-3i16).to_value()), Ok(-3));
+        assert_eq!(u128::from_value(&(1u128 << 90).to_value()), Ok(1u128 << 90));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(f32::from_value(&1.1f32.to_value()), Ok(1.1f32));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        assert_eq!(char::from_value(&'x'.to_value()), Ok('x'));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::U64(7)), Ok(Some(7)));
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(<[u64; 2]>::from_value(&[3u64, 4].to_value()), Ok([3, 4]));
+        assert_eq!(
+            <(u8, String)>::from_value(&(5u8, "a".to_string()).to_value()),
+            Ok((5, "a".to_string()))
+        );
+    }
+
+    #[test]
+    fn range_and_kind_mismatches_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(i8::from_value(&Value::I64(-200)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(<[u8; 3]>::from_value(&vec![1u8, 2].to_value()).is_err());
+        assert!(char::from_value(&"ab".to_value()).is_err());
+    }
+
+    #[test]
+    fn value_accessors_cover_numeric_variants() {
+        assert_eq!(Value::U64(9).as_u64(), Some(9));
+        assert_eq!(Value::I64(-9).as_u64(), None);
+        assert_eq!(Value::U128(9).as_i64(), Some(9));
+        assert_eq!(Value::U64(9).as_f64(), Some(9.0));
+        assert_eq!(Value::F64(1.5).as_f64(), Some(1.5));
+        let obj = Value::Object(vec![
+            ("k".into(), Value::U64(1)),
+            ("k".into(), Value::U64(2)),
+        ]);
+        // Duplicate keys: last wins, as in real serde_json.
+        assert_eq!(obj.get("k"), Some(&Value::U64(2)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn field_helper_reports_context() {
+        let fields = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(de::field::<u64>(&fields, "a", "T"), Ok(1));
+        let err = de::field::<u64>(&fields, "b", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+        let err = de::field::<bool>(&fields, "a", "T").unwrap_err();
+        assert!(err.to_string().contains("field `a` of `T`"));
+    }
 }

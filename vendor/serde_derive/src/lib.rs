@@ -22,7 +22,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut pushes = String::new();
             for f in fields {
                 pushes.push_str(&format!(
-                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
                 ));
             }
             format!(
@@ -40,11 +41,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         v_name = v.name
                     )),
                     VariantFields::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut pushes = String::new();
                         for f in fields {
                             pushes.push_str(&format!(
-                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n",
+                                f = f.name
                             ));
                         }
                         arms.push_str(&format!(
@@ -88,13 +94,120 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("derived Serialize impl must parse")
 }
 
-/// Derives the marker `serde::Deserialize` impl.
+/// Derives `serde::Deserialize` (the local facade's `from_value`),
+/// consuming exactly the representation the derived `Serialize` emits:
+/// structs as objects, enums externally tagged (unit variants as bare
+/// strings, named/tuple variants as single-key objects).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("derived Deserialize impl must parse")
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                // `Option` fields tolerate a missing key (absent ==
+                // null == None), matching real serde's default.
+                let getter = if f.is_option { "field_opt" } else { "field" };
+                inits.push_str(&format!(
+                    "{f}: ::serde::de::{getter}(__fields, \"{f}\", \"{name}\")?,\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "let __fields = match __v {{\n\
+                 ::serde::Value::Object(fields) => fields,\n\
+                 _ => return ::std::result::Result::Err(::serde::de::Error::expected(\"object for `{name}`\", __v)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            // Unit variants deserialize from bare strings; payload
+            // variants from the single-key object the Serialize derive
+            // writes.
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let v_name = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{v_name}\" => ::std::result::Result::Ok({name}::{v_name}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let getter = if f.is_option { "field_opt" } else { "field" };
+                            inits.push_str(&format!(
+                                "{f}: ::serde::de::{getter}(__inner, \"{f}\", \"{name}::{v_name}\")?,\n",
+                                f = f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v_name}\" => {{\n\
+                             let __inner = match __payload {{\n\
+                             ::serde::Value::Object(inner) => inner,\n\
+                             _ => return ::std::result::Result::Err(::serde::de::Error::expected(\"object payload for `{name}::{v_name}`\", __payload)),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{v_name} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantFields::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{v_name}\" => ::std::result::Result::Ok({name}::{v_name}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__elems[{i}])?")
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{v_name}\" => {{\n\
+                                 let __elems = match __payload {{\n\
+                                 ::serde::Value::Array(elems) if elems.len() == {arity} => elems,\n\
+                                 _ => return ::std::result::Result::Err(::serde::de::Error::expected(\"{arity}-element array payload for `{name}::{v_name}`\", __payload)),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{v_name}({elems}))\n\
+                                 }},\n",
+                                elems = elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::de::Error::expected(\
+                 \"string or single-key object for `{name}`\", __v)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derived Deserialize impl must parse")
 }
 
 struct Item {
@@ -103,8 +216,16 @@ struct Item {
 }
 
 enum ItemKind {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// One named field: its identifier and whether its declared type is
+/// (syntactically) `Option<...>`, which Deserialize treats as
+/// optional-with-default.
+struct Field {
+    name: String,
+    is_option: bool,
 }
 
 struct Variant {
@@ -114,7 +235,7 @@ struct Variant {
 
 enum VariantFields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -164,23 +285,37 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
-/// Parses `name: Type, ...` named-field lists, returning field names.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Parses `name: Type, ...` named-field lists, returning field names
+/// and whether each type's leading path segment is `Option` (only the
+/// bare `Option<...>` spelling is recognized; a renamed or fully
+/// qualified option is treated as required, which fails closed).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut it = body.into_iter().peekable();
     loop {
         skip_attrs_and_vis(&mut it);
-        match it.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
             other => panic!("expected field name, got {other:?}"),
-        }
-        // Consume `: Type` up to the next top-level comma.
+        };
+        // Consume `: Type` up to the next top-level comma, noting the
+        // first identifier of the type.
+        let mut is_option = false;
+        let mut saw_colon = false;
+        let mut saw_type_ident = false;
         for tt in it.by_ref() {
-            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
-                break;
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == ',' => break,
+                TokenTree::Punct(p) if p.as_char() == ':' => saw_colon = true,
+                TokenTree::Ident(id) if saw_colon && !saw_type_ident => {
+                    saw_type_ident = true;
+                    is_option = id.to_string() == "Option";
+                }
+                _ => {}
             }
         }
+        fields.push(Field { name, is_option });
     }
     fields
 }

@@ -1,20 +1,346 @@
 //! Offline stand-in for `serde_json`: renders the local `serde`
-//! facade's [`serde::Value`] tree as JSON text (compact or pretty).
+//! facade's [`serde::Value`] tree as JSON text (compact or pretty) and
+//! parses JSON text back into values ([`from_str`]).
+//!
+//! The parsing subset covers what the workspace round-trips: objects,
+//! arrays, strings (all JSON escapes including surrogate pairs),
+//! numbers, booleans, and `null`. Numbers parse to the narrowest
+//! matching variant (`U64`, then `I64`, then `U128`, then `F64`), which
+//! mirrors how the serializer renders them; floating-point text uses
+//! Rust's correctly-rounded `str::parse::<f64>`, so values printed by
+//! [`to_string`] parse back bit-identically.
 
-use serde::{Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
-/// Serialization error. The facade's value model cannot fail to render,
-/// so this exists only for signature compatibility with real serde_json.
-#[derive(Debug)]
-pub struct Error(());
+/// Serialization or deserialization error, with a human-readable
+/// message (and, for parse errors, the byte offset of the problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: format!("{} at byte {pos}", msg.into()),
+        }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.msg)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses JSON text into a `T`.
+///
+/// The stand-in for `serde_json::from_str`: parses the full input (any
+/// trailing non-whitespace is an error) into a [`Value`] tree and hands
+/// it to `T`'s [`Deserialize`] impl.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_text(s)?;
+    T::from_value(&value).map_err(|e| Error { msg: e.to_string() })
+}
+
+/// Deserializes a `T` from an already-parsed [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(|e| Error { msg: e.to_string() })
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Maximum container nesting depth accepted by the parser, mirroring
+/// real serde_json's recursion limit (which defaults to 128). Deeper
+/// input errors out instead of risking a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one complete JSON document into a [`Value`].
+fn parse_value_text(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected {what}"), self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(
+                format!("invalid literal (expected `{lit}`)"),
+                self.pos,
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse("recursion limit exceeded", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(Error::parse("unexpected character", self.pos)),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[', "`[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{', "`{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "`:`")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "`\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the maximal escape-free run in one slice (the input
+            // is a &str, so unescaped runs are valid UTF-8 verbatim).
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("unescaped run of a &str stays valid UTF-8"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(Error::parse("control character in string", self.pos)),
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a low-surrogate pair.
+                    if !self.bytes[self.pos..].starts_with(b"\\u") {
+                        return Err(Error::parse("unpaired surrogate", self.pos));
+                    }
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(Error::parse("invalid low surrogate", self.pos));
+                    }
+                    let scalar =
+                        0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+                    char::from_u32(scalar)
+                        .ok_or_else(|| Error::parse("invalid surrogate pair", self.pos))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(Error::parse("unpaired surrogate", self.pos));
+                } else {
+                    char::from_u32(u32::from(hi))
+                        .ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?
+                };
+                out.push(c);
+            }
+            _ => return Err(Error::parse("invalid escape character", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let s = std::str::from_utf8(chunk)
+            .map_err(|_| Error::parse("non-ASCII in \\u escape", self.pos))?;
+        let v = u16::from_str_radix(s, 16)
+            .map_err(|_| Error::parse("invalid hex in \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero-led digit run (JSON forbids
+        // leading zeros).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::parse("expected digit", self.pos)),
+        }
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(Error::parse("leading zero in number", start));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse("expected digit after `.`", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse("expected digit in exponent", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number text is ASCII by construction");
+        if !is_float {
+            // Narrowest-first integer parse, mirroring the serializer's
+            // variant choice; integers too large even for u128 fall back
+            // to f64 (lossy, like the paper-results JSON never needs).
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Value::U64(n));
+                }
+                if let Ok(n) = text.parse::<u128>() {
+                    return Ok(Value::U128(n));
+                }
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::parse("invalid number", start))
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -135,5 +461,128 @@ mod tests {
         let v = vec![(String::from("k"), 1u64)];
         let s = to_string_pretty(&v).unwrap();
         assert_eq!(s, "[\n  [\n    \"k\",\n    1\n  ]\n]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<Value>("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str::<Value>("0").unwrap(), Value::U64(0));
+        assert_eq!(from_str::<Value>("1.5").unwrap(), Value::F64(1.5));
+        assert_eq!(from_str::<Value>("-0.25").unwrap(), Value::F64(-0.25));
+        assert_eq!(from_str::<Value>("2e3").unwrap(), Value::F64(2000.0));
+        assert_eq!(from_str::<Value>("2.5E-1").unwrap(), Value::F64(0.25));
+        let big = format!("{}", u128::from(u64::MAX) + 1);
+        assert_eq!(
+            from_str::<Value>(&big).unwrap(),
+            Value::U128(u128::from(u64::MAX) + 1)
+        );
+        assert_eq!(from_str::<u32>(" 19 ").unwrap(), 19);
+    }
+
+    #[test]
+    fn parses_strings_with_escapes() {
+        assert_eq!(from_str::<String>(r#""plain""#).unwrap(), "plain");
+        assert_eq!(
+            from_str::<String>(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            "a\"b\\c/d\n\t\r\u{8}\u{c}"
+        );
+        assert_eq!(from_str::<String>(r#""é""#).unwrap(), "é");
+        // Surrogate pair: U+1F600.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        // Raw (unescaped) UTF-8 passes through.
+        assert_eq!(from_str::<String>("\"héllo ✓\"").unwrap(), "héllo ✓");
+    }
+
+    #[test]
+    fn parses_containers() {
+        assert_eq!(from_str::<Vec<u8>>("[]").unwrap(), Vec::<u8>::new());
+        assert_eq!(from_str::<Vec<u8>>("[1, 2,3]").unwrap(), vec![1, 2, 3]);
+        let v = from_str::<Value>(r#"{"a": 1, "b": [true, null], "c": {"d": "x"}}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::U64(1)));
+        assert_eq!(
+            v.get("b"),
+            Some(&Value::Array(vec![Value::Bool(true), Value::Null]))
+        );
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&Value::Str("x".into())));
+        assert_eq!(from_str::<Value>("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "   ",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            r#"{"a" 1}"#,
+            r#"{"a": }"#,
+            r#"{"a": 1,}"#,
+            "[1],",
+            "tru",
+            "nul",
+            "01",
+            "-",
+            "1.",
+            "1e",
+            "+1",
+            r#""unterminated"#,
+            r#""bad \q escape""#,
+            r#""\u12"#,
+            r#""\ud83d""#,
+            r#""\ude00""#,
+            "\"ctrl \u{1} char\"",
+            "1 2",
+            "[1] extra",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_without_overflow() {
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(from_str::<Value>(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn round_trips_are_bit_identical() {
+        // Shortest-roundtrip Display + correctly-rounded parse means
+        // serialized f64s come back bit-for-bit.
+        for x in [
+            1.0f64,
+            -0.0,
+            0.1,
+            1e-300,
+            9.87654321e12,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+        ] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s}");
+        }
+        let v = vec![(String::from("k\n\"é"), vec![1u64, u64::MAX])];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(String, Vec<u64>)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        // Pretty output parses identically to compact output.
+        let p = to_string_pretty(&v).unwrap();
+        let back: Vec<(String, Vec<u64>)> = from_str(&p).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_value_matches_from_str() {
+        let v = to_value(&vec![3u32, 4]);
+        assert_eq!(from_value::<Vec<u32>>(&v).unwrap(), vec![3, 4]);
+        assert!(from_value::<bool>(&v).is_err());
     }
 }
