@@ -57,6 +57,9 @@ use snn_core::shape::ConvShape;
 use snn_core::spike::SpikeTensor;
 use spikegen::{FiringProfile, LayerSpec, ProfileKey};
 
+use crate::failpoint;
+use crate::sync::{lock_recover, wait_recover};
+
 /// Where [`ActivityCache`] may store and look up artifacts.
 ///
 /// Parsed from the `PTB_CACHE` environment variable by
@@ -152,8 +155,9 @@ impl ActivityKey {
 }
 
 /// FNV-1a over `bytes` — stable across platforms and releases, unlike
-/// `std`'s `Hasher`s, which make no such promise.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// `std`'s `Hasher`s, which make no such promise. Shared by the disk
+/// cache's entry names and `ptb-serve`'s job-journal record checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -223,7 +227,7 @@ struct InflightClaim<'a> {
 
 impl Drop for InflightClaim<'_> {
     fn drop(&mut self) {
-        let mut store = self.cache.tensors.lock().expect("tensor map lock");
+        let mut store = lock_recover(&self.cache.tensors);
         store.inflight.remove(&self.key);
         drop(store);
         self.cache.tensors_cv.notify_all();
@@ -300,7 +304,7 @@ impl ActivityCache {
         // Claim-or-wait: leave this loop either returning a hit or
         // holding the (released-on-drop) in-flight claim for `key`.
         let claim = {
-            let mut store = self.tensors.lock().expect("tensor map lock");
+            let mut store = lock_recover(&self.tensors);
             let mut waited = false;
             loop {
                 if let Some(hit) = store.map.get(&key) {
@@ -315,7 +319,7 @@ impl ActivityCache {
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
                     waited = true;
                 }
-                store = self.tensors_cv.wait(store).expect("tensor map lock (wait)");
+                store = wait_recover(&self.tensors_cv, store);
             }
             InflightClaim { cache: self, key }
         };
@@ -336,10 +340,7 @@ impl ActivityCache {
             }
         }
 
-        let out = self
-            .tensors
-            .lock()
-            .expect("tensor map lock")
+        let out = lock_recover(&self.tensors)
             .map
             .entry(key)
             .or_insert(made)
@@ -369,7 +370,7 @@ impl ActivityCache {
             shape,
         );
         if self.mode != CacheMode::Off {
-            if let Some(hit) = self.layers.lock().expect("layer map lock").get(&key) {
+            if let Some(hit) = lock_recover(&self.layers).get(&key) {
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
                 return hit.clone();
             }
@@ -382,9 +383,7 @@ impl ActivityCache {
         if self.mode == CacheMode::Off {
             return made;
         }
-        self.layers
-            .lock()
-            .expect("layer map lock")
+        lock_recover(&self.layers)
             .entry(key)
             .or_insert(made)
             .clone()
@@ -396,7 +395,13 @@ impl ActivityCache {
 
     /// Loads and verifies a disk entry; any mismatch, truncation, or
     /// I/O error yields `None` (the caller regenerates and rewrites).
+    ///
+    /// Failpoint `cache_disk_load` (`err`) simulates an unreadable
+    /// entry, forcing the regeneration fallback.
     fn load_disk(&self, key: &ActivityKey) -> Option<SpikeTensor> {
+        if failpoint::eval("cache_disk_load").is_err() {
+            return None;
+        }
         let bytes = std::fs::read(self.entry_path(key)).ok()?;
         decode_entry(&bytes, key)
     }
@@ -408,6 +413,9 @@ impl ActivityCache {
     fn store_disk(&self, key: &ActivityKey, spikes: &SpikeTensor) {
         let path = self.entry_path(key);
         let write = (|| -> std::io::Result<()> {
+            if failpoint::eval("cache_disk_store").is_err() {
+                return Err(std::io::Error::other("failpoint cache_disk_store"));
+            }
             std::fs::create_dir_all(&self.dir)?;
             let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
             std::fs::write(&tmp, encode_entry(key, spikes))?;

@@ -1,0 +1,242 @@
+//! Failpoints: deterministic fault injection for robustness tests.
+//!
+//! A *failpoint* is a named site in the code (worker dequeue, sweep
+//! shard execution, journal append/replay, disk-cache load/store) that
+//! can be armed to misbehave on demand:
+//!
+//! ```text
+//! PTB_FAILPOINTS="shard_exec=panic,cache_disk_load=err,journal_append=sleep:50:0.5"
+//! ```
+//!
+//! Each entry is `name=action`, entries separated by `,` or `;`.
+//! Actions:
+//!
+//! * `panic` — panic at the site (exercises `catch_unwind` containment)
+//! * `err` — make the site report failure through its normal error path
+//! * `sleep:MS` — delay the site by `MS` milliseconds (exercises
+//!   deadlines and "kill mid-job" windows without real slow work)
+//! * `off` — explicitly disarmed
+//!
+//! Any action may carry a trailing `:PROB` (a probability in `0..=1`);
+//! without one the action fires on every hit. Probabilistic draws use a
+//! process-local SplitMix64 counter, so runs are reproducible within a
+//! process but the draw sequence is shared across sites.
+//!
+//! Sites are expressed with the [`crate::failpoint!`] macro, which
+//! expands to [`eval`]: `panic` and `sleep` take effect inside `eval`;
+//! `err` surfaces as `Err(Triggered)` for the call site to convert into
+//! its own failure mode. When no failpoint has ever been armed, a hit
+//! costs two relaxed atomic loads and touches no locks — cheap enough
+//! to leave compiled into release builds, which is what lets the CI
+//! smoke stage inject crashes into the shipped binaries.
+//!
+//! Tests arm failpoints programmatically with [`set`]/[`clear`] (the
+//! environment is parsed once, lazily, and merges under the same
+//! registry). Failpoints are process-global: tests that arm them must
+//! serialize with each other.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    Panic,
+    Err,
+    Sleep(u64),
+    Off,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Armed {
+    action: Action,
+    /// Probability in `0..=1` that a hit fires; `1.0` = always.
+    prob: f64,
+}
+
+/// A failpoint armed with `err` fired: the site should fail through its
+/// normal error path (e.g. treat a disk entry as unreadable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triggered;
+
+/// `true` once any failpoint has ever been armed; the fast-path gate.
+static ARMED_ANY: AtomicBool = AtomicBool::new(false);
+
+/// SplitMix64 counter for probabilistic draws.
+static DRAW_STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Parses one action spec (`panic`, `err`, `sleep:MS`, `off`, each with
+/// an optional trailing `:PROB`).
+fn parse_action(spec: &str) -> Result<Armed, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (action, rest) = match parts[0] {
+        "panic" => (Action::Panic, &parts[1..]),
+        "err" => (Action::Err, &parts[1..]),
+        "off" => (Action::Off, &parts[1..]),
+        "sleep" => {
+            let ms = parts
+                .get(1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("sleep wants sleep:MS, got {spec:?}"))?;
+            (Action::Sleep(ms), &parts[2..])
+        }
+        other => return Err(format!("unknown failpoint action {other:?}")),
+    };
+    let prob = match rest {
+        [] => 1.0,
+        [p] => p
+            .parse::<f64>()
+            .ok()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| format!("bad probability {p:?} in {spec:?}"))?,
+        _ => return Err(format!("too many `:` parts in {spec:?}")),
+    };
+    Ok(Armed { action, prob })
+}
+
+/// Parses the `PTB_FAILPOINTS` environment variable into the registry.
+/// Bad entries warn on stderr and are skipped — a typo in a fault
+/// injection knob must never take the daemon down.
+fn init_from_env() {
+    let Ok(spec) = std::env::var("PTB_FAILPOINTS") else {
+        return;
+    };
+    for entry in spec.split([',', ';']).filter(|e| !e.trim().is_empty()) {
+        match entry.trim().split_once('=') {
+            Some((name, action)) => {
+                if let Err(e) = set(name.trim(), action.trim()) {
+                    eprintln!("warning: PTB_FAILPOINTS entry {entry:?} ignored: {e}");
+                }
+            }
+            None => eprintln!("warning: PTB_FAILPOINTS entry {entry:?} has no `=`; ignored"),
+        }
+    }
+}
+
+/// Arms failpoint `name` with `action` (same grammar as the
+/// `PTB_FAILPOINTS` entries, e.g. `"panic"`, `"sleep:50:0.5"`).
+pub fn set(name: &str, action: &str) -> Result<(), String> {
+    let armed = parse_action(action)?;
+    crate::sync::lock_recover(registry()).insert(name.to_string(), armed);
+    ARMED_ANY.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Disarms failpoint `name` (no-op when it was never armed).
+pub fn clear(name: &str) {
+    crate::sync::lock_recover(registry()).remove(name);
+}
+
+/// Disarms every failpoint (env-armed ones included).
+pub fn clear_all() {
+    crate::sync::lock_recover(registry()).clear();
+}
+
+/// One probabilistic draw in `[0, 1)` (SplitMix64).
+fn draw() -> f64 {
+    let mut z = DRAW_STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Evaluates failpoint `name`: panics or sleeps in place when armed so,
+/// returns `Err(Triggered)` for the `err` action, and `Ok(())` when
+/// disarmed (the overwhelmingly common case — two relaxed atomic loads).
+pub fn eval(name: &str) -> Result<(), Triggered> {
+    ENV_INIT.call_once(init_from_env);
+    if !ARMED_ANY.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let armed = match crate::sync::lock_recover(registry()).get(name) {
+        Some(a) => *a,
+        None => return Ok(()),
+    };
+    if armed.prob < 1.0 && draw() >= armed.prob {
+        return Ok(());
+    }
+    match armed.action {
+        Action::Off => Ok(()),
+        Action::Err => Err(Triggered),
+        Action::Sleep(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Action::Panic => panic!("failpoint {name} fired (action: panic)"),
+    }
+}
+
+/// Evaluates the failpoint `$name` (see [`eval`]): `panic`/`sleep`
+/// happen in place; `err` returns `Err(Triggered)` for the site to
+/// route into its own failure path.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        $crate::failpoint::eval($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoints are process-global; these tests use names no other
+    // test (or code path) touches, so they can run in parallel.
+
+    #[test]
+    fn disarmed_failpoints_are_noops() {
+        assert_eq!(eval("no-such-failpoint"), Ok(()));
+    }
+
+    #[test]
+    fn err_action_triggers_until_cleared() {
+        set("fp-test-err", "err").unwrap();
+        assert_eq!(eval("fp-test-err"), Err(Triggered));
+        clear("fp-test-err");
+        assert_eq!(eval("fp-test-err"), Ok(()));
+    }
+
+    #[test]
+    fn panic_action_panics_and_off_disarms() {
+        set("fp-test-panic", "panic").unwrap();
+        let caught = std::panic::catch_unwind(|| eval("fp-test-panic"));
+        assert!(caught.is_err(), "panic action must panic");
+        set("fp-test-panic", "off").unwrap();
+        assert_eq!(eval("fp-test-panic"), Ok(()));
+        clear("fp-test-panic");
+    }
+
+    #[test]
+    fn sleep_action_delays() {
+        set("fp-test-sleep", "sleep:30").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(eval("fp-test-sleep"), Ok(()));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        clear("fp-test-sleep");
+    }
+
+    #[test]
+    fn probability_zero_never_fires_and_specs_validate() {
+        set("fp-test-prob", "err:0.0").unwrap();
+        for _ in 0..50 {
+            assert_eq!(eval("fp-test-prob"), Ok(()));
+        }
+        clear("fp-test-prob");
+
+        assert!(parse_action("sleep").is_err(), "sleep needs MS");
+        assert!(parse_action("panic:2.0").is_err(), "prob beyond 1");
+        assert!(parse_action("explode").is_err(), "unknown action");
+        assert!(parse_action("sleep:10:0.25").is_ok());
+        assert!(parse_action("err:1.0").is_ok());
+    }
+}

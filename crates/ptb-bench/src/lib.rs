@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod failpoint;
 pub mod harness;
 pub mod plot;
+pub mod sync;
 
 pub use cache::{ActivityCache, ActivityKey, CacheMode, CacheStats};
 pub use harness::{

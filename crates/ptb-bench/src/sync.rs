@@ -1,0 +1,76 @@
+//! Poison-recovering lock helpers.
+//!
+//! `std`'s `Mutex` poisons itself when a thread panics while holding
+//! the guard, and every later `.lock()` returns `Err(PoisonError)`.
+//! For this workspace the data behind every lock stays consistent
+//! across a panic — each critical section either completes a whole
+//! insertion or changes nothing — so poisoning carries no information
+//! worth dying for. The service contains worker panics with
+//! `catch_unwind` (see `ptb-serve`), and these helpers make the lock
+//! layer match: a poisoned lock is recovered by taking the inner guard
+//! instead of propagating a second panic into `/metrics`, cache stats,
+//! or a waiting sweep shard.
+//!
+//! Every `Mutex`/`Condvar` use in `ptb-bench` and `ptb-serve` goes
+//! through these helpers rather than `.lock().expect(...)`.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering the reacquired guard from poison.
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering the guard from poison.
+/// Returns the guard and whether the wait timed out.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn poisoned_mutex_is_recovered_not_propagated() {
+        let m = Mutex::new(7u32);
+        // Poison it: panic while holding the guard on another thread.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = m.lock().unwrap();
+                panic!("poison the lock");
+            })
+            .join()
+        });
+        assert!(m.lock().is_err(), "the lock must actually be poisoned");
+        assert_eq!(*lock_recover(&m), 7, "recovery yields the inner value");
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recover_reports_timeouts() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock_recover(&m);
+        let (_g, timed_out) = wait_timeout_recover(&cv, g, Duration::from_millis(1));
+        assert!(timed_out);
+    }
+}

@@ -78,6 +78,10 @@ pub struct SimulateRequest {
     /// RNG seed for the synthetic activity. Defaults to 42 (the
     /// harness default).
     pub seed: Option<u64>,
+    /// Per-request deadline in milliseconds, measured from when the
+    /// connection was enqueued. Overrides the server's `PTB_DEADLINE_MS`
+    /// for this request; expiry answers `503` with `Retry-After`.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Body of `POST /sweep`: one network and policy over a range of TWs,
@@ -98,6 +102,10 @@ pub struct SweepRequest {
     /// `GET /jobs/{id}` instead of blocking until the sweep completes.
     /// Defaults to `false`.
     pub background: Option<bool>,
+    /// Per-request deadline in milliseconds, as in
+    /// [`SimulateRequest::deadline_ms`]. Synchronous sweeps that miss it
+    /// answer `503`; background sweeps ignore it past submission.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A validation failure; maps to `422 Unprocessable Content`.

@@ -4,19 +4,33 @@
 //! ```text
 //! ptb-load --addr HOST:PORT --smoke
 //! ptb-load --addr HOST:PORT --shutdown
+//! ptb-load --addr HOST:PORT --submit-tws 1,4,8      # background job, prints the ack
+//! ptb-load --addr HOST:PORT --poll-job ID           # poll to terminal state
 //! ptb-load --addr HOST:PORT [--requests N] [--concurrency C]
 //!          [--network NAME] [--policy LABEL] [--tw N]
-//!          [--seed-mode unique|fixed] [--full] [--label TEXT]
+//!          [--seed-mode unique|fixed] [--full] [--retries N] [--chaos]
+//!          [--label TEXT]
 //! ```
 //!
 //! Smoke mode drives `/healthz`, one quick `/simulate`, and `/metrics`,
 //! checking each response; it exits nonzero on any failure (the CI
 //! smoke stage runs this). `--shutdown` POSTs the `/shutdown` admin
-//! route and exits zero iff the daemon acknowledged it. Load mode runs
-//! `C` closed-loop workers
-//! (each issues a request, waits for the full response, repeats) until
-//! `N` total requests have completed, then prints a JSON summary with
-//! throughput and latency percentiles to stdout.
+//! route and exits zero iff the daemon acknowledged it. `--submit-tws`
+//! submits a background sweep and prints the `{"job": id}` ack;
+//! `--poll-job` polls `GET /jobs/{id}` until the job is done (exit 0)
+//! or failed (exit 1), printing the final poll body. Load mode runs
+//! `C` closed-loop workers (each issues a request, waits for the full
+//! response, repeats) until `N` total requests have completed, then
+//! prints a JSON summary with throughput and latency percentiles to
+//! stdout.
+//!
+//! Requests retry on connection errors and `503` with exponential
+//! backoff and decorrelated jitter, honoring the server's `Retry-After`
+//! header (`--retries 0` disables). `--chaos` makes each worker harass
+//! the daemon before every real request — dropped connections, short
+//! writes, garbage bytes — and demands convergence anyway: the run
+//! exits nonzero unless *every* request eventually succeeded through
+//! the retry loop.
 //!
 //! `--seed-mode unique` gives every request a distinct seed so each
 //! one misses the server's activity cache ("cold"); `fixed` reuses one
@@ -24,17 +38,20 @@
 //! isolates what the shared cache buys under load; `BENCH_serve.json`
 //! records exactly that comparison.
 
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ptb_serve::client;
+use ptb_serve::client::{self, RetryPolicy};
 
 struct LoadConfig {
     addr: SocketAddr,
     smoke: bool,
     shutdown: bool,
+    submit_tws: Option<Vec<u32>>,
+    poll_job: Option<u64>,
     requests: usize,
     concurrency: usize,
     network: String,
@@ -42,6 +59,8 @@ struct LoadConfig {
     tw: u32,
     quick: bool,
     seed_unique: bool,
+    retries: u32,
+    chaos: bool,
     label: String,
 }
 
@@ -59,6 +78,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(tws) = &cfg.submit_tws {
+        run_submit(&cfg, tws);
+        return;
+    }
+    if let Some(id) = cfg.poll_job {
+        run_poll(&cfg, id);
+        return;
     }
     if cfg.smoke {
         if let Err(msg) = run_smoke(&cfg) {
@@ -78,6 +105,8 @@ fn parse_args() -> LoadConfig {
             .expect("default address must parse"),
         smoke: false,
         shutdown: false,
+        submit_tws: None,
+        poll_job: None,
         requests: 16,
         concurrency: 4,
         network: "DVS-Gesture".into(),
@@ -85,6 +114,8 @@ fn parse_args() -> LoadConfig {
         tw: 8,
         quick: true,
         seed_unique: false,
+        retries: 5,
+        chaos: false,
         label: String::new(),
     };
     if let Ok(addr) = std::env::var("PTB_ADDR") {
@@ -102,6 +133,23 @@ fn parse_args() -> LoadConfig {
             "--addr" => cfg.addr = resolve_or_die(&value("--addr")),
             "--smoke" => cfg.smoke = true,
             "--shutdown" => cfg.shutdown = true,
+            "--submit-tws" => {
+                let spec = value("--submit-tws");
+                let tws: Option<Vec<u32>> = spec
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>().ok())
+                    .collect();
+                match tws {
+                    Some(tws) if !tws.is_empty() => cfg.submit_tws = Some(tws),
+                    _ => {
+                        eprintln!("error: --submit-tws wants N,N,..., got {spec:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--poll-job" => {
+                cfg.poll_job = Some(parse_or_die(&value("--poll-job"), "--poll-job") as u64);
+            }
             "--requests" => cfg.requests = parse_or_die(&value("--requests"), "--requests").max(1),
             "--concurrency" => {
                 cfg.concurrency = parse_or_die(&value("--concurrency"), "--concurrency").max(1);
@@ -118,12 +166,16 @@ fn parse_args() -> LoadConfig {
                     std::process::exit(2);
                 }
             },
+            "--retries" => cfg.retries = parse_or_die(&value("--retries"), "--retries") as u32,
+            "--chaos" => cfg.chaos = true,
             "--label" => cfg.label = value("--label"),
             "--help" | "-h" => {
                 println!(
                     "usage: ptb-load [--addr HOST:PORT] (--smoke | --shutdown | \
+                     --submit-tws N,N,... | --poll-job ID | \
                      [--requests N] [--concurrency C] [--network NAME] [--policy LABEL] \
-                     [--tw N] [--seed-mode unique|fixed] [--full] [--label TEXT])"
+                     [--tw N] [--seed-mode unique|fixed] [--full] [--retries N] \
+                     [--chaos] [--label TEXT])"
                 );
                 std::process::exit(0);
             }
@@ -151,6 +203,14 @@ fn parse_or_die(s: &str, flag: &str) -> usize {
         eprintln!("error: {flag} wants an integer, got {s:?}");
         std::process::exit(2);
     })
+}
+
+fn retry_policy(cfg: &LoadConfig, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: cfg.retries,
+        seed,
+        ..RetryPolicy::default()
+    }
 }
 
 fn simulate_body(cfg: &LoadConfig, seed: u64) -> String {
@@ -197,40 +257,165 @@ fn run_smoke(cfg: &LoadConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Submits a background sweep over the given TWs; prints the ack JSON
+/// (`{"job": id, "total": n}`) so scripts can capture the job id.
+fn run_submit(cfg: &LoadConfig, tws: &[u32]) {
+    let body = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": {tws:?}, \
+         \"quick\": {}, \"background\": true}}",
+        cfg.network, cfg.policy, cfg.quick
+    );
+    match client::request_with_retry(
+        cfg.addr,
+        "POST",
+        "/sweep",
+        body.as_bytes(),
+        &retry_policy(cfg, 0x5B317),
+    ) {
+        Ok(resp) if resp.status == 202 => {
+            println!("{}", String::from_utf8_lossy(&resp.body));
+        }
+        Ok(resp) => {
+            eprintln!(
+                "submit answered {}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Polls `GET /jobs/{id}` until the job is terminal; prints the final
+/// poll body. Exit 0 = done, 1 = failed (or unreachable).
+fn run_poll(cfg: &LoadConfig, id: u64) {
+    let path = format!("/jobs/{id}");
+    let policy = retry_policy(cfg, 0x9011 ^ id);
+    loop {
+        match client::request_with_retry(cfg.addr, "GET", &path, b"", &policy) {
+            Ok(resp) if resp.status == 200 => {
+                let body = String::from_utf8_lossy(&resp.body).to_string();
+                if body.contains("\"done\": true") {
+                    println!("{body}");
+                    return;
+                }
+                if body.contains("\"failed\": true") {
+                    println!("{body}");
+                    std::process::exit(1);
+                }
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "poll answered {}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body)
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("poll failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// One chaos disruption: open a connection and misbehave — drop it
+/// cold, send a short (truncated) write, or send garbage — exercising
+/// the daemon's robustness right before a real request.
+fn chaos_disrupt(addr: SocketAddr, draw: u64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return; // daemon busy: that's the load test's problem, not ours
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    match draw % 3 {
+        // Connect-and-drop: accepted, then EOF before any bytes.
+        0 => {}
+        // Short write: a valid head that promises more body than sent.
+        1 => {
+            let _ =
+                stream.write_all(b"POST /simulate HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"ne");
+        }
+        // Garbage bytes.
+        _ => {
+            let _ = stream.write_all(b"\xff\xfe\x00 not http at all \x01\x02");
+        }
+    }
+    drop(stream); // immediate close, whatever was (not) sent
+}
+
 /// Closed-loop load: `concurrency` workers issue requests until
-/// `requests` total complete; prints a JSON summary.
+/// `requests` total complete; prints a JSON summary. Under `--chaos`
+/// every request is preceded by a disruption and the run demands
+/// `ok == requests` (convergence through retries) to exit zero.
 fn run_load(cfg: &LoadConfig) {
     let issued = AtomicUsize::new(0);
     let errors = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
     let latencies_us: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(cfg.requests));
     let started = Instant::now();
 
     std::thread::scope(|s| {
-        for _ in 0..cfg.concurrency {
-            s.spawn(|| loop {
-                let i = issued.fetch_add(1, Ordering::Relaxed);
-                if i >= cfg.requests {
-                    return;
-                }
-                let seed = if cfg.seed_unique { 1000 + i as u64 } else { 42 };
-                let body = simulate_body(cfg, seed);
-                let t0 = Instant::now();
-                let ok = matches!(
-                    client::request_json(cfg.addr, "POST", "/simulate", &body),
-                    Ok((200, _))
-                );
-                let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                if ok {
-                    latencies_us.lock().expect("latency lock").push(us);
-                } else {
-                    errors.fetch_add(1, Ordering::Relaxed);
+        for worker in 0..cfg.concurrency {
+            let issued = &issued;
+            let errors = &errors;
+            let retried = &retried;
+            let latencies_us = &latencies_us;
+            s.spawn(move || {
+                let policy = retry_policy(cfg, 0xC0FFEE ^ worker as u64);
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= cfg.requests {
+                        return;
+                    }
+                    if cfg.chaos {
+                        chaos_disrupt(cfg.addr, (worker * 31 + i) as u64);
+                    }
+                    let seed = if cfg.seed_unique { 1000 + i as u64 } else { 42 };
+                    let body = simulate_body(cfg, seed);
+                    let t0 = Instant::now();
+                    let first =
+                        client::request_full(cfg.addr, "POST", "/simulate", body.as_bytes());
+                    let ok = match &first {
+                        Ok(resp) if resp.status == 200 => true,
+                        _ if cfg.retries > 0 => {
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            matches!(
+                                client::request_with_retry(
+                                    cfg.addr,
+                                    "POST",
+                                    "/simulate",
+                                    body.as_bytes(),
+                                    &policy,
+                                ),
+                                Ok(resp) if resp.status == 200
+                            )
+                        }
+                        _ => false,
+                    };
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    if ok {
+                        latencies_us
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(us);
+                    } else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         }
     });
 
     let wall = started.elapsed().as_secs_f64();
-    let mut lat = latencies_us.into_inner().expect("latency lock");
+    let mut lat = latencies_us
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     lat.sort_unstable();
     let pct = |q: f64| -> u64 {
         if lat.is_empty() {
@@ -242,18 +427,22 @@ fn run_load(cfg: &LoadConfig) {
     let ok = lat.len();
     println!(
         "{{\"label\": \"{}\", \"requests\": {}, \"ok\": {ok}, \"errors\": {}, \
+         \"retried\": {}, \"chaos\": {}, \
          \"concurrency\": {}, \"seed_mode\": \"{}\", \"wall_s\": {wall:.3}, \
          \"throughput_rps\": {:.3}, \"p50_us\": {}, \"p99_us\": {}}}",
         cfg.label,
         cfg.requests,
         errors.load(Ordering::Relaxed),
+        retried.load(Ordering::Relaxed),
+        cfg.chaos,
         cfg.concurrency,
         if cfg.seed_unique { "unique" } else { "fixed" },
         ok as f64 / wall.max(1e-9),
         pct(0.50),
         pct(0.99),
     );
-    if ok == 0 {
+    // Chaos demands convergence: every request must have gotten through.
+    if ok == 0 || (cfg.chaos && ok != cfg.requests) {
         std::process::exit(1);
     }
 }

@@ -1,14 +1,20 @@
 //! The `ptb-serve` daemon entry point.
 //!
 //! ```text
-//! ptb-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--port-file PATH]
+//! ptb-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--job-dir PATH|off] [--deadline-ms N] [--port-file PATH]
 //! ```
 //!
-//! Flags override the `PTB_ADDR` / `PTB_WORKERS` / `PTB_QUEUE_CAP`
-//! environment knobs. `--port-file` writes the bound port (one decimal
-//! line) after the listener is up — bind port 0 and read the file to
-//! get an ephemeral port race-free, which is how the CI smoke stage
-//! runs. The process exits when a client POSTs `/shutdown`.
+//! Flags override the `PTB_ADDR` / `PTB_WORKERS` / `PTB_QUEUE_CAP` /
+//! `PTB_JOB_DIR` / `PTB_DEADLINE_MS` environment knobs. `--job-dir`
+//! points the durable job journal somewhere other than the default
+//! `results/.jobs` (`off` disables persistence); on boot the journal is
+//! replayed, so background jobs survive crashes and `kill -9`.
+//! `--deadline-ms` sets the default request deadline (`0` = none).
+//! `--port-file` writes the bound port (one decimal line) after the
+//! listener is up — bind port 0 and read the file to get an ephemeral
+//! port race-free, which is how the CI smoke stage runs. The process
+//! exits when a client POSTs `/shutdown`.
 
 use ptb_serve::{Server, ServerConfig};
 
@@ -32,11 +38,22 @@ fn main() {
             "--queue-cap" => {
                 cfg.queue_cap = parse_or_die(&value("--queue-cap"), "--queue-cap").max(1);
             }
+            "--job-dir" => {
+                cfg.job_dir = match value("--job-dir").as_str() {
+                    "" | "off" | "none" => None,
+                    dir => Some(dir.into()),
+                };
+            }
+            "--deadline-ms" => {
+                let ms = parse_or_die(&value("--deadline-ms"), "--deadline-ms");
+                cfg.deadline_ms = (ms > 0).then_some(ms as u64);
+            }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => {
                 println!(
                     "usage: ptb-serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-cap N] [--port-file PATH]"
+                     [--queue-cap N] [--job-dir PATH|off] [--deadline-ms N] \
+                     [--port-file PATH]"
                 );
                 return;
             }
@@ -55,11 +72,16 @@ fn main() {
         }
     };
     eprintln!(
-        "ptb-serve listening on {} ({} workers, queue cap {}, cache {})",
+        "ptb-serve listening on {} ({} workers, queue cap {}, cache {}, jobs {}, deadline {})",
         server.addr(),
         cfg.workers,
         cfg.queue_cap,
         cfg.cache.label(),
+        cfg.job_dir
+            .as_deref()
+            .map_or("off".into(), |d| d.display().to_string()),
+        cfg.deadline_ms
+            .map_or("none".into(), |ms| format!("{ms} ms")),
     );
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, format!("{}\n", server.addr().port())) {

@@ -11,6 +11,18 @@ use std::time::Duration;
 /// Full-fidelity sweeps on one core can take minutes; be generous.
 pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// A parsed response: status, the server's `Retry-After` backpressure
+/// hint (seconds) when present, and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Seconds the server asked us to wait before retrying (`503`s).
+    pub retry_after: Option<u64>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
 /// Sends one request and returns `(status, body)`.
 ///
 /// The body is sent verbatim with a `Content-Length`; the response is
@@ -22,6 +34,16 @@ pub fn request(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    request_full(addr, method, path, body).map(|r| (r.status, r.body))
+}
+
+/// [`request`], keeping the `Retry-After` header for backoff decisions.
+pub fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
@@ -38,8 +60,8 @@ pub fn request(
     parse_response(&raw)
 }
 
-/// Splits a raw HTTP response into status code and body.
-fn parse_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+/// Splits a raw HTTP response into status, `Retry-After`, and body.
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let head_end = raw
         .windows(4)
@@ -52,7 +74,90 @@ fn parse_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("malformed status line"))?;
-    Ok((status, raw[head_end + 4..].to_vec()))
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse::<u64>().ok())
+            .flatten()
+    });
+    Ok(ClientResponse {
+        status,
+        retry_after,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// Retry schedule: exponential backoff with *decorrelated jitter*
+/// (`sleep = uniform(base, prev * 3)`, capped), the schedule that avoids
+/// both thundering herds and lockstep retry storms. A server-provided
+/// `Retry-After` floors the computed sleep — the client never comes
+/// back sooner than it was asked to.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first; 0 disables retrying.
+    pub max_retries: u32,
+    /// Smallest sleep between attempts.
+    pub base: Duration,
+    /// Largest sleep between attempts.
+    pub cap: Duration,
+    /// Jitter RNG seed (runs are reproducible per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(5),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The next sleep given the previous one (decorrelated jitter).
+    fn next_sleep(&self, prev: Duration, rng: &mut u64) -> Duration {
+        // SplitMix64 step for the uniform draw.
+        *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        let base = self.base.as_secs_f64();
+        let hi = (prev.as_secs_f64() * 3.0).max(base);
+        Duration::from_secs_f64((base + unit * (hi - base)).min(self.cap.as_secs_f64()))
+    }
+}
+
+/// [`request_full`] wrapped in the retry loop: connection errors and
+/// `503` responses are retried per `policy` (honoring `Retry-After`);
+/// any other response returns immediately. Exhausting the budget
+/// returns the last outcome, whatever it was.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    let mut rng = policy.seed;
+    let mut sleep = policy.base;
+    let mut last: std::io::Result<ClientResponse> = request_full(addr, method, path, body);
+    for _ in 0..policy.max_retries {
+        let retry_after = match &last {
+            Ok(resp) if resp.status == 503 => resp.retry_after,
+            Ok(_) => return last,
+            Err(_) => None,
+        };
+        sleep = policy.next_sleep(sleep, &mut rng);
+        if let Some(secs) = retry_after {
+            sleep = sleep.max(Duration::from_secs(secs)).min(policy.cap);
+        }
+        std::thread::sleep(sleep);
+        last = request_full(addr, method, path, body);
+    }
+    last
 }
 
 /// `request` with a JSON string body, returning the body as a string.
@@ -77,10 +182,43 @@ mod tests {
 
     #[test]
     fn parses_responses() {
-        let (status, body) =
-            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
-        assert_eq!((status, body.as_slice()), (200, &b"{}"[..]));
+        let r = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(
+            (r.status, r.body.as_slice(), r.retry_after),
+            (200, &b"{}"[..], None)
+        );
         assert!(parse_response(b"junk with no head end").is_err());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parses_retry_after() {
+        let r = parse_response(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!((r.status, r.retry_after), (503, Some(3)));
+        // Non-numeric (HTTP-date form) is ignored rather than an error.
+        let r =
+            parse_response(b"HTTP/1.1 503 X\r\nRetry-After: Tue, 01 Jan 2030 00:00:00 GMT\r\n\r\n")
+                .unwrap();
+        assert_eq!(r.retry_after, None);
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_within_bounds_and_grows() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 7,
+        };
+        let mut rng = policy.seed;
+        let mut sleep = policy.base;
+        for _ in 0..100 {
+            sleep = policy.next_sleep(sleep, &mut rng);
+            assert!(sleep >= policy.base, "below base: {sleep:?}");
+            assert!(sleep <= policy.cap, "above cap: {sleep:?}");
+        }
     }
 }

@@ -196,6 +196,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response payload.
     pub body: Vec<u8>,
+    /// When set, a `Retry-After: N` header (seconds) is emitted —
+    /// backpressure guidance on `503` responses.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -205,6 +208,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -218,13 +222,27 @@ impl Response {
                 serde_json::to_string(&detail).expect("string serialization"),
             )
             .into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// A `503 Service Unavailable` carrying `Retry-After` backpressure
+    /// guidance — the contract for a full queue or an expired deadline
+    /// (`ptb-load`'s retry loop honors the header).
+    pub fn unavailable(detail: &str, retry_after_secs: u64) -> Self {
+        let mut resp = Response::error(503, detail);
+        resp.retry_after = Some(retry_after_secs);
+        resp
     }
 
     /// Serializes the response to the wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let retry = self
+            .retry_after
+            .map(|s| format!("Retry-After: {s}\r\n"))
+            .unwrap_or_default();
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
@@ -337,5 +355,15 @@ mod tests {
         assert!(String::from_utf8(err.to_bytes())
             .unwrap()
             .contains("no such route"));
+    }
+
+    #[test]
+    fn unavailable_responses_carry_retry_after() {
+        let text = String::from_utf8(Response::unavailable("busy", 2).to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+
+        let plain = String::from_utf8(Response::error(503, "busy").to_bytes()).unwrap();
+        assert!(!plain.contains("Retry-After"), "{plain}");
     }
 }

@@ -10,14 +10,54 @@
 //! original index ([`ptb_bench::merge_shards`]), so row order matches
 //! [`ptb_bench::sweep_summary_cached`] regardless of which worker ran
 //! what in which order.
+//!
+//! ## Fault tolerance
+//!
+//! Each shard executes under `catch_unwind`: a panicking simulation
+//! moves the job to the terminal [`JobState::Failed`] (with the panic
+//! message as the reason) instead of unwinding through the worker pool,
+//! and wakes every waiter. Jobs constructed via [`SweepJob::resumed`]
+//! — replayed from the [`crate::journal::JobJournal`] after a restart —
+//! start with their journaled shards already complete and claim only
+//! the remainder. Deadline-aware callers pass a cutoff to
+//! [`SweepJob::run_shards_until`]; claiming stops at the deadline while
+//! already-running shards finish wherever they are.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use ptb_accel::config::Policy;
+use ptb_bench::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use ptb_bench::{merge_shards, sweep_point, ActivityCache, RunOptions, SweepRow};
 use spikegen::NetworkSpec;
+
+use crate::journal::JobJournal;
+
+/// Where a job stands, as reported by `GET /jobs/{id}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Shards are still being claimed or executed.
+    Running,
+    /// Every shard completed; rows are available.
+    Done,
+    /// A shard panicked (or an injected fault fired); terminal.
+    Failed {
+        /// Human-readable cause, e.g. the panic message.
+        reason: String,
+    },
+}
+
+/// Completion state behind the job's condvar: completed shard rows plus
+/// the failure reason, if any. One mutex guards both so waiters can
+/// wake on either terminal condition.
+#[derive(Debug, Default)]
+struct Progress {
+    done: Vec<(usize, SweepRow)>,
+    failed: Option<String>,
+}
 
 /// One sweep request, sharded by TW point.
 #[derive(Debug)]
@@ -30,53 +70,162 @@ pub struct SweepJob {
     pub tws: Vec<u32>,
     /// Fidelity/seed options for every shard.
     pub opts: RunOptions,
-    /// Next unclaimed shard index.
+    /// Shard indices still claimable (everything for a fresh job; the
+    /// unjournaled remainder for a resumed one).
+    claimable: Vec<usize>,
+    /// Next unclaimed position in `claimable`.
     next: AtomicUsize,
-    /// Completed shard results, original index attached.
-    done: Mutex<Vec<(usize, SweepRow)>>,
-    /// Signals completion of the final shard.
+    /// Completed shard rows + failure state.
+    progress: Mutex<Progress>,
+    /// Signals completion of the final shard, or failure.
     cv: Condvar,
+    /// When set, shard completions are journaled under this id.
+    journal: Option<(Arc<JobJournal>, u64)>,
 }
 
 impl SweepJob {
     /// Creates the job. No work happens until shards are claimed.
     pub fn new(spec: NetworkSpec, policy: Policy, tws: Vec<u32>, opts: RunOptions) -> Self {
+        let claimable = (0..tws.len()).collect();
         SweepJob {
             spec,
             policy,
             tws,
             opts,
+            claimable,
             next: AtomicUsize::new(0),
-            done: Mutex::new(Vec::new()),
+            progress: Mutex::new(Progress::default()),
             cv: Condvar::new(),
+            journal: None,
         }
     }
 
-    /// Claims and runs unclaimed shards until none remain. Returns the
-    /// number of shards this call ran. Safe to call from any number of
-    /// threads; each shard runs exactly once.
-    pub fn run_shards(&self, cache: &ActivityCache) -> usize {
+    /// A job replayed from the journal: `completed` shards are already
+    /// done (their rows load verbatim, never recomputed) and only the
+    /// remaining indices are claimable.
+    pub fn resumed(
+        spec: NetworkSpec,
+        policy: Policy,
+        tws: Vec<u32>,
+        opts: RunOptions,
+        completed: Vec<(usize, SweepRow)>,
+    ) -> Self {
+        let claimable = (0..tws.len())
+            .filter(|i| !completed.iter().any(|(j, _)| j == i))
+            .collect();
+        SweepJob {
+            spec,
+            policy,
+            tws,
+            opts,
+            claimable,
+            next: AtomicUsize::new(0),
+            progress: Mutex::new(Progress {
+                done: completed,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+            journal: None,
+        }
+    }
+
+    /// Attaches a journal: subsequent shard completions append
+    /// `shard` records under `id`, and the final one appends `done`.
+    pub fn with_journal(mut self, journal: Arc<JobJournal>, id: u64) -> Self {
+        self.journal = Some((journal, id));
+        self
+    }
+
+    /// Claims and runs unclaimed shards until none remain, the job
+    /// fails, or `deadline` passes. Returns the number of shards this
+    /// call ran. Safe to call from any number of threads; each shard
+    /// runs exactly once.
+    ///
+    /// A panicking shard is contained here: `panics` (when given) is
+    /// incremented, the job transitions to [`JobState::Failed`], and
+    /// the panic does not propagate. Failpoint `shard_exec` injects
+    /// faults at the execution site.
+    pub fn run_shards_until(
+        &self,
+        cache: &ActivityCache,
+        deadline: Option<Instant>,
+        panics: Option<&AtomicU64>,
+    ) -> usize {
         let mut ran = 0;
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.tws.len() {
+            if deadline.is_some_and(|d| Instant::now() >= d) || self.failed().is_some() {
                 return ran;
             }
-            let row = sweep_point(&self.spec, self.policy, self.tws[i], &self.opts, cache);
-            let mut done = self.done.lock().expect("sweep results lock");
-            done.push((i, row));
-            let complete = done.len() == self.tws.len();
-            drop(done);
-            if complete {
-                self.cv.notify_all();
+            let slot = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&index) = self.claimable.get(slot) else {
+                return ran;
+            };
+            let tw = self.tws[index];
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                ptb_bench::failpoint!("shard_exec").map_err(|_| ())?;
+                Ok::<SweepRow, ()>(sweep_point(&self.spec, self.policy, tw, &self.opts, cache))
+            }));
+            match outcome {
+                Ok(Ok(row)) => {
+                    if let Some((journal, id)) = &self.journal {
+                        journal.log_shard(*id, index, &row);
+                    }
+                    let mut progress = lock_recover(&self.progress);
+                    progress.done.push((index, row));
+                    let complete = progress.done.len() == self.tws.len();
+                    drop(progress);
+                    if complete {
+                        if let Some((journal, id)) = &self.journal {
+                            journal.log_done(*id);
+                        }
+                        self.cv.notify_all();
+                    }
+                    ran += 1;
+                }
+                Ok(Err(())) => {
+                    self.fail(format!(
+                        "shard {index} (tw={tw}): injected fault (shard_exec)"
+                    ));
+                    return ran;
+                }
+                Err(payload) => {
+                    if let Some(counter) = panics {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.fail(format!(
+                        "shard {index} (tw={tw}) panicked: {}",
+                        panic_message(&payload)
+                    ));
+                    return ran;
+                }
             }
-            ran += 1;
         }
+    }
+
+    /// [`Self::run_shards_until`] with no deadline and no panic counter.
+    pub fn run_shards(&self, cache: &ActivityCache) -> usize {
+        self.run_shards_until(cache, None, None)
+    }
+
+    /// Moves the job to [`JobState::Failed`] (first reason wins) and
+    /// wakes every waiter.
+    fn fail(&self, reason: String) {
+        let mut progress = lock_recover(&self.progress);
+        if progress.failed.is_none() && progress.done.len() < self.tws.len() {
+            progress.failed = Some(reason);
+        }
+        drop(progress);
+        self.cv.notify_all();
+    }
+
+    /// The failure reason, if the job failed.
+    pub fn failed(&self) -> Option<String> {
+        lock_recover(&self.progress).failed.clone()
     }
 
     /// Number of completed shards.
     pub fn completed(&self) -> usize {
-        self.done.lock().expect("sweep results lock").len()
+        lock_recover(&self.progress).done.len()
     }
 
     /// Whether every shard has completed.
@@ -84,21 +233,70 @@ impl SweepJob {
         self.completed() == self.tws.len()
     }
 
-    /// Blocks until every shard has completed.
+    /// The job's current state.
+    pub fn state(&self) -> JobState {
+        let progress = lock_recover(&self.progress);
+        if let Some(reason) = &progress.failed {
+            JobState::Failed {
+                reason: reason.clone(),
+            }
+        } else if progress.done.len() == self.tws.len() {
+            JobState::Done
+        } else {
+            JobState::Running
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state (done or failed).
     pub fn wait(&self) {
-        let mut done = self.done.lock().expect("sweep results lock");
-        while done.len() < self.tws.len() {
-            done = self.cv.wait(done).expect("sweep results lock (wait)");
+        let mut progress = lock_recover(&self.progress);
+        while progress.done.len() < self.tws.len() && progress.failed.is_none() {
+            progress = wait_recover(&self.cv, progress);
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state or `deadline`
+    /// passes; `true` iff the job is terminal.
+    pub fn wait_until(&self, deadline: Instant) -> bool {
+        let mut progress = lock_recover(&self.progress);
+        loop {
+            if progress.done.len() == self.tws.len() || progress.failed.is_some() {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, timed_out) = wait_timeout_recover(&self.cv, progress, remaining);
+            progress = guard;
+            if timed_out
+                && progress.done.len() < self.tws.len()
+                && progress.failed.is_none()
+                && Instant::now() >= deadline
+            {
+                return false;
+            }
         }
     }
 
     /// The merged rows, in requested TW order. `None` until complete.
     pub fn rows(&self) -> Option<Vec<SweepRow>> {
-        let done = self.done.lock().expect("sweep results lock");
-        if done.len() < self.tws.len() {
+        let progress = lock_recover(&self.progress);
+        if progress.done.len() < self.tws.len() {
             return None;
         }
-        Some(merge_shards(done.clone()))
+        Some(merge_shards(progress.done.clone()))
+    }
+}
+
+/// Renders a `catch_unwind` payload as the panic message when it is a
+/// string (the overwhelmingly common case), or a placeholder otherwise.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -111,32 +309,46 @@ impl SweepJob {
 #[derive(Debug, Default)]
 pub struct JobRegistry {
     jobs: Mutex<HashMap<u64, Arc<SweepJob>>>,
-    next_id: AtomicUsize,
+    next_id: AtomicU64,
 }
 
 /// Upper bound on registered background jobs.
 pub const MAX_JOBS: usize = 1024;
 
 impl JobRegistry {
-    /// Registers `job` and returns its id, or `None` when the registry
-    /// is full.
-    pub fn register(&self, job: Arc<SweepJob>) -> Option<u64> {
-        let mut jobs = self.jobs.lock().expect("job registry lock");
+    /// Reserves the next job id. Callers that journal need the id
+    /// before constructing the job; pair with [`Self::insert`].
+    pub fn reserve_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Ensures future [`Self::reserve_id`] calls return at least
+    /// `floor` — used at replay so fresh ids never collide with
+    /// journaled ones.
+    pub fn bump_next_id(&self, floor: u64) {
+        self.next_id.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Registers `job` under `id`; `false` when the registry is full.
+    pub fn insert(&self, id: u64, job: Arc<SweepJob>) -> bool {
+        let mut jobs = lock_recover(&self.jobs);
         if jobs.len() >= MAX_JOBS {
-            return None;
+            return false;
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u64;
         jobs.insert(id, job);
-        Some(id)
+        true
+    }
+
+    /// Registers `job` under a fresh id and returns it, or `None` when
+    /// the registry is full.
+    pub fn register(&self, job: Arc<SweepJob>) -> Option<u64> {
+        let id = self.reserve_id();
+        self.insert(id, job).then_some(id)
     }
 
     /// Looks up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<SweepJob>> {
-        self.jobs
-            .lock()
-            .expect("job registry lock")
-            .get(&id)
-            .cloned()
+        lock_recover(&self.jobs).get(&id).cloned()
     }
 }
 
@@ -160,8 +372,10 @@ mod tests {
         let cache = opts.new_cache();
         let job = quick_job(&[1, 4, 8]);
         assert!(!job.is_complete());
+        assert_eq!(job.state(), JobState::Running);
         assert_eq!(job.run_shards(&cache), 3);
         assert!(job.is_complete());
+        assert_eq!(job.state(), JobState::Done);
         let expected =
             sweep_summary_cached(&job.spec, job.policy, &job.tws, &opts, &opts.new_cache());
         assert_eq!(job.rows().unwrap(), expected);
@@ -190,6 +404,67 @@ mod tests {
     }
 
     #[test]
+    fn resumed_jobs_run_only_the_missing_shards() {
+        let opts = RunOptions::quick();
+        let cache = opts.new_cache();
+        let spec = spikegen::dvs_gesture();
+        let tws = vec![1u32, 4, 8];
+        let expected = sweep_summary_cached(&spec, Policy::ptb(), &tws, &opts, &cache);
+
+        // Pretend shard 1 was journaled with a sentinel row: resumption
+        // must keep it verbatim and run only shards 0 and 2.
+        let sentinel = SweepRow {
+            tw: 4,
+            energy_j: 0.5,
+            seconds: 0.25,
+            edp: 0.125,
+        };
+        let job = SweepJob::resumed(spec, Policy::ptb(), tws, opts, vec![(1, sentinel.clone())]);
+        assert_eq!(job.completed(), 1);
+        assert_eq!(job.run_shards(&cache), 2, "only two shards left to run");
+        let rows = job.rows().unwrap();
+        assert_eq!(rows[1], sentinel, "journaled row used verbatim");
+        assert_eq!(rows[0], expected[0]);
+        assert_eq!(rows[2], expected[2]);
+    }
+
+    #[test]
+    fn a_panicking_shard_fails_the_job_without_unwinding() {
+        let opts = RunOptions::quick();
+        let cache = opts.new_cache();
+        // An invalid TW makes `SimInputs::hpca22` assert: a real panic
+        // from deep inside the simulator, no failpoints needed.
+        let job = SweepJob::new(
+            spikegen::dvs_gesture(),
+            Policy::ptb(),
+            vec![4, 0],
+            RunOptions::quick(),
+        );
+        let panics = AtomicU64::new(0);
+        job.run_shards_until(&cache, None, Some(&panics));
+        let state = job.state();
+        let JobState::Failed { reason } = state else {
+            panic!("job must fail, got {state:?}");
+        };
+        assert!(reason.contains("tw=0"), "reason names the shard: {reason}");
+        assert_eq!(panics.load(Ordering::Relaxed), 1);
+        assert!(job.rows().is_none());
+        job.wait(); // failure is terminal: wait returns
+        assert!(job.wait_until(Instant::now()), "terminal before deadline");
+    }
+
+    #[test]
+    fn expired_deadlines_stop_claiming_before_work_starts() {
+        let opts = RunOptions::quick();
+        let cache = opts.new_cache();
+        let job = quick_job(&[1, 4]);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(job.run_shards_until(&cache, Some(past), None), 0);
+        assert_eq!(job.completed(), 0);
+        assert!(!job.wait_until(past), "deadline passed, job not terminal");
+    }
+
+    #[test]
     fn registry_hands_out_distinct_ids() {
         let reg = JobRegistry::default();
         let a = reg.register(Arc::new(quick_job(&[1]))).unwrap();
@@ -197,5 +472,8 @@ mod tests {
         assert_ne!(a, b);
         assert!(reg.get(a).is_some());
         assert!(reg.get(999).is_none());
+        reg.bump_next_id(500);
+        let c = reg.register(Arc::new(quick_job(&[4]))).unwrap();
+        assert!(c >= 500, "bumped floor respected, got {c}");
     }
 }

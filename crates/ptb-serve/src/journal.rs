@@ -1,0 +1,553 @@
+//! Durable job journal: crash-safe persistence of background sweep
+//! jobs across daemon restarts.
+//!
+//! Each background `/sweep` job gets one append-only file under the
+//! journal directory (`PTB_JOB_DIR`, default `results/.jobs/`):
+//!
+//! ```text
+//! job-<id-hex>.ptbj :=  MAGIC  record*
+//! record            :=  [payload len: u32 LE] [FNV-1a64(payload): u64 LE] [payload]
+//! payload           :=  JSON, one of:
+//!   {"type":"submit","id":N,"network":{...},"policy":"LABEL","tws":[...],"quick":B,"seed":N}
+//!   {"type":"shard","index":I,"row":{"tw":..,"energy_j":..,"seconds":..,"edp":..}}
+//!   {"type":"done"}
+//! ```
+//!
+//! The discipline mirrors the disk `ActivityCache`: every record
+//! carries its own FNV-1a checksum, appends are single `write` calls
+//! behind a lock (so records never interleave), and the
+//! recovery rewrite goes through a temp file + atomic rename. A job's
+//! rows are pure functions of its submit record, so the journal never
+//! needs fsync-grade durability to be *correct* — a lost tail record
+//! merely re-runs a shard on replay, bit-identically.
+//!
+//! ## Replay
+//!
+//! [`JobJournal::replay`] scans the directory at boot:
+//!
+//! * A file whose records all verify replays fully: a `done` job is
+//!   re-registered complete (rows served straight from the journal); an
+//!   unfinished one is resumed with only its *unjournaled* shards left
+//!   to run.
+//! * A torn tail or bit flip is detected by length/checksum framing.
+//!   If the submit record (and any prefix of shard records) survives,
+//!   the file is quarantined to `.bad`, the valid prefix is rewritten
+//!   atomically, and the job resumes from it (`recovered` counter).
+//!   If even the submit record is unreadable, the file is quarantined
+//!   and skipped (`discarded` counter). Replay never panics on any
+//!   byte sequence (property-tested by `tests/journal_corruption.rs`).
+//! * Submit records are re-validated through the same constructors as
+//!   wire requests ([`crate::api::resolve_network`]), so a tampered
+//!   journal cannot smuggle an invariant-violating spec into a worker.
+//!
+//! Failpoints `journal_append` and `journal_replay` inject faults at
+//! the obvious places (see `ptb_bench::failpoint`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ptb_accel::config::Policy;
+use ptb_bench::cache::fnv1a;
+use ptb_bench::sync::lock_recover;
+use ptb_bench::SweepRow;
+use spikegen::NetworkSpec;
+
+use crate::api;
+
+/// File-format magic + version prefix. Bump the digit on any change:
+/// stale files then fail the prefix check and are quarantined.
+const JOURNAL_MAGIC: &[u8; 8] = b"PTBJNL1\n";
+
+/// Counter snapshot describing what the journal has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Records successfully appended.
+    pub appends: u64,
+    /// Append attempts that failed (I/O error or injected fault);
+    /// the job keeps running, it just loses durability for that record.
+    pub append_errors: u64,
+    /// Files that lost their tail to corruption but had a valid prefix
+    /// salvaged and rewritten at replay.
+    pub recovered: u64,
+    /// Files quarantined wholesale at replay (no usable submit record).
+    pub discarded: u64,
+    /// Jobs replayed as already complete (rows served from disk).
+    pub reloaded_jobs: u64,
+    /// Unfinished jobs re-registered for resumption at replay.
+    pub resumed_jobs: u64,
+    /// Completed shard rows reloaded from disk instead of recomputed.
+    pub replayed_shards: u64,
+}
+
+/// One job reconstructed from its journal file by [`JobJournal::replay`].
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// The job's original id (clients keep polling the same URL).
+    pub id: u64,
+    /// Validated target network.
+    pub spec: NetworkSpec,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// TW points in requested order.
+    pub tws: Vec<u32>,
+    /// Reduced-fidelity flag of the original request.
+    pub quick: bool,
+    /// RNG seed of the original request.
+    pub seed: u64,
+    /// Journaled shard completions, `(original index, row)`.
+    pub shards: Vec<(usize, SweepRow)>,
+    /// Whether a `done` record closed the job (with every shard
+    /// present); `false` means the job must resume.
+    pub done: bool,
+}
+
+/// The durable job journal: one append-only checksummed file per
+/// background sweep job. See the module docs for format and replay
+/// semantics.
+#[derive(Debug)]
+pub struct JobJournal {
+    dir: PathBuf,
+    /// Serializes appends so concurrent shard completions of one job
+    /// never interleave record bytes.
+    append_lock: Mutex<()>,
+    appends: AtomicU64,
+    append_errors: AtomicU64,
+    recovered: AtomicU64,
+    discarded: AtomicU64,
+    reloaded_jobs: AtomicU64,
+    resumed_jobs: AtomicU64,
+    replayed_shards: AtomicU64,
+}
+
+impl JobJournal {
+    /// A journal rooted at `dir` (created lazily on first write).
+    pub fn new(dir: &Path) -> Self {
+        JobJournal {
+            dir: dir.to_path_buf(),
+            append_lock: Mutex::new(()),
+            appends: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+            reloaded_jobs: AtomicU64::new(0),
+            resumed_jobs: AtomicU64::new(0),
+            replayed_shards: AtomicU64::new(0),
+        }
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            append_errors: self.append_errors.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            reloaded_jobs: self.reloaded_jobs.load(Ordering::Relaxed),
+            resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
+            replayed_shards: self.replayed_shards.load(Ordering::Relaxed),
+        }
+    }
+
+    fn path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id:016x}.ptbj"))
+    }
+
+    /// Journals a job submission, creating (or truncating) its file.
+    /// Must be called before any [`Self::log_shard`] for `id`.
+    pub fn log_submit(
+        &self,
+        id: u64,
+        spec: &NetworkSpec,
+        policy: Policy,
+        tws: &[u32],
+        quick: bool,
+        seed: u64,
+    ) {
+        let network = match serde_json::to_string(spec) {
+            Ok(j) => j,
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let payload = format!(
+            "{{\"type\":\"submit\",\"id\":{id},\"network\":{network},\
+             \"policy\":{},\"tws\":{tws:?},\"quick\":{quick},\"seed\":{seed}}}",
+            serde_json::to_string(policy.label()).expect("string serialization"),
+        );
+        self.write_record(id, &payload, true);
+    }
+
+    /// Journals one completed shard of job `id`.
+    pub fn log_shard(&self, id: u64, index: usize, row: &SweepRow) {
+        let row_json = match serde_json::to_string(row) {
+            Ok(j) => j,
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let payload = format!("{{\"type\":\"shard\",\"index\":{index},\"row\":{row_json}}}");
+        self.write_record(id, &payload, false);
+    }
+
+    /// Journals job `id`'s completion (every shard row is on disk).
+    pub fn log_done(&self, id: u64) {
+        self.write_record(id, "{\"type\":\"done\"}", false);
+    }
+
+    /// Frames `payload` and appends it to the job file in one write.
+    /// Failures are counted and reported, never propagated: the journal
+    /// is a durability layer, not a correctness dependency.
+    fn write_record(&self, id: u64, payload: &str, fresh: bool) {
+        let path = self.path(id);
+        let result = (|| -> std::io::Result<()> {
+            if ptb_bench::failpoint!("journal_append").is_err() {
+                return Err(std::io::Error::other("failpoint journal_append"));
+            }
+            std::fs::create_dir_all(&self.dir)?;
+            let _serialized = lock_recover(&self.append_lock);
+            let mut file = if fresh {
+                let mut f = std::fs::File::create(&path)?;
+                f.write_all(JOURNAL_MAGIC)?;
+                f
+            } else {
+                std::fs::OpenOptions::new().append(true).open(&path)?
+            };
+            file.write_all(&frame_record(payload.as_bytes()))?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: journal append to {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Scans the journal directory and reconstructs every job it can,
+    /// quarantining anything corrupt. Never panics; see module docs.
+    pub fn replay(&self) -> Vec<ReplayedJob> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new(); // no directory yet: nothing journaled
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "ptbj")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("job-"))
+            })
+            .collect();
+        paths.sort(); // deterministic replay order
+        let mut jobs = Vec::new();
+        for path in paths {
+            if let Some(job) = self.replay_file(&path) {
+                if job.done {
+                    self.reloaded_jobs.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.resumed_jobs.fetch_add(1, Ordering::Relaxed);
+                }
+                self.replayed_shards
+                    .fetch_add(job.shards.len() as u64, Ordering::Relaxed);
+                jobs.push(job);
+            }
+        }
+        jobs
+    }
+
+    /// Replays one file; `None` means it was quarantined as unusable.
+    fn replay_file(&self, path: &Path) -> Option<ReplayedJob> {
+        let readable = ptb_bench::failpoint!("journal_replay").is_ok();
+        let bytes = if readable {
+            std::fs::read(path).unwrap_or_default()
+        } else {
+            Vec::new() // injected fault: file reads as empty
+        };
+        let (records, clean) = parse_records(&bytes);
+        let Some(job) = interpret_records(&records) else {
+            // No usable submit record: quarantine the whole file.
+            self.quarantine(path);
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        // `interpret_records` may have consumed fewer records than the
+        // framing yielded (semantically bad tail): that also counts as
+        // corruption to salvage away.
+        let salvageable = job.valid_records;
+        if !clean || salvageable < records.len() {
+            self.quarantine(path);
+            if self.rewrite(path, &records[..salvageable]).is_err() {
+                // Could not persist the salvage; the job still resumes
+                // this boot, it just lost its journaled prefix on disk.
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.recovered.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(job.job)
+    }
+
+    /// Renames `path` to `path.bad` (best-effort).
+    fn quarantine(&self, path: &Path) {
+        let mut bad = path.as_os_str().to_owned();
+        bad.push(".bad");
+        if let Err(e) = std::fs::rename(path, &bad) {
+            eprintln!("warning: could not quarantine {}: {e}", path.display());
+        }
+    }
+
+    /// Atomically rewrites `path` with the given record payloads
+    /// (temp file + rename, matching the disk cache's discipline).
+    fn rewrite(&self, path: &Path, records: &[Vec<u8>]) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(
+            JOURNAL_MAGIC.len() + records.iter().map(|r| r.len() + 12).sum::<usize>(),
+        );
+        out.extend_from_slice(JOURNAL_MAGIC);
+        for payload in records {
+            out.extend_from_slice(&frame_record(payload));
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Frames one record: `[len u32 LE][fnv1a u64 LE][payload]`.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("short record")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits `bytes` into verified record payloads. Returns the payloads
+/// and whether the whole file parsed cleanly (`false` = torn or
+/// corrupt tail after the returned prefix).
+fn parse_records(bytes: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let Some(mut rest) = bytes.strip_prefix(JOURNAL_MAGIC.as_slice()) else {
+        return (Vec::new(), bytes.is_empty());
+    };
+    let mut records = Vec::new();
+    while !rest.is_empty() {
+        let Some((header, after)) = rest.split_at_checked(12) else {
+            return (records, false);
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        let Some((payload, after)) = after.split_at_checked(len) else {
+            return (records, false);
+        };
+        if fnv1a(payload) != sum {
+            return (records, false);
+        }
+        records.push(payload.to_vec());
+        rest = after;
+    }
+    (records, true)
+}
+
+/// A replayed job plus how many leading records were semantically valid
+/// (framing-valid records past a semantic error are salvaged away).
+struct Interpreted {
+    job: ReplayedJob,
+    valid_records: usize,
+}
+
+/// Interprets verified record payloads into a job. `None` when the
+/// submit record is missing or invalid (file is unusable).
+fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
+    let submit: serde_json::Value = parse_json(records.first()?)?;
+    if submit.get("type")?.as_str()? != "submit" {
+        return None;
+    }
+    let id = submit.get("id")?.as_u64()?;
+    let spec: NetworkSpec = serde_json::from_value(submit.get("network")?).ok()?;
+    // Same validation as wire requests: constructors must round-trip.
+    let spec = api::resolve_network(&api::NetworkRef::Inline(spec)).ok()?;
+    let policy = Policy::from_label(submit.get("policy")?.as_str()?)?;
+    let tws: Vec<u32> = serde_json::from_value(submit.get("tws")?).ok()?;
+    api::validate_tws(&tws).ok()?;
+    let quick = submit.get("quick")?.as_bool()?;
+    let seed = submit.get("seed")?.as_u64()?;
+
+    let mut shards: Vec<(usize, SweepRow)> = Vec::new();
+    let mut done = false;
+    let mut valid_records = 1;
+    for payload in &records[1..] {
+        let Some(record) = parse_json(payload) else {
+            break;
+        };
+        match record.get("type").and_then(|t| t.as_str()) {
+            Some("shard") => {
+                let parsed = (|| {
+                    let index = record.get("index")?.as_u64()? as usize;
+                    let row: SweepRow = serde_json::from_value(record.get("row")?).ok()?;
+                    (index < tws.len() && row.tw == tws[index]).then_some((index, row))
+                })();
+                let Some((index, row)) = parsed else {
+                    break;
+                };
+                if !shards.iter().any(|(i, _)| *i == index) {
+                    shards.push((index, row));
+                }
+            }
+            Some("done") => done = true,
+            _ => break,
+        }
+        valid_records += 1;
+    }
+    // A `done` marker only counts with every shard present; otherwise
+    // the job resumes (and re-finishes) from what survived.
+    if shards.len() != tws.len() {
+        done = false;
+    }
+    Some(Interpreted {
+        job: ReplayedJob {
+            id,
+            spec,
+            policy,
+            tws,
+            quick,
+            seed,
+            shards,
+            done,
+        },
+        valid_records,
+    })
+}
+
+/// UTF-8 + JSON parse of one payload, `None` on any failure.
+fn parse_json(payload: &[u8]) -> Option<serde_json::Value> {
+    serde_json::from_str(std::str::from_utf8(payload).ok()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ptb-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn row(tw: u32, x: f64) -> SweepRow {
+        SweepRow {
+            tw,
+            energy_j: x,
+            seconds: x * 0.5,
+            edp: x * x * 0.5,
+        }
+    }
+
+    #[test]
+    fn submit_shards_done_roundtrip_through_replay() {
+        let dir = tmp_dir("roundtrip");
+        let journal = JobJournal::new(&dir);
+        let spec = spikegen::dvs_gesture();
+        let tws = vec![1u32, 4, 8];
+        journal.log_submit(3, &spec, Policy::ptb(), &tws, true, 42);
+        journal.log_shard(3, 1, &row(4, 1.25));
+        journal.log_shard(3, 0, &row(1, 2.5));
+
+        let fresh = JobJournal::new(&dir);
+        let jobs = fresh.replay();
+        assert_eq!(jobs.len(), 1);
+        let job = &jobs[0];
+        assert_eq!((job.id, job.quick, job.seed), (3, true, 42));
+        assert_eq!(job.spec, spec);
+        assert_eq!(job.policy, Policy::ptb());
+        assert_eq!(job.tws, tws);
+        assert!(!job.done, "no done record: job must resume");
+        assert_eq!(job.shards, vec![(1, row(4, 1.25)), (0, row(1, 2.5))]);
+        let stats = fresh.stats();
+        assert_eq!((stats.recovered, stats.discarded), (0, 0));
+        assert_eq!((stats.resumed_jobs, stats.replayed_shards), (1, 2));
+
+        // Completing the job flips replay to a reload.
+        journal.log_shard(3, 2, &row(8, 0.5));
+        journal.log_done(3);
+        let done = JobJournal::new(&dir);
+        let jobs = done.replay();
+        assert!(jobs[0].done);
+        assert_eq!(done.stats().reloaded_jobs, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_and_quarantined() {
+        let dir = tmp_dir("torn");
+        let journal = JobJournal::new(&dir);
+        let spec = spikegen::dvs_gesture();
+        journal.log_submit(1, &spec, Policy::ptb(), &[1, 4], true, 7);
+        journal.log_shard(1, 0, &row(1, 2.0));
+        let path = journal.path(1);
+        let bytes = std::fs::read(&path).unwrap();
+        // Tear the last record in half.
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let fresh = JobJournal::new(&dir);
+        let jobs = fresh.replay();
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].shards.is_empty(), "torn shard must not replay");
+        assert!(!jobs[0].done);
+        let stats = fresh.stats();
+        assert_eq!((stats.recovered, stats.discarded), (1, 0));
+        let bad: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "bad"))
+            .collect();
+        assert_eq!(bad.len(), 1, "original must be quarantined");
+
+        // The rewritten file is clean: a second replay recovers nothing.
+        let again = JobJournal::new(&dir);
+        let jobs = again.replay();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(again.stats().recovered, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_files_are_discarded_not_panicked_on() {
+        let dir = tmp_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("job-00ff.ptbj"), b"not a journal at all").unwrap();
+        let journal = JobJournal::new(&dir);
+        assert!(journal.replay().is_empty());
+        assert_eq!(journal.stats().discarded, 1);
+        assert!(dir.join("job-00ff.ptbj.bad").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_without_all_shards_resumes_instead() {
+        let dir = tmp_dir("early-done");
+        let journal = JobJournal::new(&dir);
+        journal.log_submit(9, &spikegen::dvs_gesture(), Policy::ptb(), &[1, 4], true, 1);
+        journal.log_shard(9, 0, &row(1, 3.0));
+        journal.log_done(9); // lies: shard 1 is missing
+        let fresh = JobJournal::new(&dir);
+        let jobs = fresh.replay();
+        assert!(!jobs[0].done, "done without full rows must resume");
+        assert_eq!(jobs[0].shards.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

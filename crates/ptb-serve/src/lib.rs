@@ -12,12 +12,12 @@
 //!
 //! | Route | Body | Response |
 //! |---|---|---|
-//! | `POST /simulate` | `{"network", "policy", "tw", "quick"?, "seed"?}` | `NetworkReport` JSON |
-//! | `POST /sweep` | `{"network", "policy", "tws", "quick"?, "seed"?, "background"?}` | `[SweepRow]`, or `202 {"job": id}` |
-//! | `GET /jobs/{id}` | — | job status + rows when done |
-//! | `GET /metrics` | — | counters, latency percentiles, cache stats |
+//! | `POST /simulate` | `{"network", "policy", "tw", "quick"?, "seed"?, "deadline_ms"?}` | `NetworkReport` JSON |
+//! | `POST /sweep` | `{"network", "policy", "tws", "quick"?, "seed"?, "background"?, "deadline_ms"?}` | `[SweepRow]`, or `202 {"job": id}` |
+//! | `GET /jobs/{id}` | — | job status + rows when done, or `"failed"` + reason |
+//! | `GET /metrics` | — | counters, latency percentiles, cache + journal stats |
 //! | `GET /healthz` | — | `{"status": "ok"}` |
-//! | `POST /shutdown` | — | responds, then stops the daemon |
+//! | `POST /shutdown` | — | responds, then drains and stops the daemon |
 //!
 //! `network` is a built-in name (`DVS-Gesture`, `CIFAR10-DVS`,
 //! `AlexNet`, `CIFAR10`) or a full inline `NetworkSpec`; `policy` is a
@@ -27,10 +27,19 @@
 //! `ptb_bench::sweep_summary_cached` (pinned by
 //! `tests/service_roundtrip.rs`).
 //!
-//! See `docs/ARCHITECTURE.md` ("The simulation service") for the
-//! request lifecycle and the deadlock-free sweep sharding design, and
-//! `EXPERIMENTS.md` for the `PTB_ADDR` / `PTB_WORKERS` /
-//! `PTB_QUEUE_CAP` knobs and the `ptb-load` load generator.
+//! Background jobs are crash-safe: each is append-journaled under
+//! `PTB_JOB_DIR` (checksummed records; replayed on boot so unfinished
+//! jobs resume under their original ids without recomputing journaled
+//! shards). Worker panics are contained (`Failed` job state, not a
+//! dead daemon), deadlines (`PTB_DEADLINE_MS` or per-request
+//! `deadline_ms`) shed expired work with `503` + `Retry-After`, and
+//! the [`client`] retries with decorrelated-jitter backoff.
+//!
+//! See `docs/ARCHITECTURE.md` ("The simulation service", "Failure
+//! modes and recovery") for the request lifecycle, sweep sharding, and
+//! journal design, and `EXPERIMENTS.md` for the `PTB_ADDR` /
+//! `PTB_WORKERS` / `PTB_QUEUE_CAP` / `PTB_JOB_DIR` / `PTB_DEADLINE_MS`
+//! / `PTB_FAILPOINTS` knobs and the `ptb-load` load generator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +48,7 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod metrics;
 pub mod server;
 

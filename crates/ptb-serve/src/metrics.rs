@@ -113,6 +113,12 @@ pub struct Metrics {
     pub rejected_queue_full: AtomicU64,
     /// Requests that failed to parse (4xx before routing).
     pub bad_requests: AtomicU64,
+    /// Panics caught by a worker's `catch_unwind` containment (a shard
+    /// or handler panicked; the daemon kept running).
+    pub panics_contained: AtomicU64,
+    /// Requests answered `503` because their deadline (`PTB_DEADLINE_MS`
+    /// or the request's `deadline_ms`) expired at dequeue or mid-sweep.
+    pub deadline_expired: AtomicU64,
     /// Per-endpoint counters, keyed by route.
     pub simulate: EndpointMetrics,
     /// `/sweep` counters.

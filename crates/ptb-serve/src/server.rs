@@ -5,10 +5,11 @@
 //!
 //! The acceptor thread owns the listening socket. Each accepted
 //! connection becomes a `Work::Conn` item on the bounded queue (or is
-//! answered `503` on the spot when the queue is full — backpressure is
-//! explicit, never an unbounded buffer). A pool worker dequeues the
-//! connection, reads and routes the request, runs the simulation on its
-//! own thread, and writes the response. One request per connection.
+//! answered `503` + `Retry-After` on the spot when the queue is full —
+//! backpressure is explicit, never an unbounded buffer). A pool worker
+//! dequeues the connection, reads and routes the request, runs the
+//! simulation on its own thread, and writes the response. One request
+//! per connection.
 //!
 //! ## Sharded sweeps without deadlock
 //!
@@ -21,6 +22,25 @@
 //! that are themselves waiting. Results merge by original index,
 //! matching `ptb_bench::sweep_summary_cached` exactly.
 //!
+//! ## Fault tolerance
+//!
+//! Background jobs are journaled ([`crate::journal::JobJournal`]) when
+//! a job directory is configured: submissions, per-shard completions,
+//! and completion are appended durably, and [`Server::start`] replays
+//! the journal so a crashed daemon resumes unfinished jobs — with their
+//! original ids and without recomputing journaled shards. Journaling is
+//! deliberately restricted to background jobs: the synchronous
+//! `/simulate` and `/sweep` paths never touch the journal, so warm
+//! request throughput is unaffected.
+//!
+//! Workers run every dequeued item under `catch_unwind`: a panicking
+//! handler answers `500`, a panicking shard fails its job (see
+//! [`SweepJob::run_shards_until`]), and either way the worker survives
+//! (`panics_contained` in `/metrics`). Deadlines (`PTB_DEADLINE_MS`, or
+//! a request's `deadline_ms`) are checked at dequeue and between sweep
+//! shards; expiry answers `503` + `Retry-After`. `POST /shutdown`
+//! drains gracefully: queued work completes, new pushes fail.
+//!
 //! ## Shared cache
 //!
 //! All workers share one [`ActivityCache`]: concurrent requests for the
@@ -30,16 +50,25 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use ptb_bench::sync::{lock_recover, wait_recover};
 use ptb_bench::{run_network_cached, ActivityCache, CacheMode, RunOptions};
 
 use crate::api;
 use crate::http::{read_request, Request, RequestError, Response, READ_TIMEOUT};
-use crate::jobs::{JobRegistry, SweepJob};
+use crate::jobs::{panic_message, JobRegistry, JobState, SweepJob};
+use crate::journal::JobJournal;
 use crate::metrics::Metrics;
+
+/// `Retry-After` seconds suggested on backpressure responses. The
+/// service's work items are sub-second in quick mode and a few seconds
+/// at full fidelity, so "come back in a second" is honest guidance.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Server configuration; see [`ServerConfig::from_env`] for the
 /// environment knobs.
@@ -54,6 +83,15 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Cache mode for the shared [`ActivityCache`].
     pub cache: CacheMode,
+    /// Directory for the durable job journal; `None` disables
+    /// persistence (background jobs then live only in memory). The
+    /// daemon defaults to `results/.jobs` via [`ServerConfig::from_env`];
+    /// embedded/test servers opt in explicitly.
+    pub job_dir: Option<PathBuf>,
+    /// Default per-request deadline in milliseconds, measured from
+    /// enqueue; `None` means no deadline. Requests may override with
+    /// their own `deadline_ms`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +104,8 @@ impl Default for ServerConfig {
                 .max(2),
             queue_cap: 64,
             cache: CacheMode::Mem,
+            job_dir: None,
+            deadline_ms: None,
         }
     }
 }
@@ -73,8 +113,11 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Reads `PTB_ADDR` (bind address, default `127.0.0.1:7878`),
     /// `PTB_WORKERS` (pool size, default `max(2, cores)`),
-    /// `PTB_QUEUE_CAP` (queue bound, default 64), and `PTB_CACHE`
-    /// (shared cache mode, default `mem`).
+    /// `PTB_QUEUE_CAP` (queue bound, default 64), `PTB_CACHE`
+    /// (shared cache mode, default `mem`), `PTB_JOB_DIR` (job journal
+    /// directory, default `results/.jobs`; `off`/`none`/empty disables),
+    /// and `PTB_DEADLINE_MS` (default request deadline; `0` or unset
+    /// means none).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(addr) = std::env::var("PTB_ADDR") {
@@ -93,14 +136,26 @@ impl ServerConfig {
             cfg.queue_cap = n.max(1);
         }
         cfg.cache = CacheMode::from_env();
+        cfg.job_dir = match std::env::var("PTB_JOB_DIR") {
+            Ok(dir) => match dir.trim() {
+                "" | "off" | "none" => None,
+                other => Some(PathBuf::from(other)),
+            },
+            Err(_) => Some(PathBuf::from("results/.jobs")),
+        };
+        cfg.deadline_ms = std::env::var("PTB_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0);
         cfg
     }
 }
 
 /// A unit of work for the pool.
 enum Work {
-    /// An accepted connection with a request to read.
-    Conn(TcpStream),
+    /// An accepted connection with a request to read, stamped with its
+    /// enqueue time so deadlines cover queue wait.
+    Conn(TcpStream, Instant),
     /// A sweep with unclaimed shards; the worker claims until dry.
     Shard(Arc<SweepJob>),
 }
@@ -124,7 +179,7 @@ impl Queue {
     /// Enqueues unless full or closed; on rejection the item is handed
     /// back so the caller can respond to (or drop) it.
     fn push(&self, work: Work) -> Result<(), Work> {
-        let mut guard = self.items.lock().expect("work queue lock");
+        let mut guard = lock_recover(&self.items);
         if guard.1 || guard.0.len() >= self.cap {
             return Err(work);
         }
@@ -136,7 +191,7 @@ impl Queue {
 
     /// Dequeues, blocking. `None` once the queue is closed and drained.
     fn pop(&self) -> Option<Work> {
-        let mut guard = self.items.lock().expect("work queue lock");
+        let mut guard = lock_recover(&self.items);
         loop {
             if let Some(work) = guard.0.pop_front() {
                 return Some(work);
@@ -144,19 +199,19 @@ impl Queue {
             if guard.1 {
                 return None;
             }
-            guard = self.cv.wait(guard).expect("work queue lock (wait)");
+            guard = wait_recover(&self.cv, guard);
         }
     }
 
     /// Closes the queue: queued work still drains, new pushes fail, and
     /// idle workers wake to exit.
     fn close(&self) {
-        self.items.lock().expect("work queue lock").1 = true;
+        lock_recover(&self.items).1 = true;
         self.cv.notify_all();
     }
 
     fn len(&self) -> usize {
-        self.items.lock().expect("work queue lock").0.len()
+        lock_recover(&self.items).0.len()
     }
 }
 
@@ -165,8 +220,10 @@ struct Shared {
     cache: ActivityCache,
     metrics: Metrics,
     jobs: JobRegistry,
+    journal: Option<Arc<JobJournal>>,
     queue: Queue,
     workers: usize,
+    deadline: Option<Duration>,
     shutdown: AtomicBool,
 }
 
@@ -179,18 +236,31 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds and starts the acceptor and worker threads.
+    /// Binds, replays the job journal (when configured), and starts the
+    /// acceptor and worker threads. Unfinished journaled jobs are
+    /// re-registered under their original ids and their remaining
+    /// shards offered to the pool.
     pub fn start(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let journal = cfg
+            .job_dir
+            .as_deref()
+            .map(|dir| Arc::new(JobJournal::new(dir)));
         let shared = Arc::new(Shared {
             cache: ActivityCache::new(cfg.cache),
             metrics: Metrics::default(),
             jobs: JobRegistry::default(),
+            journal,
             queue: Queue::new(cfg.queue_cap),
             workers: cfg.workers,
+            deadline: cfg.deadline_ms.map(Duration::from_millis),
             shutdown: AtomicBool::new(false),
         });
+
+        // Replay before any thread starts: the queue absorbs resumed
+        // shards, and the workers pick them up the moment they spawn.
+        replay_journal(&shared);
 
         let mut threads = Vec::with_capacity(cfg.workers + 1);
         let accept_shared = Arc::clone(&shared);
@@ -235,6 +305,47 @@ impl Server {
     }
 }
 
+/// Rebuilds the job registry from the journal at boot: completed jobs
+/// reload their rows; unfinished ones resume with only the unjournaled
+/// shards claimable.
+fn replay_journal(shared: &Arc<Shared>) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    let mut max_id = 0u64;
+    for replayed in journal.replay() {
+        max_id = max_id.max(replayed.id);
+        let opts = run_options(Some(replayed.quick), Some(replayed.seed));
+        let unfinished = !replayed.done;
+        let job = Arc::new(
+            SweepJob::resumed(
+                replayed.spec,
+                replayed.policy,
+                replayed.tws,
+                opts,
+                replayed.shards,
+            )
+            .with_journal(Arc::clone(journal), replayed.id),
+        );
+        if !shared.jobs.insert(replayed.id, Arc::clone(&job)) {
+            eprintln!(
+                "warning: job registry full; journaled job {} not resumed",
+                replayed.id
+            );
+            continue;
+        }
+        if unfinished && shared.queue.push(Work::Shard(job)).is_err() {
+            // Queue smaller than the backlog of resumed jobs: this one
+            // stays registered but idle until the next restart.
+            eprintln!(
+                "warning: work queue full; journaled job {} resumes on next boot",
+                replayed.id
+            );
+        }
+    }
+    shared.jobs.bump_next_id(max_id + 1);
+}
+
 /// Flags shutdown and unblocks the acceptor with a wake-up connection.
 fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
     shared.shutdown.store(true, Ordering::SeqCst);
@@ -257,12 +368,15 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
-        if let Err(Work::Conn(mut rejected)) = shared.queue.push(Work::Conn(stream)) {
+        if let Err(Work::Conn(mut rejected, _)) =
+            shared.queue.push(Work::Conn(stream, Instant::now()))
+        {
             shared
                 .metrics
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
-            Response::error(503, "work queue is full, try again later").write_to(&mut rejected);
+            Response::unavailable("work queue is full, try again later", RETRY_AFTER_SECS)
+                .write_to(&mut rejected);
         }
     }
     shared.queue.close();
@@ -270,16 +384,33 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(work) = shared.queue.pop() {
-        match work {
-            Work::Conn(mut stream) => handle_conn(shared, &mut stream),
-            Work::Shard(job) => {
-                job.run_shards(&shared.cache);
+        // Containment boundary: nothing a request or shard does may
+        // take the worker (and with it the daemon) down. Shard panics
+        // are already absorbed inside `run_shards_until`; this guards
+        // the handlers and the `worker_dequeue` failpoint itself.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = ptb_bench::failpoint!("worker_dequeue");
+            match work {
+                Work::Conn(mut stream, enqueued) => handle_conn(shared, &mut stream, enqueued),
+                Work::Shard(job) => {
+                    job.run_shards_until(
+                        &shared.cache,
+                        None,
+                        Some(&shared.metrics.panics_contained),
+                    );
+                }
             }
+        }));
+        if caught.is_err() {
+            shared
+                .metrics
+                .panics_contained
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
+fn handle_conn(shared: &Shared, stream: &mut TcpStream, enqueued: Instant) {
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(e) => {
@@ -288,8 +419,40 @@ fn handle_conn(shared: &Shared, stream: &mut TcpStream) {
             return;
         }
     };
+    // Deadline check at dequeue: a request that waited out its budget
+    // in the queue is shed before any simulation work starts.
+    if let Some(deadline) = shared.deadline {
+        if enqueued.elapsed() >= deadline {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            Response::unavailable(
+                &format!("deadline ({} ms) expired in queue", deadline.as_millis()),
+                RETRY_AFTER_SECS,
+            )
+            .write_to(stream);
+            return;
+        }
+    }
     let started = Instant::now();
-    let (endpoint, response) = route(shared, &request);
+    let (endpoint, response) =
+        match catch_unwind(AssertUnwindSafe(|| route(shared, &request, enqueued))) {
+            Ok(r) => r,
+            Err(payload) => {
+                shared
+                    .metrics
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                (
+                    Endpoint::Admin,
+                    Response::error(
+                        500,
+                        &format!("handler panicked: {}", panic_message(&payload)),
+                    ),
+                )
+            }
+        };
     let metrics = match endpoint {
         Endpoint::Simulate => &shared.metrics.simulate,
         Endpoint::Sweep => &shared.metrics.sweep,
@@ -319,10 +482,10 @@ enum Endpoint {
     Admin,
 }
 
-fn route(shared: &Shared, req: &Request) -> (Endpoint, Response) {
+fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/simulate") => (Endpoint::Simulate, handle_simulate(shared, &req.body)),
-        ("POST", "/sweep") => (Endpoint::Sweep, handle_sweep(shared, &req.body)),
+        ("POST", "/sweep") => (Endpoint::Sweep, handle_sweep(shared, &req.body, enqueued)),
         ("GET", path) if path.starts_with("/jobs/") => {
             (Endpoint::Jobs, handle_job_poll(shared, path))
         }
@@ -361,6 +524,20 @@ fn run_options(quick: Option<bool>, seed: Option<u64>) -> RunOptions {
     opts
 }
 
+/// Resolves a request's effective deadline: its own `deadline_ms` wins,
+/// else the server default; measured from enqueue.
+fn effective_deadline(
+    shared: &Shared,
+    request_ms: Option<u64>,
+    enqueued: Instant,
+) -> Option<Instant> {
+    request_ms
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .or(shared.deadline)
+        .map(|d| enqueued + d)
+}
+
 fn handle_simulate(shared: &Shared, body: &[u8]) -> Response {
     let req: api::SimulateRequest = match parse_body(body) {
         Ok(r) => r,
@@ -381,7 +558,7 @@ fn handle_simulate(shared: &Shared, body: &[u8]) -> Response {
     }
 }
 
-fn handle_sweep(shared: &Shared, body: &[u8]) -> Response {
+fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
     let req: api::SweepRequest = match parse_body(body) {
         Ok(r) => r,
         Err(resp) => return resp,
@@ -393,31 +570,38 @@ fn handle_sweep(shared: &Shared, body: &[u8]) -> Response {
     if let Err(e) = api::validate_tws(&req.tws) {
         return Response::error(422, &e.0);
     }
+    let quick = req.quick.unwrap_or(false);
     let opts = run_options(req.quick, req.seed);
-    let job = Arc::new(SweepJob::new(spec, req.policy.0, req.tws.clone(), opts));
-
-    // Offer shards to idle workers: one queue item per extra worker
-    // that could plausibly help. Items that don't fit (queue full) are
-    // simply not offered — claiming keeps correctness independent of
-    // who shows up.
-    let helpers = shared.workers.saturating_sub(1).min(job.tws.len());
-    let mut offered = 0;
-    for _ in 0..helpers {
-        if shared.queue.push(Work::Shard(Arc::clone(&job))).is_err() {
-            break;
-        }
-        offered += 1;
-    }
+    let seed = opts.seed;
+    let deadline = effective_deadline(shared, req.deadline_ms, enqueued);
 
     if req.background.unwrap_or(false) {
-        let Some(id) = shared.jobs.register(Arc::clone(&job)) else {
-            return Response::error(503, "job registry is full");
-        };
+        // Durable path: reserve the id first so the journal file name
+        // is final, register, then journal the submission *before*
+        // offering shards — a shard record must never precede its
+        // submit record.
+        let id = shared.jobs.reserve_id();
+        let mut job = SweepJob::new(spec, req.policy.0, req.tws.clone(), opts);
+        if let Some(journal) = &shared.journal {
+            job = job.with_journal(Arc::clone(journal), id);
+        }
+        let job = Arc::new(job);
+        if !shared.jobs.insert(id, Arc::clone(&job)) {
+            return Response::unavailable("job registry is full", RETRY_AFTER_SECS);
+        }
+        if let Some(journal) = &shared.journal {
+            journal.log_submit(id, &job.spec, job.policy, &job.tws, quick, seed);
+        }
+        let offered = offer_shards(shared, &job);
         // Guarantee progress even if no shard item could be offered
         // (full queue, or a single-worker pool): run the shards here
         // before answering, trading response latency for liveness.
         if offered == 0 {
-            job.run_shards(&shared.cache);
+            job.run_shards_until(
+                &shared.cache,
+                deadline,
+                Some(&shared.metrics.panics_contained),
+            );
         }
         let mut resp = Response::json(format!("{{\"job\": {id}, \"total\": {}}}", job.tws.len()));
         resp.status = 202;
@@ -426,13 +610,60 @@ fn handle_sweep(shared: &Shared, body: &[u8]) -> Response {
 
     // Synchronous: this handler claims shards alongside the pool, then
     // waits out any shard still running on another worker.
-    job.run_shards(&shared.cache);
-    job.wait();
-    let rows = job.rows().expect("job complete after wait");
-    match serde_json::to_string(&rows) {
-        Ok(json) => Response::json(json),
-        Err(_) => Response::error(500, "sweep serialization failed"),
+    let job = Arc::new(SweepJob::new(spec, req.policy.0, req.tws.clone(), opts));
+    offer_shards(shared, &job);
+    job.run_shards_until(
+        &shared.cache,
+        deadline,
+        Some(&shared.metrics.panics_contained),
+    );
+    let terminal = match deadline {
+        Some(d) => job.wait_until(d),
+        None => {
+            job.wait();
+            true
+        }
+    };
+    if !terminal {
+        shared
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::unavailable(
+            &format!(
+                "deadline expired with {}/{} shards complete",
+                job.completed(),
+                job.tws.len()
+            ),
+            RETRY_AFTER_SECS,
+        );
     }
+    if let Some(reason) = job.failed() {
+        return Response::error(500, &format!("sweep failed: {reason}"));
+    }
+    match job.rows() {
+        Some(rows) => match serde_json::to_string(&rows) {
+            Ok(json) => Response::json(json),
+            Err(_) => Response::error(500, "sweep serialization failed"),
+        },
+        None => Response::error(500, "sweep neither completed nor failed"),
+    }
+}
+
+/// Offers a job's shards to idle workers: one queue item per extra
+/// worker that could plausibly help. Items that don't fit (queue full)
+/// are simply not offered — claiming keeps correctness independent of
+/// who shows up. Returns how many items were enqueued.
+fn offer_shards(shared: &Shared, job: &Arc<SweepJob>) -> usize {
+    let helpers = shared.workers.saturating_sub(1).min(job.tws.len());
+    let mut offered = 0;
+    for _ in 0..helpers {
+        if shared.queue.push(Work::Shard(Arc::clone(job))).is_err() {
+            break;
+        }
+        offered += 1;
+    }
+    offered
 }
 
 fn handle_job_poll(shared: &Shared, path: &str) -> Response {
@@ -445,16 +676,22 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
     };
     let completed = job.completed();
     let total = job.tws.len();
-    match job.rows() {
-        Some(rows) => match serde_json::to_string(&rows) {
-            Ok(json) => Response::json(format!(
-                "{{\"id\": {id}, \"done\": true, \"completed\": {completed}, \
-                 \"total\": {total}, \"rows\": {json}}}"
+    match job.state() {
+        JobState::Failed { reason } => Response::json(format!(
+            "{{\"id\": {id}, \"done\": false, \"failed\": true, \"error\": {}, \
+             \"completed\": {completed}, \"total\": {total}}}",
+            serde_json::to_string(&reason).expect("string serialization"),
+        )),
+        JobState::Done => match job.rows().map(|r| serde_json::to_string(&r)) {
+            Some(Ok(json)) => Response::json(format!(
+                "{{\"id\": {id}, \"done\": true, \"failed\": false, \
+                 \"completed\": {completed}, \"total\": {total}, \"rows\": {json}}}"
             )),
-            Err(_) => Response::error(500, "row serialization failed"),
+            _ => Response::error(500, "row serialization failed"),
         },
-        None => Response::json(format!(
-            "{{\"id\": {id}, \"done\": false, \"completed\": {completed}, \"total\": {total}}}"
+        JobState::Running => Response::json(format!(
+            "{{\"id\": {id}, \"done\": false, \"failed\": false, \
+             \"completed\": {completed}, \"total\": {total}}}"
         )),
     }
 }
@@ -462,14 +699,36 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
 fn handle_metrics(shared: &Shared) -> Response {
     let m = &shared.metrics;
     let cache = shared.cache.stats();
+    let journal = match &shared.journal {
+        Some(j) => {
+            let s = j.stats();
+            format!(
+                "{{\"appends\": {}, \"append_errors\": {}, \"journal_recovered\": {}, \
+                 \"journal_discarded\": {}, \"reloaded_jobs\": {}, \"resumed_jobs\": {}, \
+                 \"replayed_shards\": {}}}",
+                s.appends,
+                s.append_errors,
+                s.recovered,
+                s.discarded,
+                s.reloaded_jobs,
+                s.resumed_jobs,
+                s.replayed_shards,
+            )
+        }
+        None => "null".into(),
+    };
     Response::json(format!(
         "{{\"accepted\": {}, \"rejected_queue_full\": {}, \"bad_requests\": {}, \
+         \"panics_contained\": {}, \"deadline_expired\": {}, \
          \"queue_depth\": {}, \"workers\": {}, \
          \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
+         \"journal\": {journal}, \
          \"endpoints\": {{\"simulate\": {}, \"sweep\": {}, \"jobs\": {}, \"admin\": {}}}}}",
         m.accepted.load(Ordering::Relaxed),
         m.rejected_queue_full.load(Ordering::Relaxed),
         m.bad_requests.load(Ordering::Relaxed),
+        m.panics_contained.load(Ordering::Relaxed),
+        m.deadline_expired.load(Ordering::Relaxed),
         shared.queue.len(),
         shared.workers,
         cache.mem_hits,

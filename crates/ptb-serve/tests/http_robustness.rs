@@ -17,6 +17,7 @@ fn test_server() -> Server {
         workers: 2,
         queue_cap: 16,
         cache: ptb_bench::CacheMode::Mem,
+        ..ServerConfig::default()
     })
     .expect("bind test server")
 }

@@ -15,6 +15,7 @@ fn test_server(workers: usize) -> Server {
         workers,
         queue_cap: 32,
         cache: ptb_bench::CacheMode::Mem,
+        ..ServerConfig::default()
     })
     .expect("bind test server")
 }

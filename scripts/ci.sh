@@ -24,8 +24,9 @@ cargo test --workspace -q
 
 echo "== ptb-serve smoke (ephemeral port, ptb-load --smoke, clean shutdown)"
 PORT_FILE="$(mktemp)"
-trap 'rm -f "$PORT_FILE"' EXIT
-./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 --port-file "$PORT_FILE" &
+JOB_DIR="$(mktemp -d)"
+trap 'rm -f "$PORT_FILE"; rm -rf "$JOB_DIR"' EXIT
+./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 --job-dir off --port-file "$PORT_FILE" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$PORT_FILE" ] && break
@@ -34,6 +35,49 @@ done
 [ -s "$PORT_FILE" ] || { echo "ptb-serve never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 PORT="$(cat "$PORT_FILE")"
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --smoke
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
+wait "$SERVE_PID"
+
+echo "== crash recovery (submit -> kill -9 -> reboot -> poll resumes the job)"
+# The sleep failpoint widens the kill window deterministically: each of
+# the 3 shards dawdles 400 ms, so SIGKILL at ~1 s lands mid-job with the
+# submission (and usually a shard or two) journaled.
+: > "$PORT_FILE"
+PTB_FAILPOINTS="shard_exec=sleep:400" \
+    ./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 \
+    --job-dir "$JOB_DIR" --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ptb-serve (crash stage) never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+ACK="$(./target/release/ptb-load --addr "127.0.0.1:$PORT" --submit-tws 1,4,8)"
+echo "submitted: $ACK"
+JOB_ID="$(printf '%s' "$ACK" | tr -dc '0-9 ' | awk '{print $1}')"
+[ -n "$JOB_ID" ] || { echo "could not parse job id from ack"; kill -9 "$SERVE_PID" 2>/dev/null; exit 1; }
+sleep 1
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+ls "$JOB_DIR"/job-*.ptbj >/dev/null || { echo "no journal file written before the kill"; exit 1; }
+: > "$PORT_FILE"
+./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 \
+    --job-dir "$JOB_DIR" --port-file "$PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "ptb-serve (reboot) never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --poll-job "$JOB_ID"
+METRICS="$(exec 3<>"/dev/tcp/127.0.0.1/$PORT" && printf 'GET /metrics HTTP/1.1\r\n\r\n' >&3 && cat <&3)"
+printf '%s' "$METRICS" | grep -q '"resumed_jobs": 1' \
+    || { echo "reboot did not resume the journaled job: $METRICS"; exit 1; }
+
+echo "== chaos load (dropped/short-written connections must converge via retries)"
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --requests 8 --concurrency 2 --chaos
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
 wait "$SERVE_PID"
 
