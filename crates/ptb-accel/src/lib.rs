@@ -42,6 +42,12 @@
 //! * `reference` — a bit-exact functional check that PTB's batched
 //!   Step A / Step B decomposition (Eqs. 7–8) matches the serial
 //!   reference dynamics (Eqs. 1–3).
+//! * [`audit`] — the runtime audit layer (`PTB_VERIFY=off|sample|full`):
+//!   re-derives structural invariants (tile coverage, popcount memos,
+//!   StSAP conservation) and replays sampled neurons through
+//!   `reference`, reporting divergences as typed
+//!   [`snn_core::error::AuditError`] findings with first-divergence
+//!   coordinates.
 //!
 //! ## Quick start
 //!
@@ -64,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod config;
 pub mod geom;
 pub mod optimize;
@@ -76,6 +83,7 @@ pub mod stsap;
 pub mod tag;
 pub mod window;
 
+pub use audit::{audit_layer, AuditLevel, AuditSummary};
 pub use config::{Policy, SimInputs};
 pub use prepared::PreparedLayer;
 pub use report::{LayerReport, NetworkReport};

@@ -48,7 +48,7 @@ use std::sync::Arc;
 
 use snn_core::shape::ConvShape;
 use snn_core::spike::SpikeTensor;
-use systolic_sim::{AccessCounts, DataKind, MemLevel};
+use systolic_sim::{sat_add, sat_mul, AccessCounts, DataKind, MemLevel};
 
 use crate::config::{Policy, SimInputs};
 use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
@@ -163,6 +163,21 @@ fn popcounts_of(
 /// representation (neuron address + payload).
 const AER_EVENT_BITS: u64 = 16;
 
+/// Checked accumulation into a tally field: `sat!(tally.field += expr)`
+/// clamps at `u64::MAX` instead of wrapping and counts every clamp in
+/// the tally's trace saturation counter
+/// (`systolic_sim::AccessCounts::saturated`), which the audit layer
+/// surfaces as a finding. When nothing clamps the result is
+/// bit-identical to `+=`, so determinism and the pinned report-equality
+/// properties are unaffected.
+macro_rules! sat {
+    ($t:ident . $($f:ident).+ += $v:expr) => {{
+        let v: u64 = $v;
+        let cur = $t.$($f).+;
+        $t.$($f).+ = sat_add(cur, v, &mut $t.counts.saturated);
+    }};
+}
+
 /// Shared accumulation state while walking a layer's iteration space.
 ///
 /// Every field is an integer sum over disjoint slices of the iteration
@@ -186,16 +201,18 @@ struct Tally {
 impl Tally {
     /// Folds another tally into `self`. All fields are integer sums, so
     /// any merge order yields the same totals; the scan still merges in
-    /// chunk-index order for clarity.
+    /// chunk-index order for clarity. Additions are checked: a clamp is
+    /// counted in the trace's saturation counter instead of wrapping.
     fn merge(&mut self, other: Tally) {
         self.counts.merge(&other.counts);
-        self.compute_cycles += other.compute_cycles;
-        self.useful_ops += other.useful_ops;
-        self.entries_before += other.entries_before;
-        self.entries_after += other.entries_after;
-        self.exact_pairs += other.exact_pairs;
-        self.near_pairs += other.near_pairs;
-        self.sum_entries_raw += other.sum_entries_raw;
+        let sat = &mut self.counts.saturated;
+        self.compute_cycles = sat_add(self.compute_cycles, other.compute_cycles, sat);
+        self.useful_ops = sat_add(self.useful_ops, other.useful_ops, sat);
+        self.entries_before = sat_add(self.entries_before, other.entries_before, sat);
+        self.entries_after = sat_add(self.entries_after, other.entries_after, sat);
+        self.exact_pairs = sat_add(self.exact_pairs, other.exact_pairs, sat);
+        self.near_pairs = sat_add(self.near_pairs, other.near_pairs, sat);
+        self.sum_entries_raw = sat_add(self.sum_entries_raw, other.sum_entries_raw, sat);
     }
 }
 
@@ -305,10 +322,10 @@ fn simulate_event_driven(
                 if active == 0 {
                     continue; // silent time points are skipped entirely
                 }
-                tally.compute_cycles += (active + fill) * row_tiles;
-                tally.entries_before += active * row_tiles;
-                tally.useful_ops += active * m;
-                tally.counts.ac_ops += active * m;
+                sat!(tally.compute_cycles += (active + fill) * row_tiles);
+                sat!(tally.entries_before += active * row_tiles);
+                sat!(tally.useful_ops += active * m);
+                sat!(tally.counts.ac_ops += active * m);
                 // Weights refetched for every event at every time point.
                 let w_bits = active * m * wbits;
                 tally.counts.transfer(
@@ -348,7 +365,7 @@ fn simulate_event_driven(
     });
     tally.entries_after = tally.entries_before;
 
-    tally.counts.compare_ops += m * positions * t as u64;
+    sat!(tally.counts.compare_ops += m * positions * t as u64);
     // Input events from DRAM once (event streams are compact).
     let events = input.total_spikes();
     tally.counts.transfer(
@@ -365,16 +382,22 @@ fn simulate_event_driven(
         .counts
         .write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
     let ac = tally.counts.ac_ops;
+    let psum_bits = sat_mul(ac, pbits, &mut tally.counts.saturated);
     tally
         .counts
-        .read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+        .read(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
     tally
         .counts
-        .write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+        .write(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
 
     let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
     let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
     let cycles = tally.compute_cycles.max(dram_cycles);
+    let pe_cycles = sat_mul(
+        u64::from(arch.array.pe_count()),
+        cycles,
+        &mut tally.counts.saturated,
+    );
     let energy = inputs.energy.evaluate(&tally.counts);
     LayerReport {
         policy: Policy::EventDriven,
@@ -383,7 +406,7 @@ fn simulate_event_driven(
         cycles,
         seconds: arch.cycles_to_seconds(cycles),
         useful_ops: tally.useful_ops,
-        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        pe_cycles,
         entries_before: tally.entries_before,
         entries_after: tally.entries_after,
         exact_pairs: 0,
@@ -421,8 +444,13 @@ fn finalize(
     for rt in 0..row_tiles {
         let rows_rt = rows.min(m - rt * rows);
         // Array-edge streaming: every raw entry delivers one weight per
-        // active row.
-        let edge = tally.sum_entries_raw * rows_rt * wbits;
+        // active row. The product folds an accumulated total, so it is
+        // checked: a clamp shows up in the saturation counter.
+        let edge = sat_mul(
+            sat_mul(tally.sum_entries_raw, rows_rt, &mut tally.counts.saturated),
+            wbits,
+            &mut tally.counts.saturated,
+        );
         tally.counts.read(MemLevel::L1, DataKind::Weight, edge);
         let ws = rows_rt * rf * wbits;
         let gb_to_l1 = if weight_resident && ws <= inputs.l1_weight_capacity_bits() {
@@ -482,12 +510,13 @@ fn finalize(
     // write per AC op) and are drained once per (neuron, window) by
     // Step B.
     let ac = tally.counts.ac_ops;
+    let psum_bits = sat_mul(ac, pbits, &mut tally.counts.saturated);
     tally
         .counts
-        .read(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+        .read(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
     tally
         .counts
-        .write(MemLevel::Scratchpad, DataKind::Psum, ac * pbits);
+        .write(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
     let windows = t.div_ceil(u64::from(tw_size));
     tally.counts.read(
         MemLevel::Scratchpad,
@@ -500,6 +529,11 @@ fn finalize(
     let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
     let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
     let cycles = tally.compute_cycles.max(dram_cycles);
+    let pe_cycles = sat_mul(
+        u64::from(arch.array.pe_count()),
+        cycles,
+        &mut tally.counts.saturated,
+    );
 
     let energy = inputs.energy.evaluate(&tally.counts);
     LayerReport {
@@ -509,7 +543,7 @@ fn finalize(
         cycles,
         seconds: arch.cycles_to_seconds(cycles),
         useful_ops: tally.useful_ops,
-        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        pe_cycles,
         entries_before: tally.entries_before,
         entries_after: tally.entries_after,
         exact_pairs: tally.exact_pairs,
@@ -598,8 +632,8 @@ fn simulate_ptb(
                 let slots;
                 if stsap {
                     let packed = pack_tile(&tile_tags, full_mask);
-                    tally.exact_pairs += packed.exact_pairs as u64 * row_tiles;
-                    tally.near_pairs += packed.near_pairs as u64 * row_tiles;
+                    sat!(tally.exact_pairs += packed.exact_pairs as u64 * row_tiles);
+                    sat!(tally.near_pairs += packed.near_pairs as u64 * row_tiles);
                     slots = packed.entries_after() as u64;
                     for slot in &packed.slots {
                         let second = slot.second.map(pops_of);
@@ -612,12 +646,12 @@ fn simulate_ptb(
                     }
                 }
                 let iter_cycles = stream_beats + fill;
-                tally.compute_cycles += iter_cycles * row_tiles;
-                tally.useful_ops += spikes_span * m;
-                tally.counts.ac_ops += spikes_span * m;
-                tally.entries_before += raw * row_tiles;
-                tally.entries_after += slots * row_tiles;
-                tally.sum_entries_raw += raw;
+                sat!(tally.compute_cycles += iter_cycles * row_tiles);
+                sat!(tally.useful_ops += spikes_span * m);
+                sat!(tally.counts.ac_ops += spikes_span * m);
+                sat!(tally.entries_before += raw * row_tiles);
+                sat!(tally.entries_after += slots * row_tiles);
+                sat!(tally.sum_entries_raw += raw);
 
                 // Input spikes staged per row-tile pass at TB granularity:
                 // only *tagged* time batches are fetched, TWS bits each —
@@ -645,7 +679,7 @@ fn simulate_ptb(
         }
         tally
     });
-    tally.counts.compare_ops += m * geo.positions() as u64 * t as u64;
+    sat!(tally.counts.compare_ops += m * geo.positions() as u64 * t as u64);
     finalize(
         inputs,
         Policy::Ptb { stsap },
@@ -710,12 +744,12 @@ fn simulate_dense_temporal(
                     }
                 }
                 let rf_max = geo.max_rf_len(p0, p1);
-                tally.compute_cycles += (rf_max + fill) * t_u * row_tiles;
-                tally.useful_ops += spikes * m;
-                tally.counts.ac_ops += spikes * m;
-                tally.entries_before += rf_sum * t_u * row_tiles;
+                sat!(tally.compute_cycles += (rf_max + fill) * t_u * row_tiles);
+                sat!(tally.useful_ops += spikes * m);
+                sat!(tally.counts.ac_ops += spikes * m);
+                sat!(tally.entries_before += rf_sum * t_u * row_tiles);
                 // Weight-fetch driver: a dense RF per (position, time point).
-                tally.sum_entries_raw += rf_sum * t_u;
+                sat!(tally.sum_entries_raw += rf_sum * t_u);
                 // Input bits: one bit per tap per time point, per row tile.
                 let in_bits = rf_sum * t_u * row_tiles;
                 tally.counts.transfer(
@@ -776,12 +810,12 @@ fn simulate_dense_temporal(
                     spikes_span += col_spikes;
                 }
                 let iter_cycles = rf_len.max(busiest) + fill;
-                tally.compute_cycles += iter_cycles * row_tiles;
-                tally.useful_ops += spikes_span * m;
-                tally.counts.ac_ops += spikes_span * m;
-                tally.entries_before += rf_len * row_tiles;
-                tally.entries_after += rf_len * row_tiles;
-                tally.sum_entries_raw += rf_len;
+                sat!(tally.compute_cycles += iter_cycles * row_tiles);
+                sat!(tally.useful_ops += spikes_span * m);
+                sat!(tally.counts.ac_ops += spikes_span * m);
+                sat!(tally.entries_before += rf_len * row_tiles);
+                sat!(tally.entries_after += rf_len * row_tiles);
+                sat!(tally.sum_entries_raw += rf_len);
                 let span_len = (w1 - w0) as u64;
                 let in_bits = rf_len * span_len * row_tiles;
                 tally.counts.transfer(
@@ -880,16 +914,13 @@ fn simulate_ann(
     tally
         .counts
         .write(MemLevel::Dram, DataKind::OutputSpike, out_bits);
-    tally.counts.read(
-        MemLevel::Scratchpad,
-        DataKind::Psum,
-        tally.counts.mac_ops * pbits,
-    );
-    tally.counts.write(
-        MemLevel::Scratchpad,
-        DataKind::Psum,
-        tally.counts.mac_ops * pbits,
-    );
+    let psum_bits = sat_mul(tally.counts.mac_ops, pbits, &mut tally.counts.saturated);
+    tally
+        .counts
+        .read(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
+    tally
+        .counts
+        .write(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
     tally.counts.compare_ops = m * positions as u64; // ReLU
 
     // Weight movement (resident rule), mirroring `finalize` but with the
@@ -899,7 +930,11 @@ fn simulate_ann(
     let wbits = u64::from(arch.weight_bits);
     for rt in 0..row_tiles {
         let rows_rt = rows.min(m - rt * rows);
-        let edge = tally.sum_entries_raw * rows_rt * wbits;
+        let edge = sat_mul(
+            sat_mul(tally.sum_entries_raw, rows_rt, &mut tally.counts.saturated),
+            wbits,
+            &mut tally.counts.saturated,
+        );
         tally.counts.read(MemLevel::L1, DataKind::Weight, edge);
         let ws = rows_rt * rf * wbits;
         let gb_to_l1 = if ws <= inputs.l1_weight_capacity_bits() {
@@ -941,6 +976,11 @@ fn simulate_ann(
     let dram_bytes = tally.counts.dram_traffic_bits() as f64 / 8.0;
     let dram_cycles = (dram_bytes / arch.dram_bytes_per_cycle()).ceil() as u64;
     let cycles = tally.compute_cycles.max(dram_cycles);
+    let pe_cycles = sat_mul(
+        u64::from(arch.array.pe_count()),
+        cycles,
+        &mut tally.counts.saturated,
+    );
     let energy = inputs.energy.evaluate(&tally.counts);
     LayerReport {
         policy: Policy::Ann,
@@ -949,7 +989,7 @@ fn simulate_ann(
         cycles,
         seconds: arch.cycles_to_seconds(cycles),
         useful_ops: tally.useful_ops,
-        pe_cycles: u64::from(arch.array.pe_count()) * cycles,
+        pe_cycles,
         entries_before: tally.entries_before,
         entries_after: tally.entries_after,
         exact_pairs: 0,
@@ -1238,6 +1278,43 @@ mod tests {
         assert_eq!(slot_cost(&a, None, 1), 200);
         assert_eq!(slot_cost(&[0u16, 0], None, 5), 5);
         assert_eq!(slot_cost(&[], None, 2), 2);
+    }
+
+    #[test]
+    fn tally_merge_saturates_instead_of_wrapping() {
+        let mut a = Tally {
+            compute_cycles: u64::MAX - 1,
+            ..Tally::default()
+        };
+        let b = Tally {
+            compute_cycles: 5,
+            ..Tally::default()
+        };
+        a.merge(b);
+        assert_eq!(a.compute_cycles, u64::MAX);
+        assert_eq!(a.counts.saturated, 1);
+    }
+
+    #[test]
+    fn realistic_layers_never_saturate() {
+        let shape = small_shape();
+        let input = sparse_input(shape, 64);
+        for policy in [
+            Policy::ptb(),
+            Policy::ptb_with_stsap(),
+            Policy::BaselineTemporal,
+            Policy::TimeSerial,
+            Policy::Ann,
+            Policy::EventDriven,
+        ] {
+            let tw = if matches!(policy, Policy::Ptb { .. }) {
+                8
+            } else {
+                1
+            };
+            let r = simulate_layer(&SimInputs::hpca22(tw), policy, shape, &input);
+            assert_eq!(r.counts.saturated, 0, "{policy:?} saturated");
+        }
     }
 
     #[test]

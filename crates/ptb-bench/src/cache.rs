@@ -397,13 +397,23 @@ impl ActivityCache {
     /// I/O error yields `None` (the caller regenerates and rewrites).
     ///
     /// Failpoint `cache_disk_load` (`err`) simulates an unreadable
-    /// entry, forcing the regeneration fallback.
+    /// entry, forcing the regeneration fallback. Failpoint
+    /// `cache_load_flip` (`err`) delivers the entry with one spike bit
+    /// inverted — silent media corruption that passes every structural
+    /// check here and must be caught downstream by the audit layer's
+    /// activity diff (`ptb_accel::audit::diff_activity`).
     fn load_disk(&self, key: &ActivityKey) -> Option<SpikeTensor> {
         if failpoint::eval("cache_disk_load").is_err() {
             return None;
         }
         let bytes = std::fs::read(self.entry_path(key)).ok()?;
-        decode_entry(&bytes, key)
+        let loaded = decode_entry(&bytes, key)?;
+        if failpoint::eval("cache_load_flip").is_err() {
+            if let Some(flipped) = flip_first_bit(&loaded) {
+                return Some(flipped);
+            }
+        }
+        Some(loaded)
     }
 
     /// Persists `spikes` for `key`, atomically (write temp + rename)
@@ -428,6 +438,18 @@ impl ActivityCache {
             );
         }
     }
+}
+
+/// The tensor with its (neuron 0, timestep 0) bit inverted — the
+/// `cache_load_flip` fault model. `None` for empty tensors (nothing to
+/// flip).
+fn flip_first_bit(t: &SpikeTensor) -> Option<SpikeTensor> {
+    if t.neurons() == 0 || t.timesteps() == 0 {
+        return None;
+    }
+    let mut words = t.words().to_vec();
+    words[0] ^= 1;
+    SpikeTensor::from_words(t.neurons(), t.timesteps(), words).ok()
 }
 
 /// Magic + format version prefix of a disk entry. Bump the trailing
@@ -591,6 +613,21 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flip_first_bit_inverts_exactly_the_first_bit() {
+        let t = SpikeTensor::from_fn(3, 70, |n, tp| (n + tp) % 2 == 0);
+        let flipped = flip_first_bit(&t).expect("non-empty tensor flips");
+        assert_eq!(flipped.get(0, 0), !t.get(0, 0));
+        let diff: u32 = t
+            .words()
+            .iter()
+            .zip(flipped.words())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit differs");
+        assert!(flip_first_bit(&SpikeTensor::new(0, 0)).is_none());
     }
 
     #[test]

@@ -226,6 +226,60 @@ mod tests {
     }
 
     #[test]
+    fn probability_parsing_defaults_and_accepts_explicit_bounds() {
+        assert_eq!(
+            parse_action("err").unwrap(),
+            Armed {
+                action: Action::Err,
+                prob: 1.0
+            },
+            "no trailing :PROB means fire on every hit"
+        );
+        assert_eq!(
+            parse_action("panic:0.25").unwrap(),
+            Armed {
+                action: Action::Panic,
+                prob: 0.25
+            }
+        );
+        assert_eq!(
+            parse_action("sleep:10:0.5").unwrap(),
+            Armed {
+                action: Action::Sleep(10),
+                prob: 0.5
+            }
+        );
+        assert_eq!(parse_action("err:0").unwrap().prob, 0.0);
+        assert_eq!(parse_action("err:1").unwrap().prob, 1.0);
+        assert_eq!(parse_action("off:0.5").unwrap().action, Action::Off);
+    }
+
+    #[test]
+    fn probability_parsing_rejects_malformed_specs() {
+        assert!(parse_action("err:-0.1").is_err(), "below range");
+        assert!(parse_action("err:1.5").is_err(), "above range");
+        assert!(parse_action("err:half").is_err(), "not a number");
+        assert!(parse_action("err:nan").is_err(), "NaN is out of range");
+        assert!(parse_action("err:0.5:0.5").is_err(), "too many parts");
+        assert!(parse_action("sleep:-5").is_err(), "negative milliseconds");
+        assert!(parse_action("sleep:10:2").is_err(), "sleep prob beyond 1");
+        assert!(parse_action("").is_err(), "empty spec");
+        // set() surfaces the same errors to callers (and to the env
+        // parser, which warns and skips).
+        assert!(set("fp-test-bad", "err:2").is_err());
+        assert_eq!(eval("fp-test-bad"), Ok(()), "bad spec must not arm");
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        set("fp-test-prob-one", "err:1.0").unwrap();
+        for _ in 0..20 {
+            assert_eq!(eval("fp-test-prob-one"), Err(Triggered));
+        }
+        clear("fp-test-prob-one");
+    }
+
+    #[test]
     fn probability_zero_never_fires_and_specs_validate() {
         set("fp-test-prob", "err:0.0").unwrap();
         for _ in 0..50 {

@@ -1,6 +1,7 @@
 //! Shared experiment plumbing: generate a benchmark network's activity,
 //! run every layer through the accelerator model, and format results.
 
+use ptb_accel::audit::{self, AuditLevel, AuditSummary};
 use ptb_accel::config::{Policy, SimInputs};
 use ptb_accel::report::NetworkReport;
 use ptb_accel::sim::simulate_layer_prepared;
@@ -27,6 +28,12 @@ pub struct RunOptions {
     /// bit-identical for every mode; only wall time (and, for
     /// [`CacheMode::Disk`], the `results/.cache/` directory) changes.
     pub cache: CacheMode,
+    /// Runtime audit level (`ptb_accel::audit`). [`AuditLevel::Off`]
+    /// (the default) adds no work; the verified entry points
+    /// ([`run_network_verified`], [`sweep_summary_verified`]) honor it
+    /// and report findings, and [`run_network_cached`] logs any
+    /// findings to stderr without changing its return type.
+    pub verify: AuditLevel,
 }
 
 impl Default for RunOptions {
@@ -37,6 +44,7 @@ impl Default for RunOptions {
             max_timesteps: None,
             threads: 1,
             cache: CacheMode::Mem,
+            verify: AuditLevel::Off,
         }
     }
 }
@@ -51,20 +59,20 @@ impl RunOptions {
     /// cropped feature maps, shortened period.
     pub fn quick() -> Self {
         RunOptions {
-            seed: 42,
             max_ofmap_side: Some(8),
             max_timesteps: Some(64),
-            threads: 1,
-            cache: CacheMode::Mem,
+            ..Self::default()
         }
     }
 
     /// Reads `PTB_QUICK=1` from the environment to let every experiment
     /// binary run in seconds instead of minutes when iterating,
     /// `PTB_THREADS=N` to fan each layer's position scan across `N`
-    /// workers (results are identical; see `ptb_accel::sim`), and
+    /// workers (results are identical; see `ptb_accel::sim`),
     /// `PTB_CACHE=off|mem|disk` to select the activity-cache mode
-    /// (results are identical; see [`crate::cache`]).
+    /// (results are identical; see [`crate::cache`]), and
+    /// `PTB_VERIFY=off|sample|full` to select the runtime audit level
+    /// (results are identical; see `ptb_accel::audit`).
     pub fn from_env() -> Self {
         let mut opts = if std::env::var("PTB_QUICK")
             .map(|v| v == "1")
@@ -81,6 +89,7 @@ impl RunOptions {
             opts.threads = n.max(1);
         }
         opts.cache = CacheMode::from_env();
+        opts.verify = AuditLevel::from_env();
         opts
     }
 
@@ -156,7 +165,41 @@ pub fn run_network_cached(
     opts: &RunOptions,
     cache: &ActivityCache,
 ) -> NetworkReport {
+    let (report, summary) = run_network_verified(spec, policy, tw, opts, cache);
+    if !summary.is_clean() {
+        for finding in &summary.findings {
+            eprintln!("audit: {finding}");
+        }
+        eprintln!(
+            "audit: {} finding(s) in {} at tw={tw} (level {})",
+            summary.mismatches,
+            spec.name,
+            summary.level.label()
+        );
+    }
+    report
+}
+
+/// [`run_network_cached`] plus the audit outcome: every layer is
+/// simulated and then audited at [`RunOptions::verify`]
+/// (`ptb_accel::audit`), and — when auditing is on — the layer's
+/// cached activity tensor is diffed, exhaustively, against a fresh
+/// regeneration, so a bit flipped anywhere between generation and
+/// consumption (e.g. a corrupted disk-cache entry) surfaces as a
+/// [`snn_core::error::AuditError::CorruptActivity`] finding.
+///
+/// The report is bit-identical to [`run_network_cached`] at every
+/// level; at [`AuditLevel::Off`] the summary is empty and no audit
+/// work runs.
+pub fn run_network_verified(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tw: u32,
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> (NetworkReport, AuditSummary) {
     let inputs = SimInputs::hpca22(tw).with_threads(opts.threads);
+    let level = opts.verify;
     let timesteps = opts
         .max_timesteps
         .map_or(spec.timesteps, |cap| spec.timesteps.min(cap));
@@ -171,25 +214,55 @@ pub fn run_network_cached(
             .map(|(i, layer)| {
                 scope.spawn(move || {
                     let shape = opts.effective_shape(layer);
-                    let prep = cache.layer(
-                        layer,
-                        shape,
-                        timesteps,
-                        opts.seed
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(i as u64),
-                    );
+                    let seed = opts
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    let prep = cache.layer(layer, shape, timesteps, seed);
                     let report = simulate_layer_prepared(&inputs, policy, &prep);
-                    (layer.name.clone(), report)
+                    let mut summary = AuditSummary::new(level);
+                    if level.is_on() {
+                        // Exhaustive activity diff against a fresh
+                        // regeneration — the check that catches cached
+                        // or recovered bit flips.
+                        let fresh =
+                            layer
+                                .input_profile
+                                .generate(shape.ifmap_neurons(), timesteps, seed);
+                        if let Some(finding) =
+                            audit::diff_activity(&layer.name, &fresh, prep.spikes())
+                        {
+                            summary.record(finding);
+                        }
+                        summary.activity_checked += 1;
+                        audit::audit_layer(
+                            &inputs,
+                            policy,
+                            &prep,
+                            &layer.name,
+                            &report,
+                            level,
+                            &mut summary,
+                        );
+                    }
+                    (layer.name.clone(), report, summary)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("layer simulation must not panic"))
-            .collect()
+            .collect::<Vec<_>>()
     });
-    NetworkReport::new(spec.name.clone(), layers)
+    let mut summary = AuditSummary::new(level);
+    let layers = layers
+        .into_iter()
+        .map(|(name, report, layer_summary)| {
+            summary.merge(layer_summary);
+            (name, report)
+        })
+        .collect();
+    (NetworkReport::new(spec.name.clone(), layers), summary)
 }
 
 /// One row of a TW sweep: per-TW normalized energy, latency, and EDP
@@ -245,6 +318,28 @@ pub fn sweep_summary_cached(
     merge_shards(shards)
 }
 
+/// [`sweep_summary_cached`] plus the merged audit outcome across every
+/// sweep point (see [`run_network_verified`]).
+pub fn sweep_summary_verified(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tws: &[u32],
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> (Vec<SweepRow>, AuditSummary) {
+    let mut summary = AuditSummary::new(opts.verify);
+    let shards = tws
+        .iter()
+        .enumerate()
+        .map(|(i, &tw)| {
+            let (row, point_summary) = sweep_point_verified(spec, policy, tw, opts, cache);
+            summary.merge(point_summary);
+            (i, row)
+        })
+        .collect();
+    (merge_shards(shards), summary)
+}
+
 /// One sweep point: [`run_network_cached`] at `tw`, reduced to a
 /// [`SweepRow`]. This is the unit of work a sharded sweep distributes;
 /// [`sweep_summary_cached`] is exactly `tws` points merged in order, so
@@ -264,6 +359,27 @@ pub fn sweep_point(
         seconds: r.total_seconds(),
         edp: r.total_edp(),
     }
+}
+
+/// [`sweep_point`] plus the audit outcome of its underlying run (see
+/// [`run_network_verified`]).
+pub fn sweep_point_verified(
+    spec: &NetworkSpec,
+    policy: Policy,
+    tw: u32,
+    opts: &RunOptions,
+    cache: &ActivityCache,
+) -> (SweepRow, AuditSummary) {
+    let (r, summary) = run_network_verified(spec, policy, tw, opts, cache);
+    (
+        SweepRow {
+            tw,
+            energy_j: r.total_energy_joules(),
+            seconds: r.total_seconds(),
+            edp: r.total_edp(),
+        },
+        summary,
+    )
 }
 
 /// Reassembles sharded sweep rows into the order of the original `tws`
@@ -361,6 +477,91 @@ mod tests {
         assert_eq!(rows[0].tw, 1);
         assert_eq!(rows[1].tw, 8);
         assert!(rows.iter().all(|r| r.edp > 0.0));
+    }
+
+    #[test]
+    fn verified_run_is_clean_and_bit_identical_to_plain_run() {
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions {
+            verify: AuditLevel::Sample,
+            ..RunOptions::quick()
+        };
+        let cache = opts.new_cache();
+        let (report, summary) =
+            run_network_verified(&spec, Policy::ptb_with_stsap(), 8, &opts, &cache);
+        assert!(summary.is_clean(), "clean run: {:?}", summary.first());
+        assert_eq!(summary.layers_checked, spec.layers.len() as u64);
+        assert_eq!(summary.activity_checked, spec.layers.len() as u64);
+        assert!(summary.neurons_replayed > 0);
+        let plain = run_network_with(&spec, Policy::ptb_with_stsap(), 8, &RunOptions::quick());
+        assert_eq!(report, plain, "auditing must never change results");
+    }
+
+    #[test]
+    fn verify_off_runs_no_audit_work() {
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions::quick();
+        let cache = opts.new_cache();
+        let (_, summary) = run_network_verified(&spec, Policy::ptb(), 8, &opts, &cache);
+        assert_eq!(summary.level, AuditLevel::Off);
+        assert_eq!(summary.layers_checked, 0);
+        assert_eq!(summary.neurons_replayed, 0);
+        assert!(summary.is_clean());
+    }
+
+    #[test]
+    fn verified_sweep_merges_point_summaries() {
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions {
+            verify: AuditLevel::Sample,
+            ..RunOptions::quick()
+        };
+        let cache = opts.new_cache();
+        let (rows, summary) = sweep_summary_verified(&spec, Policy::ptb(), &[1, 8], &opts, &cache);
+        assert_eq!(rows.len(), 2);
+        assert!(summary.is_clean(), "{:?}", summary.first());
+        assert_eq!(summary.layers_checked, 2 * spec.layers.len() as u64);
+        // Rows must match the unverified sweep bit-for-bit.
+        let plain = sweep_summary_cached(&spec, Policy::ptb(), &[1, 8], &opts, &opts.new_cache());
+        assert_eq!(rows, plain);
+    }
+
+    #[test]
+    fn cache_load_bit_flip_yields_a_typed_corrupt_activity_finding() {
+        use crate::cache::ActivityCache;
+        use snn_core::error::AuditError;
+
+        let dir = std::env::temp_dir().join(format!("ptb-harness-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = spikegen::dvs_gesture();
+        let opts = RunOptions {
+            verify: AuditLevel::Sample,
+            cache: CacheMode::Disk,
+            ..RunOptions::quick()
+        };
+        // Warm the disk store with good entries.
+        let warm = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let truth = run_network_cached(&spec, Policy::ptb(), 8, &opts, &warm);
+
+        // Cold cache + armed flip: every disk load delivers one
+        // inverted bit. The audit's activity diff must name it.
+        crate::failpoint::set("cache_load_flip", "err").unwrap();
+        let cold = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let (report, summary) = run_network_verified(&spec, Policy::ptb(), 8, &opts, &cold);
+        crate::failpoint::clear("cache_load_flip");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(!summary.is_clean(), "the flip must be detected");
+        match summary.first() {
+            Some(AuditError::CorruptActivity {
+                neuron, timestep, ..
+            }) => {
+                assert_eq!((*neuron, *timestep), (0, 0), "flip site is (0, 0)");
+            }
+            other => panic!("expected CorruptActivity, got {other:?}"),
+        }
+        // The corrupted run really did compute on different data.
+        assert_ne!(report, truth, "flipped activity changes the report");
     }
 
     #[test]

@@ -73,4 +73,57 @@ mod tests {
         let (_g, timed_out) = wait_timeout_recover(&cv, g, Duration::from_millis(1));
         assert!(timed_out);
     }
+
+    /// Poisons `m` by panicking on another thread while holding it.
+    fn poison<T: Send>(m: &Mutex<T>) {
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = m.lock().unwrap();
+                panic!("poison the lock");
+            })
+            .join()
+        });
+        assert!(m.lock().is_err(), "the lock must actually be poisoned");
+    }
+
+    #[test]
+    fn lock_recover_preserves_mutations_made_before_the_poisoning() {
+        let m = Mutex::new(Vec::new());
+        lock_recover(&m).push(1);
+        poison(&m);
+        lock_recover(&m).push(2);
+        assert_eq!(*lock_recover(&m), vec![1, 2]);
+    }
+
+    #[test]
+    fn wait_recover_returns_the_guard_from_a_poisoned_wait() {
+        let m = Mutex::new(5u32);
+        let cv = Condvar::new();
+        poison(&m);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let g = lock_recover(&m);
+                // Reacquisition after the wait sees the poisoned mutex;
+                // wait_recover must hand back the guard anyway.
+                let g = wait_recover(&cv, g);
+                *g
+            });
+            while !waiter.is_finished() {
+                cv.notify_all();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert_eq!(waiter.join().unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn wait_timeout_recover_survives_poison_and_still_reports_timeout() {
+        let m = Mutex::new(9u32);
+        let cv = Condvar::new();
+        poison(&m);
+        let g = lock_recover(&m);
+        let (g, timed_out) = wait_timeout_recover(&cv, g, Duration::from_millis(1));
+        assert!(timed_out);
+        assert_eq!(*g, 9);
+    }
 }

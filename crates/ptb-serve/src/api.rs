@@ -7,6 +7,7 @@
 //! validated request can be handed to the harness without further
 //! checks.
 
+use ptb_accel::audit::AuditLevel;
 use ptb_accel::config::Policy;
 use serde::de;
 use serde::{Deserialize, Value};
@@ -82,6 +83,12 @@ pub struct SimulateRequest {
     /// connection was enqueued. Overrides the server's `PTB_DEADLINE_MS`
     /// for this request; expiry answers `503` with `Retry-After`.
     pub deadline_ms: Option<u64>,
+    /// Audit level for this run: `"off"`, `"sample"`, or `"full"`
+    /// (case-insensitive). Overrides the server's `PTB_VERIFY` default;
+    /// anything else answers `422`. A run whose audit finds a
+    /// divergence answers `500` with the findings instead of the
+    /// (untrustworthy) report.
+    pub verify: Option<String>,
 }
 
 /// Body of `POST /sweep`: one network and policy over a range of TWs,
@@ -106,6 +113,10 @@ pub struct SweepRequest {
     /// [`SimulateRequest::deadline_ms`]. Synchronous sweeps that miss it
     /// answer `503`; background sweeps ignore it past submission.
     pub deadline_ms: Option<u64>,
+    /// Audit level, as in [`SimulateRequest::verify`]. A sweep shard
+    /// whose audit finds a divergence fails the whole job; the findings
+    /// appear in the job's `audit` object at `GET /jobs/{id}`.
+    pub verify: Option<String>,
 }
 
 /// A validation failure; maps to `422 Unprocessable Content`.
@@ -199,6 +210,21 @@ pub fn resolve_network(net: &NetworkRef) -> Result<NetworkSpec, ValidationError>
     }
 }
 
+/// Resolves a request's `verify` field into an [`AuditLevel`]: absent
+/// means the server default (its `PTB_VERIFY`), an unparseable value is
+/// a 422 — a caller asking for verification must not silently get none.
+pub fn validate_verify(
+    verify: Option<&str>,
+    default: AuditLevel,
+) -> Result<AuditLevel, ValidationError> {
+    match verify {
+        None => Ok(default),
+        Some(s) => AuditLevel::parse(s).ok_or_else(|| {
+            ValidationError(format!("verify must be off, sample, or full, got {s:?}"))
+        }),
+    }
+}
+
 /// Validates a sweep's TW list: non-empty, bounded, each TW valid.
 pub fn validate_tws(tws: &[u32]) -> Result<(), ValidationError> {
     if tws.is_empty() {
@@ -273,6 +299,30 @@ mod tests {
         let smuggled: NetworkSpec = serde_json::from_str(&json).unwrap();
         assert_ne!(smuggled, spec, "the rate edit must have landed");
         assert!(resolve_network(&NetworkRef::Inline(smuggled)).is_err());
+    }
+
+    #[test]
+    fn verify_levels_parse_with_the_server_default_as_fallback() {
+        let r: SimulateRequest = serde_json::from_str(
+            r#"{"network": "DVS-Gesture", "policy": "PTB", "tw": 8, "verify": "full"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.verify.as_deref(), Some("full"));
+        assert_eq!(
+            validate_verify(r.verify.as_deref(), AuditLevel::Off),
+            Ok(AuditLevel::Full)
+        );
+        assert_eq!(
+            validate_verify(None, AuditLevel::Sample),
+            Ok(AuditLevel::Sample),
+            "absent field falls back to the server default"
+        );
+        assert_eq!(
+            validate_verify(Some("SAMPLE"), AuditLevel::Off),
+            Ok(AuditLevel::Sample),
+            "case-insensitive"
+        );
+        assert!(validate_verify(Some("paranoid"), AuditLevel::Off).is_err());
     }
 
     #[test]

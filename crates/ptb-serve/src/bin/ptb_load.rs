@@ -254,6 +254,17 @@ fn run_smoke(cfg: &LoadConfig) -> Result<(), String> {
     if !body.contains("\"requests\": ") || body.contains("\"accepted\": 0,") {
         return Err(format!("/metrics counters look dead: {body}"));
     }
+    // The audit counters must be exposed, and a healthy daemon shows
+    // zero mismatches — any other value means a simulation diverged
+    // from the reference model and smoke must fail loudly.
+    if !body.contains("\"audit_mismatches\": 0,") {
+        return Err(format!(
+            "/metrics audit_mismatches missing or nonzero: {body}"
+        ));
+    }
+    if !body.contains("\"acc_saturated\": ") {
+        return Err(format!("/metrics is missing acc_saturated: {body}"));
+    }
     Ok(())
 }
 
@@ -444,5 +455,20 @@ fn run_load(cfg: &LoadConfig) {
     // Chaos demands convergence: every request must have gotten through.
     if ok == 0 || (cfg.chaos && ok != cfg.requests) {
         std::process::exit(1);
+    }
+    // And it demands integrity: whatever the disruptions did to the
+    // daemon, no audited run may have diverged from the reference.
+    if cfg.chaos {
+        match client::request_json(cfg.addr, "GET", "/metrics", "") {
+            Ok((200, body)) if body.contains("\"audit_mismatches\": 0,") => {}
+            Ok((status, body)) => {
+                eprintln!("chaos integrity check failed ({status}): {body}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("chaos integrity check could not read /metrics: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

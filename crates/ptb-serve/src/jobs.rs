@@ -22,19 +22,35 @@
 //! the remainder. Deadline-aware callers pass a cutoff to
 //! [`SweepJob::run_shards_until`]; claiming stops at the deadline while
 //! already-running shards finish wherever they are.
+//!
+//! ## Verification
+//!
+//! When the job's [`RunOptions::verify`] level is on, every shard runs
+//! through [`ptb_bench::sweep_point_verified`] and its
+//! [`AuditSummary`] is folded into the job (served as the `audit`
+//! object of `GET /jobs/{id}`). A shard whose audit finds a divergence
+//! fails the job — a corrupted row must never be served — and, before
+//! any new shard is claimed, journal-*replayed* rows are recomputed
+//! and compared bit-for-bit: a journal that replayed a row the
+//! simulator no longer reproduces (bit rot, tampering, or the
+//! `journal_replay_flip` failpoint) surfaces as a typed
+//! [`AuditError::RowMismatch`] instead of silently serving stale data.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use ptb_accel::audit::AuditSummary;
 use ptb_accel::config::Policy;
 use ptb_bench::sync::{lock_recover, wait_recover, wait_timeout_recover};
-use ptb_bench::{merge_shards, sweep_point, ActivityCache, RunOptions, SweepRow};
+use ptb_bench::{merge_shards, sweep_point_verified, ActivityCache, RunOptions, SweepRow};
+use snn_core::error::AuditError;
 use spikegen::NetworkSpec;
 
 use crate::journal::JobJournal;
+use crate::metrics::Metrics;
 
 /// Where a job stands, as reported by `GET /jobs/{id}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +73,9 @@ pub enum JobState {
 struct Progress {
     done: Vec<(usize, SweepRow)>,
     failed: Option<String>,
+    /// Merged audit outcome across every shard run (and every replayed
+    /// row recomputed) so far.
+    audit: AuditSummary,
 }
 
 /// One sweep request, sharded by TW point.
@@ -81,12 +100,18 @@ pub struct SweepJob {
     cv: Condvar,
     /// When set, shard completions are journaled under this id.
     journal: Option<(Arc<JobJournal>, u64)>,
+    /// Journal-replayed rows pending recomputation when the job's
+    /// verify level is on (empty for fresh jobs).
+    resumed: Vec<(usize, SweepRow)>,
+    /// Ensures the resumed rows are recomputed by exactly one claimer.
+    resumed_claimed: AtomicBool,
 }
 
 impl SweepJob {
     /// Creates the job. No work happens until shards are claimed.
     pub fn new(spec: NetworkSpec, policy: Policy, tws: Vec<u32>, opts: RunOptions) -> Self {
         let claimable = (0..tws.len()).collect();
+        let audit = AuditSummary::new(opts.verify);
         SweepJob {
             spec,
             policy,
@@ -94,15 +119,22 @@ impl SweepJob {
             opts,
             claimable,
             next: AtomicUsize::new(0),
-            progress: Mutex::new(Progress::default()),
+            progress: Mutex::new(Progress {
+                audit,
+                ..Progress::default()
+            }),
             cv: Condvar::new(),
             journal: None,
+            resumed: Vec::new(),
+            resumed_claimed: AtomicBool::new(false),
         }
     }
 
     /// A job replayed from the journal: `completed` shards are already
-    /// done (their rows load verbatim, never recomputed) and only the
-    /// remaining indices are claimable.
+    /// done (their rows load verbatim) and only the remaining indices
+    /// are claimable. When the job's verify level is on, the loaded
+    /// rows are additionally recomputed and compared the first time
+    /// shards are claimed (see the module docs).
     pub fn resumed(
         spec: NetworkSpec,
         policy: Policy,
@@ -113,6 +145,7 @@ impl SweepJob {
         let claimable = (0..tws.len())
             .filter(|i| !completed.iter().any(|(j, _)| j == i))
             .collect();
+        let audit = AuditSummary::new(opts.verify);
         SweepJob {
             spec,
             policy,
@@ -121,11 +154,14 @@ impl SweepJob {
             claimable,
             next: AtomicUsize::new(0),
             progress: Mutex::new(Progress {
-                done: completed,
+                done: completed.clone(),
                 failed: None,
+                audit,
             }),
             cv: Condvar::new(),
             journal: None,
+            resumed: completed,
+            resumed_claimed: AtomicBool::new(false),
         }
     }
 
@@ -141,16 +177,22 @@ impl SweepJob {
     /// call ran. Safe to call from any number of threads; each shard
     /// runs exactly once.
     ///
-    /// A panicking shard is contained here: `panics` (when given) is
-    /// incremented, the job transitions to [`JobState::Failed`], and
-    /// the panic does not propagate. Failpoint `shard_exec` injects
-    /// faults at the execution site.
+    /// A panicking shard is contained here: `metrics` (when given) gets
+    /// its `panics_contained` counter incremented, the job transitions
+    /// to [`JobState::Failed`], and the panic does not propagate.
+    /// Failpoint `shard_exec` injects faults at the execution site.
+    /// Under a non-off verify level each shard's audit summary is
+    /// folded into the job (and into `metrics`' audit counters), and
+    /// journal-replayed rows are recomputed before new shards run.
     pub fn run_shards_until(
         &self,
         cache: &ActivityCache,
         deadline: Option<Instant>,
-        panics: Option<&AtomicU64>,
+        metrics: Option<&Metrics>,
     ) -> usize {
+        if self.opts.verify.is_on() {
+            self.verify_resumed(cache, metrics);
+        }
         let mut ran = 0;
         loop {
             if deadline.is_some_and(|d| Instant::now() >= d) || self.failed().is_some() {
@@ -163,10 +205,23 @@ impl SweepJob {
             let tw = self.tws[index];
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 ptb_bench::failpoint!("shard_exec").map_err(|_| ())?;
-                Ok::<SweepRow, ()>(sweep_point(&self.spec, self.policy, tw, &self.opts, cache))
+                Ok::<(SweepRow, AuditSummary), ()>(sweep_point_verified(
+                    &self.spec,
+                    self.policy,
+                    tw,
+                    &self.opts,
+                    cache,
+                ))
             }));
             match outcome {
-                Ok(Ok(row)) => {
+                Ok(Ok((row, audit))) => {
+                    let first = self.absorb_audit(audit, metrics);
+                    if let Some(finding) = first {
+                        // The row failed its own audit: never journal or
+                        // serve it; the findings stay on the job.
+                        self.fail(format!("shard {index} (tw={tw}) failed audit: {finding}"));
+                        return ran;
+                    }
                     if let Some((journal, id)) = &self.journal {
                         journal.log_shard(*id, index, &row);
                     }
@@ -189,8 +244,8 @@ impl SweepJob {
                     return ran;
                 }
                 Err(payload) => {
-                    if let Some(counter) = panics {
-                        counter.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.panics_contained.fetch_add(1, Ordering::Relaxed);
                     }
                     self.fail(format!(
                         "shard {index} (tw={tw}) panicked: {}",
@@ -202,16 +257,79 @@ impl SweepJob {
         }
     }
 
-    /// [`Self::run_shards_until`] with no deadline and no panic counter.
+    /// Folds one shard's audit into the job and the service counters.
+    /// Returns the first *new* finding, if the shard was not clean.
+    fn absorb_audit(&self, audit: AuditSummary, metrics: Option<&Metrics>) -> Option<AuditError> {
+        if let Some(m) = metrics {
+            m.audit_mismatches
+                .fetch_add(audit.mismatches, Ordering::Relaxed);
+            m.acc_saturated
+                .fetch_add(audit.saturated, Ordering::Relaxed);
+        }
+        let first = audit.first().cloned();
+        let clean = audit.is_clean();
+        lock_recover(&self.progress).audit.merge(audit);
+        if clean {
+            None
+        } else {
+            // `first` can only be None past FINDINGS_CAP retained
+            // findings, by which point the job already failed.
+            Some(first.unwrap_or(AuditError::RowMismatch { index: 0, tw: 0 }))
+        }
+    }
+
+    /// Recomputes journal-replayed rows and diffs them bit-for-bit
+    /// against what the journal loaded; a divergent row is a
+    /// [`AuditError::RowMismatch`] and fails the job. Runs at most once
+    /// per job (first claimer wins) and only under a non-off verify
+    /// level.
+    fn verify_resumed(&self, cache: &ActivityCache, metrics: Option<&Metrics>) {
+        if self.resumed.is_empty() || self.resumed_claimed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (index, loaded) in &self.resumed {
+            if self.failed().is_some() {
+                return;
+            }
+            let tw = self.tws[*index];
+            let (fresh, mut audit) =
+                sweep_point_verified(&self.spec, self.policy, tw, &self.opts, cache);
+            if fresh != *loaded {
+                audit.record(AuditError::RowMismatch { index: *index, tw });
+            }
+            if let Some(finding) = self.absorb_audit(audit, metrics) {
+                self.fail_replayed(format!(
+                    "replayed shard {index} (tw={tw}) failed audit: {finding}"
+                ));
+                return;
+            }
+        }
+    }
+
+    /// [`Self::run_shards_until`] with no deadline and no metrics.
     pub fn run_shards(&self, cache: &ActivityCache) -> usize {
         self.run_shards_until(cache, None, None)
     }
 
     /// Moves the job to [`JobState::Failed`] (first reason wins) and
-    /// wakes every waiter.
+    /// wakes every waiter. A job whose every shard already completed
+    /// cannot fail this way — completion is terminal.
     fn fail(&self, reason: String) {
         let mut progress = lock_recover(&self.progress);
         if progress.failed.is_none() && progress.done.len() < self.tws.len() {
+            progress.failed = Some(reason);
+        }
+        drop(progress);
+        self.cv.notify_all();
+    }
+
+    /// Fails the job even when every shard is present: a journal-
+    /// replayed row that no longer matches its recomputation makes the
+    /// "complete" rows untrustworthy, so audit failure outranks
+    /// completion here (unlike [`Self::fail`]).
+    fn fail_replayed(&self, reason: String) {
+        let mut progress = lock_recover(&self.progress);
+        if progress.failed.is_none() {
             progress.failed = Some(reason);
         }
         drop(progress);
@@ -285,6 +403,12 @@ impl SweepJob {
             return None;
         }
         Some(merge_shards(progress.done.clone()))
+    }
+
+    /// The audit outcome folded across every shard run so far (all
+    /// zeros when the job's verify level is off).
+    pub fn audit(&self) -> AuditSummary {
+        lock_recover(&self.progress).audit.clone()
     }
 }
 
@@ -440,14 +564,14 @@ mod tests {
             vec![4, 0],
             RunOptions::quick(),
         );
-        let panics = AtomicU64::new(0);
-        job.run_shards_until(&cache, None, Some(&panics));
+        let metrics = Metrics::default();
+        job.run_shards_until(&cache, None, Some(&metrics));
         let state = job.state();
         let JobState::Failed { reason } = state else {
             panic!("job must fail, got {state:?}");
         };
         assert!(reason.contains("tw=0"), "reason names the shard: {reason}");
-        assert_eq!(panics.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.panics_contained.load(Ordering::Relaxed), 1);
         assert!(job.rows().is_none());
         job.wait(); // failure is terminal: wait returns
         assert!(job.wait_until(Instant::now()), "terminal before deadline");
@@ -462,6 +586,124 @@ mod tests {
         assert_eq!(job.run_shards_until(&cache, Some(past), None), 0);
         assert_eq!(job.completed(), 0);
         assert!(!job.wait_until(past), "deadline passed, job not terminal");
+    }
+
+    #[test]
+    fn verified_jobs_fold_shard_audits_and_stay_clean() {
+        let opts = RunOptions {
+            verify: ptb_accel::audit::AuditLevel::Sample,
+            ..RunOptions::quick()
+        };
+        let cache = opts.new_cache();
+        let job = SweepJob::new(spikegen::dvs_gesture(), Policy::ptb(), vec![1, 4], opts);
+        let metrics = Metrics::default();
+        assert_eq!(job.run_shards_until(&cache, None, Some(&metrics)), 2);
+        assert_eq!(job.state(), JobState::Done);
+        let audit = job.audit();
+        assert!(audit.is_clean(), "clean run: {:?}", audit.first());
+        assert_eq!(audit.level, ptb_accel::audit::AuditLevel::Sample);
+        assert!(audit.layers_checked > 0, "both shards were audited");
+        assert_eq!(metrics.audit_mismatches.load(Ordering::Relaxed), 0);
+        // Rows still match the unverified sweep bit-for-bit.
+        let expected =
+            sweep_summary_cached(&job.spec, job.policy, &job.tws, &opts, &opts.new_cache());
+        assert_eq!(job.rows().unwrap(), expected);
+    }
+
+    #[test]
+    fn replayed_rows_are_recomputed_and_mismatches_fail_the_job() {
+        let opts = RunOptions {
+            verify: ptb_accel::audit::AuditLevel::Sample,
+            ..RunOptions::quick()
+        };
+        let cache = opts.new_cache();
+        let spec = spikegen::dvs_gesture();
+        // A "journaled" row the simulator never produced: resumption
+        // under verify must recompute, catch it, and fail the job even
+        // though every shard is nominally present.
+        let bogus = SweepRow {
+            tw: 4,
+            energy_j: 0.5,
+            seconds: 0.25,
+            edp: 0.125,
+        };
+        let job = SweepJob::resumed(spec, Policy::ptb(), vec![1, 4], opts, vec![(1, bogus)]);
+        let metrics = Metrics::default();
+        job.run_shards_until(&cache, None, Some(&metrics));
+        let state = job.state();
+        let JobState::Failed { reason } = state else {
+            panic!("corrupt replayed row must fail the job, got {state:?}");
+        };
+        assert!(reason.contains("audit"), "{reason}");
+        let audit = job.audit();
+        assert!(audit
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditError::RowMismatch { index: 1, tw: 4 })));
+        assert!(metrics.audit_mismatches.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn journal_replay_bit_flip_surfaces_as_a_typed_row_mismatch() {
+        // End to end: journal a genuine row, flip one bit at replay via
+        // the `journal_replay_flip` failpoint, resume under verify, and
+        // demand the typed RowMismatch. The only test anywhere that
+        // arms this failpoint (they are process-global).
+        let opts = RunOptions {
+            verify: ptb_accel::audit::AuditLevel::Sample,
+            ..RunOptions::quick()
+        };
+        let cache = opts.new_cache();
+        let spec = spikegen::dvs_gesture();
+        let (real, audit) = sweep_point_verified(&spec, Policy::ptb(), 4, &opts, &cache);
+        assert!(audit.is_clean());
+
+        let dir = std::env::temp_dir().join(format!("ptb-jobs-replay-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = JobJournal::new(&dir);
+        journal.log_submit(
+            1,
+            &spec,
+            Policy::ptb(),
+            &[1, 4],
+            true,
+            opts.seed,
+            opts.verify,
+        );
+        journal.log_shard(1, 1, &real);
+
+        ptb_bench::failpoint::set("journal_replay_flip", "err").unwrap();
+        let replayed = JobJournal::new(&dir).replay();
+        ptb_bench::failpoint::clear("journal_replay_flip");
+        assert_eq!(replayed.len(), 1);
+        let loaded = &replayed[0].shards;
+        assert_eq!(loaded.len(), 1);
+        assert_ne!(loaded[0].1, real, "the flip must have landed");
+        assert_eq!(
+            loaded[0].1.energy_j.to_bits() ^ 1,
+            real.energy_j.to_bits(),
+            "exactly the low mantissa bit of energy_j flipped"
+        );
+
+        let job = SweepJob::resumed(
+            replayed[0].spec.clone(),
+            replayed[0].policy,
+            replayed[0].tws.clone(),
+            opts,
+            loaded.clone(),
+        );
+        job.run_shards_until(&cache, None, None);
+        let state = job.state();
+        let JobState::Failed { reason } = state else {
+            panic!("flipped row must fail the resumed job, got {state:?}");
+        };
+        assert!(reason.contains("tw=4"), "{reason}");
+        assert!(job
+            .audit()
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditError::RowMismatch { index: 1, tw: 4 })));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! job-<id-hex>.ptbj :=  MAGIC  record*
 //! record            :=  [payload len: u32 LE] [FNV-1a64(payload): u64 LE] [payload]
 //! payload           :=  JSON, one of:
-//!   {"type":"submit","id":N,"network":{...},"policy":"LABEL","tws":[...],"quick":B,"seed":N}
+//!   {"type":"submit","id":N,"network":{...},"policy":"LABEL","tws":[...],"quick":B,"seed":N,"verify":"LEVEL"}
 //!   {"type":"shard","index":I,"row":{"tw":..,"energy_j":..,"seconds":..,"edp":..}}
 //!   {"type":"done"}
 //! ```
+//!
+//! `"verify"` records the job's audit level so a resumed job keeps
+//! verifying at the level it was submitted with; journals written
+//! before the field existed replay as `off`.
 //!
 //! The discipline mirrors the disk `ActivityCache`: every record
 //! carries its own FNV-1a checksum, appends are single `write` calls
@@ -41,13 +45,19 @@
 //!   journal cannot smuggle an invariant-violating spec into a worker.
 //!
 //! Failpoints `journal_append` and `journal_replay` inject faults at
-//! the obvious places (see `ptb_bench::failpoint`).
+//! the obvious places (see `ptb_bench::failpoint`), and
+//! `journal_replay_flip` flips the low mantissa bit of every replayed
+//! row's `energy_j` *after* the checksum verified — undetectable by
+//! framing, there to prove the audit layer's replayed-row
+//! recomputation (`AuditError::RowMismatch`) catches what checksums
+//! cannot (see `crate::jobs`).
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use ptb_accel::audit::AuditLevel;
 use ptb_accel::config::Policy;
 use ptb_bench::cache::fnv1a;
 use ptb_bench::sync::lock_recover;
@@ -96,6 +106,9 @@ pub struct ReplayedJob {
     pub quick: bool,
     /// RNG seed of the original request.
     pub seed: u64,
+    /// Audit level of the original request (`off` when the journal
+    /// predates the field).
+    pub verify: AuditLevel,
     /// Journaled shard completions, `(original index, row)`.
     pub shards: Vec<(usize, SweepRow)>,
     /// Whether a `done` record closed the job (with every shard
@@ -161,6 +174,7 @@ impl JobJournal {
 
     /// Journals a job submission, creating (or truncating) its file.
     /// Must be called before any [`Self::log_shard`] for `id`.
+    #[allow(clippy::too_many_arguments)]
     pub fn log_submit(
         &self,
         id: u64,
@@ -169,6 +183,7 @@ impl JobJournal {
         tws: &[u32],
         quick: bool,
         seed: u64,
+        verify: AuditLevel,
     ) {
         let network = match serde_json::to_string(spec) {
             Ok(j) => j,
@@ -179,8 +194,10 @@ impl JobJournal {
         };
         let payload = format!(
             "{{\"type\":\"submit\",\"id\":{id},\"network\":{network},\
-             \"policy\":{},\"tws\":{tws:?},\"quick\":{quick},\"seed\":{seed}}}",
+             \"policy\":{},\"tws\":{tws:?},\"quick\":{quick},\"seed\":{seed},\
+             \"verify\":\"{}\"}}",
             serde_json::to_string(policy.label()).expect("string serialization"),
+            verify.label(),
         );
         self.write_record(id, &payload, true);
     }
@@ -385,6 +402,13 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
     api::validate_tws(&tws).ok()?;
     let quick = submit.get("quick")?.as_bool()?;
     let seed = submit.get("seed")?.as_u64()?;
+    // Optional: journals written before the audit layer existed carry
+    // no verify field and replay unverified, exactly as they ran.
+    let verify = submit
+        .get("verify")
+        .and_then(|v| v.as_str())
+        .and_then(AuditLevel::parse)
+        .unwrap_or(AuditLevel::Off);
 
     let mut shards: Vec<(usize, SweepRow)> = Vec::new();
     let mut done = false;
@@ -400,9 +424,15 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
                     let row: SweepRow = serde_json::from_value(record.get("row")?).ok()?;
                     (index < tws.len() && row.tw == tws[index]).then_some((index, row))
                 })();
-                let Some((index, row)) = parsed else {
+                let Some((index, mut row)) = parsed else {
                     break;
                 };
+                // Silent-corruption injection: flip one mantissa bit
+                // *after* the checksum verified. Framing cannot see it;
+                // only the audit layer's recomputation can.
+                if ptb_bench::failpoint!("journal_replay_flip").is_err() {
+                    row.energy_j = f64::from_bits(row.energy_j.to_bits() ^ 1);
+                }
                 if !shards.iter().any(|(i, _)| *i == index) {
                     shards.push((index, row));
                 }
@@ -425,6 +455,7 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
             tws,
             quick,
             seed,
+            verify,
             shards,
             done,
         },
@@ -463,7 +494,7 @@ mod tests {
         let journal = JobJournal::new(&dir);
         let spec = spikegen::dvs_gesture();
         let tws = vec![1u32, 4, 8];
-        journal.log_submit(3, &spec, Policy::ptb(), &tws, true, 42);
+        journal.log_submit(3, &spec, Policy::ptb(), &tws, true, 42, AuditLevel::Sample);
         journal.log_shard(3, 1, &row(4, 1.25));
         journal.log_shard(3, 0, &row(1, 2.5));
 
@@ -472,6 +503,7 @@ mod tests {
         assert_eq!(jobs.len(), 1);
         let job = &jobs[0];
         assert_eq!((job.id, job.quick, job.seed), (3, true, 42));
+        assert_eq!(job.verify, AuditLevel::Sample, "verify level round-trips");
         assert_eq!(job.spec, spec);
         assert_eq!(job.policy, Policy::ptb());
         assert_eq!(job.tws, tws);
@@ -496,7 +528,7 @@ mod tests {
         let dir = tmp_dir("torn");
         let journal = JobJournal::new(&dir);
         let spec = spikegen::dvs_gesture();
-        journal.log_submit(1, &spec, Policy::ptb(), &[1, 4], true, 7);
+        journal.log_submit(1, &spec, Policy::ptb(), &[1, 4], true, 7, AuditLevel::Off);
         journal.log_shard(1, 0, &row(1, 2.0));
         let path = journal.path(1);
         let bytes = std::fs::read(&path).unwrap();
@@ -538,10 +570,54 @@ mod tests {
     }
 
     #[test]
+    fn journals_without_a_verify_field_replay_as_off() {
+        // A journal from before the audit layer existed: same framing,
+        // no "verify" key in the submit record. It must replay (not be
+        // discarded) and come back unverified.
+        let dir = tmp_dir("legacy");
+        let journal = JobJournal::new(&dir);
+        journal.log_submit(
+            2,
+            &spikegen::dvs_gesture(),
+            Policy::ptb(),
+            &[1],
+            true,
+            5,
+            AuditLevel::Full,
+        );
+        let path = journal.path(2);
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, clean) = parse_records(&bytes);
+        assert!(clean);
+        let legacy = String::from_utf8(records[0].clone())
+            .unwrap()
+            .replace(",\"verify\":\"full\"", "");
+        assert!(!legacy.contains("verify"), "the field edit must land");
+        let mut out = JOURNAL_MAGIC.to_vec();
+        out.extend_from_slice(&frame_record(legacy.as_bytes()));
+        std::fs::write(&path, out).unwrap();
+
+        let fresh = JobJournal::new(&dir);
+        let jobs = fresh.replay();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].verify, AuditLevel::Off);
+        assert_eq!(fresh.stats().discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn done_without_all_shards_resumes_instead() {
         let dir = tmp_dir("early-done");
         let journal = JobJournal::new(&dir);
-        journal.log_submit(9, &spikegen::dvs_gesture(), Policy::ptb(), &[1, 4], true, 1);
+        journal.log_submit(
+            9,
+            &spikegen::dvs_gesture(),
+            Policy::ptb(),
+            &[1, 4],
+            true,
+            1,
+            AuditLevel::Off,
+        );
         journal.log_shard(9, 0, &row(1, 3.0));
         journal.log_done(9); // lies: shard 1 is missing
         let fresh = JobJournal::new(&dir);

@@ -12,10 +12,10 @@
 //!
 //! | Route | Body | Response |
 //! |---|---|---|
-//! | `POST /simulate` | `{"network", "policy", "tw", "quick"?, "seed"?, "deadline_ms"?}` | `NetworkReport` JSON |
-//! | `POST /sweep` | `{"network", "policy", "tws", "quick"?, "seed"?, "background"?, "deadline_ms"?}` | `[SweepRow]`, or `202 {"job": id}` |
-//! | `GET /jobs/{id}` | — | job status + rows when done, or `"failed"` + reason |
-//! | `GET /metrics` | — | counters, latency percentiles, cache + journal stats |
+//! | `POST /simulate` | `{"network", "policy", "tw", "quick"?, "seed"?, "deadline_ms"?, "verify"?}` | `NetworkReport` JSON |
+//! | `POST /sweep` | `{"network", "policy", "tws", "quick"?, "seed"?, "background"?, "deadline_ms"?, "verify"?}` | `[SweepRow]`, or `202 {"job": id}` |
+//! | `GET /jobs/{id}` | — | job status + `audit` summary + rows when done, or `"failed"` + reason |
+//! | `GET /metrics` | — | counters, latency percentiles, cache + journal + audit stats |
 //! | `GET /healthz` | — | `{"status": "ok"}` |
 //! | `POST /shutdown` | — | responds, then drains and stops the daemon |
 //!
@@ -34,6 +34,14 @@
 //! dead daemon), deadlines (`PTB_DEADLINE_MS` or per-request
 //! `deadline_ms`) shed expired work with `503` + `Retry-After`, and
 //! the [`client`] retries with decorrelated-jitter backoff.
+//!
+//! Runs can be *audited*: `"verify": "sample"|"full"` on a request (or
+//! `PTB_VERIFY` as the daemon default) re-derives structural invariants
+//! and replays sampled neurons through the serial reference model
+//! (`ptb_accel::audit`). A divergence fails the response or job with
+//! typed findings instead of serving wrong numbers, journal-replayed
+//! rows are recomputed before being trusted, and `/metrics` exposes the
+//! totals (`audit_mismatches`, `acc_saturated`).
 //!
 //! See `docs/ARCHITECTURE.md` ("The simulation service", "Failure
 //! modes and recovery") for the request lifecycle, sweep sharding, and

@@ -119,6 +119,17 @@ pub struct Metrics {
     /// Requests answered `503` because their deadline (`PTB_DEADLINE_MS`
     /// or the request's `deadline_ms`) expired at dequeue or mid-sweep.
     pub deadline_expired: AtomicU64,
+    /// Audit findings across every verified run (`PTB_VERIFY` or a
+    /// request's `verify`): replay divergences, packing violations,
+    /// corrupt activity, journal-row mismatches. Zero on a healthy
+    /// daemon; any increment means a simulation disagreed with the
+    /// reference model and its response/job was failed.
+    pub audit_mismatches: AtomicU64,
+    /// Saturated (clamped) accumulator events observed by audited runs.
+    /// Saturation is not corruption — the arithmetic clamps instead of
+    /// wrapping — but a nonzero count means energy/latency tallies are
+    /// lower bounds and worth investigating.
+    pub acc_saturated: AtomicU64,
     /// Per-endpoint counters, keyed by route.
     pub simulate: EndpointMetrics,
     /// `/sweep` counters.

@@ -56,8 +56,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ptb_accel::audit::AuditLevel;
 use ptb_bench::sync::{lock_recover, wait_recover};
-use ptb_bench::{run_network_cached, ActivityCache, CacheMode, RunOptions};
+use ptb_bench::{run_network_verified, ActivityCache, CacheMode, RunOptions};
 
 use crate::api;
 use crate::http::{read_request, Request, RequestError, Response, READ_TIMEOUT};
@@ -92,6 +93,11 @@ pub struct ServerConfig {
     /// enqueue; `None` means no deadline. Requests may override with
     /// their own `deadline_ms`.
     pub deadline_ms: Option<u64>,
+    /// Default audit level for every run ([`AuditLevel::Off`] unless
+    /// `PTB_VERIFY` says otherwise); requests may override with their
+    /// own `verify` field. Findings fail the response or job and count
+    /// in `/metrics` (`audit_mismatches`, `acc_saturated`).
+    pub verify: AuditLevel,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +112,7 @@ impl Default for ServerConfig {
             cache: CacheMode::Mem,
             job_dir: None,
             deadline_ms: None,
+            verify: AuditLevel::Off,
         }
     }
 }
@@ -116,8 +123,8 @@ impl ServerConfig {
     /// `PTB_QUEUE_CAP` (queue bound, default 64), `PTB_CACHE`
     /// (shared cache mode, default `mem`), `PTB_JOB_DIR` (job journal
     /// directory, default `results/.jobs`; `off`/`none`/empty disables),
-    /// and `PTB_DEADLINE_MS` (default request deadline; `0` or unset
-    /// means none).
+    /// `PTB_DEADLINE_MS` (default request deadline; `0` or unset means
+    /// none), and `PTB_VERIFY` (default audit level, `off`).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(addr) = std::env::var("PTB_ADDR") {
@@ -147,6 +154,7 @@ impl ServerConfig {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&ms| ms > 0);
+        cfg.verify = AuditLevel::from_env();
         cfg
     }
 }
@@ -224,6 +232,8 @@ struct Shared {
     queue: Queue,
     workers: usize,
     deadline: Option<Duration>,
+    /// Default audit level for requests that don't set `verify`.
+    verify: AuditLevel,
     shutdown: AtomicBool,
 }
 
@@ -255,6 +265,7 @@ impl Server {
             queue: Queue::new(cfg.queue_cap),
             workers: cfg.workers,
             deadline: cfg.deadline_ms.map(Duration::from_millis),
+            verify: cfg.verify,
             shutdown: AtomicBool::new(false),
         });
 
@@ -315,8 +326,12 @@ fn replay_journal(shared: &Arc<Shared>) {
     let mut max_id = 0u64;
     for replayed in journal.replay() {
         max_id = max_id.max(replayed.id);
-        let opts = run_options(Some(replayed.quick), Some(replayed.seed));
+        let opts = run_options(Some(replayed.quick), Some(replayed.seed), replayed.verify);
         let unfinished = !replayed.done;
+        // Under a non-off verify level even a *finished* job goes back
+        // to the pool: its replayed rows get recomputed and diffed
+        // before it is served again (see `SweepJob::run_shards_until`).
+        let needs_pool = unfinished || (replayed.verify.is_on() && !replayed.shards.is_empty());
         let job = Arc::new(
             SweepJob::resumed(
                 replayed.spec,
@@ -334,7 +349,7 @@ fn replay_journal(shared: &Arc<Shared>) {
             );
             continue;
         }
-        if unfinished && shared.queue.push(Work::Shard(job)).is_err() {
+        if needs_pool && shared.queue.push(Work::Shard(job)).is_err() {
             // Queue smaller than the backlog of resumed jobs: this one
             // stays registered but idle until the next restart.
             eprintln!(
@@ -393,11 +408,7 @@ fn worker_loop(shared: &Shared) {
             match work {
                 Work::Conn(mut stream, enqueued) => handle_conn(shared, &mut stream, enqueued),
                 Work::Shard(job) => {
-                    job.run_shards_until(
-                        &shared.cache,
-                        None,
-                        Some(&shared.metrics.panics_contained),
-                    );
+                    job.run_shards_until(&shared.cache, None, Some(&shared.metrics));
                 }
             }
         }));
@@ -510,9 +521,9 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
 }
 
 /// Builds the per-request run options: quick or full fidelity, caller's
-/// seed, serial position scan (parallelism comes from the pool, not
-/// from within a layer).
-fn run_options(quick: Option<bool>, seed: Option<u64>) -> RunOptions {
+/// seed, the resolved audit level, serial position scan (parallelism
+/// comes from the pool, not from within a layer).
+fn run_options(quick: Option<bool>, seed: Option<u64>, verify: AuditLevel) -> RunOptions {
     let mut opts = if quick.unwrap_or(false) {
         RunOptions::quick()
     } else {
@@ -521,6 +532,7 @@ fn run_options(quick: Option<bool>, seed: Option<u64>) -> RunOptions {
     if let Some(seed) = seed {
         opts.seed = seed;
     }
+    opts.verify = verify;
     opts
 }
 
@@ -550,8 +562,31 @@ fn handle_simulate(shared: &Shared, body: &[u8]) -> Response {
     if let Err(e) = api::validate_tw(req.tw) {
         return Response::error(422, &e.0);
     }
-    let opts = run_options(req.quick, req.seed);
-    let report = run_network_cached(&spec, req.policy.0, req.tw, &opts, &shared.cache);
+    let verify = match api::validate_verify(req.verify.as_deref(), shared.verify) {
+        Ok(v) => v,
+        Err(e) => return Response::error(422, &e.0),
+    };
+    let opts = run_options(req.quick, req.seed, verify);
+    let (report, audit) = run_network_verified(&spec, req.policy.0, req.tw, &opts, &shared.cache);
+    shared
+        .metrics
+        .audit_mismatches
+        .fetch_add(audit.mismatches, Ordering::Relaxed);
+    shared
+        .metrics
+        .acc_saturated
+        .fetch_add(audit.saturated, Ordering::Relaxed);
+    if !audit.is_clean() {
+        // The report diverged from the reference model: serve the
+        // findings, never the untrustworthy numbers.
+        let findings = serde_json::to_string(&audit).unwrap_or_else(|_| "null".into());
+        let mut resp = Response::json(format!(
+            "{{\"error\": \"simulation failed audit at level {}\", \"audit\": {findings}}}",
+            audit.level.label()
+        ));
+        resp.status = 500;
+        return resp;
+    }
     match serde_json::to_string(&report) {
         Ok(json) => Response::json(json),
         Err(_) => Response::error(500, "report serialization failed"),
@@ -570,8 +605,12 @@ fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
     if let Err(e) = api::validate_tws(&req.tws) {
         return Response::error(422, &e.0);
     }
+    let verify = match api::validate_verify(req.verify.as_deref(), shared.verify) {
+        Ok(v) => v,
+        Err(e) => return Response::error(422, &e.0),
+    };
     let quick = req.quick.unwrap_or(false);
-    let opts = run_options(req.quick, req.seed);
+    let opts = run_options(req.quick, req.seed, verify);
     let seed = opts.seed;
     let deadline = effective_deadline(shared, req.deadline_ms, enqueued);
 
@@ -590,18 +629,14 @@ fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
             return Response::unavailable("job registry is full", RETRY_AFTER_SECS);
         }
         if let Some(journal) = &shared.journal {
-            journal.log_submit(id, &job.spec, job.policy, &job.tws, quick, seed);
+            journal.log_submit(id, &job.spec, job.policy, &job.tws, quick, seed, verify);
         }
         let offered = offer_shards(shared, &job);
         // Guarantee progress even if no shard item could be offered
         // (full queue, or a single-worker pool): run the shards here
         // before answering, trading response latency for liveness.
         if offered == 0 {
-            job.run_shards_until(
-                &shared.cache,
-                deadline,
-                Some(&shared.metrics.panics_contained),
-            );
+            job.run_shards_until(&shared.cache, deadline, Some(&shared.metrics));
         }
         let mut resp = Response::json(format!("{{\"job\": {id}, \"total\": {}}}", job.tws.len()));
         resp.status = 202;
@@ -612,11 +647,7 @@ fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
     // waits out any shard still running on another worker.
     let job = Arc::new(SweepJob::new(spec, req.policy.0, req.tws.clone(), opts));
     offer_shards(shared, &job);
-    job.run_shards_until(
-        &shared.cache,
-        deadline,
-        Some(&shared.metrics.panics_contained),
-    );
+    job.run_shards_until(&shared.cache, deadline, Some(&shared.metrics));
     let terminal = match deadline {
         Some(d) => job.wait_until(d),
         None => {
@@ -639,6 +670,17 @@ fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
         );
     }
     if let Some(reason) = job.failed() {
+        let audit = job.audit();
+        if !audit.is_clean() {
+            let findings = serde_json::to_string(&audit).unwrap_or_else(|_| "null".into());
+            let reason_json =
+                serde_json::to_string(&format!("sweep failed: {reason}")).expect("string");
+            let mut resp = Response::json(format!(
+                "{{\"error\": {reason_json}, \"audit\": {findings}}}"
+            ));
+            resp.status = 500;
+            return resp;
+        }
         return Response::error(500, &format!("sweep failed: {reason}"));
     }
     match job.rows() {
@@ -676,22 +718,26 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
     };
     let completed = job.completed();
     let total = job.tws.len();
+    // Always present: all-zeros when the job ran unverified, findings
+    // (typed, with first-divergence coordinates) when the audit fired.
+    let audit = serde_json::to_string(&job.audit()).unwrap_or_else(|_| "null".into());
     match job.state() {
         JobState::Failed { reason } => Response::json(format!(
             "{{\"id\": {id}, \"done\": false, \"failed\": true, \"error\": {}, \
-             \"completed\": {completed}, \"total\": {total}}}",
+             \"completed\": {completed}, \"total\": {total}, \"audit\": {audit}}}",
             serde_json::to_string(&reason).expect("string serialization"),
         )),
         JobState::Done => match job.rows().map(|r| serde_json::to_string(&r)) {
             Some(Ok(json)) => Response::json(format!(
                 "{{\"id\": {id}, \"done\": true, \"failed\": false, \
-                 \"completed\": {completed}, \"total\": {total}, \"rows\": {json}}}"
+                 \"completed\": {completed}, \"total\": {total}, \
+                 \"audit\": {audit}, \"rows\": {json}}}"
             )),
             _ => Response::error(500, "row serialization failed"),
         },
         JobState::Running => Response::json(format!(
             "{{\"id\": {id}, \"done\": false, \"failed\": false, \
-             \"completed\": {completed}, \"total\": {total}}}"
+             \"completed\": {completed}, \"total\": {total}, \"audit\": {audit}}}"
         )),
     }
 }
@@ -720,6 +766,7 @@ fn handle_metrics(shared: &Shared) -> Response {
     Response::json(format!(
         "{{\"accepted\": {}, \"rejected_queue_full\": {}, \"bad_requests\": {}, \
          \"panics_contained\": {}, \"deadline_expired\": {}, \
+         \"audit_mismatches\": {}, \"acc_saturated\": {}, \"verify\": \"{}\", \
          \"queue_depth\": {}, \"workers\": {}, \
          \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
          \"journal\": {journal}, \
@@ -729,6 +776,9 @@ fn handle_metrics(shared: &Shared) -> Response {
         m.bad_requests.load(Ordering::Relaxed),
         m.panics_contained.load(Ordering::Relaxed),
         m.deadline_expired.load(Ordering::Relaxed),
+        m.audit_mismatches.load(Ordering::Relaxed),
+        m.acc_saturated.load(Ordering::Relaxed),
+        shared.verify.label(),
         shared.queue.len(),
         shared.workers,
         cache.mem_hits,

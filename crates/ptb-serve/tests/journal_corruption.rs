@@ -38,7 +38,15 @@ fn valid_journal(dir: &Path) -> (PathBuf, Vec<u8>) {
     let journal = JobJournal::new(dir);
     let spec = spikegen::dvs_gesture();
     let tws = [1u32, 4];
-    journal.log_submit(5, &spec, Policy::ptb(), &tws, true, 42);
+    journal.log_submit(
+        5,
+        &spec,
+        Policy::ptb(),
+        &tws,
+        true,
+        42,
+        ptb_accel::audit::AuditLevel::Off,
+    );
     journal.log_shard(5, 0, &row(1, 2.0));
     journal.log_shard(5, 1, &row(4, 1.5));
     journal.log_done(5);

@@ -43,6 +43,7 @@ fn server_with_jobs(dir: &Path, workers: usize) -> Server {
         cache: ptb_bench::CacheMode::Mem,
         job_dir: Some(dir.to_path_buf()),
         deadline_ms: None,
+        verify: ptb_accel::audit::AuditLevel::Off,
     })
     .expect("bind test server")
 }
@@ -100,7 +101,15 @@ fn restart_resumes_jobs_without_recomputing_journaled_shards() {
     };
     assert_ne!(sentinel, expected[1], "sentinel must be distinguishable");
     let journal = JobJournal::new(&dir);
-    journal.log_submit(7, &spec, Policy::ptb(), &tws, true, 42);
+    journal.log_submit(
+        7,
+        &spec,
+        Policy::ptb(),
+        &tws,
+        true,
+        42,
+        ptb_accel::audit::AuditLevel::Off,
+    );
     journal.log_shard(7, 0, &expected[0]);
     journal.log_shard(7, 1, &sentinel);
 
@@ -244,6 +253,7 @@ fn sync_sweep_deadline_expiry_answers_503_with_retry_after() {
         cache: ptb_bench::CacheMode::Mem,
         job_dir: None,
         deadline_ms: None,
+        verify: ptb_accel::audit::AuditLevel::Off,
     })
     .expect("bind test server");
     let addr = server.addr();

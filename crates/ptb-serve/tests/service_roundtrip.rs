@@ -156,6 +156,68 @@ fn background_sweeps_poll_to_the_same_rows() {
     server.join();
 }
 
+/// The audit layer over the wire: a verified request still answers
+/// bit-identically to the unverified harness, the audit counters show
+/// up (and stay zero) in /metrics, a verified job exposes its `audit`
+/// object, and a bad `verify` value is a 422.
+#[test]
+fn verified_requests_round_trip_clean_and_bad_levels_are_rejected() {
+    let server = test_server(2);
+    let addr = server.addr();
+
+    let body = "{\"network\": \"DVS-Gesture\", \"policy\": \"PTB+StSAP\", \"tw\": 8, \
+                \"quick\": true, \"seed\": 42, \"verify\": \"sample\"}";
+    let (status, text) = client::request_json(addr, "POST", "/simulate", body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let report: NetworkReport = serde_json::from_str(&text).unwrap();
+    let opts = RunOptions::quick();
+    let spec = spikegen::network_by_name("DVS-Gesture").unwrap();
+    let expected = run_network_cached(&spec, Policy::ptb_with_stsap(), 8, &opts, &opts.new_cache());
+    assert_eq!(report, expected, "verification must not perturb results");
+
+    let bad = "{\"network\": \"DVS-Gesture\", \"policy\": \"PTB\", \"tw\": 8, \
+               \"verify\": \"paranoid\"}";
+    let (status, text) = client::request_json(addr, "POST", "/simulate", bad).unwrap();
+    assert_eq!(status, 422, "{text}");
+
+    let sweep = "{\"network\": \"DVS-Gesture\", \"policy\": \"PTB\", \"tws\": [1, 4], \
+                 \"quick\": true, \"background\": true, \"verify\": \"sample\"}";
+    let (status, text) = client::request_json(addr, "POST", "/sweep", sweep).unwrap();
+    assert_eq!(status, 202, "{text}");
+    let ack: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let id = ack.get("job").and_then(|v| v.as_u64()).expect("job id");
+    let audit = loop {
+        let (status, text) = client::request_json(addr, "GET", &format!("/jobs/{id}"), "").unwrap();
+        assert_eq!(status, 200, "{text}");
+        let poll: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(
+            poll.get("failed").and_then(|v| v.as_bool()) != Some(true),
+            "clean job must not fail: {text}"
+        );
+        if poll.get("done").and_then(|v| v.as_bool()) == Some(true) {
+            break poll.get("audit").expect("audit object present").clone();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert_eq!(audit.get("mismatches").and_then(|v| v.as_u64()), Some(0));
+    assert!(
+        audit.get("layers_checked").and_then(|v| v.as_u64()) > Some(0),
+        "the job really was audited: {audit:?}"
+    );
+
+    let (_, text) = client::request_json(addr, "GET", "/metrics", "").unwrap();
+    let m: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        m.get("audit_mismatches").and_then(|v| v.as_u64()),
+        Some(0),
+        "{text}"
+    );
+    assert!(m.get("acc_saturated").is_some(), "{text}");
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn metrics_reflect_traffic_and_validation_rejects_cleanly() {
     let server = test_server(2);

@@ -35,4 +35,4 @@ pub mod trace;
 pub use array::ArrayDims;
 pub use config::ArchConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use trace::{AccessCounts, DataKind, MemLevel};
+pub use trace::{sat_add, sat_mul, AccessCounts, DataKind, MemLevel};

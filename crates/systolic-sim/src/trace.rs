@@ -101,8 +101,44 @@ impl DataKind {
     }
 }
 
+/// Adds `b` to `a` with saturation: the sum clamps at [`u64::MAX`]
+/// instead of wrapping, and every clamp increments `*saturated` so the
+/// caller can report the overflow as an audit finding rather than
+/// silently publishing a wrapped total. When nothing clamps the result
+/// is bit-identical to `a + b`.
+#[inline]
+pub fn sat_add(a: u64, b: u64, saturated: &mut u64) -> u64 {
+    match a.checked_add(b) {
+        Some(v) => v,
+        None => {
+            *saturated += 1;
+            u64::MAX
+        }
+    }
+}
+
+/// Multiplies `a` by `b` with saturation, counting clamps like
+/// [`sat_add`]. When nothing clamps the result is bit-identical to
+/// `a * b`.
+#[inline]
+pub fn sat_mul(a: u64, b: u64, saturated: &mut u64) -> u64 {
+    match a.checked_mul(b) {
+        Some(v) => v,
+        None => {
+            *saturated += 1;
+            u64::MAX
+        }
+    }
+}
+
 /// Aggregated access trace: read/write bit counts per (level, kind),
 /// plus arithmetic operation counts.
+///
+/// All accumulation into a trace is *checked*: additions clamp at
+/// [`u64::MAX`] and count the clamp in [`AccessCounts::saturated`], so
+/// an overflowed model run reports a lower bound plus a nonzero
+/// saturation counter instead of a silently wrapped total (the audit
+/// layer turns the counter into a finding).
 ///
 /// ```
 /// use systolic_sim::trace::{AccessCounts, DataKind, MemLevel};
@@ -111,6 +147,7 @@ impl DataKind {
 /// c.write(MemLevel::L1, DataKind::Weight, 8 * 1024);
 /// assert_eq!(c.read_bits(MemLevel::Dram, DataKind::Weight), 8 * 1024);
 /// assert_eq!(c.level_bits(MemLevel::L1), 8 * 1024);
+/// assert_eq!(c.saturated, 0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessCounts {
@@ -122,6 +159,10 @@ pub struct AccessCounts {
     pub mac_ops: u64,
     /// Threshold comparisons / membrane updates (Step B).
     pub compare_ops: u64,
+    /// How many accumulations clamped at [`u64::MAX`] instead of
+    /// wrapping. Zero on every well-formed run; nonzero means the other
+    /// counters are lower bounds.
+    pub saturated: u64,
 }
 
 impl AccessCounts {
@@ -132,12 +173,14 @@ impl AccessCounts {
 
     /// Records `bits` read from `level` of data `kind`.
     pub fn read(&mut self, level: MemLevel, kind: DataKind, bits: u64) {
-        self.reads[level.index()][kind.index()] += bits;
+        let cell = &mut self.reads[level.index()][kind.index()];
+        *cell = sat_add(*cell, bits, &mut self.saturated);
     }
 
     /// Records `bits` written to `level` of data `kind`.
     pub fn write(&mut self, level: MemLevel, kind: DataKind, bits: u64) {
-        self.writes[level.index()][kind.index()] += bits;
+        let cell = &mut self.writes[level.index()][kind.index()];
+        *cell = sat_add(*cell, bits, &mut self.saturated);
     }
 
     /// Records a transfer from an outer level into an inner one: a read
@@ -157,20 +200,22 @@ impl AccessCounts {
         self.writes[level.index()][kind.index()]
     }
 
-    /// Total bits (reads + writes) touching `level`.
+    /// Total bits (reads + writes) touching `level`. Saturating, so a
+    /// clamped trace aggregates without wrapping.
     pub fn level_bits(&self, level: MemLevel) -> u64 {
-        DataKind::ALL
-            .iter()
-            .map(|&k| self.read_bits(level, k) + self.write_bits(level, k))
-            .sum()
+        DataKind::ALL.iter().fold(0u64, |acc, &k| {
+            acc.saturating_add(self.read_bits(level, k))
+                .saturating_add(self.write_bits(level, k))
+        })
     }
 
     /// Total bits (reads + writes) of `kind` across all levels.
+    /// Saturating, like [`AccessCounts::level_bits`].
     pub fn kind_bits(&self, kind: DataKind) -> u64 {
-        MemLevel::ALL
-            .iter()
-            .map(|&l| self.read_bits(l, kind) + self.write_bits(l, kind))
-            .sum()
+        MemLevel::ALL.iter().fold(0u64, |acc, &l| {
+            acc.saturating_add(self.read_bits(l, kind))
+                .saturating_add(self.write_bits(l, kind))
+        })
     }
 
     /// Adds every counter of `other` into `self`.
@@ -181,15 +226,20 @@ impl AccessCounts {
     /// fan its position scan across worker threads while staying
     /// bit-identical to the serial walk.
     pub fn merge(&mut self, other: &AccessCounts) {
+        let mut sat = 0u64;
         for l in 0..4 {
             for k in 0..5 {
-                self.reads[l][k] += other.reads[l][k];
-                self.writes[l][k] += other.writes[l][k];
+                self.reads[l][k] = sat_add(self.reads[l][k], other.reads[l][k], &mut sat);
+                self.writes[l][k] = sat_add(self.writes[l][k], other.writes[l][k], &mut sat);
             }
         }
-        self.ac_ops += other.ac_ops;
-        self.mac_ops += other.mac_ops;
-        self.compare_ops += other.compare_ops;
+        self.ac_ops = sat_add(self.ac_ops, other.ac_ops, &mut sat);
+        self.mac_ops = sat_add(self.mac_ops, other.mac_ops, &mut sat);
+        self.compare_ops = sat_add(self.compare_ops, other.compare_ops, &mut sat);
+        self.saturated = self
+            .saturated
+            .saturating_add(other.saturated)
+            .saturating_add(sat);
     }
 
     /// Off-chip traffic in bits (DRAM reads + writes); the quantity the
@@ -308,5 +358,45 @@ mod tests {
             assert_eq!(c.level_bits(l), 0);
         }
         assert_eq!(c.ac_ops, 0);
+        assert_eq!(c.saturated, 0);
+    }
+
+    #[test]
+    fn sat_helpers_are_exact_until_they_clamp() {
+        let mut sat = 0u64;
+        assert_eq!(sat_add(3, 4, &mut sat), 7);
+        assert_eq!(sat_mul(3, 4, &mut sat), 12);
+        assert_eq!(sat, 0);
+        assert_eq!(sat_add(u64::MAX, 1, &mut sat), u64::MAX);
+        assert_eq!(sat, 1);
+        assert_eq!(sat_mul(u64::MAX, 2, &mut sat), u64::MAX);
+        assert_eq!(sat, 2);
+        assert_eq!(sat_add(u64::MAX, 0, &mut sat), u64::MAX, "MAX + 0 is exact");
+        assert_eq!(sat, 2);
+    }
+
+    #[test]
+    fn overflowing_accumulation_clamps_and_counts() {
+        let mut c = AccessCounts::new();
+        c.read(MemLevel::Dram, DataKind::Weight, u64::MAX);
+        assert_eq!(c.saturated, 0, "a single huge read still fits");
+        c.read(MemLevel::Dram, DataKind::Weight, 1);
+        assert_eq!(c.read_bits(MemLevel::Dram, DataKind::Weight), u64::MAX);
+        assert_eq!(c.saturated, 1);
+        // Aggregations over a clamped trace must not wrap either.
+        assert_eq!(c.level_bits(MemLevel::Dram), u64::MAX);
+        assert_eq!(c.dram_traffic_bits(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_propagates_and_detects_saturation() {
+        let mut a = AccessCounts::new();
+        a.read(MemLevel::L1, DataKind::Psum, u64::MAX - 1);
+        let mut b = AccessCounts::new();
+        b.read(MemLevel::L1, DataKind::Psum, 2);
+        b.saturated = 3; // pre-existing findings travel with the shard
+        a.merge(&b);
+        assert_eq!(a.read_bits(MemLevel::L1, DataKind::Psum), u64::MAX);
+        assert_eq!(a.saturated, 4, "3 inherited + 1 from the merge clamp");
     }
 }

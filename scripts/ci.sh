@@ -22,11 +22,30 @@ cargo test -q
 echo "== full workspace test suite"
 cargo test --workspace -q
 
+echo "== structured fuzz (time-boxed; exit nonzero on any panic or audit finding)"
+./target/release/fuzz_pipeline --seconds 20
+
+echo "== audited sweep (PTB_VERIFY=sample over the three workloads, zero findings)"
+PTB_QUICK=1 ./target/release/verify_sweep --level sample
+
+echo "== injected corruption must be caught (cache_load_flip + --expect-findings)"
+ROOT="$(pwd)"
+CACHE_TMP="$(mktemp -d)"
+# Warm a disk cache, then replay the same sweep with every disk load
+# delivering one flipped bit: the audit must report findings (the flag
+# inverts the exit code, so a silent pass fails CI).
+(cd "$CACHE_TMP" && PTB_QUICK=1 PTB_CACHE=disk \
+    "$ROOT/target/release/verify_sweep" --level off >/dev/null)
+(cd "$CACHE_TMP" && PTB_QUICK=1 PTB_CACHE=disk PTB_FAILPOINTS="cache_load_flip=err" \
+    "$ROOT/target/release/verify_sweep" --level sample --expect-findings >/dev/null)
+rm -rf "$CACHE_TMP"
+
 echo "== ptb-serve smoke (ephemeral port, ptb-load --smoke, clean shutdown)"
 PORT_FILE="$(mktemp)"
 JOB_DIR="$(mktemp -d)"
 trap 'rm -f "$PORT_FILE"; rm -rf "$JOB_DIR"' EXIT
-./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 --job-dir off --port-file "$PORT_FILE" &
+PTB_VERIFY=sample \
+    ./target/release/ptb-serve --addr 127.0.0.1:0 --workers 2 --job-dir off --port-file "$PORT_FILE" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$PORT_FILE" ] && break
@@ -77,8 +96,15 @@ printf '%s' "$METRICS" | grep -q '"resumed_jobs": 1' \
     || { echo "reboot did not resume the journaled job: $METRICS"; exit 1; }
 
 echo "== chaos load (dropped/short-written connections must converge via retries)"
+# ptb-load --chaos also asserts the daemon's audit_mismatches stayed 0.
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --requests 8 --concurrency 2 --chaos
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
 wait "$SERVE_PID"
+
+echo "== release tests with debug assertions (overflow checks on the hot paths)"
+# A separate target dir keeps the main release artifacts (used by the
+# stages above) untouched.
+RUSTFLAGS="-C debug-assertions" CARGO_TARGET_DIR=target/debug-assert \
+    cargo test -q --release --workspace
 
 echo "CI gate passed."

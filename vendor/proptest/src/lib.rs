@@ -8,15 +8,21 @@
 //! Differences from the real crate, by design:
 //! - **No shrinking.** A failing case reports the originally generated
 //!   inputs instead of a minimized counterexample.
-//! - **No persistence.** `.proptest-regressions` files are ignored (the
-//!   seed hashes they store index the real crate's ChaCha streams, which
-//!   this stand-in cannot replay). Regressions worth keeping must be
-//!   pinned as ordinary `#[test]`s — see
+//! - **Persistence replays this stand-in's own streams.** Before any
+//!   novel cases, `cc <hex>` lines from the source file's sibling
+//!   `.proptest-regressions` file are replayed: the first 16 hex digits
+//!   are a raw [`TestRng`] state, fed back through the test's strategy.
+//!   New failures append their state (best effort). Seeds written by
+//!   the *real* proptest index ChaCha streams this stand-in cannot
+//!   reproduce — replaying them still runs a deterministic valid case,
+//!   just not the historical counterexample, so regressions worth
+//!   keeping exactly should also be pinned as ordinary `#[test]`s — see
 //!   `crates/ptb-accel/src/stsap.rs::regression_seed0_n47_width2`.
 //! - Generation is deterministic per test name (override with the
 //!   `PROPTEST_SEED` environment variable).
 
 use std::fmt::Debug;
+use std::path::{Path, PathBuf};
 
 /// Deterministic test-case RNG (SplitMix64).
 #[derive(Debug, Clone)]
@@ -53,6 +59,19 @@ impl TestRng {
     /// Uniform draw in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Rebuilds an RNG from a raw state captured with
+    /// [`TestRng::state`] — the regression-replay mechanism.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current raw state. Captured immediately before a case is
+    /// generated, it replays that case exactly via
+    /// [`TestRng::from_state`].
+    pub fn state(&self) -> u64 {
+        self.state
     }
 }
 
@@ -321,36 +340,142 @@ impl TestCaseError {
     }
 }
 
-/// Runs one property: `cases` iterations of generate + execute.
-/// Used by the `proptest!` macro expansion; not part of the public API
-/// of the real crate.
-pub fn run_property<S: Strategy>(
+/// Candidate locations of `source_file`'s `.proptest-regressions`
+/// sibling. `file!()` paths are workspace-relative but tests may run
+/// with the package directory as CWD, so parent directories are tried
+/// too.
+fn regression_candidates(source_file: &str) -> Vec<PathBuf> {
+    if source_file.is_empty() {
+        return Vec::new();
+    }
+    let sibling = Path::new(source_file).with_extension("proptest-regressions");
+    vec![
+        sibling.clone(),
+        Path::new("..").join(&sibling),
+        Path::new("../..").join(&sibling),
+    ]
+}
+
+/// Extracts replayable RNG states from a `.proptest-regressions` file:
+/// the first 16 hex digits of each `cc <hex>` line (comments and blank
+/// lines skipped). Seeds the real proptest wrote are longer; their
+/// prefix still yields a deterministic — if different — case.
+fn parse_regressions(content: &str) -> Vec<u64> {
+    content
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take(16).collect();
+            u64::from_str_radix(&hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Appends the failing case's RNG state to the regressions file so the
+/// next run replays it first. Best effort: persistence must never mask
+/// the test failure itself.
+fn persist_regression(candidates: &[PathBuf], existing: Option<&Path>, name: &str, state: u64) {
+    let Some(target) = existing.or_else(|| candidates.first().map(PathBuf::as_path)) else {
+        return;
+    };
+    let header = if target.is_file() {
+        String::new()
+    } else {
+        "# Seeds for failure cases the offline proptest stand-in has generated\n\
+         # in the past; replayed before any novel cases (first 16 hex digits\n\
+         # are a raw TestRng state).\n"
+            .to_string()
+    };
+    let line = format!("{header}cc {state:016x} # failing case of `{name}`\n");
+    use std::io::Write;
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(target)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+}
+
+/// Runs one property: pinned `.proptest-regressions` replays first
+/// (located next to `source_file`, the `file!()` of the `proptest!`
+/// block), then `cases` iterations of generate + execute. A new
+/// failure's RNG state is appended to the regressions file before the
+/// test panics. Used by the `proptest!` macro expansion; not part of
+/// the public API of the real crate.
+pub fn run_property_in<S: Strategy>(
+    source_file: &str,
     name: &str,
     config: &ProptestConfig,
     strategy: S,
     mut body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
 ) {
+    let candidates = regression_candidates(source_file);
+    let existing = candidates.iter().find(|p| p.is_file()).cloned();
+    if let Some(path) = &existing {
+        let content = std::fs::read_to_string(path).unwrap_or_default();
+        for state in parse_regressions(&content) {
+            let mut rng = TestRng::from_state(state);
+            let value = strategy.gen_value(&mut rng);
+            let described = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "property `{name}` failed on pinned regression cc {state:016x} from {}: {}\n  \
+                     inputs: {described}",
+                    path.display(),
+                    e.message
+                ),
+                Err(panic) => {
+                    eprintln!(
+                        "property `{name}` panicked on pinned regression cc {state:016x} from \
+                         {}\n  inputs: {described}",
+                        path.display()
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+
     let mut rng = TestRng::for_test(name);
     for case in 0..config.cases {
+        let state = rng.state();
         let value = strategy.gen_value(&mut rng);
         let described = format!("{value:?}");
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
         match outcome {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => panic!(
-                "property `{name}` failed at case {case}/{}: {}\n  inputs: {described}\n  \
-                 (no shrinking in the offline proptest stand-in)",
-                config.cases, e.message
-            ),
+            Ok(Err(e)) => {
+                persist_regression(&candidates, existing.as_deref(), name, state);
+                panic!(
+                    "property `{name}` failed at case {case}/{}: {}\n  inputs: {described}\n  \
+                     (no shrinking in the offline proptest stand-in; state cc {state:016x} \
+                     persisted for replay)",
+                    config.cases, e.message
+                );
+            }
             Err(panic) => {
+                persist_regression(&candidates, existing.as_deref(), name, state);
                 eprintln!(
-                    "property `{name}` panicked at case {case}/{}\n  inputs: {described}",
+                    "property `{name}` panicked at case {case}/{}\n  inputs: {described}\n  \
+                     (state cc {state:016x} persisted for replay)",
                     config.cases
                 );
                 std::panic::resume_unwind(panic);
             }
         }
     }
+}
+
+/// [`run_property_in`] without a source file: no regression replay or
+/// persistence. Kept for callers outside the `proptest!` macro.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    body: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    run_property_in("", name, config, strategy, body);
 }
 
 /// Declares property tests (stand-in for `proptest::proptest!`).
@@ -377,7 +502,8 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            $crate::run_property(
+            $crate::run_property_in(
+                file!(),
                 stringify!($name),
                 &config,
                 ($($strat,)+),
@@ -491,5 +617,101 @@ mod tests {
         let mut a = TestRng::for_test("same");
         let mut b = TestRng::for_test("same");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn regressions_parse_cc_lines_and_tolerate_real_proptest_seeds() {
+        let content = "# comment\n\
+                       \n\
+                       cc c58f6d1d3489ab9f3f8fa7a6936ec7fef891704f081c28a0c490c902069c5fc8 # shrinks to ...\n\
+                       cc 00000000000000ff\n\
+                       not a cc line\n\
+                       cc nothex\n";
+        assert_eq!(
+            crate::parse_regressions(content),
+            vec![0xc58f_6d1d_3489_ab9f, 0xff]
+        );
+    }
+
+    #[test]
+    fn state_roundtrips_through_from_state() {
+        let mut a = TestRng::for_test("roundtrip");
+        a.next_u64();
+        let mut b = TestRng::from_state(a.state());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn pinned_regressions_replay_before_novel_cases() {
+        // Build a regressions file next to a fake "source file" in a
+        // temp dir, pinning a state whose generated value we can
+        // predict, and a body that fails on exactly that value: the
+        // pinned replay must trip even though the novel stream
+        // (cases = 0) would never have.
+        let dir = std::env::temp_dir().join(format!("ptb-proptest-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("fake_test.rs");
+        let strategy = 0u64..1u64 << 60;
+        let pinned_state = 0xDEAD_BEEF_u64;
+        let bad_value = Strategy::gen_value(&strategy, &mut TestRng::from_state(pinned_state));
+        std::fs::write(
+            dir.join("fake_test.proptest-regressions"),
+            format!("cc {pinned_state:016x} # pinned\n"),
+        )
+        .unwrap();
+        let source_str = source.to_string_lossy().to_string();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_property_in(
+                &source_str,
+                "pinned_replay",
+                &ProptestConfig::with_cases(0),
+                0u64..1u64 << 60,
+                |v| {
+                    if v == bad_value {
+                        Err(TestCaseError::fail("regression reproduced"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let payload = outcome.expect_err("pinned case must fail the property");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("pinned regression cc 00000000deadbeef"),
+            "failure must name the pinned seed: {message}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_failures_persist_their_state_for_replay() {
+        let dir = std::env::temp_dir().join(format!("ptb-proptest-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("fresh_test.rs");
+        let source_str = source.to_string_lossy().to_string();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_property_in(
+                &source_str,
+                "always_fails",
+                &ProptestConfig::with_cases(4),
+                0u64..16u64,
+                |_| Err(TestCaseError::fail("boom")),
+            );
+        }));
+        assert!(outcome.is_err(), "the property must fail");
+        let written = std::fs::read_to_string(dir.join("fresh_test.proptest-regressions"))
+            .expect("failure must create the regressions file");
+        let states = crate::parse_regressions(&written);
+        assert_eq!(states.len(), 1, "one failing case, one cc line: {written}");
+        // The persisted state replays the very case that failed: here
+        // every case fails, so the first novel state is what's pinned.
+        assert_eq!(states[0], TestRng::for_test("always_fails").state());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
