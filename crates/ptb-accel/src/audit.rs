@@ -41,6 +41,10 @@
 //! * **Popcount re-derivation** — the memoized per-(neuron, window)
 //!   spike counts that drive TB-tags match the raw `SpikeTensor`; a
 //!   stale or mis-keyed memo mis-classifies neurons.
+//! * **Tag re-derivation** — the packed window-activity tag words the
+//!   bit-parallel gather scans agree bit-for-bit with the popcount
+//!   table (and keep their tail bits clear); a drifted tag silently
+//!   drops or invents streamed work.
 //! * **StSAP packing** — packing conserves entries (each input entry in
 //!   exactly one slot), never pairs overlapping tags, and its slot
 //!   accounting balances; violations would corrupt both latency and the
@@ -346,6 +350,55 @@ pub fn verify_pack(
     }
 }
 
+/// Verifies a packed window-activity tag table against the popcount
+/// table it was derived from: bit `w` of a neuron's tag words must be
+/// set iff the window's count is nonzero, and the bits past the last
+/// window must be clear (the invariant the word gather's funnel shifts
+/// rely on). Checks every `stride`-th neuron; records the first
+/// divergence per call into `summary`.
+pub fn verify_tags(
+    layer: &str,
+    n_w: usize,
+    pops: &[u16],
+    tags: &[u64],
+    stride: usize,
+    summary: &mut AuditSummary,
+) {
+    if n_w == 0 {
+        return;
+    }
+    let tag_words = n_w.div_ceil(64);
+    let neurons = pops.len() / n_w;
+    for n in (0..neurons).step_by(stride.max(1)) {
+        for w in 0..n_w {
+            let got = tags[n * tag_words + w / 64] >> (w % 64) & 1 == 1;
+            let expected = pops[n * n_w + w] > 0;
+            if expected != got {
+                summary.record(AuditError::TagMismatch {
+                    layer: layer.to_string(),
+                    neuron: n,
+                    window: w,
+                    expected,
+                    got,
+                });
+                return; // first divergence is the report
+            }
+        }
+        let tail_bits = n_w % 64;
+        if tail_bits != 0 && tags[n * tag_words + tag_words - 1] >> tail_bits != 0 {
+            // A phantom window past the end of the partition.
+            summary.record(AuditError::TagMismatch {
+                layer: layer.to_string(),
+                neuron: n,
+                window: n_w,
+                expected: false,
+                got: true,
+            });
+            return;
+        }
+    }
+}
+
 /// Audits one simulated layer at `level`, recording findings and
 /// coverage counters into `summary`. `report` is the layer's production
 /// result (checked for saturation and, at [`AuditLevel::Full`], for
@@ -408,6 +461,11 @@ pub fn audit_layer(
                 }
             }
         }
+
+        // --- Tag re-derivation: the packed tag words the word kernel's
+        // gather actually scans, vs the popcount table just verified.
+        let tables = prep.window_tables(part.tw_size());
+        verify_tags(layer_name, n_w, &memo, &tables.tags, stride, summary);
 
         // --- Tile coverage: the column tiles must schedule every time
         // window exactly once.
@@ -638,6 +696,49 @@ mod tests {
         assert!(matches!(
             summary.first(),
             Some(AuditError::AccumulatorSaturation { saturated: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn verify_tags_catches_drift_and_dirty_tails() {
+        let spikes = SpikeTensor::from_fn(3, 70, |n, tp| (n * 7 + tp) % 9 == 0);
+        let part = WindowPartition::new(70, 2); // 35 windows, one tag word
+        let n_w = part.num_windows();
+        let pops = crate::geom::window_popcounts(&spikes, &part);
+        let tags = crate::geom::window_tags(&spikes, &part, &pops);
+
+        let mut clean = AuditSummary::new(AuditLevel::Full);
+        verify_tags("L", n_w, &pops, &tags, 1, &mut clean);
+        assert!(clean.is_clean(), "{:?}", clean.first());
+
+        // Flip one live tag bit: dropped-work divergence.
+        let mut doctored = tags.clone();
+        doctored[1] ^= 1 << 3;
+        let mut s = AuditSummary::new(AuditLevel::Full);
+        verify_tags("L", n_w, &pops, &doctored, 1, &mut s);
+        assert!(matches!(
+            s.first(),
+            Some(AuditError::TagMismatch {
+                neuron: 1,
+                window: 3,
+                ..
+            })
+        ));
+
+        // Set a bit past the last window: phantom-window divergence.
+        let mut dirty = tags.clone();
+        dirty[2] |= 1 << (n_w % 64);
+        let mut s = AuditSummary::new(AuditLevel::Full);
+        verify_tags("L", n_w, &pops, &dirty, 1, &mut s);
+        assert!(matches!(
+            s.first(),
+            Some(AuditError::TagMismatch {
+                neuron: 2,
+                window: 35,
+                expected: false,
+                got: true,
+                ..
+            })
         ));
     }
 

@@ -100,6 +100,13 @@ impl LayerGeometry {
 /// points (the accelerator itself caps packed words at 64 bits, but the
 /// analysis path does not).
 ///
+/// The build is word-parallel: windows of 64 points or fewer are read
+/// as one funnel-shifted [`SpikeTensor::spike_word`] and popcounted;
+/// `TWS = 1` walks only the *set* bits of each storage word (a sparse
+/// tensor fills its per-point table in `O(spikes)` rather than
+/// `O(N · T)` stores); longer windows fall back to the word-wise
+/// [`SpikeTensor::popcount_range`].
+///
 /// # Panics
 ///
 /// Panics if `part` does not cover exactly `input.timesteps()` points,
@@ -111,20 +118,117 @@ pub fn window_popcounts(input: &SpikeTensor, part: &WindowPartition) -> Vec<u16>
         "partition must cover the input's operational period"
     );
     let n_w = part.num_windows();
+    let tw = part.tw_size();
     let mut pops = vec![0u16; input.neurons() * n_w];
     for n in 0..input.neurons() {
         let base = n * n_w;
-        for (w, s, e) in part.iter() {
-            pops[base + w] = u16::try_from(input.popcount_range(n, s, e))
-                .expect("window spike count must fit u16");
+        if tw == 1 {
+            // Per-point windows: the count of window `t` is the spike
+            // bit at `t`, so only set bits need a store.
+            for (wi, &word) in input.neuron_words(n).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let t = wi * 64 + word.trailing_zeros() as usize;
+                    pops[base + t] = 1;
+                    word &= word - 1;
+                }
+            }
+        } else if tw <= 64 {
+            for (w, s, e) in part.iter() {
+                pops[base + w] = input.spike_word(n, s, e - s).count_ones() as u16;
+            }
+        } else {
+            for (w, s, e) in part.iter() {
+                pops[base + w] = u16::try_from(input.popcount_range(n, s, e))
+                    .expect("window spike count must fit u16");
+            }
         }
     }
     pops
 }
 
+/// Per-neuron *window-activity* bitmaps: bit `w` of neuron `n`'s words
+/// (packed 64 windows per `u64`, little-endian) is set iff `pops[n·W+w]`
+/// is nonzero — i.e. the neuron's TB-tag over the whole partition. This
+/// is the table the bit-parallel PTB gather scans: one word test covers
+/// 64 windows, and a column tile's tag mask is two funnel shifts
+/// ([`tag_mask`]) instead of a per-window walk.
+///
+/// Bits past the last window are always clear (the same tail invariant
+/// [`SpikeTensor`] keeps), so whole-word tests never see garbage.
+///
+/// # Panics
+///
+/// Panics if `pops` has the wrong length for `input` under `part`.
+pub fn window_tags(input: &SpikeTensor, part: &WindowPartition, pops: &[u16]) -> Vec<u64> {
+    let n_w = part.num_windows();
+    assert_eq!(
+        pops.len(),
+        input.neurons() * n_w,
+        "popcount table must match the partition"
+    );
+    if part.tw_size() == 1 {
+        // Per-point windows: window `w` is active iff time point `w`
+        // carries a spike, so the tags are the tensor's own words.
+        return input.words().to_vec();
+    }
+    let tag_words = n_w.div_ceil(64);
+    let mut tags = vec![0u64; input.neurons() * tag_words];
+    for n in 0..input.neurons() {
+        let base = n * n_w;
+        let tag_base = n * tag_words;
+        for w in 0..n_w {
+            if pops[base + w] > 0 {
+                tags[tag_base + w / 64] |= 1 << (w % 64);
+            }
+        }
+    }
+    tags
+}
+
+/// Extracts windows `w0..w1` (at most 128) of neuron `n`'s tag bits
+/// from a [`window_tags`] table with `tag_words` words per neuron,
+/// packed little-endian (bit `i` = window `w0 + i`). Reads at most
+/// three words; bits past the table read as zero.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the span exceeds 128 windows.
+#[inline]
+pub fn tag_mask(tags: &[u64], tag_words: usize, n: usize, w0: usize, w1: usize) -> u128 {
+    debug_assert!(
+        w0 < w1 && w1 - w0 <= 128,
+        "tag span must be 1..=128 windows"
+    );
+    let nw = w1 - w0;
+    let base = n * tag_words;
+    let word = |i: usize| -> u64 {
+        if i < tag_words {
+            tags[base + i]
+        } else {
+            0
+        }
+    };
+    let first = w0 / 64;
+    let shift = w0 % 64;
+    let lo = u128::from(word(first)) | (u128::from(word(first + 1)) << 64);
+    let mut out = lo >> shift;
+    if shift > 0 {
+        out |= u128::from(word(first + 2)) << (128 - shift);
+    }
+    if nw < 128 {
+        out &= (1u128 << nw) - 1;
+    }
+    out
+}
+
 /// Per-(neuron, time point) spike bits of `input`, row-major by neuron:
-/// entry `n · T + t` is 1 iff neuron `n` fires at time `t`. The dense
-/// per-point table the time-point-granularity policies stream from.
+/// entry `n · T + t` is 1 iff neuron `n` fires at time `t`.
+///
+/// This dense table was the hot-path representation before the
+/// bit-parallel kernel; it is retained as the *serial per-bit
+/// reference* — [`crate::sim::simulate_layer_reference`] streams from
+/// it, and the equivalence tests pin the word kernel against it.
 pub fn spike_bits(input: &SpikeTensor) -> Vec<u8> {
     let t = input.timesteps();
     let mut bits = vec![0u8; input.neurons() * t];
@@ -199,6 +303,62 @@ mod tests {
                     u32::from(pops[n * part.num_windows() + w]),
                     input.popcount_range(n, s, e)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn window_tags_mark_exactly_the_active_windows() {
+        for (t, tw) in [(37usize, 8usize), (300, 4), (70, 1), (130, 64)] {
+            let input = SpikeTensor::from_fn(6, t, |n, tp| (n * 13 + tp * 5) % 23 == 0);
+            let part = WindowPartition::new(t, tw);
+            let n_w = part.num_windows();
+            let pops = window_popcounts(&input, &part);
+            let tags = window_tags(&input, &part, &pops);
+            let tag_words = n_w.div_ceil(64);
+            assert_eq!(tags.len(), 6 * tag_words);
+            for n in 0..6 {
+                for w in 0..n_w {
+                    let bit = tags[n * tag_words + w / 64] >> (w % 64) & 1 == 1;
+                    assert_eq!(
+                        bit,
+                        pops[n * n_w + w] > 0,
+                        "neuron {n} window {w} (t={t} tw={tw})"
+                    );
+                }
+                // Tail invariant: bits past the last window stay clear.
+                if !n_w.is_multiple_of(64) {
+                    assert_eq!(tags[n * tag_words + tag_words - 1] >> (n_w % 64), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_mask_matches_per_window_walk() {
+        // Every (start, span) alignment against a per-window rebuild,
+        // including spans that straddle tag-word boundaries and spans
+        // running past the last window (must read as zero).
+        let t = 260;
+        let input = SpikeTensor::from_fn(4, t, |n, tp| (n * 31 + tp * 7) % 19 == 0);
+        let part = WindowPartition::new(t, 2); // 130 windows: 3 tag words
+        let n_w = part.num_windows();
+        let pops = window_popcounts(&input, &part);
+        let tags = window_tags(&input, &part, &pops);
+        let tag_words = n_w.div_ceil(64);
+        for n in 0..4 {
+            for w0 in (0..n_w).step_by(3) {
+                for span in [1usize, 7, 63, 64, 65, 127, 128] {
+                    let w1 = (w0 + span).min(w0 + 128);
+                    let got = tag_mask(&tags, tag_words, n, w0, w1);
+                    let mut expect = 0u128;
+                    for (i, w) in (w0..w1).enumerate() {
+                        if w < n_w && pops[n * n_w + w] > 0 {
+                            expect |= 1 << i;
+                        }
+                    }
+                    assert_eq!(got, expect, "neuron {n} windows {w0}..{w1}");
+                }
             }
         }
     }

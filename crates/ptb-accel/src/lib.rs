@@ -87,6 +87,8 @@ pub use audit::{audit_layer, AuditLevel, AuditSummary};
 pub use config::{Policy, SimInputs};
 pub use prepared::PreparedLayer;
 pub use report::{LayerReport, NetworkReport};
-pub use sim::{simulate_layer, simulate_layer_prepared};
+pub use sim::{
+    simulate_layer, simulate_layer_prepared, simulate_layer_reference, word_kernel_calls,
+};
 pub use tag::{NeuronClass, TbTag};
 pub use window::WindowPartition;

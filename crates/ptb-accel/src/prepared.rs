@@ -6,17 +6,18 @@
 //!
 //! * the receptive-field geometry ([`LayerGeometry`]) depends only on
 //!   the shape — it never changes across TW *or* policy;
-//! * the per-(neuron, time-point) spike bits ([`crate::geom::spike_bits`])
-//!   depend only on the activity;
 //! * the per-(neuron, window) popcount table
-//!   ([`crate::geom::window_popcounts`]) depends on the activity and the
-//!   TW size — invariant across *policies* at a fixed TW.
+//!   ([`crate::geom::window_popcounts`]) and its packed window-activity
+//!   tag words ([`crate::geom::window_tags`]) depend on the activity
+//!   and the TW size — invariant across *policies* at a fixed TW.
 //!
-//! A [`PreparedLayer`] owns the activity tensor and memoizes all three,
-//! so a sweep rebuilds only what its changed axis actually invalidates:
+//! A [`PreparedLayer`] owns the activity tensor and memoizes both, so a
+//! sweep rebuilds only what its changed axis actually invalidates:
 //! changing the policy rebuilds nothing, changing TW rebuilds only the
-//! popcount table for the new window size (the TB tags and schedule are
-//! re-derived inside the simulator as always).
+//! popcount/tag tables for the new window size (the schedule is
+//! re-derived inside the simulator as always). The bit-parallel kernel
+//! reads the activity's packed `u64` time words straight from the
+//! tensor, so no dense per-point table is memoized anymore.
 //!
 //! ## Determinism
 //!
@@ -33,27 +34,38 @@ use std::sync::{Arc, Mutex, OnceLock};
 use snn_core::shape::ConvShape;
 use snn_core::spike::SpikeTensor;
 
-use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
+use crate::geom::{window_popcounts, window_tags, LayerGeometry};
 use crate::window::WindowPartition;
 
 /// One layer's simulation-ready state: the input activity plus lazily
-/// built, memoized derived tables (geometry, spike bits, per-TW window
-/// popcounts). Cheap to share across threads and sweep points via
-/// [`Arc`]; all interior mutability is memoization only.
+/// built, memoized derived tables (geometry, per-TW window popcounts
+/// and packed window tags). Cheap to share across threads and sweep
+/// points via [`Arc`]; all interior mutability is memoization only.
 #[derive(Debug)]
 pub struct PreparedLayer {
     shape: ConvShape,
     spikes: Arc<SpikeTensor>,
     geo: OnceLock<Arc<LayerGeometry>>,
-    bits: OnceLock<Arc<Vec<u8>>>,
-    /// Window popcount tables keyed by TW size, most recent last. The
-    /// activity and period are fixed at construction, so TW size alone
-    /// identifies a table. Bounded to [`POPCOUNT_MEMO_CAP`] entries
-    /// (FIFO eviction): a table costs `neurons · ceil(T/TWS) · 2` bytes
-    /// — ~90 MB for AlexNet CONV1 at TWS = 1 — so holding a full
-    /// 7-point TW sweep per layer would dominate memory for no benefit
-    /// (sweeps revisit at most the current and neighboring TW sizes).
-    pops: Mutex<Vec<(usize, Arc<Vec<u16>>)>>,
+    /// Window popcount + tag tables keyed by TW size, most recent last.
+    /// The activity and period are fixed at construction, so TW size
+    /// alone identifies a table pair. Bounded to [`POPCOUNT_MEMO_CAP`]
+    /// entries (FIFO eviction): a popcount table costs
+    /// `neurons · ceil(T/TWS) · 2` bytes — ~90 MB for AlexNet CONV1 at
+    /// TWS = 1 — so holding a full 7-point TW sweep per layer would
+    /// dominate memory for no benefit (sweeps revisit at most the
+    /// current and neighboring TW sizes).
+    pops: Mutex<Vec<(usize, WindowTables)>>,
+}
+
+/// The pair of per-TW derived tables the simulator consumes: the
+/// per-(neuron, window) spike counts and the bit-packed window-activity
+/// tags the bit-parallel gather scans (64 windows per word).
+#[derive(Debug, Clone)]
+pub struct WindowTables {
+    /// Per-(neuron, window) spike counts ([`crate::geom::window_popcounts`]).
+    pub pops: Arc<Vec<u16>>,
+    /// Packed per-neuron window-activity bits ([`crate::geom::window_tags`]).
+    pub tags: Arc<Vec<u64>>,
 }
 
 /// Maximum distinct TW sizes memoized per layer (see
@@ -79,7 +91,6 @@ impl PreparedLayer {
             shape,
             spikes,
             geo: OnceLock::new(),
-            bits: OnceLock::new(),
             pops: Mutex::new(Vec::new()),
         }
     }
@@ -102,25 +113,26 @@ impl PreparedLayer {
             .clone()
     }
 
-    /// The dense per-(neuron, time-point) bit table, built on first use
-    /// (activity-invariant; used by the time-point-granularity
-    /// policies).
-    pub fn spike_bits(&self) -> Arc<Vec<u8>> {
-        self.bits
-            .get_or_init(|| Arc::new(spike_bits(&self.spikes)))
-            .clone()
-    }
-
     /// The per-(neuron, window) popcount table for windows of `tw_size`
-    /// time points, built on first use per TW size (at most
-    /// [`POPCOUNT_MEMO_CAP`] sizes retained, oldest evicted first).
-    /// Changing only the TW therefore costs at most one popcount pass —
-    /// the activity tensor and geometry are reused as-is.
+    /// time points (see [`PreparedLayer::window_tables`]).
     ///
     /// # Panics
     ///
     /// Panics if `tw_size` is zero (via [`WindowPartition::new`]).
     pub fn window_popcounts(&self, tw_size: usize) -> Arc<Vec<u16>> {
+        self.window_tables(tw_size).pops
+    }
+
+    /// The popcount + packed-tag table pair for windows of `tw_size`
+    /// time points, built on first use per TW size (at most
+    /// [`POPCOUNT_MEMO_CAP`] sizes retained, oldest evicted first).
+    /// Changing only the TW therefore costs at most one popcount/tag
+    /// pass — the activity tensor and geometry are reused as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tw_size` is zero (via [`WindowPartition::new`]).
+    pub fn window_tables(&self, tw_size: usize) -> WindowTables {
         if let Some((_, hit)) = self
             .pops
             .lock()
@@ -135,7 +147,9 @@ impl PreparedLayer {
         // practice (one sweep point at a time). A racing duplicate for
         // the same TW computes an identical table; first insert wins.
         let part = WindowPartition::new(self.spikes.timesteps(), tw_size);
-        let built = Arc::new(window_popcounts(&self.spikes, &part));
+        let pops = Arc::new(window_popcounts(&self.spikes, &part));
+        let tags = Arc::new(window_tags(&self.spikes, &part, &pops));
+        let built = WindowTables { pops, tags };
         let mut memo = self.pops.lock().expect("popcount memo lock");
         if let Some((_, hit)) = memo.iter().find(|(tw, _)| *tw == tw_size) {
             return hit.clone();
@@ -171,10 +185,13 @@ mod tests {
         let geo = LayerGeometry::new(p.shape());
         assert_eq!(p.geometry().rf_total(), geo.rf_total());
         assert_eq!(p.geometry().positions(), geo.positions());
-        assert_eq!(*p.spike_bits(), spike_bits(p.spikes()));
         for tw in [1usize, 4, 8, 64] {
             let part = WindowPartition::new(40, tw);
-            assert_eq!(*p.window_popcounts(tw), window_popcounts(p.spikes(), &part));
+            let pops = window_popcounts(p.spikes(), &part);
+            let tbl = p.window_tables(tw);
+            assert_eq!(*tbl.pops, pops);
+            assert_eq!(*tbl.tags, window_tags(p.spikes(), &part, &pops));
+            assert_eq!(*p.window_popcounts(tw), pops);
         }
         assert_eq!(p.memoized_tw_sizes(), 4);
     }
@@ -185,9 +202,12 @@ mod tests {
         let a = p.window_popcounts(8);
         let b = p.window_popcounts(8);
         assert!(Arc::ptr_eq(&a, &b), "same TW must share one table");
+        assert!(
+            Arc::ptr_eq(&p.window_tables(8).tags, &p.window_tables(8).tags),
+            "same TW must share one tag table"
+        );
         assert_eq!(p.memoized_tw_sizes(), 1);
         assert!(Arc::ptr_eq(&p.geometry(), &p.geometry()));
-        assert!(Arc::ptr_eq(&p.spike_bits(), &p.spike_bits()));
     }
 
     #[test]

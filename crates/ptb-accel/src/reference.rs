@@ -163,6 +163,14 @@ pub fn batched_recurrent_forward(
 
 /// Serial reference for the same neuron: integrate per time point
 /// (Eq. 1) then step the membrane (Eqs. 2–3).
+///
+/// The integration walks each pre-synaptic neuron's packed spike words
+/// and scatters weights at the *set* bits only — `O(spikes)` float
+/// adds instead of a `neurons × T` bit probe. Each `psums[tp]` still
+/// receives its weights in ascending-`j` order starting from `0.0`,
+/// exactly the addition sequence of the original per-point
+/// `filter(...).sum()`, so the floating-point result (and therefore
+/// every audit replay verdict) is bit-identical.
 pub fn serial_neuron_forward(
     weights: &[f32],
     spikes: &SpikeTensor,
@@ -170,16 +178,17 @@ pub fn serial_neuron_forward(
 ) -> Vec<bool> {
     assert_eq!(weights.len(), spikes.neurons());
     let t = spikes.timesteps();
-    let psums: Vec<f32> = (0..t)
-        .map(|tp| {
-            weights
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| spikes.get(j, tp))
-                .map(|(_, &w)| w)
-                .sum()
-        })
-        .collect();
+    let mut psums = vec![0.0f32; t];
+    for (j, &w) in weights.iter().enumerate() {
+        for (wi, &word) in spikes.neuron_words(j).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let tp = wi * 64 + word.trailing_zeros() as usize;
+                psums[tp] += w;
+                word &= word - 1;
+            }
+        }
+    }
     neuron.run(&psums)
 }
 

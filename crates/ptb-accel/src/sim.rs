@@ -43,7 +43,23 @@
 //! final. The shared read-only inputs of the scan — receptive fields
 //! and spike popcount tables — are hoisted into [`crate::geom`] and
 //! computed once per call.
+//!
+//! ## Bit-parallel kernel
+//!
+//! The hot paths read the activity in whole 64-time-point blocks: the
+//! PTB gather tests a column tile's windows with one funnel-shifted
+//! tag mask ([`crate::geom::tag_mask`]) instead of a per-window walk,
+//! and the dense/event-driven baselines popcount packed [`SpikeTensor`]
+//! words instead of walking a per-(neuron, time-point) byte table. The
+//! retired byte-table walk survives verbatim behind
+//! [`simulate_layer_reference`] — the serial per-bit reference the
+//! equivalence tests (and benchmarks) pin the word kernel against.
+//! Every tally field is an integer sum, and the word paths accumulate
+//! exactly the same summands (zero-count windows add zero; per-point
+//! event totals aggregate to popcounts), so reports stay bit-identical
+//! to the reference.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use snn_core::shape::ConvShape;
@@ -51,10 +67,13 @@ use snn_core::spike::SpikeTensor;
 use systolic_sim::{sat_add, sat_mul, AccessCounts, DataKind, MemLevel};
 
 use crate::config::{Policy, SimInputs};
-use crate::geom::{spike_bits, window_popcounts, LayerGeometry};
+use crate::geom::{spike_bits, tag_mask, window_popcounts, LayerGeometry};
 use crate::prepared::PreparedLayer;
 use crate::report::LayerReport;
-use crate::stsap::pack_tile;
+use crate::stsap::{
+    count_cost_core, pack_count_cost, pack_stream_cost, pack_tile, pack_tile_with,
+    stream_cost_buckets, CostScratch, PackScratch, StreamCost,
+};
 use crate::window::WindowPartition;
 
 /// Simulates one layer under `policy`, returning the full report.
@@ -84,7 +103,35 @@ pub fn simulate_layer(
         "input tensor must match the layer's ifmap"
     );
     assert!(input.timesteps() > 0, "operational period must be nonzero");
-    dispatch(inputs, policy, shape, input, None)
+    dispatch(inputs, policy, shape, input, None, Kernel::Words)
+}
+
+/// Simulates one layer with the retired *serial per-bit* inner loops —
+/// the pre-kernel implementation, kept as the correctness and
+/// performance reference for the bit-parallel word kernel.
+///
+/// The report is bit-identical to [`simulate_layer`] for every policy,
+/// TW size, and thread count (the equivalence tests pin this): the word
+/// kernel accumulates exactly the same integer summands, just 64 time
+/// points at a time. Derived tables are always built fresh here — the
+/// reference exists to be slow and obvious, not memoized.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate_layer`].
+pub fn simulate_layer_reference(
+    inputs: &SimInputs,
+    policy: Policy,
+    shape: ConvShape,
+    input: &SpikeTensor,
+) -> LayerReport {
+    assert_eq!(
+        input.neurons(),
+        shape.ifmap_neurons(),
+        "input tensor must match the layer's ifmap"
+    );
+    assert!(input.timesteps() > 0, "operational period must be nonzero");
+    dispatch(inputs, policy, shape, input, None, Kernel::Scalar)
 }
 
 /// Simulates one layer under `policy` reusing `prep`'s memoized derived
@@ -106,7 +153,38 @@ pub fn simulate_layer_prepared(
     policy: Policy,
     prep: &PreparedLayer,
 ) -> LayerReport {
-    dispatch(inputs, policy, prep.shape(), prep.spikes(), Some(prep))
+    dispatch(
+        inputs,
+        policy,
+        prep.shape(),
+        prep.spikes(),
+        Some(prep),
+        Kernel::Words,
+    )
+}
+
+/// Which inner-loop implementation a simulation runs.
+///
+/// [`Kernel::Words`] is the production bit-parallel kernel (mask /
+/// popcount over packed 64-point words); [`Kernel::Scalar`] is the
+/// retired per-bit walk kept behind [`simulate_layer_reference`]. Both
+/// accumulate identical integer summands, so the choice never changes a
+/// report — only how fast it is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Words,
+    Scalar,
+}
+
+/// Times the word kernel's inner gathers have run in this process (all
+/// threads). Monotone, `Relaxed` — a smoke-test observability counter
+/// (the CI bench asserts it advances, proving the bit-parallel path is
+/// actually exercised), never part of any report.
+static WORD_KERNEL_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-wide word-kernel invocation counter.
+pub fn word_kernel_calls() -> u64 {
+    WORD_KERNEL_CALLS.load(Ordering::Relaxed)
 }
 
 /// Common dispatch: `prep = None` builds derived tables fresh (the
@@ -117,14 +195,17 @@ fn dispatch(
     shape: ConvShape,
     input: &SpikeTensor,
     prep: Option<&PreparedLayer>,
+    kernel: Kernel,
 ) -> LayerReport {
     inputs.assert_valid();
     match policy {
-        Policy::Ptb { stsap } => simulate_ptb(inputs, stsap, shape, input, prep),
-        Policy::BaselineTemporal => simulate_dense_temporal(inputs, shape, input, false, prep),
-        Policy::TimeSerial => simulate_dense_temporal(inputs, shape, input, true, prep),
+        Policy::Ptb { stsap } => simulate_ptb(inputs, stsap, shape, input, prep, kernel),
+        Policy::BaselineTemporal => {
+            simulate_dense_temporal(inputs, shape, input, false, prep, kernel)
+        }
+        Policy::TimeSerial => simulate_dense_temporal(inputs, shape, input, true, prep, kernel),
         Policy::Ann => simulate_ann(inputs, shape, input, prep),
-        Policy::EventDriven => simulate_event_driven(inputs, shape, input, prep),
+        Policy::EventDriven => simulate_event_driven(inputs, shape, input, prep, kernel),
     }
 }
 
@@ -137,13 +218,10 @@ fn geometry_of(prep: Option<&PreparedLayer>, shape: ConvShape) -> Arc<LayerGeome
     }
 }
 
-/// The dense per-(neuron, time-point) bit table (memoized when
-/// prepared).
-fn bits_of(prep: Option<&PreparedLayer>, input: &SpikeTensor) -> Arc<Vec<u8>> {
-    match prep {
-        Some(p) => p.spike_bits(),
-        None => Arc::new(spike_bits(input)),
-    }
+/// The dense per-(neuron, time-point) bit table — only the scalar
+/// reference kernel reads it now, so it is always built fresh.
+fn bits_of(input: &SpikeTensor) -> Arc<Vec<u8>> {
+    Arc::new(spike_bits(input))
 }
 
 /// The per-(neuron, window) popcount table for `part` (memoized per TW
@@ -283,6 +361,7 @@ fn simulate_event_driven(
     shape: ConvShape,
     input: &SpikeTensor,
     prep: Option<&PreparedLayer>,
+    kernel: Kernel,
 ) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
@@ -291,13 +370,23 @@ fn simulate_event_driven(
     let t = input.timesteps();
     let m = u64::from(shape.out_channels());
     let row_tiles = m.div_ceil(rows);
-    let positions = u64::from(shape.ofmap_side()).pow(2);
     let pbits = u64::from(arch.potential_bits);
     let wbits = u64::from(arch.weight_bits);
 
     let geo = geometry_of(prep, shape);
-    let bit_at = bits_of(prep, input);
+    // Derived once from the geometry the scan iterates — a separate
+    // `ofmap_side()²` could silently diverge under a future non-square
+    // output map.
+    let positions = geo.positions() as u64;
+    let bit_at = match kernel {
+        Kernel::Scalar => bits_of(input),
+        Kernel::Words => Arc::new(Vec::new()),
+    };
     let bit_at: &[u8] = &bit_at;
+    let wpn = input.words_per_neuron();
+    if kernel == Kernel::Words {
+        WORD_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    }
 
     // Events are integrated per position; with columns used spatially, a
     // position tile of up to `cols` positions shares one pass per time
@@ -310,55 +399,121 @@ fn simulate_event_driven(
     // position pays its own serial pass, and every event's weight column
     // walks the whole hierarchy from off-chip (no windowed reuse; the
     // "iterative weight data access" the paper targets).
+    //
+    // Every per-time-point tally is linear in the point's event count or
+    // constant per *active* point, so the word kernel aggregates: total
+    // events by popcounting each receptive-field neuron's packed words,
+    // active points by popcounting their OR. Identical integer sums,
+    // one pass over `|RF| · T / 64` words instead of `|RF| · T` bytes.
     let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
         let mut tally = Tally::default();
+        let mut union = vec![0u64; wpn];
         for p in range {
             let rf = geo.rf(p);
-            for tp in 0..t {
-                let mut active = 0u64;
-                for &n in rf {
-                    active += u64::from(bit_at[n * t + tp]);
+            match kernel {
+                Kernel::Words => {
+                    union.fill(0);
+                    let mut events = 0u64;
+                    for &n in rf {
+                        for (u, &w) in union.iter_mut().zip(input.neuron_words(n)) {
+                            *u |= w;
+                            events += u64::from(w.count_ones());
+                        }
+                    }
+                    if events == 0 {
+                        continue; // a fully silent receptive field
+                    }
+                    let active_tps: u64 = union.iter().map(|w| u64::from(w.count_ones())).sum();
+                    sat!(tally.compute_cycles += (events + fill * active_tps) * row_tiles);
+                    sat!(tally.entries_before += events * row_tiles);
+                    sat!(tally.useful_ops += events * m);
+                    sat!(tally.counts.ac_ops += events * m);
+                    // Weights refetched for every event at every time point.
+                    let w_bits = events * m * wbits;
+                    tally.counts.transfer(
+                        MemLevel::Dram,
+                        MemLevel::GlobalBuffer,
+                        DataKind::Weight,
+                        w_bits,
+                    );
+                    tally.counts.transfer(
+                        MemLevel::GlobalBuffer,
+                        MemLevel::L1,
+                        DataKind::Weight,
+                        w_bits,
+                    );
+                    tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
+                    let in_bits = events * AER_EVENT_BITS * row_tiles;
+                    tally.counts.transfer(
+                        MemLevel::GlobalBuffer,
+                        MemLevel::L1,
+                        DataKind::InputSpike,
+                        in_bits,
+                    );
+                    tally
+                        .counts
+                        .read(MemLevel::L1, DataKind::InputSpike, in_bits);
+                    // Membrane potentials move once per *active* time
+                    // point, for every position's own output neurons.
+                    tally.counts.read(
+                        MemLevel::GlobalBuffer,
+                        DataKind::Membrane,
+                        m * pbits * active_tps,
+                    );
+                    tally.counts.write(
+                        MemLevel::GlobalBuffer,
+                        DataKind::Membrane,
+                        m * pbits * active_tps,
+                    );
                 }
-                if active == 0 {
-                    continue; // silent time points are skipped entirely
+                Kernel::Scalar => {
+                    for tp in 0..t {
+                        let mut active = 0u64;
+                        for &n in rf {
+                            active += u64::from(bit_at[n * t + tp]);
+                        }
+                        if active == 0 {
+                            continue; // silent time points are skipped entirely
+                        }
+                        sat!(tally.compute_cycles += (active + fill) * row_tiles);
+                        sat!(tally.entries_before += active * row_tiles);
+                        sat!(tally.useful_ops += active * m);
+                        sat!(tally.counts.ac_ops += active * m);
+                        // Weights refetched for every event at every time point.
+                        let w_bits = active * m * wbits;
+                        tally.counts.transfer(
+                            MemLevel::Dram,
+                            MemLevel::GlobalBuffer,
+                            DataKind::Weight,
+                            w_bits,
+                        );
+                        tally.counts.transfer(
+                            MemLevel::GlobalBuffer,
+                            MemLevel::L1,
+                            DataKind::Weight,
+                            w_bits,
+                        );
+                        tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
+                        let in_bits = active * AER_EVENT_BITS * row_tiles;
+                        tally.counts.transfer(
+                            MemLevel::GlobalBuffer,
+                            MemLevel::L1,
+                            DataKind::InputSpike,
+                            in_bits,
+                        );
+                        tally
+                            .counts
+                            .read(MemLevel::L1, DataKind::InputSpike, in_bits);
+                        // Membrane potentials move every active time point,
+                        // for every position's own output neurons.
+                        tally
+                            .counts
+                            .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+                        tally
+                            .counts
+                            .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
+                    }
                 }
-                sat!(tally.compute_cycles += (active + fill) * row_tiles);
-                sat!(tally.entries_before += active * row_tiles);
-                sat!(tally.useful_ops += active * m);
-                sat!(tally.counts.ac_ops += active * m);
-                // Weights refetched for every event at every time point.
-                let w_bits = active * m * wbits;
-                tally.counts.transfer(
-                    MemLevel::Dram,
-                    MemLevel::GlobalBuffer,
-                    DataKind::Weight,
-                    w_bits,
-                );
-                tally.counts.transfer(
-                    MemLevel::GlobalBuffer,
-                    MemLevel::L1,
-                    DataKind::Weight,
-                    w_bits,
-                );
-                tally.counts.read(MemLevel::L1, DataKind::Weight, w_bits);
-                let in_bits = active * AER_EVENT_BITS * row_tiles;
-                tally.counts.transfer(
-                    MemLevel::GlobalBuffer,
-                    MemLevel::L1,
-                    DataKind::InputSpike,
-                    in_bits,
-                );
-                tally
-                    .counts
-                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
-                // Membrane potentials move every active time point, for
-                // every position's own output neurons (not shared).
-                tally
-                    .counts
-                    .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
-                tally
-                    .counts
-                    .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
             }
         }
         tally
@@ -552,43 +707,800 @@ fn finalize(
     }
 }
 
-/// PTB schedule (Section IV-C), optionally with StSAP (IV-D).
-fn simulate_ptb(
+/// Shared per-layer constants of the PTB position scan, plus the
+/// per-(position, column-tile) tally accounting both kernels emit.
+///
+/// The word and scalar scans walk (output position × column tile) pairs
+/// in different orders (tile-major vs. position-major), which is safe:
+/// every tally is a saturating sum of nonnegative terms, and such sums
+/// are order-independent — the result is `min(true total, u64::MAX)`
+/// regardless of the order the same summands arrive in.
+struct PtbCtx<'a> {
+    tiles: &'a [(usize, usize)],
+    /// Nominal tile width (the array's column count): every tile except
+    /// possibly the last spans exactly this many windows, starting at
+    /// `ti * tile_width`.
+    tile_width: usize,
+    n_w: usize,
+    tws: u32,
+    min_beats: u64,
+    m: u64,
+    row_tiles: u64,
+    fill: u64,
+    pbits: u64,
+}
+
+impl PtbCtx<'_> {
+    /// Books one (position, tile) array iteration into the tally —
+    /// identical arithmetic for both kernels.
+    fn account(
+        &self,
+        tally: &mut Tally,
+        raw: u64,
+        slots: u64,
+        stream_beats: u64,
+        spikes_span: u64,
+        active_windows: u64,
+    ) {
+        let iter_cycles = stream_beats + self.fill;
+        sat!(tally.compute_cycles += iter_cycles * self.row_tiles);
+        sat!(tally.useful_ops += spikes_span * self.m);
+        sat!(tally.counts.ac_ops += spikes_span * self.m);
+        sat!(tally.entries_before += raw * self.row_tiles);
+        sat!(tally.entries_after += slots * self.row_tiles);
+        sat!(tally.sum_entries_raw += raw);
+
+        // Input spikes staged per row-tile pass at TB granularity:
+        // only *tagged* time batches are fetched, TWS bits each —
+        // wider windows therefore pay for the zero bits they pack
+        // (Section VI-A1's input-movement growth).
+        let in_bits = active_windows * u64::from(self.tws) * self.row_tiles;
+        tally.counts.transfer(
+            MemLevel::GlobalBuffer,
+            MemLevel::L1,
+            DataKind::InputSpike,
+            in_bits,
+        );
+        tally
+            .counts
+            .read(MemLevel::L1, DataKind::InputSpike, in_bits);
+
+        // Membrane potentials cross column tiles once per tile.
+        tally.counts.read(
+            MemLevel::GlobalBuffer,
+            DataKind::Membrane,
+            self.m * self.pbits,
+        );
+        tally.counts.write(
+            MemLevel::GlobalBuffer,
+            DataKind::Membrane,
+            self.m * self.pbits,
+        );
+    }
+}
+
+/// Storage word for a hoisted per-(neuron, tile) window-activity mask.
+///
+/// A column tile spans at most 128 windows, so `u128` always works; the
+/// paper's architecture streams 8 columns, so the common case fits a
+/// `u16` and the per-tile mask table shrinks 8× — small enough that one
+/// tile's slice stays cache-resident across every output position.
+trait TileMask: Copy + Default + Send + Sync {
+    /// Working memory for [`TileMask::stream_cost`].
+    type Scratch: Default;
+    fn from_u128(m: u128) -> Self;
+    fn to_u128(self) -> u128;
+    /// StSAP pack + slot costing for one gathered tile: pair counts,
+    /// slot count, and total stream beats, where entry `i` streams
+    /// `busiest[i]` beats (floored at `min_beats`) and a pair streams
+    /// the max of its members (exact — pairs are tag-disjoint).
+    fn stream_cost(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        busiest: &[u16],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost;
+    /// [`TileMask::stream_cost`] when every entry's busiest window is
+    /// at or under `min_beats` (always true at `TWS = 1`): every slot
+    /// costs exactly `min_beats`, so only pair *counts* matter.
+    fn stream_cost_uniform(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost;
+}
+
+impl TileMask for u16 {
+    /// Narrow tiles use the fused bucket coster — no slot list, no
+    /// entry sort (see [`pack_stream_cost`]).
+    type Scratch = CostScratch;
+    fn from_u128(m: u128) -> Self {
+        debug_assert!(m <= u128::from(u16::MAX));
+        m as u16
+    }
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+    fn stream_cost(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        busiest: &[u16],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost {
+        pack_stream_cost(scratch, tags, busiest, full_mask as u16, min_beats)
+    }
+    fn stream_cost_uniform(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost {
+        pack_count_cost(scratch, tags, full_mask as u16, min_beats)
+    }
+}
+
+impl TileMask for u128 {
+    /// Wide tiles materialize the slot list and cost it from the
+    /// hoisted busiest-window maxima.
+    type Scratch = PackScratch;
+    fn from_u128(m: u128) -> Self {
+        m
+    }
+    fn to_u128(self) -> u128 {
+        self
+    }
+    fn stream_cost(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        busiest: &[u16],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost {
+        let packed = pack_tile_with(scratch, tags, full_mask);
+        let mut beats = 0u64;
+        for slot in &packed.slots {
+            let b = match slot.second {
+                Some(j) => busiest[slot.first].max(busiest[j]),
+                None => busiest[slot.first],
+            };
+            beats += u64::from(b).max(min_beats);
+        }
+        StreamCost {
+            slots: packed.entries_after() as u64,
+            exact_pairs: packed.exact_pairs as u64,
+            near_pairs: packed.near_pairs as u64,
+            beats,
+        }
+    }
+    fn stream_cost_uniform(
+        scratch: &mut Self::Scratch,
+        tags: &[Self],
+        full_mask: u128,
+        min_beats: u64,
+    ) -> StreamCost {
+        let packed = pack_tile_with(scratch, tags, full_mask);
+        StreamCost {
+            slots: packed.entries_after() as u64,
+            exact_pairs: packed.exact_pairs as u64,
+            near_pairs: packed.near_pairs as u64,
+            beats: packed.entries_after() as u64 * min_beats,
+        }
+    }
+}
+
+/// The word kernel's hoisted gather tables, neuron-major: entry
+/// `n * n_tiles + ti` describes neuron `n` in column tile `ti`, so one
+/// neuron's whole tile row is contiguous (a cache line or two) and the
+/// scan's working set is just the current receptive field's rows.
+///
+/// Everything the position scan re-reads per (neuron, tile) is a pure
+/// function of the activity and the partition, never of the output
+/// position — so one pass pays each neuron's window walk exactly once
+/// instead of once per overlapping receptive field, and the scan's
+/// inner loop degenerates to three table lookups.
+struct WordRows<M> {
+    n_tiles: usize,
+    /// Packed per-neuron tile-activity words (`tile_words` per neuron):
+    /// bit `ti` set iff the neuron has any spike in column tile `ti`.
+    /// The gather walks set bits only, skipping silent tiles wholesale.
+    active: Vec<u64>,
+    tile_words: usize,
+    /// Window-activity mask of the tile (bit `i` ⇔ window `w0 + i` has
+    /// spikes) — the [`tag_mask`] funnel-shift result.
+    masks: Vec<M>,
+    /// Packed per-(neuron, tile) pair: low 16 bits the sum of the
+    /// tile's window popcounts (the entry's `spikes_span` contribution
+    /// — at most 128 windows × a ≤64-spike window, 8192), high 16 bits
+    /// the busiest window (a lone entry's [`slot_cost`]). One load per
+    /// gathered entry. Empty at `TWS = 1`, where the span is the mask's
+    /// popcount, every busiest window is 1, and the scan never consults
+    /// the table.
+    span_busy: Vec<u32>,
+}
+
+/// Builds [`WordRows`] at `TWS = 1`, straight from the spike tensor's
+/// packed time words: a per-point window holds at most one spike, so
+/// the tag words *are* the tensor words and a tile's mask is a bit
+/// field of the time word. When the tile width divides a storage word
+/// (the paper's 8-column array), each nonzero word splits into its
+/// tile fields in place — `O(nonzero words + active tiles)`, skipping
+/// silent words wholesale; otherwise each tile slices out with two
+/// funnel shifts ([`tag_mask`]). The spans and busiest tables stay
+/// empty: at `TWS = 1` a span is its mask's popcount and every busiest
+/// window is 1, so the scan never consults them.
+fn build_word_rows_tw1<M: TileMask>(
+    neurons: usize,
+    ctx: &PtbCtx,
+    tags: &[u64],
+    tag_words: usize,
+) -> WordRows<M> {
+    let tile_width = ctx.tile_width;
+    let n_tiles = ctx.tiles.len();
+    let tile_words = n_tiles.div_ceil(64);
+    let mut rows = WordRows {
+        n_tiles,
+        active: vec![0u64; neurons * tile_words],
+        tile_words,
+        masks: vec![M::default(); neurons * n_tiles],
+        span_busy: Vec::new(),
+    };
+    if tile_width <= 64 && 64 % tile_width == 0 {
+        // A tile never straddles a storage word: walk nonzero words,
+        // split each into its nonzero tile fields.
+        debug_assert!(ctx
+            .tiles
+            .iter()
+            .enumerate()
+            .all(|(ti, &(w0, _))| w0 == ti * tile_width));
+        let tpw = 64 / tile_width;
+        let field_mask = if tile_width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << tile_width) - 1
+        };
+        for n in 0..neurons {
+            let row = n * n_tiles;
+            for (wi, &word) in tags[n * tag_words..(n + 1) * tag_words].iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let f = (word.trailing_zeros() as usize / tile_width) * tile_width;
+                    let sub = (word >> f) & field_mask;
+                    word &= !(field_mask << f);
+                    let ti = wi * tpw + f / tile_width;
+                    rows.masks[row + ti] = M::from_u128(u128::from(sub));
+                    rows.active[n * tile_words + ti / 64] |= 1u64 << (ti % 64);
+                }
+            }
+        }
+    } else {
+        for n in 0..neurons {
+            for (ti, &(w0, w1)) in ctx.tiles.iter().enumerate() {
+                let mask = tag_mask(tags, tag_words, n, w0, w1);
+                if mask != 0 {
+                    rows.masks[n * n_tiles + ti] = M::from_u128(mask);
+                    rows.active[n * tile_words + ti / 64] |= 1u64 << (ti % 64);
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Builds [`WordRows`] for window sizes that divide a storage word
+/// (`64 % TWS == 0` — every Fig. 10 size), fused over the spike words:
+/// each nonzero word is split into its `64 / TWS` windows in place, so
+/// the cost is `O(nonzero words + active windows)` and the dense
+/// per-(neuron, window) popcount table is never materialized. Window
+/// indices grow monotonically within a neuron, so per-tile state
+/// (mask/span/busiest) accumulates in registers and flushes once per
+/// active tile.
+fn build_word_rows_fused<M: TileMask>(input: &SpikeTensor, ctx: &PtbCtx) -> WordRows<M> {
+    let tile_width = ctx.tile_width;
+    let tws = ctx.tws as usize;
+    debug_assert!(tws > 1 && 64 % tws == 0);
+    let wpw = 64 / tws;
+    let field_mask = if tws == 64 {
+        u64::MAX
+    } else {
+        (1u64 << tws) - 1
+    };
+    let neurons = input.neurons();
+    let n_tiles = ctx.tiles.len();
+    let tile_words = n_tiles.div_ceil(64);
+    debug_assert!(ctx
+        .tiles
+        .iter()
+        .enumerate()
+        .all(|(ti, &(w0, _))| w0 == ti * tile_width));
+    let mut rows = WordRows {
+        n_tiles,
+        active: vec![0u64; neurons * tile_words],
+        tile_words,
+        masks: vec![M::default(); neurons * n_tiles],
+        span_busy: vec![0u32; neurons * n_tiles],
+    };
+    for n in 0..neurons {
+        let row = n * n_tiles;
+        let mut cur_ti = usize::MAX;
+        let (mut mask, mut span, mut busiest) = (0u128, 0u32, 0u32);
+        for (wi, &word) in input.neuron_words(n).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let f = (word.trailing_zeros() as usize / tws) * tws;
+                let sub = (word >> f) & field_mask;
+                word &= !(field_mask << f);
+                let w = wi * wpw + f / tws;
+                let ti = w / tile_width;
+                if ti != cur_ti {
+                    if cur_ti != usize::MAX {
+                        let idx = row + cur_ti;
+                        rows.masks[idx] = M::from_u128(mask);
+                        rows.span_busy[idx] = span | (busiest << 16);
+                        rows.active[n * tile_words + cur_ti / 64] |= 1u64 << (cur_ti % 64);
+                    }
+                    cur_ti = ti;
+                    mask = 0;
+                    span = 0;
+                    busiest = 0;
+                }
+                let c = sub.count_ones();
+                mask |= 1 << (w - ti * tile_width);
+                span += c;
+                busiest = busiest.max(c);
+            }
+        }
+        if cur_ti != usize::MAX {
+            let idx = row + cur_ti;
+            rows.masks[idx] = M::from_u128(mask);
+            rows.span_busy[idx] = span | (busiest << 16);
+            rows.active[n * tile_words + cur_ti / 64] |= 1u64 << (cur_ti % 64);
+        }
+    }
+    rows
+}
+
+/// Builds [`WordRows`] from a per-(neuron, window) popcount table — the
+/// general fallback for window sizes that straddle storage words. One
+/// contiguous row walk per neuron derives mask, span and busiest
+/// together.
+fn build_word_rows_pops<M: TileMask>(neurons: usize, ctx: &PtbCtx, win_pop: &[u16]) -> WordRows<M> {
+    let n_tiles = ctx.tiles.len();
+    let tile_words = n_tiles.div_ceil(64);
+    let mut rows = WordRows {
+        n_tiles,
+        active: vec![0u64; neurons * tile_words],
+        tile_words,
+        masks: vec![M::default(); neurons * n_tiles],
+        span_busy: vec![0u32; neurons * n_tiles],
+    };
+    for n in 0..neurons {
+        let row = &win_pop[n * ctx.n_w..(n + 1) * ctx.n_w];
+        for (ti, &(w0, w1)) in ctx.tiles.iter().enumerate() {
+            let mut mask = 0u128;
+            let (mut span, mut busiest) = (0u32, 0u32);
+            for (i, &c) in row[w0..w1].iter().enumerate() {
+                if c > 0 {
+                    mask |= 1 << i;
+                    span += u32::from(c);
+                    busiest = busiest.max(u32::from(c));
+                }
+            }
+            if mask != 0 {
+                let idx = n * n_tiles + ti;
+                rows.masks[idx] = M::from_u128(mask);
+                rows.span_busy[idx] = span | (busiest << 16);
+                rows.active[n * tile_words + ti / 64] |= 1u64 << (ti % 64);
+            }
+        }
+    }
+    rows
+}
+
+/// Builder dispatch + scan for one mask width.
+fn run_word_kernel<M: TileMask>(
     inputs: &SimInputs,
     stsap: bool,
-    shape: ConvShape,
+    geo: &LayerGeometry,
+    ctx: &PtbCtx,
     input: &SpikeTensor,
     prep: Option<&PreparedLayer>,
-) -> LayerReport {
-    let arch = &inputs.arch;
-    let rows = u64::from(arch.array.rows());
-    let cols = arch.array.cols() as usize;
-    let fill = arch.array.fill_cycles();
-    let tws = inputs.tw_size;
-    let t = input.timesteps();
-    let part = WindowPartition::new(t, tws as usize);
-    let tiles = part.column_tiles(cols);
-    let m = u64::from(shape.out_channels());
-    let row_tiles = m.div_ceil(rows);
-    let pbits = u64::from(arch.potential_bits);
+    part: &WindowPartition,
+) -> Tally {
+    let rows = if ctx.tws == 1 {
+        build_word_rows_tw1::<M>(
+            input.neurons(),
+            ctx,
+            input.words(),
+            input.words_per_neuron(),
+        )
+    } else if 64 % ctx.tws == 0 {
+        build_word_rows_fused::<M>(input, ctx)
+    } else {
+        let win_pop = popcounts_of(prep, input, part);
+        build_word_rows_pops::<M>(input.neurons(), ctx, &win_pop)
+    };
+    ptb_word_scan(inputs.threads, stsap, geo, ctx, &rows)
+}
 
-    // Shared read-only scan inputs, computed (or fetched from the
-    // prepared memo) once: receptive fields and the spikes of each
-    // (neuron, window), reused across every overlapping receptive field
-    // and every worker.
-    let geo = geometry_of(prep, shape);
-    let n_w = part.num_windows();
-    let win_pop = popcounts_of(prep, input, &part);
-    let win_pop: &[u16] = &win_pop;
-    let min_beats = u64::from(tws.div_ceil(arch.spike_link_bits)).max(1);
+/// The bit-parallel PTB position scan: per position, walks the
+/// receptive field once and scatters each neuron's *active* tiles
+/// (guided by the tile-activity words) into per-tile entry buffers,
+/// then packs and prices each nonempty tile from the hoisted maxima.
+///
+/// Bit-identity with [`ptb_scalar_scan`] holds term by term: the
+/// hoisted span/mask/busiest are exactly the scalar walk's per-neuron
+/// results, and an StSAP pair's busiest column is
+/// `max(busiest_a, busiest_b)` because the pack only pairs *disjoint*
+/// tags — per column at most one member is nonzero, so the columnwise
+/// sums [`slot_cost`] maximizes are just the two rows interleaved.
+/// The scatter order changes only the order of commutative saturating
+/// sums (see [`PtbCtx`]).
+fn ptb_word_scan<M: TileMask>(
+    threads: usize,
+    stsap: bool,
+    geo: &LayerGeometry,
+    ctx: &PtbCtx,
+    rows: &WordRows<M>,
+) -> Tally {
+    let max_nw = ctx.tiles.iter().map(|&(w0, w1)| w1 - w0).max().unwrap_or(0);
+    if max_nw <= 8 {
+        return if ctx.tws == 1 {
+            ptb_word_scan_counts(threads, stsap, geo, ctx, rows, max_nw as u32)
+        } else {
+            ptb_word_scan_buckets(threads, stsap, geo, ctx, rows, max_nw as u32)
+        };
+    }
+    let n_tiles = rows.n_tiles;
+    let full_masks: Vec<u128> = ctx
+        .tiles
+        .iter()
+        .map(|&(w0, w1)| {
+            let nw = w1 - w0;
+            if nw == 128 {
+                u128::MAX
+            } else {
+                (1u128 << nw) - 1
+            }
+        })
+        .collect();
+    // At TWS = 1 a window holds at most one spike, so every busiest
+    // window is 1 ≤ min_beats: slot costs are uniform, the busiest
+    // table is never consulted, and a neuron's spike span equals its
+    // active-window count. At wider TWS the same collapse applies
+    // per-tile whenever the gathered entries' busiest windows all sit
+    // at or under the `min_beats` delivery floor (tracked as a running
+    // max during the scatter).
+    let uniform = ctx.tws == 1;
+    scan_chunks(threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        let mut scratch = M::Scratch::default();
+        // Per-tile entry buffers, filled in receptive-field order (the
+        // same entry order the scalar walk produces) and drained —
+        // cleared — as each tile is costed.
+        let mut tile_tags: Vec<Vec<M>> = vec![Vec::new(); n_tiles];
+        let mut tile_busy: Vec<Vec<u16>> = vec![Vec::new(); n_tiles];
+        let mut span_acc = vec![0u64; n_tiles];
+        let mut win_acc = vec![0u64; n_tiles];
+        let mut max_busy = vec![0u16; n_tiles];
+        for p in range {
+            for &rn in geo.rf(p) {
+                let act = &rows.active[rn * rows.tile_words..(rn + 1) * rows.tile_words];
+                let row = rn * n_tiles;
+                for (wi, &word) in act.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let ti = wi * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let idx = row + ti;
+                        let mask = rows.masks[idx];
+                        tile_tags[ti].push(mask);
+                        let wc = u64::from(mask.to_u128().count_ones());
+                        win_acc[ti] += wc;
+                        if uniform {
+                            span_acc[ti] += wc;
+                        } else {
+                            let sb = rows.span_busy[idx];
+                            let b = (sb >> 16) as u16;
+                            span_acc[ti] += u64::from(sb & 0xFFFF);
+                            max_busy[ti] = max_busy[ti].max(b);
+                            tile_busy[ti].push(b);
+                        }
+                    }
+                }
+            }
+            for ti in 0..n_tiles {
+                let raw = tile_tags[ti].len() as u64;
+                if raw == 0 {
+                    continue;
+                }
+                // Lockstep streaming: each slot stalls the wavefront for
+                // the busiest column's accumulate count, floored at the
+                // spike-link delivery time ([`slot_cost`]'s numbers, by
+                // the disjointness argument above).
+                let tile_uniform = uniform || u64::from(max_busy[ti]) <= ctx.min_beats;
+                let stream_beats;
+                let slots;
+                if stsap {
+                    let cost = if tile_uniform {
+                        M::stream_cost_uniform(
+                            &mut scratch,
+                            &tile_tags[ti],
+                            full_masks[ti],
+                            ctx.min_beats,
+                        )
+                    } else {
+                        M::stream_cost(
+                            &mut scratch,
+                            &tile_tags[ti],
+                            &tile_busy[ti],
+                            full_masks[ti],
+                            ctx.min_beats,
+                        )
+                    };
+                    sat!(tally.exact_pairs += cost.exact_pairs * ctx.row_tiles);
+                    sat!(tally.near_pairs += cost.near_pairs * ctx.row_tiles);
+                    slots = cost.slots;
+                    stream_beats = cost.beats;
+                } else if tile_uniform {
+                    slots = raw;
+                    stream_beats = raw * ctx.min_beats;
+                } else {
+                    slots = raw;
+                    let mut beats = 0u64;
+                    for &b in tile_busy[ti].iter() {
+                        beats += u64::from(b).max(ctx.min_beats);
+                    }
+                    stream_beats = beats;
+                }
+                ctx.account(
+                    &mut tally,
+                    raw,
+                    slots,
+                    stream_beats,
+                    span_acc[ti],
+                    win_acc[ti],
+                );
+                tile_tags[ti].clear();
+                tile_busy[ti].clear();
+                span_acc[ti] = 0;
+                win_acc[ti] = 0;
+                max_busy[ti] = 0;
+            }
+        }
+        tally
+    })
+}
 
-    let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
+/// [`ptb_word_scan`] specialized to `TWS = 1` and narrow tiles (at
+/// most 8 windows — the paper's column count): every slot costs exactly
+/// `min_beats` and which entries pair depends only on how many entries
+/// carry each mask, so the gather never materializes an entry list at
+/// all. The scatter bumps a per-(tile, mask) count in a flat arena
+/// (`n_tiles × 2^max_nw` counters, L2-resident at 8 windows) and the
+/// coster is [`count_cost_core`] straight over that arena. Bit-identity
+/// holds because pair counts are order-independent (pass 1 pairs
+/// disjoint classes; pass 2's class order is a total sort) and every
+/// tally term is a commutative saturating sum.
+fn ptb_word_scan_counts<M: TileMask>(
+    threads: usize,
+    stsap: bool,
+    geo: &LayerGeometry,
+    ctx: &PtbCtx,
+    rows: &WordRows<M>,
+    stride_bits: u32,
+) -> Tally {
+    let n_tiles = rows.n_tiles;
+    let stride = 1usize << stride_bits;
+    let full_masks: Vec<u16> = ctx
+        .tiles
+        .iter()
+        .map(|&(w0, w1)| ((1u32 << (w1 - w0)) - 1) as u16)
+        .collect();
+    scan_chunks(threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        let mut classes: Vec<u32> = Vec::new();
+        let mut counts = vec![0u32; n_tiles * stride];
+        let mut present: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
+        let mut raw_acc = vec![0u64; n_tiles];
+        let mut win_acc = vec![0u64; n_tiles];
+        for p in range {
+            for &rn in geo.rf(p) {
+                let act = &rows.active[rn * rows.tile_words..(rn + 1) * rows.tile_words];
+                let row = rn * n_tiles;
+                for (wi, &word) in act.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let ti = wi * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let m = rows.masks[row + ti].to_u128() as u32;
+                        raw_acc[ti] += 1;
+                        win_acc[ti] += u64::from(m.count_ones());
+                        if stsap {
+                            let slot = &mut counts[ti * stride + m as usize];
+                            if *slot == 0 {
+                                present[ti].push(m);
+                            }
+                            *slot += 1;
+                        }
+                    }
+                }
+            }
+            for ti in 0..n_tiles {
+                let raw = raw_acc[ti];
+                if raw == 0 {
+                    continue;
+                }
+                let slots;
+                let stream_beats;
+                if stsap {
+                    let arena = &mut counts[ti * stride..(ti + 1) * stride];
+                    let cost = count_cost_core(
+                        &mut classes,
+                        arena,
+                        &present[ti],
+                        full_masks[ti],
+                        ctx.min_beats,
+                    );
+                    sat!(tally.exact_pairs += cost.exact_pairs * ctx.row_tiles);
+                    sat!(tally.near_pairs += cost.near_pairs * ctx.row_tiles);
+                    slots = cost.slots;
+                    stream_beats = cost.beats;
+                    present[ti].clear();
+                } else {
+                    slots = raw;
+                    stream_beats = raw * ctx.min_beats;
+                }
+                // At `TWS = 1` a neuron's spike span equals its
+                // active-window count, so `win_acc` serves as both.
+                ctx.account(
+                    &mut tally,
+                    raw,
+                    slots,
+                    stream_beats,
+                    win_acc[ti],
+                    win_acc[ti],
+                );
+                raw_acc[ti] = 0;
+                win_acc[ti] = 0;
+            }
+        }
+        tally
+    })
+}
+
+/// [`ptb_word_scan`] specialized to narrow tiles at `TWS > 1`: the
+/// scatter fills per-(tile, mask) busiest-value buckets in a flat
+/// arena — entry order within each class is receptive-field order, the
+/// same order the entry coster's own bucket fill produces — and the
+/// coster is [`stream_cost_buckets`] straight over the arena, so the
+/// per-entry tag/busiest buffers and the coster's whole entry pass
+/// disappear. Tiles whose gathered busiest windows all sit at or under
+/// the `min_beats` floor (tracked as a running max) collapse to the
+/// count-only pairing on the same buckets. Without StSAP no pairing
+/// happens at all: slot beats just accumulate during the scatter.
+fn ptb_word_scan_buckets<M: TileMask>(
+    threads: usize,
+    stsap: bool,
+    geo: &LayerGeometry,
+    ctx: &PtbCtx,
+    rows: &WordRows<M>,
+    stride_bits: u32,
+) -> Tally {
+    let n_tiles = rows.n_tiles;
+    let stride = 1usize << stride_bits;
+    let full_masks: Vec<u16> = ctx
+        .tiles
+        .iter()
+        .map(|&(w0, w1)| ((1u32 << (w1 - w0)) - 1) as u16)
+        .collect();
+    scan_chunks(threads, geo.positions(), |range| {
+        let mut tally = Tally::default();
+        let mut classes: Vec<u32> = Vec::new();
+        let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); if stsap { n_tiles * stride } else { 0 }];
+        let mut present: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
+        let mut raw_acc = vec![0u64; n_tiles];
+        let mut win_acc = vec![0u64; n_tiles];
+        let mut span_acc = vec![0u64; n_tiles];
+        let mut beat_acc = vec![0u64; n_tiles];
+        let mut max_busy = vec![0u16; n_tiles];
+        for p in range {
+            for &rn in geo.rf(p) {
+                let act = &rows.active[rn * rows.tile_words..(rn + 1) * rows.tile_words];
+                let row = rn * n_tiles;
+                for (wi, &word) in act.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let ti = wi * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let idx = row + ti;
+                        let m = rows.masks[idx].to_u128() as u32;
+                        let sb = rows.span_busy[idx];
+                        let b = (sb >> 16) as u16;
+                        raw_acc[ti] += 1;
+                        win_acc[ti] += u64::from(m.count_ones());
+                        span_acc[ti] += u64::from(sb & 0xFFFF);
+                        max_busy[ti] = max_busy[ti].max(b);
+                        if stsap {
+                            let bucket = &mut buckets[ti * stride + m as usize];
+                            if bucket.is_empty() {
+                                present[ti].push(m);
+                            }
+                            bucket.push(b);
+                        } else {
+                            beat_acc[ti] += u64::from(b).max(ctx.min_beats);
+                        }
+                    }
+                }
+            }
+            for ti in 0..n_tiles {
+                let raw = raw_acc[ti];
+                if raw == 0 {
+                    continue;
+                }
+                let slots;
+                let stream_beats;
+                if stsap {
+                    let uniform = u64::from(max_busy[ti]) <= ctx.min_beats;
+                    let arena = &mut buckets[ti * stride..(ti + 1) * stride];
+                    let cost = stream_cost_buckets(
+                        &mut classes,
+                        arena,
+                        &present[ti],
+                        full_masks[ti],
+                        ctx.min_beats,
+                        uniform,
+                    );
+                    sat!(tally.exact_pairs += cost.exact_pairs * ctx.row_tiles);
+                    sat!(tally.near_pairs += cost.near_pairs * ctx.row_tiles);
+                    slots = cost.slots;
+                    stream_beats = cost.beats;
+                    present[ti].clear();
+                } else {
+                    // Σ busiest.max(min_beats) accumulated in the
+                    // scatter; when the tile is uniform this equals
+                    // `raw * min_beats` term by term.
+                    slots = raw;
+                    stream_beats = beat_acc[ti];
+                }
+                ctx.account(
+                    &mut tally,
+                    raw,
+                    slots,
+                    stream_beats,
+                    span_acc[ti],
+                    win_acc[ti],
+                );
+                raw_acc[ti] = 0;
+                win_acc[ti] = 0;
+                span_acc[ti] = 0;
+                beat_acc[ti] = 0;
+                max_busy[ti] = 0;
+            }
+        }
+        tally
+    })
+}
+
+/// The retired scalar PTB scan — the historical per-window walk, kept
+/// verbatim as the serial yardstick behind
+/// [`simulate_layer_reference`].
+fn ptb_scalar_scan(
+    threads: usize,
+    stsap: bool,
+    geo: &LayerGeometry,
+    ctx: &PtbCtx,
+    win_pop: &[u16],
+) -> Tally {
+    scan_chunks(threads, geo.positions(), |range| {
         let mut tally = Tally::default();
         let mut tile_tags: Vec<u128> = Vec::new();
         let mut tile_pops: Vec<u16> = Vec::new(); // per entry × window popcounts
         for p in range {
             let rf = geo.rf(p);
-            for &(w0, w1) in &tiles {
+            for &(w0, w1) in ctx.tiles {
                 let nw = w1 - w0;
                 let full_mask = if nw == 128 {
                     u128::MAX
@@ -600,8 +1512,8 @@ fn simulate_ptb(
                 let mut spikes_span = 0u64;
                 let mut active_windows = 0u64;
                 for &n in rf {
+                    let base = n * ctx.n_w;
                     let mut mask = 0u128;
-                    let base = n * n_w;
                     for (i, w) in (w0..w1).enumerate() {
                         let c = win_pop[base + w];
                         if c > 0 {
@@ -621,64 +1533,89 @@ fn simulate_ptb(
                 if raw == 0 {
                     continue;
                 }
-                // Lockstep streaming: each slot stalls the wavefront for
-                // the busiest column's accumulate count (the PE serially
-                // walks its psum slots), and can never go faster than the
-                // spike-link needs to deliver the TWS-bit word. An StSAP
-                // pair occupies one slot; its tags are disjoint, so per
-                // column only one member contributes work.
                 let pops_of = |i: usize| &tile_pops[i * nw..(i + 1) * nw];
                 let mut stream_beats = 0u64;
                 let slots;
                 if stsap {
                     let packed = pack_tile(&tile_tags, full_mask);
-                    sat!(tally.exact_pairs += packed.exact_pairs as u64 * row_tiles);
-                    sat!(tally.near_pairs += packed.near_pairs as u64 * row_tiles);
+                    sat!(tally.exact_pairs += packed.exact_pairs as u64 * ctx.row_tiles);
+                    sat!(tally.near_pairs += packed.near_pairs as u64 * ctx.row_tiles);
                     slots = packed.entries_after() as u64;
                     for slot in &packed.slots {
                         let second = slot.second.map(pops_of);
-                        stream_beats += slot_cost(pops_of(slot.first), second, min_beats);
+                        stream_beats += slot_cost(pops_of(slot.first), second, ctx.min_beats);
                     }
                 } else {
                     slots = raw;
                     for i in 0..raw as usize {
-                        stream_beats += slot_cost(pops_of(i), None, min_beats);
+                        stream_beats += slot_cost(pops_of(i), None, ctx.min_beats);
                     }
                 }
-                let iter_cycles = stream_beats + fill;
-                sat!(tally.compute_cycles += iter_cycles * row_tiles);
-                sat!(tally.useful_ops += spikes_span * m);
-                sat!(tally.counts.ac_ops += spikes_span * m);
-                sat!(tally.entries_before += raw * row_tiles);
-                sat!(tally.entries_after += slots * row_tiles);
-                sat!(tally.sum_entries_raw += raw);
-
-                // Input spikes staged per row-tile pass at TB granularity:
-                // only *tagged* time batches are fetched, TWS bits each —
-                // wider windows therefore pay for the zero bits they pack
-                // (Section VI-A1's input-movement growth).
-                let in_bits = active_windows * u64::from(tws) * row_tiles;
-                tally.counts.transfer(
-                    MemLevel::GlobalBuffer,
-                    MemLevel::L1,
-                    DataKind::InputSpike,
-                    in_bits,
+                ctx.account(
+                    &mut tally,
+                    raw,
+                    slots,
+                    stream_beats,
+                    spikes_span,
+                    active_windows,
                 );
-                tally
-                    .counts
-                    .read(MemLevel::L1, DataKind::InputSpike, in_bits);
-
-                // Membrane potentials cross column tiles once per tile.
-                tally
-                    .counts
-                    .read(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
-                tally
-                    .counts
-                    .write(MemLevel::GlobalBuffer, DataKind::Membrane, m * pbits);
             }
         }
         tally
-    });
+    })
+}
+
+/// PTB schedule (Section IV-C), optionally with StSAP (IV-D).
+fn simulate_ptb(
+    inputs: &SimInputs,
+    stsap: bool,
+    shape: ConvShape,
+    input: &SpikeTensor,
+    prep: Option<&PreparedLayer>,
+    kernel: Kernel,
+) -> LayerReport {
+    let arch = &inputs.arch;
+    let rows = u64::from(arch.array.rows());
+    let cols = arch.array.cols() as usize;
+    let tws = inputs.tw_size;
+    let t = input.timesteps();
+    let part = WindowPartition::new(t, tws as usize);
+    let tiles = part.column_tiles(cols);
+    let m = u64::from(shape.out_channels());
+
+    // Shared read-only scan inputs, computed (or fetched from the
+    // prepared memo) once: receptive fields and the spikes of each
+    // (neuron, window), reused across every overlapping receptive field
+    // and every worker.
+    let geo = geometry_of(prep, shape);
+    let n_w = part.num_windows();
+    let ctx = PtbCtx {
+        tiles: &tiles,
+        tile_width: cols,
+        n_w,
+        tws,
+        min_beats: u64::from(tws.div_ceil(arch.spike_link_bits)).max(1),
+        m,
+        row_tiles: m.div_ceil(rows),
+        fill: arch.array.fill_cycles(),
+        pbits: u64::from(arch.potential_bits),
+    };
+    let mut tally = match kernel {
+        Kernel::Words => {
+            WORD_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+            // Narrow mask words keep a tile's whole lookup slice
+            // cache-resident; the wide fallback covers any array.
+            if cols <= 16 {
+                run_word_kernel::<u16>(inputs, stsap, &geo, &ctx, input, prep, &part)
+            } else {
+                run_word_kernel::<u128>(inputs, stsap, &geo, &ctx, input, prep, &part)
+            }
+        }
+        Kernel::Scalar => {
+            let win_pop = popcounts_of(prep, input, &part);
+            ptb_scalar_scan(inputs.threads, stsap, &geo, &ctx, &win_pop)
+        }
+    };
     sat!(tally.counts.compare_ops += m * geo.positions() as u64 * t as u64);
     finalize(
         inputs,
@@ -704,6 +1641,7 @@ fn simulate_dense_temporal(
     input: &SpikeTensor,
     time_serial: bool,
     prep: Option<&PreparedLayer>,
+    kernel: Kernel,
 ) -> LayerReport {
     let arch = &inputs.arch;
     let rows = u64::from(arch.array.rows());
@@ -730,6 +1668,12 @@ fn simulate_dense_temporal(
         let positions = geo.positions();
         let pos_tiles = positions.div_ceil(cols);
         let t_u = t as u64;
+        // Whole-period fire counts, hoisted: each neuron appears in many
+        // receptive fields, so popcounting once per neuron (instead of
+        // once per (neuron, position) pair) saves a kernel-area factor.
+        let fires: Vec<u64> = (0..input.neurons())
+            .map(|n| u64::from(input.popcount_range(n, 0, t)))
+            .collect();
         let mut tally = scan_chunks(inputs.threads, pos_tiles, |range| {
             let mut tally = Tally::default();
             for tile in range {
@@ -740,7 +1684,7 @@ fn simulate_dense_temporal(
                 for p in p0..p1 {
                     rf_sum += geo.rf_len(p);
                     for &n in geo.rf(p) {
-                        spikes += u64::from(input.popcount_range(n, 0, t));
+                        spikes += fires[n];
                     }
                 }
                 let rf_max = geo.max_rf_len(p0, p1);
@@ -774,7 +1718,7 @@ fn simulate_dense_temporal(
         tally
             .counts
             .write(MemLevel::GlobalBuffer, DataKind::Membrane, mem);
-        tally.counts.compare_ops = m * positions as u64 * t_u;
+        sat!(tally.counts.compare_ops += m * positions as u64 * t_u);
         return finalize(
             inputs,
             Policy::TimeSerial,
@@ -791,23 +1735,59 @@ fn simulate_dense_temporal(
     // points (limited temporal parallelism), dense streaming.
     let part = WindowPartition::new(t, 1);
     let tiles = part.column_tiles(cols);
-    let bit_at = bits_of(prep, input);
+    let bit_at = match kernel {
+        Kernel::Scalar => bits_of(input),
+        Kernel::Words => Arc::new(Vec::new()),
+    };
     let bit_at: &[u8] = &bit_at;
+    if kernel == Kernel::Words {
+        WORD_KERNEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    }
     let mut tally = scan_chunks(inputs.threads, geo.positions(), |range| {
         let mut tally = Tally::default();
+        // Per-column spike counts of the current tile (word kernel).
+        let mut col_counts = vec![0u64; cols];
         for p in range {
             let rf = geo.rf(p);
             let rf_len = rf.len() as u64;
             for &(w0, w1) in &tiles {
+                let nw = w1 - w0;
                 let mut spikes_span = 0u64;
                 let mut busiest = 0u64;
-                for tp in w0..w1 {
-                    let mut col_spikes = 0u64;
-                    for &n in rf {
-                        col_spikes += u64::from(bit_at[n * t + tp]);
+                match kernel {
+                    // Word path: read the tile's ≤`cols` time points as
+                    // funnel-shifted words and scatter only the *set*
+                    // bits into per-column counts — identical sums to
+                    // the per-point walk, `O(spikes)` stores.
+                    Kernel::Words => {
+                        col_counts[..nw].fill(0);
+                        for &n in rf {
+                            let mut s = w0;
+                            while s < w1 {
+                                let len = (w1 - s).min(64);
+                                let mut word = input.spike_word(n, s, len);
+                                while word != 0 {
+                                    col_counts[s - w0 + word.trailing_zeros() as usize] += 1;
+                                    word &= word - 1;
+                                }
+                                s += len;
+                            }
+                        }
+                        for &c in &col_counts[..nw] {
+                            busiest = busiest.max(c);
+                            spikes_span += c;
+                        }
                     }
-                    busiest = busiest.max(col_spikes);
-                    spikes_span += col_spikes;
+                    Kernel::Scalar => {
+                        for tp in w0..w1 {
+                            let mut col_spikes = 0u64;
+                            for &n in rf {
+                                col_spikes += u64::from(bit_at[n * t + tp]);
+                            }
+                            busiest = busiest.max(col_spikes);
+                            spikes_span += col_spikes;
+                        }
+                    }
                 }
                 let iter_cycles = rf_len.max(busiest) + fill;
                 sat!(tally.compute_cycles += iter_cycles * row_tiles);
@@ -837,7 +1817,7 @@ fn simulate_dense_temporal(
         }
         tally
     });
-    tally.counts.compare_ops = m * geo.positions() as u64 * t as u64;
+    sat!(tally.counts.compare_ops += m * geo.positions() as u64 * t as u64);
     finalize(
         inputs,
         Policy::BaselineTemporal,
@@ -921,7 +1901,7 @@ fn simulate_ann(
     tally
         .counts
         .write(MemLevel::Scratchpad, DataKind::Psum, psum_bits);
-    tally.counts.compare_ops = m * positions as u64; // ReLU
+    sat!(tally.counts.compare_ops += m * positions as u64); // ReLU
 
     // Weight movement (resident rule), mirroring `finalize` but with the
     // ANN's dense input already counted above; input DRAM traffic is
@@ -1263,8 +2243,10 @@ mod tests {
                 }
             }
         }
-        // The sweep memoized one popcount table per TW size, not per run.
-        assert_eq!(prep.memoized_tw_sizes(), 3);
+        // Every Fig. 10 TW size divides a storage word, so the word
+        // kernel builds its row tables straight from the spike words
+        // and never materializes (or memoizes) a popcount table.
+        assert_eq!(prep.memoized_tw_sizes(), 0);
     }
 
     #[test]
@@ -1315,6 +2297,99 @@ mod tests {
             let r = simulate_layer(&SimInputs::hpca22(tw), policy, shape, &input);
             assert_eq!(r.counts.saturated, 0, "{policy:?} saturated");
         }
+    }
+
+    #[test]
+    fn word_kernel_matches_scalar_reference_for_every_policy() {
+        // The kernel equivalence pin: the bit-parallel word paths must
+        // reproduce the retired per-bit reference bit-for-bit — on a
+        // padded shape (uneven receptive fields) and a period that is
+        // not a multiple of 64 (live tail masking), across TW sizes
+        // that exercise the one-word, two-word, and tag-mask gathers.
+        let shape = ConvShape::with_padding(6, 3, 4, 8, 1, 1).unwrap();
+        for t in [40usize, 70, 128] {
+            let input = sparse_input(shape, t);
+            for tw in [1u32, 4, 8, 32, 64] {
+                let inputs = SimInputs::hpca22(tw);
+                for policy in [
+                    Policy::ptb(),
+                    Policy::ptb_with_stsap(),
+                    Policy::BaselineTemporal,
+                    Policy::TimeSerial,
+                    Policy::Ann,
+                    Policy::EventDriven,
+                ] {
+                    let calls_before = word_kernel_calls();
+                    let word = simulate_layer(&inputs, policy, shape, &input);
+                    let scalar = simulate_layer_reference(&inputs, policy, shape, &input);
+                    assert_eq!(
+                        word, scalar,
+                        "{policy:?} t={t} tw={tw}: word kernel diverged from reference"
+                    );
+                    if matches!(
+                        policy,
+                        Policy::Ptb { .. } | Policy::BaselineTemporal | Policy::EventDriven
+                    ) {
+                        assert!(
+                            word_kernel_calls() > calls_before,
+                            "{policy:?}: word kernel path was not exercised"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernel_matches_scalar_reference_on_wide_arrays() {
+        // Wide-column arrays pin the paths the default 8-column setup
+        // never reaches: `u128` tile masks (cols > 16), the
+        // funnel-shift TW=1 builder fallback (a tile width that does
+        // not divide a storage word), and the generic scan's uniform
+        // branch (tiles too wide for the count-scatter arena).
+        // cols = 20 exercises all three at once; 32 takes the fused
+        // wide-field builder; 128 is the Fig. 9(b) extreme, one tile
+        // spanning two window words.
+        use systolic_sim::{ArchConfig, ArrayDims};
+        let shape = ConvShape::with_padding(6, 3, 4, 8, 1, 1).unwrap();
+        let input = sparse_input(shape, 70);
+        for cols in [20u32, 32, 128] {
+            let inputs = SimInputs {
+                arch: ArchConfig::hpca22().with_array(ArrayDims::new(4, cols)),
+                ..SimInputs::hpca22(1)
+            };
+            for tw in [1u32, 8, 32] {
+                let inputs = SimInputs {
+                    tw_size: tw,
+                    ..inputs
+                };
+                inputs.assert_valid();
+                for policy in [Policy::ptb(), Policy::ptb_with_stsap()] {
+                    let word = simulate_layer(&inputs, policy, shape, &input);
+                    let scalar = simulate_layer_reference(&inputs, policy, shape, &input);
+                    assert_eq!(
+                        word, scalar,
+                        "{policy:?} cols={cols} tw={tw}: wide-mask kernel diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compare_ops_accumulation_saturates_instead_of_wrapping() {
+        // The satellite fix: `compare_ops` now goes through `sat!` in
+        // every policy, so a clamp is counted instead of wrapping.
+        let mut tally = Tally::default();
+        tally.counts.compare_ops = u64::MAX - 3;
+        sat!(tally.counts.compare_ops += 10);
+        assert_eq!(tally.counts.compare_ops, u64::MAX);
+        assert_eq!(tally.counts.saturated, 1);
+        // Below the clamp it is plain addition — bit-identical to `+=`.
+        let mut tally = Tally::default();
+        sat!(tally.counts.compare_ops += 7);
+        assert_eq!(tally.counts.compare_ops, 7);
+        assert_eq!(tally.counts.saturated, 0);
     }
 
     #[test]

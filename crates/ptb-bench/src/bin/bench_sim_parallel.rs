@@ -1,23 +1,33 @@
-//! Records serial vs. threaded `simulate_layer` wall time over the
-//! Fig. 10 layer sweep and writes `BENCH_sim_parallel.json`.
+//! Records `simulate_layer` wall time over the Fig. 10 layer sweep —
+//! scalar reference vs. the bit-parallel word kernel, serial and
+//! threaded — and writes `BENCH_sim_parallel.json`.
 //!
-//! Every layer of every benchmark network is simulated under
-//! PTB+StSAP at each Fig. 10 TW size, once with `threads = 1` (the
-//! historical serial walk) and once with one worker per available
-//! core. The two reports are asserted identical — the determinism
-//! guarantee of `ptb_accel::sim` — before timing is recorded, so the
-//! file doubles as an end-to-end determinism check. On a single-core
-//! host the speedup is honestly ~1×; the `host_cores` field records
+//! Every layer of every benchmark network is simulated under PTB+StSAP
+//! at each Fig. 10 TW size three ways: the retired per-bit scalar
+//! reference (`simulate_layer_reference`, always `threads = 1`), the
+//! word kernel with `threads = 1`, and the word kernel with one worker
+//! per available core. All three reports are asserted identical — the
+//! determinism and kernel-equivalence guarantees of `ptb_accel::sim` —
+//! before timing is recorded, so the file doubles as an end-to-end
+//! equivalence check. The before/after numbers of the bit-parallel
+//! kernel are therefore measured in one binary on one host:
+//! `kernel_speedup = reference_ms / serial_ms`. On a single-core host
+//! the *thread* speedup is honestly ~1×; the `host_cores` field records
 //! that context.
 //!
-//! Honors `PTB_QUICK=1` (cropped layers, shortened period) and
-//! `PTB_THREADS=N` (overrides the worker count) like every other
-//! experiment binary.
+//! The binary also asserts the word kernel's invocation counter
+//! advanced (`ptb_accel::word_kernel_calls`), so a CI smoke run proves
+//! the bit-parallel path is actually exercised, not silently bypassed.
+//!
+//! Honors `PTB_QUICK=1` (cropped layers, shortened period),
+//! `PTB_THREADS=N` (overrides the worker count), and
+//! `PTB_BENCH_OUT=path` (overrides the output path, so CI smoke runs
+//! never dirty the checked-in file).
 
 use std::time::Instant;
 
 use ptb_accel::config::{Policy, SimInputs};
-use ptb_accel::sim::simulate_layer;
+use ptb_accel::sim::{simulate_layer, simulate_layer_reference, word_kernel_calls};
 use ptb_bench::RunOptions;
 use serde::Serialize;
 
@@ -26,8 +36,15 @@ struct LayerTiming {
     network: String,
     layer: String,
     tw: u32,
+    /// Scalar per-bit reference, `threads = 1` (the pre-kernel "before").
+    reference_ms: f64,
+    /// Word kernel, `threads = 1`.
     serial_ms: f64,
+    /// Word kernel, one worker per core.
     threaded_ms: f64,
+    /// reference_ms / serial_ms — the bit-parallel kernel's win.
+    kernel_speedup: f64,
+    /// serial_ms / threaded_ms — the thread-scaling win.
     speedup: f64,
     reports_identical: bool,
 }
@@ -40,9 +57,17 @@ struct BenchReport {
     quick_mode: bool,
     tw_sizes: Vec<u64>,
     layers: Vec<LayerTiming>,
+    /// Total scalar-reference time (the "before" column).
+    total_reference_ms: f64,
+    /// Total word-kernel serial time (the "after" column).
     total_serial_ms: f64,
     total_threaded_ms: f64,
+    /// total_reference_ms / total_serial_ms at matched fidelity.
+    kernel_speedup: f64,
     overall_speedup: f64,
+    /// Word-kernel gather invocations observed during the run — nonzero
+    /// proves the bit-parallel path ran (asserted before writing).
+    word_kernel_calls: u64,
 }
 
 fn time_ms(mut f: impl FnMut()) -> f64 {
@@ -63,6 +88,8 @@ fn main() {
     let quick = std::env::var("PTB_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
+    let out_path =
+        std::env::var("PTB_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_parallel.json".to_string());
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -72,8 +99,10 @@ fn main() {
         host_cores.max(2)
     };
     let tws = [1u32, 2, 4, 8, 16, 32, 64];
+    let calls_at_start = word_kernel_calls();
 
     let mut layers = Vec::new();
+    let mut total_reference = 0.0;
     let mut total_serial = 0.0;
     let mut total_threaded = 0.0;
     for net in spikegen::datasets::all_benchmarks() {
@@ -95,26 +124,33 @@ fn main() {
                 let policy = Policy::ptb_with_stsap();
                 let a = simulate_layer(&serial_in, policy, shape, &activity);
                 let b = simulate_layer(&threaded_in, policy, shape, &activity);
-                let identical = a == b;
+                let r = simulate_layer_reference(&serial_in, policy, shape, &activity);
+                let identical = a == b && a == r;
                 assert!(
                     identical,
-                    "{}/{} tw={tw}: thread count changed the report",
+                    "{}/{} tw={tw}: kernel or thread count changed the report",
                     net.name, layer.name
                 );
+                let reference_ms = time_ms(|| {
+                    simulate_layer_reference(&serial_in, policy, shape, &activity);
+                });
                 let serial_ms = time_ms(|| {
                     simulate_layer(&serial_in, policy, shape, &activity);
                 });
                 let threaded_ms = time_ms(|| {
                     simulate_layer(&threaded_in, policy, shape, &activity);
                 });
+                total_reference += reference_ms;
                 total_serial += serial_ms;
                 total_threaded += threaded_ms;
                 layers.push(LayerTiming {
                     network: net.name.clone(),
                     layer: layer.name.clone(),
                     tw,
+                    reference_ms,
                     serial_ms,
                     threaded_ms,
+                    kernel_speedup: reference_ms / serial_ms.max(1e-9),
                     speedup: serial_ms / threaded_ms.max(1e-9),
                     reports_identical: identical,
                 });
@@ -122,27 +158,40 @@ fn main() {
         }
     }
 
+    let kernel_calls = word_kernel_calls() - calls_at_start;
+    assert!(
+        kernel_calls > 0,
+        "the bit-parallel word kernel was never exercised"
+    );
+
     let report = BenchReport {
-        description: "simulate_layer wall time, serial (threads=1) vs threaded position \
-                      scan, PTB+StSAP over the Fig. 10 layer sweep; reports asserted \
-                      bit-identical before timing"
+        description: "simulate_layer wall time over the Fig. 10 layer sweep, PTB+StSAP: \
+                      scalar per-bit reference vs bit-parallel word kernel (threads=1) vs \
+                      threaded position scan; all three reports asserted bit-identical \
+                      before timing"
             .to_string(),
         host_cores,
         threads,
         quick_mode: quick,
         tw_sizes: tws.iter().map(|&t| u64::from(t)).collect(),
         layers,
+        total_reference_ms: total_reference,
         total_serial_ms: total_serial,
         total_threaded_ms: total_threaded,
+        kernel_speedup: total_reference / total_serial.max(1e-9),
         overall_speedup: total_serial / total_threaded.max(1e-9),
+        word_kernel_calls: kernel_calls,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_sim_parallel.json", &json).expect("can write BENCH_sim_parallel.json");
+    std::fs::write(&out_path, &json).expect("can write the bench report");
     println!(
-        "wrote BENCH_sim_parallel.json: {} timings, {} host cores, {} threads, overall speedup {:.2}x",
+        "wrote {out_path}: {} timings, {} host cores, {} threads, kernel speedup {:.2}x, \
+         thread speedup {:.2}x, {} word-kernel calls",
         report.layers.len(),
         host_cores,
         threads,
-        report.overall_speedup
+        report.kernel_speedup,
+        report.overall_speedup,
+        kernel_calls
     );
 }

@@ -125,6 +125,22 @@ pub enum AuditError {
         /// Popcount the memo held.
         got: u16,
     },
+    /// The packed window-activity tag table the bit-parallel gather
+    /// scans disagrees with the popcount table it was derived from: a
+    /// tag bit claims activity where the count is zero (phantom work)
+    /// or silence where it is nonzero (dropped work).
+    TagMismatch {
+        /// Layer name.
+        layer: String,
+        /// Pre-synaptic neuron index.
+        neuron: usize,
+        /// Time-window index.
+        window: usize,
+        /// Whether the popcount table says the window is active.
+        expected: bool,
+        /// Whether the tag bit was set.
+        got: bool,
+    },
     /// The window partition's column tiles do not cover every time
     /// window exactly once: some (post-neuron, TW) tile would be
     /// scheduled `count` times instead of once.
@@ -238,6 +254,17 @@ impl fmt::Display for AuditError {
                 f,
                 "popcount mismatch in layer {layer}: neuron {neuron} window {window} \
                  expected {expected}, got {got}"
+            ),
+            AuditError::TagMismatch {
+                layer,
+                neuron,
+                window,
+                expected,
+                got,
+            } => write!(
+                f,
+                "window-tag mismatch in layer {layer}: neuron {neuron} window {window} \
+                 popcounts say active={expected}, tag bit says {got}"
             ),
             AuditError::TileCoverage {
                 layer,

@@ -200,20 +200,53 @@ impl SpikeTensor {
     /// time `start`, packed little-endian (bit `i` = time `start + i`).
     /// Bits beyond the end of the period read as zero.
     ///
+    /// An unaligned read touches at most two storage words (shift and
+    /// funnel, no per-bit walk), so it is cheap enough for the
+    /// accelerator model's hot loops; every constructor keeps the tail
+    /// bits of the last word clear, which is what lets the tail case
+    /// fall out of the same masking.
+    ///
     /// # Panics
     ///
     /// Panics if `len > 64` or `neuron` is out of range.
     pub fn spike_word(&self, neuron: usize, start: usize, len: usize) -> u64 {
         assert!(len <= 64, "spike_word reads at most 64 bits");
         assert!(neuron < self.neurons);
-        let mut out = 0u64;
-        let end = (start + len).min(self.timesteps);
-        for (i, t) in (start..end).enumerate() {
-            if self.get(neuron, t) {
-                out |= 1 << i;
-            }
+        if len == 0 || start >= self.timesteps {
+            return 0;
+        }
+        let base = neuron * self.words_per_neuron;
+        let w0 = start / 64;
+        let b0 = start % 64;
+        let mut out = self.bits[base + w0] >> b0;
+        if b0 != 0 && w0 + 1 < self.words_per_neuron {
+            out |= self.bits[base + w0 + 1] << (64 - b0);
+        }
+        if len < 64 {
+            out &= (1u64 << len) - 1;
         }
         out
+    }
+
+    /// Number of 64-bit storage words per neuron, `ceil(T / 64)`.
+    pub fn words_per_neuron(&self) -> usize {
+        self.words_per_neuron
+    }
+
+    /// The aligned time-axis words of one neuron: word `w` holds time
+    /// points `64·w .. 64·w + 63` (little-endian within the word), with
+    /// the tail bits of the last word guaranteed clear. This is the
+    /// bit-parallel kernel's view of the tensor: 64 time points per
+    /// AND/shift/popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    #[inline]
+    pub fn neuron_words(&self, neuron: usize) -> &[u64] {
+        assert!(neuron < self.neurons);
+        let base = neuron * self.words_per_neuron;
+        &self.bits[base..base + self.words_per_neuron]
     }
 
     /// Counts spikes of `neuron` in the half-open time range
@@ -348,6 +381,7 @@ impl SpikeTensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn new_is_all_silent() {
@@ -528,5 +562,104 @@ mod tests {
         assert_eq!(s.total_spikes(), 0);
         assert_eq!(s.density(), 0.0);
         assert_eq!(s.firing_rate(0), 0.0);
+    }
+
+    #[test]
+    fn neuron_words_expose_aligned_rows_with_clean_tails() {
+        let s = SpikeTensor::from_fn(3, 70, |n, t| (n + t) % 3 == 0);
+        assert_eq!(s.words_per_neuron(), 2);
+        for n in 0..3 {
+            let row = s.neuron_words(n);
+            assert_eq!(row.len(), 2);
+            for t in 0..70 {
+                assert_eq!(row[t / 64] >> (t % 64) & 1 == 1, s.get(n, t));
+            }
+            // Tail invariant: bits 70..128 of the row read as zero.
+            assert_eq!(row[1] >> 6, 0);
+        }
+        // T < 64: a single partially-filled word, tail clear.
+        let short = SpikeTensor::from_fn(1, 13, |_, t| t % 2 == 0);
+        assert_eq!(short.words_per_neuron(), 1);
+        assert_eq!(short.neuron_words(0)[0] >> 13, 0);
+    }
+
+    #[test]
+    fn spike_word_edges_match_per_bit_reference() {
+        // Deterministic word-boundary edge sweep: T not a multiple of
+        // 64, reads straddling the storage-word seam, and T < 64 tails.
+        for t in [1usize, 13, 63, 64, 65, 127, 128, 130, 300] {
+            let s = SpikeTensor::from_fn(2, t, |n, tp| (n * 11 + tp * 7) % 5 == 0);
+            for start in [0usize, 1, 31, 62, 63, 64, 65, 126, 127, 128, 129, 299, 305] {
+                for len in [0usize, 1, 2, 33, 63, 64] {
+                    for n in 0..2 {
+                        let mut expect = 0u64;
+                        for i in 0..len {
+                            if start + i < t && s.get(n, start + i) {
+                                expect |= 1 << i;
+                            }
+                        }
+                        assert_eq!(
+                            s.spike_word(n, start, len),
+                            expect,
+                            "t={t} start={start} len={len}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// `spike_word` against the per-bit reference at arbitrary
+        /// (period, start, length) alignments — the contract the
+        /// bit-parallel simulation kernel leans on.
+        #[test]
+        fn spike_word_matches_per_bit_reference(
+            seed in proptest::any::<u64>(),
+            t in 1usize..200,
+            start in 0usize..260,
+            len in 0usize..=64,
+        ) {
+            let mut state = seed;
+            let s = SpikeTensor::from_fn(3, t, |n, tp| {
+                state = state
+                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add(0x1405_7B7E_F767_814F);
+                (state >> 33).wrapping_add((n + tp) as u64) % 4 == 0
+            });
+            for n in 0..3 {
+                let mut expect = 0u64;
+                for i in 0..len {
+                    if start + i < t && s.get(n, start + i) {
+                        expect |= 1 << i;
+                    }
+                }
+                prop_assert_eq!(s.spike_word(n, start, len), expect);
+            }
+        }
+
+        /// `popcount_range` against a per-bit count at arbitrary
+        /// (possibly inverted or out-of-range) range endpoints.
+        #[test]
+        fn popcount_range_matches_per_bit_reference(
+            seed in proptest::any::<u64>(),
+            t in 1usize..200,
+            a in 0usize..260,
+            b in 0usize..260,
+        ) {
+            let mut state = seed ^ 0xA5A5_A5A5;
+            let s = SpikeTensor::from_fn(2, t, |n, tp| {
+                state = state
+                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add(0x1405_7B7E_F767_814F);
+                (state >> 33).wrapping_add((n * 3 + tp) as u64) % 3 == 0
+            });
+            for n in 0..2 {
+                let expect = (a..b.min(t)).filter(|&tp| s.get(n, tp)).count() as u32;
+                prop_assert_eq!(s.popcount_range(n, a, b), expect);
+            }
+        }
     }
 }

@@ -28,6 +28,17 @@ echo "== structured fuzz (time-boxed; exit nonzero on any panic or audit finding
 echo "== audited sweep (PTB_VERIFY=sample over the three workloads, zero findings)"
 PTB_QUICK=1 ./target/release/verify_sweep --level sample
 
+echo "== serial-reference oracle (PTB_VERIFY=full gates the bit-parallel kernel)"
+PTB_QUICK=1 PTB_VERIFY=full ./target/release/verify_sweep --level full
+
+echo "== bench smoke (bit-parallel kernel path must actually be exercised)"
+# The binary asserts word_kernel_calls() advanced and that the scalar
+# reference, word-serial, and word-threaded reports are bit-identical;
+# PTB_BENCH_OUT keeps the checked-in full-fidelity recording untouched.
+BENCH_TMP="$(mktemp)"
+PTB_QUICK=1 PTB_BENCH_OUT="$BENCH_TMP" ./target/release/bench_sim_parallel
+rm -f "$BENCH_TMP"
+
 echo "== injected corruption must be caught (cache_load_flip + --expect-findings)"
 ROOT="$(pwd)"
 CACHE_TMP="$(mktemp -d)"
