@@ -1,7 +1,15 @@
 //! A minimal blocking HTTP/1.1 client for the service's own API:
 //! enough for the `ptb-load` generator, the CI smoke stage, and the
-//! integration tests. One request per connection, matching the
-//! server's `Connection: close` behavior.
+//! integration tests.
+//!
+//! Two shapes: the one-shot helpers ([`request`], [`request_full`])
+//! open a fresh connection per request and ask the server to close it
+//! (`Connection: close`), and [`Connection`] keeps one connection
+//! alive across requests — with separate [`Connection::write_request`]
+//! and [`Connection::read_response`] halves so a caller can pipeline.
+//! Either shape can send either codec: pass
+//! `Content-Type: application/x-ptbw` ([`crate::wire::CONTENT_TYPE`])
+//! to speak binary. See `docs/PROTOCOL.md`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -44,20 +52,220 @@ pub fn request_full(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<ClientResponse> {
+    request_typed(addr, method, path, None, body)
+}
+
+/// One-shot request with an explicit `Content-Type` — the way to send
+/// a binary `PTBW1` frame ([`crate::wire::CONTENT_TYPE`]) without
+/// keeping the connection. Sends `Connection: close` so the
+/// (keep-alive by default) server ends the connection after one
+/// response and reading to EOF terminates promptly.
+pub fn request_typed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
     stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    write_request_head(&mut stream, addr, method, path, content_type, body, true)?;
     stream.flush()?;
 
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     parse_response(&raw)
+}
+
+/// Writes one full request (head + body) to `stream` as a *single*
+/// write: two small writes on a connection with unacknowledged data
+/// would let Nagle's algorithm hold the second segment until the
+/// server's delayed ACK — tens of milliseconds per kept-alive request.
+fn write_request_head(
+    stream: &mut impl Write,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let ctype = content_type
+        .map(|t| format!("Content-Type: {t}\r\n"))
+        .unwrap_or_default();
+    let conn = if close { "Connection: close\r\n" } else { "" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{ctype}{conn}Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
+    stream.write_all(&wire)
+}
+
+/// A persistent (kept-alive) connection to the daemon.
+///
+/// Requests reuse one TCP connection; responses are framed by their
+/// `Content-Length` instead of EOF. The write and read halves are
+/// separate methods so a caller can *pipeline* — write several requests
+/// back to back, then collect the responses in order:
+///
+/// ```no_run
+/// use ptb_serve::client::Connection;
+///
+/// let addr = "127.0.0.1:7878".parse().unwrap();
+/// let mut conn = Connection::open(addr)?;
+/// // Two requests on the wire before the first response is read.
+/// conn.write_request("GET", "/healthz", None, b"")?;
+/// conn.write_request("GET", "/healthz", None, b"")?;
+/// let first = conn.read_response()?;
+/// let second = conn.read_response()?;
+/// assert_eq!((first.status, second.status), (200, 200));
+/// # std::io::Result::Ok(())
+/// ```
+///
+/// The server may close after any response (error statuses, shutdown,
+/// or its starvation guard — see `docs/PROTOCOL.md`); check
+/// [`Connection::server_closed`] and reconnect.
+pub struct Connection {
+    stream: TcpStream,
+    addr: SocketAddr,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    server_closed: bool,
+}
+
+impl Connection {
+    /// Connects, with [`CLIENT_TIMEOUT`] on reads and writes.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        // Request/response traffic on a persistent connection is
+        // latency-bound: never trade a round trip for batching.
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            addr,
+            buf: Vec::new(),
+            out: Vec::new(),
+            server_closed: false,
+        })
+    }
+
+    /// Whether the last response announced `Connection: close` — the
+    /// next request needs a fresh [`Connection`].
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
+    }
+
+    /// Writes one request without reading its response (the pipelining
+    /// half; pair each call with one [`Connection::read_response`]).
+    pub fn write_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        self.queue_request(method, path, content_type, body);
+        self.flush_queued()
+    }
+
+    /// Encodes a request into the out-buffer without sending anything.
+    /// Queue several, then [`Connection::flush_queued`] sends the whole
+    /// burst in *one* write — so it arrives (on loopback, any small
+    /// burst) as one segment and the server sees the later requests
+    /// already buffered when it finishes the first: deterministic
+    /// pipelining, counted by the server's `pipelined` metric.
+    pub fn queue_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) {
+        write_request_head(
+            &mut self.out,
+            self.addr,
+            method,
+            path,
+            content_type,
+            body,
+            false,
+        )
+        .expect("writing to a Vec cannot fail");
+    }
+
+    /// Sends every queued request in one write.
+    pub fn flush_queued(&mut self) -> std::io::Result<()> {
+        let out = std::mem::take(&mut self.out);
+        self.stream.write_all(&out)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response, framed by its `Content-Length`. Bytes past
+    /// it stay buffered for the next call.
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 1024];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed before response head ended")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| bad("head is not UTF-8"))?
+            .to_string();
+        let content_length = head
+            .lines()
+            .skip(1)
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse::<usize>().ok())
+                    .flatten()
+            })
+            .ok_or_else(|| bad("response has no Content-Length"))?;
+        self.server_closed = head.lines().skip(1).any(|line| {
+            line.split_once(':').is_some_and(|(name, value)| {
+                name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        let total = head_end + 4 + content_length;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 1024];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid response body")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let mut framed = self.buf[..total].to_vec();
+        self.buf.drain(..total);
+        // Reuse the one-shot parser for status/Retry-After, but bound
+        // the body by Content-Length rather than EOF.
+        framed.truncate(head_end + 4 + content_length);
+        parse_response(&framed)
+    }
+
+    /// One request-response round trip on the kept-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.write_request(method, path, content_type, body)?;
+        self.read_response()
+    }
 }
 
 /// Splits a raw HTTP response into status, `Retry-After`, and body.
@@ -141,9 +349,23 @@ pub fn request_with_retry(
     body: &[u8],
     policy: &RetryPolicy,
 ) -> std::io::Result<ClientResponse> {
+    request_with_retry_typed(addr, method, path, None, body, policy)
+}
+
+/// [`request_with_retry`] with an explicit `Content-Type`, for retrying
+/// binary-codec requests.
+pub fn request_with_retry_typed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
     let mut rng = policy.seed;
     let mut sleep = policy.base;
-    let mut last: std::io::Result<ClientResponse> = request_full(addr, method, path, body);
+    let mut last: std::io::Result<ClientResponse> =
+        request_typed(addr, method, path, content_type, body);
     for _ in 0..policy.max_retries {
         let retry_after = match &last {
             Ok(resp) if resp.status == 503 => resp.retry_after,
@@ -155,7 +377,7 @@ pub fn request_with_retry(
             sleep = sleep.max(Duration::from_secs(secs)).min(policy.cap);
         }
         std::thread::sleep(sleep);
-        last = request_full(addr, method, path, body);
+        last = request_typed(addr, method, path, content_type, body);
     }
     last
 }

@@ -1,11 +1,19 @@
-//! Minimal HTTP/1.1 framing over blocking `std::net` streams.
+//! Minimal HTTP/1.1 framing over blocking `std::net` streams, with
+//! keep-alive and request pipelining.
 //!
-//! The service speaks just enough HTTP for its JSON API: one request
-//! per connection (`Connection: close` on every response), no chunked
-//! transfer encoding, no keep-alive, no TLS. This keeps the daemon
-//! dependency-free (the build environment is offline; see the
-//! workspace `Cargo.toml` header) while remaining compatible with
-//! `curl`, browsers, and the bundled `ptb-load` client.
+//! The service speaks just enough HTTP for its two codecs: requests are
+//! read through a [`ConnReader`] that buffers leftover bytes between
+//! requests on one connection, so a client may keep a connection open
+//! (HTTP/1.1 default) and even write its next request before reading
+//! the previous response (pipelining). No chunked transfer encoding, no
+//! TLS. This keeps the daemon dependency-free (the build environment is
+//! offline; see the workspace `Cargo.toml` header) while remaining
+//! compatible with `curl`, browsers, and the bundled `ptb-load` client.
+//!
+//! Codec negotiation is per request via `Content-Type`:
+//! `application/x-ptbw` selects the binary `PTBW1` codec
+//! ([`crate::wire`]); anything else (or no body) is JSON. The full
+//! contract lives in `docs/PROTOCOL.md`.
 //!
 //! Robustness is the contract here, not coverage of the RFC: arbitrary,
 //! truncated, oversized, or malicious bytes must produce a 4xx response
@@ -21,15 +29,46 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
 /// Maximum accepted request body size in bytes. Larger declared or
 /// actual bodies produce `413 Content Too Large`. The service's biggest
-/// legitimate request (a sweep over every TW) is well under 1 KiB.
+/// legitimate request (an inline network spec) is well under 1 MiB.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// How long a connection may dribble its request before being dropped.
-/// Prevents idle or stalled clients from pinning a worker forever.
+/// How long a connection may dribble its *first* request before being
+/// dropped. Prevents idle or stalled clients from pinning a worker.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// A parsed request: method, percent-decoded-free target path (query
-/// strings are not used by this API and are left attached), and body.
+/// How long a kept-alive connection may sit idle between requests
+/// before the server closes it. Shorter than [`READ_TIMEOUT`]: an idle
+/// reused connection has already proven it can speak, and the worker it
+/// pins is a scarce resource.
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Upper bound on requests served over one connection; the response to
+/// request number `MAX_REQUESTS_PER_CONN` closes. Bounds per-connection
+/// resource lifetime without ever bothering a legitimate client.
+pub const MAX_REQUESTS_PER_CONN: usize = 1024;
+
+/// Which wire codec a request (and therefore its response) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Text JSON bodies (`application/json`); the default.
+    Json,
+    /// `PTBW1` binary frames ([`crate::wire`]), negotiated by
+    /// `Content-Type: application/x-ptbw`.
+    Binary,
+}
+
+impl Codec {
+    /// The `Content-Type` value this codec's responses carry.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            Codec::Json => "application/json",
+            Codec::Binary => crate::wire::CONTENT_TYPE,
+        }
+    }
+}
+
+/// A parsed request: method, target path, body, and the connection
+/// semantics negotiated by its headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method, uppercased by the client per HTTP (`GET`,
@@ -40,18 +79,30 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// The negotiated codec (`Content-Type: application/x-ptbw` selects
+    /// [`Codec::Binary`]; everything else is JSON).
+    pub codec: Codec,
+    /// Whether the client wants the connection kept open after the
+    /// response: HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and
+    /// a `Connection: close`/`keep-alive` header overrides either. The
+    /// server may still close (see `docs/PROTOCOL.md`).
+    pub keep_alive: bool,
 }
 
-/// Why a request could not be read. Each maps to one 4xx status.
+/// Why a request could not be read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestError {
     /// Malformed request line, header syntax, or framing; or the
-    /// connection closed mid-request. -> `400 Bad Request`.
+    /// connection closed/stalled mid-request. -> `400 Bad Request`.
     Malformed(String),
     /// Head exceeded [`MAX_HEAD_BYTES`]. -> `431`.
     HeadTooLarge,
-    /// Declared or delivered body exceeded [`MAX_BODY_BYTES`]. -> `413`.
+    /// Declared body exceeded [`MAX_BODY_BYTES`]. -> `413`.
     BodyTooLarge,
+    /// The connection ended (EOF or idle timeout) *between* requests,
+    /// with no partial request pending — a clean close, not a protocol
+    /// error. No response is owed; the nominal status is `408`.
+    Idle,
 }
 
 impl RequestError {
@@ -61,6 +112,7 @@ impl RequestError {
             RequestError::Malformed(_) => 400,
             RequestError::HeadTooLarge => 431,
             RequestError::BodyTooLarge => 413,
+            RequestError::Idle => 408,
         }
     }
 
@@ -74,42 +126,140 @@ impl RequestError {
             RequestError::BodyTooLarge => {
                 format!("request body exceeds {MAX_BODY_BYTES} bytes")
             }
+            RequestError::Idle => "connection idle".into(),
         }
     }
 }
 
-/// Reads one HTTP/1.1 request from `stream`.
+/// A buffered request reader for one connection.
 ///
-/// I/O errors (including read timeouts) are folded into
-/// [`RequestError::Malformed`]: from the worker's perspective a stalled
-/// or broken client and a malformed one get the same treatment — a 4xx
-/// attempt and a close.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
-    let mut head = Vec::with_capacity(512);
-    let mut spill = Vec::new(); // body bytes read past the head
-    let mut buf = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(RequestError::HeadTooLarge);
-        }
-        let n = stream
-            .read(&mut buf)
-            .map_err(|e| RequestError::Malformed(format!("read: {e}")))?;
-        if n == 0 {
-            return Err(RequestError::Malformed(
-                "connection closed before end of request head".into(),
-            ));
-        }
-        head.extend_from_slice(&buf[..n]);
-    };
-    // Anything past the blank line already read belongs to the body.
-    spill.extend_from_slice(&head[head_end..]);
-    head.truncate(head_end);
+/// Bytes read from the stream but not consumed by the current request
+/// stay buffered for the next one — this is what makes keep-alive and
+/// pipelining work: a client may send two requests back to back, and
+/// the second is parsed entirely from the buffer without touching the
+/// socket again.
+pub struct ConnReader<S> {
+    stream: S,
+    /// Bytes read from the socket but not yet consumed by a request.
+    buf: Vec<u8>,
+    socket_reads: u64,
+}
 
-    let text = std::str::from_utf8(&head)
+impl<S: Read> ConnReader<S> {
+    /// Wraps a stream. The reader owns no timeout policy; set read
+    /// timeouts on the underlying socket between calls.
+    pub fn new(stream: S) -> Self {
+        ConnReader {
+            stream,
+            buf: Vec::with_capacity(512),
+            socket_reads: 0,
+        }
+    }
+
+    /// Bytes already buffered for the next request (nonzero after a
+    /// pipelined client wrote ahead).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// How many socket reads this reader has performed — unchanged
+    /// across a `read_request` call iff that request was served entirely
+    /// from the buffer (i.e. it was pipelined).
+    pub fn socket_reads(&self) -> u64 {
+        self.socket_reads
+    }
+
+    /// One socket read appended to the buffer. `Ok(0)` is EOF.
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 1024];
+        let n = self.stream.read(&mut chunk)?;
+        self.socket_reads += 1;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Ensures at least `want` buffered bytes, or errors. EOF and I/O
+    /// errors (including timeouts) with an empty buffer are
+    /// [`RequestError::Idle`] — the connection simply ended between
+    /// requests; with a partial request pending they are `Malformed`.
+    fn fill_to(&mut self, want: usize, what: &str) -> Result<(), RequestError> {
+        while self.buf.len() < want {
+            match self.fill() {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        RequestError::Idle
+                    } else {
+                        RequestError::Malformed(format!("connection closed {what}"))
+                    })
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    return Err(if self.buf.is_empty() {
+                        RequestError::Idle
+                    } else {
+                        RequestError::Malformed(format!("read {what}: {e}"))
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one HTTP/1.1 request, leaving any bytes past it buffered
+    /// for the next call.
+    pub fn read_request(&mut self) -> Result<Request, RequestError> {
+        // Accumulate until the head terminator appears (it may already
+        // be buffered from a pipelined write).
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(RequestError::HeadTooLarge);
+            }
+            // +1 forces a socket read: we need more bytes than we have.
+            self.fill_to(self.buf.len() + 1, "before end of request head")?;
+        };
+
+        let parsed = parse_head(&self.buf[..head_end])?;
+        if parsed.content_length > MAX_BODY_BYTES {
+            return Err(RequestError::BodyTooLarge);
+        }
+        let total = head_end + parsed.content_length;
+        self.fill_to(total, "before end of request body")?;
+
+        let body = self.buf[head_end..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Request {
+            method: parsed.method,
+            path: parsed.path,
+            body,
+            codec: parsed.codec,
+            keep_alive: parsed.keep_alive,
+        })
+    }
+}
+
+/// Reads one request from a stream with no connection reuse — the
+/// one-shot entry point used by tests; the server holds a [`ConnReader`]
+/// across requests instead.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    ConnReader::new(stream).read_request()
+}
+
+/// The parsed request head, before the body is read.
+struct ParsedHead {
+    method: String,
+    path: String,
+    content_length: usize,
+    codec: Codec,
+    keep_alive: bool,
+}
+
+/// Parses the request line and headers (everything before the blank
+/// line, terminator included in `head`).
+fn parse_head(head: &[u8]) -> Result<ParsedHead, RequestError> {
+    let text = std::str::from_utf8(head)
         .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = text.split("\r\n");
     let request_line = lines
@@ -131,6 +281,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     }
 
     let mut content_length: usize = 0;
+    let mut codec = Codec::Json;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
     for line in lines {
         if line.is_empty() {
             continue; // the terminating blank line
@@ -147,35 +300,27 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
             return Err(RequestError::Malformed(
                 "chunked transfer encoding is not supported".into(),
             ));
+        } else if name.eq_ignore_ascii_case("content-type") {
+            // Parameters (`; charset=...`) don't change the codec.
+            let media = value.trim().split(';').next().unwrap_or("").trim();
+            if media.eq_ignore_ascii_case(crate::wire::CONTENT_TYPE) {
+                codec = Codec::Binary;
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(RequestError::BodyTooLarge);
-    }
-    if spill.len() > content_length {
-        return Err(RequestError::Malformed(
-            "more body bytes than Content-Length declared".into(),
-        ));
-    }
-
-    let mut body = spill;
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(buf.len());
-        let n = stream
-            .read(&mut buf[..want])
-            .map_err(|e| RequestError::Malformed(format!("read body: {e}")))?;
-        if n == 0 {
-            return Err(RequestError::Malformed(
-                "connection closed before end of request body".into(),
-            ));
-        }
-        body.extend_from_slice(&buf[..n]);
-    }
-
-    Ok(Request {
+    Ok(ParsedHead {
         method: method.to_string(),
         path: path.to_string(),
-        body,
+        content_length,
+        codec,
+        keep_alive,
     })
 }
 
@@ -187,7 +332,7 @@ fn find_head_end(bytes: &[u8]) -> Option<usize> {
         .map(|p| p + 4)
 }
 
-/// An outgoing response; always `Connection: close`.
+/// An outgoing response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -199,6 +344,11 @@ pub struct Response {
     /// When set, a `Retry-After: N` header (seconds) is emitted —
     /// backpressure guidance on `503` responses.
     pub retry_after: Option<u64>,
+    /// Whether the server closes the connection after this response
+    /// (`Connection: close` vs `keep-alive`). Constructors default to
+    /// `true`; the keep-alive loop clears it when the connection
+    /// persists, so one-shot call sites keep the old behavior.
+    pub close: bool,
 }
 
 impl Response {
@@ -209,6 +359,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            close: true,
         }
     }
 
@@ -223,6 +374,7 @@ impl Response {
             )
             .into_bytes(),
             retry_after: None,
+            close: true,
         }
     }
 
@@ -241,8 +393,9 @@ impl Response {
             .retry_after
             .map(|s| format!("Retry-After: {s}\r\n"))
             .unwrap_or_default();
+        let conn = if self.close { "close" } else { "keep-alive" };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: {conn}\r\n\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
@@ -269,6 +422,7 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
         431 => "Request Header Fields Too Large",
@@ -290,6 +444,7 @@ mod tests {
         let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/healthz"));
         assert!(r.body.is_empty());
+        assert_eq!((r.codec, r.keep_alive), (Codec::Json, true));
 
         let r = parse(b"POST /simulate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
         assert_eq!(r.method, "POST");
@@ -297,17 +452,64 @@ mod tests {
     }
 
     #[test]
+    fn negotiates_codec_and_connection_headers() {
+        let r = parse(
+            b"POST /simulate HTTP/1.1\r\nContent-Type: application/x-ptbw\r\n\
+              Content-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.codec, Codec::Binary);
+
+        let r =
+            parse(b"POST /x HTTP/1.1\r\nContent-Type: APPLICATION/X-PTBW; v=1\r\n\r\n").unwrap();
+        assert_eq!(r.codec, Codec::Binary, "case-insensitive, params ignored");
+
+        let r = parse(b"POST /x HTTP/1.1\r\nContent-Type: application/json\r\n\r\n").unwrap();
+        assert_eq!(r.codec, Codec::Json);
+
+        let r = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
     fn body_may_arrive_with_the_head_or_after_it() {
-        // Cursor delivers everything at once: spill path.
+        // Cursor delivers everything at once: buffered path.
         let r = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
         assert_eq!(r.body, b"ok");
     }
 
     #[test]
+    fn pipelined_requests_parse_back_to_back_from_one_buffer() {
+        let two =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /simulate HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = std::io::Cursor::new(two.to_vec());
+        let mut reader = ConnReader::new(&mut cursor);
+        let first = reader.read_request().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(reader.buffered() > 0, "second request stays buffered");
+        let reads_before = reader.socket_reads();
+        let second = reader.read_request().unwrap();
+        assert_eq!(
+            (second.path.as_str(), second.body.as_slice()),
+            ("/simulate", &b"hi"[..])
+        );
+        assert_eq!(
+            reader.socket_reads(),
+            reads_before,
+            "second request needed no socket read"
+        );
+        // A third read finds a cleanly exhausted connection.
+        assert_eq!(reader.read_request().unwrap_err(), RequestError::Idle);
+    }
+
+    #[test]
     fn malformed_requests_are_4xx_not_panics() {
         for (bytes, status) in [
-            (&b""[..], 400),
-            (b"\r\n\r\n", 400),
+            (&b"\r\n\r\n"[..], 400),
             (b"GET\r\n\r\n", 400),
             (b"GET /x\r\n\r\n", 400),
             (b"GET /x SPDY/9\r\n\r\n", 400),
@@ -324,6 +526,8 @@ mod tests {
             let err = parse(bytes).unwrap_err();
             assert_eq!(err.status(), status, "{bytes:?}");
         }
+        // Nothing at all is a clean idle close, not a protocol error.
+        assert_eq!(parse(b"").unwrap_err(), RequestError::Idle);
     }
 
     #[test]
@@ -350,6 +554,11 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut kept = Response::json("{}".into());
+        kept.close = false;
+        let text = String::from_utf8(kept.to_bytes()).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
 
         let err = Response::error(404, "no such route");
         assert!(String::from_utf8(err.to_bytes())

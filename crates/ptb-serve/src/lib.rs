@@ -27,6 +27,21 @@
 //! `ptb_bench::sweep_summary_cached` (pinned by
 //! `tests/service_roundtrip.rs`).
 //!
+//! ## Wire codecs and connections
+//!
+//! `POST /simulate` and `POST /sweep` speak two codecs over one
+//! engine: JSON (the default) and the compact binary `PTBW1` frame
+//! format ([`wire`]), negotiated per request with
+//! `Content-Type: application/x-ptbw`. Responses are bit-identical
+//! across codecs by construction — both render the same
+//! [`engine::Outcome`] — and `tests/codec_equivalence.rs`
+//! property-tests that. Connections are kept alive by default
+//! (HTTP/1.1 semantics) with request pipelining and idle timeouts;
+//! `/metrics` counts reuse (`keepalive_reused`, `pipelined`) and
+//! per-codec traffic (`codec_json`, `codec_bin`). The full wire
+//! contract — frame layout, field tables, keep-alive and versioning
+//! rules — is written down in `docs/PROTOCOL.md`.
+//!
 //! Background jobs are crash-safe: each is append-journaled under
 //! `PTB_JOB_DIR` (checksummed records; replayed on boot so unfinished
 //! jobs resume under their original ids without recomputing journaled
@@ -54,11 +69,13 @@
 
 pub mod api;
 pub mod client;
+pub mod engine;
 pub mod http;
 pub mod jobs;
 pub mod journal;
 pub mod metrics;
 pub mod server;
+pub mod wire;
 
 pub use api::{SimulateRequest, SweepRequest};
 pub use server::{Server, ServerConfig};

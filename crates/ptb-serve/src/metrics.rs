@@ -130,6 +130,21 @@ pub struct Metrics {
     /// wrapping — but a nonzero count means energy/latency tallies are
     /// lower bounds and worth investigating.
     pub acc_saturated: AtomicU64,
+    /// Requests that arrived in the JSON codec.
+    pub codec_json: AtomicU64,
+    /// Requests that arrived in the binary `PTBW1` codec
+    /// (`Content-Type: application/x-ptbw`).
+    pub codec_bin: AtomicU64,
+    /// Requests served over a reused (kept-alive) connection — every
+    /// request on a connection after its first.
+    pub keepalive_reused: AtomicU64,
+    /// The subset of reused requests that were already fully buffered
+    /// when the previous response was written (the client pipelined).
+    pub pipelined: AtomicU64,
+    /// `/simulate` requests answered from the engine's report memo
+    /// (identical unaudited request repeated; the simulation was
+    /// skipped and the memoized report served bit-identically).
+    pub report_memo_hits: AtomicU64,
     /// Per-endpoint counters, keyed by route.
     pub simulate: EndpointMetrics,
     /// `/sweep` counters.

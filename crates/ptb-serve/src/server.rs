@@ -1,5 +1,6 @@
-//! The daemon: a bounded job queue, a fixed worker pool, and the HTTP
-//! route handlers.
+//! The transport layer: a bounded job queue, a fixed worker pool, and
+//! the HTTP connection loop that feeds the codec-independent
+//! [`Engine`].
 //!
 //! ## Request lifecycle
 //!
@@ -7,16 +8,38 @@
 //! connection becomes a `Work::Conn` item on the bounded queue (or is
 //! answered `503` + `Retry-After` on the spot when the queue is full —
 //! backpressure is explicit, never an unbounded buffer). A pool worker
-//! dequeues the connection, reads and routes the request, runs the
-//! simulation on its own thread, and writes the response. One request
-//! per connection.
+//! dequeues the connection and serves it with `handle_conn`: read a
+//! request, decode it in whichever codec the `Content-Type` negotiated
+//! (JSON or binary `PTBW1`, see [`crate::wire`]), execute it on the
+//! shared [`Engine`], render the [`Outcome`] back in the same codec,
+//! and — under HTTP/1.1 keep-alive — loop for the next request on the
+//! same connection. Leftover bytes stay buffered between requests
+//! ([`crate::http::ConnReader`]), so clients may pipeline.
+//!
+//! The engine/transport split is strict: this module owns sockets,
+//! framing, codecs, and the worker pool; [`crate::engine`] owns the
+//! simulation state and produces codec-free [`Outcome`]s. Both codecs
+//! render the same `Outcome`, which keeps responses bit-identical
+//! across codecs (property-tested in `tests/codec_equivalence.rs`) and
+//! makes a future cluster RPC a third renderer, not a rewrite. The
+//! wire contract lives in `docs/PROTOCOL.md`.
+//!
+//! ## Keep-alive without starvation
+//!
+//! A kept-alive connection pins a worker, and the pool is bounded, so
+//! the loop yields deliberately: the server closes (with
+//! `Connection: close`) after an error response, after
+//! [`MAX_REQUESTS_PER_CONN`] requests, at shutdown, and — the
+//! starvation guard — whenever the connection has no pipelined bytes
+//! buffered while other work sits queued. An idle reused connection is
+//! dropped after [`KEEPALIVE_IDLE`].
 //!
 //! ## Sharded sweeps without deadlock
 //!
 //! `POST /sweep` fans its TW points out as `Work::Shard` items that
 //! *other* workers can pick up, but the handling worker always claims
-//! and runs shards itself too ([`SweepJob::run_shards`]). Shards are
-//! claimed atomically, so the split adapts to whoever is free: on a
+//! and runs shards itself too ([`SweepJob::run_shards_until`]). Shards
+//! are claimed atomically, so the split adapts to whoever is free: on a
 //! fully busy pool the handler simply runs the whole sweep alone, which
 //! means a synchronous sweep can never deadlock waiting for workers
 //! that are themselves waiting. Results merge by original index,
@@ -25,30 +48,17 @@
 //! ## Fault tolerance
 //!
 //! Background jobs are journaled ([`crate::journal::JobJournal`]) when
-//! a job directory is configured: submissions, per-shard completions,
-//! and completion are appended durably, and [`Server::start`] replays
-//! the journal so a crashed daemon resumes unfinished jobs — with their
-//! original ids and without recomputing journaled shards. Journaling is
-//! deliberately restricted to background jobs: the synchronous
-//! `/simulate` and `/sweep` paths never touch the journal, so warm
-//! request throughput is unaffected.
-//!
-//! Workers run every dequeued item under `catch_unwind`: a panicking
-//! handler answers `500`, a panicking shard fails its job (see
-//! [`SweepJob::run_shards_until`]), and either way the worker survives
-//! (`panics_contained` in `/metrics`). Deadlines (`PTB_DEADLINE_MS`, or
-//! a request's `deadline_ms`) are checked at dequeue and between sweep
-//! shards; expiry answers `503` + `Retry-After`. `POST /shutdown`
-//! drains gracefully: queued work completes, new pushes fail.
-//!
-//! ## Shared cache
-//!
-//! All workers share one [`ActivityCache`]: concurrent requests for the
-//! same `(profile, neurons, timesteps, seed)` layer activity coalesce
-//! into a single in-flight generation (see `ptb_bench::cache`), so a
-//! burst of identical jobs pays the expensive step once.
+//! a job directory is configured, and [`Server::start`] replays the
+//! journal so a crashed daemon resumes unfinished jobs (see
+//! [`Engine::replay_journal`]). Workers run every dequeued item under
+//! `catch_unwind`: a panicking handler answers `500`, a panicking shard
+//! fails its job, and either way the worker survives
+//! (`panics_contained` in `/metrics`). Deadlines are checked at dequeue
+//! and between sweep shards; expiry answers `503` + `Retry-After`.
+//! `POST /shutdown` drains gracefully: queued work completes, new
+//! pushes fail.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -58,18 +68,19 @@ use std::time::{Duration, Instant};
 
 use ptb_accel::audit::AuditLevel;
 use ptb_bench::sync::{lock_recover, wait_recover};
-use ptb_bench::{run_network_verified, ActivityCache, CacheMode, RunOptions};
+use ptb_bench::{ActivityCache, CacheMode};
+use serde::Value;
 
 use crate::api;
-use crate::http::{read_request, Request, RequestError, Response, READ_TIMEOUT};
+use crate::engine::{Engine, Outcome, RETRY_AFTER_SECS};
+use crate::http::{
+    Codec, ConnReader, Request, RequestError, Response, KEEPALIVE_IDLE, MAX_REQUESTS_PER_CONN,
+    READ_TIMEOUT,
+};
 use crate::jobs::{panic_message, JobRegistry, JobState, SweepJob};
 use crate::journal::JobJournal;
 use crate::metrics::Metrics;
-
-/// `Retry-After` seconds suggested on backpressure responses. The
-/// service's work items are sub-second in quick mode and a few seconds
-/// at full fidelity, so "come back in a second" is honest guidance.
-const RETRY_AFTER_SECS: u64 = 1;
+use crate::wire;
 
 /// Server configuration; see [`ServerConfig::from_env`] for the
 /// environment knobs.
@@ -161,7 +172,7 @@ impl ServerConfig {
 
 /// A unit of work for the pool.
 enum Work {
-    /// An accepted connection with a request to read, stamped with its
+    /// An accepted connection with requests to read, stamped with its
     /// enqueue time so deadlines cover queue wait.
     Conn(TcpStream, Instant),
     /// A sweep with unclaimed shards; the worker claims until dry.
@@ -223,17 +234,13 @@ impl Queue {
     }
 }
 
-/// State shared by the acceptor, every worker, and the handlers.
+/// State shared by the acceptor, every worker, and the handlers: the
+/// codec-independent [`Engine`] plus the transport's own queue and
+/// lifecycle flags.
 struct Shared {
-    cache: ActivityCache,
-    metrics: Metrics,
-    jobs: JobRegistry,
-    journal: Option<Arc<JobJournal>>,
+    engine: Engine,
     queue: Queue,
     workers: usize,
-    deadline: Option<Duration>,
-    /// Default audit level for requests that don't set `verify`.
-    verify: AuditLevel,
     shutdown: AtomicBool,
 }
 
@@ -258,20 +265,25 @@ impl Server {
             .as_deref()
             .map(|dir| Arc::new(JobJournal::new(dir)));
         let shared = Arc::new(Shared {
-            cache: ActivityCache::new(cfg.cache),
-            metrics: Metrics::default(),
-            jobs: JobRegistry::default(),
-            journal,
+            engine: Engine {
+                cache: ActivityCache::new(cfg.cache),
+                metrics: Metrics::default(),
+                jobs: JobRegistry::default(),
+                journal,
+                deadline: cfg.deadline_ms.map(Duration::from_millis),
+                verify: cfg.verify,
+                report_memo: Mutex::new(HashMap::new()),
+            },
             queue: Queue::new(cfg.queue_cap),
             workers: cfg.workers,
-            deadline: cfg.deadline_ms.map(Duration::from_millis),
-            verify: cfg.verify,
             shutdown: AtomicBool::new(false),
         });
 
         // Replay before any thread starts: the queue absorbs resumed
         // shards, and the workers pick them up the moment they spawn.
-        replay_journal(&shared);
+        shared
+            .engine
+            .replay_journal(|job| shared.queue.push(Work::Shard(job)).is_ok());
 
         let mut threads = Vec::with_capacity(cfg.workers + 1);
         let accept_shared = Arc::clone(&shared);
@@ -316,51 +328,6 @@ impl Server {
     }
 }
 
-/// Rebuilds the job registry from the journal at boot: completed jobs
-/// reload their rows; unfinished ones resume with only the unjournaled
-/// shards claimable.
-fn replay_journal(shared: &Arc<Shared>) {
-    let Some(journal) = &shared.journal else {
-        return;
-    };
-    let mut max_id = 0u64;
-    for replayed in journal.replay() {
-        max_id = max_id.max(replayed.id);
-        let opts = run_options(Some(replayed.quick), Some(replayed.seed), replayed.verify);
-        let unfinished = !replayed.done;
-        // Under a non-off verify level even a *finished* job goes back
-        // to the pool: its replayed rows get recomputed and diffed
-        // before it is served again (see `SweepJob::run_shards_until`).
-        let needs_pool = unfinished || (replayed.verify.is_on() && !replayed.shards.is_empty());
-        let job = Arc::new(
-            SweepJob::resumed(
-                replayed.spec,
-                replayed.policy,
-                replayed.tws,
-                opts,
-                replayed.shards,
-            )
-            .with_journal(Arc::clone(journal), replayed.id),
-        );
-        if !shared.jobs.insert(replayed.id, Arc::clone(&job)) {
-            eprintln!(
-                "warning: job registry full; journaled job {} not resumed",
-                replayed.id
-            );
-            continue;
-        }
-        if needs_pool && shared.queue.push(Work::Shard(job)).is_err() {
-            // Queue smaller than the backlog of resumed jobs: this one
-            // stays registered but idle until the next restart.
-            eprintln!(
-                "warning: work queue full; journaled job {} resumes on next boot",
-                replayed.id
-            );
-        }
-    }
-    shared.jobs.bump_next_id(max_id + 1);
-}
-
 /// Flags shutdown and unblocks the acceptor with a wake-up connection.
 fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
     shared.shutdown.store(true, Ordering::SeqCst);
@@ -380,13 +347,21 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             Ok(s) => s,
             Err(_) => continue,
         };
-        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .engine
+            .metrics
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+        // Keep-alive exchanges are latency-bound request/response
+        // traffic; Nagle batching would serialize them on delayed ACKs.
+        let _ = stream.set_nodelay(true);
         if let Err(Work::Conn(mut rejected, _)) =
             shared.queue.push(Work::Conn(stream, Instant::now()))
         {
             shared
+                .engine
                 .metrics
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
@@ -406,14 +381,15 @@ fn worker_loop(shared: &Shared) {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let _ = ptb_bench::failpoint!("worker_dequeue");
             match work {
-                Work::Conn(mut stream, enqueued) => handle_conn(shared, &mut stream, enqueued),
+                Work::Conn(stream, enqueued) => handle_conn(shared, &stream, enqueued),
                 Work::Shard(job) => {
-                    job.run_shards_until(&shared.cache, None, Some(&shared.metrics));
+                    job.run_shards_until(&shared.engine.cache, None, Some(&shared.engine.metrics));
                 }
             }
         }));
         if caught.is_err() {
             shared
+                .engine
                 .metrics
                 .panics_contained
                 .fetch_add(1, Ordering::Relaxed);
@@ -421,67 +397,122 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle_conn(shared: &Shared, stream: &mut TcpStream, enqueued: Instant) {
-    let request = match read_request(stream) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
-            respond_request_error(stream, &e);
-            return;
-        }
-    };
-    // Deadline check at dequeue: a request that waited out its budget
-    // in the queue is shed before any simulation work starts.
-    if let Some(deadline) = shared.deadline {
-        if enqueued.elapsed() >= deadline {
-            shared
-                .metrics
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
-            Response::unavailable(
-                &format!("deadline ({} ms) expired in queue", deadline.as_millis()),
-                RETRY_AFTER_SECS,
-            )
-            .write_to(stream);
-            return;
-        }
-    }
-    let started = Instant::now();
-    let (endpoint, response) =
-        match catch_unwind(AssertUnwindSafe(|| route(shared, &request, enqueued))) {
+/// Serves one connection until it closes: the keep-alive loop.
+///
+/// Reads (`&TcpStream` is `Read`) go through a [`ConnReader`] so bytes
+/// past the current request stay buffered for the next one
+/// (pipelining); writes go straight to the stream. The first request
+/// keeps the accept-time [`READ_TIMEOUT`]; subsequent requests get the
+/// shorter [`KEEPALIVE_IDLE`] budget. Deadlines measured from enqueue
+/// apply to the *first* request only — later requests on the
+/// connection never waited in the accept queue, so their deadline
+/// starts when they are read.
+fn handle_conn(shared: &Shared, stream: &TcpStream, enqueued: Instant) {
+    let mut reader = ConnReader::new(stream);
+    let mut served: usize = 0;
+    loop {
+        let had_buffered = reader.buffered() > 0;
+        let reads_before = reader.socket_reads();
+        let request = match reader.read_request() {
             Ok(r) => r,
-            Err(payload) => {
+            Err(RequestError::Idle) => return, // clean end between requests
+            Err(e) => {
                 shared
+                    .engine
                     .metrics
-                    .panics_contained
+                    .bad_requests
                     .fetch_add(1, Ordering::Relaxed);
-                (
-                    Endpoint::Admin,
-                    Response::error(
-                        500,
-                        &format!("handler panicked: {}", panic_message(&payload)),
-                    ),
-                )
+                Response::error(e.status(), &e.detail()).write_to(&mut &*stream);
+                return;
             }
         };
-    let metrics = match endpoint {
-        Endpoint::Simulate => &shared.metrics.simulate,
-        Endpoint::Sweep => &shared.metrics.sweep,
-        Endpoint::Jobs => &shared.metrics.jobs,
-        Endpoint::Admin => &shared.metrics.admin,
-    };
-    metrics.record(response.status, started.elapsed());
-    response.write_to(stream);
-    // /shutdown responds first, then stops the world.
-    if endpoint == Endpoint::Admin && request.path == "/shutdown" && response.status == 200 {
-        if let Ok(addr) = stream.local_addr() {
-            trigger_shutdown(shared, addr);
+        let metrics = &shared.engine.metrics;
+        if served > 0 {
+            metrics.keepalive_reused.fetch_add(1, Ordering::Relaxed);
+            if had_buffered && reader.socket_reads() == reads_before {
+                // The whole request was already buffered when the last
+                // response went out: the client wrote ahead.
+                metrics.pipelined.fetch_add(1, Ordering::Relaxed);
+            }
         }
-    }
-}
+        match request.codec {
+            Codec::Json => metrics.codec_json.fetch_add(1, Ordering::Relaxed),
+            Codec::Binary => metrics.codec_bin.fetch_add(1, Ordering::Relaxed),
+        };
 
-fn respond_request_error(stream: &mut TcpStream, e: &RequestError) {
-    Response::error(e.status(), &e.detail()).write_to(stream);
+        // Deadline check at dequeue: a request that waited out its
+        // budget in the queue is shed before any simulation work
+        // starts. Only the first request ever waited there.
+        let req_enqueued = if served == 0 {
+            enqueued
+        } else {
+            Instant::now()
+        };
+        let expired_in_queue = served == 0
+            && shared
+                .engine
+                .deadline
+                .is_some_and(|deadline| enqueued.elapsed() >= deadline);
+        let started = Instant::now();
+        let (endpoint, mut response) = if expired_in_queue {
+            metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let deadline_ms = shared.engine.deadline.unwrap_or_default().as_millis();
+            let outcome = Outcome::Error {
+                status: 503,
+                detail: format!("deadline ({deadline_ms} ms) expired in queue"),
+                retry_after: Some(RETRY_AFTER_SECS),
+                audit: None,
+            };
+            (Endpoint::Admin, render(&outcome, request.codec))
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| route(shared, &request, req_enqueued))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    metrics.panics_contained.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Endpoint::Admin,
+                        Response::error(
+                            500,
+                            &format!("handler panicked: {}", panic_message(&payload)),
+                        ),
+                    )
+                }
+            }
+        };
+        served += 1;
+
+        // Close policy: the client asked; or the request errored (4xx
+        // responses often follow framing damage, so resynchronize); or
+        // the per-connection cap or shutdown hit; or — the starvation
+        // guard — this connection has nothing more buffered while other
+        // work waits for a worker.
+        let close = !request.keep_alive
+            || response.status >= 400
+            || served >= MAX_REQUESTS_PER_CONN
+            || shared.shutdown.load(Ordering::SeqCst)
+            || (reader.buffered() == 0 && shared.queue.len() > 0);
+        response.close = close;
+        let endpoint_metrics = match endpoint {
+            Endpoint::Simulate => &metrics.simulate,
+            Endpoint::Sweep => &metrics.sweep,
+            Endpoint::Jobs => &metrics.jobs,
+            Endpoint::Admin => &metrics.admin,
+        };
+        endpoint_metrics.record(response.status, started.elapsed());
+        response.write_to(&mut &*stream);
+        // /shutdown responds first, then stops the world.
+        if endpoint == Endpoint::Admin && request.path == "/shutdown" && response.status == 200 {
+            if let Ok(addr) = stream.local_addr() {
+                trigger_shutdown(shared, addr);
+            }
+            return;
+        }
+        if close {
+            return;
+        }
+        // Later requests on a healthy connection get the idle budget.
+        let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE));
+    }
 }
 
 /// Which metrics bucket a request belongs to.
@@ -493,10 +524,28 @@ enum Endpoint {
     Admin,
 }
 
+/// Routes one request: decode in the negotiated codec, execute on the
+/// engine, render the outcome back in the same codec. The GET admin
+/// routes (`/jobs`, `/healthz`, `/metrics`) are JSON-only — the binary
+/// codec rides on POST bodies (see `docs/PROTOCOL.md`).
 fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/simulate") => (Endpoint::Simulate, handle_simulate(shared, &req.body)),
-        ("POST", "/sweep") => (Endpoint::Sweep, handle_sweep(shared, &req.body, enqueued)),
+        ("POST", "/simulate") => {
+            let outcome = match decode_request::<api::SimulateRequest>(req, wire::KIND_SIMULATE) {
+                Ok(r) => shared.engine.simulate(&r),
+                Err(bad) => bad,
+            };
+            (Endpoint::Simulate, render(&outcome, req.codec))
+        }
+        ("POST", "/sweep") => {
+            let outcome = match decode_request::<api::SweepRequest>(req, wire::KIND_SWEEP) {
+                Ok(r) => shared
+                    .engine
+                    .sweep(&r, enqueued, &|job| offer_shards(shared, job)),
+                Err(bad) => bad,
+            };
+            (Endpoint::Sweep, render(&outcome, req.codec))
+        }
         ("GET", path) if path.starts_with("/jobs/") => {
             (Endpoint::Jobs, handle_job_poll(shared, path))
         }
@@ -520,175 +569,117 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
     }
 }
 
-/// Builds the per-request run options: quick or full fidelity, caller's
-/// seed, the resolved audit level, serial position scan (parallelism
-/// comes from the pool, not from within a layer).
-fn run_options(quick: Option<bool>, seed: Option<u64>, verify: AuditLevel) -> RunOptions {
-    let mut opts = if quick.unwrap_or(false) {
-        RunOptions::quick()
-    } else {
-        RunOptions::full()
-    };
-    if let Some(seed) = seed {
-        opts.seed = seed;
-    }
-    opts.verify = verify;
-    opts
-}
-
-/// Resolves a request's effective deadline: its own `deadline_ms` wins,
-/// else the server default; measured from enqueue.
-fn effective_deadline(
-    shared: &Shared,
-    request_ms: Option<u64>,
-    enqueued: Instant,
-) -> Option<Instant> {
-    request_ms
-        .filter(|&ms| ms > 0)
-        .map(Duration::from_millis)
-        .or(shared.deadline)
-        .map(|d| enqueued + d)
-}
-
-fn handle_simulate(shared: &Shared, body: &[u8]) -> Response {
-    let req: api::SimulateRequest = match parse_body(body) {
-        Ok(r) => r,
-        Err(resp) => return resp,
-    };
-    let spec = match api::resolve_network(&req.network) {
-        Ok(s) => s,
-        Err(e) => return Response::error(422, &e.0),
-    };
-    if let Err(e) = api::validate_tw(req.tw) {
-        return Response::error(422, &e.0);
-    }
-    let verify = match api::validate_verify(req.verify.as_deref(), shared.verify) {
-        Ok(v) => v,
-        Err(e) => return Response::error(422, &e.0),
-    };
-    let opts = run_options(req.quick, req.seed, verify);
-    let (report, audit) = run_network_verified(&spec, req.policy.0, req.tw, &opts, &shared.cache);
-    shared
-        .metrics
-        .audit_mismatches
-        .fetch_add(audit.mismatches, Ordering::Relaxed);
-    shared
-        .metrics
-        .acc_saturated
-        .fetch_add(audit.saturated, Ordering::Relaxed);
-    if !audit.is_clean() {
-        // The report diverged from the reference model: serve the
-        // findings, never the untrustworthy numbers.
-        let findings = serde_json::to_string(&audit).unwrap_or_else(|_| "null".into());
-        let mut resp = Response::json(format!(
-            "{{\"error\": \"simulation failed audit at level {}\", \"audit\": {findings}}}",
-            audit.level.label()
-        ));
-        resp.status = 500;
-        return resp;
-    }
-    match serde_json::to_string(&report) {
-        Ok(json) => Response::json(json),
-        Err(_) => Response::error(500, "report serialization failed"),
+/// Decodes a request body in its negotiated codec into the typed
+/// request `T`. Binary bodies must be a well-formed `PTBW1` frame of
+/// the endpoint's request `kind`; both codecs then build `T` from the
+/// same `Value` tree, so validation downstream is codec-blind.
+fn decode_request<T: serde::Deserialize>(req: &Request, kind: u8) -> Result<T, Outcome> {
+    match req.codec {
+        Codec::Json => {
+            let text = std::str::from_utf8(&req.body)
+                .map_err(|_| Outcome::bad_request("request body is not UTF-8"))?;
+            serde_json::from_str(text)
+                .map_err(|e| Outcome::bad_request(format!("bad request body: {e}")))
+        }
+        Codec::Binary => {
+            let (got, value) = wire::unframe(&req.body)
+                .map_err(|e| Outcome::bad_request(format!("bad PTBW1 frame: {e}")))?;
+            if got != kind {
+                return Err(Outcome::bad_request(format!(
+                    "unexpected message kind {got:#04x} (this endpoint takes {kind:#04x})"
+                )));
+            }
+            serde_json::from_value(&value)
+                .map_err(|e| Outcome::bad_request(format!("bad request body: {e}")))
+        }
     }
 }
 
-fn handle_sweep(shared: &Shared, body: &[u8], enqueued: Instant) -> Response {
-    let req: api::SweepRequest = match parse_body(body) {
-        Ok(r) => r,
-        Err(resp) => return resp,
-    };
-    let spec = match api::resolve_network(&req.network) {
-        Ok(s) => s,
-        Err(e) => return Response::error(422, &e.0),
-    };
-    if let Err(e) = api::validate_tws(&req.tws) {
-        return Response::error(422, &e.0);
+/// Renders an engine outcome in the connection's codec. One `Outcome`,
+/// two byte layouts — this is the whole difference between the codecs.
+fn render(outcome: &Outcome, codec: Codec) -> Response {
+    match codec {
+        Codec::Json => render_json(outcome),
+        Codec::Binary => render_bin(outcome),
     }
-    let verify = match api::validate_verify(req.verify.as_deref(), shared.verify) {
-        Ok(v) => v,
-        Err(e) => return Response::error(422, &e.0),
-    };
-    let quick = req.quick.unwrap_or(false);
-    let opts = run_options(req.quick, req.seed, verify);
-    let seed = opts.seed;
-    let deadline = effective_deadline(shared, req.deadline_ms, enqueued);
+}
 
-    if req.background.unwrap_or(false) {
-        // Durable path: reserve the id first so the journal file name
-        // is final, register, then journal the submission *before*
-        // offering shards — a shard record must never precede its
-        // submit record.
-        let id = shared.jobs.reserve_id();
-        let mut job = SweepJob::new(spec, req.policy.0, req.tws.clone(), opts);
-        if let Some(journal) = &shared.journal {
-            job = job.with_journal(Arc::clone(journal), id);
+fn render_json(outcome: &Outcome) -> Response {
+    match outcome {
+        Outcome::Report(memo) => {
+            match memo.json_body(|report| serde_json::to_string(report).ok()) {
+                Some(json) => Response::json(json.to_owned()),
+                None => Response::error(500, "report serialization failed"),
+            }
         }
-        let job = Arc::new(job);
-        if !shared.jobs.insert(id, Arc::clone(&job)) {
-            return Response::unavailable("job registry is full", RETRY_AFTER_SECS);
-        }
-        if let Some(journal) = &shared.journal {
-            journal.log_submit(id, &job.spec, job.policy, &job.tws, quick, seed, verify);
-        }
-        let offered = offer_shards(shared, &job);
-        // Guarantee progress even if no shard item could be offered
-        // (full queue, or a single-worker pool): run the shards here
-        // before answering, trading response latency for liveness.
-        if offered == 0 {
-            job.run_shards_until(&shared.cache, deadline, Some(&shared.metrics));
-        }
-        let mut resp = Response::json(format!("{{\"job\": {id}, \"total\": {}}}", job.tws.len()));
-        resp.status = 202;
-        return resp;
-    }
-
-    // Synchronous: this handler claims shards alongside the pool, then
-    // waits out any shard still running on another worker.
-    let job = Arc::new(SweepJob::new(spec, req.policy.0, req.tws.clone(), opts));
-    offer_shards(shared, &job);
-    job.run_shards_until(&shared.cache, deadline, Some(&shared.metrics));
-    let terminal = match deadline {
-        Some(d) => job.wait_until(d),
-        None => {
-            job.wait();
-            true
-        }
-    };
-    if !terminal {
-        shared
-            .metrics
-            .deadline_expired
-            .fetch_add(1, Ordering::Relaxed);
-        return Response::unavailable(
-            &format!(
-                "deadline expired with {}/{} shards complete",
-                job.completed(),
-                job.tws.len()
-            ),
-            RETRY_AFTER_SECS,
-        );
-    }
-    if let Some(reason) = job.failed() {
-        let audit = job.audit();
-        if !audit.is_clean() {
-            let findings = serde_json::to_string(&audit).unwrap_or_else(|_| "null".into());
-            let reason_json =
-                serde_json::to_string(&format!("sweep failed: {reason}")).expect("string");
-            let mut resp = Response::json(format!(
-                "{{\"error\": {reason_json}, \"audit\": {findings}}}"
-            ));
-            resp.status = 500;
-            return resp;
-        }
-        return Response::error(500, &format!("sweep failed: {reason}"));
-    }
-    match job.rows() {
-        Some(rows) => match serde_json::to_string(&rows) {
+        Outcome::Rows(rows) => match serde_json::to_string(rows) {
             Ok(json) => Response::json(json),
             Err(_) => Response::error(500, "sweep serialization failed"),
         },
-        None => Response::error(500, "sweep neither completed nor failed"),
+        Outcome::Accepted { id, total } => {
+            let mut resp = Response::json(format!("{{\"job\": {id}, \"total\": {total}}}"));
+            resp.status = 202;
+            resp
+        }
+        Outcome::Error {
+            status,
+            detail,
+            retry_after,
+            audit,
+        } => {
+            let mut resp = match audit {
+                // A verified run diverged: serve the findings alongside
+                // the error, never the untrustworthy numbers.
+                Some(findings) => {
+                    let detail_json = serde_json::to_string(detail).expect("string serialization");
+                    let audit_json =
+                        serde_json::to_string(findings).unwrap_or_else(|_| "null".into());
+                    Response::json(format!(
+                        "{{\"error\": {detail_json}, \"audit\": {audit_json}}}"
+                    ))
+                }
+                None => Response::error(*status, detail),
+            };
+            resp.status = *status;
+            resp.retry_after = *retry_after;
+            resp
+        }
+    }
+}
+
+fn render_bin(outcome: &Outcome) -> Response {
+    let (status, body, retry_after) = match outcome {
+        Outcome::Report(memo) => (
+            200,
+            memo.ptbw_body(|report| wire::response_frame(wire::KIND_REPORT, report))
+                .to_vec(),
+            None,
+        ),
+        Outcome::Rows(rows) => (200, wire::response_frame(wire::KIND_ROWS, rows), None),
+        Outcome::Accepted { id, total } => {
+            let ack = Value::Object(vec![
+                ("job".into(), Value::U64(*id)),
+                ("total".into(), Value::U64(*total as u64)),
+            ]);
+            (202, wire::frame(wire::KIND_JOB_ACK, &ack), None)
+        }
+        Outcome::Error {
+            status,
+            detail,
+            retry_after,
+            audit,
+        } => (
+            *status,
+            wire::error_frame(*status, detail, audit.as_ref()),
+            *retry_after,
+        ),
+    };
+    Response {
+        status,
+        content_type: wire::CONTENT_TYPE,
+        body,
+        retry_after,
+        close: true,
     }
 }
 
@@ -713,7 +704,7 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
     let Ok(id) = id_str.parse::<u64>() else {
         return Response::error(400, &format!("malformed job id {id_str:?}"));
     };
-    let Some(job) = shared.jobs.get(id) else {
+    let Some(job) = shared.engine.jobs.get(id) else {
         return Response::error(404, &format!("no job {id}"));
     };
     let completed = job.completed();
@@ -743,9 +734,9 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
 }
 
 fn handle_metrics(shared: &Shared) -> Response {
-    let m = &shared.metrics;
-    let cache = shared.cache.stats();
-    let journal = match &shared.journal {
+    let m = &shared.engine.metrics;
+    let cache = shared.engine.cache.stats();
+    let journal = match &shared.engine.journal {
         Some(j) => {
             let s = j.stats();
             format!(
@@ -766,7 +757,10 @@ fn handle_metrics(shared: &Shared) -> Response {
     Response::json(format!(
         "{{\"accepted\": {}, \"rejected_queue_full\": {}, \"bad_requests\": {}, \
          \"panics_contained\": {}, \"deadline_expired\": {}, \
-         \"audit_mismatches\": {}, \"acc_saturated\": {}, \"verify\": \"{}\", \
+         \"audit_mismatches\": {}, \"acc_saturated\": {}, \
+         \"codec_json\": {}, \"codec_bin\": {}, \
+         \"keepalive_reused\": {}, \"pipelined\": {}, \
+         \"report_memo_hits\": {}, \"verify\": \"{}\", \
          \"queue_depth\": {}, \"workers\": {}, \
          \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
          \"journal\": {journal}, \
@@ -778,7 +772,12 @@ fn handle_metrics(shared: &Shared) -> Response {
         m.deadline_expired.load(Ordering::Relaxed),
         m.audit_mismatches.load(Ordering::Relaxed),
         m.acc_saturated.load(Ordering::Relaxed),
-        shared.verify.label(),
+        m.codec_json.load(Ordering::Relaxed),
+        m.codec_bin.load(Ordering::Relaxed),
+        m.keepalive_reused.load(Ordering::Relaxed),
+        m.pipelined.load(Ordering::Relaxed),
+        m.report_memo_hits.load(Ordering::Relaxed),
+        shared.engine.verify.label(),
         shared.queue.len(),
         shared.workers,
         cache.mem_hits,
@@ -790,11 +789,4 @@ fn handle_metrics(shared: &Shared) -> Response {
         m.jobs.to_json(),
         m.admin.to_json(),
     ))
-}
-
-/// Parses a JSON request body, mapping failures to 400 with detail.
-fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
-    let text =
-        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
-    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request body: {e}")))
 }

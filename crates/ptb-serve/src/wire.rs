@@ -1,0 +1,628 @@
+//! The `PTBW1` binary wire codec: compact framed request/report
+//! messages, the second codec next to JSON.
+//!
+//! A wire message is one *frame*:
+//!
+//! ```text
+//! frame   := magic "PTBW1" | version u8 (0x01) | len u32 LE | fnv1a64(payload) u64 LE | payload
+//! payload := kind u8 | value
+//! ```
+//!
+//! — the job journal's `[len][fnv1a-64][payload]` framing discipline
+//! (see [`crate::journal`]) with a 6-byte magic+version preamble so a
+//! frame is self-identifying on the wire. The checksum covers the whole
+//! payload including the kind byte, so any single-bit corruption
+//! anywhere in a frame is detected (magic/version/len flips fail their
+//! own checks; payload flips fail the checksum — unit-tested
+//! exhaustively bit by bit).
+//!
+//! `value` is a tagged binary encoding of the same [`serde::Value`]
+//! tree the JSON codec renders as text, which is what makes the two
+//! codecs interchangeable: both the JSON body `{"network": ...}` and a
+//! binary frame decode to the *same* `Value`, feed the same validated
+//! request types ([`crate::api`]), and a response is one `Value`
+//! encoded by either codec. Floats travel as raw IEEE-754 bits
+//! (`f64::to_bits`, little-endian), so binary round-trips are bit-exact
+//! by construction rather than by careful float formatting.
+//!
+//! ```text
+//! value  := 0x00                                  null
+//!         | 0x01 | 0x02                           false | true
+//!         | 0x03 u64-LE                           unsigned integer
+//!         | 0x04 i64-LE                           signed integer
+//!         | 0x05 u128-LE                          wide unsigned (tile tags)
+//!         | 0x06 f64-bits-LE                      float
+//!         | 0x07 len u32-LE bytes                 UTF-8 string
+//!         | 0x08 count u32-LE value*              array
+//!         | 0x09 count u32-LE (key value)*        object; key := len u32-LE bytes
+//! ```
+//!
+//! Message kinds: requests `0x01` (simulate) and `0x02` (sweep);
+//! responses `0x81` (network report), `0x82` (sweep rows), `0x83`
+//! (background-job ack), and `0x7F` (error). The full spec — field
+//! tables, transport negotiation, keep-alive semantics, versioning —
+//! lives in `docs/PROTOCOL.md`; the worked example there is pinned
+//! byte-for-byte by this module's tests.
+//!
+//! ## Robustness
+//!
+//! Decoding is total: any byte sequence yields a value or a typed
+//! [`WireError`], never a panic, unbounded recursion, or attacker-
+//! controlled allocation (declared lengths are checked against the
+//! bytes actually present before anything is allocated; nesting is
+//! capped at [`MAX_DEPTH`]). Fuzzed alongside the HTTP parser by
+//! `tests/codec_equivalence.rs`.
+//!
+//! ## Encoding one request by hand
+//!
+//! ```
+//! use ptb_serve::wire;
+//! use serde::Value;
+//!
+//! // POST /simulate {"network": "DVS-Gesture", "policy": "PTB", "tw": 8}
+//! let request = Value::Object(vec![
+//!     ("network".into(), Value::Str("DVS-Gesture".into())),
+//!     ("policy".into(), Value::Str("PTB".into())),
+//!     ("tw".into(), Value::U64(8)),
+//! ]);
+//! let frame = wire::frame(wire::KIND_SIMULATE, &request);
+//!
+//! // The frame opens with the magic, the version byte, and the
+//! // payload length; the payload opens with the kind byte and the
+//! // object tag.
+//! assert_eq!(&frame[..5], b"PTBW1");
+//! assert_eq!(frame[5], wire::VERSION);
+//! let len = u32::from_le_bytes(frame[6..10].try_into().unwrap());
+//! assert_eq!(frame.len(), wire::FRAME_HEADER_LEN + len as usize);
+//! assert_eq!(frame[wire::FRAME_HEADER_LEN], wire::KIND_SIMULATE);
+//! assert_eq!(frame[wire::FRAME_HEADER_LEN + 1], 0x09); // object tag
+//!
+//! // And it round-trips.
+//! let (kind, value) = wire::unframe(&frame).unwrap();
+//! assert_eq!((kind, &value), (wire::KIND_SIMULATE, &request));
+//! ```
+
+use ptb_bench::cache::fnv1a;
+use serde::Value;
+
+/// Frame magic: the first five bytes of every binary wire message.
+pub const MAGIC: &[u8; 5] = b"PTBW1";
+
+/// The `Content-Type` that negotiates this codec over HTTP. A `POST`
+/// with this media type carries a request frame and is answered with a
+/// response frame of the same type.
+pub const CONTENT_TYPE: &str = "application/x-ptbw";
+
+/// Wire-format version. Bump on any incompatible change to the frame
+/// layout, the value encoding, or a message's field table; decoders
+/// reject other versions with [`WireError::BadVersion`].
+pub const VERSION: u8 = 0x01;
+
+/// Bytes before the payload: magic (5) + version (1) + len (4) +
+/// checksum (8).
+pub const FRAME_HEADER_LEN: usize = 5 + 1 + 4 + 8;
+
+/// Maximum accepted payload length. Matches the HTTP body cap
+/// ([`crate::http::MAX_BODY_BYTES`]) so a frame never admits what the
+/// HTTP layer would have refused; responses (reports) fit comfortably.
+pub const MAX_PAYLOAD_BYTES: usize = crate::http::MAX_BODY_BYTES;
+
+/// Maximum value-tree nesting depth a decoder will follow. Deeper
+/// frames are [`WireError::TooDeep`] — legitimate messages nest a
+/// handful of levels; a deeply nested frame is an attack on the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// Request kind: a `POST /simulate` body ([`crate::api::SimulateRequest`]).
+pub const KIND_SIMULATE: u8 = 0x01;
+/// Request kind: a `POST /sweep` body ([`crate::api::SweepRequest`]).
+pub const KIND_SWEEP: u8 = 0x02;
+/// Response kind: a `NetworkReport`.
+pub const KIND_REPORT: u8 = 0x81;
+/// Response kind: an array of `SweepRow`s.
+pub const KIND_ROWS: u8 = 0x82;
+/// Response kind: a background-job ack `{"job": id, "total": n}`.
+pub const KIND_JOB_ACK: u8 = 0x83;
+/// Response kind: an error `{"status": u16, "error": str[, "audit"]}`.
+pub const KIND_ERROR: u8 = 0x7F;
+
+/// Why a frame or value failed to decode. Total over arbitrary bytes;
+/// each maps to one human-readable detail for the error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first five bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unsupported [`VERSION`] byte.
+    BadVersion(u8),
+    /// Fewer bytes than the header or the declared payload length.
+    Truncated,
+    /// Declared payload length exceeds [`MAX_PAYLOAD_BYTES`].
+    TooLarge(usize),
+    /// FNV-1a checksum mismatch: the payload is corrupt.
+    BadChecksum,
+    /// Bytes past the end of the decoded payload.
+    TrailingBytes,
+    /// Unknown value tag byte.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Value nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// The message kind byte was not one this decoder accepts.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "frame does not start with the PTBW1 magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v:#04x}"),
+            WireError::Truncated => write!(f, "frame is truncated"),
+            WireError::TooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds {MAX_PAYLOAD_BYTES}")
+            }
+            WireError::BadChecksum => write!(f, "payload checksum mismatch"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after the encoded value"),
+            WireError::BadTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH} levels"),
+            WireError::BadKind(k) => write!(f, "unexpected message kind {k:#04x}"),
+        }
+    }
+}
+
+/// Encodes `value` into the tagged binary form, appending to `out`.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0x00),
+        Value::Bool(false) => out.push(0x01),
+        Value::Bool(true) => out.push(0x02),
+        Value::U64(n) => {
+            out.push(0x03);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::I64(n) => {
+            out.push(0x04);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::U128(n) => {
+            out.push(0x05);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(0x06);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x07);
+            push_bytes(s.as_bytes(), out);
+        }
+        Value::Array(items) => {
+            out.push(0x08);
+            out.extend_from_slice(&count_u32(items.len()).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(0x09);
+            out.extend_from_slice(&count_u32(fields.len()).to_le_bytes());
+            for (key, item) in fields {
+                push_bytes(key.as_bytes(), out);
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+/// `len u32 LE` + raw bytes.
+fn push_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&count_u32(bytes.len()).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Element/byte counts as u32; lengths beyond u32 cannot occur under
+/// [`MAX_PAYLOAD_BYTES`] but saturate defensively rather than truncate.
+fn count_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Decodes one value occupying the whole of `bytes`.
+/// [`WireError::TrailingBytes`] if anything follows it.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, WireError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let value = cursor.value(0)?;
+    if cursor.pos != bytes.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Bounds-checked reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32_le(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32_le()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            0x00 => Value::Null,
+            0x01 => Value::Bool(false),
+            0x02 => Value::Bool(true),
+            0x03 => Value::U64(u64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            0x04 => Value::I64(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            0x05 => Value::U128(u128::from_le_bytes(self.take(16)?.try_into().expect("16"))),
+            0x06 => Value::F64(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8"),
+            ))),
+            0x07 => Value::Str(self.string()?),
+            0x08 => {
+                let count = self.u32_le()? as usize;
+                // Never preallocate from an attacker-declared count: the
+                // smallest element is one byte, so anything beyond the
+                // remaining bytes is already a lie.
+                if count > self.bytes.len() - self.pos {
+                    return Err(WireError::Truncated);
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Value::Array(items)
+            }
+            0x09 => {
+                let count = self.u32_le()? as usize;
+                if count > self.bytes.len() - self.pos {
+                    return Err(WireError::Truncated);
+                }
+                let mut fields = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let value = self.value(depth + 1)?;
+                    fields.push((key, value));
+                }
+                Value::Object(fields)
+            }
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Builds one complete frame: `kind` + `value` as the checksummed
+/// payload behind the magic/version/len header.
+pub fn frame(kind: u8, value: &Value) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.push(kind);
+    encode_value(value, &mut payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&count_u32(payload.len()).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses one complete frame into its `(kind, value)` payload,
+/// verifying magic, version, length, and checksum. Total: any byte
+/// sequence yields `Ok` or a typed error, never a panic.
+pub fn unframe(bytes: &[u8]) -> Result<(u8, Value), WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        // Distinguish "not even the magic" for better diagnostics.
+        if bytes.len() >= 5 && &bytes[..5] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        return Err(WireError::Truncated);
+    }
+    if &bytes[..5] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[5] != VERSION {
+        return Err(WireError::BadVersion(bytes[5]));
+    }
+    let len = u32::from_le_bytes(bytes[6..10].try_into().expect("4")) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    let sum = u64::from_le_bytes(bytes[10..18].try_into().expect("8"));
+    let rest = &bytes[FRAME_HEADER_LEN..];
+    if rest.len() < len {
+        return Err(WireError::Truncated);
+    }
+    if rest.len() > len {
+        return Err(WireError::TrailingBytes);
+    }
+    let payload = &rest[..len];
+    if fnv1a(payload) != sum {
+        return Err(WireError::BadChecksum);
+    }
+    let (kind, value_bytes) = payload.split_first().ok_or(WireError::Truncated)?;
+    let value = decode_value(value_bytes)?;
+    Ok((*kind, value))
+}
+
+/// Encodes a typed response frame from anything `Serialize`.
+pub fn response_frame<T: serde::Serialize + ?Sized>(kind: u8, value: &T) -> Vec<u8> {
+    frame(kind, &value.to_value())
+}
+
+/// Builds a `KIND_ERROR` frame: `status` + `detail`, plus the audit
+/// findings when a verified run diverged (mirrors the JSON error body).
+pub fn error_frame(status: u16, detail: &str, audit: Option<&Value>) -> Vec<u8> {
+    let mut fields = vec![
+        ("status".to_string(), Value::U64(u64::from(status))),
+        ("error".to_string(), Value::Str(detail.to_string())),
+    ];
+    if let Some(audit) = audit {
+        fields.push(("audit".to_string(), audit.clone()));
+    }
+    frame(KIND_ERROR, &Value::Object(fields))
+}
+
+/// A decoded `KIND_ERROR` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorFrame {
+    /// The HTTP-equivalent status code.
+    pub status: u16,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Audit findings, when the error carries them.
+    pub audit: Option<Value>,
+}
+
+/// Interprets an already-unframed `(kind, value)` as an error payload.
+pub fn decode_error(kind: u8, value: &Value) -> Result<ErrorFrame, WireError> {
+    if kind != KIND_ERROR {
+        return Err(WireError::BadKind(kind));
+    }
+    let status = value
+        .get("status")
+        .and_then(Value::as_u64)
+        .and_then(|n| u16::try_from(n).ok())
+        .ok_or(WireError::BadTag(0x09))?;
+    let detail = value
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    Ok(ErrorFrame {
+        status,
+        detail,
+        audit: value.get("audit").cloned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let mut bytes = Vec::new();
+        encode_value(v, &mut bytes);
+        assert_eq!(&decode_value(&bytes).unwrap(), v, "{v:?}");
+    }
+
+    #[test]
+    fn every_value_variant_roundtrips() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::U64(0));
+        roundtrip(&Value::U64(u64::MAX));
+        roundtrip(&Value::I64(-42));
+        roundtrip(&Value::U128(u128::MAX));
+        roundtrip(&Value::F64(0.1 + 0.2)); // not representable in short decimal
+        roundtrip(&Value::F64(f64::MIN_POSITIVE));
+        roundtrip(&Value::F64(-0.0));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Str("espaço — ünïcode ☂".into()));
+        roundtrip(&Value::Array(vec![]));
+        roundtrip(&Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Null, Value::U64(7)])),
+            (
+                "nested".into(),
+                Value::Object(vec![("x".into(), Value::F64(1.5))]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn f64_bits_survive_exactly_including_nan_payloads() {
+        // JSON cannot carry NaN; the binary codec carries its exact bits.
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut bytes = Vec::new();
+        encode_value(&Value::F64(weird), &mut bytes);
+        match decode_value(&bytes).unwrap() {
+            Value::F64(x) => assert_eq!(x.to_bits(), weird.to_bits()),
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_every_single_bit_flip() {
+        let value = Value::Object(vec![
+            ("network".into(), Value::Str("DVS-Gesture".into())),
+            ("tw".into(), Value::U64(8)),
+        ]);
+        let bytes = frame(KIND_SIMULATE, &value);
+        assert_eq!(unframe(&bytes).unwrap(), (KIND_SIMULATE, value));
+
+        // No single-bit corruption anywhere in the frame may decode: the
+        // header fields fail their own checks, payload flips fail the
+        // FNV-1a checksum.
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                unframe(&flipped).is_err(),
+                "bit flip at {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_typed_errors() {
+        let bytes = frame(KIND_ROWS, &Value::Array(vec![Value::F64(2.5)]));
+        for cut in 0..bytes.len() {
+            assert!(unframe(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert_eq!(unframe(b"").unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            unframe(b"HTTP/1.1 200 OK\r\n").unwrap_err(),
+            WireError::BadMagic
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[5] = 0x02;
+        assert_eq!(
+            unframe(&wrong_version).unwrap_err(),
+            WireError::BadVersion(0x02)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(unframe(&trailing).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate_or_panic() {
+        // An array claiming u32::MAX elements with no bytes behind it.
+        let mut payload = vec![0x08];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_value(&payload).unwrap_err(), WireError::Truncated);
+
+        // A string claiming more bytes than exist.
+        let mut payload = vec![0x07];
+        payload.extend_from_slice(&1_000_000u32.to_le_bytes());
+        payload.push(b'x');
+        assert_eq!(decode_value(&payload).unwrap_err(), WireError::Truncated);
+
+        // A declared frame length beyond the cap.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(MAGIC);
+        huge.push(VERSION);
+        huge.extend_from_slice(&(MAX_PAYLOAD_BYTES as u32 + 1).to_le_bytes());
+        huge.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            unframe(&huge).unwrap_err(),
+            WireError::TooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_cap_is_rejected() {
+        // MAX_DEPTH+1 nested single-element arrays around a null.
+        let mut bytes = Vec::new();
+        for _ in 0..=MAX_DEPTH {
+            bytes.push(0x08);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(0x00);
+        assert_eq!(decode_value(&bytes).unwrap_err(), WireError::TooDeep);
+
+        // One level under the cap decodes fine.
+        let mut ok = Vec::new();
+        for _ in 0..MAX_DEPTH - 1 {
+            ok.push(0x08);
+            ok.extend_from_slice(&1u32.to_le_bytes());
+        }
+        ok.push(0x00);
+        assert!(decode_value(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_frames_roundtrip_with_and_without_audit() {
+        let bytes = error_frame(422, "tw must be in 1..=64", None);
+        let (kind, value) = unframe(&bytes).unwrap();
+        let err = decode_error(kind, &value).unwrap();
+        assert_eq!(
+            (err.status, err.detail.as_str()),
+            (422, "tw must be in 1..=64")
+        );
+        assert!(err.audit.is_none());
+
+        let audit = Value::Object(vec![("mismatches".into(), Value::U64(3))]);
+        let bytes = error_frame(500, "audit failed", Some(&audit));
+        let (kind, value) = unframe(&bytes).unwrap();
+        let err = decode_error(kind, &value).unwrap();
+        assert_eq!(err.status, 500);
+        assert_eq!(err.audit, Some(audit));
+
+        assert!(decode_error(KIND_REPORT, &Value::Null).is_err());
+    }
+
+    /// Pins the worked example in `docs/PROTOCOL.md` byte-for-byte: if
+    /// this test fails, either the encoder or the spec is wrong — fix
+    /// whichever diverged, never both silently.
+    #[test]
+    fn protocol_md_worked_example_matches_the_encoder_exactly() {
+        let request = Value::Object(vec![
+            ("network".into(), Value::Str("DVS-Gesture".into())),
+            ("policy".into(), Value::Str("PTB+StSAP".into())),
+            ("tw".into(), Value::U64(8)),
+            ("quick".into(), Value::Bool(true)),
+            ("seed".into(), Value::U64(42)),
+        ]);
+        let bytes = frame(KIND_SIMULATE, &request);
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        // The exact hex string printed in docs/PROTOCOL.md §"A worked
+        // example".
+        let expected = concat!(
+            "5054425731",       // "PTBW1"
+            "01",               // version 1
+            "63000000",         // payload len = 99
+            "004a501d312965a0", // fnv1a-64 of the payload, LE
+            "01",               // kind: simulate request
+            "09",
+            "05000000", // object, 5 fields
+            "07000000",
+            "6e6574776f726b", // key "network"
+            "07",
+            "0b000000",
+            "4456532d47657374757265", // str "DVS-Gesture"
+            "06000000",
+            "706f6c696379", // key "policy"
+            "07",
+            "09000000",
+            "5054422b5374534150", // str "PTB+StSAP"
+            "02000000",
+            "7477", // key "tw"
+            "03",
+            "0800000000000000", // u64 8
+            "05000000",
+            "717569636b", // key "quick"
+            "02",         // true
+            "04000000",
+            "73656564", // key "seed"
+            "03",
+            "2a00000000000000", // u64 42
+        );
+        assert_eq!(hex, expected);
+        // And the payload length field really is the payload's length.
+        assert_eq!(bytes.len() - FRAME_HEADER_LEN, 99);
+    }
+}

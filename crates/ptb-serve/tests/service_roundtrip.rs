@@ -264,9 +264,15 @@ fn metrics_reflect_traffic_and_validation_rejects_cleanly() {
         "{text}"
     );
     let cache = m.get("cache").expect("cache stats");
-    // Two identical good requests: the second must hit, not regenerate.
+    // Two identical good requests: the second must be answered from
+    // the report memo — no regeneration, no re-simulation.
     assert!(
-        cache.get("mem_hits").and_then(|v| v.as_u64()) >= Some(1),
+        m.get("report_memo_hits").and_then(|v| v.as_u64()) >= Some(1),
+        "{text}"
+    );
+    // The first request did real work through the activity cache.
+    assert!(
+        cache.get("misses").and_then(|v| v.as_u64()) >= Some(1),
         "{text}"
     );
 

@@ -65,6 +65,9 @@ done
 [ -s "$PORT_FILE" ] || { echo "ptb-serve never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 PORT="$(cat "$PORT_FILE")"
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --smoke
+
+echo "== cross-codec check (JSON vs PTBW1 over one kept-alive connection, bit-identical)"
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --xcheck
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
 wait "$SERVE_PID"
 
@@ -102,13 +105,19 @@ done
 [ -s "$PORT_FILE" ] || { echo "ptb-serve (reboot) never wrote its port"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
 PORT="$(cat "$PORT_FILE")"
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --poll-job "$JOB_ID"
-METRICS="$(exec 3<>"/dev/tcp/127.0.0.1/$PORT" && printf 'GET /metrics HTTP/1.1\r\n\r\n' >&3 && cat <&3)"
+# Connection: close keeps this raw probe from waiting out the
+# keep-alive idle timeout (connections now persist by default).
+METRICS="$(exec 3<>"/dev/tcp/127.0.0.1/$PORT" && printf 'GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n' >&3 && cat <&3)"
 printf '%s' "$METRICS" | grep -q '"resumed_jobs": 1' \
     || { echo "reboot did not resume the journaled job: $METRICS"; exit 1; }
 
 echo "== chaos load (dropped/short-written connections must converge via retries)"
 # ptb-load --chaos also asserts the daemon's audit_mismatches stayed 0.
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --requests 8 --concurrency 2 --chaos
+# Same contract through the binary codec on kept-alive connections,
+# with checksum-corrupted PTBW1 frames among the injected disruptions.
+./target/release/ptb-load --addr "127.0.0.1:$PORT" --requests 8 --concurrency 2 \
+    --codec bin --keepalive --chaos
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
 wait "$SERVE_PID"
 
