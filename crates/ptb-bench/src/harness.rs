@@ -392,6 +392,37 @@ pub fn merge_shards(mut shards: Vec<(usize, SweepRow)>) -> Vec<SweepRow> {
     shards.into_iter().map(|(_, row)| row).collect()
 }
 
+/// Canonical content-identity bytes of one sweep shard: every per-layer
+/// [`spikegen::ProfileKey`] with its input width, the operational
+/// period, the activity seed, the fidelity flag, and the shard's TW.
+///
+/// Two shards get the same bytes exactly when they would generate the
+/// same activity tensors *and* run the same TW point, which is the
+/// right placement identity for a sharded-sweep cluster: hashing these
+/// bytes ([`shard_key`]) and consistent-hashing the digest onto workers
+/// sends repeats of a workload's shard to the worker whose
+/// [`ActivityCache`] already holds its activity. Deliberately excludes
+/// the policy — policies share activity, so co-locating them is what
+/// makes the cache pay.
+pub fn shard_identity_bytes(spec: &NetworkSpec, quick: bool, seed: u64, tw: u32) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(spec.layers.len() * 41 + 32);
+    for layer in &spec.layers {
+        bytes.extend_from_slice(&layer.input_profile.key().to_bytes());
+        bytes.extend_from_slice(&(layer.shape.ifmap_neurons() as u64).to_le_bytes());
+    }
+    bytes.extend_from_slice(&(spec.timesteps as u64).to_le_bytes());
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    bytes.push(u8::from(quick));
+    bytes.extend_from_slice(&tw.to_le_bytes());
+    bytes
+}
+
+/// FNV-1a digest of [`shard_identity_bytes`]: the stable 64-bit
+/// placement key a cluster coordinator feeds its consistent-hash ring.
+pub fn shard_key(spec: &NetworkSpec, quick: bool, seed: u64, tw: u32) -> u64 {
+    crate::cache::fnv1a(&shard_identity_bytes(spec, quick, seed, tw))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,5 +609,24 @@ mod tests {
             .map(|i| (i, sweep_point(&spec, Policy::ptb(), tws[i], &opts, &cache)))
             .collect();
         assert_eq!(merge_shards(shards), sequential);
+    }
+
+    #[test]
+    fn shard_keys_separate_what_must_not_collide_and_ignore_policy() {
+        let spec = spikegen::dvs_gesture();
+        let base = shard_key(&spec, true, 42, 8);
+        // Stable within a process and across calls.
+        assert_eq!(base, shard_key(&spec, true, 42, 8));
+        // Every identity component moves the key.
+        assert_ne!(base, shard_key(&spec, true, 42, 4), "tw");
+        assert_ne!(base, shard_key(&spec, true, 43, 8), "seed");
+        assert_ne!(base, shard_key(&spec, false, 42, 8), "fidelity");
+        let other = spikegen::alexnet();
+        assert_ne!(base, shard_key(&other, true, 42, 8), "network");
+        // The display name alone is *not* identity: activity depends on
+        // profiles/shapes/period, which a rename does not change.
+        let mut renamed = spec.clone();
+        renamed.name = "DVS-Gesture-प्रतिलिपि".into();
+        assert_eq!(base, shard_key(&renamed, true, 42, 8));
     }
 }

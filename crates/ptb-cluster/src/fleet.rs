@@ -1,0 +1,174 @@
+//! Worker fleet bookkeeping: addresses, liveness, and the
+//! consecutive-failure discipline that declares a worker dead.
+//!
+//! Liveness is a hysteresis machine, not a single bit flipped on every
+//! error: a worker dies only after [`Fleet`]'s failure threshold of
+//! *consecutive* transport-level failures (dispatch I/O errors or
+//! exhausted probe rounds), and any success — a served shard or a
+//! `/healthz` probe — revives it instantly and resets the count. That
+//! split matters for the chaos cases: a worker returning *garbage*
+//! (injected via the `cluster_dispatch` failpoint) is alive and
+//! talking, so garbage never counts against liveness — only silence
+//! does. Who probes, and what a death means for in-flight shards, is
+//! the coordinator's business ([`crate::coordinator`]).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// One worker's liveness slot.
+#[derive(Debug)]
+struct WorkerSlot {
+    addr: String,
+    sock: SocketAddr,
+    alive: AtomicBool,
+    consecutive_failures: AtomicU32,
+}
+
+/// A point-in-time view of one worker, for `/cluster` topology
+/// responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// The worker's address as configured.
+    pub addr: String,
+    /// Whether the fleet currently believes the worker is alive.
+    pub alive: bool,
+}
+
+/// The set of worker daemons behind the coordinator. Index-addressed;
+/// indices are stable for the coordinator's lifetime (workers never
+/// join or leave a running coordinator — restart it to change the
+/// fleet, and consistent hashing keeps that cheap).
+#[derive(Debug)]
+pub struct Fleet {
+    workers: Vec<WorkerSlot>,
+    fail_threshold: u32,
+}
+
+impl Fleet {
+    /// Resolves every address and starts all workers optimistically
+    /// alive (the prober corrects that within one round). Errors on an
+    /// empty list or an unresolvable address.
+    pub fn new(addrs: &[String], fail_threshold: u32) -> Result<Fleet, String> {
+        if addrs.is_empty() {
+            return Err("cluster needs at least one worker address".into());
+        }
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let sock = addr
+                .to_socket_addrs()
+                .map_err(|e| format!("cannot resolve worker address {addr:?}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("worker address {addr:?} resolved to nothing"))?;
+            workers.push(WorkerSlot {
+                addr: addr.clone(),
+                sock,
+                alive: AtomicBool::new(true),
+                consecutive_failures: AtomicU32::new(0),
+            });
+        }
+        Ok(Fleet {
+            workers,
+            fail_threshold: fail_threshold.max(1),
+        })
+    }
+
+    /// Number of configured workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the fleet has no workers (never true for a constructed
+    /// fleet; here for the `len` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The configured address string of worker `index`.
+    pub fn addr(&self, index: usize) -> &str {
+        &self.workers[index].addr
+    }
+
+    /// The resolved socket address of worker `index`.
+    pub fn sock(&self, index: usize) -> SocketAddr {
+        self.workers[index].sock
+    }
+
+    /// Current liveness of worker `index`.
+    pub fn is_alive(&self, index: usize) -> bool {
+        self.workers[index].alive.load(Ordering::SeqCst)
+    }
+
+    /// How many workers are currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Records a success (served shard or probe): resets the failure
+    /// streak and revives the worker. Returns `true` when this call
+    /// performed a dead → alive transition.
+    pub fn mark_success(&self, index: usize) -> bool {
+        let worker = &self.workers[index];
+        worker.consecutive_failures.store(0, Ordering::SeqCst);
+        !worker.alive.swap(true, Ordering::SeqCst)
+    }
+
+    /// Records a transport-level failure. Returns `true` when this
+    /// failure crossed the threshold and performed an alive → dead
+    /// transition (the caller counts `worker_deaths` on exactly these).
+    pub fn mark_failure(&self, index: usize) -> bool {
+        let worker = &self.workers[index];
+        let streak = worker.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if streak >= self.fail_threshold {
+            return worker.alive.swap(false, Ordering::SeqCst);
+        }
+        false
+    }
+
+    /// Snapshot of every worker for the `/cluster` topology endpoint.
+    pub fn statuses(&self) -> Vec<WorkerStatus> {
+        self.workers
+            .iter()
+            .map(|w| WorkerStatus {
+                addr: w.addr.clone(),
+                alive: w.alive.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(threshold: u32) -> Fleet {
+        Fleet::new(
+            &["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
+            threshold,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deaths_need_a_streak_and_any_success_revives() {
+        let f = fleet(2);
+        assert_eq!((f.len(), f.alive_count()), (2, 2));
+        assert!(!f.mark_failure(0), "one failure is not death");
+        assert!(f.is_alive(0));
+        assert!(f.mark_failure(0), "second consecutive failure kills");
+        assert!(!f.is_alive(0));
+        assert_eq!(f.alive_count(), 1);
+        assert!(!f.mark_failure(0), "already dead: no transition");
+        assert!(f.mark_success(0), "success revives");
+        assert!(f.is_alive(0));
+        assert!(!f.mark_failure(0), "streak was reset by the success");
+    }
+
+    #[test]
+    fn bad_addresses_and_empty_fleets_are_rejected() {
+        assert!(Fleet::new(&[], 2).is_err());
+        assert!(Fleet::new(&["not an address".into()], 2).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Cluster mode for the PTB reproduction: a coordinator daemon that
+//! speaks the same HTTP API as a single `ptb-serve` worker but fans
+//! sharded TW sweeps out across a fleet of them.
+//!
+//! The paper's sweep workload is embarrassingly parallel across TW
+//! points, and `ptb-serve` already shards a sweep across its local
+//! worker pool. This crate lifts that same sharding one level up: a
+//! [`coordinator::Coordinator`] accepts the unchanged `POST /sweep`
+//! (and `/simulate`) API, places each shard on a worker daemon by
+//! consistent hashing on the shard's activity identity
+//! ([`placement`]), dispatches it as a one-point binary `PTBW1` sweep
+//! over the keep-alive client, and merges the returned rows by original
+//! index — so a cluster response is byte-identical to a single node's.
+//! Worker health is probed ([`fleet`]), dead workers' shards flow to
+//! the next live ring owner, and background sweeps journal their
+//! dispatch map so a `kill -9`ed coordinator resumes mid-sweep.
+//!
+//! The crate splits by concern:
+//!
+//! * [`placement`] — the consistent-hash ring: vnodes, ownership, and
+//!   the liveness-filtered walk that doubles as the reclaim protocol.
+//! * [`fleet`] — worker liveness with consecutive-failure hysteresis.
+//! * [`metrics`] — fleet counters and per-worker latency histograms.
+//! * [`coordinator`] — the daemon: HTTP loop, shard board, dispatcher
+//!   threads, health prober, and journal resume.
+//!
+//! The `ptb-clusterd` binary wraps [`coordinator::Coordinator`] with
+//! flag/env configuration; see `docs/ARCHITECTURE.md` ("Cluster mode")
+//! and `docs/PROTOCOL.md` for the wire-level contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod fleet;
+pub mod metrics;
+pub mod placement;
+
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use fleet::{Fleet, WorkerStatus};
+pub use metrics::ClusterMetrics;
+pub use placement::{Ring, VNODES};

@@ -1,0 +1,69 @@
+//! Coordinator metrics: fleet-level counters plus per-worker dispatch
+//! latency histograms, reusing `ptb-serve`'s lock-free
+//! [`Histogram`]/[`EndpointMetrics`] primitives so `/metrics` costs the
+//! same on the coordinator as on a worker (a `fetch_add` per event).
+
+use std::sync::atomic::AtomicU64;
+
+use ptb_serve::metrics::{EndpointMetrics, Histogram};
+
+/// Per-worker dispatch counters.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    /// Shards this worker completed for the coordinator.
+    pub dispatched: AtomicU64,
+    /// Round-trip dispatch latency (send shard → row parsed), log₂-µs
+    /// buckets.
+    pub latency: Histogram,
+}
+
+/// All coordinator-level metrics, shared behind an `Arc`.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// Shards completed across the fleet (one per merged row; retries
+    /// that failed don't count, duplicates from re-dispatch do not
+    /// double-count rows but do count here per completion).
+    pub shards_dispatched: AtomicU64,
+    /// Shards claimed by a different worker than their previous
+    /// dispatch attempt — the reclaim path after a death or a failure.
+    pub shards_reclaimed: AtomicU64,
+    /// Alive → dead transitions observed by the fleet.
+    pub worker_deaths: AtomicU64,
+    /// Failed `/healthz` probe attempts (each retry counts).
+    pub probe_failures: AtomicU64,
+    /// Dispatch attempts that failed (I/O error, bad status, or a
+    /// garbage/injected response) and were retried or rerouted.
+    pub dispatch_failures: AtomicU64,
+    /// `/simulate` requests proxied to a worker.
+    pub proxied_simulate: AtomicU64,
+    /// `/sweep` endpoint counters.
+    pub sweep: EndpointMetrics,
+    /// `/simulate` endpoint counters.
+    pub simulate: EndpointMetrics,
+    /// `/jobs/{id}` endpoint counters.
+    pub jobs: EndpointMetrics,
+    /// Admin endpoints (`/metrics`, `/healthz`, `/cluster`,
+    /// `/shutdown`).
+    pub admin: EndpointMetrics,
+    /// Per-worker dispatch counters, indexed like the fleet.
+    pub per_worker: Vec<WorkerMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Zeroed metrics for a fleet of `workers`.
+    pub fn new(workers: usize) -> Self {
+        ClusterMetrics {
+            shards_dispatched: AtomicU64::new(0),
+            shards_reclaimed: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            dispatch_failures: AtomicU64::new(0),
+            proxied_simulate: AtomicU64::new(0),
+            sweep: EndpointMetrics::default(),
+            simulate: EndpointMetrics::default(),
+            jobs: EndpointMetrics::default(),
+            admin: EndpointMetrics::default(),
+            per_worker: (0..workers).map(|_| WorkerMetrics::default()).collect(),
+        }
+    }
+}

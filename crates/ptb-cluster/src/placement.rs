@@ -1,0 +1,147 @@
+//! Consistent-hash shard placement.
+//!
+//! The coordinator keys every sweep shard by
+//! [`ptb_bench::shard_key`] — a digest of the per-layer
+//! [`spikegen::ProfileKey`]s, the operational period, the activity
+//! seed, the fidelity flag, and the shard's TW — and maps that key onto
+//! a worker through a classic consistent-hash ring: each worker owns
+//! [`VNODES`] pseudo-random points on a `u64` circle, and a key belongs
+//! to the first point at or clockwise-after it. Two properties matter
+//! here:
+//!
+//! * **Cache affinity.** The key is a pure function of what activity
+//!   tensors a shard generates, so repeats of a workload land on the
+//!   worker whose `ActivityCache` already holds that activity —
+//!   policies are deliberately *excluded* from the key because they
+//!   share activity.
+//! * **Minimal disruption.** Adding or removing a worker moves only the
+//!   keys in the arcs that worker's vnodes cover (≈ `1/n` of the
+//!   space); every other key keeps its owner. That is exactly the
+//!   reclaim mechanism: [`Ring::owner_among`] with a liveness filter
+//!   *is* the ring without the dead worker, so a dead worker's shards
+//!   flow to their next-clockwise live owner and everyone else's
+//!   placement is untouched (property-tested in
+//!   `tests/placement_props.rs`).
+
+use ptb_bench::cache::fnv1a;
+
+/// Virtual nodes per worker on the hash ring. More vnodes smooth the
+/// load split between workers (the spread of arc lengths shrinks like
+/// `1/sqrt(VNODES)`); 64 keeps the whole ring a few KiB for any
+/// plausible fleet.
+pub const VNODES: usize = 64;
+
+/// A consistent-hash ring over worker indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(hash point, worker index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl Ring {
+    /// Builds the ring: [`VNODES`] points per worker, each the FNV-1a
+    /// digest of the worker's address bytes followed by the vnode
+    /// index. Addresses — not positional indices — seed the points, so
+    /// the same fleet listed in a different order yields the same
+    /// placement.
+    pub fn new(workers: &[String]) -> Self {
+        let mut points = Vec::with_capacity(workers.len() * VNODES);
+        for (index, addr) in workers.iter().enumerate() {
+            let mut bytes = Vec::with_capacity(addr.len() + 8);
+            for vnode in 0..VNODES {
+                bytes.clear();
+                bytes.extend_from_slice(addr.as_bytes());
+                bytes.extend_from_slice(&(vnode as u64).to_le_bytes());
+                points.push((fnv1a(&bytes), index));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            workers: workers.len(),
+        }
+    }
+
+    /// Number of workers the ring was built over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker owning `key` when every worker is eligible.
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        self.owner_among(key, |_| true)
+    }
+
+    /// The first worker at or clockwise-after `key` that passes the
+    /// `alive` filter — identical to building a fresh ring without the
+    /// filtered-out workers, which is what makes failover *minimal*: a
+    /// dead worker's keys move, everyone else's stay put. `None` when
+    /// no worker passes.
+    pub fn owner_among(&self, key: u64, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(point, _)| point < key);
+        let n = self.points.len();
+        for offset in 0..n {
+            let (_, worker) = self.points[(start + offset) % n];
+            if alive(worker) {
+                return Some(worker);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 4000 + i)).collect()
+    }
+
+    #[test]
+    fn every_key_has_an_owner_and_placement_is_stable() {
+        let ring = Ring::new(&addrs(3));
+        assert_eq!(ring.workers(), 3);
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF, 42] {
+            let owner = ring.owner(key).unwrap();
+            assert!(owner < 3);
+            assert_eq!(ring.owner(key), Some(owner), "same key, same owner");
+        }
+        assert_eq!(Ring::new(&[]).owner(7), None, "empty fleet owns nothing");
+    }
+
+    #[test]
+    fn load_spreads_across_workers() {
+        let ring = Ring::new(&addrs(4));
+        let mut counts = [0usize; 4];
+        for key in 0..4096u64 {
+            counts[ring.owner(key.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unwrap()] += 1;
+        }
+        for (worker, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 4096 / 16,
+                "worker {worker} owns a starved share: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn filtering_a_dead_worker_matches_a_ring_without_it() {
+        let all = addrs(3);
+        let ring = Ring::new(&all);
+        // Ring over the survivors, mapped back to the full fleet's
+        // indices (worker 1 is dead).
+        let survivors = vec![all[0].clone(), all[2].clone()];
+        let survivor_ring = Ring::new(&survivors);
+        let back = [0usize, 2];
+        for key in (0..512u64).map(|k| k.wrapping_mul(0x2545_F491_4F6C_DD1D)) {
+            let filtered = ring.owner_among(key, |w| w != 1).unwrap();
+            let rebuilt = back[survivor_ring.owner(key).unwrap()];
+            assert_eq!(filtered, rebuilt, "key {key:#x}");
+        }
+    }
+}

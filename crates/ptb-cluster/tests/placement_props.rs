@@ -1,0 +1,156 @@
+//! Property tests for the cluster's determinism pillars: consistent
+//! hashing must be *stable* (joins and leaves move only the keys that
+//! have to move) and `merge_shards` must be *order-free* (however shards
+//! are partitioned across workers and whatever order they complete in,
+//! the merged rows are the same). Together these are why a cluster
+//! sweep is byte-identical to a single node no matter the topology.
+//!
+//! The vendored proptest has no collection strategies, so key sets are
+//! derived from a generated seed with a splitmix-style generator — the
+//! `journal_corruption.rs` idiom.
+
+use proptest::prelude::*;
+use ptb_bench::{merge_shards, SweepRow};
+use ptb_cluster::Ring;
+
+/// Distinct, valid worker addresses from a count (proptest shrinks the
+/// count, not the strings, so collisions are impossible).
+fn addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:79{i:02}")).collect()
+}
+
+/// `len` pseudo-random keys from `seed` (splitmix64 steps).
+fn keys(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn row(tw: u32) -> SweepRow {
+    SweepRow {
+        tw,
+        energy_j: f64::from(tw) * 1.5,
+        seconds: f64::from(tw) * 0.25,
+        edp: f64::from(tw) * 0.375,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A worker joining moves keys only *onto* the newcomer: every key
+    /// that doesn't land on the new worker keeps its old owner.
+    #[test]
+    fn join_moves_keys_only_onto_the_new_worker(
+        n in 1usize..8,
+        seed in any::<u64>(),
+        len in 1usize..64,
+    ) {
+        let before = Ring::new(&addrs(n));
+        let after = Ring::new(&addrs(n + 1));
+        for key in keys(seed, len) {
+            let old = before.owner(key).unwrap();
+            let new = after.owner(key).unwrap();
+            // Worker indices 0..n are the same addresses in both rings.
+            prop_assert!(
+                new == n || new == old,
+                "key {key} moved {old} -> {new} without landing on the joiner"
+            );
+        }
+    }
+
+    /// A worker leaving moves keys only *off* the departed: keys owned
+    /// by a survivor stay put.
+    #[test]
+    fn leave_moves_only_the_departed_workers_keys(
+        n in 2usize..8,
+        departed_seed in any::<usize>(),
+        seed in any::<u64>(),
+        len in 1usize..64,
+    ) {
+        let departed = departed_seed % n;
+        let all = addrs(n);
+        let survivors: Vec<String> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != departed)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let before = Ring::new(&all);
+        let after = Ring::new(&survivors);
+        for key in keys(seed, len) {
+            let old = before.owner(key).unwrap();
+            let new_addr = survivors[after.owner(key).unwrap()].as_str();
+            if old != departed {
+                prop_assert_eq!(
+                    all[old].as_str(),
+                    new_addr,
+                    "key {} abandoned surviving owner {}", key, old
+                );
+            }
+        }
+    }
+
+    /// The liveness-filtered walk equals a fresh ring over the
+    /// survivors: reclaim lands shards exactly where a ring built
+    /// without the dead worker would place them.
+    #[test]
+    fn owner_among_matches_a_ring_rebuilt_over_survivors(
+        n in 2usize..8,
+        dead_seed in any::<usize>(),
+        seed in any::<u64>(),
+        len in 1usize..64,
+    ) {
+        let dead = dead_seed % n;
+        let all = addrs(n);
+        let full = Ring::new(&all);
+        let survivors: Vec<String> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != dead)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let rebuilt = Ring::new(&survivors);
+        for key in keys(seed, len) {
+            let filtered = full.owner_among(key, |w| w != dead).unwrap();
+            let fresh = survivors[rebuilt.owner(key).unwrap()].as_str();
+            prop_assert_eq!(all[filtered].as_str(), fresh);
+        }
+    }
+
+    /// `merge_shards` is invariant to how shards were partitioned
+    /// across workers and the order they completed in: any permutation
+    /// of (index, row) pairs merges to the same rows.
+    #[test]
+    fn merge_shards_ignores_node_count_and_completion_order(
+        shard_count in 1usize..32,
+        tw_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let in_order: Vec<(usize, SweepRow)> = keys(tw_seed, shard_count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (i, row(1 + (k % 512) as u32)))
+            .collect();
+
+        // Fisher–Yates over the completion order: an arbitrary
+        // interleaving across an arbitrary partition.
+        let mut shuffled = in_order.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        prop_assert_eq!(merge_shards(shuffled), merge_shards(in_order));
+    }
+}

@@ -7,6 +7,7 @@
 //! ptb-load --addr HOST:PORT --shutdown
 //! ptb-load --addr HOST:PORT --submit-tws 1,4,8      # background job, prints the ack
 //! ptb-load --addr HOST:PORT --poll-job ID           # poll to terminal state
+//! ptb-load --cluster N [--cluster-kill]             # self-contained fleet smoke
 //! ptb-load --addr HOST:PORT [--requests N] [--concurrency C]
 //!          [--network NAME] [--policy LABEL] [--tw N]
 //!          [--codec json|bin] [--keepalive]
@@ -51,13 +52,28 @@
 //! seed so all but the first hit it ("warm"). Comparing the two
 //! isolates what the shared cache buys under load; `BENCH_serve.json`
 //! records exactly that comparison.
+//!
+//! `--cluster N` is the self-contained fleet smoke: it spawns `N`
+//! worker daemons plus a `ptb-clusterd` coordinator (sibling binary,
+//! found next to this executable) on ephemeral ports, drives a sharded
+//! sweep through the coordinator, and exits nonzero unless the cluster
+//! response is **byte-identical** to the same sweep answered by a
+//! single worker daemon directly. `--cluster-kill` additionally
+//! `kill -9`s one worker mid-sweep (each shard is slowed through the
+//! `shard_exec` failpoint so the kill reliably lands with work in
+//! flight) and demands the reclaimed sweep still match a lone
+//! survivor's rows exactly. Both print a one-line JSON summary with
+//! wall time and shard throughput; the CI cluster stage runs both.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use ptb_bench::SweepRow;
 use ptb_serve::client::{self, Connection, RetryPolicy};
 use ptb_serve::wire;
 use serde::Value;
@@ -81,10 +97,20 @@ struct LoadConfig {
     retries: u32,
     chaos: bool,
     label: String,
+    cluster: Option<usize>,
+    cluster_kill: bool,
 }
 
 fn main() {
     let cfg = parse_args();
+    if let Some(n) = cfg.cluster {
+        if let Err(msg) = run_cluster(&cfg, n) {
+            eprintln!("cluster FAILED: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("cluster OK");
+        return;
+    }
     if cfg.shutdown {
         match client::request_json(cfg.addr, "POST", "/shutdown", "") {
             Ok((200, _)) => return,
@@ -147,6 +173,8 @@ fn parse_args() -> LoadConfig {
         retries: 5,
         chaos: false,
         label: String::new(),
+        cluster: None,
+        cluster_kill: false,
     };
     if let Ok(addr) = std::env::var("PTB_ADDR") {
         cfg.addr = resolve_or_die(&addr);
@@ -209,10 +237,15 @@ fn parse_args() -> LoadConfig {
             "--retries" => cfg.retries = parse_or_die(&value("--retries"), "--retries") as u32,
             "--chaos" => cfg.chaos = true,
             "--label" => cfg.label = value("--label"),
+            "--cluster" => {
+                cfg.cluster = Some(parse_or_die(&value("--cluster"), "--cluster").clamp(1, 16));
+            }
+            "--cluster-kill" => cfg.cluster_kill = true,
             "--help" | "-h" => {
                 println!(
                     "usage: ptb-load [--addr HOST:PORT] (--smoke | --xcheck | --shutdown | \
                      --submit-tws N,N,... | --poll-job ID | \
+                     --cluster N [--cluster-kill] | \
                      [--requests N] [--concurrency C] [--network NAME] [--policy LABEL] \
                      [--tw N] [--codec json|bin] [--keepalive] \
                      [--seed-mode unique|fixed] [--full] [--retries N] \
@@ -738,5 +771,273 @@ fn run_load(cfg: &LoadConfig) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// The spawned fleet: worker and coordinator child processes, killed
+/// wholesale on drop so no failure path leaks daemons.
+struct FleetProcs {
+    children: Vec<Child>,
+}
+
+impl Drop for FleetProcs {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawns one `ptb-clusterd` process (worker or coordinator role per
+/// `args`) with a `--port-file` handshake; returns the child and the
+/// ephemeral address it bound.
+fn spawn_daemon(
+    binary: &PathBuf,
+    args: &[&str],
+    envs: &[(&str, String)],
+    tag: usize,
+) -> Result<(Child, SocketAddr), String> {
+    let port_file = std::env::temp_dir().join(format!(
+        "ptb-load-cluster-{}-{tag}.port",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&port_file);
+    let mut command = Command::new(binary);
+    command
+        .args(args)
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let child = command
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", binary.display()))?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let port = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                break port;
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("daemon {tag} never wrote its port file"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    Ok((child, resolve_or_die(&format!("127.0.0.1:{port}"))))
+}
+
+/// `--cluster N`: spawn a real fleet (N workers + coordinator, sibling
+/// `ptb-clusterd` binary, ephemeral ports), sweep through it, and
+/// demand byte identity with a single direct worker. With
+/// `--cluster-kill`, SIGKILL one worker mid-sweep first.
+fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
+    // A kill needs a survivor to reclaim onto.
+    let n = if cfg.cluster_kill { n.max(2) } else { n };
+    let binary = std::env::current_exe()
+        .map_err(|e| format!("current_exe: {e}"))?
+        .parent()
+        .map(|dir| dir.join("ptb-clusterd"))
+        .filter(|p| p.exists())
+        .ok_or("ptb-clusterd not found next to ptb-load (build the ptb-cluster crate)")?;
+
+    // Workers first. Under --cluster-kill every shard dawdles at the
+    // `shard_exec` failpoint so the kill reliably lands mid-shard.
+    let mut fleet = FleetProcs { children: vec![] };
+    let worker_envs: Vec<(&str, String)> = if cfg.cluster_kill {
+        vec![("PTB_FAILPOINTS", "shard_exec=sleep:200".into())]
+    } else {
+        vec![]
+    };
+    let mut worker_addrs = Vec::with_capacity(n);
+    for tag in 0..n {
+        let (child, addr) = spawn_daemon(
+            &binary,
+            &[
+                "--spawn-worker",
+                "--addr",
+                "127.0.0.1:0",
+                "--job-dir",
+                "off",
+                "--workers",
+                "2",
+            ],
+            &worker_envs,
+            tag,
+        )?;
+        fleet.children.push(child);
+        worker_addrs.push(addr);
+    }
+    let worker_list = worker_addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let (coordinator, addr) = spawn_daemon(
+        &binary,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &worker_list,
+            "--job-dir",
+            "off",
+            "--probe-ms",
+            "100",
+            "--probe-timeout-ms",
+            "500",
+            "--fail-threshold",
+            "1",
+        ],
+        &[],
+        n,
+    )?;
+    fleet.children.push(coordinator);
+
+    let tws: Vec<u32> = if cfg.cluster_kill {
+        (1..=24).collect()
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
+    let sweep = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": {tws:?}, \
+         \"quick\": true, \"seed\": 42}}",
+        cfg.network, cfg.policy
+    );
+    let started = Instant::now();
+
+    let (rows_text, victim) = if cfg.cluster_kill {
+        run_cluster_kill(addr, &mut fleet, &sweep)?
+    } else {
+        let (status, body) = client::request_json(addr, "POST", "/sweep", &sweep)
+            .map_err(|e| format!("cluster /sweep: {e}"))?;
+        if status != 200 {
+            return Err(format!("cluster /sweep answered {status}: {body}"));
+        }
+        (body, None)
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    // The reference: the same sweep on ONE worker daemon, no cluster.
+    // After a kill that worker must be a survivor.
+    let survivor = worker_addrs[if victim == Some(0) { 1 % n } else { 0 }];
+    let (status, direct) = client::request_json(survivor, "POST", "/sweep", &sweep)
+        .map_err(|e| format!("direct /sweep: {e}"))?;
+    if status != 200 {
+        return Err(format!("direct /sweep answered {status}: {direct}"));
+    }
+    if victim.is_none() && rows_text != direct {
+        return Err(format!(
+            "cluster response is not byte-identical to a single node\n  cluster: \
+             {rows_text}\n  direct:  {direct}"
+        ));
+    }
+    let cluster_rows: Vec<SweepRow> = serde_json::from_str(&rows_text)
+        .map_err(|e| format!("cluster rows do not parse: {e}: {rows_text}"))?;
+    let direct_rows: Vec<SweepRow> =
+        serde_json::from_str(&direct).map_err(|e| format!("direct rows do not parse: {e}"))?;
+    if cluster_rows != direct_rows {
+        return Err(format!(
+            "cluster rows diverge from a single node\n  cluster: {rows_text}\n  direct:  {direct}"
+        ));
+    }
+
+    let _ = client::request_json(addr, "POST", "/shutdown", "");
+    println!(
+        "{{\"label\": \"{}\", \"mode\": \"cluster\", \"workers\": {n}, \
+         \"kill\": {}, \"shards\": {}, \"wall_s\": {wall:.3}, \
+         \"shards_per_s\": {:.3}, \"bit_identical\": true}}",
+        cfg.label,
+        cfg.cluster_kill,
+        tws.len(),
+        tws.len() as f64 / wall.max(1e-9),
+    );
+    Ok(())
+}
+
+/// The `--cluster-kill` sweep: submit in the background, SIGKILL the
+/// first worker that completes a shard, poll the job to done, and
+/// return its rows (as the JSON array text) plus the victim's index.
+fn run_cluster_kill(
+    addr: SocketAddr,
+    fleet: &mut FleetProcs,
+    sweep: &str,
+) -> Result<(String, Option<usize>), String> {
+    let background = format!(
+        "{}, \"background\": true}}",
+        sweep.strip_suffix('}').expect("sweep body ends with }")
+    );
+    let (status, body) = client::request_json(addr, "POST", "/sweep", &background)
+        .map_err(|e| format!("background /sweep: {e}"))?;
+    if status != 202 {
+        return Err(format!("background /sweep answered {status}: {body}"));
+    }
+    let ack: Value = serde_json::from_str(&body).map_err(|e| format!("bad ack: {e}: {body}"))?;
+    let id = ack
+        .get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("ack has no job id: {body}"))?;
+
+    // Kill whichever worker lands a shard first: it is already deep
+    // into its next 200 ms shard, which the survivor must reclaim.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let victim = loop {
+        let (status, metrics) = client::request_json(addr, "GET", "/metrics", "")
+            .map_err(|e| format!("/metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("/metrics answered {status}"));
+        }
+        let parsed: Value =
+            serde_json::from_str(&metrics).map_err(|e| format!("bad /metrics: {e}"))?;
+        let dispatched: Vec<u64> = parsed
+            .get("workers")
+            .and_then(Value::as_array)
+            .map(|workers| {
+                workers
+                    .iter()
+                    .map(|w| w.get("dispatched").and_then(Value::as_u64).unwrap_or(0))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(v) = dispatched.iter().position(|&d| d >= 1) {
+            break v;
+        }
+        if Instant::now() >= deadline {
+            return Err("no shard ever completed before the kill window".into());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let child = &mut fleet.children[victim];
+    child
+        .kill()
+        .map_err(|e| format!("kill worker {victim}: {e}"))?;
+    let _ = child.wait();
+
+    // The sweep must converge anyway.
+    let path = format!("/jobs/{id}");
+    loop {
+        let (status, body) = client::request_json(addr, "GET", &path, "")
+            .map_err(|e| format!("poll {path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("poll answered {status}: {body}"));
+        }
+        let poll: Value = serde_json::from_str(&body).map_err(|e| format!("bad poll: {e}"))?;
+        if poll.get("failed").and_then(Value::as_bool) == Some(true) {
+            return Err(format!("sweep failed after the kill: {body}"));
+        }
+        if poll.get("done").and_then(Value::as_bool) == Some(true) {
+            let rows = poll.get("rows").ok_or_else(|| format!("no rows: {body}"))?;
+            let text = serde_json::to_string(rows).map_err(|e| format!("render rows: {e}"))?;
+            return Ok((text, Some(victim)));
+        }
+        if Instant::now() >= deadline {
+            return Err("sweep never finished after the kill".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }

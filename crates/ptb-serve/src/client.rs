@@ -67,9 +67,24 @@ pub fn request_typed(
     content_type: Option<&str>,
     body: &[u8],
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
-    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    request_typed_timeout(addr, method, path, content_type, body, CLIENT_TIMEOUT)
+}
+
+/// [`request_typed`] with an explicit end-to-end timeout on connect,
+/// reads, and writes. The cluster coordinator's health probes use a
+/// short timeout here — a probe that waits [`CLIENT_TIMEOUT`] on a dead
+/// worker would stall failure detection by minutes.
+pub fn request_typed_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     write_request_head(&mut stream, addr, method, path, content_type, body, true)?;
     stream.flush()?;
 
@@ -140,9 +155,17 @@ pub struct Connection {
 impl Connection {
     /// Connects, with [`CLIENT_TIMEOUT`] on reads and writes.
     pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
-        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        Connection::open_with_timeout(addr, CLIENT_TIMEOUT)
+    }
+
+    /// [`Connection::open`] with an explicit connect/read/write timeout
+    /// — the coordinator's per-worker dispatch connections bound every
+    /// shard round trip this way so a hung worker surfaces as an error
+    /// (and a reclaim) instead of a stalled sweep.
+    pub fn open_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         // Request/response traffic on a persistent connection is
         // latency-bound: never trade a round trip for batching.
         stream.set_nodelay(true)?;
@@ -325,7 +348,10 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The next sleep given the previous one (decorrelated jitter).
-    fn next_sleep(&self, prev: Duration, rng: &mut u64) -> Duration {
+    /// Public so other retry loops — the cluster coordinator's health
+    /// prober and dispatcher — reuse the exact schedule instead of
+    /// inventing a second, subtly different one.
+    pub fn next_sleep(&self, prev: Duration, rng: &mut u64) -> Duration {
         // SplitMix64 step for the uniform draw.
         *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *rng;

@@ -161,8 +161,9 @@ impl Outcome {
         }
     }
 
-    /// A `422` from request validation.
-    fn invalid(e: api::ValidationError) -> Outcome {
+    /// A `422` from request validation. Public so the cluster
+    /// coordinator's validation errors render byte-identically.
+    pub fn invalid(e: api::ValidationError) -> Outcome {
         Outcome::Error {
             status: 422,
             detail: e.0,
@@ -172,7 +173,7 @@ impl Outcome {
     }
 
     /// A `503` + `Retry-After` backpressure outcome.
-    fn unavailable(detail: impl Into<String>) -> Outcome {
+    pub fn unavailable(detail: impl Into<String>) -> Outcome {
         Outcome::Error {
             status: 503,
             detail: detail.into(),

@@ -311,6 +311,63 @@ impl SweepJob {
         self.run_shards_until(cache, None, None)
     }
 
+    /// Publishes a row computed *outside* this process — the cluster
+    /// coordinator calls this with rows returned by worker daemons.
+    /// First completion wins: a shard re-dispatched after a worker
+    /// death may produce the same row twice, and since every row is a
+    /// pure function of `(spec, policy, tw, opts)` dropping the
+    /// duplicate is lossless. Journals the row (mirroring
+    /// [`Self::run_shards_until`]) and wakes waiters on completion.
+    /// Returns `false` when the shard already had a row.
+    pub fn complete_shard(&self, index: usize, row: SweepRow) -> bool {
+        assert!(index < self.tws.len(), "shard index out of range");
+        {
+            // Cheap pre-check so a racing duplicate usually skips the
+            // journal append; the post-lock check below is the one that
+            // guarantees first-wins.
+            let progress = lock_recover(&self.progress);
+            if progress.done.iter().any(|(j, _)| *j == index) {
+                return false;
+            }
+        }
+        if let Some((journal, id)) = &self.journal {
+            journal.log_shard(*id, index, &row);
+        }
+        let mut progress = lock_recover(&self.progress);
+        if progress.done.iter().any(|(j, _)| *j == index) {
+            // Lost the race; the journal's replay dedup (first record
+            // wins) makes the extra append harmless.
+            return false;
+        }
+        progress.done.push((index, row));
+        let complete = progress.done.len() == self.tws.len();
+        drop(progress);
+        if complete {
+            if let Some((journal, id)) = &self.journal {
+                journal.log_done(*id);
+            }
+        }
+        self.cv.notify_all();
+        true
+    }
+
+    /// Shard indices with no completed row yet, ascending. The
+    /// coordinator's dispatch loop re-reads this to find work left by
+    /// dead workers.
+    pub fn pending(&self) -> Vec<usize> {
+        let progress = lock_recover(&self.progress);
+        (0..self.tws.len())
+            .filter(|i| !progress.done.iter().any(|(j, _)| j == i))
+            .collect()
+    }
+
+    /// Public façade over the private `fail` for external executors: the
+    /// coordinator fails a job this way when no live worker remains to
+    /// run its pending shards. Completion still outranks failure.
+    pub fn fail_external(&self, reason: String) {
+        self.fail(reason);
+    }
+
     /// Moves the job to [`JobState::Failed`] (first reason wins) and
     /// wakes every waiter. A job whose every shard already completed
     /// cannot fail this way — completion is terminal.
@@ -704,6 +761,46 @@ mod tests {
             .iter()
             .any(|f| matches!(f, AuditError::RowMismatch { index: 1, tw: 4 })));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_completions_dedup_and_finish_the_job() {
+        let job = quick_job(&[1, 4, 8]);
+        assert_eq!(job.pending(), vec![0, 1, 2]);
+        let row = |tw: u32| SweepRow {
+            tw,
+            energy_j: 1.0,
+            seconds: 1.0,
+            edp: 1.0,
+        };
+        assert!(job.complete_shard(1, row(4)));
+        assert!(!job.complete_shard(1, row(4)), "duplicate rejected");
+        assert_eq!(job.pending(), vec![0, 2]);
+        assert_eq!(job.completed(), 1);
+        assert!(job.complete_shard(0, row(1)));
+        assert!(job.complete_shard(2, row(8)));
+        assert_eq!(job.state(), JobState::Done);
+        assert_eq!(
+            job.rows().unwrap().iter().map(|r| r.tw).collect::<Vec<_>>(),
+            vec![1, 4, 8],
+            "rows merged in requested TW order"
+        );
+        // Completion is terminal: an external failure after the fact
+        // must not flip the state.
+        job.fail_external("too late".into());
+        assert_eq!(job.state(), JobState::Done);
+    }
+
+    #[test]
+    fn external_failure_wakes_waiters_and_is_first_wins() {
+        let job = quick_job(&[1, 4]);
+        job.fail_external("no live workers".into());
+        job.fail_external("second reason".into());
+        let JobState::Failed { reason } = job.state() else {
+            panic!("job must be failed");
+        };
+        assert_eq!(reason, "no live workers");
+        job.wait(); // terminal: returns immediately
     }
 
     #[test]

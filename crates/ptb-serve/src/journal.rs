@@ -10,12 +10,20 @@
 //! payload           :=  JSON, one of:
 //!   {"type":"submit","id":N,"network":{...},"policy":"LABEL","tws":[...],"quick":B,"seed":N,"verify":"LEVEL"}
 //!   {"type":"shard","index":I,"row":{"tw":..,"energy_j":..,"seconds":..,"edp":..}}
+//!   {"type":"dispatch","index":I,"worker":"HOST:PORT"}
 //!   {"type":"done"}
 //! ```
 //!
 //! `"verify"` records the job's audit level so a resumed job keeps
 //! verifying at the level it was submitted with; journals written
 //! before the field existed replay as `off`.
+//!
+//! `"dispatch"` records are written by the *cluster coordinator* only
+//! (`ptb-cluster`): they journal which worker each shard was sent to,
+//! so a restarted coordinator resumes its dispatch map alongside the
+//! completed rows. Worker daemons never write them, and replay treats
+//! them as advisory — a shard with a dispatch record but no row simply
+//! re-dispatches.
 //!
 //! The discipline mirrors the disk `ActivityCache`: every record
 //! carries its own FNV-1a checksum, appends are single `write` calls
@@ -111,6 +119,10 @@ pub struct ReplayedJob {
     pub verify: AuditLevel,
     /// Journaled shard completions, `(original index, row)`.
     pub shards: Vec<(usize, SweepRow)>,
+    /// Journaled coordinator dispatches, `(shard index, worker addr)`,
+    /// in append order (latest entry for an index wins). Empty for
+    /// worker-written journals.
+    pub dispatches: Vec<(usize, String)>,
     /// Whether a `done` record closed the job (with every shard
     /// present); `false` means the job must resume.
     pub done: bool,
@@ -218,6 +230,15 @@ impl JobJournal {
     /// Journals job `id`'s completion (every shard row is on disk).
     pub fn log_done(&self, id: u64) {
         self.write_record(id, "{\"type\":\"done\"}", false);
+    }
+
+    /// Journals that shard `index` of job `id` was dispatched to
+    /// `worker` (coordinator-only; see the module docs).
+    pub fn log_dispatch(&self, id: u64, index: usize, worker: &str) {
+        let worker_json = serde_json::to_string(worker).expect("string serialization");
+        let payload =
+            format!("{{\"type\":\"dispatch\",\"index\":{index},\"worker\":{worker_json}}}");
+        self.write_record(id, &payload, false);
     }
 
     /// Frames `payload` and appends it to the job file in one write.
@@ -411,6 +432,7 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
         .unwrap_or(AuditLevel::Off);
 
     let mut shards: Vec<(usize, SweepRow)> = Vec::new();
+    let mut dispatches: Vec<(usize, String)> = Vec::new();
     let mut done = false;
     let mut valid_records = 1;
     for payload in &records[1..] {
@@ -437,6 +459,17 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
                     shards.push((index, row));
                 }
             }
+            Some("dispatch") => {
+                let parsed = (|| {
+                    let index = record.get("index")?.as_u64()? as usize;
+                    let worker = record.get("worker")?.as_str()?.to_string();
+                    (index < tws.len()).then_some((index, worker))
+                })();
+                let Some(entry) = parsed else {
+                    break;
+                };
+                dispatches.push(entry);
+            }
             Some("done") => done = true,
             _ => break,
         }
@@ -457,6 +490,7 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
             seed,
             verify,
             shards,
+            dispatches,
             done,
         },
         valid_records,
@@ -602,6 +636,51 @@ mod tests {
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].verify, AuditLevel::Off);
         assert_eq!(fresh.stats().discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dispatch_records_replay_alongside_shards() {
+        let dir = tmp_dir("dispatch");
+        let journal = JobJournal::new(&dir);
+        journal.log_submit(
+            5,
+            &spikegen::dvs_gesture(),
+            Policy::ptb(),
+            &[1, 4, 8],
+            true,
+            11,
+            AuditLevel::Off,
+        );
+        journal.log_dispatch(5, 0, "127.0.0.1:4001");
+        journal.log_dispatch(5, 2, "127.0.0.1:4002");
+        journal.log_shard(5, 0, &row(1, 2.0));
+        // Re-dispatch after a worker death: both entries replay, last wins.
+        journal.log_dispatch(5, 2, "127.0.0.1:4001");
+
+        let fresh = JobJournal::new(&dir);
+        let jobs = fresh.replay();
+        assert_eq!(jobs.len(), 1);
+        let job = &jobs[0];
+        assert_eq!(job.shards, vec![(0, row(1, 2.0))]);
+        assert_eq!(
+            job.dispatches,
+            vec![
+                (0, "127.0.0.1:4001".to_string()),
+                (2, "127.0.0.1:4002".to_string()),
+                (2, "127.0.0.1:4001".to_string()),
+            ]
+        );
+        assert!(!job.done);
+        assert_eq!(fresh.stats().recovered, 0, "dispatch records are clean");
+
+        // An out-of-range dispatch index is semantic corruption: the
+        // prefix salvages, the bad tail does not.
+        journal.log_dispatch(5, 99, "127.0.0.1:4009");
+        let again = JobJournal::new(&dir);
+        let jobs = again.replay();
+        assert_eq!(jobs[0].dispatches.len(), 3);
+        assert_eq!(again.stats().recovered, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -572,8 +572,10 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
 /// Decodes a request body in its negotiated codec into the typed
 /// request `T`. Binary bodies must be a well-formed `PTBW1` frame of
 /// the endpoint's request `kind`; both codecs then build `T` from the
-/// same `Value` tree, so validation downstream is codec-blind.
-fn decode_request<T: serde::Deserialize>(req: &Request, kind: u8) -> Result<T, Outcome> {
+/// same `Value` tree, so validation downstream is codec-blind. Public
+/// so the cluster coordinator decodes — and therefore rejects —
+/// exactly as a worker would.
+pub fn decode_request<T: serde::Deserialize>(req: &Request, kind: u8) -> Result<T, Outcome> {
     match req.codec {
         Codec::Json => {
             let text = std::str::from_utf8(&req.body)
@@ -597,7 +599,10 @@ fn decode_request<T: serde::Deserialize>(req: &Request, kind: u8) -> Result<T, O
 
 /// Renders an engine outcome in the connection's codec. One `Outcome`,
 /// two byte layouts — this is the whole difference between the codecs.
-fn render(outcome: &Outcome, codec: Codec) -> Response {
+/// Public so the cluster coordinator is a *third caller* of the same
+/// renderer: a cluster response is byte-identical to a single-node one
+/// because both are this function over the same `Outcome`.
+pub fn render(outcome: &Outcome, codec: Codec) -> Response {
     match codec {
         Codec::Json => render_json(outcome),
         Codec::Binary => render_bin(outcome),
@@ -707,6 +712,14 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
     let Some(job) = shared.engine.jobs.get(id) else {
         return Response::error(404, &format!("no job {id}"));
     };
+    job_poll_response(id, &job)
+}
+
+/// Renders the `GET /jobs/{id}` body for a job. Public for the same
+/// reason as [`render`]: the coordinator's job polls go through this
+/// exact formatter, so cluster poll responses are byte-identical to a
+/// worker's.
+pub fn job_poll_response(id: u64, job: &SweepJob) -> Response {
     let completed = job.completed();
     let total = job.tws.len();
     // Always present: all-zeros when the job ran unverified, findings

@@ -121,6 +121,18 @@ echo "== chaos load (dropped/short-written connections must converge via retries
 ./target/release/ptb-load --addr "127.0.0.1:$PORT" --shutdown
 wait "$SERVE_PID"
 
+echo "== cluster smoke (coordinator + 2 workers on ephemeral ports, sweep bit-identical)"
+# ptb-load spawns the fleet itself (sibling ptb-clusterd binary), drives
+# a sharded sweep through the coordinator, and byte-compares the
+# response against the same sweep answered by one worker directly.
+./target/release/ptb-load --cluster 2 --label ci
+
+echo "== cluster worker-kill recovery (SIGKILL one worker mid-sweep, rows still bit-identical)"
+# Same fleet, but one worker is kill -9'd with shards in flight; the
+# survivor must reclaim them and the merged rows must match a lone
+# daemon exactly.
+./target/release/ptb-load --cluster 2 --cluster-kill --label ci-kill
+
 echo "== release tests with debug assertions (overflow checks on the hot paths)"
 # A separate target dir keeps the main release artifacts (used by the
 # stages above) untouched.
