@@ -46,6 +46,22 @@
 //! produced with the cache on are bit-identical to cache-off runs;
 //! `ptb-bench/tests/cache_equivalence.rs` property-tests this across
 //! policies, TW sweeps, and all three modes.
+//!
+//! ## Budgets and eviction
+//!
+//! Both stores are *bounded* when a [`CacheBudget`] says so (knobs
+//! `PTB_CACHE_MEM_BYTES` / `PTB_CACHE_DISK_BYTES`, parsed by
+//! [`CacheBudget::from_env`]; unset means unlimited, matching the
+//! pre-budget behavior). In-memory entries are byte-accounted and
+//! evicted least-recently-used across the tensor and layer maps
+//! together; on-disk entries are swept oldest-first whenever a store
+//! pushes the directory past its quota. Eviction never changes
+//! results — an evicted entry just regenerates on next use, and
+//! regeneration is bit-identical by the determinism guarantee above
+//! (property-tested under the `cache_evict` failpoint, which flushes
+//! live entries at arbitrary points mid-sweep). Eviction also never
+//! touches the in-flight set, so single-flight claims survive any
+//! flush.
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -166,6 +182,65 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Byte budgets bounding an [`ActivityCache`]. `None` means unlimited
+/// (the pre-budget behavior); `Some(n)` caps the corresponding store at
+/// `n` bytes, enforced by LRU eviction (memory) or oldest-first sweep
+/// (disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBudget {
+    /// Cap on the byte-accounted in-memory entries (tensor map plus
+    /// prepared-layer map together).
+    pub mem_bytes: Option<u64>,
+    /// Cap on the on-disk entry directory (`results/.cache/` by
+    /// default).
+    pub disk_bytes: Option<u64>,
+}
+
+impl CacheBudget {
+    /// No limits — every store grows as the pre-budget cache did.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Reads `PTB_CACHE_MEM_BYTES` and `PTB_CACHE_DISK_BYTES`. Values
+    /// are byte counts with an optional `k`/`m`/`g` suffix (powers of
+    /// 1024); unset, empty, `0`, or `off` mean unlimited. Unparseable
+    /// values warn on stderr and fall back to unlimited rather than
+    /// silently capping at a wrong size.
+    pub fn from_env() -> Self {
+        CacheBudget {
+            mem_bytes: parse_bytes_env("PTB_CACHE_MEM_BYTES"),
+            disk_bytes: parse_bytes_env("PTB_CACHE_DISK_BYTES"),
+        }
+    }
+}
+
+/// Parses one byte-count knob from the environment: plain bytes or
+/// `k`/`m`/`g`-suffixed (case-insensitive, powers of 1024); unset,
+/// empty, `0`, or `off` mean `None` (unlimited). Public because every
+/// byte-budget knob in the stack (`PTB_CACHE_*_BYTES`,
+/// `PTB_MEM_WATERMARK_BYTES`, `PTB_JOB_DIR_BYTES`) shares this syntax.
+pub fn parse_bytes_env(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let v = raw.trim().to_ascii_lowercase();
+    if v.is_empty() || v == "0" || v == "off" || v == "none" {
+        return None;
+    }
+    let (digits, shift) = match v.as_bytes().last() {
+        Some(b'k') => (&v[..v.len() - 1], 10),
+        Some(b'm') => (&v[..v.len() - 1], 20),
+        Some(b'g') => (&v[..v.len() - 1], 30),
+        _ => (v.as_str(), 0),
+    };
+    match digits.trim().parse::<u64>() {
+        Ok(n) => Some(n << shift).filter(|&b| b > 0),
+        Err(_) => {
+            eprintln!("warning: unparseable {var}={raw:?}; treating as unlimited");
+            None
+        }
+    }
+}
+
 /// Counters describing what an [`ActivityCache`] did so far (snapshot;
 /// see [`ActivityCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -182,6 +257,19 @@ pub struct CacheStats {
     /// coalescing; each also counts as a `mem_hits` once the in-flight
     /// generation lands).
     pub coalesced: u64,
+    /// Estimated bytes currently resident in the in-memory maps
+    /// (gauge; tracked exactly against the per-entry estimates, see
+    /// the accounting-invariant test).
+    pub mem_bytes: u64,
+    /// In-memory entries evicted to stay under the memory budget (or
+    /// flushed by the `cache_evict` failpoint).
+    pub evictions: u64,
+    /// Last observed size of the on-disk entry directory in bytes
+    /// (gauge; refreshed by every disk store and quota sweep).
+    pub disk_bytes: u64,
+    /// On-disk entries deleted by the quota sweep (plus corrupt or
+    /// stale-temp files garbage-collected on sight).
+    pub disk_evictions: u64,
 }
 
 /// Content-addressed store of generated spike tensors and
@@ -200,22 +288,70 @@ pub struct CacheStats {
 pub struct ActivityCache {
     mode: CacheMode,
     dir: PathBuf,
+    budget: CacheBudget,
     tensors: Mutex<TensorStore>,
     /// Signals waiters when an in-flight generation lands (or aborts).
     tensors_cv: Condvar,
-    layers: Mutex<HashMap<(ActivityKey, ConvShape), Arc<PreparedLayer>>>,
+    layers: Mutex<HashMap<(ActivityKey, ConvShape), LayerEntry>>,
+    /// Monotonic access clock stamping entries for LRU ordering.
+    clock: AtomicU64,
+    /// Tracked bytes across both in-memory maps; the gauge behind the
+    /// memory budget and the service's admission watermark.
+    mem_bytes: AtomicU64,
+    /// Last observed on-disk directory size (refreshed by stores and
+    /// quota sweeps; never scanned on the read path).
+    disk_bytes: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    evictions: AtomicU64,
+    disk_evictions: AtomicU64,
 }
 
 /// The tensor map plus the set of keys some thread is currently
 /// generating; one lock covers both so claim-or-wait is atomic.
 #[derive(Debug, Default)]
 struct TensorStore {
-    map: HashMap<ActivityKey, Arc<SpikeTensor>>,
+    map: HashMap<ActivityKey, TensorEntry>,
     inflight: HashSet<ActivityKey>,
+}
+
+/// One resident tensor with its byte charge and LRU stamp.
+#[derive(Debug)]
+struct TensorEntry {
+    tensor: Arc<SpikeTensor>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// One resident prepared layer with its byte charge and LRU stamp.
+#[derive(Debug)]
+struct LayerEntry {
+    layer: Arc<PreparedLayer>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Fixed per-entry overhead charged on top of the payload estimate
+/// (map slot, key, `Arc` headers). Deliberately coarse: budgets are a
+/// watermark against unbounded growth, not an allocator audit.
+const ENTRY_OVERHEAD: u64 = 160;
+
+/// Estimated resident bytes of one cached tensor: its spike words plus
+/// fixed overhead.
+fn tensor_cost(t: &SpikeTensor) -> u64 {
+    (t.words().len() as u64) * 8 + ENTRY_OVERHEAD
+}
+
+/// Estimated resident bytes of one prepared-layer entry. The wrapper
+/// shares the tensor `Arc`, but its derived state (geometry plus lazily
+/// memoized popcount/tag tables, see `ptb_accel::prepared`) grows to
+/// the same order as the tensor itself, so a layer entry is charged one
+/// extra tensor's worth. Conservative by design — over-charging evicts
+/// earlier, never later.
+fn layer_cost(t: &SpikeTensor) -> u64 {
+    tensor_cost(t)
 }
 
 /// Removes an in-flight claim on drop, so a panicking generation can
@@ -244,28 +380,51 @@ impl ActivityCache {
     /// A cache in `mode` whose disk store lives under `dir` (created
     /// lazily on first write). Mainly for tests.
     pub fn with_dir(mode: CacheMode, dir: &Path) -> Self {
+        Self::with_budget(mode, dir, CacheBudget::unlimited())
+    }
+
+    /// A cache in `mode` with its disk store under `dir`, bounded by
+    /// `budget` (see [`CacheBudget`]).
+    pub fn with_budget(mode: CacheMode, dir: &Path, budget: CacheBudget) -> Self {
         ActivityCache {
             mode,
             dir: dir.to_path_buf(),
+            budget,
             tensors: Mutex::new(TensorStore::default()),
             tensors_cv: Condvar::new(),
             layers: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            mem_bytes: AtomicU64::new(0),
+            disk_bytes: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_evictions: AtomicU64::new(0),
         }
     }
 
     /// A cache in the mode selected by the `PTB_CACHE` environment
-    /// variable (see [`CacheMode::from_env`]).
+    /// variable (see [`CacheMode::from_env`]), bounded by the budgets
+    /// in `PTB_CACHE_MEM_BYTES` / `PTB_CACHE_DISK_BYTES` (see
+    /// [`CacheBudget::from_env`]).
     pub fn from_env() -> Self {
-        Self::new(CacheMode::from_env())
+        Self::with_budget(
+            CacheMode::from_env(),
+            Path::new("results/.cache"),
+            CacheBudget::from_env(),
+        )
     }
 
     /// The mode this cache operates in.
     pub fn mode(&self) -> CacheMode {
         self.mode
+    }
+
+    /// The budgets this cache enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
     }
 
     /// Hit/miss counters so far.
@@ -275,7 +434,30 @@ impl ActivityCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            mem_bytes: self.mem_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Tracked resident bytes of the in-memory maps (the gauge the
+    /// memory budget and `ptb-serve`'s admission watermark read).
+    pub fn resident_bytes(&self) -> u64 {
+        self.mem_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Recomputes the resident-byte total by walking both maps. Exposed
+    /// for the accounting-invariant tests: must always equal
+    /// [`Self::resident_bytes`] at rest.
+    pub fn recounted_bytes(&self) -> u64 {
+        let tensors: u64 = lock_recover(&self.tensors)
+            .map
+            .values()
+            .map(|e| e.bytes)
+            .sum();
+        let layers: u64 = lock_recover(&self.layers).values().map(|e| e.bytes).sum();
+        tensors + layers
     }
 
     /// `profile.generate(neurons, timesteps, seed)`, memoized.
@@ -300,6 +482,7 @@ impl ActivityCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(profile.generate(neurons, timesteps, seed));
         }
+        self.maybe_chaos_flush();
 
         // Claim-or-wait: leave this loop either returning a hit or
         // holding the (released-on-drop) in-flight claim for `key`.
@@ -307,9 +490,10 @@ impl ActivityCache {
             let mut store = lock_recover(&self.tensors);
             let mut waited = false;
             loop {
-                if let Some(hit) = store.map.get(&key) {
+                if let Some(hit) = store.map.get_mut(&key) {
+                    hit.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
                     self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                    return hit.clone();
+                    return hit.tensor.clone();
                 }
                 if store.inflight.insert(key) {
                     break;
@@ -340,12 +524,26 @@ impl ActivityCache {
             }
         }
 
-        let out = lock_recover(&self.tensors)
-            .map
-            .entry(key)
-            .or_insert(made)
-            .clone();
+        let out = {
+            let mut store = lock_recover(&self.tensors);
+            let seq = self.clock.fetch_add(1, Ordering::Relaxed);
+            // The claim guarantees exclusivity, so the entry is vacant;
+            // `or_insert_with` keeps the charge correct even if that
+            // invariant ever broke.
+            let entry = store.map.entry(key).or_insert_with(|| {
+                let bytes = tensor_cost(&made);
+                self.mem_bytes.fetch_add(bytes, Ordering::Relaxed);
+                TensorEntry {
+                    tensor: made,
+                    bytes,
+                    last_used: seq,
+                }
+            });
+            entry.last_used = seq;
+            entry.tensor.clone()
+        };
         drop(claim); // releases the in-flight mark and wakes waiters
+        self.enforce_mem_budget();
         out
     }
 
@@ -370,9 +568,11 @@ impl ActivityCache {
             shape,
         );
         if self.mode != CacheMode::Off {
-            if let Some(hit) = lock_recover(&self.layers).get(&key) {
+            self.maybe_chaos_flush();
+            if let Some(hit) = lock_recover(&self.layers).get_mut(&key) {
+                hit.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
+                return hit.layer.clone();
             }
         }
         // The activity lookup below does its own hit/miss accounting
@@ -383,14 +583,167 @@ impl ActivityCache {
         if self.mode == CacheMode::Off {
             return made;
         }
-        lock_recover(&self.layers)
-            .entry(key)
-            .or_insert(made)
-            .clone()
+        let out = {
+            let mut layers = lock_recover(&self.layers);
+            let seq = self.clock.fetch_add(1, Ordering::Relaxed);
+            let entry = layers.entry(key).or_insert_with(|| {
+                let bytes = layer_cost(made.spikes());
+                self.mem_bytes.fetch_add(bytes, Ordering::Relaxed);
+                LayerEntry {
+                    layer: made,
+                    bytes,
+                    last_used: seq,
+                }
+            });
+            entry.last_used = seq;
+            entry.layer.clone()
+        };
+        self.enforce_mem_budget();
+        out
+    }
+
+    /// Evicts least-recently-used entries (across both in-memory maps)
+    /// until the tracked bytes fit the memory budget. Called after
+    /// every insert; a no-op when unbudgeted or already under.
+    ///
+    /// Locks are taken in the fixed order tensors → layers (the only
+    /// place both are ever held at once), and the in-flight set is
+    /// never touched: a waiter whose entry is evicted between its
+    /// wake-up and its re-check simply claims and regenerates,
+    /// bit-identically.
+    fn enforce_mem_budget(&self) {
+        let Some(budget) = self.budget.mem_bytes else {
+            return;
+        };
+        if self.mem_bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let mut tensors = lock_recover(&self.tensors);
+        let mut layers = lock_recover(&self.layers);
+        while self.mem_bytes.load(Ordering::Relaxed) > budget {
+            let oldest_tensor = tensors
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            let oldest_layer = layers
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            let evict_tensor = match (oldest_tensor, oldest_layer) {
+                (Some((_, t_used)), Some((_, l_used))) => t_used <= l_used,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break, // nothing left to evict
+            };
+            let bytes = if evict_tensor {
+                let (k, _) = oldest_tensor.expect("picked tensor");
+                tensors.map.remove(&k).expect("live entry").bytes
+            } else {
+                let (k, _) = oldest_layer.expect("picked layer");
+                layers.remove(&k).expect("live entry").bytes
+            };
+            self.mem_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every resident in-memory entry (both maps), keeping the
+    /// byte accounting and eviction counters exact. The in-flight set
+    /// survives, so concurrent generations are unaffected. Public so
+    /// chaos harnesses can force worst-case cache behavior; results
+    /// stay bit-identical because every flushed entry regenerates
+    /// deterministically.
+    pub fn flush_resident(&self) {
+        let mut freed = 0u64;
+        let mut dropped = 0u64;
+        {
+            let mut tensors = lock_recover(&self.tensors);
+            for (_, e) in tensors.map.drain() {
+                freed += e.bytes;
+                dropped += 1;
+            }
+        }
+        {
+            let mut layers = lock_recover(&self.layers);
+            for (_, e) in layers.drain() {
+                freed += e.bytes;
+                dropped += 1;
+            }
+        }
+        self.mem_bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.evictions.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// The `cache_evict` failpoint: when armed (typically with a
+    /// probability, e.g. `cache_evict=err:0.3`), lookups flush the
+    /// resident maps at arbitrary points mid-sweep. The equivalence
+    /// property tests run under this to prove eviction can never change
+    /// results.
+    fn maybe_chaos_flush(&self) {
+        if failpoint::eval("cache_evict").is_err() {
+            self.flush_resident();
+        }
     }
 
     fn entry_path(&self, key: &ActivityKey) -> PathBuf {
         self.dir.join(format!("act-{:016x}.ptb", key.digest()))
+    }
+
+    /// Sweeps the disk store after a write: refreshes the size gauge,
+    /// deletes stale temp files (leftovers of crashed writers), and —
+    /// when a disk budget is set — removes the oldest entries until the
+    /// directory fits. The entry just written is the newest, so it
+    /// survives unless it alone exceeds the budget. Errors are ignored
+    /// entry-by-entry: the sweep is best-effort, like the store itself.
+    fn enforce_disk_budget(&self) {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let now = std::time::SystemTime::now();
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut total = 0u64;
+        for item in read.flatten() {
+            let path = item.path();
+            let name = item.file_name();
+            let name = name.to_string_lossy();
+            let Ok(meta) = item.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(now);
+            if name.contains(".tmp.") {
+                // A temp file older than a minute belongs to a writer
+                // that died mid-store; nothing will rename it.
+                let stale = now
+                    .duration_since(mtime)
+                    .map(|age| age.as_secs() >= 60)
+                    .unwrap_or(false);
+                if stale && std::fs::remove_file(&path).is_ok() {
+                    self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                total += meta.len();
+                continue; // in-flight temp files are never quota victims
+            }
+            if name.starts_with("act-") && name.ends_with(".ptb") {
+                total += meta.len();
+                entries.push((path, meta.len(), mtime));
+            }
+        }
+        if let Some(budget) = self.budget.disk_bytes {
+            entries.sort_by_key(|(_, _, mtime)| *mtime);
+            for (path, len, _) in entries {
+                if total <= budget {
+                    break;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    total -= len;
+                    self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.disk_bytes.store(total, Ordering::Relaxed);
     }
 
     /// Loads and verifies a disk entry; any mismatch, truncation, or
@@ -406,8 +759,23 @@ impl ActivityCache {
         if failpoint::eval("cache_disk_load").is_err() {
             return None;
         }
-        let bytes = std::fs::read(self.entry_path(key)).ok()?;
-        let loaded = decode_entry(&bytes, key)?;
+        let path = self.entry_path(key);
+        let bytes = std::fs::read(&path).ok()?;
+        let loaded = match decode_entry(&bytes, key) {
+            Ok(t) => t,
+            Err(EntryDefect::Corrupt) => {
+                // Structurally broken bytes can never be loaded by any
+                // key; delete on sight so a bit-flipping disk can't
+                // accumulate dead files (the caller rewrites shortly).
+                if std::fs::remove_file(&path).is_ok() {
+                    self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+            // A key mismatch is a digest collision: the file is (or may
+            // be) a valid entry for a *different* key, so leave it.
+            Err(EntryDefect::KeyMismatch) => return None,
+        };
         if failpoint::eval("cache_load_flip").is_err() {
             if let Some(flipped) = flip_first_bit(&loaded) {
                 return Some(flipped);
@@ -431,11 +799,12 @@ impl ActivityCache {
             std::fs::write(&tmp, encode_entry(key, spikes))?;
             std::fs::rename(&tmp, &path)
         })();
-        if let Err(e) = write {
-            eprintln!(
+        match write {
+            Ok(()) => self.enforce_disk_budget(),
+            Err(e) => eprintln!(
                 "warning: could not persist cache entry {}: {e}",
                 path.display()
-            );
+            ),
         }
     }
 }
@@ -480,28 +849,38 @@ fn encode_entry(key: &ActivityKey, spikes: &SpikeTensor) -> Vec<u8> {
     out
 }
 
-/// Parses and verifies one disk entry against the `expected` key.
-/// Returns `None` on any structural problem or key mismatch; the
+/// Why a disk entry failed to decode: structurally broken bytes (safe
+/// to delete — no key can ever load them) versus a key mismatch (a
+/// digest collision; the file may be another key's valid entry and must
+/// be left alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryDefect {
+    Corrupt,
+    KeyMismatch,
+}
+
+/// Parses and verifies one disk entry against the `expected` key; the
 /// tensor constructor re-validates word count and tail bits.
-fn decode_entry(bytes: &[u8], expected: &ActivityKey) -> Option<SpikeTensor> {
-    let rest = bytes.strip_prefix(ENTRY_MAGIC.as_slice())?;
-    let (len_bytes, rest) = rest.split_at_checked(4)?;
-    let key_len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
-    let (key_bytes, rest) = rest.split_at_checked(key_len)?;
+fn decode_entry(bytes: &[u8], expected: &ActivityKey) -> Result<SpikeTensor, EntryDefect> {
+    let corrupt = EntryDefect::Corrupt;
+    let rest = bytes.strip_prefix(ENTRY_MAGIC.as_slice()).ok_or(corrupt)?;
+    let (len_bytes, rest) = rest.split_at_checked(4).ok_or(corrupt)?;
+    let key_len = u32::from_le_bytes(len_bytes.try_into().map_err(|_| corrupt)?) as usize;
+    let (key_bytes, rest) = rest.split_at_checked(key_len).ok_or(corrupt)?;
     if key_bytes != expected.to_bytes() {
-        return None; // digest collision or stale format — regenerate
+        return Err(EntryDefect::KeyMismatch); // collision or stale format
     }
-    let (dims, rest) = rest.split_at_checked(16)?;
-    let neurons = u64::from_le_bytes(dims[..8].try_into().ok()?) as usize;
-    let timesteps = u64::from_le_bytes(dims[8..].try_into().ok()?) as usize;
+    let (dims, rest) = rest.split_at_checked(16).ok_or(corrupt)?;
+    let neurons = u64::from_le_bytes(dims[..8].try_into().map_err(|_| corrupt)?) as usize;
+    let timesteps = u64::from_le_bytes(dims[8..].try_into().map_err(|_| corrupt)?) as usize;
     if rest.len() % 8 != 0 {
-        return None;
+        return Err(corrupt);
     }
     let words: Vec<u64> = rest
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
-    SpikeTensor::from_words(neurons, timesteps, words).ok()
+    SpikeTensor::from_words(neurons, timesteps, words).map_err(|_| corrupt)
 }
 
 #[cfg(test)]
@@ -695,6 +1074,164 @@ mod tests {
         });
         let s = cache.stats();
         assert_eq!((s.misses, s.coalesced), (2, 0));
+    }
+
+    /// Tracked bytes must equal a recount of the live entries — after
+    /// inserts, hits, evictions, and flushes alike.
+    fn assert_accounting_exact(cache: &ActivityCache) {
+        assert_eq!(
+            cache.resident_bytes(),
+            cache.recounted_bytes(),
+            "tracked bytes must equal the sum over live entries"
+        );
+    }
+
+    #[test]
+    fn mem_budget_evicts_lru_and_keeps_accounting_exact() {
+        let p = profile();
+        // One 400×64 tensor costs 400 words + overhead; budget ≈ 2.5
+        // entries so the third insert must evict the least recent.
+        let one = tensor_cost(&p.generate(400, 64, 0));
+        let budget = CacheBudget {
+            mem_bytes: Some(one * 5 / 2),
+            disk_bytes: None,
+        };
+        let cache = ActivityCache::with_budget(CacheMode::Mem, &tmp_dir("budget"), budget);
+        let a = cache.activity(&p, 400, 64, 1);
+        let _b = cache.activity(&p, 400, 64, 2);
+        assert_eq!(cache.stats().evictions, 0, "two entries fit");
+        // Touch seed-1 so seed-2 is now the least recently used.
+        let a2 = cache.activity(&p, 400, 64, 1);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = cache.activity(&p, 400, 64, 3);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "third insert evicts exactly one");
+        assert!(s.mem_bytes <= one * 5 / 2, "resident bytes obey budget");
+        assert_accounting_exact(&cache);
+        // Seed-2 was the LRU victim: it regenerates (a miss), while
+        // seed-1 and seed-3 are still resident.
+        let hits_before = cache.stats().mem_hits;
+        let b2 = cache.activity(&p, 400, 64, 2);
+        assert_eq!(*b2, p.generate(400, 64, 2), "recompute is bit-identical");
+        assert_eq!(cache.stats().mem_hits, hits_before, "victim was evicted");
+        let _ = cache.activity(&p, 400, 64, 3);
+        assert!(cache.stats().mem_hits > hits_before, "seed-3 survived");
+        assert_accounting_exact(&cache);
+    }
+
+    #[test]
+    fn layer_entries_are_budgeted_too() {
+        let spec = spikegen::dvs_gesture();
+        let layer = &spec.layers[0];
+        let budget = CacheBudget {
+            mem_bytes: Some(1), // nothing fits: every insert evicts
+            disk_bytes: None,
+        };
+        let cache = ActivityCache::with_budget(CacheMode::Mem, &tmp_dir("layer-budget"), budget);
+        let a = cache.layer(layer, layer.shape, 32, 77);
+        let b = cache.layer(layer, layer.shape, 32, 77);
+        assert_eq!(a.spikes().as_ref(), b.spikes().as_ref(), "still identical");
+        assert!(cache.stats().evictions > 0, "a 1-byte budget must evict");
+        assert_accounting_exact(&cache);
+    }
+
+    #[test]
+    fn flush_resident_recovers_every_byte() {
+        let p = profile();
+        let spec = spikegen::dvs_gesture();
+        let cache = ActivityCache::new(CacheMode::Mem);
+        let _ = cache.activity(&p, 200, 48, 11);
+        let _ = cache.layer(&spec.layers[0], spec.layers[0].shape, 32, 5);
+        assert!(cache.resident_bytes() > 0);
+        assert_accounting_exact(&cache);
+        cache.flush_resident();
+        assert_eq!(cache.resident_bytes(), 0, "flush frees every byte");
+        assert_eq!(cache.recounted_bytes(), 0);
+        assert!(cache.stats().evictions >= 2);
+        // Flushed entries regenerate bit-identically.
+        let again = cache.activity(&p, 200, 48, 11);
+        assert_eq!(*again, p.generate(200, 48, 11));
+        assert_accounting_exact(&cache);
+    }
+
+    #[test]
+    fn disk_budget_sweeps_oldest_entries_first() {
+        let p = profile();
+        let dir = tmp_dir("disk-budget");
+        let probe = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let _ = probe.activity(&p, 300, 64, 0);
+        let entry_size = std::fs::metadata(probe.entry_path(&ActivityKey::new(&p, 300, 64, 0)))
+            .unwrap()
+            .len();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let budget = CacheBudget {
+            mem_bytes: None,
+            disk_bytes: Some(entry_size * 5 / 2),
+        };
+        let cache = ActivityCache::with_budget(CacheMode::Disk, &dir, budget);
+        for seed in 0..4u64 {
+            let _ = cache.activity(&p, 300, 64, seed);
+            // Distinct mtimes so oldest-first ordering is deterministic.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let s = cache.stats();
+        assert!(
+            s.disk_bytes <= entry_size * 5 / 2,
+            "directory stays under budget (got {} > {})",
+            s.disk_bytes,
+            entry_size * 5 / 2
+        );
+        assert!(s.disk_evictions >= 2, "oldest entries were swept");
+        // The newest entry always survives its own store.
+        assert!(cache.entry_path(&ActivityKey::new(&p, 300, 64, 3)).exists());
+        assert!(!cache.entry_path(&ActivityKey::new(&p, 300, 64, 0)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_deleted_on_sight_but_collisions_kept() {
+        let p = profile();
+        let dir = tmp_dir("corrupt-gc");
+        let cache = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let key = ActivityKey::new(&p, 40, 33, 9);
+        let good = cache.activity(&p, 40, 33, 9);
+
+        // Structural garbage: deleted the moment a load sees it.
+        std::fs::write(cache.entry_path(&key), b"garbage").unwrap();
+        let fresh = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let _ = fresh.activity(&p, 40, 33, 9);
+        assert!(fresh.stats().disk_evictions >= 1, "corrupt file deleted");
+
+        // A wrong-key (digest-collision-shaped) entry is *not* deleted:
+        // it may be another key's valid data.
+        let other_key = ActivityKey::new(&p, 40, 33, 10);
+        std::fs::write(cache.entry_path(&key), encode_entry(&other_key, &good)).unwrap();
+        let fresh2 = ActivityCache::with_dir(CacheMode::Disk, &dir);
+        let got = fresh2.activity(&p, 40, 33, 9);
+        assert_eq!(*got, *good, "regenerates around the collision");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_env_parsing_accepts_suffixes_and_rejects_junk() {
+        // parse_bytes_env reads real env vars; use unique names.
+        std::env::set_var("PTB_TEST_BUDGET_A", "4096");
+        std::env::set_var("PTB_TEST_BUDGET_B", "64k");
+        std::env::set_var("PTB_TEST_BUDGET_C", "2M");
+        std::env::set_var("PTB_TEST_BUDGET_D", "1g");
+        std::env::set_var("PTB_TEST_BUDGET_E", "0");
+        std::env::set_var("PTB_TEST_BUDGET_F", "lots");
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_A"), Some(4096));
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_B"), Some(64 << 10));
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_C"), Some(2 << 20));
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_D"), Some(1 << 30));
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_E"), None, "0 = unlimited");
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_F"), None, "junk warns");
+        assert_eq!(parse_bytes_env("PTB_TEST_BUDGET_UNSET"), None);
+        for v in ["A", "B", "C", "D", "E", "F"] {
+            std::env::remove_var(format!("PTB_TEST_BUDGET_{v}"));
+        }
     }
 
     #[test]

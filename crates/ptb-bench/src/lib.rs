@@ -13,7 +13,7 @@ pub mod harness;
 pub mod plot;
 pub mod sync;
 
-pub use cache::{ActivityCache, ActivityKey, CacheMode, CacheStats};
+pub use cache::{ActivityCache, ActivityKey, CacheBudget, CacheMode, CacheStats};
 pub use harness::{
     merge_shards, run_network, run_network_cached, run_network_verified, run_network_with,
     shard_identity_bytes, shard_key, sweep_point, sweep_point_verified, sweep_summary,

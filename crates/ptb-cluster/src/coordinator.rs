@@ -680,7 +680,8 @@ fn handle_metrics(shared: &Shared) -> Response {
     };
     Response::json(format!(
         "{{\"shards_dispatched\": {}, \"shards_reclaimed\": {}, \"worker_deaths\": {}, \
-         \"probe_failures\": {}, \"dispatch_failures\": {}, \"proxied_simulate\": {}, \
+         \"probe_failures\": {}, \"dispatch_failures\": {}, \"backpressure_redispatch\": {}, \
+         \"proxied_simulate\": {}, \
          \"workers\": [{}], \"journal\": {}, \
          \"endpoints\": {{\"simulate\": {}, \"sweep\": {}, \"jobs\": {}, \"admin\": {}}}}}",
         m.shards_dispatched.load(Ordering::Relaxed),
@@ -688,6 +689,7 @@ fn handle_metrics(shared: &Shared) -> Response {
         m.worker_deaths.load(Ordering::Relaxed),
         m.probe_failures.load(Ordering::Relaxed),
         m.dispatch_failures.load(Ordering::Relaxed),
+        m.backpressure_redispatch.load(Ordering::Relaxed),
         m.proxied_simulate.load(Ordering::Relaxed),
         workers.join(", "),
         journal,
@@ -729,7 +731,15 @@ struct BoardState {
     unclaimed: VecDeque<usize>,
     attempts: Vec<u32>,
     last: Vec<Option<usize>>,
+    /// Consecutive backpressure (503) bounces per shard. At
+    /// [`ROAM_AFTER_BUSY`] the shard "roams": any live worker may claim
+    /// it, not just its ring owner — otherwise a single saturated owner
+    /// could bounce its shards forever and the sweep would never end.
+    busy: Vec<u32>,
 }
+
+/// Backpressure bounces before a shard opens up to non-owner workers.
+const ROAM_AFTER_BUSY: u32 = 3;
 
 impl Board {
     /// `pending` seeds the queue (everything for a fresh job, the
@@ -742,17 +752,23 @@ impl Board {
                 unclaimed: pending.into(),
                 attempts: vec![0; total],
                 last,
+                busy: vec![0; total],
             }),
             cv: Condvar::new(),
         }
     }
 
     /// Claims the first unclaimed shard that `owns` says belongs to
-    /// worker `me`. Returns the shard index and whether this claim is a
-    /// reclaim (a different worker tried it before).
+    /// worker `me` — or any shard that has roamed free of its owner
+    /// after repeated backpressure. Returns the shard index and whether
+    /// this claim is a reclaim (a different worker tried it before).
     fn claim_for(&self, me: usize, owns: impl Fn(usize) -> bool) -> Option<(usize, bool)> {
         let mut s = lock_recover(&self.state);
-        let pos = s.unclaimed.iter().position(|&i| owns(i))?;
+        let busy = &s.busy;
+        let pos = s
+            .unclaimed
+            .iter()
+            .position(|&i| owns(i) || busy[i] >= ROAM_AFTER_BUSY)?;
         let index = s.unclaimed.remove(pos).expect("position came from iter");
         let reclaimed = s.last[index].is_some_and(|w| w != me);
         s.last[index] = Some(me);
@@ -770,6 +786,19 @@ impl Board {
         drop(s);
         self.cv.notify_all();
         attempts
+    }
+
+    /// Returns a backpressured shard to the queue *without* counting
+    /// the claim as an attempt: a 503 is the worker managing load, and
+    /// a saturated-but-healthy worker must never push a shard toward
+    /// [`MAX_SHARD_ATTEMPTS`] no matter how long saturation lasts.
+    fn release_backpressured(&self, index: usize) {
+        let mut s = lock_recover(&self.state);
+        s.attempts[index] = s.attempts[index].saturating_sub(1);
+        s.busy[index] = s.busy[index].saturating_add(1);
+        s.unclaimed.push_front(index);
+        drop(s);
+        self.cv.notify_all();
     }
 
     /// Wakes every dispatcher blocked in [`Board::wait_brief`].
@@ -833,6 +862,11 @@ enum DispatchError {
     /// wrong row. An answering worker is *alive*, so this carries no
     /// health penalty — only retry with backoff (possibly elsewhere).
     Bad(String),
+    /// The worker answered 503: its admission control is shedding load.
+    /// That is the protocol *working*, not a fault — the shard is
+    /// re-queued without burning an attempt, the worker keeps its
+    /// liveness, and the dispatcher backs off before retrying.
+    Busy,
 }
 
 impl std::fmt::Display for DispatchError {
@@ -840,6 +874,7 @@ impl std::fmt::Display for DispatchError {
         match self {
             DispatchError::Io(e) => write!(f, "transport error: {e}"),
             DispatchError::Bad(s) => f.write_str(s),
+            DispatchError::Busy => f.write_str("worker busy (503 backpressure)"),
         }
     }
 }
@@ -914,6 +949,21 @@ fn dispatcher_loop(shared: &Arc<Shared>, dispatch: &Dispatch, me: usize) {
                 dispatch.job.complete_shard(index, row);
                 dispatch.board.notify();
                 backoff = policy.base;
+            }
+            Err(DispatchError::Busy) => {
+                // Backpressure, not failure: the worker answered, so it
+                // is alive; its admission control shed the shard to
+                // protect itself. Re-queue without burning an attempt,
+                // keep the (still healthy) connection, and back off so
+                // the retry lands after the worker has drained.
+                shared
+                    .metrics
+                    .backpressure_redispatch
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.fleet.mark_success(me);
+                dispatch.board.release_backpressured(index);
+                backoff = policy.next_sleep(backoff, &mut rng);
+                thread::sleep(backoff);
             }
             Err(err) => {
                 shared
@@ -1007,21 +1057,24 @@ fn shard_request_body(dispatch: &Dispatch, tw: u32) -> Vec<u8> {
 
 /// Validates one worker response down to the row: correct status,
 /// well-formed `KIND_ROWS` frame, exactly one row, at the requested TW.
-/// Anything else is [`DispatchError::Bad`] — the shard is re-queued but
-/// the worker's health is untouched, because garbage proves liveness.
-/// Failpoint `cluster_dispatch` injects faults here.
+/// A 503 is [`DispatchError::Busy`] (admission backpressure — re-queue
+/// with no attempt burned); anything else is [`DispatchError::Bad`] —
+/// the shard is re-queued but the worker's health is untouched, because
+/// garbage proves liveness. Failpoint `cluster_dispatch` injects faults
+/// here.
 fn parse_shard_response(body: &[u8], status: u16, tw: u32) -> Result<SweepRow, DispatchError> {
     if ptb_bench::failpoint!("cluster_dispatch").is_err() {
         return Err(DispatchError::Bad(
             "injected fault (cluster_dispatch)".into(),
         ));
     }
+    if status == 503 {
+        return Err(DispatchError::Busy);
+    }
     if status != 200 {
-        return Err(DispatchError::Bad(if status == 503 {
-            "worker busy (503)".into()
-        } else {
-            format!("worker answered status {status}")
-        }));
+        return Err(DispatchError::Bad(format!(
+            "worker answered status {status}"
+        )));
     }
     let (kind, value) = wire::unframe(body)
         .map_err(|e| DispatchError::Bad(format!("garbage response frame: {e}")))?;
@@ -1189,6 +1242,55 @@ mod tests {
             "released shard re-claims first, by a new worker: a reclaim"
         );
         assert_eq!(board.release(again), 2);
+    }
+
+    #[test]
+    fn backpressured_releases_never_burn_attempts() {
+        let board = Board::new(vec![0], 1, vec![None]);
+        // A worker can bounce off a saturated peer forever without the
+        // shard ever approaching MAX_SHARD_ATTEMPTS.
+        for _ in 0..(MAX_SHARD_ATTEMPTS * 4) {
+            let (index, _) = board.claim_for(0, |_| true).unwrap();
+            board.release_backpressured(index);
+        }
+        let (index, _) = board.claim_for(0, |_| true).unwrap();
+        assert_eq!(
+            board.release(index),
+            1,
+            "after any number of backpressure bounces, a real failure \
+             still counts as the first attempt"
+        );
+    }
+
+    #[test]
+    fn persistently_backpressured_shards_roam_to_other_workers() {
+        let board = Board::new(vec![0], 1, vec![None]);
+        let stranger = |_: usize| false;
+        for bounce in 0..ROAM_AFTER_BUSY {
+            assert!(
+                board.claim_for(1, stranger).is_none(),
+                "shard still pinned to its owner after {bounce} bounces"
+            );
+            let (index, _) = board.claim_for(0, |_| true).unwrap();
+            board.release_backpressured(index);
+        }
+        let (index, reclaimed) = board.claim_for(1, stranger).unwrap();
+        assert_eq!(
+            (index, reclaimed),
+            (0, true),
+            "roaming shard claimed elsewhere"
+        );
+    }
+
+    #[test]
+    fn a_503_parses_as_busy_not_bad() {
+        let err = parse_shard_response(b"", 503, 4).unwrap_err();
+        assert!(matches!(err, DispatchError::Busy), "503 is backpressure");
+        let err = parse_shard_response(b"", 500, 4).unwrap_err();
+        assert!(
+            matches!(err, DispatchError::Bad(_)),
+            "other bad statuses still classify as Bad"
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct ClusterMetrics {
     /// Dispatch attempts that failed (I/O error, bad status, or a
     /// garbage/injected response) and were retried or rerouted.
     pub dispatch_failures: AtomicU64,
+    /// Shards a worker answered 503 (admission shed) for and that were
+    /// re-queued with backoff. Backpressure is load management, not
+    /// failure: these never count toward `dispatch_failures`, never
+    /// burn a shard attempt, and never mark the worker dead.
+    pub backpressure_redispatch: AtomicU64,
     /// `/simulate` requests proxied to a worker.
     pub proxied_simulate: AtomicU64,
     /// `/sweep` endpoint counters.
@@ -58,6 +63,7 @@ impl ClusterMetrics {
             worker_deaths: AtomicU64::new(0),
             probe_failures: AtomicU64::new(0),
             dispatch_failures: AtomicU64::new(0),
+            backpressure_redispatch: AtomicU64::new(0),
             proxied_simulate: AtomicU64::new(0),
             sweep: EndpointMetrics::default(),
             simulate: EndpointMetrics::default(),

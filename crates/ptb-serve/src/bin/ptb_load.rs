@@ -8,6 +8,8 @@
 //! ptb-load --addr HOST:PORT --submit-tws 1,4,8      # background job, prints the ack
 //! ptb-load --addr HOST:PORT --poll-job ID           # poll to terminal state
 //! ptb-load --cluster N [--cluster-kill]             # self-contained fleet smoke
+//! ptb-load --cluster N --cluster-saturate           # backpressure chaos: one worker sheds
+//! ptb-load --soak SECS                              # budget-starved governance soak
 //! ptb-load --addr HOST:PORT [--requests N] [--concurrency C]
 //!          [--network NAME] [--policy LABEL] [--tw N]
 //!          [--codec json|bin] [--keepalive]
@@ -64,6 +66,17 @@
 //! flight) and demands the reclaimed sweep still match a lone
 //! survivor's rows exactly. Both print a one-line JSON summary with
 //! wall time and shard throughput; the CI cluster stage runs both.
+//!
+//! `--cluster-saturate` instead strangles worker 0's admission
+//! watermark (`PTB_MEM_WATERMARK_BYTES=1`) so it sheds every shard
+//! with 503 while staying probe-green, and demands the sweep complete
+//! byte-identically via backpressure re-dispatch with **zero**
+//! `worker_deaths` — a saturated worker is never falsely declared
+//! dead. `--soak SECS` spawns a single budget-starved daemon and
+//! drives bursty unique-seed load at it; see `run_soak` for the
+//! assertions (evictions and sheds happened, nothing but 503s failed,
+//! disk footprints stayed within budget, expired jobs answer the
+//! "gone" 404, and results stay bit-identical to an unbudgeted run).
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -99,10 +112,20 @@ struct LoadConfig {
     label: String,
     cluster: Option<usize>,
     cluster_kill: bool,
+    cluster_saturate: bool,
+    soak: Option<u64>,
 }
 
 fn main() {
     let cfg = parse_args();
+    if let Some(secs) = cfg.soak {
+        if let Err(msg) = run_soak(&cfg, secs) {
+            eprintln!("soak FAILED: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("soak OK");
+        return;
+    }
     if let Some(n) = cfg.cluster {
         if let Err(msg) = run_cluster(&cfg, n) {
             eprintln!("cluster FAILED: {msg}");
@@ -175,6 +198,8 @@ fn parse_args() -> LoadConfig {
         label: String::new(),
         cluster: None,
         cluster_kill: false,
+        cluster_saturate: false,
+        soak: None,
     };
     if let Ok(addr) = std::env::var("PTB_ADDR") {
         cfg.addr = resolve_or_die(&addr);
@@ -241,11 +266,16 @@ fn parse_args() -> LoadConfig {
                 cfg.cluster = Some(parse_or_die(&value("--cluster"), "--cluster").clamp(1, 16));
             }
             "--cluster-kill" => cfg.cluster_kill = true,
+            "--cluster-saturate" => cfg.cluster_saturate = true,
+            "--soak" => {
+                cfg.soak = Some(parse_or_die(&value("--soak"), "--soak").clamp(1, 600) as u64);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ptb-load [--addr HOST:PORT] (--smoke | --xcheck | --shutdown | \
                      --submit-tws N,N,... | --poll-job ID | \
-                     --cluster N [--cluster-kill] | \
+                     --cluster N [--cluster-kill | --cluster-saturate] | \
+                     --soak SECS | \
                      [--requests N] [--concurrency C] [--network NAME] [--policy LABEL] \
                      [--tw N] [--codec json|bin] [--keepalive] \
                      [--seed-mode unique|fixed] [--full] [--retries N] \
@@ -837,14 +867,17 @@ fn spawn_daemon(
 /// demand byte identity with a single direct worker. With
 /// `--cluster-kill`, SIGKILL one worker mid-sweep first.
 fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
-    // A kill needs a survivor to reclaim onto.
-    let n = if cfg.cluster_kill { n.max(2) } else { n };
-    let binary = std::env::current_exe()
-        .map_err(|e| format!("current_exe: {e}"))?
-        .parent()
-        .map(|dir| dir.join("ptb-clusterd"))
-        .filter(|p| p.exists())
-        .ok_or("ptb-clusterd not found next to ptb-load (build the ptb-cluster crate)")?;
+    if cfg.cluster_kill && cfg.cluster_saturate {
+        return Err("pick one of --cluster-kill / --cluster-saturate".into());
+    }
+    // A kill needs a survivor to reclaim onto; so does a saturated
+    // worker's backpressured shard.
+    let n = if cfg.cluster_kill || cfg.cluster_saturate {
+        n.max(2)
+    } else {
+        n
+    };
+    let binary = clusterd_binary()?;
 
     // Workers first. Under --cluster-kill every shard dawdles at the
     // `shard_exec` failpoint so the kill reliably lands mid-shard.
@@ -856,6 +889,13 @@ fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
     };
     let mut worker_addrs = Vec::with_capacity(n);
     for tag in 0..n {
+        let mut envs = worker_envs.clone();
+        if cfg.cluster_saturate && tag == 0 {
+            // Strangle worker 0's admission watermark: after its first
+            // cached tensor it sheds every heavy request with 503 while
+            // /healthz stays green — saturated, but emphatically alive.
+            envs.push(("PTB_MEM_WATERMARK_BYTES", "1".into()));
+        }
         let (child, addr) = spawn_daemon(
             &binary,
             &[
@@ -867,7 +907,7 @@ fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
                 "--workers",
                 "2",
             ],
-            &worker_envs,
+            &envs,
             tag,
         )?;
         fleet.children.push(child);
@@ -901,9 +941,27 @@ fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
 
     let tws: Vec<u32> = if cfg.cluster_kill {
         (1..=24).collect()
+    } else if cfg.cluster_saturate {
+        // Enough shards that worker 0 owns some with near certainty,
+        // so backpressure re-dispatch demonstrably happens.
+        (1..=16).collect()
     } else {
         vec![1, 2, 4, 8, 16, 32]
     };
+    if cfg.cluster_saturate {
+        // Prime worker 0's cache so its 1-byte watermark is already
+        // exceeded when the sweep's shards arrive.
+        let (status, body) = client::request_json(
+            worker_addrs[0],
+            "POST",
+            "/simulate",
+            &simulate_body(cfg, 4242),
+        )
+        .map_err(|e| format!("priming /simulate: {e}"))?;
+        if status != 200 {
+            return Err(format!("priming /simulate answered {status}: {body}"));
+        }
+    }
     let sweep = format!(
         "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": {tws:?}, \
          \"quick\": true, \"seed\": 42}}",
@@ -924,8 +982,14 @@ fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
     let wall = started.elapsed().as_secs_f64();
 
     // The reference: the same sweep on ONE worker daemon, no cluster.
-    // After a kill that worker must be a survivor.
-    let survivor = worker_addrs[if victim == Some(0) { 1 % n } else { 0 }];
+    // After a kill that worker must be a survivor; under saturation it
+    // must be an unthrottled worker (worker 0 sheds direct sweeps too).
+    let reference = if cfg.cluster_saturate || victim == Some(0) {
+        1 % n
+    } else {
+        0
+    };
+    let survivor = worker_addrs[reference];
     let (status, direct) = client::request_json(survivor, "POST", "/sweep", &sweep)
         .map_err(|e| format!("direct /sweep: {e}"))?;
     if status != 200 {
@@ -947,17 +1011,62 @@ fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
         ));
     }
 
+    if cfg.cluster_saturate {
+        // The whole point: a worker that shed every shard with 503 must
+        // never have been declared dead, and the shards it bounced must
+        // show up as backpressure re-dispatches, not failures.
+        let (status, metrics) = client::request_json(addr, "GET", "/metrics", "")
+            .map_err(|e| format!("coordinator /metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("coordinator /metrics answered {status}"));
+        }
+        let parsed: Value =
+            serde_json::from_str(&metrics).map_err(|e| format!("bad /metrics: {e}"))?;
+        let deaths = parsed
+            .get("worker_deaths")
+            .and_then(Value::as_u64)
+            .unwrap_or(u64::MAX);
+        if deaths != 0 {
+            return Err(format!(
+                "saturated worker was falsely declared dead ({deaths} deaths): {metrics}"
+            ));
+        }
+        let redispatch = parsed
+            .get("backpressure_redispatch")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if redispatch == 0 {
+            return Err(format!(
+                "saturation never produced a backpressure re-dispatch: {metrics}"
+            ));
+        }
+    }
+
     let _ = client::request_json(addr, "POST", "/shutdown", "");
     println!(
         "{{\"label\": \"{}\", \"mode\": \"cluster\", \"workers\": {n}, \
-         \"kill\": {}, \"shards\": {}, \"wall_s\": {wall:.3}, \
+         \"kill\": {}, \"saturate\": {}, \"shards\": {}, \"wall_s\": {wall:.3}, \
          \"shards_per_s\": {:.3}, \"bit_identical\": true}}",
         cfg.label,
         cfg.cluster_kill,
+        cfg.cluster_saturate,
         tws.len(),
         tws.len() as f64 / wall.max(1e-9),
     );
     Ok(())
+}
+
+/// The sibling `ptb-clusterd` binary (same target directory), which
+/// both the fleet modes and `--soak` spawn daemons through.
+fn clusterd_binary() -> Result<PathBuf, String> {
+    std::env::current_exe()
+        .map_err(|e| format!("current_exe: {e}"))?
+        .parent()
+        .map(|dir| dir.join("ptb-clusterd"))
+        .filter(|p| p.exists())
+        .ok_or_else(|| {
+            "ptb-clusterd not found next to ptb-load (build the ptb-cluster crate)".into()
+        })
 }
 
 /// The `--cluster-kill` sweep: submit in the background, SIGKILL the
@@ -1040,4 +1149,321 @@ fn run_cluster_kill(
         }
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// A numeric counter out of a parsed `/metrics` body (0 when absent).
+fn metric_u64(parsed: &Value, key: &str) -> u64 {
+    parsed.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// One `/metrics` fetch, parsed.
+fn fetch_metrics(addr: SocketAddr) -> Result<Value, String> {
+    let (status, body) =
+        client::request_json(addr, "GET", "/metrics", "").map_err(|e| format!("/metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("/metrics answered {status}: {body}"));
+    }
+    serde_json::from_str(&body).map_err(|e| format!("bad /metrics: {e}: {body}"))
+}
+
+/// `--soak SECS`: the resource-governance soak. Spawns a worker daemon
+/// strangled by tiny budgets (64 KiB memory cache, 256 KiB disk cache,
+/// a 4-deep queue, 1-second job retention) and drives bursty
+/// unique-seed traffic at it for `SECS` seconds, so the working set
+/// dwarfs every budget. The run exits nonzero unless governance
+/// demonstrably engaged without breaking anything:
+///
+/// - progress happened (`ok > 0`) and the ONLY tolerated per-request
+///   failure is a 503 shed — any other status or transport error fails
+///   the soak,
+/// - `/metrics` shows `cache_evictions > 0`, `admission_shed > 0`, and
+///   `audit_mismatches == 0`,
+/// - the disk cache directory ends within its byte budget (plus one
+///   in-flight temp file of slack),
+/// - the up-front background job finishes, then *expires*: its journal
+///   file is GC'd and its poll answers the documented `"gone"` 404,
+/// - a final `/sweep` is byte-identical to an unbudgeted daemon's.
+fn run_soak(cfg: &LoadConfig, secs: u64) -> Result<(), String> {
+    const MEM_BUDGET: u64 = 64 * 1024;
+    const DISK_BUDGET: u64 = 256 * 1024;
+    const JOB_DIR_BUDGET: u64 = 64 * 1024;
+    const SOAK_THREADS: usize = 8;
+    let binary = clusterd_binary()?;
+    let scratch = std::env::temp_dir().join(format!("ptb-soak-{}", std::process::id()));
+    let cache_dir = scratch.join("cache");
+    let job_dir = scratch.join("jobs");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut fleet = FleetProcs { children: vec![] };
+    let envs: Vec<(&str, String)> = vec![
+        ("PTB_CACHE", "disk".into()),
+        ("PTB_CACHE_DIR", cache_dir.display().to_string()),
+        ("PTB_CACHE_MEM_BYTES", MEM_BUDGET.to_string()),
+        ("PTB_CACHE_DISK_BYTES", DISK_BUDGET.to_string()),
+        ("PTB_QUEUE_CAP", "4".into()),
+        ("PTB_JOB_RETAIN", "1".into()),
+        ("PTB_JOB_DIR_BYTES", JOB_DIR_BUDGET.to_string()),
+    ];
+    let job_dir_arg = job_dir.display().to_string();
+    let (child, addr) = spawn_daemon(
+        &binary,
+        &[
+            "--spawn-worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--job-dir",
+            &job_dir_arg,
+            "--workers",
+            "2",
+        ],
+        &envs,
+        0,
+    )?;
+    fleet.children.push(child);
+
+    // A background job up front: it must finish now and EXPIRE later.
+    let background = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": [1, 2], \
+         \"quick\": true, \"seed\": 7, \"background\": true}}",
+        cfg.network, cfg.policy
+    );
+    let (status, ack) = client::request_json(addr, "POST", "/sweep", &background)
+        .map_err(|e| format!("background /sweep: {e}"))?;
+    if status != 202 {
+        return Err(format!("background /sweep answered {status}: {ack}"));
+    }
+    let ack: Value = serde_json::from_str(&ack).map_err(|e| format!("bad ack: {e}: {ack}"))?;
+    let job_id = ack
+        .get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "ack has no job id".to_string())?;
+    let poll_path = format!("/jobs/{job_id}");
+    let poll_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = client::request_json(addr, "GET", &poll_path, "")
+            .map_err(|e| format!("poll {poll_path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("poll answered {status}: {body}"));
+        }
+        if body.contains("\"failed\": true") {
+            return Err(format!("background job failed: {body}"));
+        }
+        if body.contains("\"done\": true") {
+            break;
+        }
+        if Instant::now() >= poll_deadline {
+            return Err("background job never finished".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The soak itself: SOAK_THREADS closed loops of unique-seed
+    // /simulate (every 16th a sync /sweep), far outrunning a 4-deep
+    // queue with 2 workers, so admission control must engage.
+    let ok = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    let hard_error: Mutex<Option<String>> = Mutex::new(None);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    std::thread::scope(|s| {
+        for worker in 0..SOAK_THREADS {
+            let ok = &ok;
+            let sheds = &sheds;
+            let hard_error = &hard_error;
+            s.spawn(move || {
+                let mut i: u64 = 0;
+                while Instant::now() < deadline {
+                    i += 1;
+                    let seed = 1_000_000 * (worker as u64 + 1) + i;
+                    let (path, body) = if i.is_multiple_of(16) {
+                        (
+                            "/sweep",
+                            format!(
+                                "{{\"network\": \"{}\", \"policy\": \"{}\", \
+                                 \"tws\": [1, {}], \"quick\": true, \"seed\": {seed}}}",
+                                cfg.network, cfg.policy, cfg.tw
+                            ),
+                        )
+                    } else {
+                        ("/simulate", simulate_body(cfg, seed))
+                    };
+                    match client::request_json(addr, "POST", path, &body) {
+                        Ok((200, _)) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((503, _)) => {
+                            // The one tolerated failure: governance
+                            // shedding load. Back off briefly.
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Ok((status, body)) => {
+                            let mut slot = hard_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            slot.get_or_insert(format!("{path} answered {status}: {body}"));
+                            return;
+                        }
+                        Err(e) => {
+                            let mut slot = hard_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            slot.get_or_insert(format!("{path} transport error: {e}"));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(err) = hard_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(format!("non-503 failure under soak: {err}"));
+    }
+    let ok = ok.load(Ordering::Relaxed);
+    if ok == 0 {
+        return Err("soak made no progress: every request was shed".into());
+    }
+
+    // Governance must have ENGAGED, not just not-crashed.
+    let parsed = fetch_metrics(addr)?;
+    if metric_u64(&parsed, "audit_mismatches") != 0 {
+        return Err(format!("audit mismatches under soak: {parsed:?}"));
+    }
+    if metric_u64(&parsed, "cache_evictions") == 0 {
+        return Err("budgets never forced a cache eviction".into());
+    }
+    let mut shed_count = metric_u64(&parsed, "admission_shed");
+    if shed_count == 0 {
+        // Bursts may have all landed in queue gaps; force the issue
+        // with a few more concurrent waves before giving up.
+        for _ in 0..30 {
+            std::thread::scope(|s| {
+                for worker in 0..SOAK_THREADS {
+                    s.spawn(move || {
+                        let seed = 77_000_000 + worker as u64;
+                        let body = simulate_body(cfg, seed);
+                        let _ = client::request_json(addr, "POST", "/simulate", &body);
+                    });
+                }
+            });
+            shed_count = metric_u64(&fetch_metrics(addr)?, "admission_shed");
+            if shed_count > 0 {
+                break;
+            }
+        }
+        if shed_count == 0 {
+            return Err("admission control never shed a request".into());
+        }
+    }
+
+    // Footprints stay bounded: the disk cache within its budget (plus
+    // one in-flight temp file of slack), the journal dir within its.
+    let dir_total = |dir: &PathBuf| -> u64 {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter_map(|e| e.metadata().ok())
+                    .filter(|m| m.is_file())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+    let cache_total = dir_total(&cache_dir);
+    if cache_total > DISK_BUDGET + 64 * 1024 {
+        return Err(format!(
+            "disk cache overran its budget: {cache_total} bytes on disk, budget {DISK_BUDGET}"
+        ));
+    }
+    let job_total = dir_total(&job_dir);
+    if job_total > JOB_DIR_BUDGET {
+        return Err(format!(
+            "journal dir overran its budget: {job_total} bytes, budget {JOB_DIR_BUDGET}"
+        ));
+    }
+
+    // Retention: the long-finished background job must expire — journal
+    // reaped, poll answering the documented "gone" 404.
+    let gone_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = client::request_json(addr, "GET", &poll_path, "")
+            .map_err(|e| format!("expiry poll: {e}"))?;
+        if status == 404 && body.contains("\"gone\": true") {
+            break;
+        }
+        if Instant::now() >= gone_deadline {
+            return Err(format!(
+                "job {job_id} never expired: still answering {status}: {body}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let journal_file = job_dir.join(format!("job-{job_id:x}.ptbj"));
+    if journal_file.exists() {
+        return Err(format!(
+            "expired job's journal survived GC: {}",
+            journal_file.display()
+        ));
+    }
+
+    // Finally: budgets may cost recomputation, never correctness. The
+    // same sweep on an unbudgeted daemon must be byte-identical.
+    let (fresh, fresh_addr) = spawn_daemon(
+        &binary,
+        &[
+            "--spawn-worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--job-dir",
+            "off",
+            "--workers",
+            "2",
+        ],
+        &[],
+        1,
+    )?;
+    fleet.children.push(fresh);
+    let sweep = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": [1, {}], \
+         \"quick\": true, \"seed\": 42}}",
+        cfg.network, cfg.policy, cfg.tw
+    );
+    let soaked = loop {
+        let (status, body) = client::request_json(addr, "POST", "/sweep", &sweep)
+            .map_err(|e| format!("soaked /sweep: {e}"))?;
+        match status {
+            200 => break body,
+            503 => std::thread::sleep(Duration::from_millis(50)),
+            _ => return Err(format!("soaked /sweep answered {status}: {body}")),
+        }
+    };
+    let (status, pristine) = client::request_json(fresh_addr, "POST", "/sweep", &sweep)
+        .map_err(|e| format!("pristine /sweep: {e}"))?;
+    if status != 200 {
+        return Err(format!("pristine /sweep answered {status}: {pristine}"));
+    }
+    if soaked != pristine {
+        return Err(format!(
+            "budgeted sweep diverged from the unbudgeted reference\n  soaked:   {soaked}\n  \
+             pristine: {pristine}"
+        ));
+    }
+
+    let evictions = metric_u64(&fetch_metrics(addr)?, "cache_evictions");
+    let _ = client::request_json(addr, "POST", "/shutdown", "");
+    let _ = client::request_json(fresh_addr, "POST", "/shutdown", "");
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "{{\"label\": \"{}\", \"mode\": \"soak\", \"secs\": {secs}, \"ok\": {ok}, \
+         \"sheds_seen\": {}, \"admission_shed\": {shed_count}, \
+         \"cache_evictions\": {evictions}, \"disk_bytes\": {cache_total}, \
+         \"journal_bytes\": {job_total}, \"bit_identical\": true}}",
+        cfg.label,
+        sheds.load(Ordering::Relaxed),
+    );
+    Ok(())
 }

@@ -101,6 +101,17 @@ pub struct Engine {
     pub deadline: Option<Duration>,
     /// Default audit level for requests that don't set `verify`.
     pub verify: AuditLevel,
+    /// Admission watermark (`PTB_MEM_WATERMARK_BYTES`): when the
+    /// cache's tracked resident bytes exceed it, new heavy work is shed
+    /// with `503` + `Retry-After` instead of letting memory pressure
+    /// kill the process. `None` disables the check.
+    pub mem_watermark: Option<u64>,
+    /// Retention window for terminal jobs and their journal/quarantine
+    /// files (`PTB_JOB_RETAIN`).
+    pub job_retain: Duration,
+    /// Byte budget for the journal directory (`PTB_JOB_DIR_BYTES`);
+    /// `None` means unbounded.
+    pub job_dir_bytes: Option<u64>,
     /// Completed `/simulate` reports keyed by their full request
     /// identity (resolved spec, policy, TW, fidelity, seed). Only
     /// unaudited runs hit it: an audited request must actually re-run
@@ -428,6 +439,57 @@ impl Engine {
             }
         }
         self.jobs.bump_next_id(max_id + 1);
+    }
+
+    /// Admission control for *heavy* routes (`POST /simulate`,
+    /// `POST /sweep`): sheds with `503` + `Retry-After` when the
+    /// cache's tracked resident bytes exceed the watermark, or when the
+    /// transport reports its queue at least half full (`queue` =
+    /// `(depth, cap)`). Light routes — `/healthz`, `/metrics`,
+    /// `/jobs/{id}` polls — never call this, so monitoring and polling
+    /// ride a fast path that overload cannot starve. Returns the
+    /// outcome to serve when shedding.
+    pub fn admit_heavy(&self, queue: (usize, usize)) -> Result<(), Outcome> {
+        if let Some(watermark) = self.mem_watermark {
+            let resident = self.cache.resident_bytes();
+            if resident > watermark {
+                self.metrics.admission_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Outcome::unavailable(format!(
+                    "over memory watermark ({resident} > {watermark} resident bytes), \
+                     try again later"
+                )));
+            }
+        }
+        let (depth, cap) = queue;
+        if cap > 0 && depth >= cap.div_ceil(2) {
+            self.metrics.admission_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Outcome::unavailable(format!(
+                "work queue under pressure ({depth}/{cap}), try again later"
+            )));
+        }
+        Ok(())
+    }
+
+    /// One resource-governance pass, driven by the server's GC thread
+    /// (and callable directly by tests): expires terminal jobs past the
+    /// retention window (reclaiming registry slots and journal files),
+    /// then sweeps the journal directory for aged-out quarantine files,
+    /// stale temps, and — under `PTB_JOB_DIR_BYTES` — disk-quota
+    /// victims. Returns how many jobs expired.
+    pub fn gc(&self) -> usize {
+        let expired = self.jobs.expire_terminal(self.job_retain);
+        if let Some(journal) = &self.journal {
+            for &id in &expired {
+                journal.remove(id);
+            }
+            journal.gc(self.job_retain, self.job_dir_bytes, &|id| {
+                self.jobs.expendable(id)
+            });
+        }
+        self.metrics
+            .jobs_expired
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        expired.len()
     }
 }
 

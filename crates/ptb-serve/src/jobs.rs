@@ -36,11 +36,11 @@
 //! `journal_replay_flip` failpoint) surfaces as a typed
 //! [`AuditError::RowMismatch`] instead of silently serving stale data.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ptb_accel::audit::AuditSummary;
 use ptb_accel::config::Policy;
@@ -483,18 +483,37 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Registry of background sweep jobs, polled via `GET /jobs/{id}`.
 ///
-/// Completed jobs stay until the registry is dropped — the daemon
-/// serves a bounded experiment session, not the open internet, and a
-/// completed job's footprint is a few rows. [`MAX_JOBS`] bounds the
-/// registry against runaway clients.
+/// Terminal jobs (done or failed) are retained for a grace window and
+/// then expired by [`Self::expire_terminal`] (driven by the server's GC
+/// loop under `PTB_JOB_RETAIN`), freeing their registry slot and rows;
+/// polls after expiry get a `404` with a `gone: true` hint rather than
+/// the indistinguishable "never existed" `404`. [`MAX_JOBS`] bounds the
+/// registry against runaway clients between GC passes.
 #[derive(Debug, Default)]
 pub struct JobRegistry {
     jobs: Mutex<HashMap<u64, Arc<SweepJob>>>,
     next_id: AtomicU64,
+    /// Expiry bookkeeping: when each terminal job was first *observed*
+    /// terminal by a GC pass, and the ids already expired (so polls can
+    /// distinguish "gone" from "never existed").
+    expiry: Mutex<ExpiryState>,
+}
+
+/// See [`JobRegistry::expiry`].
+#[derive(Debug, Default)]
+struct ExpiryState {
+    terminal_seen: HashMap<u64, Instant>,
+    gone: HashSet<u64>,
 }
 
 /// Upper bound on registered background jobs.
 pub const MAX_JOBS: usize = 1024;
+
+/// Cap on remembered expired-job ids. Ids are 8 bytes, so even the cap
+/// is tiny; when it overflows, the oldest memory we have to give up is
+/// arbitrary — a forgotten id just degrades its poll from "gone" to
+/// "never existed", which is still a correct 404.
+pub const MAX_GONE_IDS: usize = 65_536;
 
 impl JobRegistry {
     /// Reserves the next job id. Callers that journal need the id
@@ -530,6 +549,82 @@ impl JobRegistry {
     /// Looks up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<SweepJob>> {
         lock_recover(&self.jobs).get(&id).cloned()
+    }
+
+    /// Number of registered jobs (live plus retained-terminal).
+    pub fn len(&self) -> usize {
+        lock_recover(&self.jobs).len()
+    }
+
+    /// Whether the registry holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One retention pass: records newly terminal jobs, then expires
+    /// every job that has been terminal for at least `retain`, returning
+    /// the expired ids (so the caller can also reclaim their journal
+    /// files). A `retain` of zero expires a terminal job on the first
+    /// pass that sees it. Running jobs are never touched.
+    ///
+    /// Terminal-ness is timed from when a pass first *observes* it, not
+    /// from the completing shard — at GC cadence the difference is one
+    /// tick, and it keeps the hot shard-completion path free of clocks.
+    pub fn expire_terminal(&self, retain: Duration) -> Vec<u64> {
+        let now = Instant::now();
+        let jobs = lock_recover(&self.jobs);
+        let mut expiry = lock_recover(&self.expiry);
+        let mut expired = Vec::new();
+        for (&id, job) in jobs.iter() {
+            if matches!(job.state(), JobState::Running) {
+                // A resumed/retried job could in principle leave a
+                // stale observation; forget it.
+                expiry.terminal_seen.remove(&id);
+                continue;
+            }
+            let seen = *expiry.terminal_seen.entry(id).or_insert(now);
+            if now.duration_since(seen) >= retain {
+                expired.push(id);
+            }
+        }
+        drop(jobs);
+        for &id in &expired {
+            expiry.terminal_seen.remove(&id);
+            if expiry.gone.len() >= MAX_GONE_IDS {
+                expiry.gone.clear(); // see MAX_GONE_IDS
+            }
+            expiry.gone.insert(id);
+        }
+        drop(expiry);
+        if !expired.is_empty() {
+            let mut jobs = lock_recover(&self.jobs);
+            for id in &expired {
+                jobs.remove(id);
+            }
+        }
+        expired
+    }
+
+    /// Whether `id` was expired by retention (vs never registered).
+    pub fn is_gone(&self, id: u64) -> bool {
+        lock_recover(&self.expiry).gone.contains(&id)
+    }
+
+    /// Whether `id`'s journal file is safe to reclaim in a disk-quota
+    /// sweep: the job was expired, or is registered and already
+    /// terminal (its rows live in memory; losing the file only costs
+    /// durability across a restart, never a running job's progress).
+    pub fn expendable(&self, id: u64) -> bool {
+        if self.is_gone(id) {
+            return true;
+        }
+        match self.get(id) {
+            Some(job) => !matches!(job.state(), JobState::Running),
+            // Unknown id: not this daemon's job to protect (a foreign
+            // file in the journal dir), but be conservative and keep it
+            // unless retention already expired it.
+            None => false,
+        }
     }
 }
 
@@ -814,5 +909,54 @@ mod tests {
         reg.bump_next_id(500);
         let c = reg.register(Arc::new(quick_job(&[4]))).unwrap();
         assert!(c >= 500, "bumped floor respected, got {c}");
+    }
+
+    #[test]
+    fn retention_expires_terminal_jobs_but_never_running_ones() {
+        let opts = RunOptions::quick();
+        let reg = JobRegistry::default();
+        let done = Arc::new(quick_job(&[1]));
+        done.run_shards(&opts.new_cache());
+        assert_eq!(done.state(), JobState::Done);
+        let done_id = reg.register(done).unwrap();
+        let running_id = reg.register(Arc::new(quick_job(&[2]))).unwrap();
+
+        // First pass only *observes* terminal state; nothing expires yet.
+        assert!(reg.expire_terminal(Duration::from_millis(50)).is_empty());
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_gone(done_id));
+        assert!(reg.expendable(done_id), "terminal job is expendable");
+        assert!(
+            !reg.expendable(running_id),
+            "running job is never expendable"
+        );
+
+        std::thread::sleep(Duration::from_millis(60));
+        let expired = reg.expire_terminal(Duration::from_millis(50));
+        assert_eq!(expired, vec![done_id]);
+        assert_eq!(reg.len(), 1, "running job survives");
+        assert!(reg.get(done_id).is_none());
+        assert!(reg.is_gone(done_id), "expired id remembered as gone");
+        assert!(reg.expendable(done_id), "gone ids stay expendable");
+        assert!(!reg.is_gone(running_id));
+
+        // An unknown id was never registered: not gone, not expendable.
+        assert!(!reg.is_gone(424242));
+        assert!(!reg.expendable(424242));
+    }
+
+    #[test]
+    fn infinite_retention_never_expires() {
+        let opts = RunOptions::quick();
+        let reg = JobRegistry::default();
+        let done = Arc::new(quick_job(&[1]));
+        done.run_shards(&opts.new_cache());
+        let id = reg.register(done).unwrap();
+        for _ in 0..3 {
+            assert!(reg
+                .expire_terminal(Duration::from_secs(u64::MAX))
+                .is_empty());
+        }
+        assert!(reg.get(id).is_some());
     }
 }

@@ -64,6 +64,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use ptb_accel::audit::AuditLevel;
 use ptb_accel::config::Policy;
@@ -77,6 +78,13 @@ use crate::api;
 /// File-format magic + version prefix. Bump the digit on any change:
 /// stale files then fail the prefix check and are quarantined.
 const JOURNAL_MAGIC: &[u8; 8] = b"PTBJNL1\n";
+
+/// Parses the job id out of a `job-<id-hex>.ptbj` file name; `None`
+/// for anything else (quarantine files, temp files, foreign files).
+fn journal_file_id(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("job-")?.strip_suffix(".ptbj")?;
+    u64::from_str_radix(hex, 16).ok()
+}
 
 /// Counter snapshot describing what the journal has done so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +105,13 @@ pub struct JournalStats {
     pub resumed_jobs: u64,
     /// Completed shard rows reloaded from disk instead of recomputed.
     pub replayed_shards: u64,
+    /// Files reclaimed by retention GC: expired job journals, aged-out
+    /// `.bad` quarantine files, stale temp files, and disk-quota
+    /// victims.
+    pub gc_removed: u64,
+    /// Last observed size of the journal directory in bytes (gauge,
+    /// refreshed by every GC pass).
+    pub dir_bytes: u64,
 }
 
 /// One job reconstructed from its journal file by [`JobJournal::replay`].
@@ -144,6 +159,8 @@ pub struct JobJournal {
     reloaded_jobs: AtomicU64,
     resumed_jobs: AtomicU64,
     replayed_shards: AtomicU64,
+    gc_removed: AtomicU64,
+    dir_bytes: AtomicU64,
 }
 
 impl JobJournal {
@@ -159,6 +176,8 @@ impl JobJournal {
             reloaded_jobs: AtomicU64::new(0),
             resumed_jobs: AtomicU64::new(0),
             replayed_shards: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
+            dir_bytes: AtomicU64::new(0),
         }
     }
 
@@ -177,11 +196,100 @@ impl JobJournal {
             reloaded_jobs: self.reloaded_jobs.load(Ordering::Relaxed),
             resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
             replayed_shards: self.replayed_shards.load(Ordering::Relaxed),
+            gc_removed: self.gc_removed.load(Ordering::Relaxed),
+            dir_bytes: self.dir_bytes.load(Ordering::Relaxed),
         }
     }
 
     fn path(&self, id: u64) -> PathBuf {
         self.dir.join(format!("job-{id:016x}.ptbj"))
+    }
+
+    /// Deletes job `id`'s journal file (called when retention expires
+    /// the job). Best-effort: a missing file is fine.
+    pub fn remove(&self, id: u64) {
+        if std::fs::remove_file(self.path(id)).is_ok() {
+            self.gc_removed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Last observed journal-directory size in bytes (refreshed by
+    /// every [`Self::gc`] pass).
+    pub fn dir_bytes(&self) -> u64 {
+        self.dir_bytes.load(Ordering::Relaxed)
+    }
+
+    /// One retention-GC pass over the journal directory:
+    ///
+    /// * `.bad` quarantine files older than `retain` are deleted — a
+    ///   bit-flipping disk quarantines on every replay, and nothing
+    ///   ever reads a `.bad` file back, so they must age out.
+    /// * Stale temp files (crashed rewrites, older than a minute) are
+    ///   deleted.
+    /// * When `budget` is set and the directory still exceeds it, job
+    ///   journals whose id the caller declares `expendable` (expired or
+    ///   terminal — never a running job's) are deleted oldest-first,
+    ///   then remaining `.bad` files regardless of age.
+    ///
+    /// Refreshes the [`Self::dir_bytes`] gauge. Everything is
+    /// best-effort: GC losing a race with a writer just means the next
+    /// pass picks it up.
+    pub fn gc(&self, retain: Duration, budget: Option<u64>, expendable: &dyn Fn(u64) -> bool) {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let now = std::time::SystemTime::now();
+        let mut total = 0u64;
+        // (path, len, mtime, victim priority): 0 = expendable journal,
+        // 1 = young .bad file — only sacrificed to the byte budget.
+        let mut victims: Vec<(PathBuf, u64, std::time::SystemTime, u8)> = Vec::new();
+        for item in read.flatten() {
+            let path = item.path();
+            let name = item.file_name();
+            let name = name.to_string_lossy().into_owned();
+            let Ok(meta) = item.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(now);
+            let age = now.duration_since(mtime).unwrap_or_default();
+            if name.contains(".tmp.") {
+                if age.as_secs() >= 60 && std::fs::remove_file(&path).is_ok() {
+                    self.gc_removed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                total += meta.len();
+                continue;
+            }
+            if name.ends_with(".bad") {
+                if age >= retain && std::fs::remove_file(&path).is_ok() {
+                    self.gc_removed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                total += meta.len();
+                victims.push((path, meta.len(), mtime, 1));
+                continue;
+            }
+            total += meta.len();
+            if let Some(id) = journal_file_id(&name) {
+                if expendable(id) {
+                    victims.push((path, meta.len(), mtime, 0));
+                }
+            }
+        }
+        if let Some(budget) = budget {
+            victims.sort_by_key(|(_, _, mtime, prio)| (*prio, *mtime));
+            for (path, len, _, _) in victims {
+                if total <= budget {
+                    break;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    total -= len;
+                    self.gc_removed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.dir_bytes.store(total, Ordering::Relaxed);
     }
 
     /// Journals a job submission, creating (or truncating) its file.
@@ -704,5 +812,89 @@ mod tests {
         assert!(!jobs[0].done, "done without full rows must resume");
         assert_eq!(jobs[0].shards.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_journal(journal: &JobJournal, id: u64) {
+        journal.log_submit(
+            id,
+            &spikegen::dvs_gesture(),
+            Policy::ptb(),
+            &[1],
+            true,
+            id,
+            AuditLevel::Off,
+        );
+        journal.log_done(id);
+    }
+
+    #[test]
+    fn remove_deletes_one_journal_and_counts_it() {
+        let dir = tmp_dir("remove");
+        let journal = JobJournal::new(&dir);
+        write_journal(&journal, 7);
+        write_journal(&journal, 8);
+        assert!(journal.path(7).exists());
+        journal.remove(7);
+        assert!(!journal.path(7).exists());
+        assert!(journal.path(8).exists(), "other journals untouched");
+        assert_eq!(journal.stats().gc_removed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_reaps_old_bad_files_but_keeps_young_ones() {
+        let dir = tmp_dir("gc-bad");
+        let journal = JobJournal::new(&dir);
+        write_journal(&journal, 1);
+        let bad = dir.join("job-dead.ptbj.bad");
+        std::fs::write(&bad, b"quarantined garbage").unwrap();
+
+        // Young .bad survives a generous retention window.
+        journal.gc(Duration::from_secs(3600), None, &|_| false);
+        assert!(bad.exists(), "young quarantine file kept for inspection");
+        assert!(journal.path(1).exists());
+        assert!(journal.stats().dir_bytes > 0, "dir gauge refreshed");
+
+        // Zero retention: every .bad is already older than the window.
+        journal.gc(Duration::from_secs(0), None, &|_| false);
+        assert!(!bad.exists(), "expired quarantine file reaped");
+        assert!(
+            journal.path(1).exists(),
+            "live journals are never age-reaped, only budget-reaped"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_budget_reaps_only_expendable_journals_oldest_first() {
+        let dir = tmp_dir("gc-budget");
+        let journal = JobJournal::new(&dir);
+        write_journal(&journal, 1); // oldest, expendable
+        std::thread::sleep(Duration::from_millis(20));
+        write_journal(&journal, 2); // expendable
+        std::thread::sleep(Duration::from_millis(20));
+        write_journal(&journal, 3); // NOT expendable (running)
+
+        // A 1-byte budget wants everything gone, but only expendable
+        // journals may be sacrificed; the running job's file survives.
+        journal.gc(Duration::from_secs(3600), Some(1), &|id| id != 3);
+        assert!(!journal.path(1).exists(), "oldest expendable reaped first");
+        assert!(!journal.path(2).exists());
+        assert!(journal.path(3).exists(), "running job's journal is sacred");
+
+        // With a budget large enough for the remaining file, nothing more
+        // is reaped even though everything is expendable.
+        journal.gc(Duration::from_secs(3600), Some(1 << 20), &|_| true);
+        assert!(journal.path(3).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_file_id_parses_names() {
+        assert_eq!(journal_file_id("job-2a.ptbj"), Some(0x2a));
+        assert_eq!(journal_file_id("job-0.ptbj"), Some(0));
+        assert_eq!(journal_file_id("job-2a.ptbj.bad"), None);
+        assert_eq!(journal_file_id("other.ptbj"), None);
+        assert_eq!(journal_file_id("job-zz.ptbj"), None);
     }
 }

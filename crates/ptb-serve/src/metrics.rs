@@ -145,6 +145,16 @@ pub struct Metrics {
     /// (identical unaudited request repeated; the simulation was
     /// skipped and the memoized report served bit-identically).
     pub report_memo_hits: AtomicU64,
+    /// Heavy requests (`POST /simulate`, `POST /sweep`) shed by
+    /// admission control with a `503` carrying `Retry-After` — the
+    /// resident-bytes watermark or queue-depth check fired *before*
+    /// memory pressure could hurt the process. Light routes are never
+    /// shed.
+    pub admission_shed: AtomicU64,
+    /// Terminal background jobs expired by retention GC (their registry
+    /// entries and journal files were reclaimed; later polls answer
+    /// `404` with `"gone": true`).
+    pub jobs_expired: AtomicU64,
     /// Per-endpoint counters, keyed by route.
     pub simulate: EndpointMetrics,
     /// `/sweep` counters.

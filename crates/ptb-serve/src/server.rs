@@ -67,8 +67,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ptb_accel::audit::AuditLevel;
+use ptb_bench::cache::parse_bytes_env;
 use ptb_bench::sync::{lock_recover, wait_recover};
-use ptb_bench::{ActivityCache, CacheMode};
+use ptb_bench::{ActivityCache, CacheBudget, CacheMode};
 use serde::Value;
 
 use crate::api;
@@ -109,7 +110,24 @@ pub struct ServerConfig {
     /// own `verify` field. Findings fail the response or job and count
     /// in `/metrics` (`audit_mismatches`, `acc_saturated`).
     pub verify: AuditLevel,
+    /// Directory of the disk cache store (only used in
+    /// [`CacheMode::Disk`]); defaults to `results/.cache`.
+    pub cache_dir: PathBuf,
+    /// Byte budgets bounding the shared cache
+    /// (`PTB_CACHE_MEM_BYTES` / `PTB_CACHE_DISK_BYTES`).
+    pub cache_budget: CacheBudget,
+    /// Admission watermark (`PTB_MEM_WATERMARK_BYTES`): heavy requests
+    /// are shed with `503` while the cache's resident bytes exceed it.
+    pub mem_watermark: Option<u64>,
+    /// How long terminal jobs (and their journal/quarantine files) are
+    /// retained before GC (`PTB_JOB_RETAIN`, seconds).
+    pub job_retain: Duration,
+    /// Byte budget for the journal directory (`PTB_JOB_DIR_BYTES`).
+    pub job_dir_bytes: Option<u64>,
 }
+
+/// Default retention for terminal jobs and their durable files.
+pub const DEFAULT_JOB_RETAIN: Duration = Duration::from_secs(600);
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -124,6 +142,11 @@ impl Default for ServerConfig {
             job_dir: None,
             deadline_ms: None,
             verify: AuditLevel::Off,
+            cache_dir: PathBuf::from("results/.cache"),
+            cache_budget: CacheBudget::unlimited(),
+            mem_watermark: None,
+            job_retain: DEFAULT_JOB_RETAIN,
+            job_dir_bytes: None,
         }
     }
 }
@@ -166,6 +189,29 @@ impl ServerConfig {
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&ms| ms > 0);
         cfg.verify = AuditLevel::from_env();
+        if let Ok(dir) = std::env::var("PTB_CACHE_DIR") {
+            if !dir.trim().is_empty() {
+                cfg.cache_dir = PathBuf::from(dir);
+            }
+        }
+        cfg.cache_budget = CacheBudget::from_env();
+        cfg.mem_watermark = parse_bytes_env("PTB_MEM_WATERMARK_BYTES");
+        cfg.job_retain = match std::env::var("PTB_JOB_RETAIN") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" => DEFAULT_JOB_RETAIN,
+                // Effectively forever: the pre-retention behavior.
+                "off" | "none" => Duration::from_secs(u64::MAX),
+                secs => match secs.parse::<u64>() {
+                    Ok(n) => Duration::from_secs(n),
+                    Err(_) => {
+                        eprintln!("warning: unparseable PTB_JOB_RETAIN={v:?}; using default");
+                        DEFAULT_JOB_RETAIN
+                    }
+                },
+            },
+            Err(_) => DEFAULT_JOB_RETAIN,
+        };
+        cfg.job_dir_bytes = parse_bytes_env("PTB_JOB_DIR_BYTES");
         cfg
     }
 }
@@ -266,13 +312,16 @@ impl Server {
             .map(|dir| Arc::new(JobJournal::new(dir)));
         let shared = Arc::new(Shared {
             engine: Engine {
-                cache: ActivityCache::new(cfg.cache),
+                cache: ActivityCache::with_budget(cfg.cache, &cfg.cache_dir, cfg.cache_budget),
                 metrics: Metrics::default(),
                 jobs: JobRegistry::default(),
                 journal,
                 deadline: cfg.deadline_ms.map(Duration::from_millis),
                 verify: cfg.verify,
                 report_memo: Mutex::new(HashMap::new()),
+                mem_watermark: cfg.mem_watermark,
+                job_retain: cfg.job_retain,
+                job_dir_bytes: cfg.job_dir_bytes,
             },
             queue: Queue::new(cfg.queue_cap),
             workers: cfg.workers,
@@ -285,13 +334,20 @@ impl Server {
             .engine
             .replay_journal(|job| shared.queue.push(Work::Shard(job)).is_ok());
 
-        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let mut threads = Vec::with_capacity(cfg.workers + 2);
         let accept_shared = Arc::clone(&shared);
         threads.push(
             std::thread::Builder::new()
                 .name("ptb-accept".into())
                 .spawn(move || accept_loop(listener, &accept_shared))
                 .expect("spawn acceptor"),
+        );
+        let gc_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ptb-gc".into())
+                .spawn(move || gc_loop(&gc_shared))
+                .expect("spawn gc"),
         );
         for i in 0..cfg.workers {
             let worker_shared = Arc::clone(&shared);
@@ -357,19 +413,61 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         // Keep-alive exchanges are latency-bound request/response
         // traffic; Nagle batching would serialize them on delayed ACKs.
         let _ = stream.set_nodelay(true);
-        if let Err(Work::Conn(mut rejected, _)) =
-            shared.queue.push(Work::Conn(stream, Instant::now()))
+        if let Err(Work::Conn(rejected, _)) = shared.queue.push(Work::Conn(stream, Instant::now()))
         {
             shared
                 .engine
                 .metrics
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
-            Response::unavailable("work queue is full, try again later", RETRY_AFTER_SECS)
-                .write_to(&mut rejected);
+            shed_connection(rejected);
         }
     }
     shared.queue.close();
+}
+
+/// Sheds one accepted connection with a 503 without provoking a TCP
+/// reset. The client has usually written its whole request by the time
+/// the queue-full check fires; closing the socket with those bytes
+/// unread makes the kernel answer with RST, which can destroy the
+/// in-flight 503 before the client reads it. Draining what has arrived,
+/// answering, then half-closing lets the connection end in a clean FIN
+/// and the client reliably observe the `Retry-After`. Reads are bounded
+/// to ~20 ms apiece so a slow-loris client cannot pin the acceptor.
+fn shed_connection(mut stream: std::net::TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut scratch = [0u8; 4096];
+    // Small requests arrive whole before accept returns; one read
+    // usually drains everything the client will ever send.
+    let _ = stream.read(&mut scratch);
+    Response::unavailable("work queue is full, try again later", RETRY_AFTER_SECS)
+        .write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Wait out the client reading the 503 (EOF, trailing bytes, or the
+    // 20 ms timeout — whichever ends first, a few rounds at most).
+    for _ in 0..4 {
+        if !matches!(stream.read(&mut scratch), Ok(n) if n > 0) {
+            break;
+        }
+    }
+}
+
+/// How often the GC thread runs a retention pass.
+const GC_TICK: Duration = Duration::from_millis(500);
+
+/// The resource-governance loop: one [`Engine::gc`] pass per
+/// [`GC_TICK`], polling the shutdown flag between short sleeps so
+/// `join` never waits out a full tick.
+fn gc_loop(shared: &Shared) {
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last.elapsed() >= GC_TICK {
+            shared.engine.gc();
+            last = Instant::now();
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -529,20 +627,34 @@ enum Endpoint {
 /// routes (`/jobs`, `/healthz`, `/metrics`) are JSON-only — the binary
 /// codec rides on POST bodies (see `docs/PROTOCOL.md`).
 fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Response) {
+    // Admission control guards only the heavy POST routes; everything
+    // below this match — health, metrics, job polls — is the fast path
+    // overload must never starve.
+    let admit = || {
+        shared
+            .engine
+            .admit_heavy((shared.queue.len(), shared.queue.cap))
+    };
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/simulate") => {
-            let outcome = match decode_request::<api::SimulateRequest>(req, wire::KIND_SIMULATE) {
-                Ok(r) => shared.engine.simulate(&r),
-                Err(bad) => bad,
+            let outcome = match admit() {
+                Err(shed) => shed,
+                Ok(()) => match decode_request::<api::SimulateRequest>(req, wire::KIND_SIMULATE) {
+                    Ok(r) => shared.engine.simulate(&r),
+                    Err(bad) => bad,
+                },
             };
             (Endpoint::Simulate, render(&outcome, req.codec))
         }
         ("POST", "/sweep") => {
-            let outcome = match decode_request::<api::SweepRequest>(req, wire::KIND_SWEEP) {
-                Ok(r) => shared
-                    .engine
-                    .sweep(&r, enqueued, &|job| offer_shards(shared, job)),
-                Err(bad) => bad,
+            let outcome = match admit() {
+                Err(shed) => shed,
+                Ok(()) => match decode_request::<api::SweepRequest>(req, wire::KIND_SWEEP) {
+                    Ok(r) => shared
+                        .engine
+                        .sweep(&r, enqueued, &|job| offer_shards(shared, job)),
+                    Err(bad) => bad,
+                },
             };
             (Endpoint::Sweep, render(&outcome, req.codec))
         }
@@ -710,6 +822,17 @@ fn handle_job_poll(shared: &Shared, path: &str) -> Response {
         return Response::error(400, &format!("malformed job id {id_str:?}"));
     };
     let Some(job) = shared.engine.jobs.get(id) else {
+        // Distinguish "expired by retention" from "never existed":
+        // clients that held a valid id learn their results are gone for
+        // good (`gone: true`) rather than suspecting a routing bug.
+        // See docs/PROTOCOL.md.
+        if shared.engine.jobs.is_gone(id) {
+            let mut resp = Response::json(format!(
+                "{{\"error\": \"job {id} expired (retention)\", \"gone\": true}}"
+            ));
+            resp.status = 404;
+            return resp;
+        }
         return Response::error(404, &format!("no job {id}"));
     };
     job_poll_response(id, &job)
@@ -749,23 +872,27 @@ pub fn job_poll_response(id: u64, job: &SweepJob) -> Response {
 fn handle_metrics(shared: &Shared) -> Response {
     let m = &shared.engine.metrics;
     let cache = shared.engine.cache.stats();
-    let journal = match &shared.engine.journal {
+    let (journal, journal_dir_bytes) = match &shared.engine.journal {
         Some(j) => {
             let s = j.stats();
-            format!(
-                "{{\"appends\": {}, \"append_errors\": {}, \"journal_recovered\": {}, \
-                 \"journal_discarded\": {}, \"reloaded_jobs\": {}, \"resumed_jobs\": {}, \
-                 \"replayed_shards\": {}}}",
-                s.appends,
-                s.append_errors,
-                s.recovered,
-                s.discarded,
-                s.reloaded_jobs,
-                s.resumed_jobs,
-                s.replayed_shards,
+            (
+                format!(
+                    "{{\"appends\": {}, \"append_errors\": {}, \"journal_recovered\": {}, \
+                     \"journal_discarded\": {}, \"reloaded_jobs\": {}, \"resumed_jobs\": {}, \
+                     \"replayed_shards\": {}, \"gc_removed\": {}}}",
+                    s.appends,
+                    s.append_errors,
+                    s.recovered,
+                    s.discarded,
+                    s.reloaded_jobs,
+                    s.resumed_jobs,
+                    s.replayed_shards,
+                    s.gc_removed,
+                ),
+                s.dir_bytes,
             )
         }
-        None => "null".into(),
+        None => ("null".into(), 0),
     };
     Response::json(format!(
         "{{\"accepted\": {}, \"rejected_queue_full\": {}, \"bad_requests\": {}, \
@@ -775,6 +902,9 @@ fn handle_metrics(shared: &Shared) -> Response {
          \"keepalive_reused\": {}, \"pipelined\": {}, \
          \"report_memo_hits\": {}, \"verify\": \"{}\", \
          \"queue_depth\": {}, \"workers\": {}, \
+         \"admission_shed\": {}, \"jobs_expired\": {}, \
+         \"cache_mem_bytes\": {}, \"cache_evictions\": {}, \
+         \"disk_cache_bytes\": {}, \"journal_dir_bytes\": {journal_dir_bytes}, \
          \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
          \"journal\": {journal}, \
          \"endpoints\": {{\"simulate\": {}, \"sweep\": {}, \"jobs\": {}, \"admin\": {}}}}}",
@@ -793,6 +923,11 @@ fn handle_metrics(shared: &Shared) -> Response {
         shared.engine.verify.label(),
         shared.queue.len(),
         shared.workers,
+        m.admission_shed.load(Ordering::Relaxed),
+        m.jobs_expired.load(Ordering::Relaxed),
+        cache.mem_bytes,
+        cache.evictions + cache.disk_evictions,
+        cache.disk_bytes,
         cache.mem_hits,
         cache.disk_hits,
         cache.misses,

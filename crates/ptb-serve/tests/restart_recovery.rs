@@ -44,6 +44,7 @@ fn server_with_jobs(dir: &Path, workers: usize) -> Server {
         job_dir: Some(dir.to_path_buf()),
         deadline_ms: None,
         verify: ptb_accel::audit::AuditLevel::Off,
+        ..ServerConfig::default()
     })
     .expect("bind test server")
 }
@@ -254,6 +255,7 @@ fn sync_sweep_deadline_expiry_answers_503_with_retry_after() {
         job_dir: None,
         deadline_ms: None,
         verify: ptb_accel::audit::AuditLevel::Off,
+        ..ServerConfig::default()
     })
     .expect("bind test server");
     let addr = server.addr();

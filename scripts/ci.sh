@@ -133,6 +133,20 @@ echo "== cluster worker-kill recovery (SIGKILL one worker mid-sweep, rows still 
 # daemon exactly.
 ./target/release/ptb-load --cluster 2 --cluster-kill --label ci-kill
 
+echo "== governance soak (tiny budgets: evictions + sheds must happen, nothing may break)"
+# Spawns its own budget-starved daemon: 64 KiB mem cache, 256 KiB disk
+# cache, 4-deep queue, 1 s job retention. Exits nonzero unless evictions
+# and admission sheds both occurred, only 503s ever failed, the disk
+# footprint stayed within budget, an expired job answered the "gone"
+# 404, and a final sweep was byte-identical to an unbudgeted daemon's.
+./target/release/ptb-load --soak 8 --label ci-soak
+
+echo "== cluster saturation (503-shedding worker must never be declared dead)"
+# Worker 0's admission watermark is strangled to 1 byte so it sheds
+# every shard; the sweep must complete byte-identically via
+# backpressure re-dispatch with zero worker_deaths.
+./target/release/ptb-load --cluster 2 --cluster-saturate --label ci-saturate
+
 echo "== release tests with debug assertions (overflow checks on the hot paths)"
 # A separate target dir keeps the main release artifacts (used by the
 # stages above) untouched.
