@@ -1,0 +1,141 @@
+//! Decorrelated-jitter retry backoff, shared by every retry loop in
+//! the workspace: the `ptb-load` client retries, the cluster
+//! coordinator's dispatcher, and the fleet prober all draw their
+//! sleeps from this one schedule instead of three subtly different
+//! copies.
+//!
+//! The schedule is `sleep = uniform(base, prev * 3)` capped at `cap`
+//! (the AWS-architecture-blog "decorrelated jitter" variant), which
+//! avoids both thundering herds (every client retrying on the same
+//! tick) and lockstep exponential storms (every client doubling in
+//! phase). The jitter RNG is a deterministic SplitMix64 stream, so a
+//! seeded run replays the exact same sleep sequence — load tests and
+//! chaos tests stay reproducible.
+
+use std::time::Duration;
+
+/// One SplitMix64 step: advances `state` and returns a uniform draw in
+/// `[0, 1)`. Public so callers that keep their own RNG state (the
+/// retry loops in `ptb-serve::client`) share the exact generator.
+pub fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The next sleep given the previous one: `uniform(base, max(base,
+/// prev * 3))`, capped at `cap`. The result never drops below `base`
+/// (the floor) and never exceeds `cap`, whatever `prev` claims —
+/// callers can feed a stale or clamped `prev` without escaping the
+/// bounds.
+pub fn next_sleep(base: Duration, cap: Duration, prev: Duration, rng: &mut u64) -> Duration {
+    let unit = splitmix_unit(rng);
+    let floor = base.as_secs_f64();
+    let hi = (prev.as_secs_f64() * 3.0).max(floor);
+    Duration::from_secs_f64((floor + unit * (hi - floor)).min(cap.as_secs_f64()))
+}
+
+/// A self-contained backoff state machine: holds the RNG and the
+/// previous sleep so call sites just ask for the next duration.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: u64,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, capped at `cap`, with a
+    /// deterministic jitter stream seeded by `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            rng: seed,
+            prev: base,
+        }
+    }
+
+    /// The next sleep; grows (jittered) from the previous one. (Named
+    /// `next_sleep`, not `next`, so the type never reads like an
+    /// `Iterator` — the sequence is infinite and stateful.)
+    pub fn next_sleep(&mut self) -> Duration {
+        self.prev = next_sleep(self.base, self.cap, self.prev, &mut self.rng);
+        self.prev
+    }
+
+    /// Resets the growth to `base` (after a success) without resetting
+    /// the jitter stream — successive failure bursts stay decorrelated.
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn sleeps_stay_between_floor_and_cap() {
+        let mut b = Backoff::new(BASE, CAP, 7);
+        for _ in 0..1000 {
+            let s = b.next_sleep();
+            assert!(s >= BASE, "below base: {s:?}");
+            assert!(s <= CAP, "above cap: {s:?}");
+        }
+    }
+
+    #[test]
+    fn growth_is_bounded_by_three_times_the_previous_sleep() {
+        let mut rng = 0xDEAD_BEEFu64;
+        let mut prev = BASE;
+        for _ in 0..1000 {
+            let next = next_sleep(BASE, CAP, prev, &mut rng);
+            let ceiling =
+                Duration::from_secs_f64((prev.as_secs_f64() * 3.0).min(CAP.as_secs_f64()));
+            assert!(
+                next <= ceiling.max(BASE),
+                "jumped past 3x: {prev:?} -> {next:?}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_base_but_keeps_the_jitter_stream_moving() {
+        let mut b = Backoff::new(BASE, CAP, 42);
+        let first_burst: Vec<Duration> = (0..5).map(|_| b.next_sleep()).collect();
+        b.reset();
+        let second_burst: Vec<Duration> = (0..5).map(|_| b.next_sleep()).collect();
+        // Both bursts start their growth from base...
+        assert!(second_burst[0] <= BASE.mul_f64(3.0));
+        // ...but the jitter stream moved on, so the bursts differ.
+        assert_ne!(first_burst, second_burst, "bursts must be decorrelated");
+    }
+
+    #[test]
+    fn seeded_streams_replay_exactly() {
+        let mut a = Backoff::new(BASE, CAP, 0x5EED);
+        let mut b = Backoff::new(BASE, CAP, 0x5EED);
+        for _ in 0..100 {
+            assert_eq!(a.next_sleep(), b.next_sleep());
+        }
+    }
+
+    #[test]
+    fn degenerate_previous_values_cannot_escape_the_bounds() {
+        let mut rng = 1u64;
+        // A prev far above cap still clamps to cap.
+        let s = next_sleep(BASE, CAP, Duration::from_secs(3600), &mut rng);
+        assert!(s <= CAP);
+        // A zero prev still floors at base.
+        let s = next_sleep(BASE, CAP, Duration::ZERO, &mut rng);
+        assert!(s >= BASE);
+    }
+}

@@ -22,6 +22,13 @@
 //! process-local SplitMix64 counter, so runs are reproducible within a
 //! process but the draw sequence is shared across sites.
 //!
+//! Any spec may also end with `@N`: the site's first `N` hits are
+//! no-ops and the action arms from hit `N+1` on (deterministically —
+//! the count is per site, not probabilistic). `err@3` lets a route
+//! serve three requests normally and then go dark, which is how the
+//! cluster failover CI stage freezes an active coordinator *after* its
+//! standby has synced (`coordinator_pause`).
+//!
 //! Sites are expressed with the [`crate::failpoint!`] macro, which
 //! expands to [`eval`]: `panic` and `sleep` take effect inside `eval`;
 //! `err` surfaces as `Err(Triggered)` for the call site to convert into
@@ -54,6 +61,17 @@ struct Armed {
     action: Action,
     /// Probability in `0..=1` that a hit fires; `1.0` = always.
     prob: f64,
+    /// Hits to ignore before the action arms (`@N` suffix); `0` = arm
+    /// immediately.
+    after: u64,
+}
+
+/// One registry entry: the parsed spec plus the site's hit count (for
+/// `@N` fire-after semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    armed: Armed,
+    hits: u64,
 }
 
 /// A failpoint armed with `err` fired: the site should fail through its
@@ -69,14 +87,23 @@ static DRAW_STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
 
 static ENV_INIT: Once = Once::new();
 
-fn registry() -> &'static Mutex<HashMap<String, Armed>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+fn registry() -> &'static Mutex<HashMap<String, Slot>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Slot>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// Parses one action spec (`panic`, `err`, `sleep:MS`, `off`, each with
-/// an optional trailing `:PROB`).
+/// an optional trailing `:PROB`, the whole spec with an optional
+/// trailing `@N` fire-after count).
 fn parse_action(spec: &str) -> Result<Armed, String> {
+    let (spec, after) = match spec.rsplit_once('@') {
+        Some((body, n)) => (
+            body,
+            n.parse::<u64>()
+                .map_err(|_| format!("bad fire-after count {n:?} in {spec:?}"))?,
+        ),
+        None => (spec, 0),
+    };
     let parts: Vec<&str> = spec.split(':').collect();
     let (action, rest) = match parts[0] {
         "panic" => (Action::Panic, &parts[1..]),
@@ -100,7 +127,11 @@ fn parse_action(spec: &str) -> Result<Armed, String> {
             .ok_or_else(|| format!("bad probability {p:?} in {spec:?}"))?,
         _ => return Err(format!("too many `:` parts in {spec:?}")),
     };
-    Ok(Armed { action, prob })
+    Ok(Armed {
+        action,
+        prob,
+        after,
+    })
 }
 
 /// Parses the `PTB_FAILPOINTS` environment variable into the registry.
@@ -126,7 +157,7 @@ fn init_from_env() {
 /// `PTB_FAILPOINTS` entries, e.g. `"panic"`, `"sleep:50:0.5"`).
 pub fn set(name: &str, action: &str) -> Result<(), String> {
     let armed = parse_action(action)?;
-    crate::sync::lock_recover(registry()).insert(name.to_string(), armed);
+    crate::sync::lock_recover(registry()).insert(name.to_string(), Slot { armed, hits: 0 });
     ARMED_ANY.store(true, Ordering::Release);
     Ok(())
 }
@@ -158,9 +189,18 @@ pub fn eval(name: &str) -> Result<(), Triggered> {
     if !ARMED_ANY.load(Ordering::Acquire) {
         return Ok(());
     }
-    let armed = match crate::sync::lock_recover(registry()).get(name) {
-        Some(a) => *a,
-        None => return Ok(()),
+    let armed = {
+        let mut reg = crate::sync::lock_recover(registry());
+        match reg.get_mut(name) {
+            Some(slot) => {
+                slot.hits += 1;
+                if slot.hits <= slot.armed.after {
+                    return Ok(());
+                }
+                slot.armed
+            }
+            None => return Ok(()),
+        }
     };
     if armed.prob < 1.0 && draw() >= armed.prob {
         return Ok(());
@@ -231,7 +271,8 @@ mod tests {
             parse_action("err").unwrap(),
             Armed {
                 action: Action::Err,
-                prob: 1.0
+                prob: 1.0,
+                after: 0
             },
             "no trailing :PROB means fire on every hit"
         );
@@ -239,15 +280,35 @@ mod tests {
             parse_action("panic:0.25").unwrap(),
             Armed {
                 action: Action::Panic,
-                prob: 0.25
+                prob: 0.25,
+                after: 0
             }
         );
         assert_eq!(
             parse_action("sleep:10:0.5").unwrap(),
             Armed {
                 action: Action::Sleep(10),
-                prob: 0.5
+                prob: 0.5,
+                after: 0
             }
+        );
+        assert_eq!(
+            parse_action("err@3").unwrap(),
+            Armed {
+                action: Action::Err,
+                prob: 1.0,
+                after: 3
+            },
+            "@N parses as a fire-after hit count"
+        );
+        assert_eq!(
+            parse_action("sleep:10:0.5@2").unwrap(),
+            Armed {
+                action: Action::Sleep(10),
+                prob: 0.5,
+                after: 2
+            },
+            "@N composes with :PROB at the end of the spec"
         );
         assert_eq!(parse_action("err:0").unwrap().prob, 0.0);
         assert_eq!(parse_action("err:1").unwrap().prob, 1.0);
@@ -264,10 +325,28 @@ mod tests {
         assert!(parse_action("sleep:-5").is_err(), "negative milliseconds");
         assert!(parse_action("sleep:10:2").is_err(), "sleep prob beyond 1");
         assert!(parse_action("").is_err(), "empty spec");
+        assert!(parse_action("err@").is_err(), "@ needs a count");
+        assert!(parse_action("err@two").is_err(), "@ count must be numeric");
+        assert!(parse_action("err@-1").is_err(), "@ count must be unsigned");
         // set() surfaces the same errors to callers (and to the env
         // parser, which warns and skips).
         assert!(set("fp-test-bad", "err:2").is_err());
         assert_eq!(eval("fp-test-bad"), Ok(()), "bad spec must not arm");
+    }
+
+    #[test]
+    fn fire_after_ignores_the_first_n_hits_then_arms() {
+        set("fp-test-after", "err@2").unwrap();
+        assert_eq!(eval("fp-test-after"), Ok(()), "hit 1 ignored");
+        assert_eq!(eval("fp-test-after"), Ok(()), "hit 2 ignored");
+        for _ in 0..3 {
+            assert_eq!(eval("fp-test-after"), Err(Triggered), "armed from hit 3");
+        }
+        // Re-arming resets the hit count.
+        set("fp-test-after", "err@1").unwrap();
+        assert_eq!(eval("fp-test-after"), Ok(()));
+        assert_eq!(eval("fp-test-after"), Err(Triggered));
+        clear("fp-test-after");
     }
 
     #[test]

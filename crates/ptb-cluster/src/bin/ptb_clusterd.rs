@@ -5,6 +5,7 @@
 //!              [--job-dir PATH|off] [--deadline-ms N] [--port-file PATH]
 //!              [--probe-ms N] [--probe-timeout-ms N] [--probe-retries N]
 //!              [--dispatch-timeout-ms N] [--fail-threshold N]
+//!              [--lease-ms N] [--standby --peer HOST:PORT]
 //! ptb-clusterd --spawn-worker [--addr HOST:PORT] [--job-dir PATH|off]
 //!              [--port-file PATH]
 //! ```
@@ -18,6 +19,13 @@
 //! the file to get an ephemeral port race-free, which is how the CI
 //! cluster stage and `ptb-load --cluster` spawn fleets. The process
 //! exits when a client POSTs `/shutdown`.
+//!
+//! `--standby` boots the daemon as a *hot standby*: it tails the peer
+//! coordinator named by `--peer` over `GET /journal/tail`, mirrors its
+//! job journals into `--job-dir` (required), and promotes itself to
+//! active — at a higher epoch — when the peer misses its lease
+//! (`--lease-ms`, default `PTB_LEASE_MS` or 1500). Until promotion it
+//! answers sweeps with `307` redirects to the peer.
 //!
 //! `--spawn-worker` runs a plain `ptb-serve` worker instead of a
 //! coordinator. It exists so cluster tests and CI have one binary that
@@ -85,13 +93,19 @@ fn main() {
                 cfg.fail_threshold =
                     parse_or_die(&value("--fail-threshold"), "--fail-threshold").max(1) as u32;
             }
+            "--lease-ms" => {
+                cfg.lease_ms = parse_or_die(&value("--lease-ms"), "--lease-ms").max(1);
+            }
+            "--standby" => cfg.standby = true,
+            "--peer" => cfg.peer = Some(value("--peer")),
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => {
                 println!(
                     "usage: ptb-clusterd [--addr HOST:PORT] [--workers LIST] \
                      [--job-dir PATH|off] [--deadline-ms N] [--port-file PATH] \
                      [--probe-ms N] [--probe-timeout-ms N] [--probe-retries N] \
-                     [--dispatch-timeout-ms N] [--fail-threshold N]\n\
+                     [--dispatch-timeout-ms N] [--fail-threshold N] \
+                     [--lease-ms N] [--standby --peer HOST:PORT]\n\
                      \x20      ptb-clusterd --spawn-worker [--addr HOST:PORT] \
                      [--job-dir PATH|off] [--port-file PATH]"
                 );
@@ -110,9 +124,10 @@ fn main() {
     });
     let addr = coordinator.addr();
     eprintln!(
-        "ptb-clusterd on http://{addr} fronting {} worker(s) \
+        "ptb-clusterd ({}) on http://{addr} fronting {} worker(s) \
          (POST /sweep | POST /simulate | GET /jobs/{{id}} | GET /cluster | \
-         GET /metrics | POST /shutdown)",
+         GET /metrics | GET /journal/tail | POST /shutdown)",
+        if cfg.standby { "standby" } else { "active" },
         cfg.workers.len()
     );
     write_port_file(port_file.as_deref(), addr.port());

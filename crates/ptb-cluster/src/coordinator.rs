@@ -47,12 +47,38 @@
 //! `ptb_bench::merge_shards` orders them, and responses render through
 //! [`ptb_serve::server::render`] / [`job_poll_response`] — the same
 //! formatters a worker uses, over the same [`Outcome`].
+//!
+//! ## High availability
+//!
+//! A *standby* coordinator (`--standby --peer ACTIVE`) serves no client
+//! traffic; it tails the active's journals over `GET /journal/tail`
+//! (index form lists `{id, bytes}` per journal; cursor form streams raw
+//! `PTBJNL1` bytes from an offset) into its own journal directory, so
+//! its on-disk state is always a byte-prefix of the active's. When the
+//! active goes silent for longer than the lease (`PTB_LEASE_MS` /
+//! `--lease-ms`), the standby *promotes*: it persists a higher **epoch**
+//! (a monotonic counter in the `epoch` file beside the journals,
+//! incremented before any dispatch) and then replays the mirrored
+//! journals through the exact boot path — adopted rows verbatim,
+//! un-dispatched shards re-placed via the liveness-filtered ring.
+//!
+//! Every shard dispatch carries the coordinator's epoch; workers
+//! remember the highest epoch seen and answer `409` to anything lower.
+//! A deposed active that was merely paused (not dead) is therefore
+//! *fenced at the worker boundary* — its first post-lease dispatch
+//! bounces, it demotes itself, and from then on it answers client
+//! routes with `307` + the new active's address (learned from the
+//! standby's `?peer=` announcements while it was tailing). Split-brain
+//! can waste duplicate shard computation, but it cannot corrupt a sweep
+//! or double-count a shard: rows merge idempotently by index, and only
+//! the highest-epoch dispatch record per shard survives replay. See
+//! `docs/PROTOCOL.md` §7.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -68,7 +94,7 @@ use ptb_serve::http::{
     READ_TIMEOUT,
 };
 use ptb_serve::jobs::{panic_message, JobRegistry, JobState, SweepJob};
-use ptb_serve::journal::{JobJournal, ReplayedJob};
+use ptb_serve::journal::{read_epoch, write_epoch, JobJournal, ReplayedJob};
 use ptb_serve::metrics::Histogram;
 use ptb_serve::server::{decode_request, job_poll_response, render};
 use ptb_serve::wire;
@@ -127,6 +153,18 @@ pub struct ClusterConfig {
     /// Consecutive transport failures before a worker is declared dead
     /// ([`Fleet`] hysteresis).
     pub fail_threshold: u32,
+    /// Leadership lease, in milliseconds: a standby that cannot reach
+    /// the active's `/journal/tail` for this long promotes itself.
+    /// Symmetrically, it is how long a paused active can keep believing
+    /// it leads — its first dispatch after a successor promoted gets
+    /// fenced with a `409`.
+    pub lease_ms: u64,
+    /// Boot as a hot standby: tail `peer`'s journals, serve `307`
+    /// redirects to clients, and promote when the lease lapses.
+    /// Requires a journal directory (the mirror target) and `peer`.
+    pub standby: bool,
+    /// The active coordinator's `HOST:PORT`, required with `standby`.
+    pub peer: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -142,6 +180,9 @@ impl Default for ClusterConfig {
             probe_retries: 2,
             dispatch_timeout_ms: 600_000,
             fail_threshold: 2,
+            lease_ms: 1500,
+            standby: false,
+            peer: None,
         }
     }
 }
@@ -156,8 +197,10 @@ impl ClusterConfig {
     /// (probe round interval, default 500), `PTB_PROBE_TIMEOUT_MS`
     /// (per-attempt timeout, default 1000), `PTB_PROBE_RETRIES`
     /// (attempts per round, default 2), `PTB_DISPATCH_TIMEOUT_MS`
-    /// (per-shard timeout, default 600000), and `PTB_FAIL_THRESHOLD`
-    /// (consecutive failures before death, default 2).
+    /// (per-shard timeout, default 600000), `PTB_FAIL_THRESHOLD`
+    /// (consecutive failures before death, default 2), and
+    /// `PTB_LEASE_MS` (leadership lease, default 1500). Standby mode is
+    /// CLI-only (`--standby --peer`), not an environment knob.
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Ok(addr) = std::env::var("PTB_ADDR") {
@@ -194,6 +237,7 @@ impl ClusterConfig {
         cfg.probe_retries = ms("PTB_PROBE_RETRIES", u64::from(cfg.probe_retries)).max(1) as u32;
         cfg.dispatch_timeout_ms = ms("PTB_DISPATCH_TIMEOUT_MS", cfg.dispatch_timeout_ms).max(1);
         cfg.fail_threshold = ms("PTB_FAIL_THRESHOLD", u64::from(cfg.fail_threshold)).max(1) as u32;
+        cfg.lease_ms = ms("PTB_LEASE_MS", cfg.lease_ms).max(1);
         cfg
     }
 }
@@ -214,6 +258,26 @@ struct Shared {
     probe_retries: u32,
     shutdown: AtomicBool,
     self_addr: SocketAddr,
+    /// This coordinator's leadership epoch. An active stamps it on
+    /// every dispatch; a standby holds 0 until promotion. Persisted in
+    /// the `epoch` file beside the journals *before* any dispatch can
+    /// carry it.
+    epoch: AtomicU64,
+    /// Whether this coordinator currently dispatches. `false` for a
+    /// standby (until promotion) and for a fenced ex-active; client
+    /// routes answer `307`/`503` while it is `false`.
+    leader: AtomicBool,
+    /// Where to `307` clients while not the leader: the configured
+    /// `peer` on a standby, or the last standby that announced itself
+    /// via `GET /journal/tail?peer=` on a (possibly later demoted)
+    /// active.
+    redirect_to: Mutex<Option<String>>,
+    /// Leadership lease duration.
+    lease: Duration,
+    /// The journal directory (for epoch persistence at promotion).
+    job_dir: Option<PathBuf>,
+    /// The active's address, when booted as a standby.
+    peer: Option<String>,
 }
 
 /// A running coordinator; dropping it does *not* stop the threads —
@@ -230,7 +294,22 @@ impl Coordinator {
     /// starts the acceptor and prober threads. Unfinished journaled
     /// sweeps resume immediately: their completed rows load from disk
     /// and dispatchers re-dispatch the remainder.
+    ///
+    /// An active coordinator claims a fresh epoch (persisted `+ 1`)
+    /// before its first dispatch. A standby (`cfg.standby`) instead
+    /// holds epoch 0, skips replay, and starts the tail/promotion loop;
+    /// it requires both a journal directory and a `peer`.
     pub fn start(cfg: &ClusterConfig) -> std::io::Result<Coordinator> {
+        if cfg.standby && cfg.job_dir.is_none() {
+            return Err(std::io::Error::other(
+                "standby mode needs a journal directory to mirror into (unset PTB_JOB_DIR=off)",
+            ));
+        }
+        if cfg.standby && cfg.peer.is_none() {
+            return Err(std::io::Error::other(
+                "standby mode needs the active coordinator's address (--peer HOST:PORT)",
+            ));
+        }
         let fleet = Fleet::new(&cfg.workers, cfg.fail_threshold).map_err(std::io::Error::other)?;
         let ring = Ring::new(&cfg.workers);
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -240,6 +319,20 @@ impl Coordinator {
             .as_ref()
             .map(|dir| Arc::new(JobJournal::new(dir)));
         let metrics = ClusterMetrics::new(fleet.len());
+        // Claim the epoch before anything can dispatch: a restarted
+        // active must outrank every dispatch its predecessor persisted.
+        let epoch = if cfg.standby {
+            0
+        } else {
+            match &cfg.job_dir {
+                Some(dir) => {
+                    let next = read_epoch(dir) + 1;
+                    write_epoch(dir, next)?;
+                    next
+                }
+                None => 1,
+            }
+        };
         let shared = Arc::new(Shared {
             fleet,
             ring,
@@ -257,8 +350,16 @@ impl Coordinator {
             probe_retries: cfg.probe_retries.max(1),
             shutdown: AtomicBool::new(false),
             self_addr: addr,
+            epoch: AtomicU64::new(epoch),
+            leader: AtomicBool::new(!cfg.standby),
+            redirect_to: Mutex::new(cfg.peer.clone()),
+            lease: Duration::from_millis(cfg.lease_ms.max(1)),
+            job_dir: cfg.job_dir.clone(),
+            peer: cfg.peer.clone(),
         });
-        replay_journal(&shared);
+        if !cfg.standby {
+            replay_journal(&shared);
+        }
         let mut threads = Vec::new();
         {
             let shared = Arc::clone(&shared);
@@ -274,6 +375,14 @@ impl Coordinator {
                 thread::Builder::new()
                     .name("ptb-cluster-probe".into())
                     .spawn(move || prober_loop(&shared))?,
+            );
+        }
+        if cfg.standby {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("ptb-cluster-standby".into())
+                    .spawn(move || standby_loop(&shared))?,
             );
         }
         Ok(Coordinator {
@@ -292,6 +401,18 @@ impl Coordinator {
     /// `/metrics` round trip).
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.shared.metrics
+    }
+
+    /// This coordinator's current leadership epoch (0 on a standby that
+    /// has not promoted).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether this coordinator currently dispatches (an active that
+    /// has not been fenced, or a promoted standby).
+    pub fn is_leader(&self) -> bool {
+        self.shared.leader.load(Ordering::SeqCst)
     }
 
     /// Triggers shutdown: running dispatchers fail their jobs, the
@@ -398,8 +519,31 @@ fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
 }
 
 /// Routes one request. Paths, error strings, and codecs all match the
-/// worker's `route` exactly, plus the coordinator-only `GET /cluster`.
+/// worker's `route` exactly, plus the coordinator-only `GET /cluster`
+/// and `GET /journal/tail`.
+///
+/// Client routes (`/sweep`, `/simulate`, `/jobs/*`) are gated on
+/// leadership: a standby or a fenced ex-active answers `307` with the
+/// active's address in `Location` (or `503` when it knows no active).
+/// Introspection (`/healthz`, `/metrics`, `/cluster`), `/shutdown`, and
+/// `/journal/tail` are always served locally — a standby must stay
+/// observable, and the tail route is how standbys sync.
 fn route(shared: &Arc<Shared>, req: &Request, enqueued: Instant) -> (Endpoint, Response) {
+    if !shared.leader.load(Ordering::SeqCst) {
+        let endpoint = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/sweep") => Some(Endpoint::Sweep),
+            ("POST", "/simulate") => Some(Endpoint::Simulate),
+            ("GET", path) if path.starts_with("/jobs/") => Some(Endpoint::Jobs),
+            _ => None,
+        };
+        if let Some(endpoint) = endpoint {
+            let response = match lock_recover(&shared.redirect_to).clone() {
+                Some(target) => Response::redirect(&target),
+                None => Response::error(503, "not the active coordinator; no active is known"),
+            };
+            return (endpoint, response);
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/sweep") => {
             let outcome = match decode_request::<api::SweepRequest>(req, wire::KIND_SWEEP) {
@@ -420,15 +564,30 @@ fn route(shared: &Arc<Shared>, req: &Request, enqueued: Instant) -> (Endpoint, R
         }
         ("GET", "/healthz") => (
             Endpoint::Admin,
-            Response::json("{\"status\": \"ok\"}".into()),
+            Response::json(format!(
+                "{{\"status\": \"ok\", \"role\": \"{}\", \"epoch\": {}}}",
+                if shared.leader.load(Ordering::SeqCst) {
+                    "active"
+                } else {
+                    "standby"
+                },
+                shared.epoch.load(Ordering::SeqCst)
+            )),
         ),
+        ("GET", path) if path == "/journal/tail" || path.starts_with("/journal/tail?") => {
+            (Endpoint::Admin, handle_journal_tail(shared, path))
+        }
         ("GET", "/cluster") => (Endpoint::Admin, handle_cluster(shared)),
         ("GET", "/metrics") => (Endpoint::Admin, handle_metrics(shared)),
         ("POST", "/shutdown") => (
             Endpoint::Admin,
             Response::json("{\"status\": \"shutting down\"}".into()),
         ),
-        (_, "/simulate" | "/sweep" | "/healthz" | "/metrics" | "/shutdown" | "/cluster") => (
+        (
+            _,
+            "/simulate" | "/sweep" | "/healthz" | "/metrics" | "/shutdown" | "/cluster"
+            | "/journal/tail",
+        ) => (
             Endpoint::Admin,
             Response::error(405, &format!("method {} not allowed here", req.method)),
         ),
@@ -580,6 +739,7 @@ fn proxy_simulate(shared: &Shared, req: &Request, sim: &api::SimulateRequest) ->
                     content_type: req.codec.content_type(),
                     body: resp.body,
                     retry_after: resp.retry_after,
+                    location: None,
                     close: false,
                 };
             }
@@ -634,6 +794,69 @@ fn handle_cluster(shared: &Shared) -> Response {
     ))
 }
 
+/// One query parameter's (decoded-as-is) value from a request path.
+fn query_param<'a>(path: &'a str, key: &str) -> Option<&'a str> {
+    let (_, query) = path.split_once('?')?;
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key && !v.is_empty()).then_some(v)
+    })
+}
+
+/// `GET /journal/tail`: the standby replication route. The index form
+/// (no `job` parameter) answers `{"epoch", "leader", "journals":
+/// [{"id", "bytes"}...]}`; the cursor form (`?job=ID&from=OFFSET`)
+/// streams the raw `PTBJNL1` bytes of that journal from the offset.
+/// Because journals are append-only, a mirror that pulls `from` its own
+/// length is always a byte-prefix of the source — at worst the final
+/// record is torn mid-pull, which replay's salvage already handles.
+/// A standby announces itself with `?peer=HOST:PORT` on the index form;
+/// the active remembers the last announcer as its redirect target for
+/// after a demotion. Failpoint `coordinator_pause` freezes the index
+/// form (503), simulating a partitioned/paused active without killing
+/// the process — the fencing CI stage arms it with a fire-after count.
+fn handle_journal_tail(shared: &Shared, path: &str) -> Response {
+    let Some(journal) = &shared.journal else {
+        return Response::error(404, "this coordinator has no journal directory");
+    };
+    if let Some(job) = query_param(path, "job") {
+        let Ok(id) = job.parse::<u64>() else {
+            return Response::error(400, &format!("malformed job id {job:?}"));
+        };
+        let from = query_param(path, "from")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        return match journal.read_from(id, from) {
+            Ok(bytes) => Response {
+                status: 200,
+                content_type: "application/octet-stream",
+                body: bytes,
+                retry_after: None,
+                location: None,
+                close: false,
+            },
+            Err(e) => Response::error(404, &format!("no journal for job {id}: {e}")),
+        };
+    }
+    if ptb_bench::failpoint!("coordinator_pause").is_err() {
+        return Response::error(503, "coordinator paused (failpoint coordinator_pause)");
+    }
+    if let Some(peer) = query_param(path, "peer") {
+        *lock_recover(&shared.redirect_to) = Some(peer.to_string());
+    }
+    let journals: Vec<String> = journal
+        .tail_index()
+        .iter()
+        .map(|(id, bytes)| format!("{{\"id\": {id}, \"bytes\": {bytes}}}"))
+        .collect();
+    Response::json(format!(
+        "{{\"epoch\": {}, \"leader\": {}, \"journals\": [{}]}}",
+        shared.epoch.load(Ordering::SeqCst),
+        shared.leader.load(Ordering::SeqCst),
+        journals.join(", ")
+    ))
+}
+
 /// `GET /metrics`: fleet counters, per-worker dispatch latency
 /// quantiles, journal stats, and per-endpoint request counters.
 fn handle_metrics(shared: &Shared) -> Response {
@@ -681,7 +904,8 @@ fn handle_metrics(shared: &Shared) -> Response {
     Response::json(format!(
         "{{\"shards_dispatched\": {}, \"shards_reclaimed\": {}, \"worker_deaths\": {}, \
          \"probe_failures\": {}, \"dispatch_failures\": {}, \"backpressure_redispatch\": {}, \
-         \"proxied_simulate\": {}, \
+         \"proxied_simulate\": {}, \"worker_restarts\": {}, \"fenced_dispatches\": {}, \
+         \"audit_mismatches\": {}, \"epoch\": {}, \"leader\": {}, \
          \"workers\": [{}], \"journal\": {}, \
          \"endpoints\": {{\"simulate\": {}, \"sweep\": {}, \"jobs\": {}, \"admin\": {}}}}}",
         m.shards_dispatched.load(Ordering::Relaxed),
@@ -691,6 +915,11 @@ fn handle_metrics(shared: &Shared) -> Response {
         m.dispatch_failures.load(Ordering::Relaxed),
         m.backpressure_redispatch.load(Ordering::Relaxed),
         m.proxied_simulate.load(Ordering::Relaxed),
+        m.worker_restarts.load(Ordering::Relaxed),
+        m.fenced_dispatches.load(Ordering::Relaxed),
+        m.audit_mismatches.load(Ordering::Relaxed),
+        shared.epoch.load(Ordering::SeqCst),
+        shared.leader.load(Ordering::SeqCst),
         workers.join(", "),
         journal,
         m.simulate.to_json(),
@@ -867,6 +1096,11 @@ enum DispatchError {
     /// re-queued without burning an attempt, the worker keeps its
     /// liveness, and the dispatcher backs off before retrying.
     Busy,
+    /// The worker answered 409: this dispatch carried an epoch below
+    /// the worker's high-water mark, so a newer coordinator has taken
+    /// over. This coordinator is a zombie — it must demote itself and
+    /// stop dispatching, not retry (`docs/PROTOCOL.md` §7).
+    Fenced,
 }
 
 impl std::fmt::Display for DispatchError {
@@ -875,6 +1109,7 @@ impl std::fmt::Display for DispatchError {
             DispatchError::Io(e) => write!(f, "transport error: {e}"),
             DispatchError::Bad(s) => f.write_str(s),
             DispatchError::Busy => f.write_str("worker busy (503 backpressure)"),
+            DispatchError::Fenced => f.write_str("dispatch fenced (409: stale epoch)"),
         }
     }
 }
@@ -898,6 +1133,22 @@ fn dispatcher_loop(shared: &Arc<Shared>, dispatch: &Dispatch, me: usize) {
             dispatch
                 .job
                 .fail_external("coordinator shutting down".into());
+            dispatch.board.notify();
+            return;
+        }
+        if !shared.leader.load(Ordering::SeqCst) {
+            // Demoted mid-sweep (a peer dispatcher got fenced): stop
+            // dispatching at once. A journaled job is left as-is — the
+            // new active resumes it from its mirrored journal and
+            // clients follow the 307 there; an unjournaled (sync) job
+            // must fail here or its handler would wait forever.
+            if dispatch.journal_id.is_none() {
+                dispatch.job.fail_external(
+                    "coordinator was fenced by a newer epoch; \
+                     retry against the active coordinator"
+                        .into(),
+                );
+            }
             dispatch.board.notify();
             return;
         }
@@ -930,7 +1181,7 @@ fn dispatcher_loop(shared: &Arc<Shared>, dispatch: &Dispatch, me: usize) {
                 .fetch_add(1, Ordering::Relaxed);
         }
         if let (Some(journal), Some(id)) = (&shared.journal, dispatch.journal_id) {
-            journal.log_dispatch(id, index, &my_addr);
+            journal.log_dispatch(id, index, &my_addr, shared.epoch.load(Ordering::SeqCst));
         }
         let started = Instant::now();
         match send_shard(shared, dispatch, index, sock, &mut conn) {
@@ -949,6 +1200,34 @@ fn dispatcher_loop(shared: &Arc<Shared>, dispatch: &Dispatch, me: usize) {
                 dispatch.job.complete_shard(index, row);
                 dispatch.board.notify();
                 backoff = policy.base;
+            }
+            Err(DispatchError::Fenced) => {
+                // A worker has seen a higher epoch: a successor
+                // promoted while this coordinator believed it still
+                // led. Demote — every dispatcher of every job exits on
+                // its next iteration — and leave journaled jobs for the
+                // new active (clients 307 there from now on).
+                shared
+                    .metrics
+                    .fenced_dispatches
+                    .fetch_add(1, Ordering::Relaxed);
+                if shared.leader.swap(false, Ordering::SeqCst) {
+                    eprintln!(
+                        "ptb-clusterd: dispatch epoch {} fenced by worker {my_addr}; \
+                         demoting to standby",
+                        shared.epoch.load(Ordering::SeqCst)
+                    );
+                }
+                if dispatch.journal_id.is_none() {
+                    dispatch.job.fail_external(
+                        "coordinator was fenced by a newer epoch; \
+                         retry against the active coordinator"
+                            .into(),
+                    );
+                }
+                dispatch.board.release(index);
+                dispatch.board.notify();
+                return;
             }
             Err(DispatchError::Busy) => {
                 // Backpressure, not failure: the worker answered, so it
@@ -1003,7 +1282,7 @@ fn send_shard(
     conn_slot: &mut Option<Connection>,
 ) -> Result<SweepRow, DispatchError> {
     let tw = dispatch.job.tws[index];
-    let body = shard_request_body(dispatch, tw);
+    let body = shard_request_body(dispatch, tw, shared.epoch.load(Ordering::SeqCst));
     let had_conn = matches!(conn_slot, Some(c) if !c.server_closed());
     if !had_conn {
         *conn_slot = Some(
@@ -1031,13 +1310,15 @@ fn send_shard(
             r
         }
     };
-    parse_shard_response(&resp.body, resp.status, tw)
+    parse_shard_response(&shared.metrics, &resp.body, resp.status, tw)
 }
 
 /// The one-point `PTBW1` sweep request for shard `tw`. The request is
 /// fully explicit — seed, quick, and verify are always present — so a
-/// worker's own defaults can never skew a shard.
-fn shard_request_body(dispatch: &Dispatch, tw: u32) -> Vec<u8> {
+/// worker's own defaults can never skew a shard. `epoch` is the
+/// coordinator's leadership epoch; a worker that has seen a higher one
+/// answers 409 and the dispatch comes back [`DispatchError::Fenced`].
+fn shard_request_body(dispatch: &Dispatch, tw: u32, epoch: u64) -> Vec<u8> {
     let value = Value::Object(vec![
         ("network".into(), dispatch.spec_value.clone()),
         (
@@ -1051,6 +1332,7 @@ fn shard_request_body(dispatch: &Dispatch, tw: u32) -> Vec<u8> {
             "verify".into(),
             Value::Str(dispatch.job.opts.verify.label().to_string()),
         ),
+        ("epoch".into(), Value::U64(epoch)),
     ]);
     wire::frame(wire::KIND_SWEEP, &value)
 }
@@ -1058,11 +1340,18 @@ fn shard_request_body(dispatch: &Dispatch, tw: u32) -> Vec<u8> {
 /// Validates one worker response down to the row: correct status,
 /// well-formed `KIND_ROWS` frame, exactly one row, at the requested TW.
 /// A 503 is [`DispatchError::Busy`] (admission backpressure — re-queue
-/// with no attempt burned); anything else is [`DispatchError::Bad`] —
-/// the shard is re-queued but the worker's health is untouched, because
-/// garbage proves liveness. Failpoint `cluster_dispatch` injects faults
-/// here.
-fn parse_shard_response(body: &[u8], status: u16, tw: u32) -> Result<SweepRow, DispatchError> {
+/// with no attempt burned); a 409 is [`DispatchError::Fenced`] (a newer
+/// epoch exists — demote, don't retry); anything else is
+/// [`DispatchError::Bad`] — the shard is re-queued but the worker's
+/// health is untouched, because garbage proves liveness. Error frames
+/// that carry audit findings bump `audit_mismatches`. Failpoint
+/// `cluster_dispatch` injects faults here.
+fn parse_shard_response(
+    metrics: &ClusterMetrics,
+    body: &[u8],
+    status: u16,
+    tw: u32,
+) -> Result<SweepRow, DispatchError> {
     if ptb_bench::failpoint!("cluster_dispatch").is_err() {
         return Err(DispatchError::Bad(
             "injected fault (cluster_dispatch)".into(),
@@ -1071,7 +1360,18 @@ fn parse_shard_response(body: &[u8], status: u16, tw: u32) -> Result<SweepRow, D
     if status == 503 {
         return Err(DispatchError::Busy);
     }
+    if status == 409 {
+        return Err(DispatchError::Fenced);
+    }
     if status != 200 {
+        // A worker that *audited* a shard and found a mismatch fails it
+        // with an error frame carrying the findings; surface that in
+        // the coordinator's own counter before the generic retry path.
+        if let Ok((wire::KIND_ERROR, value)) = wire::unframe(body) {
+            if value.get("audit").is_some() {
+                metrics.audit_mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         return Err(DispatchError::Bad(format!(
             "worker answered status {status}"
         )));
@@ -1130,6 +1430,22 @@ fn prober_loop(shared: &Arc<Shared>) {
                 match probe {
                     Ok(resp) if resp.status == 200 => {
                         healthy = true;
+                        // The worker's generation nonce distinguishes a
+                        // restart (new process, caches and in-flight
+                        // shards lost) from a merely slow probe — even
+                        // when the restart fit inside one probe
+                        // interval and liveness never flickered.
+                        let generation = std::str::from_utf8(&resp.body)
+                            .ok()
+                            .and_then(|s| serde_json::from_str::<Value>(s).ok())
+                            .and_then(|v| v.get("generation").and_then(Value::as_u64))
+                            .unwrap_or(0);
+                        if shared.fleet.note_generation(me, generation) {
+                            shared
+                                .metrics
+                                .worker_restarts
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                         break;
                     }
                     _ => {
@@ -1202,6 +1518,146 @@ fn replay_journal(shared: &Arc<Shared>) {
         }
     }
     shared.jobs.bump_next_id(max_id + 1);
+}
+
+// ---------------------------------------------------------------------
+// Hot standby: journal tailing, lease tracking, and promotion.
+// ---------------------------------------------------------------------
+
+/// The standby's life: poll the active's `GET /journal/tail` at a
+/// fraction of the lease, mirror journal deltas into the local
+/// directory, and promote when the active has been unreachable for a
+/// full lease. Only a 200 index response refreshes the lease — a
+/// connection refused, a timeout, or a `coordinator_pause` 503 all
+/// count as silence, because a coordinator that cannot serve its tail
+/// cannot be journaling dispatches safely either.
+fn standby_loop(shared: &Arc<Shared>) {
+    let Some(peer) = shared.peer.clone() else {
+        return;
+    };
+    let poll = (shared.lease / 4).max(Duration::from_millis(50));
+    let announce = format!("/journal/tail?peer={}", shared.self_addr);
+    let mut last_contact = Instant::now();
+    let mut peer_epoch = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(sock) = resolve_addr(&peer) {
+            let index = client::request_typed_timeout(
+                sock,
+                "GET",
+                &announce,
+                None,
+                b"",
+                shared.probe_timeout,
+            );
+            if let Ok(resp) = index {
+                if resp.status == 200 {
+                    if let Some((epoch, journals)) = parse_tail_index(&resp.body) {
+                        last_contact = Instant::now();
+                        peer_epoch = peer_epoch.max(epoch);
+                        mirror_journals(shared, sock, &journals);
+                    }
+                }
+            }
+        }
+        if last_contact.elapsed() > shared.lease {
+            promote(shared, peer_epoch);
+            return;
+        }
+        // Sleep the poll interval in small steps so shutdown stays
+        // responsive.
+        let mut remaining = poll;
+        while !remaining.is_zero() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = remaining.min(Duration::from_millis(25));
+            thread::sleep(step);
+            remaining -= step;
+        }
+    }
+}
+
+/// Resolves `HOST:PORT` fresh each poll (the peer may come back on a
+/// different interface after a restart; resolution is cheap).
+fn resolve_addr(addr: &str) -> Option<SocketAddr> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs().ok()?.next()
+}
+
+/// Parses a `/journal/tail` index response: the peer's epoch and its
+/// `(id, bytes)` journal list.
+fn parse_tail_index(body: &[u8]) -> Option<(u64, Vec<(u64, u64)>)> {
+    let value = serde_json::from_str::<Value>(std::str::from_utf8(body).ok()?).ok()?;
+    let epoch = value.get("epoch")?.as_u64()?;
+    let journals = match value.get("journals")? {
+        Value::Array(entries) => entries
+            .iter()
+            .filter_map(|e| Some((e.get("id")?.as_u64()?, e.get("bytes")?.as_u64()?)))
+            .collect(),
+        _ => return None,
+    };
+    Some((epoch, journals))
+}
+
+/// Pulls every journal the active reports as longer than the local
+/// mirror, appending raw bytes at the local length. Journals are
+/// append-only, so the mirror is always a byte-prefix of the source; a
+/// cursor mismatch (the local file changed underneath — e.g. a salvage
+/// rewrite) is healed by refetching the file from offset 0.
+fn mirror_journals(shared: &Shared, sock: SocketAddr, journals: &[(u64, u64)]) {
+    let Some(local) = &shared.journal else {
+        return;
+    };
+    for &(id, remote_len) in journals {
+        let from = local.file_len(id);
+        if from >= remote_len {
+            continue;
+        }
+        let Some(delta) = fetch_journal_bytes(shared, sock, id, from) else {
+            continue;
+        };
+        if local.append_raw(id, from, &delta).is_err() {
+            if let Some(whole) = fetch_journal_bytes(shared, sock, id, 0) {
+                let _ = local.append_raw(id, 0, &whole);
+            }
+        }
+    }
+}
+
+/// One cursor-form tail request: journal `id`'s raw bytes from `from`.
+fn fetch_journal_bytes(shared: &Shared, sock: SocketAddr, id: u64, from: u64) -> Option<Vec<u8>> {
+    let path = format!("/journal/tail?job={id}&from={from}");
+    let resp =
+        client::request_typed_timeout(sock, "GET", &path, None, b"", shared.probe_timeout).ok()?;
+    (resp.status == 200).then_some(resp.body)
+}
+
+/// Promotes this standby to active: claim an epoch above both the
+/// peer's highest observed epoch and anything persisted locally,
+/// *persist it before any dispatch can carry it*, then replay the
+/// mirrored journals exactly like a boot — completed rows adopt
+/// verbatim, the remainder re-places via the liveness-filtered ring.
+fn promote(shared: &Arc<Shared>, peer_epoch: u64) {
+    let mut epoch = peer_epoch.max(shared.epoch.load(Ordering::SeqCst));
+    if let Some(dir) = &shared.job_dir {
+        epoch = epoch.max(read_epoch(dir));
+    }
+    let epoch = epoch + 1;
+    if let Some(dir) = &shared.job_dir {
+        if let Err(e) = write_epoch(dir, epoch) {
+            eprintln!("warning: cannot persist promotion epoch {epoch}: {e}");
+        }
+    }
+    shared.epoch.store(epoch, Ordering::SeqCst);
+    shared.leader.store(true, Ordering::SeqCst);
+    eprintln!(
+        "ptb-clusterd: lease expired; promoted to active at epoch {epoch} \
+         (resuming journaled sweeps)"
+    );
+    replay_journal(shared);
 }
 
 #[cfg(test)]
@@ -1284,13 +1740,110 @@ mod tests {
 
     #[test]
     fn a_503_parses_as_busy_not_bad() {
-        let err = parse_shard_response(b"", 503, 4).unwrap_err();
+        let metrics = ClusterMetrics::new(1);
+        let err = parse_shard_response(&metrics, b"", 503, 4).unwrap_err();
         assert!(matches!(err, DispatchError::Busy), "503 is backpressure");
-        let err = parse_shard_response(b"", 500, 4).unwrap_err();
+        let err = parse_shard_response(&metrics, b"", 500, 4).unwrap_err();
         assert!(
             matches!(err, DispatchError::Bad(_)),
             "other bad statuses still classify as Bad"
         );
+    }
+
+    #[test]
+    fn a_409_parses_as_fenced() {
+        let metrics = ClusterMetrics::new(1);
+        let err = parse_shard_response(&metrics, b"", 409, 4).unwrap_err();
+        assert!(
+            matches!(err, DispatchError::Fenced),
+            "409 means a newer epoch exists: demote, don't retry"
+        );
+        assert_eq!(
+            metrics.fenced_dispatches.load(Ordering::Relaxed),
+            0,
+            "the counter belongs to the dispatcher (once per demotion), \
+             not the parser"
+        );
+    }
+
+    #[test]
+    fn audit_carrying_error_frames_count_mismatches() {
+        let metrics = ClusterMetrics::new(1);
+        let audited = wire::frame(
+            wire::KIND_ERROR,
+            &Value::Object(vec![
+                ("error".into(), Value::Str("sweep failed: audit".into())),
+                ("audit".into(), Value::Object(vec![])),
+            ]),
+        );
+        let err = parse_shard_response(&metrics, &audited, 500, 4).unwrap_err();
+        assert!(matches!(err, DispatchError::Bad(_)));
+        assert_eq!(metrics.audit_mismatches.load(Ordering::Relaxed), 1);
+
+        let plain = wire::frame(
+            wire::KIND_ERROR,
+            &Value::Object(vec![("error".into(), Value::Str("worker exploded".into()))]),
+        );
+        let _ = parse_shard_response(&metrics, &plain, 500, 4).unwrap_err();
+        assert_eq!(
+            metrics.audit_mismatches.load(Ordering::Relaxed),
+            1,
+            "plain failures are not audit findings"
+        );
+    }
+
+    #[test]
+    fn shard_requests_carry_the_dispatch_epoch() {
+        let spec = spikegen::dvs_gesture();
+        let job = Arc::new(SweepJob::new(
+            spec,
+            ptb_accel::config::Policy::ptb(),
+            vec![4],
+            run_options(Some(true), Some(7), AuditLevel::Off),
+        ));
+        let dispatch = Dispatch {
+            job: Arc::clone(&job),
+            journal_id: None,
+            quick: true,
+            keys: vec![0],
+            spec_value: job.spec.to_value(),
+            board: Board::new(vec![0], 1, vec![None]),
+        };
+        let body = shard_request_body(&dispatch, 4, 6);
+        let (kind, value) = wire::unframe(&body).unwrap();
+        assert_eq!(kind, wire::KIND_SWEEP);
+        assert_eq!(
+            value.get("epoch").and_then(Value::as_u64),
+            Some(6),
+            "every dispatch frame names its coordinator's epoch"
+        );
+    }
+
+    #[test]
+    fn tail_index_responses_parse_back() {
+        let parsed = parse_tail_index(
+            br#"{"epoch": 3, "leader": true, "journals": [{"id": 1, "bytes": 64}, {"id": 9, "bytes": 128}]}"#,
+        );
+        assert_eq!(parsed, Some((3, vec![(1, 64), (9, 128)])));
+        assert_eq!(
+            parse_tail_index(br#"{"epoch": 2, "leader": true, "journals": []}"#),
+            Some((2, vec![])),
+            "an idle active has no journals but still renews the lease"
+        );
+        assert_eq!(parse_tail_index(b"not json"), None);
+        assert_eq!(parse_tail_index(br#"{"journals": []}"#), None);
+    }
+
+    #[test]
+    fn query_params_parse_from_paths() {
+        assert_eq!(query_param("/journal/tail?job=7&from=64", "job"), Some("7"));
+        assert_eq!(
+            query_param("/journal/tail?job=7&from=64", "from"),
+            Some("64")
+        );
+        assert_eq!(query_param("/journal/tail?job=7", "from"), None);
+        assert_eq!(query_param("/journal/tail", "job"), None);
+        assert_eq!(query_param("/journal/tail?peer=", "peer"), None, "empty");
     }
 
     #[test]

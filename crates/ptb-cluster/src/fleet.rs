@@ -13,7 +13,7 @@
 //! the coordinator's business ([`crate::coordinator`]).
 
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// One worker's liveness slot.
 #[derive(Debug)]
@@ -22,6 +22,9 @@ struct WorkerSlot {
     sock: SocketAddr,
     alive: AtomicBool,
     consecutive_failures: AtomicU32,
+    /// Last `/healthz` generation nonce seen from this worker; `0`
+    /// means none yet (workers never report 0).
+    generation: AtomicU64,
 }
 
 /// A point-in-time view of one worker, for `/cluster` topology
@@ -64,6 +67,7 @@ impl Fleet {
                 sock,
                 alive: AtomicBool::new(true),
                 consecutive_failures: AtomicU32::new(0),
+                generation: AtomicU64::new(0),
             });
         }
         Ok(Fleet {
@@ -127,6 +131,23 @@ impl Fleet {
         false
     }
 
+    /// Records the `/healthz` generation nonce a probe saw for worker
+    /// `index`. Returns `true` when this observation proves a *restart*:
+    /// a different nonce than a previously recorded one. The first
+    /// observation (previous value 0) establishes a baseline and is
+    /// never a restart; workers never report 0, so the sentinel cannot
+    /// collide. A probe that carries no generation (e.g. an old worker
+    /// build) passes 0 here, which records nothing.
+    pub fn note_generation(&self, index: usize, generation: u64) -> bool {
+        if generation == 0 {
+            return false;
+        }
+        let previous = self.workers[index]
+            .generation
+            .swap(generation, Ordering::SeqCst);
+        previous != 0 && previous != generation
+    }
+
     /// Snapshot of every worker for the `/cluster` topology endpoint.
     pub fn statuses(&self) -> Vec<WorkerStatus> {
         self.workers
@@ -170,5 +191,39 @@ mod tests {
     fn bad_addresses_and_empty_fleets_are_rejected() {
         assert!(Fleet::new(&[], 2).is_err());
         assert!(Fleet::new(&["not an address".into()], 2).is_err());
+    }
+
+    #[test]
+    fn each_liveness_transition_is_reported_exactly_once() {
+        // Pins the contract the coordinator's death/revival counters
+        // rely on: however many times a probe round repeats the same
+        // verdict, only the *transition* returns true. Note the three
+        // probe verdicts map onto liveness asymmetrically — garbage or
+        // a busy 503 from a worker proves it is alive (only `/simulate`
+        // and `/sweep` are guarded by admission control, so a healthz
+        // 503 cannot occur; see `admission_cannot_shed_healthz` on the
+        // worker side), and the coordinator never calls `mark_failure`
+        // for them. Only silence reaches this state machine.
+        let f = fleet(1);
+        assert!(f.mark_failure(0), "threshold 1: first silence kills");
+        for _ in 0..5 {
+            assert!(!f.mark_failure(0), "already dead: no second death");
+        }
+        assert!(f.mark_success(0), "revival transition reported once");
+        for _ in 0..5 {
+            assert!(!f.mark_success(0), "already alive: no second revival");
+        }
+    }
+
+    #[test]
+    fn generation_changes_detect_restarts_once_per_change() {
+        let f = fleet(2);
+        assert!(!f.note_generation(0, 7), "first sighting is a baseline");
+        assert!(!f.note_generation(0, 7), "steady state is not a restart");
+        assert!(f.note_generation(0, 9), "changed nonce is a restart");
+        assert!(!f.note_generation(0, 9), "new baseline holds");
+        assert!(!f.note_generation(1, 9), "slots are independent");
+        assert!(!f.note_generation(0, 0), "missing nonce records nothing");
+        assert!(f.note_generation(0, 11), "restart after an empty probe");
     }
 }

@@ -41,6 +41,21 @@ pub struct ClusterMetrics {
     pub backpressure_redispatch: AtomicU64,
     /// `/simulate` requests proxied to a worker.
     pub proxied_simulate: AtomicU64,
+    /// Worker process restarts detected by the prober: the `/healthz`
+    /// generation nonce changed between probes of a worker that never
+    /// looked dead. Counted separately from `worker_deaths` — a fast
+    /// restart inside one probe interval is invisible to liveness but
+    /// still means the worker's caches and in-flight shards were lost.
+    pub worker_restarts: AtomicU64,
+    /// Dispatches a worker rejected with `409` because they carried a
+    /// stale epoch: this coordinator was deposed and fenced at the
+    /// worker boundary (`docs/PROTOCOL.md` §7). Any nonzero value means
+    /// this process demoted itself and stopped dispatching.
+    pub fenced_dispatches: AtomicU64,
+    /// Audit findings reported by workers inside shard error frames.
+    /// Zero on a healthy fleet; a nonzero count means a worker's audited
+    /// shard disagreed with the reference model.
+    pub audit_mismatches: AtomicU64,
     /// `/sweep` endpoint counters.
     pub sweep: EndpointMetrics,
     /// `/simulate` endpoint counters.
@@ -65,6 +80,9 @@ impl ClusterMetrics {
             dispatch_failures: AtomicU64::new(0),
             backpressure_redispatch: AtomicU64::new(0),
             proxied_simulate: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            fenced_dispatches: AtomicU64::new(0),
+            audit_mismatches: AtomicU64::new(0),
             sweep: EndpointMetrics::default(),
             simulate: EndpointMetrics::default(),
             jobs: EndpointMetrics::default(),

@@ -22,6 +22,13 @@
 //!   flow to their next-clockwise live owner and everyone else's
 //!   placement is untouched (property-tested in
 //!   `tests/placement_props.rs`).
+//!
+//! Both properties carry across a coordinator failover for free:
+//! because the ring is seeded by worker *addresses*, a promoted standby
+//! (same configured fleet) builds the identical ring, so the shards it
+//! re-places after replaying the mirrored journal land on the same
+//! workers the deposed active chose — warm caches and all — modulo any
+//! liveness changes its own prober has observed.
 
 use ptb_bench::cache::fnv1a;
 

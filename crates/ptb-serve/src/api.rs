@@ -117,6 +117,12 @@ pub struct SweepRequest {
     /// whose audit finds a divergence fails the whole job; the findings
     /// appear in the job's `audit` object at `GET /jobs/{id}`.
     pub verify: Option<String>,
+    /// The dispatching coordinator's leadership epoch, carried on
+    /// every cluster shard dispatch. A worker remembers the highest
+    /// epoch it has seen and answers `409` to anything lower — zombie
+    /// fencing, see `docs/PROTOCOL.md` §7. Direct clients leave it
+    /// unset and are never fenced.
+    pub epoch: Option<u64>,
 }
 
 /// A validation failure; maps to `422 Unprocessable Content`.

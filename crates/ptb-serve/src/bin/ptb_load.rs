@@ -9,6 +9,8 @@
 //! ptb-load --addr HOST:PORT --poll-job ID           # poll to terminal state
 //! ptb-load --cluster N [--cluster-kill]             # self-contained fleet smoke
 //! ptb-load --cluster N --cluster-saturate           # backpressure chaos: one worker sheds
+//! ptb-load --cluster N --standby --coordinator-kill # HA drill: SIGKILL the active coordinator
+//! ptb-load --cluster N --standby --coordinator-fence # HA drill: fence a zombie coordinator
 //! ptb-load --soak SECS                              # budget-starved governance soak
 //! ptb-load --addr HOST:PORT [--requests N] [--concurrency C]
 //!          [--network NAME] [--policy LABEL] [--tw N]
@@ -67,6 +69,22 @@
 //! survivor's rows exactly. Both print a one-line JSON summary with
 //! wall time and shard throughput; the CI cluster stage runs both.
 //!
+//! `--standby` turns the fleet into the coordinator-HA drill: the
+//! coordinator journals into a real temp directory and `PTB_STANDBYS`
+//! (default 1) hot standbys tail it over `GET /journal/tail`. With
+//! `--coordinator-kill` the drill SIGKILLs the *coordinator* mid-sweep
+//! and demands the promoted standby finish the journaled job with rows
+//! identical to a lone worker's — plus fresh sync sweeps through the
+//! promoted coordinator that are byte-identical across both codecs.
+//! With `--coordinator-fence` the active's tail route goes dark via the
+//! `coordinator_pause` failpoint instead of dying: the standby promotes
+//! while the old active still dispatches, and the drill demands the
+//! zombie's stale-epoch dispatches were rejected by the workers
+//! (`fenced_dispatches >= 1`, a worker `epoch_seen >= 2`), that it
+//! demoted itself, and that the job still finished via the new active.
+//! The poll client follows the `307` + `Location` redirects demoted
+//! coordinators answer with (`docs/PROTOCOL.md` §7).
+//!
 //! `--cluster-saturate` instead strangles worker 0's admission
 //! watermark (`PTB_MEM_WATERMARK_BYTES=1`) so it sheds every shard
 //! with 503 while staying probe-green, and demands the sweep complete
@@ -113,6 +131,9 @@ struct LoadConfig {
     cluster: Option<usize>,
     cluster_kill: bool,
     cluster_saturate: bool,
+    standby: bool,
+    coordinator_kill: bool,
+    coordinator_fence: bool,
     soak: Option<u64>,
 }
 
@@ -199,6 +220,9 @@ fn parse_args() -> LoadConfig {
         cluster: None,
         cluster_kill: false,
         cluster_saturate: false,
+        standby: false,
+        coordinator_kill: false,
+        coordinator_fence: false,
         soak: None,
     };
     if let Ok(addr) = std::env::var("PTB_ADDR") {
@@ -267,6 +291,9 @@ fn parse_args() -> LoadConfig {
             }
             "--cluster-kill" => cfg.cluster_kill = true,
             "--cluster-saturate" => cfg.cluster_saturate = true,
+            "--standby" => cfg.standby = true,
+            "--coordinator-kill" => cfg.coordinator_kill = true,
+            "--coordinator-fence" => cfg.coordinator_fence = true,
             "--soak" => {
                 cfg.soak = Some(parse_or_die(&value("--soak"), "--soak").clamp(1, 600) as u64);
             }
@@ -274,7 +301,8 @@ fn parse_args() -> LoadConfig {
                 println!(
                     "usage: ptb-load [--addr HOST:PORT] (--smoke | --xcheck | --shutdown | \
                      --submit-tws N,N,... | --poll-job ID | \
-                     --cluster N [--cluster-kill | --cluster-saturate] | \
+                     --cluster N [--cluster-kill | --cluster-saturate | \
+                     --standby (--coordinator-kill | --coordinator-fence)] | \
                      --soak SECS | \
                      [--requests N] [--concurrency C] [--network NAME] [--policy LABEL] \
                      [--tw N] [--codec json|bin] [--keepalive] \
@@ -867,6 +895,24 @@ fn spawn_daemon(
 /// demand byte identity with a single direct worker. With
 /// `--cluster-kill`, SIGKILL one worker mid-sweep first.
 fn run_cluster(cfg: &LoadConfig, n: usize) -> Result<(), String> {
+    if cfg.standby {
+        if cfg.cluster_kill || cfg.cluster_saturate {
+            return Err(
+                "--standby pairs with --coordinator-kill / --coordinator-fence, \
+                 not the worker drills"
+                    .into(),
+            );
+        }
+        if cfg.coordinator_kill == cfg.coordinator_fence {
+            return Err(
+                "--standby wants exactly one of --coordinator-kill / --coordinator-fence".into(),
+            );
+        }
+        return run_cluster_failover(cfg, n);
+    }
+    if cfg.coordinator_kill || cfg.coordinator_fence {
+        return Err("--coordinator-kill / --coordinator-fence need --standby".into());
+    }
     if cfg.cluster_kill && cfg.cluster_saturate {
         return Err("pick one of --cluster-kill / --cluster-saturate".into());
     }
@@ -1149,6 +1195,424 @@ fn run_cluster_kill(
         }
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// One failover-aware request: tries each candidate coordinator in
+/// turn, follows a single `307` `Location` hop (the HA redirect of
+/// `docs/PROTOCOL.md` §7), and treats refused connections, `503`s, and
+/// unfollowable redirects as "try the next candidate". `None` means
+/// nobody gave a definitive answer this round; callers retry on a
+/// deadline.
+fn failover_request(
+    candidates: &[SocketAddr],
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Option<(u16, String)> {
+    for &addr in candidates {
+        let Ok(mut resp) = client::request_typed(addr, method, path, None, body) else {
+            continue;
+        };
+        if resp.status == 307 {
+            let Some(target) = resp
+                .location
+                .as_deref()
+                .and_then(|loc| loc.to_socket_addrs().ok())
+                .and_then(|mut it| it.next())
+            else {
+                continue;
+            };
+            resp = match client::request_typed(target, method, path, None, body) {
+                Ok(followed) => followed,
+                Err(_) => continue,
+            };
+        }
+        match resp.status {
+            307 | 503 => continue,
+            status => return Some((status, String::from_utf8_lossy(&resp.body).to_string())),
+        }
+    }
+    None
+}
+
+/// `--cluster N --standby`: the coordinator-HA drills. Spawns `N`
+/// workers, an active coordinator journaling into a real temp job dir
+/// on a short lease, and `PTB_STANDBYS` hot standbys tailing it, then
+/// submits a journaled background sweep and injects the configured
+/// coordinator failure:
+///
+/// - `--coordinator-kill` SIGKILLs the active with shards in flight.
+///   A standby must promote, replay the mirrored journal, and finish
+///   the job with rows identical to a lone worker's — and fresh sync
+///   sweeps through the promoted coordinator must be byte-identical
+///   to a single node across both codecs.
+/// - `--coordinator-fence` leaves the active running but arms
+///   `coordinator_pause=err@2` on it, so its tail route goes dark
+///   after the standby's initial sync. The standby promotes while the
+///   zombie still dispatches; the drill demands the workers rejected
+///   the zombie's stale epoch (`fenced_dispatches >= 1` on the zombie,
+///   `epoch_seen >= 2` on a worker), that the zombie demoted itself,
+///   and that the job finished via the new active anyway.
+///
+/// Both modes also demand the promoted coordinator reports an epoch
+/// above the deposed active's and zero `audit_mismatches`.
+fn run_cluster_failover(cfg: &LoadConfig, n: usize) -> Result<(), String> {
+    let n = n.max(2);
+    let binary = clusterd_binary()?;
+    // The fence drill needs exactly one standby so the promotion (and
+    // the epoch the zombie is judged against) is deterministic.
+    let standbys = if cfg.coordinator_fence {
+        1
+    } else {
+        std::env::var("PTB_STANDBYS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1)
+            .clamp(1, 3)
+    };
+    let scratch = std::env::temp_dir().join(format!("ptb-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Workers: every shard dawdles at `shard_exec` so the coordinator
+    // kill (or the zombie's fencing) reliably lands with work in
+    // flight.
+    let mut fleet = FleetProcs { children: vec![] };
+    let worker_envs: Vec<(&str, String)> = vec![("PTB_FAILPOINTS", "shard_exec=sleep:200".into())];
+    let mut worker_addrs = Vec::with_capacity(n);
+    for tag in 0..n {
+        let (child, addr) = spawn_daemon(
+            &binary,
+            &[
+                "--spawn-worker",
+                "--addr",
+                "127.0.0.1:0",
+                "--job-dir",
+                "off",
+                "--workers",
+                "2",
+            ],
+            &worker_envs,
+            tag,
+        )?;
+        fleet.children.push(child);
+        worker_addrs.push(addr);
+    }
+    let worker_list = worker_addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // The active coordinator, journaling for real (standbys mirror the
+    // journals) on a short lease so the drill converges quickly.
+    let active_dir = scratch.join("active").display().to_string();
+    let mut active_envs: Vec<(&str, String)> = vec![];
+    if cfg.coordinator_fence {
+        // Two free index polls let the standby finish its initial
+        // mirror sync; every later poll errors, so the standby hears
+        // silence and promotes while the active still dispatches.
+        active_envs.push(("PTB_FAILPOINTS", "coordinator_pause=err@2".into()));
+    }
+    let (active_child, active_addr) = spawn_daemon(
+        &binary,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &worker_list,
+            "--job-dir",
+            &active_dir,
+            "--probe-ms",
+            "100",
+            "--probe-timeout-ms",
+            "500",
+            "--fail-threshold",
+            "1",
+            "--lease-ms",
+            "600",
+        ],
+        &active_envs,
+        n,
+    )?;
+    let active_slot = fleet.children.len();
+    fleet.children.push(active_child);
+
+    // Submit the journaled sweep BEFORE any standby boots: the very
+    // first tail sync then mirrors the submit record, so the drill
+    // never races the mirror against the failpoint or the kill.
+    let tws: Vec<u32> = if cfg.coordinator_fence {
+        // Extra shards keep the zombie dispatching well past the
+        // standby's promotion, so a stale-epoch dispatch must happen.
+        (1..=32).collect()
+    } else {
+        (1..=24).collect()
+    };
+    let sweep = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": {tws:?}, \
+         \"quick\": true, \"seed\": 42}}",
+        cfg.network, cfg.policy
+    );
+    let background = format!(
+        "{}, \"background\": true}}",
+        sweep.strip_suffix('}').expect("sweep body ends with }")
+    );
+    let started = Instant::now();
+    let (status, ack) = client::request_json(active_addr, "POST", "/sweep", &background)
+        .map_err(|e| format!("background /sweep: {e}"))?;
+    if status != 202 {
+        return Err(format!("background /sweep answered {status}: {ack}"));
+    }
+    let ack: Value = serde_json::from_str(&ack).map_err(|e| format!("bad ack: {e}: {ack}"))?;
+    let id = ack
+        .get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("ack has no job id: {ack:?}"))?;
+
+    let peer = active_addr.to_string();
+    let mut standby_addrs = Vec::with_capacity(standbys);
+    for k in 0..standbys {
+        let dir = scratch.join(format!("standby-{k}")).display().to_string();
+        let (child, addr) = spawn_daemon(
+            &binary,
+            &[
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                &worker_list,
+                "--job-dir",
+                &dir,
+                "--standby",
+                "--peer",
+                &peer,
+                "--probe-ms",
+                "100",
+                "--probe-timeout-ms",
+                "500",
+                "--fail-threshold",
+                "1",
+                "--lease-ms",
+                "600",
+            ],
+            &[],
+            n + 1 + k,
+        )?;
+        fleet.children.push(child);
+        standby_addrs.push(addr);
+    }
+
+    if cfg.coordinator_kill {
+        // Wait until a shard has actually round-tripped (the journal
+        // holds a submit plus dispatch records), then SIGKILL the
+        // active with the rest of the sweep still in flight.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let parsed = fetch_metrics(active_addr)?;
+            if metric_u64(&parsed, "shards_dispatched") >= 1 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err("no shard ever completed before the coordinator kill".into());
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let child = &mut fleet.children[active_slot];
+        child.kill().map_err(|e| format!("kill coordinator: {e}"))?;
+        let _ = child.wait();
+    }
+
+    // Poll the job to done through whatever coordinator answers.
+    // Before promotion a standby 307s to the (dead or fenced) active
+    // and a promoted standby may briefly answer 404 between taking
+    // leadership and finishing its journal replay — both retry.
+    let mut candidates = vec![active_addr];
+    candidates.extend(standby_addrs.iter().copied());
+    let path = format!("/jobs/{id}");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let rows_text = loop {
+        if let Some((status, body)) = failover_request(&candidates, "GET", &path, b"") {
+            match status {
+                200 => {
+                    let poll: Value = serde_json::from_str(&body)
+                        .map_err(|e| format!("bad poll: {e}: {body}"))?;
+                    if poll.get("failed").and_then(Value::as_bool) == Some(true) {
+                        return Err(format!("sweep failed across the failover: {body}"));
+                    }
+                    if poll.get("done").and_then(Value::as_bool) == Some(true) {
+                        let rows = poll.get("rows").ok_or_else(|| format!("no rows: {body}"))?;
+                        break serde_json::to_string(rows)
+                            .map_err(|e| format!("render rows: {e}"))?;
+                    }
+                }
+                404 => {}
+                other => return Err(format!("poll answered {other}: {body}")),
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("sweep never finished across the failover".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    // The promoted coordinator: whichever standby now claims the
+    // active role (the fence drill's zombie also said "active" until
+    // its demotion, so only standbys are consulted).
+    let promoted = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let promoted = standby_addrs.iter().copied().find(|&addr| {
+                matches!(
+                    client::request_json(addr, "GET", "/healthz", ""),
+                    Ok((200, body)) if body.contains("\"role\": \"active\"")
+                )
+            });
+            if let Some(addr) = promoted {
+                break addr;
+            }
+            if Instant::now() >= deadline {
+                return Err("no standby ever promoted itself".into());
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+
+    if cfg.coordinator_fence {
+        // The zombie must have been fenced at the worker boundary and
+        // demoted itself on the first 409.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let parsed = fetch_metrics(active_addr)?;
+            let fenced = metric_u64(&parsed, "fenced_dispatches");
+            let still_leader = parsed.get("leader").and_then(Value::as_bool) == Some(true);
+            if fenced >= 1 && !still_leader {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "the zombie coordinator was never fenced: {parsed:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let bumped = worker_addrs
+            .iter()
+            .any(|&w| fetch_metrics(w).is_ok_and(|m| metric_u64(&m, "epoch_seen") >= 2));
+        if !bumped {
+            return Err("no worker ever saw the promoted epoch".into());
+        }
+    }
+
+    let parsed = fetch_metrics(promoted)?;
+    let epoch = metric_u64(&parsed, "epoch");
+    if epoch < 2 {
+        return Err(format!(
+            "promoted coordinator claims epoch {epoch}, wanted >= 2"
+        ));
+    }
+    if parsed.get("leader").and_then(Value::as_bool) != Some(true) {
+        return Err(format!(
+            "promoted coordinator does not report leadership: {parsed:?}"
+        ));
+    }
+    if metric_u64(&parsed, "audit_mismatches") != 0 {
+        return Err(format!("audit mismatches across the failover: {parsed:?}"));
+    }
+
+    // The journaled job's rows must match a lone worker running the
+    // same sweep — failover may cost recomputation, never correctness.
+    let (status, direct) = client::request_json(worker_addrs[0], "POST", "/sweep", &sweep)
+        .map_err(|e| format!("direct /sweep: {e}"))?;
+    if status != 200 {
+        return Err(format!("direct /sweep answered {status}: {direct}"));
+    }
+    let failover_rows: Vec<SweepRow> = serde_json::from_str(&rows_text)
+        .map_err(|e| format!("failover rows do not parse: {e}: {rows_text}"))?;
+    let direct_rows: Vec<SweepRow> =
+        serde_json::from_str(&direct).map_err(|e| format!("direct rows do not parse: {e}"))?;
+    if failover_rows != direct_rows {
+        return Err(format!(
+            "failover rows diverge from a single node\n  failover: {rows_text}\n  \
+             direct:   {direct}"
+        ));
+    }
+
+    // Fresh sync sweeps through the promoted coordinator: byte-
+    // identical to a single node in JSON, and the binary codec must
+    // decode to those exact bytes (the cross-codec contract survives
+    // promotion).
+    let small_json = format!(
+        "{{\"network\": \"{}\", \"policy\": \"{}\", \"tws\": [1, 2, 4, 8], \
+         \"quick\": true, \"seed\": 42}}",
+        cfg.network, cfg.policy
+    );
+    let small_value = Value::Object(vec![
+        ("network".into(), Value::Str(cfg.network.clone())),
+        ("policy".into(), Value::Str(cfg.policy.clone())),
+        (
+            "tws".into(),
+            Value::Array(vec![
+                Value::U64(1),
+                Value::U64(2),
+                Value::U64(4),
+                Value::U64(8),
+            ]),
+        ),
+        ("quick".into(), Value::Bool(true)),
+        ("seed".into(), Value::U64(42)),
+    ]);
+    let (status, via_cluster) = client::request_json(promoted, "POST", "/sweep", &small_json)
+        .map_err(|e| format!("promoted /sweep: {e}"))?;
+    if status != 200 {
+        return Err(format!("promoted /sweep answered {status}: {via_cluster}"));
+    }
+    let (status, via_worker) =
+        client::request_json(worker_addrs[1 % n], "POST", "/sweep", &small_json)
+            .map_err(|e| format!("reference /sweep: {e}"))?;
+    if status != 200 {
+        return Err(format!("reference /sweep answered {status}: {via_worker}"));
+    }
+    if via_cluster != via_worker {
+        return Err(format!(
+            "promoted coordinator's sweep is not byte-identical to a single node\n  \
+             cluster: {via_cluster}\n  direct:  {via_worker}"
+        ));
+    }
+    let bin = client::request_typed(
+        promoted,
+        "POST",
+        "/sweep",
+        Some(wire::CONTENT_TYPE),
+        &wire::frame(wire::KIND_SWEEP, &small_value),
+    )
+    .map_err(|e| format!("promoted /sweep (bin): {e}"))?;
+    if bin.status != 200 {
+        return Err(format!(
+            "promoted /sweep (bin) answered {}: {}",
+            bin.status,
+            String::from_utf8_lossy(&bin.body)
+        ));
+    }
+    check_bit_identical("/sweep", wire::KIND_ROWS, &bin.body, via_cluster.as_bytes())?;
+
+    let _ = client::request_json(promoted, "POST", "/shutdown", "");
+    if !cfg.coordinator_kill {
+        let _ = client::request_json(active_addr, "POST", "/shutdown", "");
+    }
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "{{\"label\": \"{}\", \"mode\": \"{}\", \"workers\": {n}, \
+         \"standbys\": {standbys}, \"epoch\": {epoch}, \"shards\": {}, \
+         \"wall_s\": {wall:.3}, \"bit_identical\": true}}",
+        cfg.label,
+        if cfg.coordinator_kill {
+            "coordinator-kill"
+        } else {
+            "coordinator-fence"
+        },
+        tws.len(),
+    );
+    Ok(())
 }
 
 /// A numeric counter out of a parsed `/metrics` body (0 when absent).

@@ -27,6 +27,10 @@ pub struct ClientResponse {
     pub status: u16,
     /// Seconds the server asked us to wait before retrying (`503`s).
     pub retry_after: Option<u64>,
+    /// The `Location` header, when present — a demoted cluster
+    /// coordinator answers `307` with the active's address here (see
+    /// `docs/PROTOCOL.md` §7), and redirect-aware callers follow it.
+    pub location: Option<String>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -311,9 +315,16 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
             .then(|| value.trim().parse::<u64>().ok())
             .flatten()
     });
+    let location = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("location")
+            .then(|| value.trim().to_string())
+            .filter(|v| !v.is_empty())
+    });
     Ok(ClientResponse {
         status,
         retry_after,
+        location,
         body: raw[head_end + 4..].to_vec(),
     })
 }
@@ -348,19 +359,12 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The next sleep given the previous one (decorrelated jitter).
-    /// Public so other retry loops — the cluster coordinator's health
-    /// prober and dispatcher — reuse the exact schedule instead of
-    /// inventing a second, subtly different one.
+    /// Delegates to the one shared schedule in [`ptb_bench::backoff`]
+    /// so the cluster coordinator's health prober and dispatcher, the
+    /// standby's tail loop, and these client retries all draw from the
+    /// same generator instead of subtly different copies.
     pub fn next_sleep(&self, prev: Duration, rng: &mut u64) -> Duration {
-        // SplitMix64 step for the uniform draw.
-        *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
-        let base = self.base.as_secs_f64();
-        let hi = (prev.as_secs_f64() * 3.0).max(base);
-        Duration::from_secs_f64((base + unit * (hi - base)).min(self.cap.as_secs_f64()))
+        ptb_bench::backoff::next_sleep(self.base, self.cap, prev, rng)
     }
 }
 

@@ -344,6 +344,10 @@ pub struct Response {
     /// When set, a `Retry-After: N` header (seconds) is emitted —
     /// backpressure guidance on `503` responses.
     pub retry_after: Option<u64>,
+    /// When set, a `Location:` header is emitted — the redirect target
+    /// on `307` responses from a demoted cluster coordinator (see
+    /// `docs/PROTOCOL.md` §7).
+    pub location: Option<String>,
     /// Whether the server closes the connection after this response
     /// (`Connection: close` vs `keep-alive`). Constructors default to
     /// `true`; the keep-alive loop clears it when the connection
@@ -359,6 +363,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            location: None,
             close: true,
         }
     }
@@ -374,8 +379,19 @@ impl Response {
             )
             .into_bytes(),
             retry_after: None,
+            location: None,
             close: true,
         }
+    }
+
+    /// A `307 Temporary Redirect` to `target` (a `http://host:port`
+    /// base URL) — how a demoted coordinator points clients at the
+    /// active one. `307` (not `302`) so the client repeats the same
+    /// method and body against the target.
+    pub fn redirect(target: &str) -> Self {
+        let mut resp = Response::error(307, &format!("not the active coordinator; try {target}"));
+        resp.location = Some(target.to_string());
+        resp
     }
 
     /// A `503 Service Unavailable` carrying `Retry-After` backpressure
@@ -393,9 +409,14 @@ impl Response {
             .retry_after
             .map(|s| format!("Retry-After: {s}\r\n"))
             .unwrap_or_default();
+        let location = self
+            .location
+            .as_deref()
+            .map(|t| format!("Location: {t}\r\n"))
+            .unwrap_or_default();
         let conn = if self.close { "close" } else { "keep-alive" };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: {conn}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}{location}Connection: {conn}\r\n\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
@@ -419,10 +440,12 @@ fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        307 => "Temporary Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
         431 => "Request Header Fields Too Large",
@@ -574,5 +597,29 @@ mod tests {
 
         let plain = String::from_utf8(Response::error(503, "busy").to_bytes()).unwrap();
         assert!(!plain.contains("Retry-After"), "{plain}");
+    }
+
+    #[test]
+    fn redirects_carry_a_location_header() {
+        let resp = Response::redirect("http://127.0.0.1:9999");
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 307 Temporary Redirect\r\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Location: http://127.0.0.1:9999\r\n"),
+            "{text}"
+        );
+
+        // Non-redirect responses never emit a Location header.
+        let plain = String::from_utf8(Response::json("{}".into()).to_bytes()).unwrap();
+        assert!(!plain.contains("Location:"), "{plain}");
+    }
+
+    #[test]
+    fn fencing_conflicts_have_a_reason_phrase() {
+        let text = String::from_utf8(Response::error(409, "stale epoch").to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 409 Conflict\r\n"), "{text}");
     }
 }

@@ -10,7 +10,7 @@
 //! payload           :=  JSON, one of:
 //!   {"type":"submit","id":N,"network":{...},"policy":"LABEL","tws":[...],"quick":B,"seed":N,"verify":"LEVEL"}
 //!   {"type":"shard","index":I,"row":{"tw":..,"energy_j":..,"seconds":..,"edp":..}}
-//!   {"type":"dispatch","index":I,"worker":"HOST:PORT"}
+//!   {"type":"dispatch","index":I,"worker":"HOST:PORT","epoch":E}
 //!   {"type":"done"}
 //! ```
 //!
@@ -19,11 +19,24 @@
 //! before the field existed replay as `off`.
 //!
 //! `"dispatch"` records are written by the *cluster coordinator* only
-//! (`ptb-cluster`): they journal which worker each shard was sent to,
-//! so a restarted coordinator resumes its dispatch map alongside the
-//! completed rows. Worker daemons never write them, and replay treats
-//! them as advisory — a shard with a dispatch record but no row simply
-//! re-dispatches.
+//! (`ptb-cluster`): they journal which worker each shard was sent to
+//! and under which leadership epoch (see `docs/PROTOCOL.md` §7), so a
+//! restarted or newly promoted coordinator resumes its dispatch map
+//! alongside the completed rows. Worker daemons never write them, and
+//! replay treats them as advisory — a shard with a dispatch record but
+//! no row simply re-dispatches. When one shard carries several
+//! dispatch records (re-dispatch after a worker death, or a failover
+//! re-placing an old epoch's in-flight shards), replay resolves them
+//! to one entry per shard: the highest epoch wins, and within an epoch
+//! the latest record wins — so old-epoch dispatches superseded by a
+//! new coordinator never resurrect. Records without an epoch field
+//! (pre-HA journals) resolve as epoch 0.
+//!
+//! Beside the job files, the coordinator persists its leadership epoch
+//! in a one-line `epoch` text file ([`read_epoch`] / [`write_epoch`]),
+//! and standbys mirror journal bytes through the byte-offset helpers
+//! ([`JobJournal::tail_index`], [`JobJournal::read_from`],
+//! [`JobJournal::append_raw`]) serving `GET /journal/tail`.
 //!
 //! The discipline mirrors the disk `ActivityCache`: every record
 //! carries its own FNV-1a checksum, appends are single `write` calls
@@ -134,9 +147,10 @@ pub struct ReplayedJob {
     pub verify: AuditLevel,
     /// Journaled shard completions, `(original index, row)`.
     pub shards: Vec<(usize, SweepRow)>,
-    /// Journaled coordinator dispatches, `(shard index, worker addr)`,
-    /// in append order (latest entry for an index wins). Empty for
-    /// worker-written journals.
+    /// Journaled coordinator dispatches, resolved to one entry per
+    /// dispatched shard — `(shard index, worker addr)`, sorted by
+    /// index. Across epochs the highest epoch wins; within an epoch
+    /// the latest record wins. Empty for worker-written journals.
     pub dispatches: Vec<(usize, String)>,
     /// Whether a `done` record closed the job (with every shard
     /// present); `false` means the job must resume.
@@ -341,11 +355,13 @@ impl JobJournal {
     }
 
     /// Journals that shard `index` of job `id` was dispatched to
-    /// `worker` (coordinator-only; see the module docs).
-    pub fn log_dispatch(&self, id: u64, index: usize, worker: &str) {
+    /// `worker` under leadership `epoch` (coordinator-only; see the
+    /// module docs).
+    pub fn log_dispatch(&self, id: u64, index: usize, worker: &str, epoch: u64) {
         let worker_json = serde_json::to_string(worker).expect("string serialization");
-        let payload =
-            format!("{{\"type\":\"dispatch\",\"index\":{index},\"worker\":{worker_json}}}");
+        let payload = format!(
+            "{{\"type\":\"dispatch\",\"index\":{index},\"worker\":{worker_json},\"epoch\":{epoch}}}"
+        );
         self.write_record(id, &payload, false);
     }
 
@@ -467,6 +483,89 @@ impl JobJournal {
         std::fs::write(&tmp, out)?;
         std::fs::rename(&tmp, path)
     }
+
+    /// Lists every job journal as `(id, bytes on disk)`, sorted by id —
+    /// the index a coordinator serves at `GET /journal/tail` so a
+    /// standby can see which journals grew past its local mirror.
+    pub fn tail_index(&self) -> Vec<(u64, u64)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut index: Vec<(u64, u64)> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let id = journal_file_id(e.file_name().to_str()?)?;
+                let len = e.metadata().ok()?.len();
+                Some((id, len))
+            })
+            .collect();
+        index.sort_unstable();
+        index
+    }
+
+    /// Size of job `id`'s journal file in bytes (0 when absent) — the
+    /// cursor a standby resumes tailing from.
+    pub fn file_len(&self, id: u64) -> u64 {
+        std::fs::metadata(self.path(id))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Raw journal bytes of job `id` from byte offset `from` — the
+    /// cursor form of `GET /journal/tail`. Because journal files are
+    /// append-only, any prefix a standby already holds stays valid;
+    /// only the bytes past its cursor are fetched. Reading past EOF
+    /// returns empty.
+    pub fn read_from(&self, id: u64, from: u64) -> std::io::Result<Vec<u8>> {
+        let bytes = std::fs::read(self.path(id))?;
+        let from = usize::try_from(from).unwrap_or(usize::MAX);
+        Ok(bytes.get(from..).unwrap_or_default().to_vec())
+    }
+
+    /// Appends raw tailed bytes to job `id`'s local mirror, verifying
+    /// the file currently ends at byte `at` (the cursor the bytes were
+    /// fetched from). `at == 0` (re)creates the file — the bytes then
+    /// start with the magic, fetched from offset 0. A cursor mismatch
+    /// (the mirror changed underfoot, or the source was salvaged and
+    /// shrank) is an error; the caller refetches from 0.
+    pub fn append_raw(&self, id: u64, at: u64, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let _serialized = lock_recover(&self.append_lock);
+        let path = self.path(id);
+        if at == 0 {
+            return std::fs::write(path, bytes);
+        }
+        let current = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if current != at {
+            return Err(std::io::Error::other(format!(
+                "tail cursor mismatch for job {id}: local mirror is {current} bytes, \
+                 fetched from {at}"
+            )));
+        }
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        file.write_all(bytes)
+    }
+}
+
+/// Reads the persisted leadership epoch from `dir/epoch` (one decimal
+/// line). Absent or unparseable reads as 0 — a fresh coordinator then
+/// starts at epoch 1.
+pub fn read_epoch(dir: &Path) -> u64 {
+    std::fs::read_to_string(dir.join("epoch"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Persists the leadership epoch to `dir/epoch` via temp file + atomic
+/// rename, the same discipline as journal rewrites. A coordinator must
+/// persist its epoch *before* dispatching anything under it, so a
+/// crash can never resurrect a lower epoch.
+pub fn write_epoch(dir: &Path, epoch: u64) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("epoch.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, format!("{epoch}\n"))?;
+    std::fs::rename(&tmp, dir.join("epoch"))
 }
 
 /// Frames one record: `[len u32 LE][fnv1a u64 LE][payload]`.
@@ -540,7 +639,9 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
         .unwrap_or(AuditLevel::Off);
 
     let mut shards: Vec<(usize, SweepRow)> = Vec::new();
-    let mut dispatches: Vec<(usize, String)> = Vec::new();
+    // Raw dispatch entries in append order, `(index, worker, epoch)`;
+    // resolved to one winner per index below.
+    let mut dispatches: Vec<(usize, String, u64)> = Vec::new();
     let mut done = false;
     let mut valid_records = 1;
     for payload in &records[1..] {
@@ -571,7 +672,10 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
                 let parsed = (|| {
                     let index = record.get("index")?.as_u64()? as usize;
                     let worker = record.get("worker")?.as_str()?.to_string();
-                    (index < tws.len()).then_some((index, worker))
+                    // Pre-HA journals carry no epoch: resolve as 0 so
+                    // any epoch-stamped re-dispatch supersedes them.
+                    let epoch = record.get("epoch").and_then(|e| e.as_u64()).unwrap_or(0);
+                    (index < tws.len()).then_some((index, worker, epoch))
                 })();
                 let Some(entry) = parsed else {
                     break;
@@ -598,11 +702,33 @@ fn interpret_records(records: &[Vec<u8>]) -> Option<Interpreted> {
             seed,
             verify,
             shards,
-            dispatches,
+            dispatches: resolve_dispatches(dispatches),
             done,
         },
         valid_records,
     })
+}
+
+/// Resolves raw dispatch entries (append order) to exactly one winner
+/// per shard index: the highest epoch wins, and within an epoch the
+/// latest record wins. The result is sorted by index, which together
+/// with the epoch rule makes the resolution independent of record
+/// order whenever epochs differ — an old-epoch dispatch can never
+/// shadow a new-epoch re-dispatch no matter how the records interleave
+/// on disk (property-tested below).
+fn resolve_dispatches(raw: Vec<(usize, String, u64)>) -> Vec<(usize, String)> {
+    let mut best: Vec<(usize, String, u64)> = Vec::new();
+    for (index, worker, epoch) in raw {
+        match best.iter_mut().find(|(i, _, _)| *i == index) {
+            // `>=`: within one epoch the later record supersedes (a
+            // re-dispatch after a worker death).
+            Some(entry) if epoch >= entry.2 => *entry = (index, worker, epoch),
+            Some(_) => {}
+            None => best.push((index, worker, epoch)),
+        }
+    }
+    best.sort_by_key(|(i, _, _)| *i);
+    best.into_iter().map(|(i, w, _)| (i, w)).collect()
 }
 
 /// UTF-8 + JSON parse of one payload, `None` on any failure.
@@ -760,11 +886,11 @@ mod tests {
             11,
             AuditLevel::Off,
         );
-        journal.log_dispatch(5, 0, "127.0.0.1:4001");
-        journal.log_dispatch(5, 2, "127.0.0.1:4002");
+        journal.log_dispatch(5, 0, "127.0.0.1:4001", 1);
+        journal.log_dispatch(5, 2, "127.0.0.1:4002", 1);
         journal.log_shard(5, 0, &row(1, 2.0));
-        // Re-dispatch after a worker death: both entries replay, last wins.
-        journal.log_dispatch(5, 2, "127.0.0.1:4001");
+        // Re-dispatch after a worker death: same epoch, latest wins.
+        journal.log_dispatch(5, 2, "127.0.0.1:4001", 1);
 
         let fresh = JobJournal::new(&dir);
         let jobs = fresh.replay();
@@ -775,21 +901,199 @@ mod tests {
             job.dispatches,
             vec![
                 (0, "127.0.0.1:4001".to_string()),
-                (2, "127.0.0.1:4002".to_string()),
                 (2, "127.0.0.1:4001".to_string()),
-            ]
+            ],
+            "one resolved entry per shard; latest same-epoch entry wins"
         );
         assert!(!job.done);
         assert_eq!(fresh.stats().recovered, 0, "dispatch records are clean");
 
         // An out-of-range dispatch index is semantic corruption: the
         // prefix salvages, the bad tail does not.
-        journal.log_dispatch(5, 99, "127.0.0.1:4009");
+        journal.log_dispatch(5, 99, "127.0.0.1:4009", 1);
         let again = JobJournal::new(&dir);
         let jobs = again.replay();
-        assert_eq!(jobs[0].dispatches.len(), 3);
+        assert_eq!(jobs[0].dispatches.len(), 2);
         assert_eq!(again.stats().recovered, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dispatches_without_an_epoch_field_lose_to_stamped_redispatches() {
+        // A pre-HA journal line (no epoch key) resolves as epoch 0, so
+        // a failover's epoch-stamped re-dispatch supersedes it even
+        // when the legacy record comes later in the file.
+        let legacy = br#"{"type":"dispatch","index":0,"worker":"127.0.0.1:4001"}"#;
+        let stamped = br#"{"type":"dispatch","index":0,"worker":"127.0.0.1:4002","epoch":2}"#;
+        let submit = submit_payload(6, &[1, 4]);
+        for order in [
+            vec![&submit[..], stamped, legacy],
+            vec![&submit[..], legacy, stamped],
+        ] {
+            let records: Vec<Vec<u8>> = order.iter().map(|r| r.to_vec()).collect();
+            let job = interpret_records(&records).unwrap().job;
+            assert_eq!(job.dispatches, vec![(0, "127.0.0.1:4002".to_string())]);
+        }
+    }
+
+    /// A framing-valid submit payload for `tws`, built by logging one
+    /// and reading it back — so interpretation tests can compose record
+    /// sequences by hand.
+    fn submit_payload(id: u64, tws: &[u32]) -> Vec<u8> {
+        let dir = tmp_dir(&format!("submit-payload-{id}"));
+        let journal = JobJournal::new(&dir);
+        journal.log_submit(
+            id,
+            &spikegen::dvs_gesture(),
+            Policy::ptb(),
+            tws,
+            true,
+            42,
+            AuditLevel::Off,
+        );
+        let bytes = std::fs::read(journal.path(id)).unwrap();
+        let (records, clean) = parse_records(&bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(clean);
+        records.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn interleaved_multi_epoch_dispatches_resolve_order_independently() {
+        // Property test (satellite): shuffle dispatch records from two
+        // epochs (old-epoch placements superseded by a promoted
+        // coordinator's re-dispatches) together with duplicate shard
+        // rows, over many deterministic permutations. Whatever the
+        // record order, replay must adopt exactly one row per journaled
+        // shard and resolve every dispatched shard to its
+        // highest-epoch worker.
+        let tws = [1u32, 4, 8, 16];
+        let submit = submit_payload(7, &tws);
+        let mut tail: Vec<Vec<u8>> = Vec::new();
+        for index in 0..tws.len() {
+            // Epoch 1: the original placements.
+            tail.push(
+                format!(
+                    "{{\"type\":\"dispatch\",\"index\":{index},\
+                     \"worker\":\"127.0.0.1:4001\",\"epoch\":1}}"
+                )
+                .into_bytes(),
+            );
+        }
+        for index in [1usize, 3] {
+            // Epoch 2: the promoted coordinator re-places two shards.
+            tail.push(
+                format!(
+                    "{{\"type\":\"dispatch\",\"index\":{index},\
+                     \"worker\":\"127.0.0.1:4002\",\"epoch\":2}}"
+                )
+                .into_bytes(),
+            );
+        }
+        for index in [0usize, 2] {
+            // Rows journaled twice (both coordinators heard the same
+            // deterministic result): adoption must dedup to one each.
+            let row_json = serde_json::to_string(&row(tws[index], index as f64 + 1.0)).unwrap();
+            let payload =
+                format!("{{\"type\":\"shard\",\"index\":{index},\"row\":{row_json}}}").into_bytes();
+            tail.push(payload.clone());
+            tail.push(payload);
+        }
+
+        // Deterministic Fisher–Yates over a SplitMix64 stream.
+        let mut rng = 0x00DD_5EED_u64;
+        for _ in 0..200 {
+            let mut shuffled = tail.clone();
+            for i in (1..shuffled.len()).rev() {
+                let unit = ptb_bench::backoff::splitmix_unit(&mut rng);
+                let j = (unit * (i + 1) as f64) as usize;
+                shuffled.swap(i, j.min(i));
+            }
+            let mut records = vec![submit.clone()];
+            records.extend(shuffled);
+            let job = interpret_records(&records).unwrap().job;
+
+            let mut adopted: Vec<usize> = job.shards.iter().map(|(i, _)| *i).collect();
+            adopted.sort_unstable();
+            assert_eq!(adopted, vec![0, 2], "exactly one adopted row per shard");
+            for (index, row_got) in &job.shards {
+                assert_eq!(*row_got, row(tws[*index], *index as f64 + 1.0));
+            }
+            assert_eq!(
+                job.dispatches,
+                vec![
+                    (0, "127.0.0.1:4001".to_string()),
+                    (1, "127.0.0.1:4002".to_string()),
+                    (2, "127.0.0.1:4001".to_string()),
+                    (3, "127.0.0.1:4002".to_string()),
+                ],
+                "highest epoch wins for every shard, in any record order"
+            );
+            assert!(!job.done);
+        }
+    }
+
+    #[test]
+    fn epoch_file_roundtrips_and_defaults_to_zero() {
+        let dir = tmp_dir("epoch");
+        assert_eq!(read_epoch(&dir), 0, "no directory yet");
+        write_epoch(&dir, 3).unwrap();
+        assert_eq!(read_epoch(&dir), 3);
+        write_epoch(&dir, 4).unwrap();
+        assert_eq!(read_epoch(&dir), 4, "monotone rewrites");
+        std::fs::write(dir.join("epoch"), b"garbage").unwrap();
+        assert_eq!(read_epoch(&dir), 0, "unparseable reads as 0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_helpers_mirror_a_journal_byte_for_byte() {
+        let dir = tmp_dir("tail-src");
+        let mirror_dir = tmp_dir("tail-dst");
+        let source = JobJournal::new(&dir);
+        let mirror = JobJournal::new(&mirror_dir);
+        let spec = spikegen::dvs_gesture();
+        source.log_submit(4, &spec, Policy::ptb(), &[1, 4], true, 9, AuditLevel::Off);
+        source.log_dispatch(4, 0, "127.0.0.1:4001", 1);
+
+        let index = source.tail_index();
+        assert_eq!(index.len(), 1);
+        let (id, len) = index[0];
+        assert_eq!(id, 4);
+        assert_eq!(len, source.file_len(4));
+
+        // First pull: everything from 0.
+        let bytes = source.read_from(4, 0).unwrap();
+        mirror.append_raw(4, 0, &bytes).unwrap();
+        assert_eq!(mirror.file_len(4), len);
+
+        // The source grows; the mirror pulls only the delta.
+        source.log_shard(4, 0, &row(1, 2.0));
+        let grown = source.file_len(4);
+        assert!(grown > len);
+        let delta = source.read_from(4, len).unwrap();
+        mirror.append_raw(4, len, &delta).unwrap();
+        assert_eq!(
+            std::fs::read(mirror.path(4)).unwrap(),
+            std::fs::read(source.path(4)).unwrap(),
+            "mirror is byte-identical"
+        );
+
+        // A cursor mismatch is refused (caller refetches from 0).
+        assert!(mirror.append_raw(4, len, &delta).is_err());
+        // Reading past EOF is empty, not an error.
+        assert!(source.read_from(4, grown + 100).unwrap().is_empty());
+
+        // The mirrored journal replays exactly like the source's.
+        let replayed = JobJournal::new(&mirror_dir).replay();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].shards, vec![(0, row(1, 2.0))]);
+        assert_eq!(
+            replayed[0].dispatches,
+            vec![(0, "127.0.0.1:4001".to_string())]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&mirror_dir);
     }
 
     #[test]

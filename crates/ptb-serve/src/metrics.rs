@@ -151,6 +151,11 @@ pub struct Metrics {
     /// memory pressure could hurt the process. Light routes are never
     /// shed.
     pub admission_shed: AtomicU64,
+    /// Sweep dispatches rejected with `409` because they carried an
+    /// epoch below this worker's high-water mark — a deposed (zombie)
+    /// coordinator was fenced at this boundary. See `docs/PROTOCOL.md`
+    /// §7.
+    pub fenced: AtomicU64,
     /// Terminal background jobs expired by retention GC (their registry
     /// entries and journal files were reclaimed; later polls answer
     /// `404` with `"gone": true`).

@@ -62,7 +62,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -288,6 +288,17 @@ struct Shared {
     queue: Queue,
     workers: usize,
     shutdown: AtomicBool,
+    /// Process-start nonce echoed on `/healthz`: a fleet prober that
+    /// sees it change knows the worker *restarted* (losing its
+    /// in-memory cache and epoch watermark) rather than merely
+    /// answering a slow probe. Never zero — zero is the prober's
+    /// "not yet known" sentinel.
+    generation: u64,
+    /// Highest dispatch epoch this worker has seen on a `/sweep`
+    /// request. Dispatches carrying a *lower* epoch are from a deposed
+    /// (zombie) coordinator and are rejected with `409` — fencing at
+    /// the worker boundary, see `docs/PROTOCOL.md` §7.
+    epoch_seen: AtomicU64,
 }
 
 /// A running server; dropping it does *not* stop the threads — call
@@ -326,6 +337,8 @@ impl Server {
             queue: Queue::new(cfg.queue_cap),
             workers: cfg.workers,
             shutdown: AtomicBool::new(false),
+            generation: start_generation(),
+            epoch_seen: AtomicU64::new(0),
         });
 
         // Replay before any thread starts: the queue absorbs resumed
@@ -382,6 +395,18 @@ impl Server {
             let _ = t.join();
         }
     }
+}
+
+/// The process-start generation nonce: wall-clock nanoseconds XOR the
+/// pid, forced odd so it can never be zero (the prober's "unknown"
+/// sentinel). Two starts of the same worker address collide only if
+/// they land on the same nanosecond with the same pid.
+fn start_generation() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos ^ (u64::from(std::process::id()) << 32)) | 1
 }
 
 /// Flags shutdown and unblocks the acceptor with a wake-up connection.
@@ -650,9 +675,12 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
             let outcome = match admit() {
                 Err(shed) => shed,
                 Ok(()) => match decode_request::<api::SweepRequest>(req, wire::KIND_SWEEP) {
-                    Ok(r) => shared
-                        .engine
-                        .sweep(&r, enqueued, &|job| offer_shards(shared, job)),
+                    Ok(r) => match check_epoch(shared, r.epoch) {
+                        Err(fenced) => fenced,
+                        Ok(()) => shared
+                            .engine
+                            .sweep(&r, enqueued, &|job| offer_shards(shared, job)),
+                    },
                     Err(bad) => bad,
                 },
             };
@@ -663,7 +691,15 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
         }
         ("GET", "/healthz") => (
             Endpoint::Admin,
-            Response::json("{\"status\": \"ok\"}".into()),
+            // Besides liveness, the body carries the process-start
+            // generation (so a prober can tell "restarted and cold"
+            // from "same process, slow") and the highest dispatch
+            // epoch seen (the fencing watermark).
+            Response::json(format!(
+                "{{\"status\": \"ok\", \"generation\": {}, \"epoch\": {}}}",
+                shared.generation,
+                shared.epoch_seen.load(Ordering::SeqCst),
+            )),
         ),
         ("GET", "/metrics") => (Endpoint::Admin, handle_metrics(shared)),
         ("POST", "/shutdown") => (
@@ -678,6 +714,39 @@ fn route(shared: &Shared, req: &Request, enqueued: Instant) -> (Endpoint, Respon
             Endpoint::Admin,
             Response::error(404, &format!("no route {} {}", req.method, req.path)),
         ),
+    }
+}
+
+/// Zombie fencing at the worker boundary: a `/sweep` dispatch carrying
+/// an `epoch` below the highest this worker has seen is from a deposed
+/// coordinator — reject it with `409` and the current epoch in the
+/// detail, *before* any simulation work runs. Equal or higher epochs
+/// ratchet the watermark up (CAS-max; concurrent dispatches race
+/// safely). Requests without an epoch (direct clients, pre-HA
+/// coordinators) are never fenced.
+fn check_epoch(shared: &Shared, epoch: Option<u64>) -> Result<(), Outcome> {
+    let Some(e) = epoch else { return Ok(()) };
+    let mut seen = shared.epoch_seen.load(Ordering::SeqCst);
+    loop {
+        if e < seen {
+            shared.engine.metrics.fenced.fetch_add(1, Ordering::Relaxed);
+            return Err(Outcome::Error {
+                status: 409,
+                detail: format!(
+                    "dispatch epoch {e} is stale: this worker has seen epoch {seen}; \
+                     the dispatching coordinator is fenced"
+                ),
+                retry_after: None,
+                audit: None,
+            });
+        }
+        match shared
+            .epoch_seen
+            .compare_exchange(seen, e, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => return Ok(()),
+            Err(cur) => seen = cur,
+        }
     }
 }
 
@@ -796,6 +865,7 @@ fn render_bin(outcome: &Outcome) -> Response {
         content_type: wire::CONTENT_TYPE,
         body,
         retry_after,
+        location: None,
         close: true,
     }
 }
@@ -903,6 +973,7 @@ fn handle_metrics(shared: &Shared) -> Response {
          \"report_memo_hits\": {}, \"verify\": \"{}\", \
          \"queue_depth\": {}, \"workers\": {}, \
          \"admission_shed\": {}, \"jobs_expired\": {}, \
+         \"fenced\": {}, \"epoch_seen\": {}, \"generation\": {}, \
          \"cache_mem_bytes\": {}, \"cache_evictions\": {}, \
          \"disk_cache_bytes\": {}, \"journal_dir_bytes\": {journal_dir_bytes}, \
          \"cache\": {{\"mem_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"coalesced\": {}}}, \
@@ -925,6 +996,9 @@ fn handle_metrics(shared: &Shared) -> Response {
         shared.workers,
         m.admission_shed.load(Ordering::Relaxed),
         m.jobs_expired.load(Ordering::Relaxed),
+        m.fenced.load(Ordering::Relaxed),
+        shared.epoch_seen.load(Ordering::SeqCst),
+        shared.generation,
         cache.mem_bytes,
         cache.evictions + cache.disk_evictions,
         cache.disk_bytes,

@@ -115,6 +115,12 @@ pub const MAX_DEPTH: usize = 64;
 /// Request kind: a `POST /simulate` body ([`crate::api::SimulateRequest`]).
 pub const KIND_SIMULATE: u8 = 0x01;
 /// Request kind: a `POST /sweep` body ([`crate::api::SweepRequest`]).
+///
+/// Coordinator-built shard dispatches additionally carry an `"epoch"`
+/// key (the dispatching coordinator's leadership epoch); a worker that
+/// has seen a higher epoch answers `409` instead of sweeping — the
+/// zombie-fencing handshake of `docs/PROTOCOL.md` §7. Frames without
+/// the key (direct clients) are never fenced.
 pub const KIND_SWEEP: u8 = 0x02;
 /// Response kind: a `NetworkReport`.
 pub const KIND_REPORT: u8 = 0x81;

@@ -334,3 +334,92 @@ fn identical_concurrent_requests_coalesce_on_the_shared_cache() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn stale_epoch_dispatches_are_fenced_with_409() {
+    let server = test_server(2);
+    let addr = server.addr();
+    let sweep = |epoch: u64| {
+        format!(
+            "{{\"network\": \"DVS-Gesture\", \"policy\": \"ptb\", \"tws\": [1], \
+             \"quick\": true, \"seed\": 7, \"epoch\": {epoch}}}"
+        )
+    };
+
+    // Epoch-free requests (direct clients) are never fenced.
+    let plain = "{\"network\": \"DVS-Gesture\", \"policy\": \"ptb\", \"tws\": [1], \
+                 \"quick\": true, \"seed\": 7}";
+    let (status, _) = client::request_json(addr, "POST", "/sweep", plain).unwrap();
+    assert_eq!(status, 200);
+
+    // Epoch 3 ratchets the watermark; an equal epoch still dispatches.
+    let (status, _) = client::request_json(addr, "POST", "/sweep", &sweep(3)).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client::request_json(addr, "POST", "/sweep", &sweep(3)).unwrap();
+    assert_eq!(status, 200, "equal epochs are never stale");
+
+    // A lower epoch is a zombie coordinator: 409, with the watermark in
+    // the detail, and no simulation work done.
+    let (status, text) = client::request_json(addr, "POST", "/sweep", &sweep(2)).unwrap();
+    assert_eq!(status, 409, "{text}");
+    assert!(text.contains("fenced"), "{text}");
+    assert!(text.contains("epoch 3"), "{text}");
+
+    // /healthz echoes the watermark and a nonzero generation.
+    let (status, text) = client::request_json(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let health: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(health.get("epoch").and_then(|v| v.as_u64()), Some(3));
+    assert_ne!(
+        health.get("generation").and_then(|v| v.as_u64()),
+        Some(0),
+        "generation is a nonzero process nonce: {text}"
+    );
+
+    // The fence shows in worker metrics.
+    let (_, text) = client::request_json(addr, "GET", "/metrics", "").unwrap();
+    let m: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(m.get("fenced").and_then(|v| v.as_u64()), Some(1), "{text}");
+    assert_eq!(m.get("epoch_seen").and_then(|v| v.as_u64()), Some(3));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn admission_cannot_shed_healthz() {
+    // Pin the invariant the cluster prober leans on: admission control
+    // guards only the heavy POST routes, so a probe can never see an
+    // admission 503 — a healthz 503 is structurally impossible and any
+    // non-200 probe outcome means transport trouble, not load.
+    let server = Server::start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 16,
+        cache: ptb_bench::CacheMode::Mem,
+        // Impossible watermark: every heavy request sheds.
+        mem_watermark: Some(0),
+        ..ServerConfig::default()
+    })
+    .expect("bind test server");
+    let addr = server.addr();
+
+    // The first request is admitted (an empty cache is at the 0-byte
+    // watermark, not over it) and populates the cache; from then on
+    // every heavy request sheds.
+    let body = simulate_body("DVS-Gesture", "ptb", 4, 7);
+    let (status, _) = client::request_json(addr, "POST", "/simulate", &body).unwrap();
+    assert_eq!(status, 200, "primes the cache past the watermark");
+    let (status, text) = client::request_json(addr, "POST", "/simulate", &body).unwrap();
+    assert_eq!(status, 503, "heavy routes shed: {text}");
+
+    for _ in 0..3 {
+        let (status, text) = client::request_json(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((status, text.contains("ok")), (200, true), "{text}");
+    }
+    let (status, _) = client::request_json(addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200, "introspection rides the unshed fast path");
+
+    server.shutdown();
+    server.join();
+}

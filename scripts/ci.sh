@@ -147,6 +147,22 @@ echo "== cluster saturation (503-shedding worker must never be declared dead)"
 # backpressure re-dispatch with zero worker_deaths.
 ./target/release/ptb-load --cluster 2 --cluster-saturate --label ci-saturate
 
+echo "== coordinator failover (SIGKILL the active mid-sweep, standby promotes, rows bit-identical)"
+# The HA drill: a hot standby tails the active's journals over
+# /journal/tail; the active is kill -9'd with shards in flight; the
+# standby must promote at a higher epoch, replay the mirrored journal,
+# and finish the job with rows identical to a lone worker — plus sync
+# sweeps through the promoted coordinator byte-identical in both codecs.
+./target/release/ptb-load --cluster 2 --standby --coordinator-kill --label ci-failover
+
+echo "== coordinator fencing (zombie active's stale-epoch dispatches rejected with 409)"
+# The active keeps dispatching but its tail route goes dark
+# (coordinator_pause=err@2), so the standby promotes while the old
+# active still runs. Workers must reject the zombie's stale epoch
+# (fenced_dispatches >= 1), the zombie must demote itself, and the job
+# must still finish via the new active.
+./target/release/ptb-load --cluster 2 --standby --coordinator-fence --label ci-fence
+
 echo "== release tests with debug assertions (overflow checks on the hot paths)"
 # A separate target dir keeps the main release artifacts (used by the
 # stages above) untouched.
